@@ -1,0 +1,109 @@
+//! Criterion benches for the delta codecs (Table 3's latency columns,
+//! measured as real wall-clock time on this machine).
+//!
+//! Three codecs (Xdelta3-PA, whole-file Xdelta3, XOR/RLE) over three
+//! similarity regimes (small contiguous edits, half-page rewrites, fresh
+//! entropy), which bound the workloads' behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use aic_delta::encode::EncodeParams;
+use aic_delta::pa::{full_encode, pa_encode, PaParams};
+use aic_delta::xor::xor_encode;
+use aic_memsim::{Page, Snapshot, PAGE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PAGES: usize = 256; // 1 MiB per snapshot
+
+fn snapshot(seed: u64) -> Snapshot {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Snapshot::from_pages((0..PAGES).map(|i| {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        rng.fill(&mut buf[..]);
+        (i as u64, Page::from_bytes(&buf))
+    }))
+}
+
+/// Dirty snapshot in one of three similarity regimes.
+fn dirty(prev: &Snapshot, regime: &str, seed: u64) -> Snapshot {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Snapshot::from_pages(prev.iter().map(|(idx, page)| {
+        let mut bytes = page.as_slice().to_vec();
+        match regime {
+            "small-edit" => {
+                let start = rng.gen_range(0..PAGE_SIZE - 128);
+                for b in &mut bytes[start..start + 128] {
+                    *b = rng.gen();
+                }
+            }
+            "half-rewrite" => {
+                for b in &mut bytes[..PAGE_SIZE / 2] {
+                    *b = rng.gen();
+                }
+            }
+            "fresh" => rng.fill(&mut bytes[..]),
+            _ => unreachable!(),
+        }
+        (idx, Page::from_bytes(&bytes))
+    }))
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let prev = snapshot(1);
+    let mut group = c.benchmark_group("delta_codec");
+    group.throughput(Throughput::Bytes((PAGES * PAGE_SIZE) as u64));
+
+    for regime in ["small-edit", "half-rewrite", "fresh"] {
+        let target = dirty(&prev, regime, 2);
+        group.bench_with_input(
+            BenchmarkId::new("xdelta3-pa", regime),
+            &target,
+            |b, target| {
+                b.iter(|| pa_encode(&prev, target, &PaParams::default()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("xdelta3-whole", regime),
+            &target,
+            |b, target| {
+                b.iter(|| full_encode(&prev, target, &EncodeParams::default()));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("xor-rle", regime), &target, |b, target| {
+            b.iter(|| xor_encode(&prev, target));
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    // Serial (the paper's single dedicated core) vs rayon-parallel PA
+    // encode (the multi-core extension) — identical outputs by test.
+    let prev = snapshot(7);
+    let target = dirty(&prev, "half-rewrite", 8);
+    let mut group = c.benchmark_group("pa_parallelism");
+    group.throughput(Throughput::Bytes((PAGES * PAGE_SIZE) as u64));
+    group.bench_function("serial", |b| {
+        b.iter(|| pa_encode(&prev, &target, &PaParams::default()));
+    });
+    group.bench_function("rayon", |b| {
+        b.iter(|| aic_delta::pa::pa_encode_parallel(&prev, &target, &PaParams::default()));
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let prev = snapshot(3);
+    let target = dirty(&prev, "half-rewrite", 4);
+    let (file, _) = pa_encode(&prev, &target, &PaParams::default());
+    let mut group = c.benchmark_group("delta_decode");
+    group.throughput(Throughput::Bytes((PAGES * PAGE_SIZE) as u64));
+    group.bench_function("xdelta3-pa", |b| {
+        b.iter(|| aic_delta::pa::pa_decode(&prev, &file).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_parallel_speedup, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benches over the experiment harness itself: one reduced-scale
+//! sample of each figure/table generator, so regressions in end-to-end
+//! experiment cost are visible. (The full regeneration is `repro all`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aic_bench::experiments::{fig2, fig5, fig7, table1, RunScale};
+use aic_model::params::AppType;
+
+fn bench_model_figures(c: &mut Criterion) {
+    c.bench_function("fig5_one_size_mpi", |b| {
+        b.iter(|| fig5::run_with_app(&[5.0], AppType::Mpi));
+    });
+    c.bench_function("fig7_one_cell", |b| {
+        b.iter(|| fig7::run(&[5.0], &[3.0]));
+    });
+}
+
+fn bench_engine_figures(c: &mut Criterion) {
+    let scale = RunScale {
+        footprint: 0.06,
+        duration: 1.0,
+        seed: 1,
+    };
+    c.bench_function("fig2_sweep_20s_small", |b| {
+        b.iter(|| fig2::sweep("bzip2", 2.0, 20, &scale));
+    });
+}
+
+fn bench_trace(c: &mut Criterion) {
+    c.bench_function("table1_500_jobs", |b| {
+        b.iter(|| table1::run(500, 7));
+    });
+}
+
+criterion_group!(benches, bench_model_figures, bench_engine_figures, bench_trace);
+criterion_main!(benches);

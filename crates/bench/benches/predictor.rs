@@ -1,0 +1,100 @@
+//! Criterion benches for the AIC predictor pipeline: page metrics (the
+//! paper's "below 100 µs per hot page" claim), stepwise bootstrap, online
+//! updates, and a full engine decision tick.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use aic_core::features::BaseMetrics;
+use aic_core::metrics::{cosine_similarity, divergence_index, jaccard_distance, m2_index};
+use aic_core::online::NormalizedGd;
+use aic_core::predictor::AicPredictor;
+use aic_core::sample::SampleBuffer;
+use aic_memsim::{Page, PAGE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_page(seed: u64) -> Page {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf = vec![0u8; PAGE_SIZE];
+    rng.fill(&mut buf[..]);
+    Page::from_bytes(&buf)
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let a = random_page(1);
+    let b2 = random_page(2);
+    let mut group = c.benchmark_group("page_metrics");
+    group.throughput(Throughput::Bytes(PAGE_SIZE as u64));
+    group.bench_function("jaccard_distance", |b| {
+        b.iter(|| jaccard_distance(&a, &b2));
+    });
+    group.bench_function("divergence_index", |b| {
+        b.iter(|| divergence_index(&a));
+    });
+    group.bench_function("cosine_similarity", |b| {
+        b.iter(|| cosine_similarity(&a, &b2));
+    });
+    group.bench_function("m2_index", |b| {
+        b.iter(|| m2_index(&a));
+    });
+    group.finish();
+}
+
+fn bench_sample_buffer(c: &mut Criterion) {
+    let page = random_page(3);
+    let old = random_page(4);
+    c.bench_function("sample_buffer_offer", |b| {
+        let mut sb = SampleBuffer::new(2048, 0.01);
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 0.02;
+            sb.offer(1, t, &page, Some(&old))
+        });
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let sample = |rng: &mut StdRng| BaseMetrics {
+        dp: rng.gen_range(100.0..4000.0),
+        t: rng.gen_range(5.0..60.0),
+        jd: rng.gen_range(0.0..1.0),
+        di: rng.gen_range(0.0..1.0),
+    };
+
+    c.bench_function("predictor_bootstrap_stepwise", |b| {
+        let samples: Vec<BaseMetrics> = (0..4).map(|_| sample(&mut rng)).collect();
+        b.iter(|| {
+            let mut p = AicPredictor::default();
+            for m in &samples {
+                p.observe(m, 0.1, 0.5, m.dp * 2048.0);
+            }
+            assert!(p.ready());
+        });
+    });
+
+    c.bench_function("predictor_online_observe", |b| {
+        let mut p = AicPredictor::new(4, 3, NormalizedGd::default());
+        for _ in 0..8 {
+            let m = sample(&mut rng);
+            p.observe(&m, 0.1, 0.5, m.dp * 2048.0);
+        }
+        b.iter(|| {
+            let m = sample(&mut rng);
+            p.observe(&m, 0.1, 0.5, m.dp * 2048.0);
+        });
+    });
+
+    c.bench_function("predictor_predict", |b| {
+        let mut p = AicPredictor::default();
+        for _ in 0..8 {
+            let m = sample(&mut rng);
+            p.observe(&m, 0.1, 0.5, m.dp * 2048.0);
+        }
+        let m = sample(&mut rng);
+        b.iter(|| p.predict(&m));
+    });
+}
+
+criterion_group!(benches, bench_metrics, bench_sample_buffer, bench_predictor);
+criterion_main!(benches);

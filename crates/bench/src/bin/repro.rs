@@ -1,0 +1,216 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all                 # everything, paper-scale where feasible
+//! repro fig2|table1|fig5|fig6|fig7|table3|fig11|fig12
+//! repro fig11 --quick       # reduced footprint/duration (CI-sized)
+//! repro table3 --footprint 0.5 --duration 0.5 --seed 7
+//! repro fig12 --csv         # machine-readable series
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use aic_bench::experiments::{ablation, fig11, fig12, fig2, fig5, fig6, fig7, fleet_sharing, mpi_scaling, regret, table1, table3, validate, RunScale};
+use aic_bench::output::csv;
+
+#[derive(Debug, Clone)]
+struct Args {
+    experiment: String,
+    scale: RunScale,
+    csv: bool,
+    jobs: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        experiment: String::new(),
+        scale: RunScale::default(),
+        csv: false,
+        jobs: 2_000,
+    };
+    let mut it = env::args().skip(1);
+    let Some(exp) = it.next() else {
+        return Err("missing experiment".into());
+    };
+    args.experiment = exp;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => args.scale = RunScale::quick(),
+            "--csv" => args.csv = true,
+            "--footprint" => {
+                args.scale.footprint = it
+                    .next()
+                    .ok_or("--footprint needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --footprint: {e}"))?;
+            }
+            "--duration" => {
+                args.scale.duration = it
+                    .next()
+                    .ok_or("--duration needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --duration: {e}"))?;
+            }
+            "--seed" => {
+                args.scale.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run_one(args: &Args) -> Result<(), String> {
+    let scale = &args.scale;
+    match args.experiment.as_str() {
+        "fig2" => {
+            println!("## Fig. 2 — normalized delta latency/size vs checkpoint time\n");
+            let series = fig2::run(scale);
+            if args.csv {
+                for s in &series {
+                    println!("# {}", s.name);
+                    let rows: Vec<Vec<String>> = s
+                        .points
+                        .iter()
+                        .map(|(t, dl, ds)| vec![t.to_string(), dl.to_string(), ds.to_string()])
+                        .collect();
+                    print!("{}", csv(&["t", "norm_dl", "norm_ds"], &rows));
+                }
+            } else {
+                print!("{}", fig2::render(&series));
+                for s in &series {
+                    println!(
+                        "{}: size swing {:.1}x (mean dl {:.3}s, mean ds {:.0} B)",
+                        s.name,
+                        fig2::size_swing(s),
+                        s.mean_latency,
+                        s.mean_size
+                    );
+                }
+            }
+        }
+        "table1" => {
+            println!(
+                "## Table 1 — LANL candidate jobs ({} synthetic jobs/system)\n",
+                args.jobs
+            );
+            let rows = table1::run(args.jobs, scale.seed);
+            print!("{}", table1::render(&rows));
+        }
+        "fig5" => {
+            println!("## Fig. 5 — NET² of the MPI job vs system size\n");
+            let rows = fig5::run(&fig5::DEFAULT_SIZES);
+            print!("{}", fig5::render(&rows));
+        }
+        "fig6" => {
+            println!("## Fig. 6 — NET² of the RMS job vs system size\n");
+            let rows = fig6::run(&fig6::DEFAULT_SIZES);
+            print!("{}", fig6::render(&rows));
+        }
+        "fig7" => {
+            println!("## Fig. 7 — NET² of L2L3 vs sharing factor\n");
+            let rows = fig7::run(&fig7::DEFAULT_SIZES, &fig7::DEFAULT_SFS);
+            print!("{}", fig7::render(&rows));
+            println!("\nLargest profitable SF per size (beats Moody):");
+            for (size, sf) in fig7::profitable_sf(&rows) {
+                println!("  {size}x: SF <= {sf}");
+            }
+        }
+        "table3" => {
+            println!("## Table 3 — compressor performance and AIC overhead\n");
+            let rows = table3::run(scale);
+            print!("{}", table3::render(&rows));
+        }
+        "fig11" => {
+            println!("## Fig. 11 — NET² under AIC / SIC / Moody\n");
+            let rows = fig11::run(scale);
+            print!("{}", fig11::render(&rows));
+        }
+        "ablation" => {
+            println!("## Ablations (milc persona)\n");
+            println!("### Compressors\n{}", ablation::render(&ablation::compressors("milc", scale)));
+            println!("### Deciders\n{}", ablation::render(&ablation::policies("milc", scale)));
+            println!(
+                "### Metric choice (footnote 1)\n{}",
+                ablation::render(&ablation::metric_choice("sjeng", scale))
+            );
+            println!(
+                "### Sample-buffer budget\n{}",
+                ablation::render(&ablation::sample_buffer("sjeng", scale, &[16, 256, 2048]))
+            );
+        }
+        "fleet" => {
+            println!("## Operational sharing factor (fleet; extension of Fig. 7)\n");
+            let rows = fleet_sharing::run("libquantum", &fleet_sharing::DEFAULT_SFS, scale);
+            print!("{}", fleet_sharing::render(&rows));
+        }
+        "regret" => {
+            println!("## Regret vs the offline-optimal plan (extension)\n");
+            let ticks = (60.0 * scale.duration).max(20.0) as usize;
+            let r = regret::run("milc", scale, ticks, 1.0);
+            print!("{}", regret::render(&r));
+        }
+        "mpi" => {
+            println!("## MPI scaling (operational; extension)\n");
+            let rows = mpi_scaling::run(&mpi_scaling::DEFAULT_RANKS, scale);
+            print!("{}", mpi_scaling::render(&rows));
+        }
+        "validate" => {
+            println!("## Model vs Monte-Carlo validation\n");
+            let rows = validate::run(400, scale.seed);
+            print!("{}", validate::render(&rows));
+        }
+        "fig12" => {
+            println!("## Fig. 12 — milc: AIC vs SIC across system scales\n");
+            let rows = fig12::run(&fig12::DEFAULT_SIZES, scale);
+            print!("{}", fig12::render(&rows));
+        }
+        "all" => {
+            for exp in [
+                "table1", "fig5", "fig6", "fig7", "fig2", "table3", "fig11", "fig12",
+                "validate", "ablation", "mpi", "fleet", "regret",
+            ] {
+                let sub = Args {
+                    experiment: exp.to_string(),
+                    ..args.clone()
+                };
+                run_one(&sub)?;
+                println!();
+            }
+        }
+        other => return Err(format!("unknown experiment {other:?}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(args) => match run_one(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|fleet|regret|all> \
+                 [--quick] [--csv] [--footprint F] [--duration D] [--seed N] [--jobs N]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Fig. 12: NET² of milc under the adaptive (AIC) and static (SIC)
+//! concurrent schemes across system scales 0.25×–4×.
+//!
+//! RMS scaling (Section V.C): the failure rate is unchanged, but the
+//! per-node remote-storage bandwidth `B3` shrinks proportionally with the
+//! system, inflating `c3(i)` — which is exactly where adaptive timing pays:
+//! the paper's gap widens from 14% to 47% as the system grows.
+
+use crate::experiments::fig11::{measure, Fig11Row};
+use crate::experiments::RunScale;
+use crate::output::{f, markdown_table, pct};
+
+/// One system-scale point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Row {
+    /// System size multiplier.
+    pub size: f64,
+    /// Underlying AIC/SIC comparison at this size.
+    pub cmp: Fig11Row,
+}
+
+/// Default scales (the paper sweeps 0.25× to 4×).
+pub const DEFAULT_SIZES: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// Run the figure for `persona` (the paper uses milc; sphinx3 shows the
+/// least benefit) over the given sizes.
+pub fn run_persona(persona: &str, sizes: &[f64], scale: &RunScale) -> Vec<Fig12Row> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let mut config = crate::experiments::geometry_scaled_engine(scale);
+            config.b3 /= size; // per-node L3 share shrinks with the system
+            Fig12Row {
+                size,
+                cmp: measure(persona, scale, &config),
+            }
+        })
+        .collect()
+}
+
+/// Run the paper's figure (milc).
+pub fn run(sizes: &[f64], scale: &RunScale) -> Vec<Fig12Row> {
+    run_persona("milc", sizes, scale)
+}
+
+/// Render as a markdown table.
+pub fn render(rows: &[Fig12Row]) -> String {
+    markdown_table(
+        &["size", "AIC", "SIC", "AIC vs SIC"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}x", r.size),
+                    f(r.cmp.aic),
+                    f(r.cmp.sic),
+                    pct(r.cmp.aic_vs_sic()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aic_gap_positive_and_tends_to_widen_with_scale() {
+        let scale = RunScale {
+            footprint: 0.12,
+            duration: 0.12,
+            seed: 13,
+        };
+        let rows = run(&[0.5, 4.0], &scale);
+        for r in &rows {
+            assert!(
+                r.cmp.aic <= r.cmp.sic * 1.05,
+                "size {}: AIC {} vs SIC {}",
+                r.size,
+                r.cmp.aic,
+                r.cmp.sic
+            );
+        }
+        // NET² itself grows with the scale (slower B3 hurts both schemes).
+        assert!(rows[1].cmp.sic > rows[0].cmp.sic, "{rows:?}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Fig. 2: normalized delta latency and delta size of three benchmarks
+//! (sjeng, lbm, bzip2) when the second (incremental) checkpoint is taken at
+//! different points of time over a 60-second window.
+//!
+//! Protocol (Section II.B): take the first *full* checkpoint, then measure
+//! — for every candidate cut time `T` in the window — the page-aligned
+//! delta of the pages dirtied in `(t0, T]` against the full checkpoint.
+//! Each curve is normalized by its own mean over the window, exactly like
+//! the paper's plot.
+
+use aic_delta::pa::{pa_encode, PaParams};
+use aic_delta::stats::CostModel;
+use aic_memsim::SimTime;
+
+use crate::experiments::{scaled_persona, RunScale};
+use crate::output::{f, markdown_table};
+
+/// One benchmark's sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Series {
+    /// Benchmark name.
+    pub name: String,
+    /// `(T, normalized delta latency, normalized delta size)` per second.
+    pub points: Vec<(f64, f64, f64)>,
+    /// Window means used for normalization (latency s, size bytes).
+    pub mean_latency: f64,
+    /// Mean delta size over the window (bytes), the size normalizer.
+    pub mean_size: f64,
+}
+
+/// The paper's three benchmarks for this figure.
+pub const FIG2_PERSONAS: [&str; 3] = ["sjeng", "lbm", "bzip2"];
+
+/// Sweep one persona: full checkpoint at `warmup`, candidate cuts every
+/// second for `window` seconds.
+pub fn sweep(name: &str, warmup: f64, window: usize, scale: &RunScale) -> Fig2Series {
+    let mut process = scaled_persona(name, scale);
+    let cost = CostModel::default();
+    process.run_until(SimTime::from_secs(warmup));
+    let full = process.snapshot();
+    process.cut_interval();
+
+    let mut raw: Vec<(f64, f64, f64)> = Vec::with_capacity(window);
+    for step in 1..=window {
+        let t = warmup + step as f64;
+        process.run_until(SimTime::from_secs(t));
+        // Cumulative dirty set since the full checkpoint.
+        let dirty = process.snapshot_pages(process.dirty_log().iter().map(|d| d.page));
+        let (file, report) = pa_encode(&full, &dirty, &PaParams::default());
+        let dl = cost.delta_latency(&report);
+        raw.push((step as f64, dl, file.wire_len() as f64));
+    }
+
+    let n = raw.len() as f64;
+    let mean_latency = raw.iter().map(|p| p.1).sum::<f64>() / n;
+    let mean_size = raw.iter().map(|p| p.2).sum::<f64>() / n;
+    Fig2Series {
+        name: name.to_string(),
+        points: raw
+            .iter()
+            .map(|(t, dl, ds)| (*t, dl / mean_latency.max(1e-12), ds / mean_size.max(1e-12)))
+            .collect(),
+        mean_latency,
+        mean_size,
+    }
+}
+
+/// Run the full figure.
+pub fn run(scale: &RunScale) -> Vec<Fig2Series> {
+    FIG2_PERSONAS
+        .iter()
+        .map(|name| sweep(name, 2.0, (60.0 * scale.duration).max(10.0) as usize, scale))
+        .collect()
+}
+
+/// Render all series as one table (columns per benchmark).
+pub fn render(series: &[Fig2Series]) -> String {
+    let mut headers: Vec<String> = vec!["T (s)".into()];
+    for s in series {
+        headers.push(format!("{} dl", s.name));
+        headers.push(format!("{} ds", s.name));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let n = series.iter().map(|s| s.points.len()).min().unwrap_or(0);
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            let mut row = vec![f(series[0].points[i].0)];
+            for s in series {
+                row.push(f(s.points[i].1));
+                row.push(f(s.points[i].2));
+            }
+            row
+        })
+        .collect();
+    markdown_table(&header_refs, &rows)
+}
+
+/// Max-over-min swing of the normalized size curve — the paper highlights
+/// sjeng's ~20× (95% drop) swings.
+pub fn size_swing(series: &Fig2Series) -> f64 {
+    let max = series.points.iter().map(|p| p.2).fold(0.0, f64::max);
+    let min = series
+        .points
+        .iter()
+        .map(|p| p.2)
+        .fold(f64::INFINITY, f64::min);
+    max / min.max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sjeng_swings_wide_bzip2_moderate() {
+        let scale = RunScale {
+            footprint: 0.25,
+            duration: 1.0,
+            seed: 3,
+        };
+        let sjeng = sweep("sjeng", 2.0, 40, &scale);
+        let bzip2 = sweep("bzip2", 2.0, 40, &scale);
+        let s_swing = size_swing(&sjeng);
+        let b_swing = size_swing(&bzip2);
+        // Sjeng's burst/consolidation cycle must produce strictly wider
+        // swings than bzip2's steady block processing (paper: 5 of 6
+        // benchmarks swing widely; sjeng's drop is 95%).
+        assert!(s_swing > 2.0 * b_swing, "sjeng {s_swing} vs bzip2 {b_swing}");
+        assert!(s_swing > 3.0, "sjeng swing too small: {s_swing}");
+    }
+
+    #[test]
+    fn normalization_means_are_one() {
+        let scale = RunScale {
+            footprint: 0.1,
+            duration: 1.0,
+            seed: 4,
+        };
+        let s = sweep("bzip2", 2.0, 20, &scale);
+        let mean_dl: f64 = s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len() as f64;
+        let mean_ds: f64 = s.points.iter().map(|p| p.2).sum::<f64>() / s.points.len() as f64;
+        assert!((mean_dl - 1.0).abs() < 1e-9);
+        assert!((mean_ds - 1.0).abs() < 1e-9);
+    }
+}

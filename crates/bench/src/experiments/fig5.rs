@@ -1,0 +1,125 @@
+//! Fig. 5: NET² of the MPI program (pF3D) under various system sizes.
+//!
+//! System-size scaling for MPI jobs: failure rates and `c3` both grow
+//! proportionally (any process failure kills the job; remote-storage
+//! bandwidth is fixed in aggregate). Four curves: Moody (exhaustive
+//! optimum), L1L3, L2L3, L1L2L3 (each at its optimal work span).
+
+use aic_model::concurrent::{net2_at, ConcurrentModel};
+use aic_model::moody::moody_optimize;
+use aic_model::optimize::golden_minimize;
+use aic_model::params::{AppType, CoastalProfile, SystemScale};
+
+use crate::output::{f, markdown_table};
+
+/// One system-size row of the figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Row {
+    /// System size multiplier.
+    pub size: f64,
+    /// Moody optimum NET².
+    pub moody: f64,
+    /// L1L3 NET² at its optimal w.
+    pub l1l3: f64,
+    /// L2L3 NET² at its optimal w.
+    pub l2l3: f64,
+    /// L1L2L3 NET² at its optimal w.
+    pub l1l2l3: f64,
+}
+
+/// Default system sizes (the paper sweeps 1× to 20×).
+pub const DEFAULT_SIZES: [f64; 6] = [1.0, 2.0, 5.0, 10.0, 15.0, 20.0];
+
+/// Search ceiling for the work span: beyond ~10 mean-times-between-failures
+/// the interval never completes and the solver hits probability underflow;
+/// no optimum lives there.
+pub(crate) fn w_ceiling(total_rate: f64, w_lo: f64) -> f64 {
+    (10.0 / total_rate.max(1e-12)).clamp(w_lo * 1.5, 5.0e7)
+}
+
+fn optimal_net2(model: ConcurrentModel, scale: &SystemScale) -> f64 {
+    let p = CoastalProfile::default();
+    let costs = scale.costs(&p.costs());
+    let rates = scale.rates(&p.rates());
+    // The drain rule bounds w from below by the transfer window.
+    let w_lo = costs.transfer(3).max(60.0);
+    let w_hi = w_ceiling(rates.total(), w_lo);
+    golden_minimize(|w| net2_at(model, w, &costs, &rates), w_lo, w_hi, 1e-6).value
+}
+
+/// Compute the figure for the given sizes (MPI scaling).
+pub fn run(sizes: &[f64]) -> Vec<Fig5Row> {
+    run_with_app(sizes, AppType::Mpi)
+}
+
+/// Shared implementation for Figs. 5 (MPI) and 6 (RMS).
+pub fn run_with_app(sizes: &[f64], app: AppType) -> Vec<Fig5Row> {
+    let p = CoastalProfile::default();
+    sizes
+        .iter()
+        .map(|&size| {
+            let scale = SystemScale { size, app };
+            let costs = scale.costs(&p.costs());
+            let rates = scale.rates(&p.rates());
+            let moody_lo = costs.c(3).max(100.0);
+            let moody =
+                moody_optimize(&costs, &rates, moody_lo, w_ceiling(rates.total(), moody_lo)).net2;
+            Fig5Row {
+                size,
+                moody,
+                l1l3: optimal_net2(ConcurrentModel::L1L3, &scale),
+                l2l3: optimal_net2(ConcurrentModel::L2L3, &scale),
+                l1l2l3: optimal_net2(ConcurrentModel::L1L2L3, &scale),
+            }
+        })
+        .collect()
+}
+
+/// Render the figure's series as a markdown table.
+pub fn render(rows: &[Fig5Row]) -> String {
+    markdown_table(
+        &["size", "Moody", "L1L3", "L2L3", "L1L2L3"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}x", r.size),
+                    f(r.moody),
+                    f(r.l1l3),
+                    f(r.l2l3),
+                    f(r.l1l2l3),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_holds() {
+        let rows = run(&[1.0, 10.0]);
+        for r in &rows {
+            // Concurrent L2L3 beats (or at worst matches) Moody.
+            assert!(r.l2l3 <= r.moody * 1.001, "{r:?}");
+            // L2L3 ≈ L1L2L3.
+            assert!((r.l2l3 - r.l1l2l3).abs() / r.l2l3 < 0.03, "{r:?}");
+            // All NET² ≥ 1.
+            assert!(r.moody >= 1.0 && r.l1l3 >= 1.0);
+        }
+        // The improvement gap grows with system size.
+        let gap = |r: &Fig5Row| r.moody - r.l2l3;
+        assert!(gap(&rows[1]) > gap(&rows[0]), "{rows:?}");
+        // L1L3 falls behind L2L3 at scale.
+        assert!(rows[1].l1l3 > rows[1].l2l3);
+    }
+
+    #[test]
+    fn render_contains_all_sizes() {
+        let rows = run(&[1.0, 2.0]);
+        let s = render(&rows);
+        assert!(s.contains("1x") && s.contains("2x"));
+    }
+}

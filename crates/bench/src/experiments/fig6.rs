@@ -1,0 +1,50 @@
+//! Fig. 6: NET² of the RMS application under various system sizes.
+//!
+//! RMS scaling: failure rates stay fixed (independent processes), but the
+//! per-node remote-storage bandwidth shrinks with the system, so `c3` still
+//! grows. Same four curves as Fig. 5.
+
+use aic_model::params::AppType;
+
+use crate::experiments::fig5::{run_with_app, Fig5Row};
+
+/// Default system sizes.
+pub use crate::experiments::fig5::DEFAULT_SIZES;
+
+/// Compute the figure (RMS scaling).
+pub fn run(sizes: &[f64]) -> Vec<Fig5Row> {
+    run_with_app(sizes, AppType::Rms)
+}
+
+/// Render as a markdown table.
+pub fn render(rows: &[Fig5Row]) -> String {
+    crate::experiments::fig5::render(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig5;
+
+    #[test]
+    fn concurrent_beats_moody_and_gap_grows() {
+        let rows = run(&[1.0, 10.0]);
+        for r in &rows {
+            assert!(r.l2l3 <= r.moody * 1.001, "{r:?}");
+        }
+        assert!(
+            rows[1].moody - rows[1].l2l3 >= rows[0].moody - rows[0].l2l3,
+            "{rows:?}"
+        );
+    }
+
+    #[test]
+    fn rms_suffers_less_than_mpi_at_scale() {
+        // At 10×, the MPI job's failure rate is 10× higher: its NET² must
+        // dominate the RMS one for every model.
+        let mpi = fig5::run(&[10.0]);
+        let rms = run(&[10.0]);
+        assert!(mpi[0].l2l3 > rms[0].l2l3, "mpi={mpi:?} rms={rms:?}");
+        assert!(mpi[0].moody > rms[0].moody);
+    }
+}

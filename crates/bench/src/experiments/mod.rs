@@ -1,0 +1,163 @@
+//! Experiment modules, one per table/figure, plus shared harness plumbing.
+
+pub mod ablation;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fleet_sharing;
+pub mod mpi_scaling;
+pub mod regret;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+pub mod validate;
+pub mod table3;
+
+use aic_ckpt::engine::EngineConfig;
+use aic_model::params::CoastalProfile;
+use aic_model::FailureRates;
+
+/// The paper's testbed failure rates: λ = 10⁻³ split in Coastal
+/// proportions (Section V.C).
+pub fn testbed_rates() -> FailureRates {
+    CoastalProfile::default().rates().with_total(1e-3)
+}
+
+/// The paper's testbed engine configuration.
+pub fn testbed_engine() -> EngineConfig {
+    EngineConfig::testbed(testbed_rates())
+}
+
+/// Testbed engine with per-node bandwidths scaled by the **geometry
+/// ratio**. Every benchmark in the paper is a 1-GB process; our personas
+/// are laptop-sized stand-ins (the largest, milc, defaults to 24 MiB).
+/// Preserving the experiment's *geometry* — how long a remote checkpoint
+/// transfer lasts relative to work spans and the base time — requires
+/// shrinking B2/B3 by the same factor the process shrank. One uniform
+/// ratio (anchored at the milc-class footprint) keeps the *relative*
+/// standing of the benchmarks intact: sphinx3's absolutely-small deltas
+/// remain cheap, milc's near-footprint deltas remain hundreds of seconds,
+/// exactly as on the paper's testbed.
+pub fn geometry_scaled_engine(_scale: &RunScale) -> EngineConfig {
+    // Calibration: the paper's benchmarks produce multi-MB/s of compressed
+    // delta against a 2 MB/s Lustre share, putting remote-transfer times at
+    // a large fraction of the base runtime (milc's deltas take hundreds of
+    // seconds). Our personas produce ~13× less delta per virtual second, so
+    // the bandwidths shrink by the same factor to preserve c3 relative to
+    // w and t. The ratio is independent of the run scale because both the
+    // delta-production rate and the base time shrink together under
+    // `duration`/`footprint` scaling.
+    const GEOMETRY_RATIO: f64 = 0.075;
+    let mut cfg = testbed_engine();
+    cfg.b2 *= GEOMETRY_RATIO;
+    cfg.b3 *= GEOMETRY_RATIO;
+    cfg
+}
+
+/// Shared experiment sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunScale {
+    /// Workload footprint multiplier (1.0 = the crate defaults, which are
+    /// laptop-sized stand-ins for the paper's 1-GB processes).
+    pub footprint: f64,
+    /// Virtual-duration multiplier (1.0 = the full Table 3 base times).
+    pub duration: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RunScale {
+    fn default() -> Self {
+        RunScale {
+            footprint: 1.0,
+            duration: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+impl RunScale {
+    /// A fast configuration for CI / smoke tests.
+    pub fn quick() -> Self {
+        RunScale {
+            footprint: 0.12,
+            duration: 0.12,
+            seed: 42,
+        }
+    }
+}
+
+/// Build a persona by name at a given run scale, wrapping it so the base
+/// time honours `duration`.
+pub fn scaled_persona(
+    name: &str,
+    scale: &RunScale,
+) -> aic_memsim::SimProcess {
+    use aic_memsim::workloads::spec;
+    let wl: Box<dyn aic_memsim::workloads::Workload + Send> = match name {
+        "bzip2" => Box::new(spec::Bzip2::with_scale(scale.seed, scale.footprint)),
+        "sjeng" => Box::new(spec::Sjeng::with_scale(scale.seed, scale.footprint)),
+        "libquantum" => Box::new(spec::Libquantum::with_scale(scale.seed, scale.footprint)),
+        "milc" => Box::new(spec::Milc::with_scale(scale.seed, scale.footprint)),
+        "lbm" => Box::new(spec::Lbm::with_scale(scale.seed, scale.footprint)),
+        "sphinx3" => Box::new(spec::Sphinx3::with_scale(scale.seed, scale.footprint)),
+        other => panic!("unknown persona {other:?}"),
+    };
+    let wl = DurationScaled {
+        inner: wl,
+        factor: scale.duration,
+    };
+    aic_memsim::SimProcess::new(Box::new(wl))
+}
+
+/// Wraps a workload, scaling its nominal base time.
+struct DurationScaled {
+    inner: Box<dyn aic_memsim::workloads::Workload + Send>,
+    factor: f64,
+}
+
+impl aic_memsim::workloads::Workload for DurationScaled {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn init(
+        &mut self,
+        space: &mut aic_memsim::AddressSpace,
+        clock: &mut aic_memsim::VirtualClock,
+    ) {
+        self.inner.init(space, clock);
+    }
+    fn step(
+        &mut self,
+        space: &mut aic_memsim::AddressSpace,
+        clock: &mut aic_memsim::VirtualClock,
+    ) {
+        self.inner.step(space, clock);
+    }
+    fn base_time(&self) -> aic_memsim::SimTime {
+        self.inner.base_time() * self.factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_persona_honours_duration() {
+        let scale = RunScale {
+            footprint: 0.1,
+            duration: 0.1,
+            seed: 1,
+        };
+        let p = scaled_persona("bzip2", &scale);
+        assert!((p.base_time().as_secs() - 15.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown persona")]
+    fn unknown_persona_panics() {
+        let _ = scaled_persona("gcc", &RunScale::default());
+    }
+}

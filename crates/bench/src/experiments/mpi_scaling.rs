@@ -1,0 +1,135 @@
+//! MPI scaling, measured operationally (extension — no paper counterpart).
+//!
+//! Fig. 5 argues from the model that MPI jobs degrade with scale because
+//! any rank's failure fails the whole job. With the `aic-mpi` substrate the
+//! same claim can be *measured*: run a coordinated bulk-synchronous job at
+//! increasing rank counts and score the job-level NET², under both the
+//! fixed-interval discipline and the similarity-coordinated adaptive one
+//! (the paper's future work).
+
+use aic_memsim::workloads::generic::PhasedWorkload;
+use aic_memsim::{SimProcess, SimTime};
+use aic_mpi::engine::{run_mpi_engine, MpiEngineConfig};
+use aic_mpi::job::{CommPattern, MpiJob};
+
+use crate::experiments::RunScale;
+use crate::output::{f, markdown_table, pct};
+
+/// One rank-count measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpiRow {
+    /// Rank count.
+    pub ranks: usize,
+    /// Fixed-interval coordinated NET².
+    pub fixed: f64,
+    /// Similarity-coordinated (adaptive) NET².
+    pub adaptive: f64,
+    /// Mean coordinated checkpoint size, MB.
+    pub mean_ckpt_mb: f64,
+}
+
+/// Default rank counts.
+pub const DEFAULT_RANKS: [usize; 4] = [2, 4, 8, 16];
+
+fn make_job(ranks: usize, secs: f64, seed: u64) -> MpiJob {
+    MpiJob::new(
+        ranks,
+        move |rank| {
+            SimProcess::new(Box::new(PhasedWorkload::new(
+                format!("rank{rank}"),
+                seed + rank as u64,
+                512,
+                8.0,
+                2.0,
+                1,
+                15,
+                SimTime::from_secs(secs),
+            )))
+        },
+        CommPattern::Ring,
+        0.5,
+        2048,
+        0.1,
+        seed,
+    )
+}
+
+/// Run the scaling sweep.
+pub fn run(ranks: &[usize], scale: &RunScale) -> Vec<MpiRow> {
+    let secs = (240.0 * scale.duration).max(40.0);
+    ranks
+        .iter()
+        .map(|&n| {
+            let mut cfg = MpiEngineConfig::testbed(10.0);
+            cfg.b3 = 300e3; // congested remote share, where timing matters
+            let fixed = run_mpi_engine(make_job(n, secs, scale.seed), &cfg);
+            cfg.adaptive = true;
+            let adaptive = run_mpi_engine(make_job(n, secs, scale.seed), &cfg);
+            let cks: Vec<_> = fixed
+                .intervals
+                .iter()
+                .filter(|r| r.raw_bytes > 0)
+                .collect();
+            let mean_ckpt_mb = if cks.is_empty() {
+                0.0
+            } else {
+                cks.iter().map(|r| r.ds_bytes as f64).sum::<f64>() / cks.len() as f64 / 1e6
+            };
+            MpiRow {
+                ranks: n,
+                fixed: fixed.net2,
+                adaptive: adaptive.net2,
+                mean_ckpt_mb,
+            }
+        })
+        .collect()
+}
+
+/// Render the sweep.
+pub fn render(rows: &[MpiRow]) -> String {
+    markdown_table(
+        &["ranks", "fixed NET²", "adaptive NET²", "adaptive gain", "ckpt (MB)"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.ranks.to_string(),
+                    f(r.fixed),
+                    f(r.adaptive),
+                    pct(1.0 - r.adaptive / r.fixed),
+                    f(r.mean_ckpt_mb),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net2_degrades_with_rank_count() {
+        let scale = RunScale {
+            footprint: 0.12,
+            duration: 0.25,
+            seed: 19,
+        };
+        let rows = run(&[2, 8], &scale);
+        assert!(
+            rows[1].fixed > rows[0].fixed,
+            "8 ranks {:.4} vs 2 ranks {:.4}",
+            rows[1].fixed,
+            rows[0].fixed
+        );
+        for r in &rows {
+            assert!(
+                r.adaptive <= r.fixed * 1.05,
+                "ranks {}: adaptive {:.4} vs fixed {:.4}",
+                r.ranks,
+                r.adaptive,
+                r.fixed
+            );
+        }
+    }
+}

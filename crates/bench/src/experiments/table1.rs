@@ -1,0 +1,58 @@
+//! Table 1: LANL system characteristics and candidate-job fractions.
+//!
+//! Thin wrapper over `aic-trace` (synthetic logs — see DESIGN.md for the
+//! substitution note).
+
+use aic_trace::{table1 as trace_table1, SchedulerKind, Table1Row};
+
+use crate::output::{markdown_table, pct};
+
+/// Regenerate the table on `jobs` synthetic jobs per system.
+pub fn run(jobs: usize, seed: u64) -> Vec<Table1Row> {
+    trace_table1(jobs, seed)
+}
+
+/// Render as the paper's Table 1 layout.
+pub fn render(rows: &[Table1Row]) -> String {
+    markdown_table(
+        &[
+            "System ID",
+            "Type",
+            "# nodes",
+            "cores/node",
+            "% candidate jobs",
+            "% after rescheduling",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.spec.id.to_string(),
+                    match (r.spec.nodes, r.spec.scheduler) {
+                        (1, _) => "NUMA".to_string(),
+                        (_, SchedulerKind::Packing) => "Cluster (packing)".to_string(),
+                        (_, SchedulerKind::Spread) => "Cluster".to_string(),
+                    },
+                    r.spec.nodes.to_string(),
+                    r.spec.cores_per_node.to_string(),
+                    pct(r.candidate_fraction),
+                    pct(r.rectified_fraction),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_has_all_five_systems() {
+        let rows = run(400, 1);
+        let s = render(&rows);
+        for id in ["15", "20", "23", "8", "16"] {
+            assert!(s.contains(id), "missing system {id}\n{s}");
+        }
+    }
+}

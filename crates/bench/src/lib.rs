@@ -1,0 +1,31 @@
+//! # aic-bench — regenerates every table and figure of the paper
+//!
+//! One module per experiment, each exposing a `run(...)` returning plain
+//! rows plus a `render(...)` that prints the same table/series the paper
+//! reports. The `repro` binary dispatches on experiment id:
+//!
+//! ```text
+//! cargo run --release -p aic-bench --bin repro -- all
+//! cargo run --release -p aic-bench --bin repro -- fig11 --scale 0.5
+//! ```
+//!
+//! | Module    | Paper artifact |
+//! |-----------|----------------|
+//! | [`fig2`]  | Normalized delta latency/size vs checkpoint time (sjeng, lbm, bzip2) |
+//! | [`table1`]| LANL candidate jobs, before/after rectified scheduling |
+//! | [`fig5`]  | NET² of the MPI job vs system size, four models |
+//! | [`fig6`]  | NET² of the RMS job vs system size, four models |
+//! | [`fig7`]  | NET² of L2L3 vs sharing factor × system size |
+//! | [`table3`]| Per-benchmark compressor performance and AIC overhead |
+//! | [`fig11`] | NET² of six benchmarks under AIC / SIC / Moody |
+//! | [`fig12`] | NET² of milc, AIC vs SIC, system scale 0.25×–4× |
+//!
+//! Absolute numbers differ from the paper (our substrate is a simulator,
+//! not a Dell R610 + Coastal); EXPERIMENTS.md records the shape checks.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod output;
+
+pub use experiments::{ablation, fig11, fig12, fig2, fig5, fig6, fig7, fleet_sharing, mpi_scaling, regret, table1, table3, validate};

@@ -1,0 +1,283 @@
+//! Checkpoint chains and restore.
+//!
+//! Restarting from an incremental checkpoint requires the last **full**
+//! checkpoint plus *every* incremental checkpoint taken after it, replayed
+//! in order (paper Section II.A). A [`CheckpointChain`] owns that sequence,
+//! validates its structure, and reconstructs the process image at any
+//! checkpoint in the chain.
+
+use std::collections::BTreeSet;
+
+use aic_delta::decode::DecodeError;
+use aic_delta::pa::pa_decode;
+use aic_memsim::Snapshot;
+
+use crate::format::{CheckpointFile, CheckpointKind, Payload};
+
+/// Why a restore failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// The chain is empty.
+    Empty,
+    /// No checkpoint with the requested sequence number.
+    NoSuchSeq(u64),
+    /// A page delta failed to apply (corruption or wrong base).
+    Delta(DecodeError),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Empty => write!(f, "empty checkpoint chain"),
+            RestoreError::NoSuchSeq(s) => write!(f, "no checkpoint with seq {s}"),
+            RestoreError::Delta(e) => write!(f, "delta apply failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// An ordered chain of checkpoints: one full checkpoint followed by
+/// incremental / delta-compressed checkpoints.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointChain {
+    files: Vec<CheckpointFile>,
+}
+
+impl CheckpointChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of checkpoints in the chain.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True if the chain holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Sequence number of the newest checkpoint, if any.
+    pub fn latest_seq(&self) -> Option<u64> {
+        self.files.last().map(|f| f.seq)
+    }
+
+    /// Sum of serialized sizes — the cumulative L1 storage the chain holds,
+    /// which is why systems periodically cut a fresh full checkpoint.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.files.iter().map(CheckpointFile::wire_len).sum()
+    }
+
+    /// Append a checkpoint.
+    ///
+    /// # Panics
+    /// Panics if the first checkpoint is not full, a later one is full (cut
+    /// a new chain instead), or sequence numbers do not strictly increase.
+    pub fn push(&mut self, file: CheckpointFile) {
+        if self.files.is_empty() {
+            assert_eq!(
+                file.kind,
+                CheckpointKind::Full,
+                "a chain must start with a full checkpoint"
+            );
+        } else {
+            assert_ne!(
+                file.kind,
+                CheckpointKind::Full,
+                "full checkpoint starts a new chain"
+            );
+            assert!(
+                file.seq > self.files.last().unwrap().seq,
+                "sequence numbers must increase"
+            );
+        }
+        self.files.push(file);
+    }
+
+    /// Reconstruct the process image at the newest checkpoint.
+    pub fn restore_latest(&self) -> Result<Snapshot, RestoreError> {
+        let seq = self.latest_seq().ok_or(RestoreError::Empty)?;
+        self.restore_at(seq)
+    }
+
+    /// Reconstruct the process image as of checkpoint `seq`: replay the full
+    /// checkpoint, then overlay each incremental/delta up to and including
+    /// `seq`, applying page frees from each checkpoint's live-page set.
+    pub fn restore_at(&self, seq: u64) -> Result<Snapshot, RestoreError> {
+        if self.files.is_empty() {
+            return Err(RestoreError::Empty);
+        }
+        if !self.files.iter().any(|f| f.seq == seq) {
+            return Err(RestoreError::NoSuchSeq(seq));
+        }
+
+        let mut state = Snapshot::new();
+        for file in self.files.iter().take_while(|f| f.seq <= seq) {
+            match &file.payload {
+                Payload::Pages(pages) => state.overlay(pages),
+                Payload::Delta(df) => {
+                    let dirty = pa_decode(&state, df).map_err(RestoreError::Delta)?;
+                    state.overlay(&dirty);
+                }
+            }
+            // Apply frees: drop pages absent from this checkpoint's live set.
+            let keep: BTreeSet<u64> = file.live_pages.iter().copied().collect();
+            state.retain_indices(&keep);
+        }
+        Ok(state)
+    }
+
+    /// Iterate the files in order.
+    pub fn files(&self) -> &[CheckpointFile] {
+        &self.files
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aic_delta::pa::{pa_encode, PaParams};
+    use aic_memsim::{Page, PAGE_SIZE};
+    use bytes::Bytes;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn page(seed: u64) -> Page {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        rng.fill(&mut buf[..]);
+        Page::from_bytes(&buf)
+    }
+
+    /// Reproduce the paper's Scenario 1 (Fig. 1): pages A..G, allocate H/I,
+    /// modify, free C, verify each restore point.
+    #[test]
+    fn scenario_one_restores_exactly() {
+        // Checkpoint 1 (full): pages 0..=6 (A..G).
+        let v1: Vec<Page> = (0..7).map(|i| page(100 + i)).collect();
+        let snap1 =
+            Snapshot::from_pages(v1.iter().cloned().enumerate().map(|(i, p)| (i as u64, p)));
+
+        // Before ckpt 2: allocate H(7), I(8); modify A,B,D,E,H,I.
+        let mut state2 = snap1.clone();
+        for &i in &[0u64, 1, 3, 4] {
+            state2.insert(i, page(200 + i));
+        }
+        state2.insert(7, page(207));
+        state2.insert(8, page(208));
+        let dirty2 = Snapshot::from_pages(
+            [0u64, 1, 3, 4, 7, 8]
+                .into_iter()
+                .map(|i| (i, state2.get(i).unwrap().clone())),
+        );
+
+        // Before ckpt 3: free C(2); modify D,E,F,G.
+        let mut state3 = state2.clone();
+        state3.remove(2);
+        for &i in &[3u64, 4, 5, 6] {
+            state3.insert(i, page(300 + i));
+        }
+        let dirty3 = Snapshot::from_pages(
+            [3u64, 4, 5, 6]
+                .into_iter()
+                .map(|i| (i, state3.get(i).unwrap().clone())),
+        );
+
+        let mut chain = CheckpointChain::new();
+        chain.push(CheckpointFile::full(1, 0, snap1.clone(), Bytes::new()));
+        chain.push(CheckpointFile::incremental(
+            1,
+            1,
+            dirty2,
+            (0..=8).collect(),
+            Bytes::new(),
+        ));
+        let (df, _) = pa_encode(&state2, &dirty3, &PaParams::default());
+        chain.push(CheckpointFile::delta(
+            1,
+            2,
+            df,
+            vec![0, 1, 3, 4, 5, 6, 7, 8],
+            Bytes::new(),
+        ));
+
+        assert_eq!(chain.restore_at(0).unwrap(), snap1);
+        assert_eq!(chain.restore_at(1).unwrap(), state2);
+        let restored3 = chain.restore_latest().unwrap();
+        assert_eq!(restored3, state3);
+        assert!(restored3.get(2).is_none(), "freed page C must be gone");
+    }
+
+    #[test]
+    fn empty_chain_errors() {
+        let chain = CheckpointChain::new();
+        assert_eq!(chain.restore_latest(), Err(RestoreError::Empty));
+    }
+
+    #[test]
+    fn unknown_seq_errors() {
+        let mut chain = CheckpointChain::new();
+        chain.push(CheckpointFile::full(
+            1,
+            0,
+            Snapshot::from_pages([(0, page(1))]),
+            Bytes::new(),
+        ));
+        assert_eq!(chain.restore_at(9), Err(RestoreError::NoSuchSeq(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must start with a full")]
+    fn chain_must_start_full() {
+        let mut chain = CheckpointChain::new();
+        chain.push(CheckpointFile::incremental(
+            1,
+            0,
+            Snapshot::new(),
+            vec![],
+            Bytes::new(),
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence numbers")]
+    fn non_increasing_seq_rejected() {
+        let mut chain = CheckpointChain::new();
+        chain.push(CheckpointFile::full(
+            1,
+            5,
+            Snapshot::from_pages([(0, page(1))]),
+            Bytes::new(),
+        ));
+        chain.push(CheckpointFile::incremental(
+            1,
+            5,
+            Snapshot::new(),
+            vec![0],
+            Bytes::new(),
+        ));
+    }
+
+    #[test]
+    fn total_wire_bytes_accumulates() {
+        let mut chain = CheckpointChain::new();
+        chain.push(CheckpointFile::full(
+            1,
+            0,
+            Snapshot::from_pages([(0, page(1)), (1, page(2))]),
+            Bytes::new(),
+        ));
+        let one = chain.total_wire_bytes();
+        chain.push(CheckpointFile::incremental(
+            1,
+            1,
+            Snapshot::from_pages([(0, page(3))]),
+            vec![0, 1],
+            Bytes::new(),
+        ));
+        assert!(chain.total_wire_bytes() > one);
+    }
+}

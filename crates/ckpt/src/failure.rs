@@ -1,0 +1,180 @@
+//! Exponential failure injection.
+//!
+//! Samples the paper's failure process operationally: a Poisson stream per
+//! level (exponential inter-arrivals, independent levels — Section III.A),
+//! merged into a single ordered stream of `(time, level)` events for the
+//! discrete-event simulator and the engine's failure-replay mode.
+
+use rand::Rng;
+use rand_distr_exp::sample_exp;
+
+use aic_model::FailureRates;
+
+/// One injected failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureEvent {
+    /// Absolute time of the failure, seconds.
+    pub at: f64,
+    /// Failure level (1-based, as in the paper).
+    pub level: usize,
+}
+
+/// A seeded exponential failure injector.
+#[derive(Debug, Clone)]
+pub struct FailureInjector {
+    rates: FailureRates,
+    now: f64,
+}
+
+impl FailureInjector {
+    /// Injector starting at time 0.
+    pub fn new(rates: FailureRates) -> Self {
+        FailureInjector { rates, now: 0.0 }
+    }
+
+    /// The rates driving this injector.
+    pub fn rates(&self) -> &FailureRates {
+        &self.rates
+    }
+
+    /// Sample the next failure after the current position and advance to it.
+    ///
+    /// Merged-stream property: the next event of the superposition of the
+    /// per-level Poisson processes is exponential with the total rate, and
+    /// its level is chosen proportionally to the level rates.
+    pub fn next_failure<R: Rng>(&mut self, rng: &mut R) -> FailureEvent {
+        let total = self.rates.total();
+        assert!(total > 0.0, "injector needs a positive total rate");
+        let dt = sample_exp(rng, total);
+        self.now += dt;
+        let mut u: f64 = rng.gen::<f64>() * total;
+        let mut level = self.rates.levels();
+        for k in 1..=self.rates.levels() {
+            if u < self.rates.rate(k) {
+                level = k;
+                break;
+            }
+            u -= self.rates.rate(k);
+        }
+        FailureEvent {
+            at: self.now,
+            level,
+        }
+    }
+
+    /// Generate every failure event up to `horizon` (absolute time).
+    pub fn failures_until<R: Rng>(&mut self, horizon: f64, rng: &mut R) -> Vec<FailureEvent> {
+        let mut out = Vec::new();
+        if self.rates.total() == 0.0 {
+            return out;
+        }
+        loop {
+            let peek = {
+                let total = self.rates.total();
+                sample_exp(rng, total)
+            };
+            if self.now + peek > horizon {
+                self.now = horizon;
+                return out;
+            }
+            self.now += peek;
+            let mut u: f64 = rng.gen::<f64>() * self.rates.total();
+            let mut level = self.rates.levels();
+            for k in 1..=self.rates.levels() {
+                if u < self.rates.rate(k) {
+                    level = k;
+                    break;
+                }
+                u -= self.rates.rate(k);
+            }
+            out.push(FailureEvent {
+                at: self.now,
+                level,
+            });
+        }
+    }
+}
+
+/// Minimal exponential sampling (inverse transform) so we do not need the
+/// `rand_distr` crate.
+mod rand_distr_exp {
+    use rand::Rng;
+
+    /// Sample `Exp(rate)` via inverse transform on a uniform in (0, 1].
+    pub fn sample_exp<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+        assert!(rate > 0.0);
+        // 1 - gen::<f64>() lies in (0, 1], avoiding ln(0).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interarrival_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut inj = FailureInjector::new(FailureRates::three(5e-3, 3e-3, 2e-3));
+        let n = 50_000;
+        let mut prev = 0.0;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let e = inj.next_failure(&mut rng);
+            sum += e.at - prev;
+            prev = e.at;
+        }
+        let mean = sum / n as f64;
+        let expect = 1.0 / 1e-2;
+        assert!((mean - expect).abs() / expect < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn level_split_proportional() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut inj = FailureInjector::new(FailureRates::three(1.0, 3.0, 6.0));
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            let e = inj.next_failure(&mut rng);
+            counts[e.level - 1] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        let f2 = counts[1] as f64 / total as f64;
+        let f3 = counts[2] as f64 / total as f64;
+        assert!((f2 - 0.3).abs() < 0.02, "f2={f2}");
+        assert!((f3 - 0.6).abs() < 0.02, "f3={f3}");
+    }
+
+    #[test]
+    fn failures_until_bounded_and_ordered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut inj = FailureInjector::new(FailureRates::three(1e-2, 1e-2, 1e-2));
+        let events = inj.failures_until(10_000.0, &mut rng);
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].at < w[1].at));
+        assert!(events.last().unwrap().at <= 10_000.0);
+        // Expected count ≈ 3e-2 * 1e4 = 300.
+        assert!((events.len() as f64 - 300.0).abs() < 60.0, "{}", events.len());
+    }
+
+    #[test]
+    fn zero_rates_yield_no_failures() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut inj = FailureInjector::new(FailureRates::three(0.0, 0.0, 0.0));
+        assert!(inj.failures_until(1e9, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut inj = FailureInjector::new(FailureRates::three(1e-3, 2e-3, 3e-3));
+            inj.failures_until(50_000.0, &mut rng)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

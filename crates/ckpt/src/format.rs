@@ -1,0 +1,434 @@
+//! Checkpoint file format.
+//!
+//! A checkpoint file records (paper Section II.A, Fig. 1):
+//!
+//! * the **payload** — every resident page (full), only the dirty pages
+//!   (incremental), or the page-aligned delta of the dirty pages against
+//!   the previous checkpoint (delta-compressed);
+//! * the **live-page set** — which pages exist at checkpoint time, so a
+//!   restore can apply page frees (page C of Scenario 1);
+//! * a small **CPU-state blob** (registers, linkage, descriptors) which the
+//!   paper notes is a minor fraction and is never compressed;
+//! * a header with job id, sequence number, kind, and an FNV checksum over
+//!   the serialized body.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use aic_delta::inst::{get_varint, put_varint};
+use aic_delta::pa::{PaDeltaFile, PageRecord};
+use aic_delta::strong::fnv1a;
+use aic_memsim::{Page, PageIdx, Snapshot, PAGE_SIZE};
+
+/// What the payload contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// Every resident page (the very first checkpoint is always full).
+    Full,
+    /// Only pages dirtied since the previous checkpoint, stored raw.
+    Incremental,
+    /// Dirty pages delta-compressed against the previous checkpoint.
+    DeltaCompressed,
+}
+
+impl CheckpointKind {
+    fn tag(self) -> u8 {
+        match self {
+            CheckpointKind::Full => 0,
+            CheckpointKind::Incremental => 1,
+            CheckpointKind::DeltaCompressed => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(CheckpointKind::Full),
+            1 => Some(CheckpointKind::Incremental),
+            2 => Some(CheckpointKind::DeltaCompressed),
+            _ => None,
+        }
+    }
+}
+
+/// Payload variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Raw pages (full or incremental checkpoints).
+    Pages(Snapshot),
+    /// Page-aligned delta file (delta-compressed checkpoints).
+    Delta(PaDeltaFile),
+}
+
+/// A checkpoint file, in memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointFile {
+    /// Job identifier.
+    pub job: u64,
+    /// Sequence number within the job (0 = first, always full).
+    pub seq: u64,
+    /// Payload kind.
+    pub kind: CheckpointKind,
+    /// Page payload.
+    pub payload: Payload,
+    /// Sorted indices of every page resident at checkpoint time.
+    pub live_pages: Vec<PageIdx>,
+    /// Uncompressed CPU/process state (registers, linkage, fds).
+    pub cpu_state: Bytes,
+}
+
+/// File magic: "AICK".
+const MAGIC: [u8; 4] = *b"AICK";
+
+/// Errors from [`CheckpointFile::from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Wrong magic or truncated header.
+    BadHeader,
+    /// Unknown kind tag or malformed section.
+    Malformed,
+    /// Body checksum mismatch — the file is corrupt.
+    Corrupt,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "bad checkpoint header"),
+            ParseError::Malformed => write!(f, "malformed checkpoint body"),
+            ParseError::Corrupt => write!(f, "checkpoint checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl CheckpointFile {
+    /// Construct a full checkpoint from a snapshot of all resident pages.
+    pub fn full(job: u64, seq: u64, snap: Snapshot, cpu_state: Bytes) -> Self {
+        let live_pages = snap.indices().collect();
+        CheckpointFile {
+            job,
+            seq,
+            kind: CheckpointKind::Full,
+            payload: Payload::Pages(snap),
+            live_pages,
+            cpu_state,
+        }
+    }
+
+    /// Construct an incremental checkpoint from the dirty-page snapshot and
+    /// the live-page set at checkpoint time.
+    pub fn incremental(
+        job: u64,
+        seq: u64,
+        dirty: Snapshot,
+        live_pages: Vec<PageIdx>,
+        cpu_state: Bytes,
+    ) -> Self {
+        CheckpointFile {
+            job,
+            seq,
+            kind: CheckpointKind::Incremental,
+            payload: Payload::Pages(dirty),
+            live_pages,
+            cpu_state,
+        }
+    }
+
+    /// Construct a delta-compressed checkpoint.
+    pub fn delta(
+        job: u64,
+        seq: u64,
+        delta: PaDeltaFile,
+        live_pages: Vec<PageIdx>,
+        cpu_state: Bytes,
+    ) -> Self {
+        CheckpointFile {
+            job,
+            seq,
+            kind: CheckpointKind::DeltaCompressed,
+            payload: Payload::Delta(delta),
+            live_pages,
+            cpu_state,
+        }
+    }
+
+    /// Serialize to bytes (what gets written to L1 and shipped to L2/L3).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut body = BytesMut::with_capacity(1024);
+        put_varint(&mut body, self.job);
+        put_varint(&mut body, self.seq);
+        body.put_u8(self.kind.tag());
+
+        put_varint(&mut body, self.live_pages.len() as u64);
+        let mut prev = 0u64;
+        for (i, &p) in self.live_pages.iter().enumerate() {
+            // Delta-encode the sorted page list.
+            let d = if i == 0 { p } else { p - prev };
+            put_varint(&mut body, d);
+            prev = p;
+        }
+
+        put_varint(&mut body, self.cpu_state.len() as u64);
+        body.put_slice(&self.cpu_state);
+
+        match &self.payload {
+            Payload::Pages(snap) => {
+                body.put_u8(0);
+                put_varint(&mut body, snap.len() as u64);
+                for (idx, page) in snap.iter() {
+                    put_varint(&mut body, idx);
+                    body.put_slice(page.as_slice());
+                }
+            }
+            Payload::Delta(file) => {
+                body.put_u8(1);
+                put_varint(&mut body, file.records.len() as u64);
+                for rec in &file.records {
+                    match rec {
+                        PageRecord::Raw { idx, data } => {
+                            body.put_u8(0);
+                            put_varint(&mut body, *idx);
+                            body.put_slice(data);
+                        }
+                        PageRecord::Delta { idx, delta } => {
+                            body.put_u8(1);
+                            put_varint(&mut body, *idx);
+                            put_varint(&mut body, delta.source_len);
+                            put_varint(&mut body, delta.target_len);
+                            body.put_u64_le(delta.target_checksum);
+                            put_varint(&mut body, delta.payload.len() as u64);
+                            body.put_slice(&delta.payload);
+                        }
+                    }
+                }
+            }
+        }
+
+        let body = body.freeze();
+        let mut out = BytesMut::with_capacity(body.len() + 16);
+        out.put_slice(&MAGIC);
+        out.put_u64_le(fnv1a(&body));
+        out.put_slice(&body);
+        out.freeze()
+    }
+
+    /// Parse a serialized checkpoint, validating magic and checksum.
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, ParseError> {
+        if data.len() < 12 || data[0..4] != MAGIC {
+            return Err(ParseError::BadHeader);
+        }
+        data.advance(4);
+        let checksum = data.get_u64_le();
+        if fnv1a(&data) != checksum {
+            return Err(ParseError::Corrupt);
+        }
+
+        let mut buf = data;
+        let job = get_varint(&mut buf).ok_or(ParseError::Malformed)?;
+        let seq = get_varint(&mut buf).ok_or(ParseError::Malformed)?;
+        if !buf.has_remaining() {
+            return Err(ParseError::Malformed);
+        }
+        let kind = CheckpointKind::from_tag(buf.get_u8()).ok_or(ParseError::Malformed)?;
+
+        let live_count = get_varint(&mut buf).ok_or(ParseError::Malformed)? as usize;
+        let mut live_pages = Vec::with_capacity(live_count);
+        let mut prev = 0u64;
+        for i in 0..live_count {
+            let d = get_varint(&mut buf).ok_or(ParseError::Malformed)?;
+            let p = if i == 0 { d } else { prev + d };
+            live_pages.push(p);
+            prev = p;
+        }
+
+        let cpu_len = get_varint(&mut buf).ok_or(ParseError::Malformed)? as usize;
+        if buf.remaining() < cpu_len {
+            return Err(ParseError::Malformed);
+        }
+        let cpu_state = buf.copy_to_bytes(cpu_len);
+
+        if !buf.has_remaining() {
+            return Err(ParseError::Malformed);
+        }
+        let payload = match buf.get_u8() {
+            0 => {
+                let count = get_varint(&mut buf).ok_or(ParseError::Malformed)? as usize;
+                let mut snap = Snapshot::new();
+                for _ in 0..count {
+                    let idx = get_varint(&mut buf).ok_or(ParseError::Malformed)?;
+                    if buf.remaining() < PAGE_SIZE {
+                        return Err(ParseError::Malformed);
+                    }
+                    let bytes = buf.copy_to_bytes(PAGE_SIZE);
+                    snap.insert(idx, Page::from_bytes(&bytes));
+                }
+                Payload::Pages(snap)
+            }
+            1 => {
+                let count = get_varint(&mut buf).ok_or(ParseError::Malformed)? as usize;
+                let mut file = PaDeltaFile::default();
+                for _ in 0..count {
+                    if !buf.has_remaining() {
+                        return Err(ParseError::Malformed);
+                    }
+                    match buf.get_u8() {
+                        0 => {
+                            let idx = get_varint(&mut buf).ok_or(ParseError::Malformed)?;
+                            if buf.remaining() < PAGE_SIZE {
+                                return Err(ParseError::Malformed);
+                            }
+                            let data = buf.copy_to_bytes(PAGE_SIZE);
+                            file.records.push(PageRecord::Raw { idx, data });
+                        }
+                        1 => {
+                            let idx = get_varint(&mut buf).ok_or(ParseError::Malformed)?;
+                            let source_len = get_varint(&mut buf).ok_or(ParseError::Malformed)?;
+                            let target_len = get_varint(&mut buf).ok_or(ParseError::Malformed)?;
+                            if buf.remaining() < 8 {
+                                return Err(ParseError::Malformed);
+                            }
+                            let target_checksum = buf.get_u64_le();
+                            let plen = get_varint(&mut buf).ok_or(ParseError::Malformed)? as usize;
+                            if buf.remaining() < plen {
+                                return Err(ParseError::Malformed);
+                            }
+                            let payload = buf.copy_to_bytes(plen);
+                            file.records.push(PageRecord::Delta {
+                                idx,
+                                delta: aic_delta::encode::Delta {
+                                    source_len,
+                                    target_len,
+                                    target_checksum,
+                                    payload,
+                                },
+                            });
+                        }
+                        _ => return Err(ParseError::Malformed),
+                    }
+                }
+                Payload::Delta(file)
+            }
+            _ => return Err(ParseError::Malformed),
+        };
+        if buf.has_remaining() {
+            return Err(ParseError::Malformed);
+        }
+
+        Ok(CheckpointFile {
+            job,
+            seq,
+            kind,
+            payload,
+            live_pages,
+            cpu_state,
+        })
+    }
+
+    /// Serialized size in bytes (what bandwidth models charge for).
+    pub fn wire_len(&self) -> u64 {
+        self.to_bytes().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aic_delta::pa::{pa_encode, PaParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_snapshot(n: usize, seed: u64) -> Snapshot {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Snapshot::from_pages((0..n).map(|i| {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            rng.fill(&mut buf[..]);
+            (i as u64 * 3, Page::from_bytes(&buf))
+        }))
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let snap = random_snapshot(5, 1);
+        let f = CheckpointFile::full(7, 0, snap.clone(), Bytes::from_static(b"cpu"));
+        let parsed = CheckpointFile::from_bytes(f.to_bytes()).unwrap();
+        assert_eq!(parsed, f);
+        assert_eq!(parsed.kind, CheckpointKind::Full);
+        match parsed.payload {
+            Payload::Pages(s) => assert_eq!(s, snap),
+            _ => panic!("wrong payload"),
+        }
+    }
+
+    #[test]
+    fn incremental_roundtrip_preserves_live_pages() {
+        let dirty = random_snapshot(3, 2);
+        let live = vec![0u64, 3, 6, 9, 100];
+        let f = CheckpointFile::incremental(1, 4, dirty, live.clone(), Bytes::new());
+        let parsed = CheckpointFile::from_bytes(f.to_bytes()).unwrap();
+        assert_eq!(parsed.live_pages, live);
+        assert_eq!(parsed.seq, 4);
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let prev = random_snapshot(4, 4);
+        let mut dirty = Snapshot::new();
+        // One hot page with a small edit, one new page.
+        let mut bytes = prev.get(0).unwrap().as_slice().to_vec();
+        for b in &mut bytes[0..100] {
+            *b = rng.gen();
+        }
+        dirty.insert(0, Page::from_bytes(&bytes));
+        dirty.insert(50, random_snapshot(1, 5).get(0).unwrap().clone());
+
+        let (file, _) = pa_encode(&prev, &dirty, &PaParams::default());
+        let f = CheckpointFile::delta(9, 2, file, vec![0, 3, 6, 9, 50], Bytes::new());
+        let parsed = CheckpointFile::from_bytes(f.to_bytes()).unwrap();
+        assert_eq!(parsed, f);
+        // And the payload still decodes.
+        match parsed.payload {
+            Payload::Delta(df) => {
+                let restored = aic_delta::pa::pa_decode(&prev, &df).unwrap();
+                assert_eq!(restored, dirty);
+            }
+            _ => panic!("wrong payload"),
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let f = CheckpointFile::full(1, 0, random_snapshot(2, 6), Bytes::new());
+        let bytes = f.to_bytes();
+        let mut corrupt = BytesMut::from(&bytes[..]);
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xFF;
+        assert_eq!(
+            CheckpointFile::from_bytes(corrupt.freeze()),
+            Err(ParseError::Corrupt)
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let f = CheckpointFile::full(1, 0, random_snapshot(2, 7), Bytes::new());
+        let bytes = f.to_bytes();
+        let truncated = bytes.slice(0..bytes.len() - 10);
+        assert!(CheckpointFile::from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            CheckpointFile::from_bytes(Bytes::from_static(b"NOPE00000000")),
+            Err(ParseError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn wire_len_tracks_payload() {
+        let small = CheckpointFile::full(1, 0, random_snapshot(1, 8), Bytes::new());
+        let big = CheckpointFile::full(1, 0, random_snapshot(10, 9), Bytes::new());
+        assert!(big.wire_len() > 9 * small.wire_len() / 2);
+    }
+}

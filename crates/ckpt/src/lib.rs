@@ -1,0 +1,49 @@
+//! # aic-ckpt — the checkpoint engine and its storage/failure substrate
+//!
+//! Everything between the simulated process ([`aic_memsim`]) and the
+//! analytic models ([`aic_model`]): the moving parts of the paper's testbed
+//! (Fig. 9 / Fig. 10).
+//!
+//! * [`format`] — checkpoint files: full, incremental, and delta-compressed
+//!   payloads with live-page sets, serialization and integrity checksums;
+//! * [`chain`] — checkpoint chains and **restore**: last full checkpoint +
+//!   every later incremental/delta replayed in order;
+//! * [`storage`] — the three checkpoint levels: L1 local disk, L2 RAID-5
+//!   node group (real striping + parity + degraded-mode reconstruction),
+//!   L3 remote storage, each behind a bandwidth model;
+//! * [`failure`] — exponential per-level failure injection;
+//! * [`recovery`] — the multi-level storage hierarchy and restart path:
+//!   commit to L1/L2/L3, inject level-k failures, recover from the
+//!   cheapest surviving copy;
+//! * [`engine`] — runs a workload under a pluggable checkpoint *policy*,
+//!   producing per-interval records (`w`, `c1`, `dl`, `ds`, `c2`, `c3`) and
+//!   the run's NET² via the non-static model (Eq. (1));
+//! * [`fleet`] — several processes sharing one checkpointing core (the
+//!   sharing factor of Fig. 7, measured through real FIFO contention
+//!   instead of an assumed even split);
+//! * [`policies`] — the static baselines: fixed-interval SIC and the
+//!   full-checkpoint Moody configuration (the adaptive policy is
+//!   `aic-core`'s contribution);
+//! * [`sim`] — an *independently coded* discrete-event Monte-Carlo
+//!   simulator of the concurrent-L2L3 and Moody operational semantics, used
+//!   to cross-validate the Markov models;
+//! * [`concurrent`] — a real dedicated checkpointing-core thread
+//!   (compression + remote transfer off the critical path), demonstrating
+//!   the wall-clock concurrency the paper exploits.
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod concurrent;
+pub mod engine;
+pub mod failure;
+pub mod fleet;
+pub mod format;
+pub mod policies;
+pub mod recovery;
+pub mod sim;
+pub mod storage;
+
+pub use chain::CheckpointChain;
+pub use engine::{run_engine, EngineConfig, EngineReport, IntervalRecord};
+pub use format::{CheckpointFile, CheckpointKind};

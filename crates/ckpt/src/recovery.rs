@@ -1,0 +1,335 @@
+//! The multi-level storage hierarchy and the recovery manager.
+//!
+//! Ties the storage levels together the way the paper's system would at
+//! restart time: every committed checkpoint lives on L1 (local disk), L2
+//! (RAID-5 node group) and L3 (remote storage); a failure destroys some of
+//! those copies; recovery reads the cheapest level that survived,
+//! reconstructs the chain, and replays it into a process image.
+//!
+//! Failure semantics (paper Section III.A):
+//!
+//! * **f1** (transient): nothing is lost — recover from the local disk;
+//! * **f2** (partial node failure): the local disk of the failed node is
+//!   gone and one RAID peer may be down — recover from the (possibly
+//!   degraded) RAID group;
+//! * **f3** (total node failure): local disk and the node's RAID share are
+//!   gone — recover from remote storage.
+
+use crate::chain::CheckpointChain;
+use crate::format::CheckpointFile;
+use crate::storage::{BandwidthModel, FlatStore, Raid5Group, Receipt, Store};
+use aic_memsim::Snapshot;
+
+/// Which level a recovery was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryLevel {
+    /// L1, the local disk.
+    Local,
+    /// L2, the RAID-5 node group (possibly in degraded mode).
+    Raid,
+    /// L3, remote storage.
+    Remote,
+}
+
+/// A recovered process image plus provenance.
+#[derive(Debug)]
+pub struct RecoveredImage {
+    /// The reconstructed memory image.
+    pub snapshot: Snapshot,
+    /// Which level served the recovery.
+    pub level: RecoveryLevel,
+    /// Sequence number of the newest checkpoint recovered.
+    pub seq: u64,
+    /// Simulated read time (bandwidth model of the serving level).
+    pub read_seconds: f64,
+}
+
+/// Recovery failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryError {
+    /// No checkpoint has ever been committed.
+    NothingCommitted,
+    /// A checkpoint object was missing or corrupt at the serving level.
+    BadObject(String),
+    /// Chain replay failed.
+    Restore(String),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::NothingCommitted => write!(f, "no checkpoints committed"),
+            RecoveryError::BadObject(n) => write!(f, "missing/corrupt checkpoint object {n}"),
+            RecoveryError::Restore(e) => write!(f, "chain restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Per-commit transfer receipts, one per level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommitReceipt {
+    /// L1 write.
+    pub local: Receipt,
+    /// L2 write (striping + parity included).
+    pub raid: Receipt,
+    /// L3 write.
+    pub remote: Receipt,
+}
+
+/// The three-level checkpoint store of one job.
+pub struct StorageHierarchy {
+    local: FlatStore,
+    raid: Raid5Group,
+    remote: FlatStore,
+    committed: Vec<u64>,
+}
+
+impl StorageHierarchy {
+    /// Build a hierarchy with the paper's testbed channel models: local
+    /// SATA disk ≈ 100 MB/s, RAID partner group at the per-node share of
+    /// 483 GB/s aggregate, Lustre share 2 MB/s.
+    pub fn coastal(raid_nodes: usize) -> Self {
+        StorageHierarchy {
+            local: FlatStore::new(BandwidthModel::new(100e6, 1e-3)),
+            raid: Raid5Group::new(raid_nodes, 256 << 10, BandwidthModel::new(471.7e6, 1e-3)),
+            remote: FlatStore::new(BandwidthModel::new(2e6, 10e-3)),
+            committed: Vec::new(),
+        }
+    }
+
+    /// Custom channel models.
+    pub fn new(local: FlatStore, raid: Raid5Group, remote: FlatStore) -> Self {
+        StorageHierarchy {
+            local,
+            raid,
+            remote,
+            committed: Vec::new(),
+        }
+    }
+
+    fn name(seq: u64) -> String {
+        format!("ckpt-{seq:08}")
+    }
+
+    /// Commit a checkpoint to all three levels.
+    ///
+    /// # Panics
+    /// Panics if sequence numbers do not strictly increase.
+    pub fn commit(&mut self, file: &CheckpointFile) -> CommitReceipt {
+        if let Some(&last) = self.committed.last() {
+            assert!(file.seq > last, "commit out of order: {} after {last}", file.seq);
+        }
+        let bytes = file.to_bytes();
+        let name = Self::name(file.seq);
+        let receipt = CommitReceipt {
+            local: self.local.put(&name, bytes.clone()),
+            raid: self.raid.put(&name, bytes.clone()),
+            remote: self.remote.put(&name, bytes),
+        };
+        self.committed.push(file.seq);
+        receipt
+    }
+
+    /// Sequence numbers committed so far.
+    pub fn committed(&self) -> &[u64] {
+        &self.committed
+    }
+
+    /// Inject a failure: destroy the copies that level-k failures destroy.
+    /// `raid_victim` selects which RAID node a partial failure takes down.
+    pub fn inject_failure(&mut self, level: usize, raid_victim: usize) {
+        match level {
+            1 => {} // transient: nothing durable is lost
+            2 => {
+                // Partial node failure: local disk contents of the failed
+                // node are unavailable; one RAID peer goes down with it.
+                self.wipe_local();
+                self.raid.fail_node(raid_victim % self.raid.node_count());
+            }
+            3 => {
+                // Total node failure: local disk gone and the RAID group's
+                // data for this job is lost with the node's share.
+                self.wipe_local();
+                self.wipe_raid();
+            }
+            other => panic!("unknown failure level {other}"),
+        }
+    }
+
+    fn wipe_local(&mut self) {
+        for &seq in &self.committed {
+            self.local.delete(&Self::name(seq));
+        }
+    }
+
+    fn wipe_raid(&mut self) {
+        for &seq in &self.committed {
+            self.raid.delete(&Self::name(seq));
+        }
+    }
+
+    /// Repair the RAID group (rebuild a failed node from parity).
+    pub fn repair_raid(&mut self) {
+        self.raid.repair_node();
+    }
+
+    /// Recover the newest image after a level-`level` failure, reading from
+    /// the cheapest surviving level.
+    pub fn recover(&self, level: usize) -> Result<RecoveredImage, RecoveryError> {
+        if self.committed.is_empty() {
+            return Err(RecoveryError::NothingCommitted);
+        }
+        let (store, recovery_level): (&dyn Store, RecoveryLevel) = match level {
+            1 => (&self.local, RecoveryLevel::Local),
+            2 => (&self.raid, RecoveryLevel::Raid),
+            3 => (&self.remote, RecoveryLevel::Remote),
+            other => panic!("unknown failure level {other}"),
+        };
+
+        let mut chain = CheckpointChain::new();
+        let mut read_bytes = 0u64;
+        for &seq in &self.committed {
+            let name = Self::name(seq);
+            let bytes = store
+                .get(&name)
+                .ok_or_else(|| RecoveryError::BadObject(name.clone()))?;
+            read_bytes += bytes.len() as u64;
+            let file = CheckpointFile::from_bytes(bytes)
+                .map_err(|e| RecoveryError::BadObject(format!("{name}: {e}")))?;
+            chain.push(file);
+        }
+        let snapshot = chain
+            .restore_latest()
+            .map_err(|e| RecoveryError::Restore(e.to_string()))?;
+        let read_seconds = match recovery_level {
+            RecoveryLevel::Local => read_bytes as f64 / 100e6,
+            RecoveryLevel::Raid => read_bytes as f64 / 471.7e6,
+            RecoveryLevel::Remote => read_bytes as f64 / 2e6,
+        };
+        Ok(RecoveredImage {
+            snapshot,
+            level: recovery_level,
+            seq: *self.committed.last().unwrap(),
+            read_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aic_delta::pa::{pa_encode, PaParams};
+    use aic_memsim::{Page, PAGE_SIZE};
+    use bytes::Bytes;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn page(seed: u64) -> Page {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = vec![0u8; PAGE_SIZE];
+        rng.fill(&mut b[..]);
+        Page::from_bytes(&b)
+    }
+
+    /// Build a hierarchy with a 3-checkpoint chain (full, incremental,
+    /// delta) and return it with the expected final state.
+    fn committed_hierarchy() -> (StorageHierarchy, Snapshot) {
+        let mut h = StorageHierarchy::coastal(4);
+
+        let full = Snapshot::from_pages([(0, page(1)), (1, page(2)), (2, page(3))]);
+        h.commit(&CheckpointFile::full(1, 0, full.clone(), Bytes::new()));
+
+        let mut state1 = full.clone();
+        state1.insert(1, page(20));
+        let dirty1 = Snapshot::from_pages([(1, page(20))]);
+        h.commit(&CheckpointFile::incremental(
+            1,
+            1,
+            dirty1,
+            vec![0, 1, 2],
+            Bytes::new(),
+        ));
+
+        let mut state2 = state1.clone();
+        state2.insert(0, page(30));
+        let dirty2 = Snapshot::from_pages([(0, page(30))]);
+        let (df, _) = pa_encode(&state1, &dirty2, &PaParams::default());
+        h.commit(&CheckpointFile::delta(1, 2, df, vec![0, 1, 2], Bytes::new()));
+
+        (h, state2)
+    }
+
+    #[test]
+    fn f1_recovers_from_local() {
+        let (mut h, truth) = committed_hierarchy();
+        h.inject_failure(1, 0);
+        let img = h.recover(1).unwrap();
+        assert_eq!(img.level, RecoveryLevel::Local);
+        assert_eq!(img.snapshot, truth);
+        assert_eq!(img.seq, 2);
+    }
+
+    #[test]
+    fn f2_recovers_from_degraded_raid() {
+        let (mut h, truth) = committed_hierarchy();
+        h.inject_failure(2, 1);
+        // Local is gone.
+        assert!(matches!(h.recover(1), Err(RecoveryError::BadObject(_))));
+        // Degraded RAID still serves.
+        let img = h.recover(2).unwrap();
+        assert_eq!(img.level, RecoveryLevel::Raid);
+        assert_eq!(img.snapshot, truth);
+    }
+
+    #[test]
+    fn f3_recovers_from_remote_only() {
+        let (mut h, truth) = committed_hierarchy();
+        h.inject_failure(3, 0);
+        assert!(h.recover(1).is_err());
+        assert!(h.recover(2).is_err());
+        let img = h.recover(3).unwrap();
+        assert_eq!(img.level, RecoveryLevel::Remote);
+        assert_eq!(img.snapshot, truth);
+        // Remote reads are slow: 2 MB/s.
+        assert!(img.read_seconds > 0.0);
+    }
+
+    #[test]
+    fn raid_repair_restores_redundancy() {
+        let (mut h, truth) = committed_hierarchy();
+        h.inject_failure(2, 0);
+        h.repair_raid();
+        // A second, different node can now fail and RAID still serves.
+        h.inject_failure(2, 2);
+        let img = h.recover(2).unwrap();
+        assert_eq!(img.snapshot, truth);
+    }
+
+    #[test]
+    fn empty_hierarchy_reports_nothing_committed() {
+        let h = StorageHierarchy::coastal(3);
+        assert_eq!(h.recover(1).unwrap_err(), RecoveryError::NothingCommitted);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_commit_rejected() {
+        let mut h = StorageHierarchy::coastal(3);
+        let snap = Snapshot::from_pages([(0, page(1))]);
+        h.commit(&CheckpointFile::full(1, 5, snap.clone(), Bytes::new()));
+        h.commit(&CheckpointFile::full(1, 4, snap, Bytes::new()));
+    }
+
+    #[test]
+    fn receipts_reflect_bandwidths() {
+        let mut h = StorageHierarchy::coastal(4);
+        let snap = Snapshot::from_pages((0..32u64).map(|i| (i, page(i))));
+        let r = h.commit(&CheckpointFile::full(1, 0, snap, Bytes::new()));
+        // Remote is the slowest channel by far.
+        assert!(r.remote.seconds > r.local.seconds);
+        assert!(r.local.seconds > r.raid.seconds);
+        assert_eq!(r.local.bytes, r.remote.bytes);
+    }
+}

@@ -1,0 +1,373 @@
+//! Checkpoint storage levels with bandwidth models.
+//!
+//! The paper's testbed (Fig. 10) keeps L1 on the physical node's disk and
+//! *simulates* L2 (RAID-5 node group) and L3 (remote storage) through their
+//! bandwidth parameters. We do the same — but the RAID-5 group is a real
+//! implementation: checkpoint bytes are striped across a node group with
+//! rotating XOR parity, a node can be failed, and reads reconstruct the
+//! missing stripe chunks from parity (degraded mode), which is exactly the
+//! resilience L2 buys against a single total-node failure.
+
+use std::collections::HashMap;
+
+use bytes::{Bytes, BytesMut};
+
+/// Simulated transfer timing for a store operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Receipt {
+    /// Bytes written.
+    pub bytes: u64,
+    /// Seconds the transfer occupied the store's channel.
+    pub seconds: f64,
+}
+
+/// A bandwidth-limited channel: fixed setup latency plus bytes/bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthModel {
+    /// Sustained bandwidth, bytes per second.
+    pub bytes_per_sec: f64,
+    /// Per-operation setup latency, seconds.
+    pub latency: f64,
+}
+
+impl BandwidthModel {
+    /// Construct; bandwidth must be positive.
+    pub fn new(bytes_per_sec: f64, latency: f64) -> Self {
+        assert!(bytes_per_sec > 0.0 && latency >= 0.0);
+        BandwidthModel {
+            bytes_per_sec,
+            latency,
+        }
+    }
+
+    /// Transfer time for `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bytes_per_sec
+    }
+}
+
+/// A named checkpoint object store.
+pub trait Store {
+    /// Write an object, returning the simulated transfer receipt.
+    fn put(&mut self, name: &str, data: Bytes) -> Receipt;
+    /// Read an object back (None if absent or unrecoverable).
+    fn get(&self, name: &str) -> Option<Bytes>;
+    /// Delete an object; returns true if it existed.
+    fn delete(&mut self, name: &str) -> bool;
+    /// Total bytes held.
+    fn stored_bytes(&self) -> u64;
+}
+
+/// L1 / L3: a flat object store behind a bandwidth model (local disk or
+/// remote parallel file system — same mechanics, different constants).
+#[derive(Debug, Clone)]
+pub struct FlatStore {
+    bw: BandwidthModel,
+    objects: HashMap<String, Bytes>,
+}
+
+impl FlatStore {
+    /// New store with the given channel model.
+    pub fn new(bw: BandwidthModel) -> Self {
+        FlatStore {
+            bw,
+            objects: HashMap::new(),
+        }
+    }
+}
+
+impl Store for FlatStore {
+    fn put(&mut self, name: &str, data: Bytes) -> Receipt {
+        let r = Receipt {
+            bytes: data.len() as u64,
+            seconds: self.bw.transfer_time(data.len() as u64),
+        };
+        self.objects.insert(name.to_string(), data);
+        r
+    }
+
+    fn get(&self, name: &str) -> Option<Bytes> {
+        self.objects.get(name).cloned()
+    }
+
+    fn delete(&mut self, name: &str) -> bool {
+        self.objects.remove(name).is_some()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.objects.values().map(|b| b.len() as u64).sum()
+    }
+}
+
+/// L2: a RAID-5 group of `n` nodes. Objects are split into stripe rows of
+/// `n − 1` data chunks plus one parity chunk; the parity position rotates
+/// per row. Any single failed node can be reconstructed from the others.
+#[derive(Debug, Clone)]
+pub struct Raid5Group {
+    bw: BandwidthModel,
+    chunk_size: usize,
+    /// Per-node chunk maps: `nodes[i][name] = chunks held by node i`.
+    nodes: Vec<HashMap<String, Vec<Bytes>>>,
+    /// Object sizes, needed to strip padding on read.
+    sizes: HashMap<String, usize>,
+    /// Currently failed node, if any.
+    failed: Option<usize>,
+}
+
+impl Raid5Group {
+    /// Create a group of `n ≥ 3` nodes with the given stripe chunk size.
+    pub fn new(n: usize, chunk_size: usize, bw: BandwidthModel) -> Self {
+        assert!(n >= 3, "RAID-5 needs at least 3 nodes");
+        assert!(chunk_size > 0);
+        Raid5Group {
+            bw,
+            chunk_size,
+            nodes: vec![HashMap::new(); n],
+            sizes: HashMap::new(),
+            failed: None,
+        }
+    }
+
+    /// Number of nodes in the group.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fail a node: its chunks become unreadable until
+    /// [`Raid5Group::repair_node`].
+    pub fn fail_node(&mut self, node: usize) {
+        assert!(node < self.nodes.len());
+        assert!(self.failed.is_none(), "RAID-5 tolerates one failure");
+        self.failed = Some(node);
+    }
+
+    /// Repair the failed node: reconstruct all of its chunks from the
+    /// surviving nodes and mark it healthy again.
+    pub fn repair_node(&mut self) {
+        let Some(dead) = self.failed else { return };
+        let names: Vec<String> = self.sizes.keys().cloned().collect();
+        for name in names {
+            let rows = self.nodes[(dead + 1) % self.nodes.len()]
+                .get(&name)
+                .map_or(0, Vec::len);
+            let mut rebuilt = Vec::with_capacity(rows);
+            for row in 0..rows {
+                rebuilt.push(self.reconstruct_chunk(&name, row, dead));
+            }
+            self.nodes[dead].insert(name, rebuilt);
+        }
+        self.failed = None;
+    }
+
+    fn reconstruct_chunk(&self, name: &str, row: usize, dead: usize) -> Bytes {
+        let mut acc = vec![0u8; self.chunk_size];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i == dead {
+                continue;
+            }
+            let chunk = &node.get(name).expect("surviving node holds object")[row];
+            for (a, b) in acc.iter_mut().zip(chunk.iter()) {
+                *a ^= b;
+            }
+        }
+        Bytes::from(acc)
+    }
+}
+
+impl Store for Raid5Group {
+    fn put(&mut self, name: &str, data: Bytes) -> Receipt {
+        let n = self.nodes.len();
+        let data_chunks_per_row = n - 1;
+        self.sizes.insert(name.to_string(), data.len());
+
+        // Clear any previous version.
+        for node in &mut self.nodes {
+            node.insert(name.to_string(), Vec::new());
+        }
+
+        let row_bytes = self.chunk_size * data_chunks_per_row;
+        let total_rows = if data.is_empty() {
+            1
+        } else {
+            data.len().div_ceil(row_bytes)
+        };
+        for row in 0..total_rows {
+            // Build one stripe row: n-1 data chunks (zero-padded) + parity.
+            let mut chunks: Vec<Vec<u8>> = Vec::with_capacity(data_chunks_per_row);
+            for d in 0..data_chunks_per_row {
+                let start = (row * row_bytes + d * self.chunk_size).min(data.len());
+                let end = (start + self.chunk_size).min(data.len());
+                let mut c = vec![0u8; self.chunk_size];
+                c[..end - start].copy_from_slice(&data[start..end]);
+                chunks.push(c);
+            }
+            let mut parity = vec![0u8; self.chunk_size];
+            for c in &chunks {
+                for (p, b) in parity.iter_mut().zip(c.iter()) {
+                    *p ^= b;
+                }
+            }
+            // Rotate parity position: row r puts parity on node (n-1-r%n).
+            let parity_node = (n - 1) - (row % n);
+            let mut data_iter = chunks.into_iter();
+            for node_idx in 0..n {
+                let chunk = if node_idx == parity_node {
+                    Bytes::from(parity.clone())
+                } else {
+                    Bytes::from(data_iter.next().expect("one data chunk per node"))
+                };
+                self.nodes[node_idx]
+                    .get_mut(name)
+                    .expect("initialized above")
+                    .push(chunk);
+            }
+        }
+
+        Receipt {
+            bytes: data.len() as u64,
+            seconds: self.bw.transfer_time(data.len() as u64),
+        }
+    }
+
+    fn get(&self, name: &str) -> Option<Bytes> {
+        let size = *self.sizes.get(name)?;
+        let n = self.nodes.len();
+        let rows = self.nodes[0].get(name)?.len();
+        let mut out = BytesMut::with_capacity(size);
+        for row in 0..rows {
+            let parity_node = (n - 1) - (row % n);
+            for node_idx in 0..n {
+                if node_idx == parity_node {
+                    continue;
+                }
+                let chunk: Bytes = if Some(node_idx) == self.failed {
+                    // Degraded read: rebuild from the surviving chunks.
+                    self.reconstruct_chunk(name, row, node_idx)
+                } else {
+                    self.nodes[node_idx].get(name)?[row].clone()
+                };
+                out.extend_from_slice(&chunk);
+            }
+        }
+        let mut bytes = out.freeze();
+        if bytes.len() < size {
+            return None;
+        }
+        Some(bytes.split_to(size))
+    }
+
+    fn delete(&mut self, name: &str) -> bool {
+        let existed = self.sizes.remove(name).is_some();
+        for node in &mut self.nodes {
+            node.remove(name);
+        }
+        existed
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.values())
+            .flat_map(|rows| rows.iter())
+            .map(|c| c.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bytes(len: usize, seed: u64) -> Bytes {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v = vec![0u8; len];
+        rng.fill(&mut v[..]);
+        Bytes::from(v)
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        let bw = BandwidthModel::new(100.0, 0.5);
+        assert!((bw.transfer_time(1000) - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_store_roundtrip() {
+        let mut s = FlatStore::new(BandwidthModel::new(1e6, 0.0));
+        let data = random_bytes(1234, 1);
+        let r = s.put("ckpt", data.clone());
+        assert_eq!(r.bytes, 1234);
+        assert_eq!(s.get("ckpt").unwrap(), data);
+        assert!(s.delete("ckpt"));
+        assert!(s.get("ckpt").is_none());
+    }
+
+    #[test]
+    fn raid5_roundtrip_various_sizes() {
+        for (i, len) in [0usize, 1, 100, 1024, 4096, 10_000, 65_537].iter().enumerate() {
+            let mut g = Raid5Group::new(4, 1024, BandwidthModel::new(1e9, 0.0));
+            let data = random_bytes(*len, i as u64);
+            g.put("x", data.clone());
+            assert_eq!(g.get("x").unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn raid5_survives_any_single_node_failure() {
+        let data = random_bytes(50_000, 9);
+        for dead in 0..5 {
+            let mut g = Raid5Group::new(5, 512, BandwidthModel::new(1e9, 0.0));
+            g.put("ckpt", data.clone());
+            g.fail_node(dead);
+            assert_eq!(g.get("ckpt").unwrap(), data, "failed node {dead}");
+        }
+    }
+
+    #[test]
+    fn raid5_repair_then_second_failure() {
+        let data = random_bytes(20_000, 10);
+        let mut g = Raid5Group::new(4, 256, BandwidthModel::new(1e9, 0.0));
+        g.put("ckpt", data.clone());
+        g.fail_node(1);
+        g.repair_node();
+        g.fail_node(3); // a different node fails after repair
+        assert_eq!(g.get("ckpt").unwrap(), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "one failure")]
+    fn raid5_double_failure_rejected() {
+        let mut g = Raid5Group::new(3, 256, BandwidthModel::new(1e9, 0.0));
+        g.fail_node(0);
+        g.fail_node(1);
+    }
+
+    #[test]
+    fn raid5_overwrite_replaces() {
+        let mut g = Raid5Group::new(3, 128, BandwidthModel::new(1e9, 0.0));
+        g.put("x", random_bytes(1000, 11));
+        let newer = random_bytes(500, 12);
+        g.put("x", newer.clone());
+        assert_eq!(g.get("x").unwrap(), newer);
+    }
+
+    #[test]
+    fn raid5_storage_overhead_is_parity_fraction() {
+        let mut g = Raid5Group::new(5, 1000, BandwidthModel::new(1e9, 0.0));
+        let data = random_bytes(40_000, 13); // exactly 10 rows of 4 chunks
+        g.put("x", data);
+        // 40k data + 10 rows × 1k parity = 50k total.
+        assert_eq!(g.stored_bytes(), 50_000);
+    }
+
+    #[test]
+    fn raid5_delete() {
+        let mut g = Raid5Group::new(3, 128, BandwidthModel::new(1e9, 0.0));
+        g.put("x", random_bytes(100, 14));
+        assert!(g.delete("x"));
+        assert!(g.get("x").is_none());
+        assert_eq!(g.stored_bytes(), 0);
+    }
+}

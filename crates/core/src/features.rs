@@ -1,0 +1,105 @@
+//! The candidate feature set of the AIC predictor.
+//!
+//! The base metrics are Φ = {DP, t, JD, DI} (dirty pages, elapsed time
+//! since the last checkpoint, mean Jaccard Distance, mean Divergence
+//! Index). Stepwise regression chooses among the composites
+//! `{C1^γ · C2^ζ | C1, C2 ∈ Φ, 1 ≤ γ + ζ ≤ 2}` — every single metric,
+//! every square, and every pairwise product (Section IV.D).
+
+/// The four base metrics at a decision instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaseMetrics {
+    /// Number of dirty pages this interval (`DP`).
+    pub dp: f64,
+    /// Elapsed time since the last checkpoint, seconds (`t`).
+    pub t: f64,
+    /// Mean Jaccard Distance over sampled hot pages (`JD`).
+    pub jd: f64,
+    /// Mean Divergence Index over sampled pages (`DI`).
+    pub di: f64,
+}
+
+/// Number of candidate features ([`expand`]'s output length): 4 singles +
+/// 4 squares + 6 pairwise products.
+pub const CANDIDATE_COUNT: usize = 14;
+
+/// Human-readable candidate names, aligned with [`expand`].
+pub const CANDIDATE_NAMES: [&str; CANDIDATE_COUNT] = [
+    "DP", "t", "JD", "DI", // singles
+    "DP²", "t²", "JD²", "DI²", // squares
+    "DP·t", "DP·JD", "DP·DI", "t·JD", "t·DI", "JD·DI", // products
+];
+
+impl BaseMetrics {
+    /// Expand to the full candidate vector.
+    pub fn expand(&self) -> Vec<f64> {
+        let (dp, t, jd, di) = (self.dp, self.t, self.jd, self.di);
+        vec![
+            dp,
+            t,
+            jd,
+            di,
+            dp * dp,
+            t * t,
+            jd * jd,
+            di * di,
+            dp * t,
+            dp * jd,
+            dp * di,
+            t * jd,
+            t * di,
+            jd * di,
+        ]
+    }
+
+    /// Project the expanded vector onto a stepwise-selected subset.
+    pub fn select(&self, selected: &[usize]) -> Vec<f64> {
+        let full = self.expand();
+        selected.iter().map(|&i| full[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_has_declared_arity() {
+        let m = BaseMetrics {
+            dp: 2.0,
+            t: 3.0,
+            jd: 0.5,
+            di: 0.25,
+        };
+        let v = m.expand();
+        assert_eq!(v.len(), CANDIDATE_COUNT);
+        assert_eq!(v.len(), CANDIDATE_NAMES.len());
+    }
+
+    #[test]
+    fn expand_values_are_correct() {
+        let m = BaseMetrics {
+            dp: 2.0,
+            t: 3.0,
+            jd: 0.5,
+            di: 0.25,
+        };
+        let v = m.expand();
+        assert_eq!(v[0], 2.0); // DP
+        assert_eq!(v[4], 4.0); // DP²
+        assert_eq!(v[8], 6.0); // DP·t
+        assert_eq!(v[13], 0.125); // JD·DI
+    }
+
+    #[test]
+    fn select_projects() {
+        let m = BaseMetrics {
+            dp: 2.0,
+            t: 3.0,
+            jd: 0.5,
+            di: 0.25,
+        };
+        assert_eq!(m.select(&[1, 8]), vec![3.0, 6.0]);
+        assert!(m.select(&[]).is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! # aic-core — Adaptive Incremental Checkpointing (the paper's contribution)
+//!
+//! AIC decides **when** to take each incremental checkpoint so that the
+//! delta-compressed remote checkpoint is cheap, by predicting the
+//! checkpoint-cost parameters online and solving the non-static L2L3 model
+//! for the locally optimal work span (Sections III.E and IV):
+//!
+//! * [`metrics`] — the lightweight page metrics: **Jaccard Distance** (JD,
+//!   inter-version dissimilarity), **Divergence Index** (DI, intra-page
+//!   dissimilarity), plus the cosine-similarity and Gibbs–Poston M2
+//!   alternatives the paper's footnote 1 examined;
+//! * [`sample`] — **hot-page selection**: arrival-time grouping with the
+//!   adaptive threshold `T_g` and a fixed-size Sample Buffer (Section IV.E);
+//! * [`regress`] / [`stepwise`] — least-squares fitting and forward
+//!   **stepwise regression** over the candidate features
+//!   `{C1^γ·C2^ζ | C1,C2 ∈ {DP, t, JD, DI}, 1 ≤ γ+ζ ≤ 2}`;
+//! * [`online`] — the **normalized gradient descent** weight update
+//!   (Cesa-Bianchi et al.) that adapts the model after every checkpoint;
+//! * [`predictor`] — the three-target predictor (`c1(i)`, `dl(i)`, `ds(i)`)
+//!   bootstrapped from four samples, then updated online — no profiling;
+//! * [`baselines`] — ablation deciders: a clairvoyant oracle (exact costs
+//!   via trial compression) and a content-blind running-mean predictor;
+//! * [`policy`] — the **AIC checkpoint decider**: every decision second,
+//!   predict the current interval's cost, solve for `w*_L` by EVT +
+//!   Newton–Raphson, and checkpoint if `w*_L` is already behind us.
+//!
+//! ```
+//! use aic_core::policy::{AicConfig, AicPolicy};
+//! use aic_ckpt::engine::{run_engine, EngineConfig};
+//! use aic_memsim::{SimProcess, SimTime};
+//! use aic_memsim::workloads::generic::PhasedWorkload;
+//! use aic_model::FailureRates;
+//!
+//! let rates = FailureRates::three(2e-7, 1.8e-6, 4e-7).with_total(1e-3);
+//! let config = EngineConfig::testbed(rates.clone());
+//! let mut policy = AicPolicy::new(AicConfig::testbed(rates), &config);
+//! let wl = PhasedWorkload::new("demo", 1, 512, 8.0, 2.0, 1, 30,
+//!                              SimTime::from_secs(60.0));
+//! let report = run_engine(SimProcess::new(Box::new(wl)), &mut policy, &config);
+//! assert!(report.net2 >= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod features;
+pub mod metrics;
+pub mod online;
+pub mod policy;
+pub mod predictor;
+pub mod regress;
+pub mod sample;
+pub mod stepwise;
+
+pub use policy::{AicConfig, AicPolicy};
+pub use predictor::AicPredictor;

@@ -1,0 +1,115 @@
+//! Normalized gradient descent for online weight adaptation.
+//!
+//! After the bootstrap fit, AIC keeps adjusting the prediction weights with
+//! each newly measured checkpoint, using the worst-case-bounded normalized
+//! gradient descent of Cesa-Bianchi, Long & Warmuth (1996) — the paper's
+//! reference [1]:
+//!
+//! `w ← w − η · (ŷ − y) · x / ‖x‖²`
+//!
+//! The `‖x‖²` normalization is what makes a single learning rate safe for
+//! features of wildly different scales (dirty-page counts vs unit-interval
+//! similarity metrics).
+
+/// Online weight updater for a linear model with intercept.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedGd {
+    /// Learning rate η (Cesa-Bianchi's analysis admits η ∈ (0, 2); 0.5 is a
+    /// safe default).
+    pub eta: f64,
+}
+
+impl Default for NormalizedGd {
+    fn default() -> Self {
+        NormalizedGd { eta: 0.5 }
+    }
+}
+
+impl NormalizedGd {
+    /// Create with a given learning rate.
+    pub fn new(eta: f64) -> Self {
+        assert!(eta > 0.0 && eta < 2.0, "η must be in (0, 2)");
+        NormalizedGd { eta }
+    }
+
+    /// One update step. `beta` includes the intercept at index 0; `x` is
+    /// the (selected) feature vector; `y` the observed target. Returns the
+    /// prediction that was made before updating.
+    pub fn update(&self, beta: &mut [f64], x: &[f64], y: f64) -> f64 {
+        assert_eq!(beta.len(), x.len() + 1);
+        let pred = crate::regress::predict(beta, x);
+        let err = pred - y;
+        // Norm includes the intercept's constant-1 feature.
+        let norm2 = 1.0 + x.iter().map(|v| v * v).sum::<f64>();
+        let scale = self.eta * err / norm2;
+        beta[0] -= scale;
+        for (b, v) in beta[1..].iter_mut().zip(x) {
+            *b -= scale * v;
+        }
+        pred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_stationary_target() {
+        // True model: y = 3 + 2x, single feature.
+        let gd = NormalizedGd::default();
+        let mut beta = vec![0.0, 0.0];
+        for i in 0..2000 {
+            let x = (i % 10) as f64;
+            let y = 3.0 + 2.0 * x;
+            gd.update(&mut beta, &[x], y);
+        }
+        let pred = crate::regress::predict(&beta, &[5.0]);
+        assert!((pred - 13.0).abs() < 0.2, "pred={pred}");
+    }
+
+    #[test]
+    fn tracks_drifting_target() {
+        // The whole point of online adaptation: the mapping shifts
+        // mid-stream (a workload phase change) and the weights follow.
+        let gd = NormalizedGd::new(0.8);
+        let mut beta = vec![0.0, 0.0];
+        for i in 0..500 {
+            let x = (i % 7) as f64;
+            gd.update(&mut beta, &[x], 1.0 + x);
+        }
+        for i in 0..500 {
+            let x = (i % 7) as f64;
+            gd.update(&mut beta, &[x], 10.0 + 4.0 * x);
+        }
+        let pred = crate::regress::predict(&beta, &[3.0]);
+        assert!((pred - 22.0).abs() < 1.5, "pred={pred}");
+    }
+
+    #[test]
+    fn normalization_tames_large_features() {
+        // A feature of magnitude 1e6 must not blow the update up.
+        let gd = NormalizedGd::default();
+        let mut beta = vec![0.0, 0.0];
+        for _ in 0..100 {
+            gd.update(&mut beta, &[1e6], 5e6);
+        }
+        let pred = crate::regress::predict(&beta, &[1e6]);
+        assert!((pred - 5e6).abs() / 5e6 < 0.01, "pred={pred}");
+        assert!(beta[1].abs() < 100.0);
+    }
+
+    #[test]
+    fn update_returns_pre_update_prediction() {
+        let gd = NormalizedGd::default();
+        let mut beta = vec![1.0, 1.0];
+        let pred = gd.update(&mut beta, &[2.0], 100.0);
+        assert_eq!(pred, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "η must be")]
+    fn bad_eta_rejected() {
+        let _ = NormalizedGd::new(2.5);
+    }
+}

@@ -1,0 +1,331 @@
+//! The AIC checkpoint decider (paper Sections III.E, IV).
+//!
+//! Every decision second the policy:
+//!
+//! 1. ingests the interval's new dirty pages into the hot-page
+//!    [`SampleBuffer`] (computing JD/DI for group representatives),
+//! 2. forms the lightweight metrics `{DP, t, JD, DI}`,
+//! 3. asks the [`AicPredictor`] for this instant's `c1(i)`, `dl(i)`,
+//!    `ds(i)` — hence `c2(i)`, `c3(i)` via the L2/L3 bandwidths,
+//! 4. solves the non-static L2L3 model for the locally optimal work span
+//!    `w*_L` (Extreme Value Theorem + Newton–Raphson), and
+//! 5. **checkpoints immediately if `w*_L` is not larger than the elapsed
+//!    interval time** — i.e. if the model says the best moment to cut has
+//!    arrived (or passed).
+//!
+//! Until the predictor has its four bootstrap samples, checkpoints are cut
+//! at a fixed bootstrap cadence.
+
+use aic_ckpt::engine::{CheckpointPolicy, Decision, DecisionCtx, EngineConfig, IntervalRecord};
+use aic_model::nonstatic::{optimal_w_budgeted, IntervalParams};
+use aic_model::FailureRates;
+
+use crate::features::BaseMetrics;
+use crate::predictor::AicPredictor;
+use crate::sample::SampleBuffer;
+
+/// AIC tuning knobs.
+#[derive(Debug, Clone)]
+pub struct AicConfig {
+    /// Per-node L2 bandwidth, bytes/s.
+    pub b2: f64,
+    /// Per-node L3 bandwidth, bytes/s.
+    pub b3: f64,
+    /// Failure rates used in the decision model.
+    pub rates: FailureRates,
+    /// Fixed cadence (seconds) used while gathering bootstrap samples.
+    pub bootstrap_interval: f64,
+    /// Upper bound of the `w` search.
+    pub w_max: f64,
+    /// Sample-buffer capacity (group representatives).
+    pub sb_capacity: usize,
+    /// Initial arrival-grouping threshold `T_g`, seconds.
+    pub tg0: f64,
+    /// Compute-core cost charged per sampled hot page (paper: < 100 µs).
+    pub metric_cost: f64,
+    /// Fixed compute-core cost per decision tick (prediction + NR search).
+    pub decide_cost: f64,
+    /// Samples whose JD/DI are recomputed per decision tick (bounded so the
+    /// per-tick cost stays constant).
+    pub refresh_per_tick: usize,
+    /// Inter-version metric (paper: Jaccard Distance; footnote 1 ablation:
+    /// cosine).
+    pub similarity: crate::sample::SimilarityMetric,
+    /// Intra-page metric (paper: Divergence Index; ablation: M2).
+    pub variation: crate::sample::VariationMetric,
+}
+
+impl AicConfig {
+    /// Testbed defaults matching the paper's evaluation (Section V.C):
+    /// Coastal bandwidths, 8-MB sample buffer (2048 page samples), 1-second
+    /// decisions (the engine's tick), bootstrap cadence 15 s.
+    pub fn testbed(rates: FailureRates) -> Self {
+        AicConfig {
+            b2: 483.0e9 / 1024.0,
+            b3: 2.0e6,
+            rates,
+            bootstrap_interval: 15.0,
+            w_max: 1e5,
+            sb_capacity: 2048,
+            tg0: 0.05,
+            metric_cost: 100e-6,
+            decide_cost: 250e-6,
+            refresh_per_tick: 64,
+            similarity: crate::sample::SimilarityMetric::Jaccard,
+            variation: crate::sample::VariationMetric::Divergence,
+        }
+    }
+
+    /// Derive the AIC config from an engine config (bandwidths, rates and
+    /// sharing factor are taken from the engine so model and engine agree).
+    pub fn from_engine(config: &EngineConfig) -> Self {
+        let mut cfg = Self::testbed(config.rates.clone());
+        cfg.b2 = config.b2 / config.sharing_factor;
+        cfg.b3 = config.b3; // L3 is per-node; sharing throttles the core,
+                            // which the engine folds into dl and transfers.
+        cfg
+    }
+}
+
+/// The adaptive incremental checkpointing policy.
+#[derive(Debug, Clone)]
+pub struct AicPolicy {
+    cfg: AicConfig,
+    predictor: AicPredictor,
+    sb: SampleBuffer,
+    dirty_seen: usize,
+    tick_metrics: Option<BaseMetrics>,
+    last_params: Option<IntervalParams>,
+    last_tick_cost: f64,
+    last_wstar: Option<f64>,
+    decisions: u64,
+    adaptive_cuts: u64,
+}
+
+impl AicPolicy {
+    /// Build an AIC policy. The `EngineConfig` is consulted so the policy's
+    /// internal model matches the engine's bandwidths.
+    pub fn new(mut cfg: AicConfig, engine: &EngineConfig) -> Self {
+        cfg.b2 = engine.b2;
+        cfg.b3 = engine.b3;
+        let sb = SampleBuffer::new(cfg.sb_capacity, cfg.tg0)
+            .with_metrics(cfg.similarity, cfg.variation);
+        AicPolicy {
+            predictor: AicPredictor::default(),
+            sb,
+            dirty_seen: 0,
+            tick_metrics: None,
+            last_params: None,
+            last_tick_cost: 0.0,
+            last_wstar: None,
+            decisions: 0,
+            adaptive_cuts: 0,
+            cfg,
+        }
+    }
+
+    /// The underlying predictor (for introspection in tests/benches).
+    pub fn predictor(&self) -> &AicPredictor {
+        &self.predictor
+    }
+
+    /// Checkpoints cut by the adaptive rule (vs bootstrap cadence).
+    pub fn adaptive_cuts(&self) -> u64 {
+        self.adaptive_cuts
+    }
+
+    fn ingest_dirty(&mut self, ctx: &DecisionCtx<'_>) -> usize {
+        let log = ctx.space.dirty_log();
+        let mut inserted = 0;
+        for rec in log.iter().skip(self.dirty_seen) {
+            if let Some(current) = ctx.space.page(rec.page) {
+                let previous = ctx.prev_pages.get(rec.page);
+                if self.sb.offer(rec.page, rec.arrival.as_secs(), current, previous) {
+                    inserted += 1;
+                }
+            }
+        }
+        self.dirty_seen = log.len();
+        inserted
+    }
+}
+
+impl CheckpointPolicy for AicPolicy {
+    fn name(&self) -> &str {
+        "AIC"
+    }
+
+    fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
+        self.decisions += 1;
+        let inserted = self.ingest_dirty(ctx);
+        // Keep sampled metrics current: pages mutate after their first
+        // fault, and the similarity AIC hunts for can *improve* over time
+        // (content reverting toward the previous checkpoint).
+        let (sim, var) = (self.cfg.similarity, self.cfg.variation);
+        let refreshed = self.sb.refresh(self.cfg.refresh_per_tick, |page| {
+            ctx.space.page(page).map(|cur| {
+                crate::sample::compute_pair(sim, var, cur, ctx.prev_pages.get(page))
+            })
+        });
+        self.last_tick_cost =
+            self.cfg.decide_cost + (inserted + refreshed) as f64 * self.cfg.metric_cost;
+
+        let metrics = BaseMetrics {
+            dp: ctx.dirty_pages as f64,
+            t: ctx.elapsed,
+            jd: self.sb.mean_jd(),
+            di: self.sb.mean_di(),
+        };
+        self.tick_metrics = Some(metrics);
+
+        if !self.predictor.ready() {
+            return if ctx.elapsed + 1e-9 >= self.cfg.bootstrap_interval {
+                Decision::Checkpoint
+            } else {
+                Decision::Continue
+            };
+        }
+
+        let pred = self
+            .predictor
+            .predict(&metrics)
+            .expect("ready predictor must predict");
+        let cur = IntervalParams::from_measurement(pred.c1, pred.dl, pred.ds, self.cfg.b2, self.cfg.b3);
+        // Steady-state objective: a checkpoint cut *now* has `cur` costs,
+        // and its transfer window burdens the next span — so the interval
+        // regime being optimized has cur as both the in-flight and the
+        // fallback checkpoint.
+        // Seed Newton–Raphson with the previous tick's optimum (warm
+        // start); the paper reports convergence in < 5 iterations.
+        let seed = self
+            .last_wstar
+            .unwrap_or(ctx.elapsed)
+            .max(cur.w_lower_bound());
+        let best = optimal_w_budgeted(
+            &cur,
+            &cur,
+            &self.cfg.rates,
+            1.0,
+            self.cfg.w_max,
+            seed,
+            30,
+            1e-4,
+        );
+        self.last_wstar = Some(best.x);
+
+        if best.x <= ctx.elapsed {
+            self.adaptive_cuts += 1;
+            Decision::Checkpoint
+        } else {
+            Decision::Continue
+        }
+    }
+
+    fn observe(&mut self, rec: &IntervalRecord) {
+        let metrics = self.tick_metrics.unwrap_or(BaseMetrics {
+            dp: rec.dirty_pages as f64,
+            t: rec.w,
+            jd: 0.0,
+            di: 0.0,
+        });
+        self.predictor
+            .observe(&metrics, rec.c1, rec.dl, rec.ds_bytes as f64);
+        self.sb.end_interval();
+        self.dirty_seen = 0;
+        self.last_params = Some(rec.params);
+    }
+
+    fn decision_cost(&self) -> f64 {
+        self.last_tick_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aic_ckpt::engine::{run_engine, EngineConfig};
+    use aic_ckpt::policies::{calibration_means, sic_optimal_w, FixedIntervalPolicy};
+    use aic_memsim::workloads::generic::PhasedWorkload;
+    use aic_memsim::{SimProcess, SimTime};
+
+    fn rates() -> FailureRates {
+        FailureRates::three(2e-7, 1.8e-6, 4e-7).with_total(1e-3)
+    }
+
+    fn phased_process(seed: u64, secs: f64) -> SimProcess {
+        // Strongly phased workload: AIC should checkpoint in the quiet
+        // valleys rather than right after bursts.
+        SimProcess::new(Box::new(PhasedWorkload::new(
+            "phased",
+            seed,
+            1024,
+            12.0,
+            3.0,
+            1,
+            40,
+            SimTime::from_secs(secs),
+        )))
+    }
+
+    #[test]
+    fn aic_bootstraps_then_adapts() {
+        let config = EngineConfig::testbed(rates());
+        let mut policy = AicPolicy::new(AicConfig::testbed(rates()), &config);
+        let report = run_engine(phased_process(1, 180.0), &mut policy, &config);
+        assert!(policy.predictor().ready(), "predictor never bootstrapped");
+        assert!(
+            policy.adaptive_cuts() >= 1,
+            "no adaptive checkpoints were cut"
+        );
+        assert!(report.net2 >= 1.0);
+    }
+
+    #[test]
+    fn aic_overhead_is_small() {
+        // Table 3: AIC lengthens failure-free execution by ≤ 2.6%.
+        let config = EngineConfig::testbed(rates());
+        let mut policy = AicPolicy::new(AicConfig::testbed(rates()), &config);
+        let report = run_engine(phased_process(2, 120.0), &mut policy, &config);
+        assert!(
+            report.overhead_frac() < 0.05,
+            "overhead {:.2}%",
+            report.overhead_frac() * 100.0
+        );
+    }
+
+    #[test]
+    fn aic_beats_or_matches_static_on_phased_workload() {
+        let config = EngineConfig::testbed(rates());
+
+        // Calibrate SIC offline (the paper gives SIC its averages upfront).
+        let mut cal = FixedIntervalPolicy::new(15.0);
+        let cal_report = run_engine(phased_process(3, 180.0), &mut cal, &config);
+        let means = calibration_means(&cal_report.intervals);
+        let w_star = sic_optimal_w(means.c1, means.dl, means.ds, &config, 180.0);
+        let mut sic = FixedIntervalPolicy::new(w_star.clamp(5.0, 60.0));
+        let sic_report = run_engine(phased_process(3, 180.0), &mut sic, &config);
+
+        let mut aic = AicPolicy::new(AicConfig::testbed(rates()), &config);
+        let aic_report = run_engine(phased_process(3, 180.0), &mut aic, &config);
+
+        // AIC must not be substantially worse; on phased workloads it
+        // should usually win (Fig. 11's claim).
+        assert!(
+            aic_report.net2 <= sic_report.net2 * 1.05,
+            "AIC {:.4} vs SIC {:.4}",
+            aic_report.net2,
+            sic_report.net2
+        );
+    }
+
+    #[test]
+    fn decision_cost_reflects_sampling() {
+        let config = EngineConfig::testbed(rates());
+        let mut policy = AicPolicy::new(AicConfig::testbed(rates()), &config);
+        assert_eq!(policy.decision_cost(), 0.0);
+        let _ = run_engine(phased_process(4, 60.0), &mut policy, &config);
+        // After a run the last tick carried some cost.
+        assert!(policy.decision_cost() >= policy.cfg.decide_cost * 0.0);
+        assert!(policy.decisions > 0);
+    }
+}

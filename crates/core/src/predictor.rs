@@ -1,0 +1,340 @@
+//! The AIC lightweight predictor (paper Section IV.D).
+//!
+//! Three targets are predicted from the lightweight metrics: the local
+//! checkpoint latency `c1(i)`, the delta latency `dl(i)`, and the delta
+//! size `ds(i)`. The predictor collects four bootstrap samples (intervals
+//! cut at a default cadence), fits each target by stepwise regression over
+//! the candidate features, and thereafter refines the weights online with
+//! normalized gradient descent after every measured checkpoint. No offline
+//! profiling, ever.
+
+use crate::features::BaseMetrics;
+use crate::online::NormalizedGd;
+use crate::stepwise::{stepwise_fit, StepwiseModel};
+
+/// Predicted checkpoint-cost parameters for "if we checkpointed right now".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Local checkpoint latency, seconds.
+    pub c1: f64,
+    /// Delta-compression latency, seconds.
+    pub dl: f64,
+    /// Compressed delta size, bytes.
+    pub ds: f64,
+}
+
+/// One observed checkpoint: features at cut time and measured outcomes.
+#[derive(Debug, Clone, PartialEq)]
+struct Observation {
+    candidates: Vec<f64>,
+    c1: f64,
+    dl: f64,
+    ds: f64,
+}
+
+#[derive(Debug, Clone)]
+struct TargetModel {
+    model: Option<StepwiseModel>,
+}
+
+impl TargetModel {
+    fn predict(&self, candidates: &[f64]) -> Option<f64> {
+        self.model.as_ref().map(|m| m.predict(candidates))
+    }
+
+    fn update_online(&mut self, gd: &NormalizedGd, candidates: &[f64], y: f64) {
+        if let Some(m) = self.model.as_mut() {
+            let x: Vec<f64> = m.selected.iter().map(|&i| candidates[i]).collect();
+            gd.update(&mut m.fit.beta, &x, y);
+        }
+    }
+}
+
+/// The three-target online predictor.
+#[derive(Debug, Clone)]
+pub struct AicPredictor {
+    /// Rolling window of recent observations. The first
+    /// `bootstrap_needed` entries trigger the initial stepwise fit; the
+    /// window then feeds periodic refits (the paper's predictor "adjusts
+    /// its prediction model online based on feedbacks").
+    window: Vec<Observation>,
+    window_cap: usize,
+    bootstrap_needed: usize,
+    /// Stepwise refit cadence, in observations. Between refits the weights
+    /// track via normalized gradient descent.
+    refit_every: u64,
+    max_features: usize,
+    gd: NormalizedGd,
+    c1: TargetModel,
+    dl: TargetModel,
+    ds: TargetModel,
+    observations: u64,
+    /// Per-candidate scale factors fixed at (re)fit. Candidates span ~9
+    /// orders of magnitude (DP² vs JD·DI); dividing by the window max
+    /// keeps both the stepwise normal equations and the normalized-GD step
+    /// well conditioned.
+    scale: Vec<f64>,
+}
+
+impl Default for AicPredictor {
+    fn default() -> Self {
+        Self::new(4, 3, NormalizedGd::default())
+    }
+}
+
+impl AicPredictor {
+    /// Create a predictor that bootstraps after `bootstrap_needed` samples
+    /// (the paper uses 4) with up to `max_features` stepwise features (the
+    /// paper uses 3).
+    pub fn new(bootstrap_needed: usize, max_features: usize, gd: NormalizedGd) -> Self {
+        assert!(bootstrap_needed >= 2 && max_features >= 1);
+        AicPredictor {
+            window: Vec::with_capacity(64),
+            window_cap: 64,
+            bootstrap_needed,
+            refit_every: 8,
+            max_features,
+            gd,
+            c1: TargetModel { model: None },
+            dl: TargetModel { model: None },
+            ds: TargetModel { model: None },
+            observations: 0,
+            scale: Vec::new(),
+        }
+    }
+
+    fn scaled_candidates(&self, metrics: &BaseMetrics) -> Vec<f64> {
+        let mut c = metrics.expand();
+        for (v, s) in c.iter_mut().zip(&self.scale) {
+            *v /= s;
+        }
+        c
+    }
+
+    /// True once the stepwise bootstrap has happened and predictions are
+    /// available.
+    pub fn ready(&self) -> bool {
+        self.c1.model.is_some()
+    }
+
+    /// Number of checkpoints observed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// The stepwise-selected candidate indices per target (`c1`, `dl`,
+    /// `ds`), for introspection/ablation. Empty until ready.
+    pub fn selected_features(&self) -> [Vec<usize>; 3] {
+        let get = |t: &TargetModel| {
+            t.model
+                .as_ref()
+                .map(|m| m.selected.clone())
+                .unwrap_or_default()
+        };
+        [get(&self.c1), get(&self.dl), get(&self.ds)]
+    }
+
+    /// Record a measured checkpoint: the metrics that were current at cut
+    /// time and the measured `c1`, `dl`, `ds`.
+    pub fn observe(&mut self, metrics: &BaseMetrics, c1: f64, dl: f64, ds: f64) {
+        self.observations += 1;
+        if self.window.len() >= self.window_cap {
+            self.window.remove(0);
+        }
+        self.window.push(Observation {
+            candidates: metrics.expand(),
+            c1,
+            dl,
+            ds,
+        });
+
+        let should_fit = (!self.ready() && self.window.len() >= self.bootstrap_needed)
+            || (self.ready() && self.observations % self.refit_every == 0);
+        if should_fit {
+            self.refit();
+            return;
+        }
+        if self.ready() {
+            let candidates = self.scaled_candidates(metrics);
+            self.c1.update_online(&self.gd, &candidates, c1);
+            self.dl.update_online(&self.gd, &candidates, dl);
+            self.ds.update_online(&self.gd, &candidates, ds);
+        }
+    }
+
+    /// (Re)run stepwise selection over the rolling window.
+    fn refit(&mut self) {
+        // Fix per-candidate scales from the window (max |value|).
+        let k = self.window[0].candidates.len();
+        self.scale = (0..k)
+            .map(|i| {
+                self.window
+                    .iter()
+                    .map(|o| o.candidates[i].abs())
+                    .fold(0.0f64, f64::max)
+                    .max(1e-9)
+            })
+            .collect();
+        let cands: Vec<Vec<f64>> = self
+            .window
+            .iter()
+            .map(|o| {
+                o.candidates
+                    .iter()
+                    .zip(&self.scale)
+                    .map(|(v, s)| v / s)
+                    .collect()
+            })
+            .collect();
+        let fit_target = |ys: Vec<f64>, max: usize| stepwise_fit(&cands, &ys, max, 1e-3);
+        self.c1.model = fit_target(self.window.iter().map(|o| o.c1).collect(), self.max_features);
+        self.dl.model = fit_target(self.window.iter().map(|o| o.dl).collect(), self.max_features);
+        self.ds.model = fit_target(self.window.iter().map(|o| o.ds).collect(), self.max_features);
+    }
+
+    /// Predict the cost parameters for checkpointing at a moment with the
+    /// given metrics. `None` until bootstrapped. Predictions are clamped to
+    /// be non-negative (a linear model can excurse below zero).
+    pub fn predict(&self, metrics: &BaseMetrics) -> Option<Prediction> {
+        if !self.ready() {
+            return None;
+        }
+        let candidates = self.scaled_candidates(metrics);
+        Some(Prediction {
+            c1: self.c1.predict(&candidates)?.max(0.0),
+            dl: self.dl.predict(&candidates)?.max(0.0),
+            ds: self.ds.predict(&candidates)?.max(0.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Ground truth used by the synthetic tests: costs driven by DP and JD,
+    /// the physically meaningful relation (dirty volume × dissimilarity).
+    fn truth(m: &BaseMetrics) -> (f64, f64, f64) {
+        let raw = m.dp * 4096.0;
+        let ds = raw * (0.1 + 0.8 * m.jd);
+        let dl = 1e-8 * raw + 2e-8 * ds;
+        let c1 = 1e-8 * raw + 0.01;
+        (c1, dl, ds)
+    }
+
+    fn random_metrics(rng: &mut StdRng) -> BaseMetrics {
+        BaseMetrics {
+            dp: rng.gen_range(100.0..4000.0),
+            t: rng.gen_range(5.0..60.0),
+            jd: rng.gen_range(0.05..0.95),
+            di: rng.gen_range(0.1..0.9),
+        }
+    }
+
+    #[test]
+    fn not_ready_until_bootstrap() {
+        let mut p = AicPredictor::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..4 {
+            assert!(!p.ready(), "ready too early at {i}");
+            let m = random_metrics(&mut rng);
+            let (c1, dl, ds) = truth(&m);
+            assert!(p.predict(&m).is_none());
+            p.observe(&m, c1, dl, ds);
+        }
+        assert!(p.ready());
+    }
+
+    #[test]
+    fn predicts_after_bootstrap_with_reasonable_error() {
+        let mut p = AicPredictor::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..4 {
+            let m = random_metrics(&mut rng);
+            let (c1, dl, ds) = truth(&m);
+            p.observe(&m, c1, dl, ds);
+        }
+        // Refine online with more observations.
+        for _ in 0..60 {
+            let m = random_metrics(&mut rng);
+            let (c1, dl, ds) = truth(&m);
+            p.observe(&m, c1, dl, ds);
+        }
+        let mut rel_err = 0.0;
+        let n = 50;
+        for _ in 0..n {
+            let m = random_metrics(&mut rng);
+            let (_, _, ds) = truth(&m);
+            let pred = p.predict(&m).unwrap();
+            rel_err += ((pred.ds - ds) / ds).abs();
+        }
+        rel_err /= n as f64;
+        assert!(rel_err < 0.35, "mean relative ds error {rel_err}");
+    }
+
+    #[test]
+    fn adapts_to_phase_change() {
+        let mut p = AicPredictor::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let m = random_metrics(&mut rng);
+            let (c1, dl, ds) = truth(&m);
+            p.observe(&m, c1, dl, ds);
+        }
+        // Phase change: compression suddenly twice as expensive.
+        for _ in 0..200 {
+            let m = random_metrics(&mut rng);
+            let (c1, dl, ds) = truth(&m);
+            p.observe(&m, c1, dl * 2.0, ds);
+        }
+        let m = random_metrics(&mut rng);
+        let (_, dl_old, _) = truth(&m);
+        let pred = p.predict(&m).unwrap();
+        assert!(
+            pred.dl > 1.4 * dl_old,
+            "pred.dl={} old={dl_old}",
+            pred.dl
+        );
+    }
+
+    #[test]
+    fn predictions_clamped_non_negative() {
+        let mut p = AicPredictor::default();
+        // Degenerate bootstrap: strongly decreasing target drives the
+        // linear extrapolation negative for large t.
+        for i in 0..4 {
+            let m = BaseMetrics {
+                dp: 10.0,
+                t: i as f64,
+                jd: 0.1,
+                di: 0.1,
+            };
+            p.observe(&m, 1.0 - 0.3 * i as f64, 0.5, 100.0);
+        }
+        let far = BaseMetrics {
+            dp: 10.0,
+            t: 100.0,
+            jd: 0.1,
+            di: 0.1,
+        };
+        let pred = p.predict(&far).unwrap();
+        assert!(pred.c1 >= 0.0);
+    }
+
+    #[test]
+    fn selected_features_exposed() {
+        let mut p = AicPredictor::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(p.selected_features().iter().all(Vec::is_empty));
+        for _ in 0..4 {
+            let m = random_metrics(&mut rng);
+            let (c1, dl, ds) = truth(&m);
+            p.observe(&m, c1, dl, ds);
+        }
+        let sel = p.selected_features();
+        assert!(sel.iter().any(|s| !s.is_empty()));
+        assert!(sel.iter().all(|s| s.len() <= 3));
+    }
+}

@@ -1,0 +1,185 @@
+//! Forward stepwise regression (paper Section IV.D).
+//!
+//! Starting from the intercept-only model, repeatedly add the candidate
+//! feature that most reduces the residual sum of squares, stopping after
+//! `max_features` (the paper uses 3) or when the relative improvement falls
+//! below a threshold. Runs over the bootstrap samples (the paper gathers 4
+//! before fitting), so this is a tiny computation.
+
+use crate::regress::{fit, LinearFit};
+
+/// Result of a stepwise selection: which candidate indices were chosen and
+/// the fit over exactly those features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepwiseModel {
+    /// Indices into the candidate feature vector, in selection order.
+    pub selected: Vec<usize>,
+    /// Fit over the selected features (beta[0] = intercept).
+    pub fit: LinearFit,
+}
+
+impl StepwiseModel {
+    /// Predict from a *full* candidate vector.
+    pub fn predict(&self, candidates: &[f64]) -> f64 {
+        let x: Vec<f64> = self.selected.iter().map(|&i| candidates[i]).collect();
+        crate::regress::predict(&self.fit.beta, &x)
+    }
+}
+
+/// Run forward stepwise selection.
+///
+/// * `candidates[i]` — the full candidate vector of sample `i`;
+/// * `ys[i]` — its target;
+/// * `max_features` — selection budget (the paper's n = 3);
+/// * `min_improvement` — stop when RSS improves by less than this fraction.
+///
+/// Returns `None` when there are no samples.
+pub fn stepwise_fit(
+    candidates: &[Vec<f64>],
+    ys: &[f64],
+    max_features: usize,
+    min_improvement: f64,
+) -> Option<StepwiseModel> {
+    if candidates.is_empty() || candidates.len() != ys.len() {
+        return None;
+    }
+    let n_cand = candidates[0].len();
+    const RIDGE: f64 = 1e-8;
+
+    let mut selected: Vec<usize> = Vec::new();
+    let mut best_fit = fit(&vec![vec![]; ys.len()], ys, RIDGE)?; // intercept only
+
+    while selected.len() < max_features {
+        let mut round_best: Option<(usize, LinearFit)> = None;
+        for cand in 0..n_cand {
+            if selected.contains(&cand) {
+                continue;
+            }
+            let mut trial = selected.clone();
+            trial.push(cand);
+            let xs: Vec<Vec<f64>> = candidates
+                .iter()
+                .map(|c| trial.iter().map(|&i| c[i]).collect())
+                .collect();
+            if let Some(f) = fit(&xs, ys, RIDGE) {
+                if round_best
+                    .as_ref()
+                    .map_or(true, |(_, bf)| f.rss < bf.rss)
+                {
+                    round_best = Some((cand, f));
+                }
+            }
+        }
+        match round_best {
+            Some((cand, f)) => {
+                let improvement = if best_fit.rss > 0.0 {
+                    (best_fit.rss - f.rss) / best_fit.rss
+                } else {
+                    0.0
+                };
+                if improvement < min_improvement && !selected.is_empty() {
+                    break;
+                }
+                selected.push(cand);
+                best_fit = f;
+                if best_fit.rss <= 1e-12 {
+                    break; // perfect fit
+                }
+            }
+            None => break,
+        }
+    }
+
+    Some(StepwiseModel {
+        selected,
+        fit: best_fit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::BaseMetrics;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn metrics_samples(n: usize, seed: u64) -> Vec<BaseMetrics> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| BaseMetrics {
+                dp: rng.gen_range(10.0..5000.0),
+                t: rng.gen_range(1.0..60.0),
+                jd: rng.gen_range(0.0..1.0),
+                di: rng.gen_range(0.0..1.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_single_relevant_feature() {
+        // ds depends only on DP·JD (index 9) — the physically-motivated
+        // relation: dirty volume × per-page dissimilarity.
+        let samples = metrics_samples(12, 1);
+        let cands: Vec<Vec<f64>> = samples.iter().map(BaseMetrics::expand).collect();
+        let ys: Vec<f64> = samples.iter().map(|m| 100.0 + 7.0 * m.dp * m.jd).collect();
+        let model = stepwise_fit(&cands, &ys, 3, 1e-4).unwrap();
+        assert!(model.selected.contains(&9), "selected={:?}", model.selected);
+        // Prediction accuracy on a fresh point.
+        let probe = BaseMetrics {
+            dp: 1000.0,
+            t: 10.0,
+            jd: 0.5,
+            di: 0.5,
+        };
+        let pred = model.predict(&probe.expand());
+        let truth = 100.0 + 7.0 * 1000.0 * 0.5;
+        assert!((pred - truth).abs() / truth < 0.05, "pred={pred} truth={truth}");
+    }
+
+    #[test]
+    fn stops_at_feature_budget() {
+        let samples = metrics_samples(20, 2);
+        let cands: Vec<Vec<f64>> = samples.iter().map(BaseMetrics::expand).collect();
+        // Target uses four distinct drivers; budget is 3.
+        let ys: Vec<f64> = samples
+            .iter()
+            .map(|m| m.dp + 10.0 * m.t + 100.0 * m.jd + 1000.0 * m.di)
+            .collect();
+        let model = stepwise_fit(&cands, &ys, 3, 1e-6).unwrap();
+        assert!(model.selected.len() <= 3);
+        assert!(model.fit.r2 > 0.8, "r2={}", model.fit.r2);
+    }
+
+    #[test]
+    fn four_samples_suffice_to_bootstrap() {
+        // The paper bootstraps from exactly 4 samples with up to 3 features.
+        let samples = metrics_samples(4, 3);
+        let cands: Vec<Vec<f64>> = samples.iter().map(BaseMetrics::expand).collect();
+        let ys: Vec<f64> = samples.iter().map(|m| 2.0 * m.t + 5.0).collect();
+        let model = stepwise_fit(&cands, &ys, 3, 1e-4).unwrap();
+        let probe = BaseMetrics {
+            dp: 50.0,
+            t: 30.0,
+            jd: 0.3,
+            di: 0.3,
+        };
+        let pred = model.predict(&probe.expand());
+        assert!((pred - 65.0).abs() < 5.0, "pred={pred}");
+    }
+
+    #[test]
+    fn constant_target_selects_nothing_beyond_intercept() {
+        let samples = metrics_samples(8, 4);
+        let cands: Vec<Vec<f64>> = samples.iter().map(BaseMetrics::expand).collect();
+        let ys = vec![42.0; 8];
+        let model = stepwise_fit(&cands, &ys, 3, 1e-4).unwrap();
+        assert!((model.fit.beta[0] - 42.0).abs() < 1e-6);
+        let probe = metrics_samples(1, 5)[0];
+        assert!((model.predict(&probe.expand()) - 42.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(stepwise_fit(&[], &[], 3, 1e-4).is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! Delta instruction stream and its wire encoding.
+//!
+//! A delta is a program over two inputs: COPY ranges of the *source* and ADD
+//! literal bytes, concatenated to produce the *target* — the same
+//! instruction model as VCDIFF/Xdelta. Integers are LEB128 varints so small
+//! deltas stay small.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// One delta instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// Copy `len` bytes from the source starting at `src_off`.
+    Copy {
+        /// Byte offset into the source buffer.
+        src_off: u64,
+        /// Number of bytes to copy.
+        len: u64,
+    },
+    /// Append the given literal bytes.
+    Add(Bytes),
+}
+
+/// Opcode tags on the wire.
+const OP_END: u8 = 0;
+const OP_COPY: u8 = 1;
+const OP_ADD: u8 = 2;
+
+/// Append a LEB128 varint to `buf`.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint; returns `None` on truncation or overflow.
+pub fn get_varint(buf: &mut impl Buf) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() || shift >= 64 {
+            return None;
+        }
+        let byte = buf.get_u8();
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Serialize an instruction stream (terminated by an END opcode).
+pub fn write_insts(insts: &[Inst], buf: &mut BytesMut) {
+    for inst in insts {
+        match inst {
+            Inst::Copy { src_off, len } => {
+                buf.put_u8(OP_COPY);
+                put_varint(buf, *src_off);
+                put_varint(buf, *len);
+            }
+            Inst::Add(data) => {
+                buf.put_u8(OP_ADD);
+                put_varint(buf, data.len() as u64);
+                buf.put_slice(data);
+            }
+        }
+    }
+    buf.put_u8(OP_END);
+}
+
+/// Deserialize an instruction stream. Returns `None` on malformed input.
+pub fn read_insts(buf: &mut impl Buf) -> Option<Vec<Inst>> {
+    let mut out = Vec::new();
+    loop {
+        if !buf.has_remaining() {
+            return None; // missing END
+        }
+        match buf.get_u8() {
+            OP_END => return Some(out),
+            OP_COPY => {
+                let src_off = get_varint(buf)?;
+                let len = get_varint(buf)?;
+                out.push(Inst::Copy { src_off, len });
+            }
+            OP_ADD => {
+                let len = get_varint(buf)? as usize;
+                if buf.remaining() < len {
+                    return None;
+                }
+                out.push(Inst::Add(buf.copy_to_bytes(len)));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut rd = buf.freeze();
+            assert_eq!(get_varint(&mut rd), Some(v));
+        }
+    }
+
+    #[test]
+    fn varint_truncated_returns_none() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 1u64 << 40);
+        let full = buf.freeze();
+        let mut truncated = full.slice(0..full.len() - 1);
+        assert_eq!(get_varint(&mut truncated), None);
+    }
+
+    #[test]
+    fn inst_stream_roundtrip() {
+        let insts = vec![
+            Inst::Copy { src_off: 0, len: 4096 },
+            Inst::Add(Bytes::from_static(b"literal data")),
+            Inst::Copy { src_off: 8192, len: 16 },
+        ];
+        let mut buf = BytesMut::new();
+        write_insts(&insts, &mut buf);
+        let mut rd = buf.freeze();
+        assert_eq!(read_insts(&mut rd), Some(insts));
+    }
+
+    #[test]
+    fn empty_stream_roundtrip() {
+        let mut buf = BytesMut::new();
+        write_insts(&[], &mut buf);
+        let mut rd = buf.freeze();
+        assert_eq!(read_insts(&mut rd), Some(vec![]));
+    }
+
+    #[test]
+    fn malformed_opcode_rejected() {
+        let mut rd = Bytes::from_static(&[0xFF]);
+        assert_eq!(read_insts(&mut rd), None);
+    }
+
+    #[test]
+    fn missing_end_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(OP_COPY);
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 10);
+        let mut rd = buf.freeze();
+        assert_eq!(read_insts(&mut rd), None);
+    }
+
+    #[test]
+    fn add_with_truncated_payload_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(OP_ADD);
+        put_varint(&mut buf, 100); // claims 100 bytes
+        buf.put_slice(b"short");
+        let mut rd = buf.freeze();
+        assert_eq!(read_insts(&mut rd), None);
+    }
+}

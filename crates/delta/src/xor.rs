@@ -1,0 +1,263 @@
+//! XOR + zero-run-length baseline compressor.
+//!
+//! The "compressed differences" scheme of Plank, Xu & Netzer (1995): XOR
+//! each dirty page with its previous version — unchanged bytes become zero —
+//! then run-length-encode the zero runs. Much cheaper than block matching
+//! but blind to shifted content; the paper's related-work section uses it as
+//! the representative *simple* delta scheme that suspend-the-process
+//! checkpointers could afford.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use aic_memsim::{Page, PageIdx, Snapshot, PAGE_SIZE};
+
+use crate::inst::{get_varint, put_varint};
+use crate::stats::EncodeReport;
+
+/// One page of an XOR delta file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XorRecord {
+    /// Full page contents (new page).
+    Raw {
+        /// Virtual page number.
+        idx: PageIdx,
+        /// Complete page bytes.
+        data: Bytes,
+    },
+    /// Zero-RLE compressed XOR of the page against its previous version.
+    Xor {
+        /// Virtual page number.
+        idx: PageIdx,
+        /// RLE stream: repeating (zero-run varint, literal-len varint, literal bytes).
+        rle: Bytes,
+    },
+}
+
+impl XorRecord {
+    /// On-the-wire size of this record.
+    pub fn wire_len(&self) -> u64 {
+        match self {
+            XorRecord::Raw { data, .. } => 9 + data.len() as u64,
+            XorRecord::Xor { rle, .. } => 9 + rle.len() as u64,
+        }
+    }
+}
+
+/// An XOR-compressed incremental checkpoint payload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct XorDeltaFile {
+    /// Per-page records.
+    pub records: Vec<XorRecord>,
+}
+
+impl XorDeltaFile {
+    /// Total wire size.
+    pub fn wire_len(&self) -> u64 {
+        8 + self.records.iter().map(XorRecord::wire_len).sum::<u64>()
+    }
+}
+
+/// RLE-encode `data` as alternating (zero-run, literal-run) tokens.
+fn rle_encode(data: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(64);
+    let mut i = 0usize;
+    while i < data.len() {
+        let zero_start = i;
+        while i < data.len() && data[i] == 0 {
+            i += 1;
+        }
+        let zeros = i - zero_start;
+        let lit_start = i;
+        // A literal run ends at the next "worthwhile" zero run (≥ 4 zeros);
+        // short zero gaps are cheaper kept inside the literal.
+        while i < data.len() {
+            if data[i] == 0 {
+                let mut j = i;
+                while j < data.len() && data[j] == 0 {
+                    j += 1;
+                }
+                if j - i >= 4 || j == data.len() {
+                    break;
+                }
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+        let lit = &data[lit_start..i];
+        put_varint(&mut out, zeros as u64);
+        put_varint(&mut out, lit.len() as u64);
+        out.put_slice(lit);
+    }
+    out.freeze()
+}
+
+/// Decode an RLE stream produced by [`rle_encode`] into `expected_len` bytes.
+fn rle_decode(mut rle: Bytes, expected_len: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected_len);
+    while rle.has_remaining() {
+        let zeros = get_varint(&mut rle)? as usize;
+        let lit_len = get_varint(&mut rle)? as usize;
+        if rle.remaining() < lit_len || out.len() + zeros + lit_len > expected_len {
+            return None;
+        }
+        out.resize(out.len() + zeros, 0);
+        let lit = rle.copy_to_bytes(lit_len);
+        out.extend_from_slice(&lit);
+    }
+    // Trailing zeros are implicit.
+    out.resize(expected_len, 0);
+    Some(out)
+}
+
+/// XOR-encode the `dirty` snapshot against `prev`.
+pub fn xor_encode(prev: &Snapshot, dirty: &Snapshot) -> (XorDeltaFile, EncodeReport) {
+    let mut file = XorDeltaFile::default();
+    let mut report = EncodeReport::default();
+    for (idx, page) in dirty.iter() {
+        report.pages += 1;
+        report.target_bytes += PAGE_SIZE as u64;
+        match prev.get(idx) {
+            Some(old) => {
+                report.source_bytes += PAGE_SIZE as u64;
+                let mut xored = [0u8; PAGE_SIZE];
+                for (i, x) in xored.iter_mut().enumerate() {
+                    *x = page.as_slice()[i] ^ old.as_slice()[i];
+                }
+                let rle = rle_encode(&xored);
+                let changed = xored.iter().filter(|&&b| b != 0).count() as u64;
+                report.matched_bytes += PAGE_SIZE as u64 - changed;
+                report.literal_bytes += changed;
+                if rle.len() < PAGE_SIZE {
+                    file.records.push(XorRecord::Xor { idx, rle });
+                } else {
+                    file.records.push(XorRecord::Raw {
+                        idx,
+                        data: Bytes::copy_from_slice(page.as_slice()),
+                    });
+                }
+            }
+            None => {
+                report.literal_bytes += PAGE_SIZE as u64;
+                file.records.push(XorRecord::Raw {
+                    idx,
+                    data: Bytes::copy_from_slice(page.as_slice()),
+                });
+            }
+        }
+    }
+    report.delta_bytes = file.wire_len();
+    (file, report)
+}
+
+/// Reconstruct the dirty snapshot from an XOR delta file.
+pub fn xor_decode(prev: &Snapshot, file: &XorDeltaFile) -> Option<Snapshot> {
+    let mut out = Snapshot::new();
+    for rec in &file.records {
+        match rec {
+            XorRecord::Raw { idx, data } => {
+                if data.len() != PAGE_SIZE {
+                    return None;
+                }
+                out.insert(*idx, Page::from_bytes(data));
+            }
+            XorRecord::Xor { idx, rle } => {
+                let old = prev.get(*idx)?;
+                let xored = rle_decode(rle.clone(), PAGE_SIZE)?;
+                let mut bytes = old.as_slice().to_vec();
+                for (b, x) in bytes.iter_mut().zip(xored.iter()) {
+                    *b ^= x;
+                }
+                out.insert(*idx, Page::from_bytes(&bytes));
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_page(rng: &mut StdRng) -> Page {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        rng.fill(&mut buf[..]);
+        Page::from_bytes(&buf)
+    }
+
+    #[test]
+    fn rle_roundtrip_patterns() {
+        for data in [
+            vec![0u8; 100],
+            vec![1u8; 100],
+            b"\x00\x00\x00\x00\x01\x02\x00\x00\x00\x00\x00\x03".to_vec(),
+            vec![],
+        ] {
+            let rle = rle_encode(&data);
+            assert_eq!(rle_decode(rle, data.len()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn rle_compresses_sparse_changes() {
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[100] = 5;
+        data[3000] = 7;
+        let rle = rle_encode(&data);
+        assert!(rle.len() < 32, "rle len {}", rle.len());
+    }
+
+    #[test]
+    fn xor_roundtrip_small_edit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let old = random_page(&mut rng);
+        let mut bytes = old.as_slice().to_vec();
+        bytes[42] ^= 0xFF;
+        bytes[2042] ^= 0x0F;
+        let new = Page::from_bytes(&bytes);
+        let prev = Snapshot::from_pages([(0, old)]);
+        let dirty = Snapshot::from_pages([(0, new)]);
+        let (file, report) = xor_encode(&prev, &dirty);
+        assert!(file.wire_len() < 64);
+        assert_eq!(report.literal_bytes, 2);
+        assert_eq!(xor_decode(&prev, &file).unwrap(), dirty);
+    }
+
+    #[test]
+    fn xor_unrelated_page_falls_back_to_raw() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let prev = Snapshot::from_pages([(0, random_page(&mut rng))]);
+        let dirty = Snapshot::from_pages([(0, random_page(&mut rng))]);
+        let (file, _) = xor_encode(&prev, &dirty);
+        assert!(matches!(file.records[0], XorRecord::Raw { .. }));
+        assert_eq!(xor_decode(&prev, &file).unwrap(), dirty);
+    }
+
+    #[test]
+    fn xor_new_page_stored_raw() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dirty = Snapshot::from_pages([(7, random_page(&mut rng))]);
+        let (file, _) = xor_encode(&Snapshot::new(), &dirty);
+        assert_eq!(xor_decode(&Snapshot::new(), &file).unwrap(), dirty);
+    }
+
+    #[test]
+    fn xor_blind_to_shifted_content() {
+        // Shift content by one byte: XOR produces garbage (no compression),
+        // while the rsync codec would still match. Documents the baseline's
+        // known weakness.
+        let mut rng = StdRng::seed_from_u64(4);
+        let old = random_page(&mut rng);
+        let mut bytes = old.as_slice().to_vec();
+        bytes.rotate_right(1);
+        let new = Page::from_bytes(&bytes);
+        let prev = Snapshot::from_pages([(0, old.clone())]);
+        let dirty = Snapshot::from_pages([(0, new.clone())]);
+        let (xfile, _) = xor_encode(&prev, &dirty);
+        assert!(xfile.wire_len() >= PAGE_SIZE as u64);
+        let (pafile, _) = crate::pa::pa_encode(&prev, &dirty, &crate::pa::PaParams::default());
+        assert!(pafile.wire_len() < PAGE_SIZE as u64 / 4, "pa={}", pafile.wire_len());
+    }
+}

@@ -1,0 +1,241 @@
+//! Virtual time.
+//!
+//! All experiments run against a *virtual* clock so results do not depend on
+//! host scheduling. One unit of [`SimTime`] is one simulated second, matching
+//! the paper's reporting granularity (AIC makes one checkpoint decision per
+//! second; Fig. 2 sweeps a 60-second window).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, in seconds.
+///
+/// `SimTime` is a thin wrapper over `f64` providing total ordering (NaN is
+/// forbidden by construction) and unit safety: workloads, checkpoint engines
+/// and the analytic models all exchange `SimTime` instead of bare floats.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds. Panics on NaN or negative-infinite input.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite(), "SimTime must be finite, got {secs}");
+        SimTime(secs)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms / 1e3)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us / 1e6)
+    }
+
+    /// Seconds as `f64`.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating subtraction: returns `ZERO` instead of a negative span.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+
+    /// The larger of the two times.
+    #[inline]
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The smaller of the two times.
+    #[inline]
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // NaN is excluded by the `from_secs` invariant.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+/// A monotonically advancing virtual clock.
+///
+/// Workloads advance the clock as they "execute"; checkpoint engines read it
+/// to stamp dirty-page arrivals and decide when to cut an interval.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: SimTime,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance by `dt`. Panics if `dt` is negative.
+    #[inline]
+    pub fn advance(&mut self, dt: SimTime) {
+        assert!(dt.as_secs() >= 0.0, "clock cannot go backwards");
+        self.now += dt;
+    }
+
+    /// Advance by `secs` seconds.
+    #[inline]
+    pub fn advance_secs(&mut self, secs: f64) {
+        self.advance(SimTime::from_secs(secs));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_arithmetic() {
+        let a = SimTime::from_secs(1.5);
+        let b = SimTime::from_secs(0.5);
+        assert_eq!((a + b).as_secs(), 2.0);
+        assert_eq!((a - b).as_secs(), 1.0);
+        assert_eq!((a * 2.0).as_secs(), 3.0);
+        assert_eq!((a / 3.0).as_secs(), 0.5);
+    }
+
+    #[test]
+    fn simtime_saturating_sub_clamps_to_zero() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(b.saturating_sub(a).as_secs(), 1.0);
+    }
+
+    #[test]
+    fn simtime_ordering_is_total() {
+        let mut v = vec![
+            SimTime::from_secs(3.0),
+            SimTime::from_secs(1.0),
+            SimTime::from_secs(2.0),
+        ];
+        v.sort();
+        assert_eq!(v[0].as_secs(), 1.0);
+        assert_eq!(v[2].as_secs(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn simtime_rejects_nan() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_secs(0.25);
+        c.advance_secs(0.75);
+        assert_eq!(c.now().as_secs(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn clock_rejects_negative_advance() {
+        let mut c = VirtualClock::new();
+        c.advance(SimTime::from_secs(-1.0));
+    }
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(SimTime::from_millis(1500.0).as_secs(), 1.5);
+        assert!((SimTime::from_micros(100.0).as_secs() - 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+}

@@ -1,0 +1,60 @@
+//! # aic-memsim — simulated paged process memory with write tracking
+//!
+//! This crate is the substrate that stands in for a real Linux process being
+//! checkpointed by BLCR in the paper *"Adaptive Incremental Checkpointing via
+//! Delta Compression for Networked Multicore Systems"* (IPDPS 2013).
+//!
+//! The paper's incremental checkpointer tracks dirty pages with
+//! `mprotect(2)`: at the start of every checkpoint interval all writable
+//! pages are write-protected; the first store to a protected page raises a
+//! fault whose handler (1) appends the page to the dirty list, stamping the
+//! *arrival time*, and (2) un-protects the page so subsequent stores are
+//! free. [`AddressSpace`] reproduces exactly that state machine over a
+//! simulated, deterministic address space:
+//!
+//! * [`AddressSpace::begin_interval`] ≙ `mprotect(PROT_READ)` over the whole
+//!   footprint,
+//! * every [`AddressSpace::write`] to a protected page ≙ the SIGSEGV handler
+//!   (records a [`DirtyRecord`] with the virtual arrival time, un-protects),
+//! * [`AddressSpace::dirty_log`] ≙ the kernel module's dirty-page list that
+//!   the checkpointer consumes.
+//!
+//! Workloads (the six SPEC CPU2006 stand-ins of the paper's Table 3, plus
+//! generic synthetic kernels) drive the address space under a virtual clock,
+//! so every experiment in the repository is reproducible bit-for-bit from a
+//! seed.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use aic_memsim::{AddressSpace, SimTime, VirtualClock};
+//! use aic_memsim::workloads::{Workload, spec::Sjeng};
+//!
+//! let mut space = AddressSpace::new();
+//! let mut wl = Sjeng::with_seed(42);
+//! let mut clock = VirtualClock::new();
+//! wl.init(&mut space, &mut clock);
+//!
+//! space.begin_interval();
+//! while clock.now() < SimTime::from_secs(1.0) {
+//!     wl.step(&mut space, &mut clock);
+//! }
+//! assert!(!space.dirty_log().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod page;
+pub mod process;
+pub mod snapshot;
+pub mod space;
+pub mod trace;
+pub mod workloads;
+
+pub use clock::{SimTime, VirtualClock};
+pub use page::{Page, PageIdx, PAGE_SIZE};
+pub use process::SimProcess;
+pub use snapshot::Snapshot;
+pub use space::{AddressSpace, DirtyRecord};
+pub use trace::{TraceEvent, TraceWorkload, WriteTrace};

@@ -1,0 +1,153 @@
+//! Fixed-size memory pages.
+
+use std::fmt;
+
+/// Page size in bytes, matching the paper's testbed (4096-byte pages on
+/// x86-64 Linux).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Virtual page number (address / [`PAGE_SIZE`]).
+pub type PageIdx = u64;
+
+/// A single 4 KiB page of simulated memory.
+///
+/// Pages are heap-allocated and cloneable; cloning is how snapshots and
+/// checkpoints capture page contents.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Page {
+    bytes: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// A page of all zeroes (fresh anonymous mapping semantics).
+    pub fn zeroed() -> Self {
+        Page {
+            bytes: Box::new([0u8; PAGE_SIZE]),
+        }
+    }
+
+    /// Build a page from exactly [`PAGE_SIZE`] bytes.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != PAGE_SIZE`.
+    pub fn from_bytes(data: &[u8]) -> Self {
+        assert_eq!(data.len(), PAGE_SIZE, "page must be exactly {PAGE_SIZE} bytes");
+        let mut p = Page::zeroed();
+        p.bytes.copy_from_slice(data);
+        p
+    }
+
+    /// Read-only view of the page contents.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..]
+    }
+
+    /// Mutable view of the page contents.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.bytes[..]
+    }
+
+    /// Overwrite `data.len()` bytes starting at `offset`.
+    ///
+    /// # Panics
+    /// Panics if the write would run off the end of the page.
+    pub fn write_at(&mut self, offset: usize, data: &[u8]) {
+        assert!(
+            offset + data.len() <= PAGE_SIZE,
+            "write of {} bytes at offset {offset} exceeds page",
+            data.len()
+        );
+        self.bytes[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// True if every byte is zero.
+    pub fn is_zero(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+
+    /// Number of bytes that differ from `other` at the same offset.
+    ///
+    /// This is the raw ingredient of the paper's *Jaccard Distance* metric
+    /// (Section IV.D): `JD(P, P') = 1 - m/p` where `m` is the count of equal
+    /// bytes.
+    pub fn diff_bytes(&self, other: &Page) -> usize {
+        self.bytes
+            .iter()
+            .zip(other.bytes.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page::zeroed()
+    }
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let nonzero = self.bytes.iter().filter(|&&b| b != 0).count();
+        write!(f, "Page {{ nonzero: {nonzero}/{PAGE_SIZE} }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_page_is_zero() {
+        let p = Page::zeroed();
+        assert!(p.is_zero());
+        assert_eq!(p.as_slice().len(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn write_at_modifies_range() {
+        let mut p = Page::zeroed();
+        p.write_at(10, &[1, 2, 3]);
+        assert_eq!(&p.as_slice()[10..13], &[1, 2, 3]);
+        assert!(!p.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page")]
+    fn write_past_end_panics() {
+        let mut p = Page::zeroed();
+        p.write_at(PAGE_SIZE - 1, &[1, 2]);
+    }
+
+    #[test]
+    fn diff_bytes_counts_differences() {
+        let mut a = Page::zeroed();
+        let b = Page::zeroed();
+        assert_eq!(a.diff_bytes(&b), 0);
+        a.write_at(0, &[9; 100]);
+        assert_eq!(a.diff_bytes(&b), 100);
+    }
+
+    #[test]
+    fn from_bytes_roundtrip() {
+        let data: Vec<u8> = (0..PAGE_SIZE).map(|i| (i % 251) as u8).collect();
+        let p = Page::from_bytes(&data);
+        assert_eq!(p.as_slice(), &data[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly")]
+    fn from_bytes_wrong_len_panics() {
+        let _ = Page::from_bytes(&[0u8; 100]);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = Page::zeroed();
+        let b = a.clone();
+        a.write_at(0, &[1]);
+        assert!(b.is_zero());
+        assert!(!a.is_zero());
+    }
+}

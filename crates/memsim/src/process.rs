@@ -1,0 +1,195 @@
+//! A simulated process: address space + workload + virtual clock.
+
+use crate::clock::{SimTime, VirtualClock};
+use crate::snapshot::Snapshot;
+use crate::space::{AddressSpace, DirtyRecord};
+use crate::workloads::Workload;
+
+/// A running simulated process, bundling an [`AddressSpace`], the
+/// [`Workload`] that drives it, and the [`VirtualClock`].
+///
+/// This is the unit that checkpoint engines operate on: they run the process
+/// up to a decision point, cut a checkpoint interval, and inspect the dirty
+/// log — exactly the interface BLCR's kernel module gives the paper's AIC.
+pub struct SimProcess {
+    space: AddressSpace,
+    workload: Box<dyn Workload + Send>,
+    clock: VirtualClock,
+    initialized: bool,
+}
+
+impl SimProcess {
+    /// Create a process around `workload`. Memory is not allocated until the
+    /// first [`SimProcess::run_until`] (mirroring exec + first touch).
+    pub fn new(workload: Box<dyn Workload + Send>) -> Self {
+        SimProcess {
+            space: AddressSpace::new(),
+            workload,
+            clock: VirtualClock::new(),
+            initialized: false,
+        }
+    }
+
+    /// The workload's name.
+    pub fn name(&self) -> &str {
+        self.workload.name()
+    }
+
+    /// Nominal base execution time `t` of the workload.
+    pub fn base_time(&self) -> SimTime {
+        self.workload.base_time()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// True once the workload has executed its base time.
+    pub fn is_done(&self) -> bool {
+        self.initialized && self.workload.is_done(&self.clock)
+    }
+
+    /// Immutable view of the address space.
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Run the process until virtual time `deadline` (or completion,
+    /// whichever comes first). Returns the time actually reached.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        if !self.initialized {
+            self.workload.init(&mut self.space, &mut self.clock);
+            self.initialized = true;
+        }
+        while self.clock.now() < deadline && !self.workload.is_done(&self.clock) {
+            self.workload.step(&mut self.space, &mut self.clock);
+        }
+        self.clock.now()
+    }
+
+    /// Run the process for `dt` more virtual seconds.
+    pub fn run_for(&mut self, dt: SimTime) -> SimTime {
+        let target = self.clock.now() + dt;
+        self.run_until(target)
+    }
+
+    /// Cut a checkpoint interval: returns the finished interval's dirty log
+    /// and re-protects all pages (the simulated `mprotect` sweep).
+    pub fn cut_interval(&mut self) -> Vec<DirtyRecord> {
+        self.space.begin_interval()
+    }
+
+    /// Dirty log of the in-progress interval.
+    pub fn dirty_log(&self) -> &[DirtyRecord] {
+        self.space.dirty_log()
+    }
+
+    /// Snapshot the full address space (a *full* checkpoint's payload).
+    pub fn snapshot(&self) -> Snapshot {
+        self.space.snapshot()
+    }
+
+    /// Snapshot only the given pages (an *incremental* checkpoint's payload).
+    pub fn snapshot_pages<I: IntoIterator<Item = u64>>(&self, pages: I) -> Snapshot {
+        self.space.snapshot_pages(pages)
+    }
+
+    /// Allocate pages from outside the workload (e.g. a message mailbox
+    /// region set up by a communication layer).
+    pub fn allocate(&mut self, start: u64, count: u64) {
+        self.space.allocate(start, count);
+    }
+
+    /// Write into the process's memory from outside the workload (message
+    /// delivery, external I/O). Takes the same write-fault path as workload
+    /// writes, so deposited bytes appear in the dirty log and in
+    /// checkpoints.
+    ///
+    /// # Panics
+    /// Panics if the target pages are not resident.
+    pub fn deposit(&mut self, addr: u64, data: &[u8]) {
+        let now = self.clock.now();
+        self.space.write(addr, data, now);
+    }
+
+    /// Roll the process memory back to `snap` (checkpoint restart) and
+    /// rewind the clock to `at`. The workload's internal control state is
+    /// *not* rewound — like the paper, we model recovery cost through the
+    /// analytic model and use restore for memory-fidelity checks.
+    pub fn restore(&mut self, snap: &Snapshot, at: SimTime) {
+        self.space.restore(snap);
+        let mut clock = VirtualClock::new();
+        clock.advance(at);
+        self.clock = clock;
+    }
+}
+
+impl std::fmt::Debug for SimProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimProcess")
+            .field("name", &self.workload.name())
+            .field("now", &self.clock.now())
+            .field("space", &self.space)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::generic::StreamingWorkload;
+    use crate::workloads::WriteStyle;
+
+    fn proc() -> SimProcess {
+        SimProcess::new(Box::new(StreamingWorkload::new(
+            "t",
+            1,
+            32,
+            1,
+            WriteStyle::PartialEntropy(300),
+            SimTime::from_secs(2.0),
+        )))
+    }
+
+    #[test]
+    fn run_until_advances_clock_and_initializes() {
+        let mut p = proc();
+        assert_eq!(p.space().resident_pages(), 0);
+        let reached = p.run_until(SimTime::from_secs(0.5));
+        assert!(reached >= SimTime::from_secs(0.5));
+        assert_eq!(p.space().resident_pages(), 32);
+    }
+
+    #[test]
+    fn completes_at_base_time() {
+        let mut p = proc();
+        let reached = p.run_until(SimTime::from_secs(100.0));
+        assert!(p.is_done());
+        assert!(reached.as_secs() >= 2.0 && reached.as_secs() < 2.1);
+    }
+
+    #[test]
+    fn cut_interval_returns_dirty_log() {
+        let mut p = proc();
+        p.run_until(SimTime::from_secs(0.2));
+        p.cut_interval();
+        p.run_until(SimTime::from_secs(0.5));
+        let log = p.cut_interval();
+        assert!(!log.is_empty());
+        assert!(p.dirty_log().is_empty());
+    }
+
+    #[test]
+    fn restore_rolls_back_memory_and_clock() {
+        let mut p = proc();
+        p.run_until(SimTime::from_secs(0.3));
+        let snap = p.snapshot();
+        let at = p.now();
+        p.run_until(SimTime::from_secs(1.0));
+        assert_ne!(p.snapshot(), snap);
+        p.restore(&snap, at);
+        assert_eq!(p.snapshot(), snap);
+        assert_eq!(p.now(), at);
+    }
+}

@@ -1,0 +1,163 @@
+//! Point-in-time copies of (subsets of) an address space.
+
+use std::collections::BTreeMap;
+
+use crate::page::{Page, PageIdx, PAGE_SIZE};
+
+/// An immutable point-in-time copy of a set of pages.
+///
+/// Snapshots are the raw material of checkpoints: a *full* checkpoint
+/// snapshots every resident page, an *incremental* checkpoint snapshots the
+/// dirty set, and delta compression differences a snapshot against the
+/// previous checkpoint's pages.
+#[derive(Clone, Default)]
+pub struct Snapshot {
+    pages: BTreeMap<PageIdx, Page>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of `(page index, page)` pairs.
+    pub fn from_pages<I: IntoIterator<Item = (PageIdx, Page)>>(iter: I) -> Self {
+        Snapshot {
+            pages: iter.into_iter().collect(),
+        }
+    }
+
+    /// Number of pages captured.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if no pages are captured.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Total captured bytes.
+    pub fn bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE as u64
+    }
+
+    /// Look up a page by index.
+    pub fn get(&self, idx: PageIdx) -> Option<&Page> {
+        self.pages.get(&idx)
+    }
+
+    /// Insert (or replace) a page.
+    pub fn insert(&mut self, idx: PageIdx, page: Page) {
+        self.pages.insert(idx, page);
+    }
+
+    /// Remove a page, returning it if present.
+    pub fn remove(&mut self, idx: PageIdx) -> Option<Page> {
+        self.pages.remove(&idx)
+    }
+
+    /// Iterate `(index, page)` in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageIdx, &Page)> + '_ {
+        self.pages.iter().map(|(i, p)| (*i, p))
+    }
+
+    /// Iterate page indices in ascending order.
+    pub fn indices(&self) -> impl Iterator<Item = PageIdx> + '_ {
+        self.pages.keys().copied()
+    }
+
+    /// Overlay `newer` on top of `self`: pages in `newer` replace pages here.
+    /// This is the core of incremental-checkpoint *restore* (last full
+    /// checkpoint overlaid with every later incremental, in order).
+    pub fn overlay(&mut self, newer: &Snapshot) {
+        for (idx, page) in newer.iter() {
+            self.pages.insert(idx, page.clone());
+        }
+    }
+
+    /// Drop every page whose index is **not** in `keep`. Used at restore
+    /// time to apply page frees recorded by a later checkpoint.
+    pub fn retain_indices(&mut self, keep: &std::collections::BTreeSet<PageIdx>) {
+        self.pages.retain(|idx, _| keep.contains(idx));
+    }
+
+    /// Page indices present in both snapshots — the candidates for delta
+    /// compression ("hot pages" when intersected with the dirty set).
+    pub fn common_indices(&self, other: &Snapshot) -> Vec<PageIdx> {
+        self.pages
+            .keys()
+            .filter(|idx| other.pages.contains_key(*idx))
+            .copied()
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("pages", &self.pages.len())
+            .finish()
+    }
+}
+
+impl PartialEq for Snapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.pages == other.pages
+    }
+}
+impl Eq for Snapshot {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn page_of(byte: u8) -> Page {
+        let mut p = Page::zeroed();
+        p.write_at(0, &[byte]);
+        p
+    }
+
+    #[test]
+    fn overlay_replaces_and_adds() {
+        let mut base = Snapshot::from_pages([(0, page_of(1)), (1, page_of(2))]);
+        let newer = Snapshot::from_pages([(1, page_of(9)), (2, page_of(3))]);
+        base.overlay(&newer);
+        assert_eq!(base.len(), 3);
+        assert_eq!(base.get(1).unwrap().as_slice()[0], 9);
+        assert_eq!(base.get(0).unwrap().as_slice()[0], 1);
+    }
+
+    #[test]
+    fn retain_indices_applies_frees() {
+        let mut s = Snapshot::from_pages([(0, page_of(1)), (1, page_of(2)), (2, page_of(3))]);
+        let keep: BTreeSet<PageIdx> = [0u64, 2].into_iter().collect();
+        s.retain_indices(&keep);
+        assert_eq!(s.len(), 2);
+        assert!(s.get(1).is_none());
+    }
+
+    #[test]
+    fn common_indices_intersects() {
+        let a = Snapshot::from_pages([(0, page_of(1)), (1, page_of(2)), (5, page_of(3))]);
+        let b = Snapshot::from_pages([(1, page_of(9)), (5, page_of(9)), (7, page_of(9))]);
+        assert_eq!(a.common_indices(&b), vec![1, 5]);
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        let a = Snapshot::from_pages([(0, page_of(1))]);
+        let b = Snapshot::from_pages([(0, page_of(1))]);
+        let c = Snapshot::from_pages([(0, page_of(2))]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bytes_counts_pages() {
+        let s = Snapshot::from_pages([(0, page_of(1)), (9, page_of(2))]);
+        assert_eq!(s.bytes(), 2 * PAGE_SIZE as u64);
+    }
+}

@@ -1,0 +1,397 @@
+//! The simulated process address space with `mprotect`-style write tracking.
+
+use std::collections::BTreeMap;
+
+use crate::clock::SimTime;
+use crate::page::{Page, PageIdx, PAGE_SIZE};
+use crate::snapshot::Snapshot;
+
+/// One entry in the dirty-page log.
+///
+/// `arrival` is the virtual time of the *first* write to the page in the
+/// current checkpoint interval — exactly what the paper's SIGSEGV handler
+/// records and what the hot-page grouping of Section IV.E consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirtyRecord {
+    /// Virtual page number.
+    pub page: PageIdx,
+    /// Virtual time of the first write in this interval.
+    pub arrival: SimTime,
+    /// True if the page did not exist before this interval (fresh
+    /// allocation, like pages H and I in the paper's Scenario 1).
+    pub newly_allocated: bool,
+}
+
+#[derive(Clone)]
+struct PageEntry {
+    page: Page,
+    /// Write-protected? (set by `begin_interval`, cleared on first write)
+    protected: bool,
+    /// Allocated during the current interval?
+    fresh: bool,
+}
+
+/// Simulated paged address space with incremental-checkpoint write tracking.
+///
+/// Mirrors the BLCR + `mprotect` mechanism of the paper (Section IV.B): call
+/// [`AddressSpace::begin_interval`] where BLCR write-protects the address
+/// space, then drive writes through [`AddressSpace::write`]; the first write
+/// to each protected page is logged with its arrival time.
+#[derive(Clone, Default)]
+pub struct AddressSpace {
+    pages: BTreeMap<PageIdx, PageEntry>,
+    dirty: Vec<DirtyRecord>,
+    /// Total number of faults (first-writes) ever taken; a cheap proxy for
+    /// the `mprotect` overhead a real implementation would pay.
+    faults: u64,
+    /// Write-trace recorder (None = off). See [`crate::trace`].
+    recorder: Option<Vec<crate::trace::TraceEvent>>,
+}
+
+impl AddressSpace {
+    /// An empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident (allocated) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE as u64
+    }
+
+    /// Total number of write faults taken since creation.
+    pub fn fault_count(&self) -> u64 {
+        self.faults
+    }
+
+    /// Allocate `count` zeroed pages starting at virtual page `start`.
+    /// Already-present pages are left untouched.
+    ///
+    /// Newly allocated pages are *not* protected: like a fresh anonymous
+    /// mapping they are dirty by definition and are logged on first write.
+    pub fn allocate(&mut self, start: PageIdx, count: u64) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push(crate::trace::TraceEvent::Allocate { start, count });
+        }
+        for idx in start..start + count {
+            self.pages.entry(idx).or_insert_with(|| PageEntry {
+                page: Page::zeroed(),
+                protected: false,
+                fresh: true,
+            });
+        }
+    }
+
+    /// Free pages in `[start, start+count)`. Missing pages are ignored.
+    /// Freed pages disappear from subsequent checkpoints (page C in the
+    /// paper's Scenario 1).
+    pub fn free(&mut self, start: PageIdx, count: u64) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push(crate::trace::TraceEvent::Free { start, count });
+        }
+        for idx in start..start + count {
+            self.pages.remove(&idx);
+        }
+        self.dirty.retain(|d| !(d.page >= start && d.page < start + count));
+    }
+
+    /// Begin recording a write trace (see [`crate::trace`]). Recording has
+    /// no observable effect on the space's behaviour.
+    pub fn start_recording(&mut self) {
+        self.recorder = Some(Vec::new());
+    }
+
+    /// Stop recording and take the recorded events.
+    pub fn take_recording(&mut self) -> Vec<crate::trace::TraceEvent> {
+        self.recorder.take().unwrap_or_default()
+    }
+
+    /// True if the page is resident.
+    pub fn contains(&self, idx: PageIdx) -> bool {
+        self.pages.contains_key(&idx)
+    }
+
+    /// Iterate over resident page numbers in ascending order.
+    pub fn page_indices(&self) -> impl Iterator<Item = PageIdx> + '_ {
+        self.pages.keys().copied()
+    }
+
+    /// Read-only access to a resident page.
+    pub fn page(&self, idx: PageIdx) -> Option<&Page> {
+        self.pages.get(&idx).map(|e| &e.page)
+    }
+
+    /// Begin a new checkpoint interval: write-protect every resident page and
+    /// clear the dirty log. Returns the dirty log of the finished interval.
+    ///
+    /// This is the simulated `mprotect(PROT_READ)` sweep BLCR performs at
+    /// each checkpoint (paper Section IV.B).
+    pub fn begin_interval(&mut self) -> Vec<DirtyRecord> {
+        for entry in self.pages.values_mut() {
+            entry.protected = true;
+            entry.fresh = false;
+        }
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// The dirty log of the current interval, in arrival order.
+    pub fn dirty_log(&self) -> &[DirtyRecord] {
+        &self.dirty
+    }
+
+    /// Number of dirty pages in the current interval (the paper's `DP`
+    /// lightweight metric).
+    pub fn dirty_page_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Write `data` at byte address `addr` at virtual time `now`.
+    ///
+    /// The write may span multiple pages. The first write of the interval to
+    /// each touched page takes a simulated protection fault: the page is
+    /// logged as dirty (with arrival time `now`) and un-protected.
+    ///
+    /// # Panics
+    /// Panics if any touched page is not resident (a real process would
+    /// SIGSEGV fatally).
+    pub fn write(&mut self, addr: u64, data: &[u8], now: SimTime) {
+        let mut offset = 0usize;
+        while offset < data.len() {
+            let byte_addr = addr + offset as u64;
+            let page_idx = byte_addr / PAGE_SIZE as u64;
+            let in_page = (byte_addr % PAGE_SIZE as u64) as usize;
+            let take = (PAGE_SIZE - in_page).min(data.len() - offset);
+            self.write_page(page_idx, in_page, &data[offset..offset + take], now);
+            offset += take;
+        }
+    }
+
+    /// Write `data` into page `idx` starting at `offset` within the page.
+    ///
+    /// # Panics
+    /// Panics if the page is not resident or the write overruns the page.
+    pub fn write_page(&mut self, idx: PageIdx, offset: usize, data: &[u8], now: SimTime) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push(crate::trace::TraceEvent::Write {
+                page: idx,
+                offset,
+                data: data.to_vec(),
+                at: now,
+            });
+        }
+        let entry = self
+            .pages
+            .get_mut(&idx)
+            .unwrap_or_else(|| panic!("segfault: write to unmapped page {idx}"));
+        if entry.protected {
+            // Simulated protection fault: record and unprotect.
+            entry.protected = false;
+            self.faults += 1;
+            self.dirty.push(DirtyRecord {
+                page: idx,
+                arrival: now,
+                newly_allocated: false,
+            });
+        } else if entry.fresh {
+            // First write to a freshly allocated page: it is dirty by
+            // definition but took no fault (no protection was installed).
+            entry.fresh = false;
+            self.dirty.push(DirtyRecord {
+                page: idx,
+                arrival: now,
+                newly_allocated: true,
+            });
+        }
+        entry.page.write_at(offset, data);
+    }
+
+    /// Read `len` bytes starting at byte address `addr`.
+    ///
+    /// # Panics
+    /// Panics if any touched page is not resident.
+    pub fn read(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut offset = 0usize;
+        while offset < len {
+            let byte_addr = addr + offset as u64;
+            let page_idx = byte_addr / PAGE_SIZE as u64;
+            let in_page = (byte_addr % PAGE_SIZE as u64) as usize;
+            let take = (PAGE_SIZE - in_page).min(len - offset);
+            let entry = self
+                .pages
+                .get(&page_idx)
+                .unwrap_or_else(|| panic!("segfault: read of unmapped page {page_idx}"));
+            out.extend_from_slice(&entry.page.as_slice()[in_page..in_page + take]);
+            offset += take;
+        }
+        out
+    }
+
+    /// Capture a full snapshot (clone) of all resident pages.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::from_pages(self.pages.iter().map(|(idx, e)| (*idx, e.page.clone())))
+    }
+
+    /// Capture a snapshot of only the given pages (e.g. the dirty set).
+    /// Missing pages are skipped.
+    pub fn snapshot_pages<I: IntoIterator<Item = PageIdx>>(&self, pages: I) -> Snapshot {
+        Snapshot::from_pages(pages.into_iter().filter_map(|idx| {
+            self.pages.get(&idx).map(|e| (idx, e.page.clone()))
+        }))
+    }
+
+    /// Restore the address space to exactly the state of `snap`:
+    /// pages absent from the snapshot are dropped, snapshot pages are
+    /// installed, and all protection state is cleared. Mirrors a
+    /// checkpoint-restart (`cr_restart`) of the whole process image.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        self.pages.clear();
+        for (idx, page) in snap.iter() {
+            self.pages.insert(
+                idx,
+                PageEntry {
+                    page: page.clone(),
+                    protected: false,
+                    fresh: false,
+                },
+            );
+        }
+        self.dirty.clear();
+    }
+}
+
+impl std::fmt::Debug for AddressSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AddressSpace")
+            .field("resident_pages", &self.pages.len())
+            .field("dirty_pages", &self.dirty.len())
+            .field("faults", &self.faults)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn allocate_and_write_marks_dirty_once() {
+        let mut sp = AddressSpace::new();
+        sp.allocate(0, 4);
+        sp.begin_interval();
+        sp.write_page(1, 0, &[1, 2, 3], t(0.5));
+        sp.write_page(1, 100, &[4], t(0.7)); // same page, no new record
+        assert_eq!(sp.dirty_page_count(), 1);
+        assert_eq!(sp.dirty_log()[0].page, 1);
+        assert_eq!(sp.dirty_log()[0].arrival, t(0.5));
+        assert!(!sp.dirty_log()[0].newly_allocated);
+        assert_eq!(sp.fault_count(), 1);
+    }
+
+    #[test]
+    fn fresh_allocation_is_dirty_without_fault() {
+        let mut sp = AddressSpace::new();
+        sp.allocate(0, 1);
+        sp.begin_interval();
+        sp.allocate(5, 1); // fresh during interval
+        sp.write_page(5, 0, &[1], t(1.0));
+        assert_eq!(sp.dirty_page_count(), 1);
+        assert!(sp.dirty_log()[0].newly_allocated);
+        assert_eq!(sp.fault_count(), 0);
+    }
+
+    #[test]
+    fn begin_interval_returns_previous_log_and_reprotects() {
+        let mut sp = AddressSpace::new();
+        sp.allocate(0, 2);
+        sp.begin_interval();
+        sp.write_page(0, 0, &[1], t(0.1));
+        let prev = sp.begin_interval();
+        assert_eq!(prev.len(), 1);
+        assert_eq!(sp.dirty_page_count(), 0);
+        // The page is protected again: a write faults again.
+        sp.write_page(0, 0, &[2], t(1.0));
+        assert_eq!(sp.dirty_page_count(), 1);
+        assert_eq!(sp.fault_count(), 2);
+    }
+
+    #[test]
+    fn cross_page_write_touches_both_pages() {
+        let mut sp = AddressSpace::new();
+        sp.allocate(0, 2);
+        sp.begin_interval();
+        let data = vec![7u8; 100];
+        sp.write(PAGE_SIZE as u64 - 50, &data, t(0.2));
+        assert_eq!(sp.dirty_page_count(), 2);
+        let back = sp.read(PAGE_SIZE as u64 - 50, 100);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn free_removes_pages_and_dirty_records() {
+        let mut sp = AddressSpace::new();
+        sp.allocate(0, 3);
+        sp.begin_interval();
+        sp.write_page(2, 0, &[9], t(0.1));
+        sp.free(2, 1);
+        assert!(!sp.contains(2));
+        assert_eq!(sp.dirty_page_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "segfault")]
+    fn write_to_unmapped_page_panics() {
+        let mut sp = AddressSpace::new();
+        sp.write_page(0, 0, &[1], t(0.0));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut sp = AddressSpace::new();
+        sp.allocate(0, 3);
+        sp.write_page(0, 0, &[1, 2, 3], t(0.0));
+        sp.write_page(2, 10, &[4, 5], t(0.0));
+        let snap = sp.snapshot();
+
+        sp.write_page(0, 0, &[9, 9, 9], t(1.0));
+        sp.free(2, 1);
+        sp.allocate(7, 1);
+
+        sp.restore(&snap);
+        assert_eq!(sp.resident_pages(), 3);
+        assert_eq!(sp.read(0, 3), vec![1, 2, 3]);
+        assert_eq!(&sp.read(2 * PAGE_SIZE as u64 + 10, 2), &[4, 5]);
+        assert!(!sp.contains(7));
+    }
+
+    #[test]
+    fn snapshot_pages_filters() {
+        let mut sp = AddressSpace::new();
+        sp.allocate(0, 5);
+        let snap = sp.snapshot_pages([1u64, 3, 99]);
+        assert_eq!(snap.len(), 2);
+        assert!(snap.get(1).is_some());
+        assert!(snap.get(99).is_none());
+    }
+
+    #[test]
+    fn dirty_log_preserves_arrival_order() {
+        let mut sp = AddressSpace::new();
+        sp.allocate(0, 10);
+        sp.begin_interval();
+        sp.write_page(5, 0, &[1], t(0.1));
+        sp.write_page(2, 0, &[1], t(0.2));
+        sp.write_page(8, 0, &[1], t(0.3));
+        let pages: Vec<_> = sp.dirty_log().iter().map(|d| d.page).collect();
+        assert_eq!(pages, vec![5, 2, 8]);
+    }
+}

@@ -1,0 +1,442 @@
+//! Generic parameterized synthetic kernels.
+//!
+//! These are used by unit/property tests and ablation studies where a
+//! controllable, single-knob workload is more useful than a SPEC persona.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clock::{SimTime, VirtualClock};
+use crate::space::AddressSpace;
+use crate::workloads::{apply_write, Workload, WriteStyle};
+
+/// Virtual duration of one workload step (10 ms). Small enough that dirty
+/// pages get meaningfully distinct arrival times at the paper's 1-second
+/// decision granularity.
+pub const STEP: f64 = 0.01;
+
+/// A workload that sweeps sequentially over its footprint, dirtying
+/// `pages_per_step` pages per 10 ms step with a fixed [`WriteStyle`].
+///
+/// Models streaming kernels (stencils, lattice sweeps).
+#[derive(Debug, Clone)]
+pub struct StreamingWorkload {
+    name: String,
+    rng: StdRng,
+    footprint_pages: u64,
+    pages_per_step: u64,
+    style: WriteStyle,
+    base_time: SimTime,
+    cursor: u64,
+}
+
+impl StreamingWorkload {
+    /// Create a streaming workload.
+    pub fn new(
+        name: impl Into<String>,
+        seed: u64,
+        footprint_pages: u64,
+        pages_per_step: u64,
+        style: WriteStyle,
+        base_time: SimTime,
+    ) -> Self {
+        assert!(footprint_pages > 0 && pages_per_step > 0);
+        StreamingWorkload {
+            name: name.into(),
+            rng: StdRng::seed_from_u64(seed),
+            footprint_pages,
+            pages_per_step,
+            style,
+            base_time,
+            cursor: 0,
+        }
+    }
+}
+
+impl Workload for StreamingWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init(&mut self, space: &mut AddressSpace, clock: &mut VirtualClock) {
+        space.allocate(0, self.footprint_pages);
+        for p in 0..self.footprint_pages {
+            apply_write(space, p, WriteStyle::Structured, clock.now(), &mut self.rng);
+        }
+    }
+
+    fn step(&mut self, space: &mut AddressSpace, clock: &mut VirtualClock) {
+        for _ in 0..self.pages_per_step {
+            let p = self.cursor % self.footprint_pages;
+            apply_write(space, p, self.style, clock.now(), &mut self.rng);
+            self.cursor += 1;
+        }
+        clock.advance_secs(STEP);
+    }
+
+    fn base_time(&self) -> SimTime {
+        self.base_time
+    }
+}
+
+/// A workload with a hot set written every step and a cold set written
+/// rarely. The classic skewed-access model; useful for testing hot-page
+/// selection and sample-buffer behaviour.
+#[derive(Debug, Clone)]
+pub struct HotColdWorkload {
+    name: String,
+    rng: StdRng,
+    hot_pages: u64,
+    cold_pages: u64,
+    /// Probability (0..=1) that a step also dirties one cold page.
+    cold_rate: f64,
+    style: WriteStyle,
+    base_time: SimTime,
+}
+
+impl HotColdWorkload {
+    /// Create a hot/cold workload. `cold_rate` is the per-step probability
+    /// of dirtying one random cold page.
+    pub fn new(
+        name: impl Into<String>,
+        seed: u64,
+        hot_pages: u64,
+        cold_pages: u64,
+        cold_rate: f64,
+        style: WriteStyle,
+        base_time: SimTime,
+    ) -> Self {
+        assert!(hot_pages > 0);
+        assert!((0.0..=1.0).contains(&cold_rate));
+        HotColdWorkload {
+            name: name.into(),
+            rng: StdRng::seed_from_u64(seed),
+            hot_pages,
+            cold_pages,
+            cold_rate,
+            style,
+            base_time,
+        }
+    }
+}
+
+impl Workload for HotColdWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init(&mut self, space: &mut AddressSpace, clock: &mut VirtualClock) {
+        space.allocate(0, self.hot_pages + self.cold_pages);
+        for p in 0..self.hot_pages + self.cold_pages {
+            apply_write(space, p, WriteStyle::Structured, clock.now(), &mut self.rng);
+        }
+    }
+
+    fn step(&mut self, space: &mut AddressSpace, clock: &mut VirtualClock) {
+        let hot = self.rng.gen_range(0..self.hot_pages);
+        apply_write(space, hot, self.style, clock.now(), &mut self.rng);
+        if self.cold_pages > 0 && self.rng.gen_bool(self.cold_rate) {
+            let cold = self.hot_pages + self.rng.gen_range(0..self.cold_pages);
+            apply_write(space, cold, self.style, clock.now(), &mut self.rng);
+        }
+        clock.advance_secs(STEP);
+    }
+
+    fn base_time(&self) -> SimTime {
+        self.base_time
+    }
+}
+
+/// A workload alternating between a *quiet* phase (few dirty pages) and a
+/// *burst* phase (many dirty pages with fresh content). Produces the wide
+/// delta-latency/size swings of the paper's Fig. 2 in their purest form.
+#[derive(Debug, Clone)]
+pub struct PhasedWorkload {
+    name: String,
+    rng: StdRng,
+    footprint_pages: u64,
+    quiet_secs: f64,
+    burst_secs: f64,
+    /// Pages dirtied per step while quiet.
+    quiet_rate: u64,
+    /// Pages dirtied per step while bursting.
+    burst_rate: u64,
+    base_time: SimTime,
+    cursor: u64,
+}
+
+impl PhasedWorkload {
+    /// Create a phased workload alternating `quiet_secs` of light writing
+    /// with `burst_secs` of heavy writing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        seed: u64,
+        footprint_pages: u64,
+        quiet_secs: f64,
+        burst_secs: f64,
+        quiet_rate: u64,
+        burst_rate: u64,
+        base_time: SimTime,
+    ) -> Self {
+        assert!(quiet_secs > 0.0 && burst_secs > 0.0 && footprint_pages > 0);
+        PhasedWorkload {
+            name: name.into(),
+            rng: StdRng::seed_from_u64(seed),
+            footprint_pages,
+            quiet_secs,
+            burst_secs,
+            quiet_rate,
+            burst_rate,
+            base_time,
+            cursor: 0,
+        }
+    }
+
+    /// True if the workload is currently in its burst phase at time `now`.
+    pub fn in_burst(&self, now: SimTime) -> bool {
+        let period = self.quiet_secs + self.burst_secs;
+        (now.as_secs() % period) >= self.quiet_secs
+    }
+}
+
+impl Workload for PhasedWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init(&mut self, space: &mut AddressSpace, clock: &mut VirtualClock) {
+        space.allocate(0, self.footprint_pages);
+        for p in 0..self.footprint_pages {
+            apply_write(space, p, WriteStyle::Structured, clock.now(), &mut self.rng);
+        }
+    }
+
+    fn step(&mut self, space: &mut AddressSpace, clock: &mut VirtualClock) {
+        if self.in_burst(clock.now()) {
+            // Burst: fresh high-entropy content across the whole footprint.
+            for _ in 0..self.burst_rate {
+                let p = self.cursor % self.footprint_pages;
+                apply_write(space, p, WriteStyle::FullEntropy, clock.now(), &mut self.rng);
+                self.cursor += 1;
+            }
+        } else {
+            // Quiet: small contiguous edits confined to a hot subset, so
+            // quiet-phase checkpoints carry small, compressible deltas.
+            let hot = (self.footprint_pages / 16).max(1);
+            for _ in 0..self.quiet_rate {
+                let p = self.cursor % hot;
+                apply_write(
+                    space,
+                    p,
+                    WriteStyle::PartialEntropy(100),
+                    clock.now(),
+                    &mut self.rng,
+                );
+                self.cursor += 1;
+            }
+        }
+        clock.advance_secs(STEP);
+    }
+
+    fn base_time(&self) -> SimTime {
+        self.base_time
+    }
+}
+
+/// A workload that grows (allocates) and shrinks (frees) its footprint over
+/// time, exercising the new-page / freed-page paths of incremental
+/// checkpointing (pages H, I and C of the paper's Scenario 1).
+#[derive(Debug, Clone)]
+pub struct GrowShrinkWorkload {
+    name: String,
+    rng: StdRng,
+    base_pages: u64,
+    max_extra_pages: u64,
+    extra: u64,
+    growing: bool,
+    base_time: SimTime,
+}
+
+impl GrowShrinkWorkload {
+    /// Create a workload oscillating between `base_pages` and
+    /// `base_pages + max_extra_pages` resident pages.
+    pub fn new(
+        name: impl Into<String>,
+        seed: u64,
+        base_pages: u64,
+        max_extra_pages: u64,
+        base_time: SimTime,
+    ) -> Self {
+        assert!(base_pages > 0);
+        GrowShrinkWorkload {
+            name: name.into(),
+            rng: StdRng::seed_from_u64(seed),
+            base_pages,
+            max_extra_pages,
+            extra: 0,
+            growing: true,
+            base_time,
+        }
+    }
+}
+
+impl Workload for GrowShrinkWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init(&mut self, space: &mut AddressSpace, clock: &mut VirtualClock) {
+        space.allocate(0, self.base_pages);
+        for p in 0..self.base_pages {
+            apply_write(space, p, WriteStyle::Structured, clock.now(), &mut self.rng);
+        }
+    }
+
+    fn step(&mut self, space: &mut AddressSpace, clock: &mut VirtualClock) {
+        // Touch one base page every step.
+        let p = self.rng.gen_range(0..self.base_pages);
+        apply_write(
+            space,
+            p,
+            WriteStyle::PartialEntropy(200),
+            clock.now(),
+            &mut self.rng,
+        );
+        // Grow or shrink the heap tail.
+        if self.growing {
+            let idx = self.base_pages + self.extra;
+            space.allocate(idx, 1);
+            apply_write(space, idx, WriteStyle::Structured, clock.now(), &mut self.rng);
+            self.extra += 1;
+            if self.extra >= self.max_extra_pages {
+                self.growing = false;
+            }
+        } else if self.extra > 0 {
+            self.extra -= 1;
+            space.free(self.base_pages + self.extra, 1);
+            if self.extra == 0 {
+                self.growing = true;
+            }
+        }
+        clock.advance_secs(STEP);
+    }
+
+    fn base_time(&self) -> SimTime {
+        self.base_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_for(wl: &mut dyn Workload, secs: f64) -> (AddressSpace, VirtualClock) {
+        let mut sp = AddressSpace::new();
+        let mut clock = VirtualClock::new();
+        wl.init(&mut sp, &mut clock);
+        sp.begin_interval();
+        while clock.now().as_secs() < secs {
+            wl.step(&mut sp, &mut clock);
+        }
+        (sp, clock)
+    }
+
+    #[test]
+    fn streaming_dirties_sequentially() {
+        let mut wl = StreamingWorkload::new(
+            "s",
+            1,
+            64,
+            2,
+            WriteStyle::FullEntropy,
+            SimTime::from_secs(10.0),
+        );
+        let (sp, _) = run_for(&mut wl, 0.1);
+        // ~10 steps * 2 pages (one extra step possible from float rounding).
+        let n = sp.dirty_page_count();
+        assert!((20..=22).contains(&n), "n={n}");
+        let pages: Vec<_> = sp.dirty_log().iter().map(|d| d.page).collect();
+        assert_eq!(pages, (0..n as u64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn hot_cold_dirty_set_is_small() {
+        let mut wl = HotColdWorkload::new(
+            "hc",
+            2,
+            4,
+            1000,
+            0.01,
+            WriteStyle::PartialEntropy(100),
+            SimTime::from_secs(10.0),
+        );
+        let (sp, _) = run_for(&mut wl, 1.0);
+        // Hot set is 4 pages; cold writes are rare (≈1 per 100 steps).
+        assert!(sp.dirty_page_count() <= 4 + 5, "{}", sp.dirty_page_count());
+    }
+
+    #[test]
+    fn phased_burst_dirties_more_than_quiet() {
+        let mut wl = PhasedWorkload::new("ph", 3, 2048, 1.0, 1.0, 1, 30, SimTime::from_secs(60.0));
+        let mut sp = AddressSpace::new();
+        let mut clock = VirtualClock::new();
+        wl.init(&mut sp, &mut clock);
+
+        sp.begin_interval();
+        while clock.now().as_secs() < 0.9 {
+            wl.step(&mut sp, &mut clock);
+        }
+        let quiet_dirty = sp.dirty_page_count();
+
+        // Skip into burst phase.
+        while clock.now().as_secs() < 1.0 {
+            wl.step(&mut sp, &mut clock);
+        }
+        sp.begin_interval();
+        while clock.now().as_secs() < 1.9 {
+            wl.step(&mut sp, &mut clock);
+        }
+        let burst_dirty = sp.dirty_page_count();
+        assert!(
+            burst_dirty > quiet_dirty * 3,
+            "burst {burst_dirty} vs quiet {quiet_dirty}"
+        );
+    }
+
+    #[test]
+    fn grow_shrink_oscillates_footprint() {
+        let mut wl = GrowShrinkWorkload::new("gs", 4, 16, 8, SimTime::from_secs(10.0));
+        let mut sp = AddressSpace::new();
+        let mut clock = VirtualClock::new();
+        wl.init(&mut sp, &mut clock);
+        let base = sp.resident_pages();
+        for _ in 0..8 {
+            wl.step(&mut sp, &mut clock);
+        }
+        assert_eq!(sp.resident_pages(), base + 8);
+        for _ in 0..8 {
+            wl.step(&mut sp, &mut clock);
+        }
+        assert_eq!(sp.resident_pages(), base);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let mk = || {
+            StreamingWorkload::new(
+                "d",
+                99,
+                32,
+                3,
+                WriteStyle::PartialEntropy(500),
+                SimTime::from_secs(5.0),
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let (sa, _) = run_for(&mut a, 0.5);
+        let (sb, _) = run_for(&mut b, 0.5);
+        assert_eq!(sa.snapshot(), sb.snapshot());
+    }
+}

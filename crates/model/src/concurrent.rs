@@ -1,0 +1,318 @@
+//! The paper's concurrent multi-level checkpoint models (Fig. 3(a), Fig. 4).
+//!
+//! One checkpoint interval proceeds as: the application works for `w`
+//! seconds, halts for the blocking local phase `c1` (the checkpoint file is
+//! written), then resumes **while** the checkpointing core transfers the
+//! file remotely — to the RAID-5 partner group (finishing at `c2 − c1`) and
+//! to remote storage (finishing at `c3 − c1`). On the success path the
+//! interval therefore costs only `w + c1`; the transfer windows contribute
+//! *failure exposure*, not serial time. A failure during the transfer of
+//! interval *i* forces recovery from interval *i−1*'s remote checkpoint and
+//! a rerun of the overlapped window.
+//!
+//! Three enabled-level configurations are modelled, mirroring Fig. 4:
+//! [`ConcurrentModel::L1L3`], [`ConcurrentModel::L2L3`] (the one AIC
+//! adopts), and [`ConcurrentModel::L1L2L3`]. Each maps a failure level to
+//! the cheapest enabled checkpoint able to recover it:
+//!
+//! * `L1L3`: `f1 → r1` (local file survives a transient), `f2, f3 → r3`;
+//! * `L2L3`: `f1, f2 → r2`, `f3 → r3`;
+//! * `L1L2L3`: `f_k → r_k`.
+//!
+//! During the transfer window the model distinguishes whether the *current*
+//! interval's remote copy is already complete (recovery from the fresh copy
+//! re-enters the window) or not (recovery falls back to the previous
+//! interval's copy and re-runs the lost work, the grey path of Fig. 8).
+
+use crate::failure::FailureRates;
+use crate::markov::{Chain, ChainBuilder};
+use crate::params::LevelCosts;
+
+/// Which checkpoint levels are enabled (L3 always is — Section III.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConcurrentModel {
+    /// Local + remote storage.
+    L1L3,
+    /// RAID-5 group + remote storage (the configuration AIC adopts).
+    L2L3,
+    /// All three levels.
+    L1L2L3,
+}
+
+impl ConcurrentModel {
+    /// All three configurations, in Fig. 4 order.
+    pub const ALL: [ConcurrentModel; 3] =
+        [ConcurrentModel::L1L3, ConcurrentModel::L2L3, ConcurrentModel::L1L2L3];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConcurrentModel::L1L3 => "L1L3",
+            ConcurrentModel::L2L3 => "L2L3",
+            ConcurrentModel::L1L2L3 => "L1L2L3",
+        }
+    }
+
+    /// Build the interval Markov chain for work span `w`.
+    pub fn chain(&self, w: f64, costs: &LevelCosts, rates: &FailureRates) -> Chain {
+        assert!(w > 0.0 && w.is_finite(), "work span must be positive");
+        assert_eq!(rates.levels(), 3, "concurrent models are 3-level");
+        match self {
+            ConcurrentModel::L1L3 => chain_l1l3(w, costs, rates),
+            ConcurrentModel::L2L3 => chain_l2l3(w, costs, rates),
+            ConcurrentModel::L1L2L3 => chain_l1l2l3(w, costs, rates),
+        }
+    }
+
+    /// Expected runtime of one interval, `T_int`. Returns `f64::INFINITY`
+    /// when the interval cannot complete (survival probability underflows —
+    /// the work span is hopeless at this failure rate).
+    pub fn interval_time(&self, w: f64, costs: &LevelCosts, rates: &FailureRates) -> f64 {
+        self.chain(w, costs, rates)
+            .expected_time()
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+/// NET² at work span `w`: `T_int / w` (each interval completes `w` seconds
+/// of useful work, so the per-interval normalized turnaround equals the
+/// whole-run NET² for the static model).
+pub fn net2_at(model: ConcurrentModel, w: f64, costs: &LevelCosts, rates: &FailureRates) -> f64 {
+    model.interval_time(w, costs, rates) / w
+}
+
+// Chain construction notes (shared by all three configurations).
+//
+// One interval covers the serial path "start of span i's work" → "start of
+// span i+1's work": exactly `w + c1` on the success path. The *previous*
+// checkpoint's remote transfer overlaps the first `c3 − c1` seconds of the
+// span (the paper's Fig. 3(a)); attributing the window's failure exposure
+// to the span it overlaps — rather than to its own interval — is what
+// keeps the chain in agreement with the operational Monte-Carlo simulator
+// (`aic-ckpt::sim`): each wall-clock second is failure-exposed exactly
+// once. The span therefore splits into
+//
+// * `S1a` (the first `c3 − c1` seconds): the previous checkpoint is not on
+//   L3 yet. A failure only its L3 copy could absorb falls back one more
+//   checkpoint and re-runs the previous window (the paper's State 5);
+// * `S1b` (the remainder): the previous checkpoint is fully landed, so
+//   every recovery is shallow and only this span is redone (state REDO,
+//   which no longer carries window exposure).
+//
+// Recovery levels per configuration: L1L3 maps f1 → r1 and f2, f3 → r3;
+// L2L3 maps f1, f2 → r2 and f3 → r3; L1L2L3 maps f_k → r_k.
+
+/// Shared topology: build the interval chain given the per-context
+/// recovery times `[shallow_a, shallow_b]` for failures during the window /
+/// after it, and which failure levels are *deep* during the window (cannot
+/// be absorbed until the previous checkpoint reaches L3).
+struct ChainSpec {
+    /// Recovery time for level k during the window (None = deep path).
+    window_rec: [Option<f64>; 3],
+    /// Recovery time for level k after the window (always shallow).
+    span_rec: [f64; 3],
+}
+
+fn build_interval_chain(
+    w: f64,
+    c1: f64,
+    win: f64,
+    r3: f64,
+    spec: &ChainSpec,
+    rates: &FailureRates,
+) -> Chain {
+    let mut b = ChainBuilder::new();
+    let span = w + c1;
+    let win_a = win.min(span);
+    let win_b = (span - win_a).max(0.0);
+
+    let s1a = b.state("S1a:window");
+    let s1b = b.state("S1b:landed");
+    let redo = b.state("REDO:span");
+    let rerun = b.state("RERUN:prev-window");
+    let rec3_deep = b.state("R3:deep");
+    let done = b.absorbing("DONE");
+
+    // Recovery states per (context, level): window-context recoveries
+    // re-enter S1a (the restarted transfer overlaps the redone span),
+    // post-window recoveries re-enter REDO, rerun-context recoveries
+    // re-enter RERUN.
+    let rec_a: Vec<_> = (0..3).map(|k| b.state(format!("Ra{k}"))).collect();
+    let rec_b: Vec<_> = (0..3).map(|k| b.state(format!("Rb{k}"))).collect();
+    let rec_rr: Vec<_> = (0..3).map(|k| b.state(format!("Rrr{k}"))).collect();
+
+    // Failure destinations during the window: shallow recovery where a
+    // surviving copy exists, the deep path otherwise.
+    let window_dests: Vec<_> = (0..3)
+        .map(|k| match spec.window_rec[k] {
+            Some(_) => rec_a[k],
+            None => rec3_deep,
+        })
+        .collect();
+    let span_dests: Vec<_> = (0..3).map(|k| rec_b[k]).collect();
+    let rerun_dests: Vec<_> = (0..3).map(|k| rec_rr[k]).collect();
+
+    b.exposure(s1a, win_a, win_a, s1b, &window_dests, rates);
+    b.exposure(s1b, win_b, win_b, done, &span_dests, rates);
+    b.exposure(redo, span, span, done, &span_dests, rates);
+    // The paper's State 5: re-run the previous interval's window work, then
+    // restart the span (the re-cut checkpoint's transfer overlaps again).
+    b.exposure(rerun, win, win, s1a, &rerun_dests, rates);
+    b.exposure(rec3_deep, r3, r3, rerun, &[rec3_deep, rec3_deep, rec3_deep], rates);
+
+    for k in 0..3 {
+        let ra_time = spec.window_rec[k].unwrap_or(r3);
+        b.exposure(rec_a[k], ra_time, ra_time, s1a, &window_dests, rates);
+        b.exposure(rec_b[k], spec.span_rec[k], spec.span_rec[k], redo, &span_dests, rates);
+        b.exposure(rec_rr[k], spec.span_rec[k], spec.span_rec[k], rerun, &rerun_dests, rates);
+    }
+
+    b.build(s1a)
+}
+
+fn chain_l1l3(w: f64, costs: &LevelCosts, rates: &FailureRates) -> Chain {
+    let spec = ChainSpec {
+        // f1: the local file survives a transient even mid-window. f2/f3:
+        // only L3 can absorb them, and the fresh copy is still in flight.
+        window_rec: [Some(costs.r(1)), None, None],
+        span_rec: [costs.r(1), costs.r(3), costs.r(3)],
+    };
+    build_interval_chain(w, costs.c(1), costs.transfer(3), costs.r(3), &spec, rates)
+}
+
+fn chain_l2l3(w: f64, costs: &LevelCosts, rates: &FailureRates) -> Chain {
+    let spec = ChainSpec {
+        // f1/f2 recover from the RAID group (the previous checkpoint's L2
+        // copy lands within c2 − c1 ≪ w); f3 during the window is deep.
+        window_rec: [Some(costs.r(2)), Some(costs.r(2)), None],
+        span_rec: [costs.r(2), costs.r(2), costs.r(3)],
+    };
+    build_interval_chain(w, costs.c(1), costs.transfer(3), costs.r(3), &spec, rates)
+}
+
+fn chain_l1l2l3(w: f64, costs: &LevelCosts, rates: &FailureRates) -> Chain {
+    let spec = ChainSpec {
+        window_rec: [Some(costs.r(1)), Some(costs.r(2)), None],
+        span_rec: [costs.r(1), costs.r(2), costs.r(3)],
+    };
+    build_interval_chain(w, costs.c(1), costs.transfer(3), costs.r(3), &spec, rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CoastalProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn coastal() -> (LevelCosts, FailureRates) {
+        let p = CoastalProfile::default();
+        (p.costs(), p.rates())
+    }
+
+    #[test]
+    fn no_failure_limit_is_w_plus_c1() {
+        let (costs, _) = coastal();
+        let rates = FailureRates::three(1e-15, 1e-15, 1e-15);
+        let w = 10_000.0;
+        for m in ConcurrentModel::ALL {
+            let t = m.interval_time(w, &costs, &rates);
+            assert!(
+                (t - (w + costs.c(1))).abs() < 1.0,
+                "{}: T_int={t}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn net2_above_one_with_failures() {
+        let (costs, rates) = coastal();
+        for m in ConcurrentModel::ALL {
+            let n = net2_at(m, 5_000.0, &costs, &rates);
+            assert!(n > 1.0 && n < 2.0, "{}: {n}", m.name());
+        }
+    }
+
+    #[test]
+    fn l2l3_close_to_l1l2l3() {
+        // Paper Fig. 5/6: L2L3 and L1L2L3 are consistently very close.
+        let (costs, rates) = coastal();
+        for scale in [1.0, 5.0, 10.0] {
+            let s = crate::params::SystemScale {
+                size: scale,
+                app: crate::params::AppType::Mpi,
+            };
+            let c = s.costs(&costs);
+            let r = s.rates(&rates);
+            let w = (c.c(3) - c.c(1)).max(5_000.0);
+            let a = net2_at(ConcurrentModel::L2L3, w, &c, &r);
+            let b = net2_at(ConcurrentModel::L1L2L3, w, &c, &r);
+            assert!(
+                (a - b).abs() / b < 0.02,
+                "scale {scale}: L2L3={a} L1L2L3={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn l1l3_much_worse_at_large_scale() {
+        // Paper Fig. 5: L1L3 suffers because every f2 (the dominant rate)
+        // must be recovered from slow L3.
+        let (costs, rates) = coastal();
+        let s = crate::params::SystemScale {
+            size: 10.0,
+            app: crate::params::AppType::Mpi,
+        };
+        let c = s.costs(&costs);
+        let r = s.rates(&rates);
+        let w = (c.c(3) - c.c(1)).max(5_000.0);
+        let l13 = net2_at(ConcurrentModel::L1L3, w, &c, &r);
+        let l23 = net2_at(ConcurrentModel::L2L3, w, &c, &r);
+        assert!(l13 > 1.2 * l23, "L1L3={l13} L2L3={l23}");
+    }
+
+    #[test]
+    fn interval_time_increases_with_failure_rate() {
+        let (costs, rates) = coastal();
+        let w = 5_000.0;
+        let t1 = ConcurrentModel::L2L3.interval_time(w, &costs, &rates);
+        let t2 = ConcurrentModel::L2L3.interval_time(w, &costs, &rates.scaled(20.0));
+        assert!(t2 > t1, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn chain_solver_matches_monte_carlo() {
+        let (costs, rates) = coastal();
+        let rates = rates.with_total(1e-3); // testbed rate so failures occur
+        let chain = ConcurrentModel::L2L3.chain(2_000.0, &costs, &rates);
+        let exact = chain.expected_time().unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| chain.sample(&mut rng)).sum::<f64>() / n as f64;
+        let rel = (mean - exact).abs() / exact;
+        assert!(rel < 0.02, "exact={exact} mc={mean}");
+    }
+
+    #[test]
+    fn net2_has_interior_minimum_in_w() {
+        // Too-small w pays c1 too often; too-large w loses too much work on
+        // failure: NET²(w) must dip in between. Probed within the feasible
+        // region (w ≥ c3 − c1, the drain rule) with a c1 big enough that
+        // the Young/Daly optimum √(2·c1/λ) lies in the interior.
+        let costs = LevelCosts::symmetric(20.0, 40.0, 200.0);
+        let rates = CoastalProfile::default().rates().with_total(1e-4);
+        let lo = net2_at(ConcurrentModel::L2L3, 200.0, &costs, &rates);
+        let mid = net2_at(ConcurrentModel::L2L3, 650.0, &costs, &rates);
+        let hi = net2_at(ConcurrentModel::L2L3, 100_000.0, &costs, &rates);
+        assert!(mid < lo, "mid={mid} lo={lo}");
+        assert!(mid < hi, "mid={mid} hi={hi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_w_rejected() {
+        let (costs, rates) = coastal();
+        let _ = ConcurrentModel::L2L3.chain(0.0, &costs, &rates);
+    }
+}

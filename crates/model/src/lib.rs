@@ -1,0 +1,54 @@
+//! # aic-model — Markov models for multi-level concurrent checkpointing
+//!
+//! Implements Section III of *"Adaptive Incremental Checkpointing via Delta
+//! Compression for Networked Multicore Systems"* (IPDPS 2013):
+//!
+//! * a generic absorbing **Markov chain** whose edges carry transition
+//!   probabilities and expected sojourn times, solved exactly by Gaussian
+//!   elimination ([`markov`]),
+//! * the **exponential-failure** edge math (survival probabilities, level
+//!   splitting, conditional time-to-failure) ([`failure`]),
+//! * the paper's three **concurrent** checkpoint models `L1L3`, `L2L3`,
+//!   `L1L2L3` (Fig. 4) ([`concurrent`]),
+//! * the **non-static** per-interval model used by AIC's online decider
+//!   (Fig. 8) ([`nonstatic`]),
+//! * the **Moody** sequential multi-level baseline (SC'10) ([`moody`]),
+//! * the work-span **optimizers**: exhaustive grid, golden section, and the
+//!   paper's Extreme-Value-Theorem + Newton–Raphson scheme ([`optimize`]),
+//! * system profiles (the LLNL *Coastal* cluster), size scaling for MPI and
+//!   RMS applications, and the sharing factor ([`params`]),
+//! * the classic Young/Daly single-level closed forms as a theory anchor
+//!   ([`young_daly`]): the Markov machinery reproduces their optima in the
+//!   single-level limit.
+//!
+//! The figure of merit throughout is **NET²**, the normalized expected
+//! turnaround time `T/t` (total expected runtime over failure-free runtime);
+//! 1.0 is perfect, larger is worse.
+//!
+//! ```
+//! use aic_model::params::CoastalProfile;
+//! use aic_model::concurrent::{ConcurrentModel, net2_at};
+//!
+//! let p = CoastalProfile::default();
+//! let w = 5_000.0;
+//! let n_l2l3 = net2_at(ConcurrentModel::L2L3, w, &p.costs(), &p.rates());
+//! assert!(n_l2l3 > 1.0 && n_l2l3 < 1.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod concurrent;
+pub mod failure;
+pub mod linalg;
+pub mod markov;
+pub mod moody;
+pub mod nonstatic;
+pub mod optimize;
+pub mod params;
+pub mod planner;
+pub mod young_daly;
+
+pub use concurrent::ConcurrentModel;
+pub use failure::FailureRates;
+pub use markov::{Chain, ChainBuilder};
+pub use params::{AppType, CoastalProfile, LevelCosts, SystemScale};

@@ -1,0 +1,281 @@
+//! The Moody et al. (SC'10) sequential multi-level checkpointing baseline.
+//!
+//! Moody's scheme takes checkpoints **sequentially** (the application blocks
+//! for the full `c_k`, Fig. 3(c)) on a periodic schedule parameterized by
+//! counts `n_k`: how many level-k checkpoints are taken between consecutive
+//! level-(k+1) checkpoints. One schedule *cycle* is
+//!
+//! `n2 × [ n1 × L1-segments, one L2-segment ]` followed by
+//! `[ n1 × L1-segments, one L3-segment ]`,
+//!
+//! i.e. every segment is `w` seconds of work plus a blocking checkpoint
+//! whose level the schedule dictates; the last checkpoint of a cycle is L3.
+//!
+//! On a level-k failure, execution rolls back to the most recent checkpoint
+//! of level ≥ k (lower-level copies do not survive a level-k failure) and
+//! pays recovery time `r_k` (the data is fetched from level-k storage).
+//! Like the paper, we find Moody's best configuration by exhaustive search
+//! over `(w, n1, n2)` and report its NET².
+
+use std::collections::HashMap;
+
+use crate::failure::FailureRates;
+use crate::markov::{Chain, ChainBuilder, StateId};
+use crate::optimize::golden_minimize;
+use crate::params::LevelCosts;
+
+/// Moody schedule counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoodySchedule {
+    /// Level-1 checkpoints between consecutive level-2 checkpoints.
+    pub n1: usize,
+    /// Level-2 checkpoints between consecutive level-3 checkpoints.
+    pub n2: usize,
+}
+
+impl MoodySchedule {
+    /// The per-segment checkpoint levels of one cycle (ends with L3).
+    pub fn cycle_levels(&self) -> Vec<u8> {
+        let mut levels = Vec::new();
+        for _ in 0..self.n2 {
+            levels.extend(std::iter::repeat(1u8).take(self.n1));
+            levels.push(2);
+        }
+        levels.extend(std::iter::repeat(1u8).take(self.n1));
+        levels.push(3);
+        levels
+    }
+}
+
+/// Find the rollback for a level-`k` failure occurring at segment `j`
+/// (checkpoints available: those completed before `j`): the segment index
+/// execution resumes from. Falls back to 0 (the previous cycle's final L3)
+/// when no sufficient checkpoint exists in the current cycle.
+fn resume_segment(levels: &[u8], j: usize, k: u8) -> usize {
+    for m in (0..j).rev() {
+        if levels[m] >= k {
+            return m + 1;
+        }
+    }
+    0
+}
+
+/// Expected runtime of one Moody cycle at work span `w`.
+pub fn moody_cycle_time(
+    w: f64,
+    sched: &MoodySchedule,
+    costs: &LevelCosts,
+    rates: &FailureRates,
+) -> f64 {
+    // `None` (absorption unreachable after probability underflow) maps to
+    // infinity so optimizers simply avoid the configuration.
+    moody_chain(w, sched, costs, rates)
+        .expected_time()
+        .unwrap_or(f64::INFINITY)
+}
+
+/// NET² of the Moody schedule at work span `w`: cycle time over useful work.
+pub fn moody_net2(w: f64, sched: &MoodySchedule, costs: &LevelCosts, rates: &FailureRates) -> f64 {
+    let s = sched.cycle_levels().len() as f64;
+    moody_cycle_time(w, sched, costs, rates) / (s * w)
+}
+
+/// Build the Markov chain for one cycle of the Moody schedule.
+pub fn moody_chain(
+    w: f64,
+    sched: &MoodySchedule,
+    costs: &LevelCosts,
+    rates: &FailureRates,
+) -> Chain {
+    assert!(w > 0.0 && w.is_finite());
+    let levels = sched.cycle_levels();
+    let s_count = levels.len();
+
+    let mut b = ChainBuilder::new();
+    let segs: Vec<StateId> = (0..s_count)
+        .map(|j| b.state(format!("seg{j}:L{}", levels[j])))
+        .collect();
+    let done = b.absorbing("DONE");
+
+    // Recovery states deduplicated by (failure level, resume segment).
+    let mut rec_states: HashMap<(u8, usize), StateId> = HashMap::new();
+    // First pass: discover all recovery states reachable (from segments and,
+    // transitively, from recoveries).
+    let mut queue: Vec<(u8, usize)> = Vec::new();
+    for (j, _) in levels.iter().enumerate() {
+        for k in 1..=3u8 {
+            let key = (k, resume_segment(&levels, j, k));
+            if !rec_states.contains_key(&key) {
+                let id = b.state(format!("R{k}@{}", key.1));
+                rec_states.insert(key, id);
+                queue.push(key);
+            }
+        }
+    }
+    while let Some((_, resume)) = queue.pop() {
+        for k2 in 1..=3u8 {
+            let key2 = (k2, resume_segment(&levels, resume, k2));
+            if !rec_states.contains_key(&key2) {
+                let id = b.state(format!("R{k2}@{}", key2.1));
+                rec_states.insert(key2, id);
+                queue.push(key2);
+            }
+        }
+    }
+
+    // Wire segments.
+    for (j, &lvl) in levels.iter().enumerate() {
+        let tau = w + costs.c(lvl as usize);
+        let ok = if j + 1 < s_count { segs[j + 1] } else { done };
+        let fail_dests: Vec<StateId> = (1..=3u8)
+            .map(|k| rec_states[&(k, resume_segment(&levels, j, k))])
+            .collect();
+        b.exposure(segs[j], tau, tau, ok, &fail_dests, rates);
+    }
+    // Wire recovery states.
+    for (&(k, resume), &id) in &rec_states {
+        let tau = costs.r(k as usize);
+        let ok = if resume < s_count { segs[resume] } else { done };
+        let fail_dests: Vec<StateId> = (1..=3u8)
+            .map(|k2| rec_states[&(k2, resume_segment(&levels, resume, k2))])
+            .collect();
+        b.exposure(id, tau, tau, ok, &fail_dests, rates);
+    }
+
+    b.build(segs[0])
+}
+
+/// Result of the exhaustive Moody configuration search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoodyOptimum {
+    /// Best work span found.
+    pub w: f64,
+    /// Best schedule.
+    pub sched: MoodySchedule,
+    /// NET² at the optimum.
+    pub net2: f64,
+}
+
+/// Exhaustively search `(w, n1, n2)` for the Moody configuration with the
+/// lowest NET² (the paper runs the authors' released optimizer; we grid over
+/// the same space). `w` is searched on `[w_lo, w_hi]` by golden section per
+/// schedule.
+pub fn moody_optimize(
+    costs: &LevelCosts,
+    rates: &FailureRates,
+    w_lo: f64,
+    w_hi: f64,
+) -> MoodyOptimum {
+    let mut best: Option<MoodyOptimum> = None;
+    for &n1 in &[0usize, 1, 2, 4, 8] {
+        for &n2 in &[0usize, 1, 2, 4, 8] {
+            let sched = MoodySchedule { n1, n2 };
+            let m = golden_minimize(
+                |w| moody_net2(w, &sched, costs, rates),
+                w_lo,
+                w_hi,
+                1e-4,
+            );
+            let cand = MoodyOptimum {
+                w: m.x,
+                sched,
+                net2: m.value,
+            };
+            if best.map_or(true, |b| cand.net2 < b.net2) {
+                best = Some(cand);
+            }
+        }
+    }
+    best.expect("non-empty search space")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CoastalProfile;
+
+    fn coastal() -> (LevelCosts, FailureRates) {
+        let p = CoastalProfile::default();
+        (p.costs(), p.rates())
+    }
+
+    #[test]
+    fn cycle_levels_shapes() {
+        assert_eq!(MoodySchedule { n1: 0, n2: 0 }.cycle_levels(), vec![3]);
+        assert_eq!(MoodySchedule { n1: 2, n2: 0 }.cycle_levels(), vec![1, 1, 3]);
+        assert_eq!(
+            MoodySchedule { n1: 1, n2: 2 }.cycle_levels(),
+            vec![1, 2, 1, 2, 1, 3]
+        );
+    }
+
+    #[test]
+    fn resume_segment_rolls_back_correctly() {
+        let levels = vec![1, 2, 1, 3];
+        // f1 at segment 2: latest ckpt level ≥ 1 is segment 1 (L2) → resume 2.
+        assert_eq!(resume_segment(&levels, 2, 1), 2);
+        // f2 at segment 2: latest level ≥ 2 is segment 1 → resume 2.
+        assert_eq!(resume_segment(&levels, 2, 2), 2);
+        // f3 at segment 2: nothing ≥ 3 before → previous cycle's L3 → 0.
+        assert_eq!(resume_segment(&levels, 2, 3), 0);
+        // f2 at segment 1: nothing ≥ 2 before segment 1 → 0.
+        assert_eq!(resume_segment(&levels, 1, 2), 0);
+    }
+
+    #[test]
+    fn no_failure_limit_is_sum_of_segments() {
+        let (costs, _) = coastal();
+        let rates = FailureRates::three(1e-15, 1e-15, 1e-15);
+        let sched = MoodySchedule { n1: 1, n2: 1 };
+        let w = 1000.0;
+        let t = moody_cycle_time(w, &sched, &costs, &rates);
+        // Segments: L1, L2, L1, L3 → 4w + c1 + c2 + c1 + c3.
+        let expect = 4.0 * w + 0.5 + 4.5 + 0.5 + 1052.0;
+        assert!((t - expect).abs() < 0.5, "t={t} expect={expect}");
+    }
+
+    #[test]
+    fn net2_above_one() {
+        let (costs, rates) = coastal();
+        let n = moody_net2(5_000.0, &MoodySchedule { n1: 0, n2: 4 }, &costs, &rates);
+        assert!(n > 1.0 && n < 2.0, "{n}");
+    }
+
+    #[test]
+    fn optimize_finds_reasonable_config() {
+        let (costs, rates) = coastal();
+        let opt = moody_optimize(&costs, &rates, 100.0, 500_000.0);
+        assert!(opt.net2 > 1.0 && opt.net2 < 1.5, "net2={}", opt.net2);
+        // L2 checkpoints should be used (λ2 dominates on Coastal). The
+        // paper additionally reports Moody's optimum dropping L1; in our
+        // rollback accounting the 0.5-second L1 pays for itself by
+        // shortening f1 rework, so we only pin the L2 usage.
+        assert!(opt.sched.n2 >= 1, "n2={}", opt.sched.n2);
+    }
+
+    #[test]
+    fn more_frequent_l3_helps_when_f3_dominates() {
+        let costs = LevelCosts::symmetric(0.5, 4.5, 50.0);
+        let f3_heavy = FailureRates::three(1e-7, 1e-7, 1e-4);
+        let few = moody_net2(2_000.0, &MoodySchedule { n1: 0, n2: 8 }, &costs, &f3_heavy);
+        let many = moody_net2(2_000.0, &MoodySchedule { n1: 0, n2: 0 }, &costs, &f3_heavy);
+        assert!(many < few, "many={many} few={few}");
+    }
+
+    #[test]
+    fn chain_matches_monte_carlo() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (costs, rates) = coastal();
+        let rates = rates.with_total(1e-4);
+        let chain = moody_chain(2_000.0, &MoodySchedule { n1: 1, n2: 2 }, &costs, &rates);
+        let exact = chain.expected_time().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 30_000;
+        let mean: f64 = (0..n).map(|_| chain.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            ((mean - exact) / exact).abs() < 0.02,
+            "exact={exact} mc={mean}"
+        );
+    }
+}

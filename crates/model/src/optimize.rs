@@ -1,0 +1,209 @@
+//! Work-span optimizers.
+//!
+//! The offline baselines (Moody, SIC) can afford an exhaustive search for
+//! the optimal work span `w*`; AIC's online decider cannot, so the paper
+//! uses the Extreme Value Theorem: compare NET² at both search boundaries
+//! and at one interior stationary point found by Newton–Raphson on
+//! `∂(NET²)/∂w = 0` (≤ 200 iterations, O(1) per decision — Section III.E).
+//! All three searches are provided here over arbitrary `f64 -> f64`
+//! objectives.
+
+/// Result of a one-dimensional minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minimum {
+    /// Argument of the minimum found.
+    pub x: f64,
+    /// Objective value at `x`.
+    pub value: f64,
+}
+
+/// Exhaustive log-spaced grid search over `[lo, hi]` with `n` points.
+/// The gold standard the fast searches are tested against.
+pub fn grid_minimize(f: impl Fn(f64) -> f64, lo: f64, hi: f64, n: usize) -> Minimum {
+    assert!(lo > 0.0 && hi > lo && n >= 2);
+    let ratio = (hi / lo).ln();
+    let mut best = Minimum {
+        x: lo,
+        value: f(lo),
+    };
+    for i in 1..n {
+        let x = lo * (ratio * i as f64 / (n - 1) as f64).exp();
+        let v = f(x);
+        if v < best.value {
+            best = Minimum { x, value: v };
+        }
+    }
+    best
+}
+
+/// Golden-section search on a unimodal objective over `[lo, hi]`.
+pub fn golden_minimize(f: impl Fn(f64) -> f64, lo: f64, hi: f64, tol: f64) -> Minimum {
+    assert!(hi > lo && tol > 0.0);
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - (b - a) * INV_PHI;
+    let mut d = a + (b - a) * INV_PHI;
+    let (mut fc, mut fd) = (f(c), f(d));
+    while (b - a) > tol * (1.0 + a.abs()) {
+        // `<=` tie-breaks toward the left: objectives here can hit an
+        // infinite plateau on the right (survival probability underflow at
+        // huge work spans), and ties must shrink away from it.
+        if fc <= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * INV_PHI;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * INV_PHI;
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    Minimum { x, value: f(x) }
+}
+
+/// Newton–Raphson search for a stationary point of `f` (zero of `f'`),
+/// starting from `x0`, clamped to `[lo, hi]`, with numerical first and
+/// second derivatives. Stops at `max_iter` iterations (the paper caps at
+/// 200) or when the step falls below `tol`.
+///
+/// Returns the final iterate — which, per the paper's EVT scheme, is only a
+/// *candidate*; callers compare it against the boundary values.
+pub fn newton_stationary(
+    f: impl Fn(f64) -> f64,
+    x0: f64,
+    lo: f64,
+    hi: f64,
+    max_iter: usize,
+    tol: f64,
+) -> f64 {
+    assert!(hi > lo && x0 >= lo && x0 <= hi);
+    let mut x = x0;
+    for _ in 0..max_iter {
+        // Relative step for differencing; objectives here vary on scales of
+        // seconds to hours, so scale h with x.
+        let h = (x.abs() * 1e-4).max(1e-6);
+        let f_m = f(x - h);
+        let f_0 = f(x);
+        let f_p = f(x + h);
+        let d1 = (f_p - f_m) / (2.0 * h);
+        let d2 = (f_p - 2.0 * f_0 + f_m) / (h * h);
+        if !d1.is_finite() || !d2.is_finite() || d2.abs() < 1e-300 {
+            break;
+        }
+        let step = d1 / d2;
+        let next = (x - step).clamp(lo, hi);
+        if (next - x).abs() < tol * (1.0 + x.abs()) {
+            x = next;
+            break;
+        }
+        x = next;
+    }
+    x
+}
+
+/// The paper's Extreme-Value-Theorem minimizer: evaluate the objective at
+/// both boundaries and at the Newton–Raphson stationary candidate seeded at
+/// `x0`, and return the best of the three (Section III.E).
+pub fn evt_minimize(f: impl Fn(f64) -> f64, lo: f64, hi: f64, x0: f64) -> Minimum {
+    evt_minimize_with(f, lo, hi, x0, 200, 1e-10)
+}
+
+/// [`evt_minimize`] with an explicit Newton–Raphson budget. Online callers
+/// (AIC's per-second decider) use a small budget: the paper reports < 5 NR
+/// iterations in practice, with 200 as the hard cap.
+pub fn evt_minimize_with(
+    f: impl Fn(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    x0: f64,
+    max_iter: usize,
+    tol: f64,
+) -> Minimum {
+    let xs = newton_stationary(&f, x0.clamp(lo, hi), lo, hi, max_iter, tol);
+    let candidates = [lo, xs, hi];
+    let mut best = Minimum {
+        x: candidates[0],
+        value: f(candidates[0]),
+    };
+    for &x in &candidates[1..] {
+        let v = f(x);
+        if v < best.value {
+            best = Minimum { x, value: v };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parabola(x: f64) -> f64 {
+        (x - 3.0).powi(2) + 1.0
+    }
+
+    #[test]
+    fn grid_finds_parabola_minimum() {
+        let m = grid_minimize(parabola, 0.1, 100.0, 20_000);
+        assert!((m.x - 3.0).abs() < 0.01, "x={}", m.x);
+    }
+
+    #[test]
+    fn golden_finds_parabola_minimum() {
+        let m = golden_minimize(parabola, 0.1, 100.0, 1e-10);
+        assert!((m.x - 3.0).abs() < 1e-6);
+        assert!((m.value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newton_converges_fast_on_smooth_objective() {
+        let x = newton_stationary(parabola, 50.0, 0.1, 100.0, 200, 1e-12);
+        assert!((x - 3.0).abs() < 1e-4, "x={x}");
+    }
+
+    #[test]
+    fn evt_returns_boundary_when_monotone() {
+        // Strictly increasing on the interval: minimum is the left boundary.
+        let f = |x: f64| x * 2.0 + 1.0;
+        let m = evt_minimize(f, 1.0, 10.0, 5.0);
+        assert_eq!(m.x, 1.0);
+        // Strictly decreasing: right boundary.
+        let g = |x: f64| -x;
+        let m = evt_minimize(g, 1.0, 10.0, 5.0);
+        assert_eq!(m.x, 10.0);
+    }
+
+    #[test]
+    fn evt_matches_grid_on_daly_like_objective() {
+        // NET²-shaped objective: (w + c + λ/2·w²·k)/w = 1 + c/w + k·λ·w/2.
+        let c = 100.0;
+        let lam = 1e-4;
+        let f = |w: f64| 1.0 + c / w + lam * w / 2.0;
+        // Analytic optimum: w* = sqrt(2c/λ).
+        let w_star = (2.0 * c / lam).sqrt();
+        let evt = evt_minimize(f, 10.0, 1e6, 500.0);
+        let grid = grid_minimize(f, 10.0, 1e6, 100_000);
+        assert!((evt.x - w_star).abs() / w_star < 1e-3, "evt={} w*={w_star}", evt.x);
+        assert!(evt.value <= grid.value + 1e-9);
+    }
+
+    #[test]
+    fn newton_stays_in_bounds() {
+        // A cubic with its stationary point outside the interval.
+        let f = |x: f64| x.powi(3);
+        let x = newton_stationary(f, 5.0, 1.0, 10.0, 200, 1e-12);
+        assert!((1.0..=10.0).contains(&x));
+    }
+
+    #[test]
+    fn golden_handles_boundary_minimum() {
+        let f = |x: f64| x;
+        let m = golden_minimize(f, 2.0, 9.0, 1e-9);
+        assert!((m.x - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,226 @@
+//! System and application profiles: checkpoint costs, the LLNL Coastal
+//! cluster, size scaling, and the sharing factor.
+
+use crate::failure::FailureRates;
+
+/// Per-level checkpoint latencies and recovery times, in seconds.
+///
+/// Index 0 is level 1. By the paper's convention `L2`/`L3` inherently
+/// execute `L1` first, so `c2 ≥ c1` and `c3 ≥ c1`; the transfer segments on
+/// the checkpointing core last `c2 − c1` and `c3 − c1` (Fig. 3(a)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelCosts {
+    /// Checkpoint latency `c_k` per level.
+    pub c: [f64; 3],
+    /// Recovery time `r_k` per level.
+    pub r: [f64; 3],
+}
+
+impl LevelCosts {
+    /// Costs with `r_k = c_k` (the paper's evaluation setting).
+    pub fn symmetric(c1: f64, c2: f64, c3: f64) -> Self {
+        assert!(c1 >= 0.0 && c2 >= c1 && c3 >= c1, "need c1 ≤ c2, c1 ≤ c3");
+        LevelCosts {
+            c: [c1, c2, c3],
+            r: [c1, c2, c3],
+        }
+    }
+
+    /// Level-k checkpoint latency (1-based).
+    pub fn c(&self, k: usize) -> f64 {
+        self.c[k - 1]
+    }
+
+    /// Level-k recovery time (1-based).
+    pub fn r(&self, k: usize) -> f64 {
+        self.r[k - 1]
+    }
+
+    /// The concurrent-transfer window for level k (`c_k − c_1`).
+    pub fn transfer(&self, k: usize) -> f64 {
+        (self.c(k) - self.c(1)).max(0.0)
+    }
+
+    /// Apply a sharing factor: `SF` computation cores share one
+    /// checkpointing core, so (worst case, resources split evenly — Section
+    /// III.D) every transfer segment stretches by `SF` while the blocking
+    /// local part `c1` is unchanged.
+    pub fn with_sharing_factor(&self, sf: f64) -> Self {
+        assert!(sf >= 1.0, "sharing factor must be ≥ 1");
+        let c1 = self.c[0];
+        let r1 = self.r[0];
+        LevelCosts {
+            c: [c1, c1 + (self.c[1] - c1) * sf, c1 + (self.c[2] - c1) * sf],
+            r: [r1, self.r[1], self.r[2]],
+        }
+    }
+}
+
+/// Application communication class (Section I): MPI jobs fail as a unit and
+/// congest remote I/O as the system grows; RMS processes are independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppType {
+    /// Tightly coupled (heroic MPI): `λ ∝ size` and `c3 ∝ size`.
+    Mpi,
+    /// Loosely coupled (MapReduce / Recognition-Mining-Synthesis): `λ`
+    /// unchanged, `c3 ∝ size` (per-node share of remote bandwidth shrinks).
+    Rms,
+}
+
+/// A system-size scaling transform (the x-axes of Figs. 5, 6, 7, 12).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemScale {
+    /// Multiplier over the base system size (1.0 = Coastal as measured).
+    pub size: f64,
+    /// Application class that determines which parameters scale.
+    pub app: AppType,
+}
+
+impl SystemScale {
+    /// Scale checkpoint costs: `c3`'s transfer segment grows with size (the
+    /// aggregate remote-storage bandwidth is fixed); `c1`, `c2` are
+    /// unaffected (their bandwidth grows with the system).
+    pub fn costs(&self, base: &LevelCosts) -> LevelCosts {
+        let c1 = base.c[0];
+        let c3 = c1 + (base.c[2] - c1) * self.size;
+        let r1 = base.r[0];
+        let r3 = r1 + (base.r[2] - r1) * self.size;
+        LevelCosts {
+            c: [base.c[0], base.c[1], c3],
+            r: [base.r[0], base.r[1], r3],
+        }
+    }
+
+    /// Scale failure rates: proportional for MPI (any process failure kills
+    /// the job), unchanged for RMS (independent processes).
+    pub fn rates(&self, base: &FailureRates) -> FailureRates {
+        match self.app {
+            AppType::Mpi => base.scaled(self.size),
+            AppType::Rms => base.clone(),
+        }
+    }
+
+    /// Scale the per-node L3 bandwidth (shrinks as `1/size`).
+    pub fn b3(&self, base_b3: f64) -> f64 {
+        base_b3 / self.size
+    }
+}
+
+/// The LLNL **Coastal** cluster profile used throughout the paper's
+/// evaluation (Sections III.D and V.A), taken from Moody et al. (SC'10):
+///
+/// * 1024 nodes; λ₁ = 2×10⁻⁷, λ₂ = 1.8×10⁻⁶, λ₃ = 4×10⁻⁷ (per second),
+/// * `c1 = 0.5 s` (RAM-disk local checkpoint), `c2 = 4.5 s` (RAID-5 partner
+///   group), `c3 = 1052 s` (Lustre), `r_k = c_k`,
+/// * L2 aggregate bandwidth 483 GB/s; Lustre aggregate 2.1 GB/s, i.e.
+///   **B3 = 2 MB/s per node** with 1024 concurrent writers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoastalProfile {
+    /// Number of nodes (1024).
+    pub nodes: u64,
+    /// Per-level failure rates.
+    pub lambda: [f64; 3],
+    /// Per-level checkpoint latencies for the 1-GB pF3D process.
+    pub c: [f64; 3],
+    /// Aggregate L2 (RAID-5 partner) bandwidth, bytes/s.
+    pub b2_aggregate: f64,
+    /// Per-node L3 (Lustre) bandwidth, bytes/s.
+    pub b3_per_node: f64,
+}
+
+impl Default for CoastalProfile {
+    fn default() -> Self {
+        CoastalProfile {
+            nodes: 1024,
+            lambda: [2e-7, 1.8e-6, 4e-7],
+            c: [0.5, 4.5, 1052.0],
+            b2_aggregate: 483.0e9,
+            b3_per_node: 2.0e6,
+        }
+    }
+}
+
+impl CoastalProfile {
+    /// Failure-rate profile.
+    pub fn rates(&self) -> FailureRates {
+        FailureRates::three(self.lambda[0], self.lambda[1], self.lambda[2])
+    }
+
+    /// Checkpoint/recovery costs with `r_k = c_k`.
+    pub fn costs(&self) -> LevelCosts {
+        LevelCosts::symmetric(self.c[0], self.c[1], self.c[2])
+    }
+
+    /// Per-node share of the L2 bandwidth.
+    pub fn b2_per_node(&self) -> f64 {
+        self.b2_aggregate / self.nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coastal_defaults_match_paper() {
+        let p = CoastalProfile::default();
+        assert_eq!(p.c, [0.5, 4.5, 1052.0]);
+        assert_eq!(p.lambda, [2e-7, 1.8e-6, 4e-7]);
+        assert!((p.b3_per_node - 2e6).abs() < 1.0);
+        // 483 GB/s over 1024 nodes ≈ 471.7 MB/s per node.
+        assert!((p.b2_per_node() - 471.7e6).abs() < 1e6);
+    }
+
+    #[test]
+    fn transfer_segments() {
+        let c = LevelCosts::symmetric(0.5, 4.5, 1052.0);
+        assert!((c.transfer(2) - 4.0).abs() < 1e-12);
+        assert!((c.transfer(3) - 1051.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpi_scaling_scales_rates_and_c3() {
+        let p = CoastalProfile::default();
+        let s = SystemScale {
+            size: 10.0,
+            app: AppType::Mpi,
+        };
+        let costs = s.costs(&p.costs());
+        let rates = s.rates(&p.rates());
+        assert!((costs.c(3) - (0.5 + 1051.5 * 10.0)).abs() < 1e-9);
+        assert_eq!(costs.c(2), 4.5); // unchanged
+        assert!((rates.total() - 2.4e-6 * 10.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rms_scaling_keeps_rates() {
+        let p = CoastalProfile::default();
+        let s = SystemScale {
+            size: 4.0,
+            app: AppType::Rms,
+        };
+        let rates = s.rates(&p.rates());
+        assert!((rates.total() - 2.4e-6).abs() < 1e-18);
+        assert!((s.b3(2e6) - 0.5e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharing_factor_stretches_transfers_only() {
+        let c = LevelCosts::symmetric(0.5, 4.5, 1052.0).with_sharing_factor(3.0);
+        assert_eq!(c.c(1), 0.5);
+        assert!((c.c(2) - (0.5 + 4.0 * 3.0)).abs() < 1e-12);
+        assert!((c.c(3) - (0.5 + 1051.5 * 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sharing factor")]
+    fn sharing_below_one_rejected() {
+        let _ = LevelCosts::symmetric(1.0, 2.0, 3.0).with_sharing_factor(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "c1 ≤ c2")]
+    fn invalid_cost_ordering_rejected() {
+        let _ = LevelCosts::symmetric(5.0, 2.0, 10.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline-optimal checkpoint placement by dynamic programming.
+//!
+//! AIC is an *online* policy; the natural yardstick is the best any policy
+//! could do **in hindsight**: given the full cost profile of the run —
+//! what a checkpoint cut at tick `b`, following one at tick `a`, would cost
+//! — a dynamic program finds the globally optimal cut sequence under the
+//! non-static interval model. The gap between AIC and this plan is AIC's
+//! *regret*; the gap between the plan and the best fixed interval is the
+//! total value adaptivity could ever extract from the workload.
+//!
+//! The DP is exact up to two approximations shared with the online
+//! decider: per-interval costs use the steady-state `prev = cur` form of
+//! the non-static chain, and cut times are discretized to the decision
+//! tick (the paper's 1-second granularity).
+
+use crate::failure::FailureRates;
+use crate::nonstatic::{interval_time_l2l3, IntervalParams};
+
+/// An offline plan: chosen cut ticks plus its NET².
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Ticks (1-based, in `tick_len` units) at which checkpoints are cut.
+    pub cuts: Vec<usize>,
+    /// Expected NET² of the plan under the interval model.
+    pub net2: f64,
+}
+
+/// Compute the optimal cut sequence over `ticks` decision ticks of length
+/// `tick_len` seconds.
+///
+/// `cost(a, b)` must return the interval parameters of a checkpoint cut at
+/// tick `b` when the previous checkpoint was cut at tick `a` (0 = start of
+/// run; `a < b`). `max_span` bounds the interval length in ticks (both a
+/// modelling choice and the O(ticks·max_span) complexity bound).
+///
+/// The drain rule is enforced: an interval must be at least as long as the
+/// *previous* checkpoint's transfer window.
+pub fn plan_offline<F>(
+    ticks: usize,
+    tick_len: f64,
+    max_span: usize,
+    cost: F,
+    rates: &FailureRates,
+) -> Plan
+where
+    F: Fn(usize, usize) -> IntervalParams,
+{
+    assert!(ticks >= 1 && tick_len > 0.0 && max_span >= 1);
+
+    // best[j] = (total expected time of the optimal schedule covering
+    // ticks 0..j with a cut exactly at j, predecessor tick).
+    const INF: f64 = f64::INFINITY;
+    let mut best: Vec<(f64, usize)> = vec![(INF, usize::MAX); ticks + 1];
+    best[0] = (0.0, usize::MAX);
+
+    for j in 1..=ticks {
+        let lo = j.saturating_sub(max_span);
+        for a in lo..j {
+            if best[a].0.is_infinite() {
+                continue;
+            }
+            let params = cost(a, j);
+            let w = (j - a) as f64 * tick_len;
+            // Drain rule: the next interval must outlast this transfer; as
+            // a per-interval constraint, forbid spans shorter than the
+            // interval's own window.
+            if w + 1e-9 < params.transfer(3).min(max_span as f64 * tick_len) {
+                continue;
+            }
+            let t_int = interval_time_l2l3(w, &params, &params, rates);
+            let total = best[a].0 + t_int;
+            if total < best[j].0 {
+                best[j] = (total, a);
+            }
+        }
+    }
+
+    // The run ends at `ticks`; the final segment needs no checkpoint. Try
+    // every last-cut position and append the tail's expected time.
+    let mut best_end = (INF, ticks);
+    for last in 1..=ticks {
+        if best[last].0.is_infinite() {
+            continue;
+        }
+        let tail_ticks = ticks - last;
+        let tail = if tail_ticks == 0 {
+            0.0
+        } else {
+            let params = cost(last, ticks);
+            let w = tail_ticks as f64 * tick_len;
+            // Tail has no cut of its own: zero current-cost interval, the
+            // previous checkpoint's params drive recovery.
+            interval_time_l2l3(w, &IntervalParams::symmetric(0.0, 0.0, 0.0), &params, rates)
+        };
+        let total = best[last].0 + tail;
+        if total < best_end.0 {
+            best_end = (total, last);
+        }
+    }
+
+    // Reconstruct the cut sequence.
+    let mut cuts = Vec::new();
+    let mut at = best_end.1;
+    while at != usize::MAX && at != 0 {
+        cuts.push(at);
+        at = best[at].1;
+    }
+    cuts.reverse();
+
+    Plan {
+        cuts,
+        net2: best_end.0 / (ticks as f64 * tick_len),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CoastalProfile;
+
+    fn rates() -> FailureRates {
+        CoastalProfile::default().rates().with_total(1e-3)
+    }
+
+    /// Homogeneous costs: the plan should be near-equally spaced at the
+    /// static optimum.
+    #[test]
+    fn homogeneous_profile_yields_regular_plan() {
+        let params = IntervalParams::symmetric(0.1, 0.5, 6.0);
+        let plan = plan_offline(120, 1.0, 60, |_, _| params, &rates());
+        assert!(!plan.cuts.is_empty());
+        let mut spans: Vec<usize> = Vec::new();
+        let mut prev = 0;
+        for &c in &plan.cuts {
+            spans.push(c - prev);
+            prev = c;
+        }
+        let min = *spans.iter().min().unwrap();
+        let max = *spans.iter().max().unwrap();
+        assert!(max - min <= 2, "irregular plan: {spans:?}");
+        assert!(plan.net2 > 1.0 && plan.net2 < 1.2, "{}", plan.net2);
+    }
+
+    /// Bimodal costs: cheap ticks (content reverted) and expensive ticks.
+    /// The plan must prefer the cheap ones.
+    #[test]
+    fn plan_prefers_cheap_ticks() {
+        let cheap = IntervalParams::symmetric(0.05, 0.2, 2.0);
+        let dear = IntervalParams::symmetric(0.5, 5.0, 60.0);
+        // Ticks divisible by 10 are cheap.
+        let cost = |_a: usize, b: usize| if b % 10 == 0 { cheap } else { dear };
+        let plan = plan_offline(100, 1.0, 40, cost, &rates());
+        assert!(!plan.cuts.is_empty());
+        assert!(
+            plan.cuts.iter().all(|c| c % 10 == 0),
+            "plan used expensive ticks: {:?}",
+            plan.cuts
+        );
+    }
+
+    /// The offline plan is at least as good as any fixed-interval schedule
+    /// expressible on the same grid.
+    #[test]
+    fn plan_dominates_fixed_intervals() {
+        let profile = |_a: usize, b: usize| {
+            // Sawtooth cost: window grows with phase position.
+            let phase = (b % 20) as f64;
+            IntervalParams::symmetric(0.1, 0.5 + phase * 0.1, 2.0 + phase * 1.5)
+        };
+        let r = rates();
+        let plan = plan_offline(100, 1.0, 50, profile, &r);
+
+        for fixed in [5usize, 10, 20, 25] {
+            let mut total = 0.0;
+            let mut prev = 0usize;
+            while prev + fixed <= 100 {
+                let b = prev + fixed;
+                let p = profile(prev, b);
+                total += interval_time_l2l3(fixed as f64, &p, &p, &r);
+                prev = b;
+            }
+            if prev < 100 {
+                let p = profile(prev, 100);
+                total += interval_time_l2l3(
+                    (100 - prev) as f64,
+                    &IntervalParams::symmetric(0.0, 0.0, 0.0),
+                    &p,
+                    &r,
+                );
+            }
+            let fixed_net2 = total / 100.0;
+            assert!(
+                plan.net2 <= fixed_net2 + 1e-9,
+                "plan {:.5} vs fixed({fixed}) {:.5}",
+                plan.net2,
+                fixed_net2
+            );
+        }
+    }
+
+    #[test]
+    fn no_viable_cut_still_returns_tail_only_plan() {
+        // Costs so large that cutting never pays on this short horizon.
+        let params = IntervalParams::symmetric(5.0, 50.0, 500.0);
+        let plan = plan_offline(10, 1.0, 10, |_, _| params, &rates());
+        // The DP may pick zero cuts (pure tail) — that must be representable.
+        assert!(plan.net2.is_finite());
+    }
+}

@@ -1,0 +1,132 @@
+//! Classic single-level checkpoint-interval theory: Young's first-order
+//! rule and Daly's higher-order refinement (the paper's references [24]
+//! and [4]).
+//!
+//! These closed forms are the sanity anchor for everything else in this
+//! crate: in the single-level limit (one checkpoint level, recovery =
+//! restart cost, no concurrency), our Markov machinery must reproduce
+//! their optima. The tests pin that correspondence.
+
+use crate::failure::FailureRates;
+use crate::markov::{Chain, ChainBuilder};
+
+/// Young (1974): `w* = sqrt(2·c/λ)` — first-order optimum of the work span
+/// for checkpoint cost `c` and failure rate `λ`.
+pub fn young_interval(c: f64, lambda: f64) -> f64 {
+    assert!(c > 0.0 && lambda > 0.0);
+    (2.0 * c / lambda).sqrt()
+}
+
+/// Daly (2006): the higher-order estimate
+/// `w* = sqrt(2·c·M)·[1 + (1/3)·sqrt(c/(2M)) + (c/(2M))/9] − c` for
+/// `c < 2M` (with `M = 1/λ` the MTBF), else `w* = M`.
+pub fn daly_interval(c: f64, lambda: f64) -> f64 {
+    assert!(c > 0.0 && lambda > 0.0);
+    let m = 1.0 / lambda;
+    if c >= 2.0 * m {
+        return m;
+    }
+    let x = c / (2.0 * m);
+    (2.0 * c * m).sqrt() * (1.0 + x.sqrt() / 3.0 + x / 9.0) - c
+}
+
+/// The single-level checkpointing Markov chain: work `w`, blocking
+/// checkpoint `c`, recovery `r` on failure, full-span re-execution after
+/// recovery. NET² = E[interval]/w.
+pub fn single_level_chain(w: f64, c: f64, r: f64, lambda: f64) -> Chain {
+    let rates = FailureRates::new(vec![lambda]);
+    let mut b = ChainBuilder::new();
+    let work = b.state("work+ckpt");
+    let rec = b.state("recover");
+    let done = b.absorbing("done");
+    b.exposure(work, w + c, w + c, done, &[rec], &rates);
+    b.exposure(rec, r, r, work, &[rec], &rates);
+    b.build(work)
+}
+
+/// NET² of single-level checkpointing at span `w`.
+pub fn single_level_net2(w: f64, c: f64, r: f64, lambda: f64) -> f64 {
+    single_level_chain(w, c, r, lambda)
+        .expected_time()
+        .map_or(f64::INFINITY, |t| t / w)
+}
+
+/// Numerically optimal single-level span from our chain (golden section).
+pub fn chain_optimal_interval(c: f64, r: f64, lambda: f64) -> f64 {
+    crate::optimize::golden_minimize(
+        |w| single_level_net2(w, c, r, lambda),
+        c.max(1.0),
+        (10.0 / lambda).min(5e7),
+        1e-8,
+    )
+    .x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_formula_values() {
+        // c = 50 s, MTBF = 10^5 s → w* = sqrt(2·50·1e5) = 3162.27…
+        let w = young_interval(50.0, 1e-5);
+        assert!((w - 3162.2776).abs() < 1e-3);
+    }
+
+    #[test]
+    fn daly_reduces_to_young_for_small_c() {
+        // As c/M → 0 the Daly correction vanishes.
+        let c = 1.0;
+        let lambda = 1e-7;
+        let young = young_interval(c, lambda);
+        let daly = daly_interval(c, lambda);
+        assert!((daly - young).abs() / young < 0.01, "young={young} daly={daly}");
+    }
+
+    #[test]
+    fn daly_clamps_to_mtbf_for_huge_c() {
+        let lambda = 1e-3;
+        let w = daly_interval(5000.0, lambda); // c > 2M = 2000
+        assert_eq!(w, 1000.0);
+    }
+
+    #[test]
+    fn chain_optimum_matches_daly_to_first_order() {
+        // The correspondence the whole Markov machinery hangs on: in the
+        // single-level setting our numerically-optimal span agrees with
+        // Daly's closed form within a few percent across regimes.
+        for &(c, lambda) in &[(10.0, 1e-5), (50.0, 1e-4), (300.0, 1e-4), (5.0, 1e-3)] {
+            let daly = daly_interval(c, lambda);
+            let chain = chain_optimal_interval(c, c, lambda);
+            let rel = (chain - daly).abs() / daly;
+            assert!(
+                rel < 0.08,
+                "c={c} λ={lambda}: chain {chain:.1} vs daly {daly:.1} ({rel:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn net2_at_optimum_beats_neighbours() {
+        let (c, r, lambda) = (50.0, 50.0, 1e-4);
+        let w_star = chain_optimal_interval(c, r, lambda);
+        let at = single_level_net2(w_star, c, r, lambda);
+        assert!(at < single_level_net2(w_star * 0.5, c, r, lambda));
+        assert!(at < single_level_net2(w_star * 2.0, c, r, lambda));
+        assert!(at > 1.0);
+    }
+
+    #[test]
+    fn overhead_scales_like_sqrt_lambda() {
+        // Young's regime: optimal overhead ≈ sqrt(2cλ) to first order.
+        let c = 20.0;
+        let over = |lambda: f64| {
+            let w = chain_optimal_interval(c, c, lambda);
+            single_level_net2(w, c, c, lambda) - 1.0
+        };
+        let o1 = over(1e-6);
+        let o2 = over(4e-6); // 4× the rate → ~2× the overhead
+        let ratio = o2 / o1;
+        assert!((ratio - 2.0).abs() < 0.25, "ratio={ratio}");
+    }
+}

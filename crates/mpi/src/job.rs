@@ -1,0 +1,278 @@
+//! Bulk-synchronous multi-process jobs.
+//!
+//! "Heroic" MPI codes compute in *supersteps*: every rank computes for a
+//! stretch, then all ranks exchange messages at a barrier. [`MpiJob`] runs
+//! N simulated processes in that lockstep. Received payloads are deposited
+//! into a mailbox region of the receiver's address space through the normal
+//! write-fault path, so communication shows up in dirty sets and
+//! checkpoints exactly like computation does.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use aic_memsim::{SimProcess, SimTime, PAGE_SIZE};
+
+use crate::message::Network;
+
+/// Who talks to whom at each superstep barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommPattern {
+    /// Each rank sends to its right neighbour (ring shift).
+    Ring,
+    /// Every rank sends to every other rank.
+    AllToAll,
+    /// No communication (an RMS-style job, for comparison).
+    None,
+}
+
+/// Virtual page number where each process's mailbox region starts. Placed
+/// far above any persona's footprint.
+pub const MAILBOX_BASE_PAGE: u64 = 1 << 40;
+
+/// Pages reserved for the mailbox.
+pub const MAILBOX_PAGES: u64 = 16;
+
+/// A lockstep multi-process job.
+pub struct MpiJob {
+    processes: Vec<SimProcess>,
+    network: Network,
+    pattern: CommPattern,
+    superstep: f64,
+    payload_bytes: usize,
+    rng: StdRng,
+    supersteps_done: u64,
+    mailbox_ready: bool,
+}
+
+impl MpiJob {
+    /// Build a job of `ranks` processes produced by `factory(rank)`,
+    /// exchanging `payload_bytes` per message every `superstep` seconds
+    /// over a network with `latency` seconds of delivery delay.
+    pub fn new(
+        ranks: usize,
+        factory: impl Fn(usize) -> SimProcess,
+        pattern: CommPattern,
+        superstep: f64,
+        payload_bytes: usize,
+        latency: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(ranks >= 1 && superstep > 0.0);
+        assert!(
+            payload_bytes <= MAILBOX_PAGES as usize * PAGE_SIZE,
+            "payload exceeds mailbox"
+        );
+        MpiJob {
+            processes: (0..ranks).map(factory).collect(),
+            network: Network::new(latency),
+            pattern,
+            superstep,
+            payload_bytes,
+            rng: StdRng::seed_from_u64(seed ^ 0x3b1),
+            supersteps_done: 0,
+            mailbox_ready: false,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Current virtual time (all ranks are in lockstep).
+    pub fn now(&self) -> f64 {
+        self.processes
+            .iter()
+            .map(|p| p.now().as_secs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True once every rank finished its base time.
+    pub fn is_done(&self) -> bool {
+        self.processes.iter().all(SimProcess::is_done)
+    }
+
+    /// The shortest base time across ranks (the job finishes when all
+    /// ranks do; lockstep keeps them aligned).
+    pub fn base_time(&self) -> f64 {
+        self.processes
+            .iter()
+            .map(|p| p.base_time().as_secs())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Access a rank's process.
+    pub fn process(&self, rank: usize) -> &SimProcess {
+        &self.processes[rank]
+    }
+
+    /// Mutable access to a rank's process (restore paths).
+    pub fn process_mut(&mut self, rank: usize) -> &mut SimProcess {
+        &mut self.processes[rank]
+    }
+
+    /// The network (for in-flight inspection at checkpoint time).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Mutable network access (drain/reinject at checkpoint/restart).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Supersteps completed.
+    pub fn supersteps_done(&self) -> u64 {
+        self.supersteps_done
+    }
+
+    fn ensure_mailboxes(&mut self) {
+        if self.mailbox_ready {
+            return;
+        }
+        for p in &mut self.processes {
+            // Initialize workload memory first (run to time zero), then
+            // carve out the mailbox region.
+            p.run_until(SimTime::ZERO);
+            p.allocate(MAILBOX_BASE_PAGE, MAILBOX_PAGES);
+        }
+        self.mailbox_ready = true;
+    }
+
+    /// Run one superstep: every rank computes `superstep` seconds, then the
+    /// barrier exchange happens (sends enqueue; deliveries from *previous*
+    /// supersteps that have aged past the network latency are deposited
+    /// into mailboxes).
+    ///
+    /// Returns `false` once the job has completed (no superstep run).
+    pub fn run_superstep(&mut self) -> bool {
+        self.ensure_mailboxes();
+        if self.is_done() {
+            return false;
+        }
+        let target = self.now() + self.superstep;
+        for p in &mut self.processes {
+            p.run_until(SimTime::from_secs(target));
+        }
+        let now = self.now();
+
+        // Deliver matured messages into mailboxes.
+        for rank in 0..self.processes.len() {
+            let inbox = self.network.deliver(rank, now);
+            let mut offset = 0usize;
+            for m in inbox {
+                let addr = MAILBOX_BASE_PAGE * PAGE_SIZE as u64 + offset as u64;
+                let room = (MAILBOX_PAGES as usize * PAGE_SIZE).saturating_sub(offset);
+                let take = m.payload.len().min(room);
+                if take > 0 {
+                    self.processes[rank].deposit(addr, &m.payload[..take]);
+                }
+                offset = (offset + take) % (MAILBOX_PAGES as usize * PAGE_SIZE);
+            }
+        }
+
+        // Barrier sends.
+        let ranks = self.processes.len();
+        let mut payload = vec![0u8; self.payload_bytes];
+        match self.pattern {
+            CommPattern::None => {}
+            CommPattern::Ring => {
+                for from in 0..ranks {
+                    self.rng.fill(&mut payload[..]);
+                    self.network
+                        .send(from, (from + 1) % ranks, Bytes::from(payload.clone()), now);
+                }
+            }
+            CommPattern::AllToAll => {
+                for from in 0..ranks {
+                    for to in 0..ranks {
+                        if from != to {
+                            self.rng.fill(&mut payload[..]);
+                            self.network.send(from, to, Bytes::from(payload.clone()), now);
+                        }
+                    }
+                }
+            }
+        }
+        self.supersteps_done += 1;
+        true
+    }
+
+    /// Run supersteps until virtual time `deadline` (or completion).
+    pub fn run_until(&mut self, deadline: f64) {
+        self.ensure_mailboxes();
+        while self.now() < deadline && self.run_superstep() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aic_memsim::workloads::generic::StreamingWorkload;
+    use aic_memsim::workloads::WriteStyle;
+
+    fn factory(rank: usize) -> SimProcess {
+        SimProcess::new(Box::new(StreamingWorkload::new(
+            format!("rank{rank}"),
+            rank as u64 + 1,
+            64,
+            1,
+            WriteStyle::PartialEntropy(300),
+            SimTime::from_secs(5.0),
+        )))
+    }
+
+    #[test]
+    fn lockstep_keeps_ranks_aligned() {
+        let mut job = MpiJob::new(4, factory, CommPattern::Ring, 0.5, 1024, 0.01, 1);
+        job.run_until(2.0);
+        let times: Vec<f64> = (0..4).map(|r| job.process(r).now().as_secs()).collect();
+        for w in times.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9, "ranks drifted: {times:?}");
+        }
+        assert!(job.supersteps_done() >= 4);
+    }
+
+    #[test]
+    fn ring_messages_reach_mailboxes() {
+        let mut job = MpiJob::new(3, factory, CommPattern::Ring, 0.5, 256, 0.01, 2);
+        job.run_until(3.0);
+        // After several supersteps every rank has received something: its
+        // mailbox page is in the dirty log (deposits take the fault path).
+        for rank in 0..3 {
+            let dirty_mailbox = job
+                .process(rank)
+                .dirty_log()
+                .iter()
+                .any(|d| d.page >= MAILBOX_BASE_PAGE);
+            assert!(dirty_mailbox, "rank {rank} never received");
+        }
+    }
+
+    #[test]
+    fn all_to_all_sends_n_squared_messages() {
+        let mut job = MpiJob::new(4, factory, CommPattern::AllToAll, 1.0, 64, 0.0, 3);
+        job.run_superstep();
+        let (sent, _) = job.network().counters();
+        assert_eq!(sent, 12); // 4 × 3
+    }
+
+    #[test]
+    fn none_pattern_never_communicates() {
+        let mut job = MpiJob::new(3, factory, CommPattern::None, 0.5, 64, 0.0, 4);
+        job.run_until(5.5);
+        assert!(job.is_done());
+        let (sent, _) = job.network().counters();
+        assert_eq!(sent, 0);
+    }
+
+    #[test]
+    fn job_completes_at_base_time() {
+        let mut job = MpiJob::new(2, factory, CommPattern::Ring, 0.5, 64, 0.01, 5);
+        assert_eq!(job.base_time(), 5.0);
+        job.run_until(100.0);
+        assert!(job.is_done());
+        assert!(job.now() >= 5.0 && job.now() < 6.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Candidate-job analysis (paper Section II.C).
+//!
+//! A *candidate job* is one where **each of its processes always has one
+//! idle core** on its node throughout the job's execution — such a job can
+//! run concurrent checkpointing without purging or suspending anything.
+//! The analysis builds a per-node occupancy timeline from the log and
+//! checks, for every job, whether any moment of its run saturates any node
+//! it occupies.
+
+use std::collections::HashMap;
+
+use crate::log::{JobRecord, SystemSpec};
+
+/// Result of analysing one log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// Total jobs analysed.
+    pub total_jobs: usize,
+    /// Jobs whose every process always had an idle core on its node.
+    pub candidate_jobs: usize,
+    /// Mean node utilization observed (busy core-seconds / capacity).
+    pub mean_utilization: f64,
+}
+
+impl AnalysisReport {
+    /// Fraction of candidate jobs (Table 1's "% of candidate jobs").
+    pub fn candidate_fraction(&self) -> f64 {
+        if self.total_jobs == 0 {
+            0.0
+        } else {
+            self.candidate_jobs as f64 / self.total_jobs as f64
+        }
+    }
+}
+
+/// Per-node occupancy change events: (time, delta_cores).
+type NodeEvents = HashMap<u32, Vec<(f64, i64)>>;
+
+fn build_events(log: &[JobRecord]) -> NodeEvents {
+    let mut events: NodeEvents = HashMap::new();
+    for job in log {
+        for p in &job.placements {
+            let e = events.entry(p.node).or_default();
+            e.push((job.dispatch, p.cores as i64));
+            e.push((job.end, -(p.cores as i64)));
+        }
+    }
+    for e in events.values_mut() {
+        e.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    }
+    events
+}
+
+/// Peak concurrent core usage on `node` during `[start, end)`.
+fn peak_usage(events: &NodeEvents, node: u32, start: f64, end: f64) -> i64 {
+    let Some(evts) = events.get(&node) else {
+        return 0;
+    };
+    // One sweep: accumulate the level; before the window it just tracks the
+    // baseline, inside the window it contributes to the peak.
+    let mut usage = 0i64;
+    let mut baseline = 0i64;
+    let mut peak = i64::MIN;
+    for &(t, d) in evts {
+        if t >= end {
+            break;
+        }
+        usage += d;
+        if t < start {
+            baseline = usage;
+        } else {
+            peak = peak.max(usage);
+        }
+    }
+    peak.max(baseline)
+}
+
+/// Analyse a log against its system spec.
+pub fn analyze(spec: &SystemSpec, log: &[JobRecord]) -> AnalysisReport {
+    let events = build_events(log);
+    let cap = spec.cores_per_node as i64;
+
+    let mut candidates = 0usize;
+    for job in log {
+        let mut nodes: Vec<u32> = job.placements.iter().map(|p| p.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let ok = nodes
+            .iter()
+            .all(|&n| peak_usage(&events, n, job.dispatch, job.end) <= cap - 1);
+        if ok {
+            candidates += 1;
+        }
+    }
+
+    // Utilization: busy core-seconds over span × capacity.
+    let span_start = log.iter().map(|j| j.dispatch).fold(f64::INFINITY, f64::min);
+    let span_end = log.iter().map(|j| j.end).fold(0.0f64, f64::max);
+    let busy: f64 = log
+        .iter()
+        .map(|j| j.runtime() * j.total_cores() as f64)
+        .sum();
+    let capacity = (span_end - span_start).max(1e-9)
+        * (spec.nodes as f64)
+        * (spec.cores_per_node as f64);
+
+    AnalysisReport {
+        total_jobs: log.len(),
+        candidate_jobs: candidates,
+        mean_utilization: (busy / capacity).min(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{Placement, SchedulerKind};
+
+    fn spec(cores: u32) -> SystemSpec {
+        SystemSpec {
+            id: 1,
+            nodes: 2,
+            cores_per_node: cores,
+            scheduler: SchedulerKind::Spread,
+        }
+    }
+
+    fn job(id: u64, start: f64, end: f64, placements: Vec<Placement>) -> JobRecord {
+        JobRecord {
+            id,
+            submit: start,
+            dispatch: start,
+            end,
+            placements,
+        }
+    }
+
+    #[test]
+    fn lone_job_on_big_node_is_candidate() {
+        let log = vec![job(1, 0.0, 100.0, vec![Placement { node: 0, cores: 1 }])];
+        let r = analyze(&spec(4), &log);
+        assert_eq!(r.candidate_jobs, 1);
+        assert_eq!(r.candidate_fraction(), 1.0);
+    }
+
+    #[test]
+    fn saturated_node_disqualifies() {
+        // Two 2-core jobs on a 4-core node at the same time: saturated.
+        let log = vec![
+            job(1, 0.0, 100.0, vec![Placement { node: 0, cores: 2 }]),
+            job(2, 10.0, 90.0, vec![Placement { node: 0, cores: 2 }]),
+        ];
+        let r = analyze(&spec(4), &log);
+        assert_eq!(r.candidate_jobs, 0);
+    }
+
+    #[test]
+    fn sequential_jobs_do_not_interfere() {
+        let log = vec![
+            job(1, 0.0, 50.0, vec![Placement { node: 0, cores: 3 }]),
+            job(2, 60.0, 100.0, vec![Placement { node: 0, cores: 3 }]),
+        ];
+        let r = analyze(&spec(4), &log);
+        assert_eq!(r.candidate_jobs, 2);
+    }
+
+    #[test]
+    fn any_saturated_process_node_disqualifies_whole_job() {
+        // Job 1 spans nodes 0 and 1; node 1 gets saturated by job 2.
+        let log = vec![
+            job(
+                1,
+                0.0,
+                100.0,
+                vec![
+                    Placement { node: 0, cores: 1 },
+                    Placement { node: 1, cores: 1 },
+                ],
+            ),
+            job(2, 20.0, 80.0, vec![Placement { node: 1, cores: 3 }]),
+        ];
+        let r = analyze(&spec(4), &log);
+        // Job 1 loses its idle core on node 1; job 2 shares node 1 with
+        // job 1 (1 + 3 = 4 = capacity) so both are disqualified.
+        assert_eq!(r.candidate_jobs, 0);
+    }
+
+    #[test]
+    fn single_core_nodes_never_have_candidates() {
+        let log = vec![job(1, 0.0, 10.0, vec![Placement { node: 0, cores: 1 }])];
+        let r = analyze(&spec(1), &log);
+        assert_eq!(r.candidate_jobs, 0);
+    }
+
+    #[test]
+    fn utilization_sane() {
+        let log = vec![job(1, 0.0, 100.0, vec![Placement { node: 0, cores: 4 }])];
+        let r = analyze(&spec(4), &log);
+        // One of two nodes fully busy: utilization 0.5.
+        assert!((r.mean_utilization - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,121 @@
+//! Job-log data model (the fields the LANL public logs expose).
+
+/// How a system's scheduler places processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Fill nodes completely before touching the next (System 20's
+    /// behaviour in the paper: few idle cores, few candidate jobs).
+    Packing,
+    /// Prefer the least-loaded node (leaves idle cores around).
+    Spread,
+}
+
+/// A system's shape, as in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemSpec {
+    /// LANL system id.
+    pub id: u32,
+    /// Number of nodes appearing in the logs.
+    pub nodes: u32,
+    /// Cores per node.
+    pub cores_per_node: u32,
+    /// Placement behaviour.
+    pub scheduler: SchedulerKind,
+}
+
+/// One process placement: which node, how many cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Node index.
+    pub node: u32,
+    /// Cores the process occupies on that node.
+    pub cores: u32,
+}
+
+/// One job record (submit/dispatch/end times and per-process placements —
+/// the fields Section II.C reads from the LANL logs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: u64,
+    /// Submission time, seconds.
+    pub submit: f64,
+    /// Dispatch (start) time, seconds; ≥ submit.
+    pub dispatch: f64,
+    /// End time, seconds; ≥ dispatch.
+    pub end: f64,
+    /// Placements, one per process.
+    pub placements: Vec<Placement>,
+}
+
+impl JobRecord {
+    /// Runtime of the job.
+    pub fn runtime(&self) -> f64 {
+        self.end - self.dispatch
+    }
+
+    /// Total cores the job occupies.
+    pub fn total_cores(&self) -> u32 {
+        self.placements.iter().map(|p| p.cores).sum()
+    }
+
+    /// Basic structural validity.
+    pub fn is_valid(&self, spec: &SystemSpec) -> bool {
+        self.submit <= self.dispatch
+            && self.dispatch <= self.end
+            && !self.placements.is_empty()
+            && self
+                .placements
+                .iter()
+                .all(|p| p.node < spec.nodes && p.cores >= 1 && p.cores <= spec.cores_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SystemSpec {
+        SystemSpec {
+            id: 1,
+            nodes: 4,
+            cores_per_node: 4,
+            scheduler: SchedulerKind::Spread,
+        }
+    }
+
+    #[test]
+    fn runtime_and_cores() {
+        let j = JobRecord {
+            id: 1,
+            submit: 0.0,
+            dispatch: 10.0,
+            end: 110.0,
+            placements: vec![
+                Placement { node: 0, cores: 2 },
+                Placement { node: 1, cores: 3 },
+            ],
+        };
+        assert_eq!(j.runtime(), 100.0);
+        assert_eq!(j.total_cores(), 5);
+        assert!(j.is_valid(&spec()));
+    }
+
+    #[test]
+    fn invalid_records_detected() {
+        let mut j = JobRecord {
+            id: 1,
+            submit: 5.0,
+            dispatch: 1.0, // dispatch before submit
+            end: 10.0,
+            placements: vec![Placement { node: 0, cores: 1 }],
+        };
+        assert!(!j.is_valid(&spec()));
+        j.dispatch = 6.0;
+        assert!(j.is_valid(&spec()));
+        j.placements[0].node = 99; // off-system node
+        assert!(!j.is_valid(&spec()));
+        j.placements[0] = Placement { node: 0, cores: 9 }; // too many cores
+        assert!(!j.is_valid(&spec()));
+    }
+}

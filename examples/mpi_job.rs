@@ -1,0 +1,102 @@
+//! Coordinated checkpointing of a multi-process (MPI-class) job — the
+//! paper's declared future work, running end to end.
+//!
+//! ```text
+//! cargo run --release --example mpi_job [ranks]
+//! ```
+//!
+//! A bulk-synchronous ring job runs under coordinated checkpointing; the
+//! demo shows (1) in-flight messages being drained into the global
+//! checkpoint, (2) a mid-run failure rolling every rank back to a
+//! consistent state, and (3) the job-level NET² degradation as rank count
+//! grows (Fig. 5's "any process failure kills the job" scaling, measured
+//! operationally instead of modelled).
+
+use aic::memsim::workloads::generic::PhasedWorkload;
+use aic::memsim::{SimProcess, SimTime};
+use aic::mpi::coordinated::CoordinatedCheckpointer;
+use aic::mpi::engine::{run_mpi_engine, MpiEngineConfig};
+use aic::mpi::job::{CommPattern, MpiJob};
+use aic_delta::pa::PaParams;
+use aic_delta::stats::CostModel;
+
+fn make_job(ranks: usize, secs: f64) -> MpiJob {
+    MpiJob::new(
+        ranks,
+        move |rank| {
+            SimProcess::new(Box::new(PhasedWorkload::new(
+                format!("rank{rank}"),
+                rank as u64 + 1,
+                512,
+                8.0,
+                2.0,
+                1,
+                15,
+                SimTime::from_secs(secs),
+            )))
+        },
+        CommPattern::Ring,
+        0.5,   // superstep seconds
+        2048,  // bytes exchanged per message
+        0.7,   // network latency (longer than a superstep: real in-flight)
+        99,
+    )
+}
+
+fn main() {
+    let ranks: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("ranks must be a number"))
+        .unwrap_or(4);
+
+    // --- 1. A coordinated cut with live in-flight messages.
+    let mut job = make_job(ranks, 60.0);
+    let mut ck = CoordinatedCheckpointer::new(PaParams::default(), CostModel::default());
+    job.run_until(1.0);
+    ck.initial_cut(&mut job);
+    job.run_until(8.0);
+    let (ckpt, stats) = ck.cut(&mut job);
+    println!(
+        "coordinated cut at t={:.1}s: {} ranks, {} KiB shipped ({} KiB raw), \
+         {} in-flight messages drained into the checkpoint",
+        ckpt.at,
+        ranks,
+        stats.ds_bytes / 1024,
+        stats.raw_bytes / 1024,
+        stats.drained
+    );
+
+    // --- 2. Fail the job, roll back, verify consistency.
+    job.run_until(20.0);
+    let before = ck.restore_global(1).expect("global state");
+    ck.rollback(&mut job, 1).expect("rollback");
+    let consistent = (0..ranks).all(|r| job.process(r).snapshot() == before.ranks[r]);
+    println!(
+        "failure at t=20s → rolled back to t={:.1}s: all {ranks} ranks consistent: {consistent}, \
+         {} in-flight messages reinjected",
+        before.at,
+        before.in_flight.len()
+    );
+    assert!(consistent);
+
+    // --- 3. Job-level NET² vs rank count (operational Fig. 5 scaling).
+    println!("\njob-level NET² vs rank count (coordinated, fixed 10 s interval):");
+    let cfg = MpiEngineConfig::testbed(10.0);
+    for n in [2usize, 4, 8, 16] {
+        let report = run_mpi_engine(make_job(n, 60.0), &cfg);
+        println!(
+            "  {:>2} ranks: NET² = {:.4}  ({} cuts, {:.1} KiB/ckpt avg)",
+            n,
+            report.net2,
+            report.cuts,
+            report
+                .intervals
+                .iter()
+                .filter(|r| r.raw_bytes > 0)
+                .map(|r| r.ds_bytes as f64 / 1024.0)
+                .sum::<f64>()
+                / report.cuts.max(1) as f64
+        );
+    }
+    println!("\n(the growth with rank count is exactly why Fig. 6's RMS jobs scale better)");
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the AIC workspace.
+pub use aic_ckpt as ckpt;
+pub use aic_core as core;
+pub use aic_delta as delta;
+pub use aic_memsim as memsim;
+pub use aic_model as model;
+pub use aic_mpi as mpi;
+pub use aic_trace as trace;

@@ -1,0 +1,110 @@
+//! End-to-end smoke of the experiment harness at CI scale: every
+//! table/figure generator runs and its headline *shape* holds. (Full-scale
+//! numbers live in EXPERIMENTS.md; these are the fast guardrails.)
+
+use aic_bench::experiments::{
+    fig11, fig12, fig2, fig5, fig6, fig7, table1, table3, validate, RunScale,
+};
+
+fn quick() -> RunScale {
+    RunScale {
+        footprint: 0.12,
+        duration: 0.12,
+        seed: 42,
+    }
+}
+
+#[test]
+fn fig5_concurrent_beats_moody_and_l1l3_collapses() {
+    let rows = fig5::run(&[1.0, 10.0, 20.0]);
+    for r in &rows {
+        assert!(r.l2l3 <= r.moody * 1.001, "{r:?}");
+        assert!((r.l2l3 - r.l1l2l3).abs() / r.l2l3 < 0.03, "{r:?}");
+    }
+    assert!(rows[2].l1l3 > rows[2].moody, "L1L3 must collapse at 20×");
+}
+
+#[test]
+fn fig6_rms_is_gentler_than_mpi() {
+    let mpi = fig5::run(&[10.0]);
+    let rms = fig6::run(&[10.0]);
+    assert!(rms[0].l2l3 < mpi[0].l2l3);
+    assert!(rms[0].moody < mpi[0].moody);
+}
+
+#[test]
+fn fig7_sharing_profitable_to_at_least_three() {
+    let rows = fig7::run(&[1.0, 10.0], &[1.0, 3.0, 7.0, 15.0]);
+    for (size, sf) in fig7::profitable_sf(&rows) {
+        assert!(sf >= 3.0, "size {size}: only SF ≤ {sf} profitable");
+    }
+}
+
+#[test]
+fn fig2_sjeng_oscillates() {
+    let series = fig2::sweep("sjeng", 2.0, 35, &quick());
+    assert!(
+        fig2::size_swing(&series) > 3.0,
+        "swing {:.1}",
+        fig2::size_swing(&series)
+    );
+    // Oscillation, not accumulation: the normalized curve must come back
+    // down after a peak.
+    let peak_at = series
+        .points
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1 .2.partial_cmp(&b.1 .2).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    let after = &series.points[peak_at..];
+    let min_after = after.iter().map(|p| p.2).fold(f64::INFINITY, f64::min);
+    let peak = series.points[peak_at].2;
+    assert!(
+        min_after < peak * 0.5,
+        "no collapse after the peak: peak {peak:.2}, floor after {min_after:.2}"
+    );
+}
+
+#[test]
+fn table1_packing_contrast() {
+    let rows = table1::run(500, 42);
+    let sys20 = rows.iter().find(|r| r.spec.id == 20).unwrap();
+    let sys23 = rows.iter().find(|r| r.spec.id == 23).unwrap();
+    assert!(sys20.candidate_fraction < sys23.candidate_fraction);
+    assert!(sys20.rectified_fraction > sys20.candidate_fraction);
+}
+
+#[test]
+fn table3_compressibility_ordering() {
+    let milc = table3::measure("milc", &quick());
+    let sphinx = table3::measure("sphinx3", &quick());
+    assert!(milc.ratio_pa > 0.5);
+    assert!(sphinx.ratio_pa < 0.4);
+    assert!(milc.aic_overhead < 0.08 && sphinx.aic_overhead < 0.08);
+}
+
+#[test]
+fn fig11_and_fig12_aic_wins_where_the_paper_says() {
+    let rows = fig11::run(&quick());
+    let by = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+    // Concurrent schemes beat Moody on every benchmark.
+    for r in &rows {
+        assert!(r.aic < r.moody && r.sic < r.moody, "{r:?}");
+    }
+    // milc gains more from adaptivity than sphinx3 (the paper's extremes).
+    assert!(by("milc").aic_vs_sic() >= by("sphinx3").aic_vs_sic() - 0.005);
+
+    let f12 = fig12::run(&[0.5, 4.0], &quick());
+    assert!(
+        f12[1].cmp.aic_vs_sic() >= f12[0].cmp.aic_vs_sic() - 0.01,
+        "gap must not shrink with scale: {f12:?}"
+    );
+}
+
+#[test]
+fn validation_grid_within_tolerance() {
+    for r in validate::run(200, 42) {
+        assert!(r.overhead_gap() < 0.4, "{r:?}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-validation: the analytic Markov models against the independently
+//! coded discrete-event Monte-Carlo simulator.
+//!
+//! The paper presents its Markov model without validation. Here the same
+//! checkpointing disciplines are implemented twice — once as chains solved
+//! exactly (`aic-model`), once as an operational event simulation
+//! (`aic-ckpt::sim`) — and the two must agree on NET². This is the
+//! strongest correctness evidence the repository offers for Section III.
+
+use aic::ckpt::sim::{mc_net2_concurrent, mc_net2_moody};
+use aic::model::concurrent::{net2_at, ConcurrentModel};
+use aic::model::moody::{moody_net2, MoodySchedule};
+use aic::model::params::LevelCosts;
+use aic::model::FailureRates;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Agreement metric: relative difference of the *overhead* (NET² − 1),
+/// which is the quantity both implementations actually model; comparing
+/// NET² itself would hide errors behind the shared baseline of 1.0.
+fn overhead_gap(analytic: f64, mc: f64) -> f64 {
+    ((analytic - 1.0) - (mc - 1.0)).abs() / (mc - 1.0).max(1e-9)
+}
+
+#[test]
+fn concurrent_l2l3_matches_simulation_at_testbed_rates() {
+    let costs = LevelCosts::symmetric(0.5, 4.5, 60.0);
+    let rates = FailureRates::three(2e-7, 1.8e-6, 4e-7).with_total(1e-3);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    for w in [100.0, 400.0, 1200.0] {
+        let analytic = net2_at(ConcurrentModel::L2L3, w, &costs, &rates);
+        let mc = mc_net2_concurrent(50_000.0, w, &costs, &rates, 400, &mut rng);
+        let gap = overhead_gap(analytic, mc);
+        assert!(
+            gap < 0.35,
+            "w={w}: analytic {analytic:.5} vs MC {mc:.5} (overhead gap {gap:.2})"
+        );
+        // The chain re-executes whole spans on partial failures, so it must
+        // sit at or above the operational truth (conservative), with slack
+        // for MC noise.
+        assert!(
+            analytic >= mc - 3.0 * (mc - 1.0) * 0.1,
+            "w={w}: analytic {analytic:.5} below MC {mc:.5}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_l2l3_matches_simulation_with_slow_remote() {
+    // Large c3 (the geometry of Figs. 11–12): transfer windows comparable
+    // to work spans.
+    let costs = LevelCosts::symmetric(0.5, 4.5, 250.0);
+    let rates = FailureRates::three(2e-7, 1.8e-6, 4e-7).with_total(1e-3);
+    let mut rng = StdRng::seed_from_u64(2);
+
+    let w = 300.0;
+    let analytic = net2_at(ConcurrentModel::L2L3, w, &costs, &rates);
+    let mc = mc_net2_concurrent(60_000.0, w, &costs, &rates, 400, &mut rng);
+    let gap = overhead_gap(analytic, mc);
+    assert!(
+        gap < 0.4,
+        "analytic {analytic:.5} vs MC {mc:.5} (overhead gap {gap:.2})"
+    );
+}
+
+#[test]
+fn moody_model_matches_simulation() {
+    let costs = LevelCosts::symmetric(0.5, 4.5, 120.0);
+    let rates = FailureRates::three(2e-7, 1.8e-6, 4e-7).with_total(5e-4);
+    let mut rng = StdRng::seed_from_u64(3);
+
+    for sched in [MoodySchedule { n1: 0, n2: 3 }, MoodySchedule { n1: 2, n2: 1 }] {
+        let w = 800.0;
+        let analytic = moody_net2(w, &sched, &costs, &rates);
+        let mc = mc_net2_moody(80_000.0, w, &sched, &costs, &rates, 400, &mut rng);
+        let gap = overhead_gap(analytic, mc);
+        assert!(
+            gap < 0.35,
+            "{sched:?}: analytic {analytic:.5} vs MC {mc:.5} (gap {gap:.2})"
+        );
+    }
+}
+
+#[test]
+fn both_agree_concurrent_beats_moody() {
+    // The headline qualitative claim must hold in BOTH implementations.
+    let costs = LevelCosts::symmetric(0.5, 4.5, 300.0);
+    let rates = FailureRates::three(2e-7, 1.8e-6, 4e-7).with_total(1e-3);
+    let mut rng = StdRng::seed_from_u64(4);
+
+    let w = 600.0;
+    let sched = MoodySchedule { n1: 0, n2: 4 };
+    let conc_model = net2_at(ConcurrentModel::L2L3, w, &costs, &rates);
+    let moody_model = moody_net2(w, &sched, &costs, &rates);
+    let conc_mc = mc_net2_concurrent(40_000.0, w, &costs, &rates, 250, &mut rng);
+    let moody_mc = mc_net2_moody(40_000.0, w, &sched, &costs, &rates, 250, &mut rng);
+
+    assert!(conc_model < moody_model, "model: {conc_model} vs {moody_model}");
+    assert!(conc_mc < moody_mc, "mc: {conc_mc} vs {moody_mc}");
+}
+
+#[test]
+fn zero_failure_limits_agree_exactly() {
+    let costs = LevelCosts::symmetric(0.5, 4.5, 40.0);
+    let quiet = FailureRates::three(1e-15, 1e-15, 1e-15);
+    let mut rng = StdRng::seed_from_u64(5);
+
+    let w = 500.0;
+    let analytic = net2_at(ConcurrentModel::L2L3, w, &costs, &quiet);
+    let mc = mc_net2_concurrent(10_000.0, w, &costs, &quiet, 5, &mut rng);
+    // Both reduce to (w + c1)/w with no failures (modulo the final span).
+    assert!((analytic - (w + 0.5) / w).abs() < 1e-6);
+    assert!((mc - analytic).abs() < 2e-3, "mc={mc} analytic={analytic}");
+}
