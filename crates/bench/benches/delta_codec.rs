@@ -78,18 +78,34 @@ fn bench_codecs(c: &mut Criterion) {
 }
 
 fn bench_parallel_speedup(c: &mut Criterion) {
-    // Serial (the paper's single dedicated core) vs rayon-parallel PA
-    // encode (the multi-core extension) — identical outputs by test.
+    // Serial (the paper's single dedicated core) vs the sharded pool encode
+    // at each width — identical outputs by test (`pa_encode_shard` tests).
+    // All 256 pages are dirty, well past the 64-page floor where sharding
+    // pays; real speedup needs that many host cores, so compare widths on
+    // multicore hardware.
     let prev = snapshot(7);
     let target = dirty(&prev, "half-rewrite", 8);
-    let mut group = c.benchmark_group("pa_parallelism");
+    let mut group = c.benchmark_group("pool_scaling");
     group.throughput(Throughput::Bytes((PAGES * PAGE_SIZE) as u64));
     group.bench_function("serial", |b| {
         b.iter(|| pa_encode(&prev, &target, &PaParams::default()));
     });
-    group.bench_function("rayon", |b| {
-        b.iter(|| aic_delta::pa::pa_encode_parallel(&prev, &target, &PaParams::default()));
-    });
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    aic_delta::pa::pa_encode_parallel_with(
+                        &prev,
+                        &target,
+                        &PaParams::default(),
+                        workers,
+                    )
+                });
+            },
+        );
+    }
     group.finish();
 }
 

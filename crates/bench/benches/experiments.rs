@@ -33,5 +33,10 @@ fn bench_trace(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_model_figures, bench_engine_figures, bench_trace);
+criterion_group!(
+    benches,
+    bench_model_figures,
+    bench_engine_figures,
+    bench_trace
+);
 criterion_main!(benches);

@@ -50,5 +50,10 @@ fn bench_offline_optimizers(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_chain_solve, bench_decider, bench_offline_optimizers);
+criterion_group!(
+    benches,
+    bench_chain_solve,
+    bench_decider,
+    bench_offline_optimizers
+);
 criterion_main!(benches);

@@ -22,7 +22,7 @@ fn bench_address_space(c: &mut Criterion) {
         let data = vec![7u8; PAGE_SIZE];
         let mut i = 0u64;
         b.iter(|| {
-            if i % 1024 == 0 {
+            if i.is_multiple_of(1024) {
                 sp.begin_interval(); // re-protect so every write faults
             }
             sp.write_page(i % 1024, 0, &data, SimTime::ZERO);

@@ -11,7 +11,10 @@
 use std::env;
 use std::process::ExitCode;
 
-use aic_bench::experiments::{ablation, fig11, fig12, fig2, fig5, fig6, fig7, fleet_sharing, mpi_scaling, regret, table1, table3, validate, RunScale};
+use aic_bench::experiments::{
+    ablation, fig11, fig12, fig2, fig5, fig6, fig7, fleet_sharing, mpi_scaling, pool_scaling,
+    regret, table1, table3, validate, RunScale,
+};
 use aic_bench::output::csv;
 
 #[derive(Debug, Clone)]
@@ -140,8 +143,14 @@ fn run_one(args: &Args) -> Result<(), String> {
         }
         "ablation" => {
             println!("## Ablations (milc persona)\n");
-            println!("### Compressors\n{}", ablation::render(&ablation::compressors("milc", scale)));
-            println!("### Deciders\n{}", ablation::render(&ablation::policies("milc", scale)));
+            println!(
+                "### Compressors\n{}",
+                ablation::render(&ablation::compressors("milc", scale))
+            );
+            println!(
+                "### Deciders\n{}",
+                ablation::render(&ablation::policies("milc", scale))
+            );
             println!(
                 "### Metric choice (footnote 1)\n{}",
                 ablation::render(&ablation::metric_choice("sjeng", scale))
@@ -167,6 +176,11 @@ fn run_one(args: &Args) -> Result<(), String> {
             let rows = mpi_scaling::run(&mpi_scaling::DEFAULT_RANKS, scale);
             print!("{}", mpi_scaling::render(&rows));
         }
+        "pool" => {
+            println!("## Compression-pool scaling (extension)\n");
+            let rows = pool_scaling::run(&pool_scaling::DEFAULT_CORES, scale);
+            print!("{}", pool_scaling::render(&rows));
+        }
         "validate" => {
             println!("## Model vs Monte-Carlo validation\n");
             let rows = validate::run(400, scale.seed);
@@ -179,8 +193,8 @@ fn run_one(args: &Args) -> Result<(), String> {
         }
         "all" => {
             for exp in [
-                "table1", "fig5", "fig6", "fig7", "fig2", "table3", "fig11", "fig12",
-                "validate", "ablation", "mpi", "fleet", "regret",
+                "table1", "fig5", "fig6", "fig7", "fig2", "table3", "fig11", "fig12", "validate",
+                "ablation", "mpi", "pool", "fleet", "regret",
             ] {
                 let sub = Args {
                     experiment: exp.to_string(),
@@ -207,7 +221,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|fleet|regret|all> \
+                "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|pool|fleet|regret|all> \
                  [--quick] [--csv] [--footprint F] [--duration D] [--seed N] [--jobs N]"
             );
             ExitCode::FAILURE

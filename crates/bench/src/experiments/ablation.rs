@@ -51,8 +51,14 @@ pub fn compressors(persona: &str, scale: &RunScale) -> Vec<AblationRow> {
         ("full (Moody payload)", Compressor::FullOnly),
         ("incremental raw", Compressor::IncrementalRaw),
         ("incremental + XOR/RLE", Compressor::Xor),
-        ("incremental + Xdelta3", Compressor::WholeFile(EncodeParams::default())),
-        ("incremental + Xdelta3-PA", Compressor::PaDelta(PaParams::default())),
+        (
+            "incremental + Xdelta3",
+            Compressor::WholeFile(EncodeParams::default()),
+        ),
+        (
+            "incremental + Xdelta3-PA",
+            Compressor::PaDelta(PaParams::default()),
+        ),
     ];
     variants
         .iter()
@@ -112,8 +118,16 @@ pub fn metric_choice(persona: &str, scale: &RunScale) -> Vec<AblationRow> {
     use aic_core::sample::{SimilarityMetric, VariationMetric};
     let config: EngineConfig = geometry_scaled_engine(scale);
     [
-        ("JD/DI (paper)", SimilarityMetric::Jaccard, VariationMetric::Divergence),
-        ("cosine/M2 (footnote 1)", SimilarityMetric::Cosine, VariationMetric::M2),
+        (
+            "JD/DI (paper)",
+            SimilarityMetric::Jaccard,
+            VariationMetric::Divergence,
+        ),
+        (
+            "cosine/M2 (footnote 1)",
+            SimilarityMetric::Cosine,
+            VariationMetric::M2,
+        ),
     ]
     .into_iter()
     .map(|(label, sim, var)| {

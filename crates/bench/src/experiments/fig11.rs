@@ -103,7 +103,14 @@ pub fn run(scale: &RunScale) -> Vec<Fig11Row> {
 /// Render as a markdown table.
 pub fn render(rows: &[Fig11Row]) -> String {
     markdown_table(
-        &["Benchmark", "AIC", "SIC", "Moody", "AIC vs SIC", "SIC w* (s)"],
+        &[
+            "Benchmark",
+            "AIC",
+            "SIC",
+            "Moody",
+            "AIC vs SIC",
+            "SIC w* (s)",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -125,7 +125,10 @@ mod tests {
         // Sjeng's burst/consolidation cycle must produce strictly wider
         // swings than bzip2's steady block processing (paper: 5 of 6
         // benchmarks swing widely; sjeng's drop is 95%).
-        assert!(s_swing > 2.0 * b_swing, "sjeng {s_swing} vs bzip2 {b_swing}");
+        assert!(
+            s_swing > 2.0 * b_swing,
+            "sjeng {s_swing} vs bzip2 {b_swing}"
+        );
         assert!(s_swing > 3.0, "sjeng swing too small: {s_swing}");
     }
 

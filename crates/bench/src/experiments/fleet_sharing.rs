@@ -51,9 +51,7 @@ pub fn run(persona: &str, sfs: &[usize], scale: &RunScale) -> Vec<FleetRow> {
                 })
                 .collect();
             let policies: Vec<Box<dyn CheckpointPolicy>> = (0..sf)
-                .map(|_| {
-                    Box::new(FixedIntervalPolicy::new(interval)) as Box<dyn CheckpointPolicy>
-                })
+                .map(|_| Box::new(FixedIntervalPolicy::new(interval)) as Box<dyn CheckpointPolicy>)
                 .collect();
             let reports = run_fleet(processes, policies, &config);
 
@@ -115,7 +113,12 @@ pub fn run(persona: &str, sfs: &[usize], scale: &RunScale) -> Vec<FleetRow> {
 /// Render the sweep.
 pub fn render(rows: &[FleetRow]) -> String {
     markdown_table(
-        &["SF", "operational NET²", "worst-case model NET²", "eff. window (s)"],
+        &[
+            "SF",
+            "operational NET²",
+            "worst-case model NET²",
+            "eff. window (s)",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -4,15 +4,16 @@ pub mod ablation;
 pub mod fig11;
 pub mod fig12;
 pub mod fig2;
-pub mod fleet_sharing;
-pub mod mpi_scaling;
-pub mod regret;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod fleet_sharing;
+pub mod mpi_scaling;
+pub mod pool_scaling;
+pub mod regret;
 pub mod table1;
-pub mod validate;
 pub mod table3;
+pub mod validate;
 
 use aic_ckpt::engine::EngineConfig;
 use aic_model::params::CoastalProfile;
@@ -90,10 +91,7 @@ impl RunScale {
 
 /// Build a persona by name at a given run scale, wrapping it so the base
 /// time honours `duration`.
-pub fn scaled_persona(
-    name: &str,
-    scale: &RunScale,
-) -> aic_memsim::SimProcess {
+pub fn scaled_persona(name: &str, scale: &RunScale) -> aic_memsim::SimProcess {
     use aic_memsim::workloads::spec;
     let wl: Box<dyn aic_memsim::workloads::Workload + Send> = match name {
         "bzip2" => Box::new(spec::Bzip2::with_scale(scale.seed, scale.footprint)),
@@ -121,18 +119,10 @@ impl aic_memsim::workloads::Workload for DurationScaled {
     fn name(&self) -> &str {
         self.inner.name()
     }
-    fn init(
-        &mut self,
-        space: &mut aic_memsim::AddressSpace,
-        clock: &mut aic_memsim::VirtualClock,
-    ) {
+    fn init(&mut self, space: &mut aic_memsim::AddressSpace, clock: &mut aic_memsim::VirtualClock) {
         self.inner.init(space, clock);
     }
-    fn step(
-        &mut self,
-        space: &mut aic_memsim::AddressSpace,
-        clock: &mut aic_memsim::VirtualClock,
-    ) {
+    fn step(&mut self, space: &mut aic_memsim::AddressSpace, clock: &mut aic_memsim::VirtualClock) {
         self.inner.step(space, clock);
     }
     fn base_time(&self) -> aic_memsim::SimTime {

@@ -65,11 +65,7 @@ pub fn run(ranks: &[usize], scale: &RunScale) -> Vec<MpiRow> {
             let fixed = run_mpi_engine(make_job(n, secs, scale.seed), &cfg);
             cfg.adaptive = true;
             let adaptive = run_mpi_engine(make_job(n, secs, scale.seed), &cfg);
-            let cks: Vec<_> = fixed
-                .intervals
-                .iter()
-                .filter(|r| r.raw_bytes > 0)
-                .collect();
+            let cks: Vec<_> = fixed.intervals.iter().filter(|r| r.raw_bytes > 0).collect();
             let mean_ckpt_mb = if cks.is_empty() {
                 0.0
             } else {
@@ -88,7 +84,13 @@ pub fn run(ranks: &[usize], scale: &RunScale) -> Vec<MpiRow> {
 /// Render the sweep.
 pub fn render(rows: &[MpiRow]) -> String {
     markdown_table(
-        &["ranks", "fixed NET²", "adaptive NET²", "adaptive gain", "ckpt (MB)"],
+        &[
+            "ranks",
+            "fixed NET²",
+            "adaptive NET²",
+            "adaptive gain",
+            "ckpt (MB)",
+        ],
         &rows
             .iter()
             .map(|r| {

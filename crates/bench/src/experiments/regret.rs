@@ -82,7 +82,11 @@ fn capture_profile(persona: &str, scale: &RunScale, ticks: usize, tick_len: f64)
 impl Profile {
     /// True interval parameters of a cut at tick `b` following one at `a`.
     fn cost(&self, a: usize, b: usize, cm: &CostModel, b2: f64, b3: f64) -> IntervalParams {
-        let mut pages: Vec<u64> = self.dirty_per_tick[a..b].iter().flatten().copied().collect();
+        let mut pages: Vec<u64> = self.dirty_per_tick[a..b]
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
         pages.sort_unstable();
         pages.dedup();
         let mut dirty = Snapshot::new();
@@ -137,7 +141,11 @@ pub fn run(persona: &str, scale: &RunScale, ticks: usize, tick_len: f64) -> Regr
     let mut aic_cfg = AicConfig::testbed(config.rates.clone());
     aic_cfg.bootstrap_interval = (horizon / 12.0).max(2.0);
     let mut aic_policy = AicPolicy::new(aic_cfg, &config);
-    let aic = run_engine(scaled_persona(persona, &clipped(0)), &mut aic_policy, &config);
+    let aic = run_engine(
+        scaled_persona(persona, &clipped(0)),
+        &mut aic_policy,
+        &config,
+    );
 
     RegretReport {
         persona: persona.to_string(),
@@ -179,10 +187,7 @@ mod tests {
         let r = run("milc", &scale, 24, 1.0);
         // The offline plan must dominate (allowing scoring noise between
         // the instrumented profile and the engine's own measurements).
-        assert!(
-            r.opt <= r.sic * 1.02 && r.opt <= r.aic * 1.02,
-            "{r:?}"
-        );
+        assert!(r.opt <= r.sic * 1.02 && r.opt <= r.aic * 1.02, "{r:?}");
         assert!(r.aic >= 1.0 && r.sic >= 1.0);
         let c = r.captured();
         assert!((0.0..=1.0).contains(&c));

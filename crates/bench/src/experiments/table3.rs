@@ -66,7 +66,12 @@ pub fn measure(name: &str, scale: &RunScale) -> Table3Row {
     )
     .clamp(2.0, cal.base_time / 2.0);
 
-    let pa = fixed_run(name, scale, Compressor::PaDelta(PaParams::default()), interval);
+    let pa = fixed_run(
+        name,
+        scale,
+        Compressor::PaDelta(PaParams::default()),
+        interval,
+    );
     let xd = fixed_run(
         name,
         scale,
@@ -153,7 +158,11 @@ mod tests {
             sphinx.ratio_pa
         );
         assert!(milc.ratio_pa > 0.5, "milc PA ratio {}", milc.ratio_pa);
-        assert!(sphinx.ratio_pa < 0.4, "sphinx3 PA ratio {}", sphinx.ratio_pa);
+        assert!(
+            sphinx.ratio_pa < 0.4,
+            "sphinx3 PA ratio {}",
+            sphinx.ratio_pa
+        );
     }
 
     #[test]

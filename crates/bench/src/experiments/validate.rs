@@ -38,7 +38,12 @@ pub fn run(runs: usize, seed: u64) -> Vec<ValidateRow> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::new();
 
-    for &(c3, w) in &[(60.0, 100.0), (60.0, 400.0), (250.0, 300.0), (250.0, 1200.0)] {
+    for &(c3, w) in &[
+        (60.0, 100.0),
+        (60.0, 400.0),
+        (250.0, 300.0),
+        (250.0, 1200.0),
+    ] {
         let costs = LevelCosts::symmetric(0.5, 4.5, c3);
         out.push(ValidateRow {
             label: format!("L2L3 c3={c3} w={w}"),
@@ -67,7 +72,12 @@ pub fn run(runs: usize, seed: u64) -> Vec<ValidateRow> {
 /// Render the validation table.
 pub fn render(rows: &[ValidateRow]) -> String {
     markdown_table(
-        &["configuration", "analytic NET²", "Monte-Carlo NET²", "overhead gap"],
+        &[
+            "configuration",
+            "analytic NET²",
+            "Monte-Carlo NET²",
+            "overhead gap",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -62,8 +62,7 @@ fn chain_paths(dir: &Path) -> CliResult<Vec<PathBuf>> {
 
 fn load(path: &Path) -> CliResult<CheckpointFile> {
     let bytes = fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-    CheckpointFile::from_bytes(Bytes::from(bytes))
-        .map_err(|e| format!("{}: {e}", path.display()))
+    CheckpointFile::from_bytes(Bytes::from(bytes)).map_err(|e| format!("{}: {e}", path.display()))
 }
 
 fn load_chain(dir: &Path) -> CliResult<CheckpointChain> {
@@ -123,7 +122,11 @@ fn inspect(path: &Path) -> CliResult {
     println!("  cpu state     : {} B", file.cpu_state.len());
     match &file.payload {
         Payload::Pages(snap) => {
-            println!("  payload       : {} raw pages ({} KiB)", snap.len(), snap.bytes() / 1024);
+            println!(
+                "  payload       : {} raw pages ({} KiB)",
+                snap.len(),
+                snap.bytes() / 1024
+            );
         }
         Payload::Delta(df) => {
             println!(
@@ -163,7 +166,11 @@ fn restore(dir: &Path, out: &Path) -> CliResult {
         img.extend_from_slice(page.as_slice());
     }
     fs::write(out, &img).map_err(|e| format!("write {}: {e}", out.display()))?;
-    println!("restored image -> {} ({} KiB)", out.display(), img.len() / 1024);
+    println!(
+        "restored image -> {} ({} KiB)",
+        out.display(),
+        img.len() / 1024
+    );
     Ok(())
 }
 

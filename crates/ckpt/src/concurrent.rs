@@ -1,22 +1,42 @@
-//! A real dedicated checkpointing-core thread.
+//! Real dedicated checkpointing core(s): a pool of compression workers.
 //!
 //! The analytic models *assume* compression and remote transfer can run on
-//! a spare core without perturbing the application (Section II.C). This
-//! module implements that mechanism for real: a worker thread owns the
-//! delta compressor; the compute thread hands it `(previous pages, dirty
+//! spare cores without perturbing the application (Section II.C). This
+//! module implements that mechanism for real: a [`CompressorPool`] owns the
+//! delta compressors; the compute thread hands it `(previous pages, dirty
 //! pages)` jobs over a channel and keeps executing. This is the moral
-//! equivalent of the paper pinning Xdelta3-PA to a core with `taskset`.
+//! equivalent of the paper pinning Xdelta3-PA to a core with `taskset` —
+//! generalized from one spare core to `N`.
+//!
+//! Because pages are independent delta units in `pa_encode`, each job is
+//! split page-wise into contiguous shards (see `plan_shards`), shards are
+//! compressed out of order across the workers, and the per-shard outputs
+//! are reassembled so the delivered [`PaDeltaFile`] is byte-for-byte what
+//! the serial encoder would have produced. Results are always delivered in
+//! job *submission* order, and every stage of the pipeline is bounded, so
+//! a pool that falls behind pushes back on `submit` — the paper's
+//! single-core drain rule, generalized.
+//!
+//! [`CheckpointingCore`] is the original single-core handle, now a thin
+//! wrapper around a one-worker pool (which plans exactly one shard per job
+//! and therefore reproduces the old behavior exactly).
 
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 
-use aic_delta::pa::{pa_encode, PaDeltaFile, PaParams};
+use aic_delta::pa::{
+    pa_assemble, pa_encode_shard, plan_shards, PaDeltaFile, PaParams, PageRecord, Shard,
+    SHARDS_PER_WORKER,
+};
 use aic_delta::stats::EncodeReport;
 use aic_memsim::Snapshot;
 
-/// A compression job for the checkpointing core.
+/// A compression job for the checkpointing core(s).
 #[derive(Debug)]
 pub struct CompressJob {
     /// Checkpoint sequence number (echoed back in the result).
@@ -29,7 +49,7 @@ pub struct CompressJob {
     pub params: PaParams,
 }
 
-/// The checkpointing core's answer.
+/// The pool's answer.
 #[derive(Debug)]
 pub struct CompressResult {
     /// Sequence number of the job.
@@ -38,19 +58,284 @@ pub struct CompressResult {
     pub file: PaDeltaFile,
     /// Work accounting (feeds the latency cost model / predictor).
     pub report: EncodeReport,
-    /// Measured wall-clock compression time on the dedicated core.
+    /// Wall-clock span from dispatch to the last shard finishing — the
+    /// *service* latency the `dl` predictor should see for this pool width.
     pub wall: Duration,
+    /// Time the job spent queued behind earlier jobs before dispatch. Kept
+    /// separate from `wall` so a backed-up pool does not inflate the
+    /// predictor's view of compression cost.
+    pub queued: Duration,
 }
 
-/// Handle to a dedicated checkpointing-core thread.
+/// One shard of one job, as handed to a pool worker.
+struct ShardTask {
+    job: Arc<CompressJob>,
+    state: Arc<JobState>,
+    slot: usize,
+    shard: Shard,
+}
+
+/// Shared reassembly state for one in-flight job.
+struct JobState {
+    /// Submission index — the delivery-order key (independent of `seq`,
+    /// which callers are free to assign arbitrarily).
+    order: u64,
+    dispatched_at: Instant,
+    queued: Duration,
+    parts: Mutex<Vec<Option<ShardOutput>>>,
+    remaining: AtomicUsize,
+}
+
+/// One shard's encoded records plus its partial report.
+type ShardOutput = (Vec<PageRecord>, EncodeReport);
+
+/// An assembled job on its way to the in-order collector.
+struct Done {
+    order: u64,
+    result: CompressResult,
+}
+
+/// Handle to a pool of dedicated compression workers.
+///
+/// Jobs complete in submission order regardless of how their shards race.
+/// Dropping the handle shuts the pool down cleanly: pending jobs are
+/// finished first and every thread is joined, even if the caller never
+/// received a single result.
+pub struct CompressorPool {
+    tx: Option<Sender<(CompressJob, Instant)>>,
+    rx: Receiver<CompressResult>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    submitted: AtomicU64,
+    received: AtomicU64,
+}
+
+impl CompressorPool {
+    /// Spawn `workers` compression threads behind a bounded queue of
+    /// `queue_depth` jobs.
+    ///
+    /// Every internal stage is bounded too, so when the pool falls behind
+    /// and nobody drains results, `submit` blocks after a fixed number of
+    /// in-flight jobs — back-pressure, not unbounded buffering. With
+    /// `workers == 1` each job is planned as a single shard and the pool
+    /// degenerates to the paper's single dedicated core.
+    pub fn spawn(workers: usize, queue_depth: usize) -> Self {
+        let workers = workers.max(1);
+        let depth = queue_depth.max(1);
+        let (job_tx, job_rx) = bounded::<(CompressJob, Instant)>(depth);
+        let (shard_tx, shard_rx) = bounded::<ShardTask>(workers * SHARDS_PER_WORKER);
+        let (done_tx, done_rx) = bounded::<Done>(depth + workers);
+        let (res_tx, res_rx) = bounded::<CompressResult>(depth * 2);
+
+        let mut handles = Vec::with_capacity(workers + 2);
+
+        // Dispatcher: shards each job and fans the shards out to workers.
+        let dispatcher_done = done_tx.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name("aic-ckpt-dispatch".into())
+                .spawn(move || {
+                    let mut order: u64 = 0;
+                    while let Ok((job, enqueued_at)) = job_rx.recv() {
+                        let dispatched_at = Instant::now();
+                        let queued = dispatched_at.duration_since(enqueued_at);
+                        let shards = plan_shards(job.dirty.len(), workers);
+                        if shards.is_empty() {
+                            // Empty snapshot: nothing to compress, assemble
+                            // the empty file right here.
+                            let (file, report) = pa_assemble(std::iter::empty());
+                            let sent = dispatcher_done.send(Done {
+                                order,
+                                result: CompressResult {
+                                    seq: job.seq,
+                                    file,
+                                    report,
+                                    wall: dispatched_at.elapsed(),
+                                    queued,
+                                },
+                            });
+                            if sent.is_err() {
+                                return;
+                            }
+                        } else {
+                            let mut parts = Vec::new();
+                            parts.resize_with(shards.len(), || None);
+                            let state = Arc::new(JobState {
+                                order,
+                                dispatched_at,
+                                queued,
+                                parts: Mutex::new(parts),
+                                remaining: AtomicUsize::new(shards.len()),
+                            });
+                            let job = Arc::new(job);
+                            for (slot, shard) in shards.into_iter().enumerate() {
+                                let sent = shard_tx.send(ShardTask {
+                                    job: Arc::clone(&job),
+                                    state: Arc::clone(&state),
+                                    slot,
+                                    shard,
+                                });
+                                if sent.is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                        order += 1;
+                    }
+                })
+                .expect("spawn pool dispatcher"),
+        );
+
+        // Workers: compress shards; whoever finishes a job's last shard
+        // assembles the file and hands it to the collector.
+        for i in 0..workers {
+            let shard_rx = shard_rx.clone();
+            let done_tx = done_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("aic-ckpt-core-{i}"))
+                    .spawn(move || {
+                        while let Ok(task) = shard_rx.recv() {
+                            let part = pa_encode_shard(
+                                &task.job.prev,
+                                &task.job.dirty,
+                                task.shard,
+                                &task.job.params,
+                            );
+                            task.state.parts.lock().unwrap()[task.slot] = Some(part);
+                            if task.state.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
+                                continue; // other shards still in flight
+                            }
+                            let parts = std::mem::take(&mut *task.state.parts.lock().unwrap());
+                            let (file, report) =
+                                pa_assemble(parts.into_iter().map(|p| p.expect("shard encoded")));
+                            let sent = done_tx.send(Done {
+                                order: task.state.order,
+                                result: CompressResult {
+                                    seq: task.job.seq,
+                                    file,
+                                    report,
+                                    wall: task.state.dispatched_at.elapsed(),
+                                    queued: task.state.queued,
+                                },
+                            });
+                            if sent.is_err() {
+                                return;
+                            }
+                        }
+                    })
+                    .expect("spawn pool worker"),
+            );
+        }
+        drop(shard_rx);
+        drop(done_tx);
+
+        // Collector: re-sequences out-of-order job completions so results
+        // leave the pool in submission order.
+        handles.push(
+            std::thread::Builder::new()
+                .name("aic-ckpt-collect".into())
+                .spawn(move || {
+                    let mut next: u64 = 0;
+                    let mut pending: BTreeMap<u64, CompressResult> = BTreeMap::new();
+                    while let Ok(done) = done_rx.recv() {
+                        pending.insert(done.order, done.result);
+                        while let Some(result) = pending.remove(&next) {
+                            if res_tx.send(result).is_err() {
+                                return;
+                            }
+                            next += 1;
+                        }
+                    }
+                })
+                .expect("spawn pool collector"),
+        );
+
+        CompressorPool {
+            tx: Some(job_tx),
+            rx: res_rx,
+            handles,
+            workers,
+            submitted: AtomicU64::new(0),
+            received: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of compression workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Submit a job; blocks if the queue is full.
+    pub fn submit(&self, job: CompressJob) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .as_ref()
+            .expect("pool is live")
+            .send((job, Instant::now()))
+            .expect("compressor pool died");
+    }
+
+    /// Number of jobs submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Jobs submitted but not yet received — the pool's current depth as
+    /// seen by the caller (queued + compressing + awaiting pickup).
+    pub fn in_flight(&self) -> u64 {
+        self.submitted() - self.received.load(Ordering::Relaxed)
+    }
+
+    /// Receive the next completed result, blocking.
+    pub fn recv(&self) -> CompressResult {
+        let r = self.rx.recv().expect("compressor pool died");
+        self.received.fetch_add(1, Ordering::Relaxed);
+        r
+    }
+
+    /// Receive a completed result if one is ready.
+    pub fn try_recv(&self) -> Option<CompressResult> {
+        let r = self.rx.try_recv().ok()?;
+        self.received.fetch_add(1, Ordering::Relaxed);
+        Some(r)
+    }
+
+    /// Shut down: wait for all pending jobs and collect their results
+    /// (those not already taken via `recv`).
+    pub fn drain(mut self) -> Vec<CompressResult> {
+        drop(self.tx.take());
+        let mut out = Vec::new();
+        while let Ok(r) = self.rx.recv() {
+            self.received.fetch_add(1, Ordering::Relaxed);
+            out.push(r);
+        }
+        // Drop joins the (now finished) threads.
+        out
+    }
+}
+
+impl Drop for CompressorPool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        // Keep draining results while the pipeline winds down: a bounded
+        // result channel full of unread results must never wedge a worker
+        // (and thereby the join below). Pending jobs still get compressed —
+        // the job channel is closed, not the pipeline.
+        while self.rx.recv().is_ok() {}
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Handle to a *single* dedicated checkpointing-core thread — the paper's
+/// original mechanism, kept as a thin wrapper over a one-worker pool.
 ///
 /// Jobs complete in submission order. Dropping the handle shuts the worker
 /// down cleanly (pending jobs are finished first).
 pub struct CheckpointingCore {
-    tx: Option<Sender<CompressJob>>,
-    rx: Receiver<CompressResult>,
-    handle: Option<JoinHandle<()>>,
-    submitted: u64,
+    pool: CompressorPool,
 }
 
 impl CheckpointingCore {
@@ -58,90 +343,41 @@ impl CheckpointingCore {
     /// (back-pressure: `submit` blocks when the core falls behind, matching
     /// the paper's single-core drain rule).
     pub fn spawn(queue_depth: usize) -> Self {
-        let (job_tx, job_rx) = bounded::<CompressJob>(queue_depth.max(1));
-        let (res_tx, res_rx) = bounded::<CompressResult>(queue_depth.max(1) * 2);
-        let handle = std::thread::Builder::new()
-            .name("aic-ckpt-core".into())
-            .spawn(move || {
-                while let Ok(job) = job_rx.recv() {
-                    let start = Instant::now();
-                    let (file, report) = pa_encode(&job.prev, &job.dirty, &job.params);
-                    let result = CompressResult {
-                        seq: job.seq,
-                        file,
-                        report,
-                        wall: start.elapsed(),
-                    };
-                    if res_tx.send(result).is_err() {
-                        break; // receiver gone
-                    }
-                }
-            })
-            .expect("spawn checkpointing core");
         CheckpointingCore {
-            tx: Some(job_tx),
-            rx: res_rx,
-            handle: Some(handle),
-            submitted: 0,
+            pool: CompressorPool::spawn(1, queue_depth),
         }
     }
 
     /// Submit a job; blocks if the queue is full.
     pub fn submit(&mut self, job: CompressJob) {
-        self.submitted += 1;
-        self.tx
-            .as_ref()
-            .expect("core is live")
-            .send(job)
-            .expect("checkpointing core died");
+        self.pool.submit(job);
     }
 
     /// Number of jobs submitted so far.
     pub fn submitted(&self) -> u64 {
-        self.submitted
+        self.pool.submitted()
     }
 
     /// Receive the next completed result, blocking.
     pub fn recv(&self) -> CompressResult {
-        self.rx.recv().expect("checkpointing core died")
+        self.pool.recv()
     }
 
     /// Receive a completed result if one is ready.
     pub fn try_recv(&self) -> Option<CompressResult> {
-        self.rx.try_recv().ok()
+        self.pool.try_recv()
     }
 
     /// Shut down: wait for all pending jobs and collect their results.
-    pub fn drain(mut self) -> Vec<CompressResult> {
-        let submitted = self.submitted;
-        drop(self.tx.take());
-        let mut out = Vec::with_capacity(submitted as usize);
-        while out.len() < submitted as usize {
-            match self.rx.recv() {
-                Ok(r) => out.push(r),
-                Err(_) => break,
-            }
-        }
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
-        out
-    }
-}
-
-impl Drop for CheckpointingCore {
-    fn drop(&mut self) {
-        drop(self.tx.take());
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+    pub fn drain(self) -> Vec<CompressResult> {
+        self.pool.drain()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aic_delta::pa::pa_decode;
+    use aic_delta::pa::{pa_decode, pa_encode};
     use aic_memsim::{Page, PAGE_SIZE};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -229,5 +465,102 @@ mod tests {
             params: PaParams::default(),
         });
         drop(core); // must not hang or panic
+    }
+
+    #[test]
+    fn drop_with_full_result_queue_does_not_deadlock() {
+        // Regression test: with a tiny queue and many completed-but-unread
+        // results, the bounded result channel fills up and the pipeline
+        // stalls mid-delivery. Drop must drain it while joining instead of
+        // wedging on a worker blocked in send().
+        let prev = snapshot(2, 30);
+        let pool = CompressorPool::spawn(2, 1);
+        for seq in 0..8u64 {
+            pool.submit(CompressJob {
+                seq,
+                prev: prev.clone(),
+                dirty: mutate(&prev, 40 + seq),
+                params: PaParams::default(),
+            });
+        }
+        // Give the pipeline time to fill every bounded stage.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(pool); // must not hang or panic
+    }
+
+    #[test]
+    fn pool_output_is_bit_identical_to_serial_encode() {
+        // The acceptance bar for the pool: for N ∈ {1, 4} and snapshots of
+        // 0, 1, and many pages, the delivered PaDeltaFile is byte-for-byte
+        // the serial pa_encode output.
+        for &workers in &[1usize, 4] {
+            let base = snapshot(67, 10);
+            let cases: Vec<(Snapshot, Snapshot)> = vec![
+                (base.clone(), Snapshot::new()),              // empty dirty set
+                (base.clone(), mutate(&snapshot(1, 11), 12)), // single page
+                (base.clone(), mutate(&base, 13)),            // many pages
+                (Snapshot::new(), snapshot(9, 14)),           // all pages new
+            ];
+            let pool = CompressorPool::spawn(workers, 4);
+            for (seq, (prev, dirty)) in cases.iter().enumerate() {
+                pool.submit(CompressJob {
+                    seq: seq as u64,
+                    prev: prev.clone(),
+                    dirty: dirty.clone(),
+                    params: PaParams::default(),
+                });
+            }
+            let results = pool.drain();
+            assert_eq!(results.len(), cases.len());
+            for (r, (prev, dirty)) in results.iter().zip(&cases) {
+                let (file, report) = pa_encode(prev, dirty, &PaParams::default());
+                assert_eq!(r.file, file, "workers={workers} seq={}", r.seq);
+                assert_eq!(r.report, report, "workers={workers} seq={}", r.seq);
+            }
+        }
+    }
+
+    #[test]
+    fn submit_blocks_when_pipeline_is_full() {
+        // Back-pressure: with nobody receiving, a submitter must block
+        // after a bounded number of in-flight jobs instead of buffering
+        // them all — independent of how fast the workers compress, because
+        // every pipeline stage is a bounded channel. Receiving then
+        // unblocks it and every result arrives in submission order.
+        const JOBS: u64 = 64;
+        let prev = snapshot(1, 20);
+        let dirty = mutate(&prev, 21);
+        let pool = Arc::new(CompressorPool::spawn(1, 2));
+        let progress = Arc::new(AtomicU64::new(0));
+
+        let submitter = std::thread::spawn({
+            let pool = Arc::clone(&pool);
+            let progress = Arc::clone(&progress);
+            let (prev, dirty) = (prev.clone(), dirty.clone());
+            move || {
+                for seq in 0..JOBS {
+                    pool.submit(CompressJob {
+                        seq,
+                        prev: prev.clone(),
+                        dirty: dirty.clone(),
+                        params: PaParams::default(),
+                    });
+                    progress.store(seq + 1, Ordering::SeqCst);
+                }
+            }
+        });
+
+        std::thread::sleep(Duration::from_millis(300));
+        let high_water = progress.load(Ordering::SeqCst);
+        assert!(
+            high_water < JOBS,
+            "submit never blocked: all {JOBS} jobs entered a \"bounded\" pipeline"
+        );
+
+        for seq in 0..JOBS {
+            assert_eq!(pool.recv().seq, seq);
+        }
+        submitter.join().unwrap();
+        assert_eq!(pool.in_flight(), 0);
     }
 }

@@ -15,18 +15,56 @@
 //!   paper's concurrency claim; their latency matters only for failure
 //!   exposure (scored through the non-static model) and the core-drain rule.
 
+use std::fmt;
+
 use bytes::Bytes;
 
 use aic_delta::encode::EncodeParams;
-use aic_delta::pa::{pa_encode, PaParams};
+use aic_delta::pa::{pa_encode_parallel_with, PaParams};
 use aic_delta::stats::CostModel;
 use aic_delta::xor::xor_encode;
 use aic_memsim::{AddressSpace, SimProcess, SimTime, Snapshot};
 use aic_model::nonstatic::{interval_time_l2l3, IntervalParams};
 use aic_model::FailureRates;
 
-use crate::chain::CheckpointChain;
+use crate::chain::{CheckpointChain, RestoreError};
 use crate::format::CheckpointFile;
+
+/// Errors from the engine's restore path (`EngineReport::restore_latest`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The run was configured with `keep_files: false`, so no checkpoint
+    /// chain was recorded to restore from.
+    ChainNotKept,
+    /// The recorded chain failed to replay.
+    Restore(RestoreError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::ChainNotKept => {
+                write!(f, "no checkpoint chain kept (run with keep_files: true)")
+            }
+            EngineError::Restore(e) => write!(f, "checkpoint chain replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::ChainNotKept => None,
+            EngineError::Restore(e) => Some(e),
+        }
+    }
+}
+
+impl From<RestoreError> for EngineError {
+    fn from(e: RestoreError) -> Self {
+        EngineError::Restore(e)
+    }
+}
 
 /// How checkpoint payloads are produced.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,6 +136,12 @@ pub struct EngineConfig {
     /// Sharing factor: computation cores per checkpointing core (≥ 1).
     /// Stretches compression and transfer latencies.
     pub sharing_factor: f64,
+    /// Compression workers in the checkpointing-core pool (≥ 1). Pages are
+    /// independent delta units, so `PaDelta` shards each encode page-wise
+    /// across the pool: the per-page compute term of `dl` divides by
+    /// `cores` (the local-disk I/O term stays serial). `1` is the paper's
+    /// single dedicated core.
+    pub cores: usize,
     /// Keep the serialized checkpoint chain (for restore tests; memory-heavy).
     pub keep_files: bool,
     /// Cut a fresh **full** checkpoint every N incremental ones, bounding
@@ -120,6 +164,7 @@ impl EngineConfig {
             compressor: Compressor::PaDelta(PaParams::default()),
             rates,
             sharing_factor: 1.0,
+            cores: 1,
             keep_files: false,
             full_every: None,
         }
@@ -202,10 +247,17 @@ impl EngineReport {
         (self.wall_time - self.base_time) / self.base_time
     }
 
+    /// Replay the recorded checkpoint chain to the latest image — the
+    /// engine's restore path. A missing chain (`keep_files` unset) or a
+    /// corrupt chain is a reported [`EngineError`], not a panic.
+    pub fn restore_latest(&self) -> Result<Snapshot, EngineError> {
+        let chain = self.chain.as_ref().ok_or(EngineError::ChainNotKept)?;
+        Ok(chain.restore_latest()?)
+    }
+
     /// Mean compression ratio across checkpointed intervals.
     pub fn mean_ratio(&self) -> f64 {
-        let cks: Vec<&IntervalRecord> =
-            self.intervals.iter().filter(|r| r.raw_bytes > 0).collect();
+        let cks: Vec<&IntervalRecord> = self.intervals.iter().filter(|r| r.raw_bytes > 0).collect();
         if cks.is_empty() {
             return 0.0;
         }
@@ -214,8 +266,7 @@ impl EngineReport {
 
     /// Mean delta latency across checkpointed intervals.
     pub fn mean_dl(&self) -> f64 {
-        let cks: Vec<&IntervalRecord> =
-            self.intervals.iter().filter(|r| r.raw_bytes > 0).collect();
+        let cks: Vec<&IntervalRecord> = self.intervals.iter().filter(|r| r.raw_bytes > 0).collect();
         if cks.is_empty() {
             return 0.0;
         }
@@ -224,8 +275,7 @@ impl EngineReport {
 
     /// Mean compressed delta size across checkpointed intervals, bytes.
     pub fn mean_ds(&self) -> f64 {
-        let cks: Vec<&IntervalRecord> =
-            self.intervals.iter().filter(|r| r.raw_bytes > 0).collect();
+        let cks: Vec<&IntervalRecord> = self.intervals.iter().filter(|r| r.raw_bytes > 0).collect();
         if cks.is_empty() {
             return 0.0;
         }
@@ -241,6 +291,7 @@ pub fn run_engine(
 ) -> EngineReport {
     assert!(config.decision_period > 0.0);
     assert!(config.sharing_factor >= 1.0);
+    assert!(config.cores >= 1, "the pool needs at least one core");
     let sf = config.sharing_factor;
     let base_time = process.base_time().as_secs();
 
@@ -307,15 +358,14 @@ pub fn run_engine(
 
         if want_ckpt {
             let dirty_log = process.cut_interval();
-            let dirty: Snapshot =
-                process.snapshot_pages(dirty_log.iter().map(|d| d.page));
+            let dirty: Snapshot = process.snapshot_pages(dirty_log.iter().map(|d| d.page));
             let raw_bytes = dirty.bytes();
             let live: Vec<u64> = process.space().page_indices().collect();
 
             // Chain compaction: every Nth checkpoint is a fresh full one.
             let compact = config
                 .full_every
-                .is_some_and(|n| n > 0 && (seq + 1) % n == 0);
+                .is_some_and(|n| n > 0 && (seq + 1).is_multiple_of(n));
             let effective_compressor = if compact {
                 Compressor::FullOnly
             } else {
@@ -352,9 +402,17 @@ pub fn run_engine(
                     (config.cost_model.raw_io_latency(raw_bytes), 0.0, raw_bytes)
                 }
                 Compressor::PaDelta(params) => {
-                    let (file, report) = pa_encode(&prev_state, &dirty, params);
+                    // Page-wise sharding across the pool: bit-identical to
+                    // the serial encode, and the charged `dl` is the
+                    // pool-width latency — the predictor trains on what the
+                    // deployment actually costs, not a serial fiction.
+                    let (file, report) =
+                        pa_encode_parallel_with(&prev_state, &dirty, params, config.cores);
                     let ds = file.wire_len();
-                    let dl = config.cost_model.delta_latency(&report) * sf;
+                    let dl = config
+                        .cost_model
+                        .pooled_delta_latency(&report, config.cores)
+                        * sf;
                     if let Some(chain) = chain.as_mut() {
                         chain.push(CheckpointFile::delta(
                             config.job,
@@ -367,8 +425,7 @@ pub fn run_engine(
                     (config.cost_model.raw_io_latency(raw_bytes), dl, ds)
                 }
                 Compressor::WholeFile(params) => {
-                    let (delta, report) =
-                        aic_delta::pa::full_encode(&prev_state, &dirty, params);
+                    let (delta, report) = aic_delta::pa::full_encode(&prev_state, &dirty, params);
                     let ds = delta.wire_len();
                     let dl = config.cost_model.delta_latency(&report) * sf;
                     if let Some(chain) = chain.as_mut() {
@@ -574,8 +631,8 @@ mod tests {
         cfg.keep_files = true;
         let mut policy = FixedIntervalPolicy::new(5.0);
         let report = run_engine(small_process(20.0), &mut policy, &cfg);
-        let chain = report.chain.expect("keep_files");
-        let restored = chain.restore_latest().unwrap();
+        let restored = report.restore_latest().expect("chain restores");
+        let chain = report.chain.as_ref().expect("keep_files");
         // The restored image must equal the engine's previous-checkpoint
         // mirror — which is the process state at the last cut. Re-derive it
         // from the final state minus the trailing dirty work: instead,
@@ -611,7 +668,7 @@ mod tests {
         cfg.full_every = Some(3);
         let mut policy = FixedIntervalPolicy::new(3.0);
         let report = run_engine(small_process(30.0), &mut policy, &cfg);
-        let chain = report.chain.expect("keep_files");
+        let chain = report.chain.as_ref().expect("keep_files");
         // Chain restarts at every 3rd checkpoint: never longer than 3.
         assert!(chain.len() <= 3, "chain len {}", chain.len());
         // Some interval shipped the full footprint (the compaction cut).
@@ -621,21 +678,70 @@ mod tests {
             "no full compaction observed"
         );
         // And the chain still restores (structural validity).
-        assert!(chain.restore_latest().is_ok());
+        assert!(report.restore_latest().is_ok());
+    }
+
+    #[test]
+    fn restore_without_kept_chain_is_a_typed_error() {
+        let mut policy = FixedIntervalPolicy::new(5.0);
+        let report = run_engine(small_process(10.0), &mut policy, &testbed());
+        assert_eq!(report.restore_latest(), Err(EngineError::ChainNotKept));
+        // The error formats without panicking (it is user-facing).
+        assert!(EngineError::ChainNotKept.to_string().contains("keep_files"));
+    }
+
+    #[test]
+    fn pool_width_shrinks_dl_but_not_payload() {
+        let mut p1 = FixedIntervalPolicy::new(5.0);
+        let narrow = run_engine(small_process(30.0), &mut p1, &testbed());
+
+        let mut cfg = testbed();
+        cfg.cores = 4;
+        let mut p4 = FixedIntervalPolicy::new(5.0);
+        let wide = run_engine(small_process(30.0), &mut p4, &cfg);
+
+        // Identical work and identical compressed output, interval by
+        // interval — the pool only shards the encode.
+        let n: Vec<_> = narrow
+            .intervals
+            .iter()
+            .filter(|r| r.raw_bytes > 0)
+            .collect();
+        let w: Vec<_> = wide.intervals.iter().filter(|r| r.raw_bytes > 0).collect();
+        assert_eq!(n.len(), w.len());
+        for (a, b) in n.iter().zip(&w) {
+            assert_eq!(a.ds_bytes, b.ds_bytes, "seq={}", a.seq);
+            assert!((a.c1 - b.c1).abs() < 1e-12);
+            // The charged compression latency drops with pool width.
+            assert!(b.dl < a.dl, "seq={}: {} !< {}", a.seq, b.dl, a.dl);
+        }
     }
 
     #[test]
     fn score_net2_empty_is_one() {
         let ip = IntervalParams::symmetric(0.1, 0.2, 0.3);
-        assert_eq!(score_net2(&[], &ip, &FailureRates::three(1e-3, 0.0, 0.0), 100.0), 1.0);
+        assert_eq!(
+            score_net2(&[], &ip, &FailureRates::three(1e-3, 0.0, 0.0), 100.0),
+            1.0
+        );
     }
 
     #[test]
     fn net2_grows_with_failure_rate() {
         let mut p1 = FixedIntervalPolicy::new(5.0);
         let r = run_engine(small_process(30.0), &mut p1, &testbed());
-        let light = score_net2(&r.intervals, &r.initial_params, &FailureRates::three(1e-7, 1e-7, 1e-7), r.base_time);
-        let heavy = score_net2(&r.intervals, &r.initial_params, &FailureRates::three(1e-4, 8e-4, 1e-4), r.base_time);
+        let light = score_net2(
+            &r.intervals,
+            &r.initial_params,
+            &FailureRates::three(1e-7, 1e-7, 1e-7),
+            r.base_time,
+        );
+        let heavy = score_net2(
+            &r.intervals,
+            &r.initial_params,
+            &FailureRates::three(1e-4, 8e-4, 1e-4),
+            r.base_time,
+        );
         assert!(heavy > light, "heavy={heavy} light={light}");
     }
 }

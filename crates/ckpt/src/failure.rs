@@ -157,7 +157,11 @@ mod tests {
         assert!(events.windows(2).all(|w| w[0].at < w[1].at));
         assert!(events.last().unwrap().at <= 10_000.0);
         // Expected count ≈ 3e-2 * 1e4 = 300.
-        assert!((events.len() as f64 - 300.0).abs() < 60.0, "{}", events.len());
+        assert!(
+            (events.len() as f64 - 300.0).abs() < 60.0,
+            "{}",
+            events.len()
+        );
     }
 
     #[test]

@@ -37,7 +37,6 @@ pub fn run_fleet(
         Compressor::PaDelta(p) => p,
         _ => PaParams::default(),
     };
-    let n = processes.len();
 
     struct Slot {
         process: SimProcess,
@@ -121,9 +120,7 @@ pub fn run_fleet(
             // Cut: compress against this process's previous state; the job
             // enters the shared core FIFO.
             let dirty_log = s.process.cut_interval();
-            let dirty = s
-                .process
-                .snapshot_pages(dirty_log.iter().map(|d| d.page));
+            let dirty = s.process.snapshot_pages(dirty_log.iter().map(|d| d.page));
             let raw_bytes = dirty.bytes();
             let (file, report) = pa_encode(&s.prev_state, &dirty, &pa);
             let ds = file.wire_len();

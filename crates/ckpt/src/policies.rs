@@ -54,6 +54,12 @@ impl CheckpointPolicy for FixedIntervalPolicy {
 /// Compute SIC's static optimal work span from calibration measurements:
 /// mean `c1`, `dl`, `ds` over observed intervals define static level costs,
 /// and the concurrent L2L3 model is minimized over `w` (Section V.A).
+///
+/// The means must come from a calibration run at the *same* pool width as
+/// the deployment (the engine records `dl` at its configured `cores`, so
+/// `calibration_means` of such a run is already in deployment units — no
+/// rescaling happens here). To plan a different pool width from a
+/// single-core calibration, use [`sic_optimal_w_pooled`].
 pub fn sic_optimal_w(
     mean_c1: f64,
     mean_dl: f64,
@@ -61,13 +67,30 @@ pub fn sic_optimal_w(
     config: &EngineConfig,
     base_time: f64,
 ) -> f64 {
+    sic_optimal_w_pooled(mean_c1, mean_dl, mean_ds_bytes, config, base_time, 1)
+}
+
+/// [`sic_optimal_w`] for a deployment whose checkpointing core is a pool of
+/// `cores` compression workers, calibrated from a **single-core** run:
+/// `mean_dl` is the serial compression latency, which the interval model
+/// scales by `1/cores` (pages are independent delta units) before the `w`
+/// search — so a wider pool plans cheaper checkpoints and shorter spans.
+pub fn sic_optimal_w_pooled(
+    mean_c1: f64,
+    mean_dl: f64,
+    mean_ds_bytes: f64,
+    config: &EngineConfig,
+    base_time: f64,
+    cores: usize,
+) -> f64 {
     let sf = config.sharing_factor;
-    let params = IntervalParams::from_measurement(
+    let params = IntervalParams::from_measurement_with_cores(
         mean_c1,
         mean_dl * sf,
         mean_ds_bytes * sf,
         config.b2,
         config.b3,
+        cores,
     );
     let costs = LevelCosts {
         c: params.c,
@@ -112,11 +135,7 @@ pub fn calibration_means(records: &[IntervalRecord]) -> CalibrationMeans {
 
 /// Compute the Moody baseline's optimal configuration for a full-checkpoint
 /// payload of `full_bytes` (Moody ships the entire footprint every time).
-pub fn moody_config(
-    full_bytes: u64,
-    config: &EngineConfig,
-    rates: &FailureRates,
-) -> MoodyOptimum {
+pub fn moody_config(full_bytes: u64, config: &EngineConfig, rates: &FailureRates) -> MoodyOptimum {
     // Sequential level costs: c1 = local write; c2/c3 add the transfer at
     // the level's bandwidth (blocking, Fig. 3(c)).
     let c1 = config.cost_model.raw_io_latency(full_bytes);
@@ -223,7 +242,18 @@ mod tests {
         let w = sic_optimal_w(0.1, 0.5, 10e6, &cfg, 800.0);
         // Must respect the drain bound (c3−c1 ≈ 0.5 + 5 s) and not exceed
         // the search ceiling.
-        assert!(w >= 5.0 && w < 4.0 * 800.0 + 1.0, "w={w}");
+        assert!((5.0..4.0 * 800.0 + 1.0).contains(&w), "w={w}");
+    }
+
+    #[test]
+    fn pooled_sic_plans_shorter_spans_on_wider_pools() {
+        let cfg = testbed();
+        // Compression-dominated regime: dl = 30 s per checkpoint.
+        let w1 = sic_optimal_w_pooled(0.1, 30.0, 1e6, &cfg, 800.0, 1);
+        let w4 = sic_optimal_w_pooled(0.1, 30.0, 1e6, &cfg, 800.0, 4);
+        assert!(w4 < w1, "w4={w4} w1={w1}");
+        // cores = 1 matches the plain SIC path exactly.
+        assert_eq!(w1, sic_optimal_w(0.1, 30.0, 1e6, &cfg, 800.0));
     }
 
     #[test]
@@ -242,7 +272,11 @@ mod tests {
         let mut cfg = testbed();
         cfg.compressor = Compressor::IncrementalRaw;
         let report = run_engine(proc(20.0), &mut policy, &cfg);
-        let cks: Vec<_> = report.intervals.iter().filter(|r| r.raw_bytes > 0).collect();
+        let cks: Vec<_> = report
+            .intervals
+            .iter()
+            .filter(|r| r.raw_bytes > 0)
+            .collect();
         assert!(!cks.is_empty());
         for rec in cks {
             // Fires shortly after crossing 100 dirty pages (decision ticks

@@ -119,7 +119,11 @@ impl StorageHierarchy {
     /// Panics if sequence numbers do not strictly increase.
     pub fn commit(&mut self, file: &CheckpointFile) -> CommitReceipt {
         if let Some(&last) = self.committed.last() {
-            assert!(file.seq > last, "commit out of order: {} after {last}", file.seq);
+            assert!(
+                file.seq > last,
+                "commit out of order: {} after {last}",
+                file.seq
+            );
         }
         let bytes = file.to_bytes();
         let name = Self::name(file.seq);
@@ -256,7 +260,13 @@ mod tests {
         state2.insert(0, page(30));
         let dirty2 = Snapshot::from_pages([(0, page(30))]);
         let (df, _) = pa_encode(&state1, &dirty2, &PaParams::default());
-        h.commit(&CheckpointFile::delta(1, 2, df, vec![0, 1, 2], Bytes::new()));
+        h.commit(&CheckpointFile::delta(
+            1,
+            2,
+            df,
+            vec![0, 1, 2],
+            Bytes::new(),
+        ));
 
         (h, state2)
     }

@@ -98,7 +98,7 @@ pub fn simulate_concurrent_l2l3<R: Rng>(
                     }
                     level
                 };
-                next_fail = inj.next_failure(rng).at.max(wall) ;
+                next_fail = inj.next_failure(rng).at.max(wall);
                 Some(lvl)
             } else {
                 wall = until;
@@ -192,31 +192,26 @@ pub fn simulate_concurrent_l2l3<R: Rng>(
 
         // --- Blocking local checkpoint c1.
         let c1_end = wall + c1;
-        loop {
-            let fail = advance!(c1_end);
-            settle_transfers!();
-            match fail {
-                None => break,
-                Some(level) => {
-                    recover(
-                        level,
-                        &mut app_work,
-                        &mut l2_work,
-                        &mut l3_work,
-                        &mut inflight,
-                        &mut wall,
-                        &mut next_fail,
-                        &mut inj,
-                        r2,
-                        r3,
-                        win3,
-                        rng,
-                        rates,
-                        &mut failures,
-                    );
-                    continue 'outer; // redo lost work, then retry the cut
-                }
-            }
+        let fail = advance!(c1_end);
+        settle_transfers!();
+        if let Some(level) = fail {
+            recover(
+                level,
+                &mut app_work,
+                &mut l2_work,
+                &mut l3_work,
+                &mut inflight,
+                &mut wall,
+                &mut next_fail,
+                &mut inj,
+                r2,
+                r3,
+                win3,
+                rng,
+                rates,
+                &mut failures,
+            );
+            continue 'outer; // redo lost work, then retry the cut
         }
         checkpoints += 1;
         inflight = Some((app_work, wall + win2, wall + win3));
@@ -375,8 +370,8 @@ pub fn simulate_moody<R: Rng>(
         app_work = work_target;
         if work_target < t {
             checkpoints += 1;
-            for k in 0..lvl {
-                ckpt_work[k] = app_work;
+            for w in ckpt_work.iter_mut().take(lvl) {
+                *w = app_work;
             }
             pos += 1;
         }
@@ -469,14 +464,25 @@ mod tests {
         let out = simulate_concurrent_l2l3(300.0, 100.0, &costs, &rates, &mut rng);
         // After the first cut (at work 100), the next cut must wait for the
         // 201.5-second transfer even though w=100 is ready sooner.
-        assert!(out.turnaround > 300.0 + 2.0 * 0.5 + 100.0, "{}", out.turnaround);
+        assert!(
+            out.turnaround > 300.0 + 2.0 * 0.5 + 100.0,
+            "{}",
+            out.turnaround
+        );
     }
 
     #[test]
     fn failures_increase_turnaround() {
         let costs = coastal_costs();
         let mut rng = StdRng::seed_from_u64(4);
-        let quiet = mc_net2_concurrent(5_000.0, 2_000.0, &costs, &FailureRates::three(1e-9, 1e-9, 1e-9), 50, &mut rng);
+        let quiet = mc_net2_concurrent(
+            5_000.0,
+            2_000.0,
+            &costs,
+            &FailureRates::three(1e-9, 1e-9, 1e-9),
+            50,
+            &mut rng,
+        );
         let noisy = mc_net2_concurrent(5_000.0, 2_000.0, &costs, &testbed_rates(), 200, &mut rng);
         assert!(noisy > quiet, "noisy={noisy} quiet={quiet}");
     }
@@ -524,8 +530,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let t = 20_000.0;
         let w = 1_000.0;
-        let l1_heavy = mc_net2_moody(t, w, &MoodySchedule { n1: 8, n2: 0 }, &costs, &f2_heavy, 120, &mut rng);
-        let l2_heavy = mc_net2_moody(t, w, &MoodySchedule { n1: 0, n2: 8 }, &costs, &f2_heavy, 120, &mut rng);
+        let l1_heavy = mc_net2_moody(
+            t,
+            w,
+            &MoodySchedule { n1: 8, n2: 0 },
+            &costs,
+            &f2_heavy,
+            120,
+            &mut rng,
+        );
+        let l2_heavy = mc_net2_moody(
+            t,
+            w,
+            &MoodySchedule { n1: 0, n2: 8 },
+            &costs,
+            &f2_heavy,
+            120,
+            &mut rng,
+        );
         assert!(l2_heavy < l1_heavy, "l2={l2_heavy} l1={l1_heavy}");
     }
 }

@@ -306,7 +306,10 @@ mod tests {
 
     #[test]
     fn raid5_roundtrip_various_sizes() {
-        for (i, len) in [0usize, 1, 100, 1024, 4096, 10_000, 65_537].iter().enumerate() {
+        for (i, len) in [0usize, 1, 100, 1024, 4096, 10_000, 65_537]
+            .iter()
+            .enumerate()
+        {
             let mut g = Raid5Group::new(4, 1024, BandwidthModel::new(1e9, 0.0));
             let data = random_bytes(*len, i as u64);
             g.put("x", data.clone());

@@ -105,7 +105,13 @@ impl CheckpointPolicy for OraclePolicy {
         let dl = self.cost_model.delta_latency(&report);
         let ds = file.wire_len() as f64;
         let params = IntervalParams::from_measurement(c1, dl, ds, self.b2, self.b3);
-        if should_cut(&params, &self.rates, self.w_max, ctx.elapsed, &mut self.last_wstar) {
+        if should_cut(
+            &params,
+            &self.rates,
+            self.w_max,
+            ctx.elapsed,
+            &mut self.last_wstar,
+        ) {
             Decision::Checkpoint
         } else {
             Decision::Continue
@@ -167,7 +173,13 @@ impl CheckpointPolicy for MeanPolicy {
             self.b2,
             self.b3,
         );
-        if should_cut(&params, &self.rates, self.w_max, ctx.elapsed, &mut self.last_wstar) {
+        if should_cut(
+            &params,
+            &self.rates,
+            self.w_max,
+            ctx.elapsed,
+            &mut self.last_wstar,
+        ) {
             Decision::Checkpoint
         } else {
             Decision::Continue

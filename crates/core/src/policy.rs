@@ -108,8 +108,8 @@ impl AicPolicy {
     pub fn new(mut cfg: AicConfig, engine: &EngineConfig) -> Self {
         cfg.b2 = engine.b2;
         cfg.b3 = engine.b3;
-        let sb = SampleBuffer::new(cfg.sb_capacity, cfg.tg0)
-            .with_metrics(cfg.similarity, cfg.variation);
+        let sb =
+            SampleBuffer::new(cfg.sb_capacity, cfg.tg0).with_metrics(cfg.similarity, cfg.variation);
         AicPolicy {
             predictor: AicPredictor::default(),
             sb,
@@ -140,7 +140,10 @@ impl AicPolicy {
         for rec in log.iter().skip(self.dirty_seen) {
             if let Some(current) = ctx.space.page(rec.page) {
                 let previous = ctx.prev_pages.get(rec.page);
-                if self.sb.offer(rec.page, rec.arrival.as_secs(), current, previous) {
+                if self
+                    .sb
+                    .offer(rec.page, rec.arrival.as_secs(), current, previous)
+                {
                     inserted += 1;
                 }
             }
@@ -163,9 +166,9 @@ impl CheckpointPolicy for AicPolicy {
         // (content reverting toward the previous checkpoint).
         let (sim, var) = (self.cfg.similarity, self.cfg.variation);
         let refreshed = self.sb.refresh(self.cfg.refresh_per_tick, |page| {
-            ctx.space.page(page).map(|cur| {
-                crate::sample::compute_pair(sim, var, cur, ctx.prev_pages.get(page))
-            })
+            ctx.space
+                .page(page)
+                .map(|cur| crate::sample::compute_pair(sim, var, cur, ctx.prev_pages.get(page)))
         });
         self.last_tick_cost =
             self.cfg.decide_cost + (inserted + refreshed) as f64 * self.cfg.metric_cost;
@@ -190,7 +193,14 @@ impl CheckpointPolicy for AicPolicy {
             .predictor
             .predict(&metrics)
             .expect("ready predictor must predict");
-        let cur = IntervalParams::from_measurement(pred.c1, pred.dl, pred.ds, self.cfg.b2, self.cfg.b3);
+        // The predictor trains on the engine's measured `dl`, which is
+        // already the pool-width latency (EngineConfig::cores), so the
+        // predicted costs are in deployment units — no cores rescaling here
+        // (that would double-count the pool; see
+        // `IntervalParams::from_measurement_with_cores` for planning from
+        // single-core measurements).
+        let cur =
+            IntervalParams::from_measurement(pred.c1, pred.dl, pred.ds, self.cfg.b2, self.cfg.b3);
         // Steady-state objective: a checkpoint cut *now* has `cur` costs,
         // and its transfer window burdens the next span — so the interval
         // regime being optimized has cur as both the in-flight and the

@@ -149,7 +149,7 @@ impl AicPredictor {
         });
 
         let should_fit = (!self.ready() && self.window.len() >= self.bootstrap_needed)
-            || (self.ready() && self.observations % self.refit_every == 0);
+            || (self.ready() && self.observations.is_multiple_of(self.refit_every));
         if should_fit {
             self.refit();
             return;
@@ -187,9 +187,18 @@ impl AicPredictor {
             })
             .collect();
         let fit_target = |ys: Vec<f64>, max: usize| stepwise_fit(&cands, &ys, max, 1e-3);
-        self.c1.model = fit_target(self.window.iter().map(|o| o.c1).collect(), self.max_features);
-        self.dl.model = fit_target(self.window.iter().map(|o| o.dl).collect(), self.max_features);
-        self.ds.model = fit_target(self.window.iter().map(|o| o.ds).collect(), self.max_features);
+        self.c1.model = fit_target(
+            self.window.iter().map(|o| o.c1).collect(),
+            self.max_features,
+        );
+        self.dl.model = fit_target(
+            self.window.iter().map(|o| o.dl).collect(),
+            self.max_features,
+        );
+        self.ds.model = fit_target(
+            self.window.iter().map(|o| o.ds).collect(),
+            self.max_features,
+        );
     }
 
     /// Predict the cost parameters for checkpointing at a moment with the
@@ -292,11 +301,7 @@ mod tests {
         let m = random_metrics(&mut rng);
         let (_, dl_old, _) = truth(&m);
         let pred = p.predict(&m).unwrap();
-        assert!(
-            pred.dl > 1.4 * dl_old,
-            "pred.dl={} old={dl_old}",
-            pred.dl
-        );
+        assert!(pred.dl > 1.4 * dl_old, "pred.dl={} old={dl_old}", pred.dl);
     }
 
     #[test]

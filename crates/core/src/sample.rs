@@ -108,7 +108,11 @@ impl SampleBuffer {
 
     /// Select the metric pair (footnote 1 ablation). Defaults are the
     /// paper's JD/DI.
-    pub fn with_metrics(mut self, similarity: SimilarityMetric, variation: VariationMetric) -> Self {
+    pub fn with_metrics(
+        mut self,
+        similarity: SimilarityMetric,
+        variation: VariationMetric,
+    ) -> Self {
         self.similarity = similarity;
         self.variation = variation;
         self

@@ -62,10 +62,7 @@ pub fn stepwise_fit(
                 .map(|c| trial.iter().map(|&i| c[i]).collect())
                 .collect();
             if let Some(f) = fit(&xs, ys, RIDGE) {
-                if round_best
-                    .as_ref()
-                    .map_or(true, |(_, bf)| f.rss < bf.rss)
-                {
+                if round_best.as_ref().is_none_or(|(_, bf)| f.rss < bf.rss) {
                     round_best = Some((cand, f));
                 }
             }
@@ -133,7 +130,10 @@ mod tests {
         };
         let pred = model.predict(&probe.expand());
         let truth = 100.0 + 7.0 * 1000.0 * 0.5;
-        assert!((pred - truth).abs() / truth < 0.05, "pred={pred} truth={truth}");
+        assert!(
+            (pred - truth).abs() / truth < 0.05,
+            "pred={pred} truth={truth}"
+        );
     }
 
     #[test]

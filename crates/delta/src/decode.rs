@@ -40,14 +40,20 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::SourceLenMismatch { expected, actual } => {
-                write!(f, "source length mismatch: header says {expected}, got {actual}")
+                write!(
+                    f,
+                    "source length mismatch: header says {expected}, got {actual}"
+                )
             }
             DecodeError::MalformedPayload => write!(f, "malformed delta payload"),
             DecodeError::CopyOutOfRange { src_off, len } => {
                 write!(f, "COPY [{src_off}, +{len}) out of source range")
             }
             DecodeError::TargetLenMismatch { expected, actual } => {
-                write!(f, "target length mismatch: header says {expected}, produced {actual}")
+                write!(
+                    f,
+                    "target length mismatch: header says {expected}, produced {actual}"
+                )
             }
             DecodeError::ChecksumMismatch => write!(f, "target checksum mismatch"),
         }
@@ -77,10 +83,12 @@ pub fn decode(source: &[u8], delta: &Delta) -> Result<Vec<u8>, DecodeError> {
     for inst in &insts {
         match inst {
             Inst::Copy { src_off, len } => {
-                let end = src_off.checked_add(*len).ok_or(DecodeError::CopyOutOfRange {
-                    src_off: *src_off,
-                    len: *len,
-                })?;
+                let end = src_off
+                    .checked_add(*len)
+                    .ok_or(DecodeError::CopyOutOfRange {
+                        src_off: *src_off,
+                        len: *len,
+                    })?;
                 if end > source.len() as u64 {
                     return Err(DecodeError::CopyOutOfRange {
                         src_off: *src_off,
@@ -120,7 +128,14 @@ mod tests {
 
     #[test]
     fn corrupted_payload_rejected() {
-        let mut delta = encode(b"abcdabcd", b"abcdabcd", &EncodeParams { block_size: 4, max_probe: 4 });
+        let mut delta = encode(
+            b"abcdabcd",
+            b"abcdabcd",
+            &EncodeParams {
+                block_size: 4,
+                max_probe: 4,
+            },
+        );
         let mut corrupt = BytesMut::from(&delta.payload[..]);
         if !corrupt.is_empty() {
             corrupt[0] = 0xFF;
@@ -164,7 +179,10 @@ mod tests {
         let mut payload = BytesMut::from(&delta.payload[..]);
         payload.put_u8(0x00);
         delta.payload = payload.freeze();
-        assert_eq!(decode(b"aaaa", &delta).unwrap_err(), DecodeError::MalformedPayload);
+        assert_eq!(
+            decode(b"aaaa", &delta).unwrap_err(),
+            DecodeError::MalformedPayload
+        );
     }
 
     #[test]

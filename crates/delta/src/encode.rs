@@ -110,7 +110,11 @@ impl Delta {
 
 /// Encode `target` against `source`. Also returns the work accounting used
 /// by the latency cost model.
-pub fn encode_with_report(source: &[u8], target: &[u8], params: &EncodeParams) -> (Delta, EncodeReport) {
+pub fn encode_with_report(
+    source: &[u8],
+    target: &[u8],
+    params: &EncodeParams,
+) -> (Delta, EncodeReport) {
     let bs = params.block_size.max(4);
     let mut insts: Vec<Inst> = Vec::new();
     let mut report = EncodeReport {
@@ -271,7 +275,11 @@ mod tests {
         let (delta, report) = encode_with_report(&source, &target, &params);
         assert_eq!(decode(&source, &delta).unwrap(), target);
         // Matched at least the untouched 75% minus block-alignment slack.
-        assert!(report.matched_bytes > 2800, "matched={}", report.matched_bytes);
+        assert!(
+            report.matched_bytes > 2800,
+            "matched={}",
+            report.matched_bytes
+        );
         assert!(delta.wire_len() < 4096 / 2, "wire={}", delta.wire_len());
     }
 

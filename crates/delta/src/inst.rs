@@ -127,9 +127,15 @@ mod tests {
     #[test]
     fn inst_stream_roundtrip() {
         let insts = vec![
-            Inst::Copy { src_off: 0, len: 4096 },
+            Inst::Copy {
+                src_off: 0,
+                len: 4096,
+            },
             Inst::Add(Bytes::from_static(b"literal data")),
-            Inst::Copy { src_off: 8192, len: 16 },
+            Inst::Copy {
+                src_off: 8192,
+                len: 16,
+            },
         ];
         let mut buf = BytesMut::new();
         write_insts(&insts, &mut buf);

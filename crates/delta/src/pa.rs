@@ -8,6 +8,9 @@
 //! per-page is what lets AIC's predictor estimate the compression cost at
 //! page granularity and lets decompression touch only the pages it needs.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use bytes::Bytes;
 
 use aic_memsim::{Page, PageIdx, Snapshot, PAGE_SIZE};
@@ -109,49 +112,68 @@ impl PaDeltaFile {
 /// *Hot* pages (present in `prev`) are delta-encoded; a delta that fails to
 /// beat the raw page is discarded in favour of the raw bytes, so
 /// `ds ≤ incremental checkpoint size + per-page overhead` always holds.
-pub fn pa_encode(prev: &Snapshot, dirty: &Snapshot, params: &PaParams) -> (PaDeltaFile, EncodeReport) {
+pub fn pa_encode(
+    prev: &Snapshot,
+    dirty: &Snapshot,
+    params: &PaParams,
+) -> (PaDeltaFile, EncodeReport) {
     let ep = params.encode_params();
     let mut file = PaDeltaFile::default();
     let mut total = EncodeReport::default();
 
     for (idx, page) in dirty.iter() {
-        match prev.get(idx) {
-            Some(old) => {
-                let (delta, mut report) = encode_with_report(old.as_slice(), page.as_slice(), &ep);
-                if delta.wire_len() < PAGE_SIZE as u64 {
-                    total.merge(&report);
-                    file.records.push(PageRecord::Delta { idx, delta });
-                } else {
-                    // Delta did not pay off: store raw (paper keeps the
-                    // incremental page as-is in this case).
-                    report.delta_bytes = PAGE_SIZE as u64;
-                    report.literal_bytes = PAGE_SIZE as u64;
-                    report.matched_bytes = 0;
-                    total.merge(&report);
-                    file.records.push(PageRecord::Raw {
-                        idx,
-                        data: Bytes::copy_from_slice(page.as_slice()),
-                    });
-                }
-            }
-            None => {
-                // New page: no previous version to difference against.
-                total.merge(&EncodeReport {
-                    target_bytes: PAGE_SIZE as u64,
-                    literal_bytes: PAGE_SIZE as u64,
-                    delta_bytes: PAGE_SIZE as u64,
-                    pages: 1,
-                    ..Default::default()
-                });
-                file.records.push(PageRecord::Raw {
-                    idx,
-                    data: Bytes::copy_from_slice(page.as_slice()),
-                });
-            }
-        }
+        let (rec, report) = encode_one_page(prev, idx, page, &ep);
+        total.merge(&report);
+        file.records.push(rec);
     }
     total.delta_bytes = file.wire_len();
     (file, total)
+}
+
+/// Encode a single dirty page against its previous version — the one unit
+/// of work every PA encode path (serial, sharded, pooled) is built from,
+/// which is what makes their outputs bit-identical by construction.
+fn encode_one_page(
+    prev: &Snapshot,
+    idx: PageIdx,
+    page: &Page,
+    ep: &EncodeParams,
+) -> (PageRecord, EncodeReport) {
+    match prev.get(idx) {
+        Some(old) => {
+            let (delta, mut report) = encode_with_report(old.as_slice(), page.as_slice(), ep);
+            if delta.wire_len() < PAGE_SIZE as u64 {
+                (PageRecord::Delta { idx, delta }, report)
+            } else {
+                // Delta did not pay off: store raw (paper keeps the
+                // incremental page as-is in this case).
+                report.delta_bytes = PAGE_SIZE as u64;
+                report.literal_bytes = PAGE_SIZE as u64;
+                report.matched_bytes = 0;
+                (
+                    PageRecord::Raw {
+                        idx,
+                        data: Bytes::copy_from_slice(page.as_slice()),
+                    },
+                    report,
+                )
+            }
+        }
+        None => (
+            // New page: no previous version to difference against.
+            PageRecord::Raw {
+                idx,
+                data: Bytes::copy_from_slice(page.as_slice()),
+            },
+            EncodeReport {
+                target_bytes: PAGE_SIZE as u64,
+                literal_bytes: PAGE_SIZE as u64,
+                delta_bytes: PAGE_SIZE as u64,
+                pages: 1,
+                ..Default::default()
+            },
+        ),
+    }
 }
 
 /// Page-aligned decode: reconstruct the dirty snapshot given the previous
@@ -176,69 +198,168 @@ pub fn pa_decode(prev: &Snapshot, file: &PaDeltaFile) -> Result<Snapshot, Decode
     Ok(out)
 }
 
+/// A contiguous run of dirty-page positions (in snapshot iteration order)
+/// compressed as one unit by a single worker.
+///
+/// Shards — not single pages — are the scheduling granule: a page encodes in
+/// tens of microseconds, so per-page dispatch would drown the pool in channel
+/// traffic. Contiguous runs also keep the reassembled record order identical
+/// to [`pa_encode`]'s by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// First dirty-page position covered (inclusive).
+    pub start: usize,
+    /// One past the last dirty-page position covered.
+    pub end: usize,
+}
+
+impl Shard {
+    /// Number of pages in the shard.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the shard covers no pages.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Minimum pages per shard: below this, dispatch overhead beats the win
+/// from overlapping compression.
+pub const MIN_SHARD_PAGES: usize = 4;
+
+/// Shards handed out per worker, for load balancing when page encode cost
+/// is skewed (raw fallbacks are much cheaper than dense deltas).
+pub const SHARDS_PER_WORKER: usize = 4;
+
+/// Plan the shard decomposition of an `n_pages`-page encode across
+/// `workers` workers.
+///
+/// Contiguous, covering, non-overlapping, sizes differing by at most one
+/// page; at most `workers * SHARDS_PER_WORKER` shards and never smaller
+/// than [`MIN_SHARD_PAGES`] (except when fewer pages exist in total). With
+/// `workers == 1` the plan is a single shard, so a one-worker pool degrades
+/// to exactly the serial encode.
+pub fn plan_shards(n_pages: usize, workers: usize) -> Vec<Shard> {
+    if n_pages == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1);
+    // Capping at n/MIN keeps every shard at or above the size floor.
+    let by_floor = (n_pages / MIN_SHARD_PAGES).max(1);
+    let count = (workers * SHARDS_PER_WORKER).min(by_floor);
+    let count = if workers == 1 { 1 } else { count };
+
+    let base = n_pages / count;
+    let extra = n_pages % count; // first `extra` shards get one more page
+    let mut shards = Vec::with_capacity(count);
+    let mut start = 0;
+    for i in 0..count {
+        let len = base + usize::from(i < extra);
+        shards.push(Shard {
+            start,
+            end: start + len,
+        });
+        start += len;
+    }
+    debug_assert_eq!(start, n_pages);
+    shards
+}
+
+/// Encode one shard: the dirty pages at positions `[shard.start, shard.end)`
+/// of `dirty`'s iteration order, each against its previous version in `prev`.
+///
+/// Exactly the per-page loop of [`pa_encode`] restricted to the shard, so
+/// concatenating shard outputs in shard order reproduces the serial encode
+/// byte for byte (see [`pa_assemble`]).
+pub fn pa_encode_shard(
+    prev: &Snapshot,
+    dirty: &Snapshot,
+    shard: Shard,
+    params: &PaParams,
+) -> (Vec<PageRecord>, EncodeReport) {
+    let ep = params.encode_params();
+    let mut records = Vec::with_capacity(shard.len());
+    let mut total = EncodeReport::default();
+    for (idx, page) in dirty.iter().skip(shard.start).take(shard.len()) {
+        let (rec, report) = encode_one_page(prev, idx, page, &ep);
+        total.merge(&report);
+        records.push(rec);
+    }
+    (records, total)
+}
+
+/// Reassemble shard outputs — supplied in shard order — into the final
+/// delta file and report, identical to what [`pa_encode`] produces.
+pub fn pa_assemble(
+    parts: impl IntoIterator<Item = (Vec<PageRecord>, EncodeReport)>,
+) -> (PaDeltaFile, EncodeReport) {
+    let mut file = PaDeltaFile::default();
+    let mut total = EncodeReport::default();
+    for (records, report) in parts {
+        total.merge(&report);
+        file.records.extend(records);
+    }
+    total.delta_bytes = file.wire_len();
+    (file, total)
+}
+
 /// Parallel page-aligned encode: identical output to [`pa_encode`], with
-/// per-page compression fanned out over a rayon thread pool.
+/// shard compression fanned out over `workers` OS threads.
 ///
 /// The paper dedicates a *single* spare core to compression; this is the
 /// natural multi-core extension (its Section VI hints at "more aggressive
 /// compression" being affordable) — page-aligned differencing is
 /// embarrassingly parallel precisely because every page is encoded against
-/// only its own previous version. Determinism is preserved: work is
-/// partitioned by page, and the output order is the page order.
-#[cfg(feature = "parallel")]
+/// only its own previous version. Work is partitioned by [`plan_shards`]
+/// and threads pull shards from a shared cursor (cheap work stealing), but
+/// results are written back by shard position, so the output order is the
+/// page order regardless of completion order.
+pub fn pa_encode_parallel_with(
+    prev: &Snapshot,
+    dirty: &Snapshot,
+    params: &PaParams,
+    workers: usize,
+) -> (PaDeltaFile, EncodeReport) {
+    let shards = plan_shards(dirty.len(), workers);
+    if shards.len() <= 1 {
+        return pa_encode(prev, dirty, params);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<(Vec<PageRecord>, EncodeReport)>> = Vec::new();
+    slots.resize_with(shards.len(), || None);
+    let slots = Mutex::new(slots);
+
+    let threads = workers.max(1).min(shards.len());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&shard) = shards.get(i) else { break };
+                let part = pa_encode_shard(prev, dirty, shard, params);
+                slots.lock().unwrap()[i] = Some(part);
+            });
+        }
+    });
+
+    let parts = slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|slot| slot.expect("every shard encoded"));
+    pa_assemble(parts)
+}
+
+/// [`pa_encode_parallel_with`] using all available CPUs.
 pub fn pa_encode_parallel(
     prev: &Snapshot,
     dirty: &Snapshot,
     params: &PaParams,
 ) -> (PaDeltaFile, EncodeReport) {
-    use rayon::prelude::*;
-
-    let ep = params.encode_params();
-    let pages: Vec<(PageIdx, &Page)> = dirty.iter().collect();
-    let per_page: Vec<(PageRecord, EncodeReport)> = pages
-        .par_iter()
-        .map(|(idx, page)| match prev.get(*idx) {
-            Some(old) => {
-                let (delta, mut report) = encode_with_report(old.as_slice(), page.as_slice(), &ep);
-                if delta.wire_len() < PAGE_SIZE as u64 {
-                    (PageRecord::Delta { idx: *idx, delta }, report)
-                } else {
-                    report.delta_bytes = PAGE_SIZE as u64;
-                    report.literal_bytes = PAGE_SIZE as u64;
-                    report.matched_bytes = 0;
-                    (
-                        PageRecord::Raw {
-                            idx: *idx,
-                            data: Bytes::copy_from_slice(page.as_slice()),
-                        },
-                        report,
-                    )
-                }
-            }
-            None => (
-                PageRecord::Raw {
-                    idx: *idx,
-                    data: Bytes::copy_from_slice(page.as_slice()),
-                },
-                EncodeReport {
-                    target_bytes: PAGE_SIZE as u64,
-                    literal_bytes: PAGE_SIZE as u64,
-                    delta_bytes: PAGE_SIZE as u64,
-                    pages: 1,
-                    ..Default::default()
-                },
-            ),
-        })
-        .collect();
-
-    let mut file = PaDeltaFile::default();
-    let mut total = EncodeReport::default();
-    for (rec, report) in per_page {
-        total.merge(&report);
-        file.records.push(rec);
-    }
-    total.delta_bytes = file.wire_len();
-    (file, total)
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    pa_encode_parallel_with(prev, dirty, params, workers)
 }
 
 /// Whole-file (non-page-aligned) delta: the stand-in for stock **Xdelta3**.
@@ -247,7 +368,11 @@ pub fn pa_encode_parallel(
 /// the dirty pages. Finds cross-page matches PA cannot, but provides no
 /// per-page cost visibility — which is why the paper builds PA despite
 /// comparable compression (Table 3).
-pub fn full_encode(prev: &Snapshot, dirty: &Snapshot, params: &EncodeParams) -> (Delta, EncodeReport) {
+pub fn full_encode(
+    prev: &Snapshot,
+    dirty: &Snapshot,
+    params: &EncodeParams,
+) -> (Delta, EncodeReport) {
     let mut source = Vec::with_capacity(prev.len() * PAGE_SIZE);
     for (_, page) in prev.iter() {
         source.extend_from_slice(page.as_slice());
@@ -281,7 +406,10 @@ pub fn full_decode(
     }
     let mut out = Snapshot::new();
     for (i, &idx) in indices.iter().enumerate() {
-        out.insert(idx, Page::from_bytes(&bytes[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]));
+        out.insert(
+            idx,
+            Page::from_bytes(&bytes[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]),
+        );
     }
     Ok(out)
 }
@@ -350,7 +478,13 @@ mod tests {
     fn mixed_file_roundtrips() {
         let mut rng = StdRng::seed_from_u64(4);
         let pages: Vec<Page> = (0..8).map(|_| random_page(&mut rng)).collect();
-        let prev = Snapshot::from_pages(pages.iter().cloned().enumerate().map(|(i, p)| (i as u64, p)));
+        let prev = Snapshot::from_pages(
+            pages
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, p)| (i as u64, p)),
+        );
         let mut dirty = Snapshot::new();
         dirty.insert(0, mutated(&pages[0], 0, 64, &mut rng)); // hot, small edit
         dirty.insert(3, random_page(&mut rng)); // hot, full rewrite
@@ -374,7 +508,13 @@ mod tests {
     fn full_encode_roundtrips() {
         let mut rng = StdRng::seed_from_u64(6);
         let pages: Vec<Page> = (0..6).map(|_| random_page(&mut rng)).collect();
-        let prev = Snapshot::from_pages(pages.iter().cloned().enumerate().map(|(i, p)| (i as u64, p)));
+        let prev = Snapshot::from_pages(
+            pages
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, p)| (i as u64, p)),
+        );
         let mut dirty = Snapshot::new();
         dirty.insert(1, mutated(&pages[1], 100, 300, &mut rng));
         dirty.insert(4, mutated(&pages[4], 0, 50, &mut rng));
@@ -399,13 +539,17 @@ mod tests {
         assert!(pa_file.wire_len() >= PAGE_SIZE as u64);
     }
 
-    #[cfg(feature = "parallel")]
     #[test]
     fn parallel_encode_is_bit_identical_to_serial() {
         let mut rng = StdRng::seed_from_u64(44);
         let pages: Vec<Page> = (0..32).map(|_| random_page(&mut rng)).collect();
-        let prev =
-            Snapshot::from_pages(pages.iter().cloned().enumerate().map(|(i, p)| (i as u64, p)));
+        let prev = Snapshot::from_pages(
+            pages
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, p)| (i as u64, p)),
+        );
         let mut dirty = Snapshot::new();
         for i in (0..32).step_by(3) {
             dirty.insert(i as u64, mutated(&pages[i], 0, 200 + i * 10, &mut rng));
@@ -413,10 +557,88 @@ mod tests {
         dirty.insert(100, random_page(&mut rng)); // fresh page
 
         let (serial, serial_report) = pa_encode(&prev, &dirty, &PaParams::default());
-        let (parallel, parallel_report) = pa_encode_parallel(&prev, &dirty, &PaParams::default());
-        assert_eq!(serial, parallel);
-        assert_eq!(serial_report, parallel_report);
-        assert_eq!(pa_decode(&prev, &parallel).unwrap(), dirty);
+        for workers in [1, 2, 4, 8] {
+            let (parallel, parallel_report) =
+                pa_encode_parallel_with(&prev, &dirty, &PaParams::default(), workers);
+            assert_eq!(serial, parallel, "workers={workers}");
+            assert_eq!(serial_report, parallel_report, "workers={workers}");
+            assert_eq!(pa_decode(&prev, &parallel).unwrap(), dirty);
+        }
+        let (auto, auto_report) = pa_encode_parallel(&prev, &dirty, &PaParams::default());
+        assert_eq!(serial, auto);
+        assert_eq!(serial_report, auto_report);
+    }
+
+    #[test]
+    fn shard_plan_is_contiguous_covering_and_balanced() {
+        for n_pages in [0usize, 1, 3, 4, 5, 17, 64, 257, 1000] {
+            for workers in [1usize, 2, 3, 4, 8, 64] {
+                let shards = plan_shards(n_pages, workers);
+                if n_pages == 0 {
+                    assert!(shards.is_empty());
+                    continue;
+                }
+                // Contiguous cover of [0, n_pages).
+                assert_eq!(shards[0].start, 0);
+                assert_eq!(shards.last().unwrap().end, n_pages);
+                for w in shards.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                // Balanced: sizes differ by at most one page.
+                let min = shards.iter().map(Shard::len).min().unwrap();
+                let max = shards.iter().map(Shard::len).max().unwrap();
+                assert!(
+                    max - min <= 1,
+                    "n={n_pages} w={workers} min={min} max={max}"
+                );
+                // Bounded fan-out and shard-size floor.
+                assert!(shards.len() <= workers * SHARDS_PER_WORKER);
+                if shards.len() > 1 {
+                    assert!(min >= MIN_SHARD_PAGES.min(n_pages));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_plan_is_one_shard() {
+        // N=1 must reproduce the serial path exactly: one shard, no split.
+        let shards = plan_shards(1000, 1);
+        assert_eq!(
+            shards,
+            vec![Shard {
+                start: 0,
+                end: 1000
+            }]
+        );
+    }
+
+    #[test]
+    fn sharded_encode_assembles_to_serial_output() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let pages: Vec<Page> = (0..24).map(|_| random_page(&mut rng)).collect();
+        let prev = Snapshot::from_pages(
+            pages
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, p)| (i as u64, p)),
+        );
+        let mut dirty = Snapshot::new();
+        for (i, page) in pages.iter().enumerate() {
+            dirty.insert(i as u64, mutated(page, 0, 32 + i * 7, &mut rng));
+        }
+
+        let (serial, serial_report) = pa_encode(&prev, &dirty, &PaParams::default());
+        let shards = plan_shards(dirty.len(), 4);
+        assert!(shards.len() > 1);
+        let parts: Vec<_> = shards
+            .iter()
+            .map(|&s| pa_encode_shard(&prev, &dirty, s, &PaParams::default()))
+            .collect();
+        let (assembled, assembled_report) = pa_assemble(parts);
+        assert_eq!(serial, assembled);
+        assert_eq!(serial_report, assembled_report);
     }
 
     #[test]

@@ -86,11 +86,23 @@ impl CostModel {
     /// checkpoints from local disk, compress, write the delta back —
     /// the paper's `dl` definition (Section II.B).
     pub fn delta_latency(&self, report: &EncodeReport) -> f64 {
-        let io = (report.source_bytes + report.target_bytes + report.delta_bytes) as f64
-            / self.io_bw;
+        self.pooled_delta_latency(report, 1)
+    }
+
+    /// Delta latency when the page-wise compression is sharded over a pool
+    /// of `cores` workers. Per-page compute (page bookkeeping, scanning,
+    /// literal handling) divides across the pool; the local-disk I/O term
+    /// is one spindle no matter how many cores compress, so it stays
+    /// serial — an Amdahl split. `cores == 1` is exactly
+    /// [`CostModel::delta_latency`].
+    pub fn pooled_delta_latency(&self, report: &EncodeReport, cores: usize) -> f64 {
+        let cores = cores.max(1) as f64;
+        let io =
+            (report.source_bytes + report.target_bytes + report.delta_bytes) as f64 / self.io_bw;
         let scan = (report.source_bytes + report.target_bytes) as f64 / self.scan_bw;
         let literal = report.literal_bytes as f64 / self.literal_bw;
-        report.pages as f64 * self.page_overhead_s + io + scan + literal
+        let compute = report.pages as f64 * self.page_overhead_s + scan + literal;
+        io + compute / cores
     }
 
     /// Latency of plain (uncompressed) checkpoint I/O of `bytes`.
@@ -147,6 +159,30 @@ mod tests {
         };
         low.delta_bytes = 1 << 10;
         assert!(cm.delta_latency(&high) > cm.delta_latency(&low));
+    }
+
+    #[test]
+    fn pooled_latency_divides_compute_but_not_io() {
+        let cm = CostModel::default();
+        let r = EncodeReport {
+            source_bytes: 64 << 20,
+            target_bytes: 64 << 20,
+            matched_bytes: 32 << 20,
+            literal_bytes: 32 << 20,
+            delta_bytes: 8 << 20,
+            pages: 16384,
+        };
+        let serial = cm.pooled_delta_latency(&r, 1);
+        assert!((serial - cm.delta_latency(&r)).abs() < 1e-15);
+        let mut last = serial;
+        for cores in [2usize, 4, 8] {
+            let pooled = cm.pooled_delta_latency(&r, cores);
+            assert!(pooled < last, "cores={cores}: {pooled} !< {last}");
+            last = pooled;
+        }
+        // The serial I/O term is the floor no pool width can beat.
+        let io_floor = (r.source_bytes + r.target_bytes + r.delta_bytes) as f64 / cm.io_bw;
+        assert!(cm.pooled_delta_latency(&r, 1_000_000) >= io_floor);
     }
 
     #[test]

@@ -258,6 +258,10 @@ mod tests {
         let (xfile, _) = xor_encode(&prev, &dirty);
         assert!(xfile.wire_len() >= PAGE_SIZE as u64);
         let (pafile, _) = crate::pa::pa_encode(&prev, &dirty, &crate::pa::PaParams::default());
-        assert!(pafile.wire_len() < PAGE_SIZE as u64 / 4, "pa={}", pafile.wire_len());
+        assert!(
+            pafile.wire_len() < PAGE_SIZE as u64 / 4,
+            "pa={}",
+            pafile.wire_len()
+        );
     }
 }

@@ -193,7 +193,7 @@ mod tests {
 
     #[test]
     fn simtime_ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_secs(3.0),
             SimTime::from_secs(1.0),
             SimTime::from_secs(2.0),

@@ -31,7 +31,11 @@ impl Page {
     /// # Panics
     /// Panics if `data.len() != PAGE_SIZE`.
     pub fn from_bytes(data: &[u8]) -> Self {
-        assert_eq!(data.len(), PAGE_SIZE, "page must be exactly {PAGE_SIZE} bytes");
+        assert_eq!(
+            data.len(),
+            PAGE_SIZE,
+            "page must be exactly {PAGE_SIZE} bytes"
+        );
         let mut p = Page::zeroed();
         p.bytes.copy_from_slice(data);
         p

@@ -97,7 +97,8 @@ impl AddressSpace {
         for idx in start..start + count {
             self.pages.remove(&idx);
         }
-        self.dirty.retain(|d| !(d.page >= start && d.page < start + count));
+        self.dirty
+            .retain(|d| !(d.page >= start && d.page < start + count));
     }
 
     /// Begin recording a write trace (see [`crate::trace`]). Recording has
@@ -240,9 +241,11 @@ impl AddressSpace {
     /// Capture a snapshot of only the given pages (e.g. the dirty set).
     /// Missing pages are skipped.
     pub fn snapshot_pages<I: IntoIterator<Item = PageIdx>>(&self, pages: I) -> Snapshot {
-        Snapshot::from_pages(pages.into_iter().filter_map(|idx| {
-            self.pages.get(&idx).map(|e| (idx, e.page.clone()))
-        }))
+        Snapshot::from_pages(
+            pages
+                .into_iter()
+                .filter_map(|idx| self.pages.get(&idx).map(|e| (idx, e.page.clone()))),
+        )
     }
 
     /// Restore the address space to exactly the state of `snap`:

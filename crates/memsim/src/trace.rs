@@ -139,7 +139,12 @@ impl TraceWorkload {
     fn replay_until(&mut self, space: &mut AddressSpace, clock: &mut VirtualClock, until: SimTime) {
         while self.cursor < self.trace.events.len() {
             match &self.trace.events[self.cursor] {
-                TraceEvent::Write { at, page, offset, data } => {
+                TraceEvent::Write {
+                    at,
+                    page,
+                    offset,
+                    data,
+                } => {
                     if *at > until {
                         break;
                     }
@@ -223,14 +228,23 @@ mod tests {
     #[test]
     fn allocation_and_frees_replay() {
         let trace = WriteTrace::capture(
-            Box::new(GrowShrinkWorkload::new("gs", 2, 32, 16, SimTime::from_secs(1.0))),
+            Box::new(GrowShrinkWorkload::new(
+                "gs",
+                2,
+                32,
+                16,
+                SimTime::from_secs(1.0),
+            )),
             SimTime::from_secs(0.5),
         );
         assert!(trace
             .events
             .iter()
             .any(|e| matches!(e, TraceEvent::Allocate { .. })));
-        assert!(trace.events.iter().any(|e| matches!(e, TraceEvent::Free { .. })));
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Free { .. })));
 
         let mut space = AddressSpace::new();
         let mut clock = VirtualClock::new();

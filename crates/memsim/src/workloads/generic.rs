@@ -217,7 +217,13 @@ impl Workload for PhasedWorkload {
             // Burst: fresh high-entropy content across the whole footprint.
             for _ in 0..self.burst_rate {
                 let p = self.cursor % self.footprint_pages;
-                apply_write(space, p, WriteStyle::FullEntropy, clock.now(), &mut self.rng);
+                apply_write(
+                    space,
+                    p,
+                    WriteStyle::FullEntropy,
+                    clock.now(),
+                    &mut self.rng,
+                );
                 self.cursor += 1;
             }
         } else {
@@ -307,7 +313,13 @@ impl Workload for GrowShrinkWorkload {
         if self.growing {
             let idx = self.base_pages + self.extra;
             space.allocate(idx, 1);
-            apply_write(space, idx, WriteStyle::Structured, clock.now(), &mut self.rng);
+            apply_write(
+                space,
+                idx,
+                WriteStyle::Structured,
+                clock.now(),
+                &mut self.rng,
+            );
             self.extra += 1;
             if self.extra >= self.max_extra_pages {
                 self.growing = false;

@@ -189,7 +189,7 @@ mod tests {
             &mut rng,
         );
         let diff = sp.page(0).unwrap().diff_bytes(&before);
-        assert!(diff >= 4 && diff <= 16, "diff={diff}");
+        assert!((4..=16).contains(&diff), "diff={diff}");
     }
 
     #[test]
@@ -203,8 +203,20 @@ mod tests {
     fn apply_write_is_deterministic_per_seed() {
         let (mut sp1, mut rng1) = setup();
         let (mut sp2, mut rng2) = setup();
-        apply_write(&mut sp1, 0, WriteStyle::FullEntropy, SimTime::ZERO, &mut rng1);
-        apply_write(&mut sp2, 0, WriteStyle::FullEntropy, SimTime::ZERO, &mut rng2);
+        apply_write(
+            &mut sp1,
+            0,
+            WriteStyle::FullEntropy,
+            SimTime::ZERO,
+            &mut rng1,
+        );
+        apply_write(
+            &mut sp2,
+            0,
+            WriteStyle::FullEntropy,
+            SimTime::ZERO,
+            &mut rng2,
+        );
         assert_eq!(sp1.page(0).unwrap(), sp2.page(0).unwrap());
     }
 }

@@ -118,7 +118,13 @@ impl Workload for Bzip2 {
         let rate = if in_flush { 6.0 } else { 40.0 };
         for _ in 0..pages_this_step(rate, &mut self.rng) {
             let p = self.cursor % self.buffer_pages;
-            apply_write(space, p, WriteStyle::PartialEntropy(600), now, &mut self.rng);
+            apply_write(
+                space,
+                p,
+                WriteStyle::PartialEntropy(600),
+                now,
+                &mut self.rng,
+            );
             self.cursor += 1;
         }
         // Output trickle.
@@ -317,7 +323,13 @@ impl Workload for Libquantum {
         let now = clock.now();
         for _ in 0..pages_this_step(30.0, &mut self.rng) {
             let p = self.cursor % self.array_pages;
-            apply_write(space, p, WriteStyle::PartialEntropy(550), now, &mut self.rng);
+            apply_write(
+                space,
+                p,
+                WriteStyle::PartialEntropy(550),
+                now,
+                &mut self.rng,
+            );
             self.cursor += 1;
         }
         clock.advance_secs(STEP);
@@ -422,7 +434,13 @@ impl Workload for Milc {
             // Measurement phase: scattered light updates.
             for _ in 0..pages_this_step(15.0, &mut self.rng) {
                 let p = self.rng.gen_range(0..self.lattice_pages);
-                apply_write(space, p, WriteStyle::PartialEntropy(200), now, &mut self.rng);
+                apply_write(
+                    space,
+                    p,
+                    WriteStyle::PartialEntropy(200),
+                    now,
+                    &mut self.rng,
+                );
             }
         }
         clock.advance_secs(STEP);
@@ -491,7 +509,7 @@ impl Workload for Lbm {
             // bytes and layout padding survive, matching Table 3's CR≈0.90.
             apply_write(space, p, WriteStyle::HeaderEntropy(870), now, &mut self.rng);
             self.cursor += 1;
-            if self.cursor % self.grid_pages == 0 {
+            if self.cursor.is_multiple_of(self.grid_pages) {
                 self.dst ^= 1; // sweep finished; swap grids
             }
         }
@@ -554,13 +572,7 @@ impl Workload for Sphinx3 {
         // Score a frame: refresh one small contiguous score block (~3% of a
         // hot page). Contiguous updates are what keep sphinx3's deltas tiny.
         let p = self.model_pages + self.rng.gen_range(0..self.hot_pages);
-        apply_write(
-            space,
-            p,
-            WriteStyle::PartialEntropy(30),
-            now,
-            &mut self.rng,
-        );
+        apply_write(space, p, WriteStyle::PartialEntropy(30), now, &mut self.rng);
         // Every ~10 s an utterance boundary refreshes a handful of hot
         // pages; the update touches only ~12% of each page (new word
         // scores over a stable lattice layout), keeping deltas tiny — the
@@ -568,7 +580,13 @@ impl Workload for Sphinx3 {
         if now.as_secs() % 10.0 < STEP && self.rng.gen_bool(0.9) {
             for _ in 0..8 {
                 let p = self.model_pages + self.rng.gen_range(0..self.hot_pages);
-                apply_write(space, p, WriteStyle::PartialEntropy(120), now, &mut self.rng);
+                apply_write(
+                    space,
+                    p,
+                    WriteStyle::PartialEntropy(120),
+                    now,
+                    &mut self.rng,
+                );
             }
         }
         clock.advance_secs(STEP);
@@ -711,12 +729,11 @@ mod tests {
         wl.init(&mut sp, &mut clock);
         sp.begin_interval();
         // Run enough steps to complete at least two sweeps.
-        let steps_needed = (grid as usize * 3) / 1 + 100;
+        let steps_needed = grid as usize * 3 + 100;
         for _ in 0..steps_needed {
             wl.step(&mut sp, &mut clock);
         }
-        let dirty: std::collections::BTreeSet<_> =
-            sp.dirty_log().iter().map(|d| d.page).collect();
+        let dirty: std::collections::BTreeSet<_> = sp.dirty_log().iter().map(|d| d.page).collect();
         // Both grids must have been written.
         assert!(dirty.iter().any(|&p| p < grid));
         assert!(dirty.iter().any(|&p| p >= grid));

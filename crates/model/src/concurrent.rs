@@ -41,8 +41,11 @@ pub enum ConcurrentModel {
 
 impl ConcurrentModel {
     /// All three configurations, in Fig. 4 order.
-    pub const ALL: [ConcurrentModel; 3] =
-        [ConcurrentModel::L1L3, ConcurrentModel::L2L3, ConcurrentModel::L1L2L3];
+    pub const ALL: [ConcurrentModel; 3] = [
+        ConcurrentModel::L1L3,
+        ConcurrentModel::L2L3,
+        ConcurrentModel::L1L2L3,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -158,13 +161,34 @@ fn build_interval_chain(
     // The paper's State 5: re-run the previous interval's window work, then
     // restart the span (the re-cut checkpoint's transfer overlaps again).
     b.exposure(rerun, win, win, s1a, &rerun_dests, rates);
-    b.exposure(rec3_deep, r3, r3, rerun, &[rec3_deep, rec3_deep, rec3_deep], rates);
+    b.exposure(
+        rec3_deep,
+        r3,
+        r3,
+        rerun,
+        &[rec3_deep, rec3_deep, rec3_deep],
+        rates,
+    );
 
     for k in 0..3 {
         let ra_time = spec.window_rec[k].unwrap_or(r3);
         b.exposure(rec_a[k], ra_time, ra_time, s1a, &window_dests, rates);
-        b.exposure(rec_b[k], spec.span_rec[k], spec.span_rec[k], redo, &span_dests, rates);
-        b.exposure(rec_rr[k], spec.span_rec[k], spec.span_rec[k], rerun, &rerun_dests, rates);
+        b.exposure(
+            rec_b[k],
+            spec.span_rec[k],
+            spec.span_rec[k],
+            redo,
+            &span_dests,
+            rates,
+        );
+        b.exposure(
+            rec_rr[k],
+            spec.span_rec[k],
+            spec.span_rec[k],
+            rerun,
+            &rerun_dests,
+            rates,
+        );
     }
 
     b.build(s1a)

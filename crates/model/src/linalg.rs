@@ -6,14 +6,20 @@
 /// Solve `A x = b` in place. `a` is row-major `n×n`, `b` has length `n`.
 ///
 /// Returns `None` if the matrix is (numerically) singular.
+// Index loops: the elimination reads row `col` while mutating row `row` of
+// the same matrix, which iterators cannot express without split_at_mut noise.
+#[allow(clippy::needless_range_loop)]
 pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
-    assert!(a.len() == n && a.iter().all(|r| r.len() == n), "shape mismatch");
+    assert!(
+        a.len() == n && a.iter().all(|r| r.len() == n),
+        "shape mismatch"
+    );
 
     for col in 0..n {
         // Partial pivot.
-        let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        let pivot =
+            (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
         if a[pivot][col].abs() < 1e-300 {
             return None;
         }
@@ -88,7 +94,13 @@ mod tests {
         let a: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 (0..n)
-                    .map(|j| if i == j { 10.0 } else { rng.gen_range(-1.0..1.0) })
+                    .map(|j| {
+                        if i == j {
+                            10.0
+                        } else {
+                            rng.gen_range(-1.0..1.0)
+                        }
+                    })
                     .collect()
             })
             .collect();

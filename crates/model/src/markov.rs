@@ -79,7 +79,10 @@ impl ChainBuilder {
 
     /// Add a raw edge.
     pub fn edge(&mut self, from: StateId, to: StateId, prob: f64, time: f64) {
-        assert!((0.0..=1.0 + 1e-12).contains(&prob), "prob {prob} out of range");
+        assert!(
+            (0.0..=1.0 + 1e-12).contains(&prob),
+            "prob {prob} out of range"
+        );
         assert!(time >= 0.0 && time.is_finite(), "bad edge time {time}");
         self.states[from.0].edges.push(Edge {
             dest: to.0,

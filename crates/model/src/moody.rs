@@ -38,10 +38,10 @@ impl MoodySchedule {
     pub fn cycle_levels(&self) -> Vec<u8> {
         let mut levels = Vec::new();
         for _ in 0..self.n2 {
-            levels.extend(std::iter::repeat(1u8).take(self.n1));
+            levels.extend(std::iter::repeat_n(1u8, self.n1));
             levels.push(2);
         }
-        levels.extend(std::iter::repeat(1u8).take(self.n1));
+        levels.extend(std::iter::repeat_n(1u8, self.n1));
         levels.push(3);
         levels
     }
@@ -105,9 +105,9 @@ pub fn moody_chain(
     for (j, _) in levels.iter().enumerate() {
         for k in 1..=3u8 {
             let key = (k, resume_segment(&levels, j, k));
-            if !rec_states.contains_key(&key) {
+            if let std::collections::hash_map::Entry::Vacant(e) = rec_states.entry(key) {
                 let id = b.state(format!("R{k}@{}", key.1));
-                rec_states.insert(key, id);
+                e.insert(id);
                 queue.push(key);
             }
         }
@@ -115,9 +115,9 @@ pub fn moody_chain(
     while let Some((_, resume)) = queue.pop() {
         for k2 in 1..=3u8 {
             let key2 = (k2, resume_segment(&levels, resume, k2));
-            if !rec_states.contains_key(&key2) {
+            if let std::collections::hash_map::Entry::Vacant(e) = rec_states.entry(key2) {
                 let id = b.state(format!("R{k2}@{}", key2.1));
-                rec_states.insert(key2, id);
+                e.insert(id);
                 queue.push(key2);
             }
         }
@@ -170,18 +170,13 @@ pub fn moody_optimize(
     for &n1 in &[0usize, 1, 2, 4, 8] {
         for &n2 in &[0usize, 1, 2, 4, 8] {
             let sched = MoodySchedule { n1, n2 };
-            let m = golden_minimize(
-                |w| moody_net2(w, &sched, costs, rates),
-                w_lo,
-                w_hi,
-                1e-4,
-            );
+            let m = golden_minimize(|w| moody_net2(w, &sched, costs, rates), w_lo, w_hi, 1e-4);
             let cand = MoodyOptimum {
                 w: m.x,
                 sched,
                 net2: m.value,
             };
-            if best.map_or(true, |b| cand.net2 < b.net2) {
+            if best.is_none_or(|b| cand.net2 < b.net2) {
                 best = Some(cand);
             }
         }

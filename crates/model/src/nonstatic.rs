@@ -46,8 +46,30 @@ impl IntervalParams {
     /// * `c3(i) = c1 + dl(i) + ds(i)/B3` — compression is shared with L2;
     ///   the L3 transfer sends the same delta to remote storage.
     pub fn from_measurement(c1: f64, dl: f64, ds_bytes: f64, b2: f64, b3: f64) -> Self {
+        Self::from_measurement_with_cores(c1, dl, ds_bytes, b2, b3, 1)
+    }
+
+    /// [`IntervalParams::from_measurement`] for a deployment whose
+    /// checkpointing core is a *pool* of `cores` compression workers.
+    ///
+    /// `dl` must be the **single-core** compression latency; pages are
+    /// independent delta units, so a pool shards the encode page-wise and
+    /// the compression term scales as `dl / cores`. The bandwidth terms are
+    /// link-bound and unaffected. With the compression term shrunk, `c2`
+    /// and `c3` drop — and with them the drain lower bound — so the
+    /// Newton–Raphson `w*_L` search is free to pick shorter work spans on
+    /// wider pools.
+    pub fn from_measurement_with_cores(
+        c1: f64,
+        dl: f64,
+        ds_bytes: f64,
+        b2: f64,
+        b3: f64,
+        cores: usize,
+    ) -> Self {
         assert!(b2 > 0.0 && b3 > 0.0, "bandwidths must be positive");
         assert!(c1 >= 0.0 && dl >= 0.0 && ds_bytes >= 0.0);
+        let dl = dl / cores.max(1) as f64;
         let c2 = c1 + dl + ds_bytes / b2;
         let c3 = c1 + dl + ds_bytes / b3;
         IntervalParams {
@@ -120,6 +142,7 @@ pub fn optimal_w(
 /// [`optimal_w`] with an explicit Newton–Raphson budget and tolerance, for
 /// the online decider (called every decision second; the paper caps NR at
 /// 200 iterations but observes < 5 in practice).
+#[allow(clippy::too_many_arguments)]
 pub fn optimal_w_budgeted(
     cur: &IntervalParams,
     prev: &IntervalParams,
@@ -184,13 +207,48 @@ pub fn chain_l2l3_nonstatic(
     b.exposure(s1a, win_a, win_a, s1b, &[rec2a, rec2a, rec3_deep], rates);
     b.exposure(s1b, win_b, win_b, done, &[rec2b, rec2b, rec3b], rates);
     b.exposure(redo, span, span, done, &[rec2b, rec2b, rec3b], rates);
-    b.exposure(rerun, win_prev, win_prev, s1a, &[rec2rr, rec2rr, rec3rr], rates);
-    b.exposure(rec3_deep, r3_prev, r3_prev, rerun, &[rec3_deep, rec3_deep, rec3_deep], rates);
-    b.exposure(rec2a, r2_prev, r2_prev, s1a, &[rec2a, rec2a, rec3_deep], rates);
+    b.exposure(
+        rerun,
+        win_prev,
+        win_prev,
+        s1a,
+        &[rec2rr, rec2rr, rec3rr],
+        rates,
+    );
+    b.exposure(
+        rec3_deep,
+        r3_prev,
+        r3_prev,
+        rerun,
+        &[rec3_deep, rec3_deep, rec3_deep],
+        rates,
+    );
+    b.exposure(
+        rec2a,
+        r2_prev,
+        r2_prev,
+        s1a,
+        &[rec2a, rec2a, rec3_deep],
+        rates,
+    );
     b.exposure(rec2b, r2_prev, r2_prev, redo, &[rec2b, rec2b, rec3b], rates);
     b.exposure(rec3b, r3_prev, r3_prev, redo, &[rec2b, rec2b, rec3b], rates);
-    b.exposure(rec2rr, r2_prev, r2_prev, rerun, &[rec2rr, rec2rr, rec3rr], rates);
-    b.exposure(rec3rr, r3_prev, r3_prev, rerun, &[rec2rr, rec2rr, rec3rr], rates);
+    b.exposure(
+        rec2rr,
+        r2_prev,
+        r2_prev,
+        rerun,
+        &[rec2rr, rec2rr, rec3rr],
+        rates,
+    );
+    b.exposure(
+        rec3rr,
+        r3_prev,
+        r3_prev,
+        rerun,
+        &[rec2rr, rec2rr, rec3rr],
+        rates,
+    );
     b.build(s1a)
 }
 
@@ -212,10 +270,7 @@ mod tests {
         let w = 2_000.0;
         let ns = net2_interval(w, &p, &p, &r);
         let st = net2_at(ConcurrentModel::L2L3, w, &costs, &r);
-        assert!(
-            (ns - st).abs() < 1e-12,
-            "nonstatic={ns} static={st}"
-        );
+        assert!((ns - st).abs() < 1e-12, "nonstatic={ns} static={st}");
     }
 
     #[test]
@@ -240,6 +295,38 @@ mod tests {
         assert!((p.c[0] - 0.5).abs() < 1e-12);
         assert!((p.c[1] - (0.5 + 2.0 + 0.1)).abs() < 1e-12);
         assert!((p.c[2] - (0.5 + 2.0 + 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cores_scale_the_compression_term_only() {
+        // Same measurement, pool of 4: dl shrinks 4×, transfers unchanged.
+        let serial = IntervalParams::from_measurement(0.5, 2.0, 10e6, 100e6, 2e6);
+        let pooled = IntervalParams::from_measurement_with_cores(0.5, 2.0, 10e6, 100e6, 2e6, 4);
+        assert!((pooled.c[0] - serial.c[0]).abs() < 1e-12);
+        assert!((pooled.c[1] - (0.5 + 0.5 + 0.1)).abs() < 1e-12);
+        assert!((pooled.c[2] - (0.5 + 0.5 + 5.0)).abs() < 1e-12);
+        // cores = 1 (and a degenerate 0) reproduce the serial params.
+        let one = IntervalParams::from_measurement_with_cores(0.5, 2.0, 10e6, 100e6, 2e6, 1);
+        assert_eq!(one, serial);
+    }
+
+    #[test]
+    fn wider_pool_shortens_optimal_w() {
+        // Compression dominates the checkpoint cost here, so shrinking dl
+        // with a wider pool makes checkpoints cheaper and the NR search
+        // must settle on a shorter work span.
+        let r = rates();
+        let mut last_w = f64::INFINITY;
+        for cores in [1usize, 4, 16] {
+            let p = IntervalParams::from_measurement_with_cores(0.1, 30.0, 1e6, 100e6, 2e6, cores);
+            let m = optimal_w(&p, &p, &r, 1.0, 1e6, 500.0);
+            assert!(
+                m.x < last_w,
+                "cores={cores}: w*={} did not shrink from {last_w}",
+                m.x
+            );
+            last_w = m.x;
+        }
     }
 
     #[test]

@@ -188,7 +188,11 @@ mod tests {
         let w_star = (2.0 * c / lam).sqrt();
         let evt = evt_minimize(f, 10.0, 1e6, 500.0);
         let grid = grid_minimize(f, 10.0, 1e6, 100_000);
-        assert!((evt.x - w_star).abs() / w_star < 1e-3, "evt={} w*={w_star}", evt.x);
+        assert!(
+            (evt.x - w_star).abs() / w_star < 1e-3,
+            "evt={} w*={w_star}",
+            evt.x
+        );
         assert!(evt.value <= grid.value + 1e-9);
     }
 

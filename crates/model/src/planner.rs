@@ -78,6 +78,7 @@ where
     // The run ends at `ticks`; the final segment needs no checkpoint. Try
     // every last-cut position and append the tail's expected time.
     let mut best_end = (INF, ticks);
+    #[allow(clippy::needless_range_loop)] // `last` is a position, not an index into one slice
     for last in 1..=ticks {
         if best[last].0.is_infinite() {
             continue;
@@ -148,7 +149,7 @@ mod tests {
         let cheap = IntervalParams::symmetric(0.05, 0.2, 2.0);
         let dear = IntervalParams::symmetric(0.5, 5.0, 60.0);
         // Ticks divisible by 10 are cheap.
-        let cost = |_a: usize, b: usize| if b % 10 == 0 { cheap } else { dear };
+        let cost = |_a: usize, b: usize| if b.is_multiple_of(10) { cheap } else { dear };
         let plan = plan_offline(100, 1.0, 40, cost, &rates());
         assert!(!plan.cuts.is_empty());
         assert!(

@@ -80,7 +80,10 @@ mod tests {
         let lambda = 1e-7;
         let young = young_interval(c, lambda);
         let daly = daly_interval(c, lambda);
-        assert!((daly - young).abs() / young < 0.01, "young={young} daly={daly}");
+        assert!(
+            (daly - young).abs() / young < 0.01,
+            "young={young} daly={daly}"
+        );
     }
 
     #[test]

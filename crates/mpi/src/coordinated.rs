@@ -45,8 +45,16 @@ pub struct CoordinatedCheckpoint {
 impl CoordinatedCheckpoint {
     /// Total bytes shipped remotely for this global checkpoint.
     pub fn wire_bytes(&self) -> u64 {
-        let msgs: u64 = self.in_flight.iter().map(|m| m.payload.len() as u64 + 32).sum();
-        self.per_rank.iter().map(CheckpointFile::wire_len).sum::<u64>() + msgs
+        let msgs: u64 = self
+            .in_flight
+            .iter()
+            .map(|m| m.payload.len() as u64 + 32)
+            .sum();
+        self.per_rank
+            .iter()
+            .map(CheckpointFile::wire_len)
+            .sum::<u64>()
+            + msgs
     }
 }
 

@@ -115,13 +115,7 @@ pub fn run_mpi_engine(mut job: MpiJob, cfg: &MpiEngineConfig) -> MpiReport {
     let mut ck = CoordinatedCheckpointer::new(cfg.pa, cfg.cost);
     job.run_until(0.0);
     let (_, init_stats) = ck.initial_cut(&mut job);
-    let initial_params = params_from(
-        init_stats.c1,
-        0.0,
-        init_stats.ds_bytes,
-        ranks,
-        cfg,
-    );
+    let initial_params = params_from(init_stats.c1, 0.0, init_stats.ds_bytes, ranks, cfg);
 
     let mut blocking = init_stats.c1;
     let mut intervals: Vec<MpiIntervalRecord> = Vec::new();
@@ -146,8 +140,7 @@ pub fn run_mpi_engine(mut job: MpiJob, cfg: &MpiEngineConfig) -> MpiReport {
             let c1 = cfg.cost.raw_io_latency(est_raw as u64) + ck.barrier_overhead;
             let params = params_from(c1, est_dl, est_ds as u64, ranks, cfg);
             let seed = last_wstar.unwrap_or(elapsed).max(params.w_lower_bound());
-            let best =
-                optimal_w_budgeted(&params, &params, &job_rates, 1.0, 1e5, seed, 30, 1e-4);
+            let best = optimal_w_budgeted(&params, &params, &job_rates, 1.0, 1e5, seed, 30, 1e-4);
             last_wstar = Some(best.x);
             want = best.x <= elapsed;
         }
@@ -351,8 +344,11 @@ mod tests {
         let mut cfg = MpiEngineConfig::testbed(3.0);
         cfg.b3 = 50e3; // long transfers
         let report = run_mpi_engine(quiet_job(2, 40.0), &cfg);
-        let cks: Vec<&MpiIntervalRecord> =
-            report.intervals.iter().filter(|r| r.raw_bytes > 0).collect();
+        let cks: Vec<&MpiIntervalRecord> = report
+            .intervals
+            .iter()
+            .filter(|r| r.raw_bytes > 0)
+            .collect();
         for pair in cks.windows(2) {
             assert!(
                 pair[1].w + 0.5 + 1e-6 >= pair[0].params.transfer(3),

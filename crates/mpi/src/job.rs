@@ -189,7 +189,8 @@ impl MpiJob {
                     for to in 0..ranks {
                         if from != to {
                             self.rng.fill(&mut payload[..]);
-                            self.network.send(from, to, Bytes::from(payload.clone()), now);
+                            self.network
+                                .send(from, to, Bytes::from(payload.clone()), now);
                         }
                     }
                 }

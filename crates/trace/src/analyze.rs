@@ -87,7 +87,7 @@ pub fn analyze(spec: &SystemSpec, log: &[JobRecord]) -> AnalysisReport {
         nodes.dedup();
         let ok = nodes
             .iter()
-            .all(|&n| peak_usage(&events, n, job.dispatch, job.end) <= cap - 1);
+            .all(|&n| peak_usage(&events, n, job.dispatch, job.end) < cap);
         if ok {
             candidates += 1;
         }
@@ -100,9 +100,8 @@ pub fn analyze(spec: &SystemSpec, log: &[JobRecord]) -> AnalysisReport {
         .iter()
         .map(|j| j.runtime() * j.total_cores() as f64)
         .sum();
-    let capacity = (span_end - span_start).max(1e-9)
-        * (spec.nodes as f64)
-        * (spec.cores_per_node as f64);
+    let capacity =
+        (span_end - span_start).max(1e-9) * (spec.nodes as f64) * (spec.cores_per_node as f64);
 
     AnalysisReport {
         total_jobs: log.len(),

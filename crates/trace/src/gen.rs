@@ -129,12 +129,10 @@ pub fn place_jobs(spec: &SystemSpec, requests: &[JobRequest], rectified: bool) -
                 // Order nodes per scheduler policy.
                 let mut order: Vec<usize> = (0..nodes.len()).collect();
                 match spec.scheduler {
-                    SchedulerKind::Packing => order.sort_by_key(|&i| {
-                        std::cmp::Reverse(nodes[i].used_at(dispatch))
-                    }),
-                    SchedulerKind::Spread => {
-                        order.sort_by_key(|&i| nodes[i].used_at(dispatch))
+                    SchedulerKind::Packing => {
+                        order.sort_by_key(|&i| std::cmp::Reverse(nodes[i].used_at(dispatch)))
                     }
+                    SchedulerKind::Spread => order.sort_by_key(|&i| nodes[i].used_at(dispatch)),
                 }
                 let mut placements = Vec::with_capacity(procs as usize);
                 let mut remaining = procs;

@@ -28,7 +28,10 @@ fn main() {
     };
     let config = geometry_scaled_engine(&scale);
 
-    println!("benchmark {persona} at footprint x{}, duration x{duration}", scale.footprint);
+    println!(
+        "benchmark {persona} at footprint x{}, duration x{duration}",
+        scale.footprint
+    );
     println!(
         "bandwidths: B2 = {:.1} MB/s, B3 = {:.1} KB/s (geometry-scaled Coastal)\n",
         config.b2 / 1e6,
@@ -51,7 +54,10 @@ fn main() {
         .clamp(2.0, cal_report.base_time);
     let mut sic = FixedIntervalPolicy::new(w_star);
     let sic_report = run_engine(scaled_persona(&persona, &scale), &mut sic, &config);
-    println!("SIC: static interval w* = {w_star:.1} s → NET^2 = {:.4}", sic_report.net2);
+    println!(
+        "SIC: static interval w* = {w_star:.1} s → NET^2 = {:.4}",
+        sic_report.net2
+    );
 
     // --- AIC.
     let mut aic_cfg = AicConfig::testbed(config.rates.clone());
@@ -60,7 +66,11 @@ fn main() {
     let aic_report = run_engine(scaled_persona(&persona, &scale), &mut aic, &config);
     println!(
         "AIC: {} cuts ({} adaptive) → NET^2 = {:.4}",
-        aic_report.intervals.iter().filter(|r| r.raw_bytes > 0).count(),
+        aic_report
+            .intervals
+            .iter()
+            .filter(|r| r.raw_bytes > 0)
+            .count(),
         aic.adaptive_cuts(),
         aic_report.net2
     );
@@ -77,7 +87,10 @@ fn main() {
     println!();
     let gain = 1.0 - aic_report.net2 / sic_report.net2;
     println!("AIC vs SIC : {:+.2}% NET^2", -gain * 100.0);
-    println!("AIC vs Moody: {:+.2}% NET^2", -(1.0 - aic_report.net2 / moody.net2) * 100.0);
+    println!(
+        "AIC vs Moody: {:+.2}% NET^2",
+        -(1.0 - aic_report.net2 / moody.net2) * 100.0
+    );
 
     println!("\nAIC interval log (w, predicted-cheap moments have small ds):");
     for rec in aic_report.intervals.iter().filter(|r| r.raw_bytes > 0) {

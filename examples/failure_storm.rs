@@ -66,7 +66,10 @@ fn main() {
     // --- 1. Transient fault: local chain still there.
     let restored = rebuild_chain(&local, chain.len()).restore_latest().unwrap();
     assert_eq!(restored, truth);
-    println!("f1 (transient): restored from L1 — {} pages OK", restored.len());
+    println!(
+        "f1 (transient): restored from L1 — {} pages OK",
+        restored.len()
+    );
 
     // --- 2. RAID node dies: degraded read.
     raid.fail_node(2);
@@ -76,9 +79,14 @@ fn main() {
     raid.repair_node();
 
     // --- 3. Total node failure: only remote storage remains.
-    let restored = rebuild_chain(&remote, chain.len()).restore_latest().unwrap();
+    let restored = rebuild_chain(&remote, chain.len())
+        .restore_latest()
+        .unwrap();
     assert_eq!(restored, truth);
-    println!("f3 (total loss): restored from remote storage — {} pages OK", restored.len());
+    println!(
+        "f3 (total loss): restored from remote storage — {} pages OK",
+        restored.len()
+    );
 
     println!("\nall three recovery levels verified byte-for-byte");
 }

@@ -36,9 +36,9 @@ fn make_job(ranks: usize, secs: f64) -> MpiJob {
             )))
         },
         CommPattern::Ring,
-        0.5,   // superstep seconds
-        2048,  // bytes exchanged per message
-        0.7,   // network latency (longer than a superstep: real in-flight)
+        0.5,  // superstep seconds
+        2048, // bytes exchanged per message
+        0.7,  // network latency (longer than a superstep: real in-flight)
         99,
     )
 }

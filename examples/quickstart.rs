@@ -49,7 +49,10 @@ fn main() {
         report.wall_time,
         report.overhead_frac() * 100.0
     );
-    println!("NET^2    : {:.4}  (expected turnaround / base time)", report.net2);
+    println!(
+        "NET^2    : {:.4}  (expected turnaround / base time)",
+        report.net2
+    );
     println!();
     println!("checkpointed intervals:");
     println!("  seq     w(s)    c1(s)    dl(s)   dirty    ds(KiB)  ratio");

@@ -51,8 +51,7 @@ fn main() {
         let mut cuts = 0;
         while !process.is_done() {
             process.run_for(SimTime::from_secs(5.0));
-            let dirty_pages: Vec<u64> =
-                process.dirty_log().iter().map(|d| d.page).collect();
+            let dirty_pages: Vec<u64> = process.dirty_log().iter().map(|d| d.page).collect();
             let dirty = process.snapshot_pages(dirty_pages);
             process.cut_interval();
             total_raw += dirty.bytes();

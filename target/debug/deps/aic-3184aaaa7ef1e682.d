@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aic-3184aaaa7ef1e682.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaic-3184aaaa7ef1e682.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

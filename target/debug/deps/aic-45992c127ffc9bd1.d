@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/aic-45992c127ffc9bd1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaic-45992c127ffc9bd1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libaic-45992c127ffc9bd1.rmeta: src/lib.rs
+
+src/lib.rs:

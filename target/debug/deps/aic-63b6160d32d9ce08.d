@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aic-63b6160d32d9ce08.d: src/lib.rs
+
+/root/repo/target/debug/deps/aic-63b6160d32d9ce08: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/aic-e68fcbba26d7214c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaic-e68fcbba26d7214c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libaic-e68fcbba26d7214c.rmeta: src/lib.rs
+
+src/lib.rs:

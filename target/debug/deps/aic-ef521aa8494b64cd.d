@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aic-ef521aa8494b64cd.d: src/lib.rs
+
+/root/repo/target/debug/deps/aic-ef521aa8494b64cd: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aic_behaviour-6fc973869564f21b.d: tests/aic_behaviour.rs
+
+/root/repo/target/debug/deps/aic_behaviour-6fc973869564f21b: tests/aic_behaviour.rs
+
+tests/aic_behaviour.rs:

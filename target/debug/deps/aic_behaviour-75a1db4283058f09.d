@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aic_behaviour-75a1db4283058f09.d: tests/aic_behaviour.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaic_behaviour-75a1db4283058f09.rmeta: tests/aic_behaviour.rs Cargo.toml
+
+tests/aic_behaviour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aic_behaviour-b50630c5ff9ff198.d: tests/aic_behaviour.rs
+
+/root/repo/target/debug/deps/aic_behaviour-b50630c5ff9ff198: tests/aic_behaviour.rs
+
+tests/aic_behaviour.rs:

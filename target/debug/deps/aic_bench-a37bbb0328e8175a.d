@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/aic_bench-a37bbb0328e8175a.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fleet_sharing.rs crates/bench/src/experiments/mpi_scaling.rs crates/bench/src/experiments/pool_scaling.rs crates/bench/src/experiments/regret.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/validate.rs crates/bench/src/experiments/table3.rs crates/bench/src/output.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaic_bench-a37bbb0328e8175a.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fleet_sharing.rs crates/bench/src/experiments/mpi_scaling.rs crates/bench/src/experiments/pool_scaling.rs crates/bench/src/experiments/regret.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/validate.rs crates/bench/src/experiments/table3.rs crates/bench/src/output.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/fig12.rs:
+crates/bench/src/experiments/fig2.rs:
+crates/bench/src/experiments/fleet_sharing.rs:
+crates/bench/src/experiments/mpi_scaling.rs:
+crates/bench/src/experiments/pool_scaling.rs:
+crates/bench/src/experiments/regret.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/validate.rs:
+crates/bench/src/experiments/table3.rs:
+crates/bench/src/output.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/aic_ckpt-8bf25d4c2bee75c5.d: crates/ckpt/src/lib.rs crates/ckpt/src/chain.rs crates/ckpt/src/concurrent.rs crates/ckpt/src/engine.rs crates/ckpt/src/failure.rs crates/ckpt/src/fleet.rs crates/ckpt/src/format.rs crates/ckpt/src/policies.rs crates/ckpt/src/recovery.rs crates/ckpt/src/sim.rs crates/ckpt/src/storage.rs
+
+/root/repo/target/debug/deps/libaic_ckpt-8bf25d4c2bee75c5.rlib: crates/ckpt/src/lib.rs crates/ckpt/src/chain.rs crates/ckpt/src/concurrent.rs crates/ckpt/src/engine.rs crates/ckpt/src/failure.rs crates/ckpt/src/fleet.rs crates/ckpt/src/format.rs crates/ckpt/src/policies.rs crates/ckpt/src/recovery.rs crates/ckpt/src/sim.rs crates/ckpt/src/storage.rs
+
+/root/repo/target/debug/deps/libaic_ckpt-8bf25d4c2bee75c5.rmeta: crates/ckpt/src/lib.rs crates/ckpt/src/chain.rs crates/ckpt/src/concurrent.rs crates/ckpt/src/engine.rs crates/ckpt/src/failure.rs crates/ckpt/src/fleet.rs crates/ckpt/src/format.rs crates/ckpt/src/policies.rs crates/ckpt/src/recovery.rs crates/ckpt/src/sim.rs crates/ckpt/src/storage.rs
+
+crates/ckpt/src/lib.rs:
+crates/ckpt/src/chain.rs:
+crates/ckpt/src/concurrent.rs:
+crates/ckpt/src/engine.rs:
+crates/ckpt/src/failure.rs:
+crates/ckpt/src/fleet.rs:
+crates/ckpt/src/format.rs:
+crates/ckpt/src/policies.rs:
+crates/ckpt/src/recovery.rs:
+crates/ckpt/src/sim.rs:
+crates/ckpt/src/storage.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/aic_ckpt-c59e576dd84f1858.d: crates/ckpt/src/lib.rs crates/ckpt/src/chain.rs crates/ckpt/src/concurrent.rs crates/ckpt/src/engine.rs crates/ckpt/src/failure.rs crates/ckpt/src/fleet.rs crates/ckpt/src/format.rs crates/ckpt/src/policies.rs crates/ckpt/src/recovery.rs crates/ckpt/src/sim.rs crates/ckpt/src/storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaic_ckpt-c59e576dd84f1858.rmeta: crates/ckpt/src/lib.rs crates/ckpt/src/chain.rs crates/ckpt/src/concurrent.rs crates/ckpt/src/engine.rs crates/ckpt/src/failure.rs crates/ckpt/src/fleet.rs crates/ckpt/src/format.rs crates/ckpt/src/policies.rs crates/ckpt/src/recovery.rs crates/ckpt/src/sim.rs crates/ckpt/src/storage.rs Cargo.toml
+
+crates/ckpt/src/lib.rs:
+crates/ckpt/src/chain.rs:
+crates/ckpt/src/concurrent.rs:
+crates/ckpt/src/engine.rs:
+crates/ckpt/src/failure.rs:
+crates/ckpt/src/fleet.rs:
+crates/ckpt/src/format.rs:
+crates/ckpt/src/policies.rs:
+crates/ckpt/src/recovery.rs:
+crates/ckpt/src/sim.rs:
+crates/ckpt/src/storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

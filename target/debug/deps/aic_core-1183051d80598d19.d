@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aic_core-1183051d80598d19.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/online.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/regress.rs crates/core/src/sample.rs crates/core/src/stepwise.rs
+
+/root/repo/target/debug/deps/aic_core-1183051d80598d19: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/online.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/regress.rs crates/core/src/sample.rs crates/core/src/stepwise.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/features.rs:
+crates/core/src/metrics.rs:
+crates/core/src/online.rs:
+crates/core/src/policy.rs:
+crates/core/src/predictor.rs:
+crates/core/src/regress.rs:
+crates/core/src/sample.rs:
+crates/core/src/stepwise.rs:

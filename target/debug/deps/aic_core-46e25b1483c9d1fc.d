@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/aic_core-46e25b1483c9d1fc.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/online.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/regress.rs crates/core/src/sample.rs crates/core/src/stepwise.rs
+
+/root/repo/target/debug/deps/libaic_core-46e25b1483c9d1fc.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/online.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/regress.rs crates/core/src/sample.rs crates/core/src/stepwise.rs
+
+/root/repo/target/debug/deps/libaic_core-46e25b1483c9d1fc.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/online.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/regress.rs crates/core/src/sample.rs crates/core/src/stepwise.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/features.rs:
+crates/core/src/metrics.rs:
+crates/core/src/online.rs:
+crates/core/src/policy.rs:
+crates/core/src/predictor.rs:
+crates/core/src/regress.rs:
+crates/core/src/sample.rs:
+crates/core/src/stepwise.rs:

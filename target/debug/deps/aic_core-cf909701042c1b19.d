@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/aic_core-cf909701042c1b19.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/online.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/regress.rs crates/core/src/sample.rs crates/core/src/stepwise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaic_core-cf909701042c1b19.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/online.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/regress.rs crates/core/src/sample.rs crates/core/src/stepwise.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/features.rs:
+crates/core/src/metrics.rs:
+crates/core/src/online.rs:
+crates/core/src/policy.rs:
+crates/core/src/predictor.rs:
+crates/core/src/regress.rs:
+crates/core/src/sample.rs:
+crates/core/src/stepwise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/aic_delta-32192aed998005a6.d: crates/delta/src/lib.rs crates/delta/src/decode.rs crates/delta/src/encode.rs crates/delta/src/inst.rs crates/delta/src/pa.rs crates/delta/src/rolling.rs crates/delta/src/stats.rs crates/delta/src/strong.rs crates/delta/src/xor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaic_delta-32192aed998005a6.rmeta: crates/delta/src/lib.rs crates/delta/src/decode.rs crates/delta/src/encode.rs crates/delta/src/inst.rs crates/delta/src/pa.rs crates/delta/src/rolling.rs crates/delta/src/stats.rs crates/delta/src/strong.rs crates/delta/src/xor.rs Cargo.toml
+
+crates/delta/src/lib.rs:
+crates/delta/src/decode.rs:
+crates/delta/src/encode.rs:
+crates/delta/src/inst.rs:
+crates/delta/src/pa.rs:
+crates/delta/src/rolling.rs:
+crates/delta/src/stats.rs:
+crates/delta/src/strong.rs:
+crates/delta/src/xor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

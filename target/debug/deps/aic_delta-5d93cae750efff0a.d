@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/aic_delta-5d93cae750efff0a.d: crates/delta/src/lib.rs crates/delta/src/decode.rs crates/delta/src/encode.rs crates/delta/src/inst.rs crates/delta/src/pa.rs crates/delta/src/rolling.rs crates/delta/src/stats.rs crates/delta/src/strong.rs crates/delta/src/xor.rs
+
+/root/repo/target/debug/deps/libaic_delta-5d93cae750efff0a.rlib: crates/delta/src/lib.rs crates/delta/src/decode.rs crates/delta/src/encode.rs crates/delta/src/inst.rs crates/delta/src/pa.rs crates/delta/src/rolling.rs crates/delta/src/stats.rs crates/delta/src/strong.rs crates/delta/src/xor.rs
+
+/root/repo/target/debug/deps/libaic_delta-5d93cae750efff0a.rmeta: crates/delta/src/lib.rs crates/delta/src/decode.rs crates/delta/src/encode.rs crates/delta/src/inst.rs crates/delta/src/pa.rs crates/delta/src/rolling.rs crates/delta/src/stats.rs crates/delta/src/strong.rs crates/delta/src/xor.rs
+
+crates/delta/src/lib.rs:
+crates/delta/src/decode.rs:
+crates/delta/src/encode.rs:
+crates/delta/src/inst.rs:
+crates/delta/src/pa.rs:
+crates/delta/src/rolling.rs:
+crates/delta/src/stats.rs:
+crates/delta/src/strong.rs:
+crates/delta/src/xor.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aic_delta-aae5056b742ef5b2.d: crates/delta/src/lib.rs crates/delta/src/decode.rs crates/delta/src/encode.rs crates/delta/src/inst.rs crates/delta/src/pa.rs crates/delta/src/rolling.rs crates/delta/src/stats.rs crates/delta/src/strong.rs crates/delta/src/xor.rs
+
+/root/repo/target/debug/deps/aic_delta-aae5056b742ef5b2: crates/delta/src/lib.rs crates/delta/src/decode.rs crates/delta/src/encode.rs crates/delta/src/inst.rs crates/delta/src/pa.rs crates/delta/src/rolling.rs crates/delta/src/stats.rs crates/delta/src/strong.rs crates/delta/src/xor.rs
+
+crates/delta/src/lib.rs:
+crates/delta/src/decode.rs:
+crates/delta/src/encode.rs:
+crates/delta/src/inst.rs:
+crates/delta/src/pa.rs:
+crates/delta/src/rolling.rs:
+crates/delta/src/stats.rs:
+crates/delta/src/strong.rs:
+crates/delta/src/xor.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aic_memsim-11530c0d5db70127.d: crates/memsim/src/lib.rs crates/memsim/src/clock.rs crates/memsim/src/page.rs crates/memsim/src/process.rs crates/memsim/src/snapshot.rs crates/memsim/src/space.rs crates/memsim/src/trace.rs crates/memsim/src/workloads/mod.rs crates/memsim/src/workloads/generic.rs crates/memsim/src/workloads/spec.rs
+
+/root/repo/target/debug/deps/aic_memsim-11530c0d5db70127: crates/memsim/src/lib.rs crates/memsim/src/clock.rs crates/memsim/src/page.rs crates/memsim/src/process.rs crates/memsim/src/snapshot.rs crates/memsim/src/space.rs crates/memsim/src/trace.rs crates/memsim/src/workloads/mod.rs crates/memsim/src/workloads/generic.rs crates/memsim/src/workloads/spec.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/clock.rs:
+crates/memsim/src/page.rs:
+crates/memsim/src/process.rs:
+crates/memsim/src/snapshot.rs:
+crates/memsim/src/space.rs:
+crates/memsim/src/trace.rs:
+crates/memsim/src/workloads/mod.rs:
+crates/memsim/src/workloads/generic.rs:
+crates/memsim/src/workloads/spec.rs:

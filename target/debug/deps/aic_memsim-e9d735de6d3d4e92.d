@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/aic_memsim-e9d735de6d3d4e92.d: crates/memsim/src/lib.rs crates/memsim/src/clock.rs crates/memsim/src/page.rs crates/memsim/src/process.rs crates/memsim/src/snapshot.rs crates/memsim/src/space.rs crates/memsim/src/trace.rs crates/memsim/src/workloads/mod.rs crates/memsim/src/workloads/generic.rs crates/memsim/src/workloads/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaic_memsim-e9d735de6d3d4e92.rmeta: crates/memsim/src/lib.rs crates/memsim/src/clock.rs crates/memsim/src/page.rs crates/memsim/src/process.rs crates/memsim/src/snapshot.rs crates/memsim/src/space.rs crates/memsim/src/trace.rs crates/memsim/src/workloads/mod.rs crates/memsim/src/workloads/generic.rs crates/memsim/src/workloads/spec.rs Cargo.toml
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/clock.rs:
+crates/memsim/src/page.rs:
+crates/memsim/src/process.rs:
+crates/memsim/src/snapshot.rs:
+crates/memsim/src/space.rs:
+crates/memsim/src/trace.rs:
+crates/memsim/src/workloads/mod.rs:
+crates/memsim/src/workloads/generic.rs:
+crates/memsim/src/workloads/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/aic_model-00f6426826955347.d: crates/model/src/lib.rs crates/model/src/concurrent.rs crates/model/src/failure.rs crates/model/src/linalg.rs crates/model/src/markov.rs crates/model/src/moody.rs crates/model/src/nonstatic.rs crates/model/src/optimize.rs crates/model/src/params.rs crates/model/src/planner.rs crates/model/src/young_daly.rs
+
+/root/repo/target/debug/deps/aic_model-00f6426826955347: crates/model/src/lib.rs crates/model/src/concurrent.rs crates/model/src/failure.rs crates/model/src/linalg.rs crates/model/src/markov.rs crates/model/src/moody.rs crates/model/src/nonstatic.rs crates/model/src/optimize.rs crates/model/src/params.rs crates/model/src/planner.rs crates/model/src/young_daly.rs
+
+crates/model/src/lib.rs:
+crates/model/src/concurrent.rs:
+crates/model/src/failure.rs:
+crates/model/src/linalg.rs:
+crates/model/src/markov.rs:
+crates/model/src/moody.rs:
+crates/model/src/nonstatic.rs:
+crates/model/src/optimize.rs:
+crates/model/src/params.rs:
+crates/model/src/planner.rs:
+crates/model/src/young_daly.rs:

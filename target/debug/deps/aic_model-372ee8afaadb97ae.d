@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/aic_model-372ee8afaadb97ae.d: crates/model/src/lib.rs crates/model/src/concurrent.rs crates/model/src/failure.rs crates/model/src/linalg.rs crates/model/src/markov.rs crates/model/src/moody.rs crates/model/src/nonstatic.rs crates/model/src/optimize.rs crates/model/src/params.rs crates/model/src/planner.rs crates/model/src/young_daly.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaic_model-372ee8afaadb97ae.rmeta: crates/model/src/lib.rs crates/model/src/concurrent.rs crates/model/src/failure.rs crates/model/src/linalg.rs crates/model/src/markov.rs crates/model/src/moody.rs crates/model/src/nonstatic.rs crates/model/src/optimize.rs crates/model/src/params.rs crates/model/src/planner.rs crates/model/src/young_daly.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/concurrent.rs:
+crates/model/src/failure.rs:
+crates/model/src/linalg.rs:
+crates/model/src/markov.rs:
+crates/model/src/moody.rs:
+crates/model/src/nonstatic.rs:
+crates/model/src/optimize.rs:
+crates/model/src/params.rs:
+crates/model/src/planner.rs:
+crates/model/src/young_daly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

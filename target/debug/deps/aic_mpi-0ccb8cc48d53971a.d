@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aic_mpi-0ccb8cc48d53971a.d: crates/mpi/src/lib.rs crates/mpi/src/coordinated.rs crates/mpi/src/engine.rs crates/mpi/src/job.rs crates/mpi/src/message.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaic_mpi-0ccb8cc48d53971a.rmeta: crates/mpi/src/lib.rs crates/mpi/src/coordinated.rs crates/mpi/src/engine.rs crates/mpi/src/job.rs crates/mpi/src/message.rs Cargo.toml
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/coordinated.rs:
+crates/mpi/src/engine.rs:
+crates/mpi/src/job.rs:
+crates/mpi/src/message.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

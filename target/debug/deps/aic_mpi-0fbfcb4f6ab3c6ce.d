@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aic_mpi-0fbfcb4f6ab3c6ce.d: crates/mpi/src/lib.rs crates/mpi/src/coordinated.rs crates/mpi/src/engine.rs crates/mpi/src/job.rs crates/mpi/src/message.rs
+
+/root/repo/target/debug/deps/aic_mpi-0fbfcb4f6ab3c6ce: crates/mpi/src/lib.rs crates/mpi/src/coordinated.rs crates/mpi/src/engine.rs crates/mpi/src/job.rs crates/mpi/src/message.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/coordinated.rs:
+crates/mpi/src/engine.rs:
+crates/mpi/src/job.rs:
+crates/mpi/src/message.rs:

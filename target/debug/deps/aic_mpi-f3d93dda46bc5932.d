@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aic_mpi-f3d93dda46bc5932.d: crates/mpi/src/lib.rs crates/mpi/src/coordinated.rs crates/mpi/src/engine.rs crates/mpi/src/job.rs crates/mpi/src/message.rs
+
+/root/repo/target/debug/deps/libaic_mpi-f3d93dda46bc5932.rlib: crates/mpi/src/lib.rs crates/mpi/src/coordinated.rs crates/mpi/src/engine.rs crates/mpi/src/job.rs crates/mpi/src/message.rs
+
+/root/repo/target/debug/deps/libaic_mpi-f3d93dda46bc5932.rmeta: crates/mpi/src/lib.rs crates/mpi/src/coordinated.rs crates/mpi/src/engine.rs crates/mpi/src/job.rs crates/mpi/src/message.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/coordinated.rs:
+crates/mpi/src/engine.rs:
+crates/mpi/src/job.rs:
+crates/mpi/src/message.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aic_mpi-ff29d79f4f1690dd.d: crates/mpi/src/lib.rs crates/mpi/src/coordinated.rs crates/mpi/src/engine.rs crates/mpi/src/job.rs crates/mpi/src/message.rs
+
+/root/repo/target/debug/deps/libaic_mpi-ff29d79f4f1690dd.rlib: crates/mpi/src/lib.rs crates/mpi/src/coordinated.rs crates/mpi/src/engine.rs crates/mpi/src/job.rs crates/mpi/src/message.rs
+
+/root/repo/target/debug/deps/libaic_mpi-ff29d79f4f1690dd.rmeta: crates/mpi/src/lib.rs crates/mpi/src/coordinated.rs crates/mpi/src/engine.rs crates/mpi/src/job.rs crates/mpi/src/message.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/coordinated.rs:
+crates/mpi/src/engine.rs:
+crates/mpi/src/job.rs:
+crates/mpi/src/message.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aic_trace-47dee150d1cbc66c.d: crates/trace/src/lib.rs crates/trace/src/analyze.rs crates/trace/src/gen.rs crates/trace/src/log.rs crates/trace/src/swf.rs crates/trace/src/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaic_trace-47dee150d1cbc66c.rmeta: crates/trace/src/lib.rs crates/trace/src/analyze.rs crates/trace/src/gen.rs crates/trace/src/log.rs crates/trace/src/swf.rs crates/trace/src/table1.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/analyze.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/log.rs:
+crates/trace/src/swf.rs:
+crates/trace/src/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aic_trace-50a351de57f79282.d: crates/trace/src/lib.rs crates/trace/src/analyze.rs crates/trace/src/gen.rs crates/trace/src/log.rs crates/trace/src/swf.rs crates/trace/src/table1.rs
+
+/root/repo/target/debug/deps/libaic_trace-50a351de57f79282.rlib: crates/trace/src/lib.rs crates/trace/src/analyze.rs crates/trace/src/gen.rs crates/trace/src/log.rs crates/trace/src/swf.rs crates/trace/src/table1.rs
+
+/root/repo/target/debug/deps/libaic_trace-50a351de57f79282.rmeta: crates/trace/src/lib.rs crates/trace/src/analyze.rs crates/trace/src/gen.rs crates/trace/src/log.rs crates/trace/src/swf.rs crates/trace/src/table1.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analyze.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/log.rs:
+crates/trace/src/swf.rs:
+crates/trace/src/table1.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aic_trace-87b37054aea2cd3e.d: crates/trace/src/lib.rs crates/trace/src/analyze.rs crates/trace/src/gen.rs crates/trace/src/log.rs crates/trace/src/swf.rs crates/trace/src/table1.rs
+
+/root/repo/target/debug/deps/aic_trace-87b37054aea2cd3e: crates/trace/src/lib.rs crates/trace/src/analyze.rs crates/trace/src/gen.rs crates/trace/src/log.rs crates/trace/src/swf.rs crates/trace/src/table1.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analyze.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/log.rs:
+crates/trace/src/swf.rs:
+crates/trace/src/table1.rs:

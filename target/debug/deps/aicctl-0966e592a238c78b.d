@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aicctl-0966e592a238c78b.d: crates/ckpt/src/bin/aicctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaicctl-0966e592a238c78b.rmeta: crates/ckpt/src/bin/aicctl.rs Cargo.toml
+
+crates/ckpt/src/bin/aicctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

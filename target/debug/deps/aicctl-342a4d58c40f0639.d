@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aicctl-342a4d58c40f0639.d: crates/ckpt/src/bin/aicctl.rs
+
+/root/repo/target/debug/deps/aicctl-342a4d58c40f0639: crates/ckpt/src/bin/aicctl.rs
+
+crates/ckpt/src/bin/aicctl.rs:

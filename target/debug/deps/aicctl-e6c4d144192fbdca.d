@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aicctl-e6c4d144192fbdca.d: crates/ckpt/src/bin/aicctl.rs
+
+/root/repo/target/debug/deps/aicctl-e6c4d144192fbdca: crates/ckpt/src/bin/aicctl.rs
+
+crates/ckpt/src/bin/aicctl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-78b5b48f3986ff76.d: vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-78b5b48f3986ff76.rmeta: vendor/bytes/src/lib.rs Cargo.toml
+
+vendor/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-a51d041d6f3780d5.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-a51d041d6f3780d5: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

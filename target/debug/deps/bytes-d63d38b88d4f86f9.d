@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-d63d38b88d4f86f9.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-d63d38b88d4f86f9.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-d63d38b88d4f86f9.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

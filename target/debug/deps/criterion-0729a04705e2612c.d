@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-0729a04705e2612c.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-0729a04705e2612c.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-0729a04705e2612c.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

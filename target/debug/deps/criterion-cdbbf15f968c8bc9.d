@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-cdbbf15f968c8bc9.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-cdbbf15f968c8bc9: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-0e390521fbad6c45.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-0e390521fbad6c45.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-0e390521fbad6c45.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

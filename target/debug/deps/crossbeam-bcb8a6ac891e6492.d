@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-bcb8a6ac891e6492.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-bcb8a6ac891e6492: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delta_codec-29e2dc9c487bc046.d: crates/bench/benches/delta_codec.rs
+
+/root/repo/target/debug/deps/delta_codec-29e2dc9c487bc046: crates/bench/benches/delta_codec.rs
+
+crates/bench/benches/delta_codec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/delta_codec-f3ae731635c6aa2d.d: crates/bench/benches/delta_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelta_codec-f3ae731635c6aa2d.rmeta: crates/bench/benches/delta_codec.rs Cargo.toml
+
+crates/bench/benches/delta_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-103b884bb6db1cd8.d: tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-103b884bb6db1cd8: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-4b9613c48ee44b7a.d: tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-4b9613c48ee44b7a: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

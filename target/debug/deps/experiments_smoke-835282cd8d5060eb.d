@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments_smoke-835282cd8d5060eb.d: tests/experiments_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments_smoke-835282cd8d5060eb.rmeta: tests/experiments_smoke.rs Cargo.toml
+
+tests/experiments_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

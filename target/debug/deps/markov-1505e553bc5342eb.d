@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/markov-1505e553bc5342eb.d: crates/bench/benches/markov.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarkov-1505e553bc5342eb.rmeta: crates/bench/benches/markov.rs Cargo.toml
+
+crates/bench/benches/markov.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

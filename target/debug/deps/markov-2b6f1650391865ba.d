@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/markov-2b6f1650391865ba.d: crates/bench/benches/markov.rs
+
+/root/repo/target/debug/deps/markov-2b6f1650391865ba: crates/bench/benches/markov.rs
+
+crates/bench/benches/markov.rs:

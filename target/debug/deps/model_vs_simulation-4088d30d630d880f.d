@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_vs_simulation-4088d30d630d880f.d: tests/model_vs_simulation.rs
+
+/root/repo/target/debug/deps/model_vs_simulation-4088d30d630d880f: tests/model_vs_simulation.rs
+
+tests/model_vs_simulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_vs_simulation-7ec67b414f05c992.d: tests/model_vs_simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_vs_simulation-7ec67b414f05c992.rmeta: tests/model_vs_simulation.rs Cargo.toml
+
+tests/model_vs_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

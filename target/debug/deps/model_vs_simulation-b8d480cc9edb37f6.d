@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_vs_simulation-b8d480cc9edb37f6.d: tests/model_vs_simulation.rs
+
+/root/repo/target/debug/deps/model_vs_simulation-b8d480cc9edb37f6: tests/model_vs_simulation.rs
+
+tests/model_vs_simulation.rs:

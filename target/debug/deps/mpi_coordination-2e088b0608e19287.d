@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_coordination-2e088b0608e19287.d: tests/mpi_coordination.rs
+
+/root/repo/target/debug/deps/mpi_coordination-2e088b0608e19287: tests/mpi_coordination.rs
+
+tests/mpi_coordination.rs:

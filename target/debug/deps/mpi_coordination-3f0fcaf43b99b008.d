@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpi_coordination-3f0fcaf43b99b008.d: tests/mpi_coordination.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpi_coordination-3f0fcaf43b99b008.rmeta: tests/mpi_coordination.rs Cargo.toml
+
+tests/mpi_coordination.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_coordination-d671a1bafbc6acaf.d: tests/mpi_coordination.rs
+
+/root/repo/target/debug/deps/mpi_coordination-d671a1bafbc6acaf: tests/mpi_coordination.rs
+
+tests/mpi_coordination.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predictor-2fb535c9d17b13ce.d: crates/bench/benches/predictor.rs
+
+/root/repo/target/debug/deps/predictor-2fb535c9d17b13ce: crates/bench/benches/predictor.rs
+
+crates/bench/benches/predictor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predictor-994d2b172dc2ca8d.d: crates/bench/benches/predictor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredictor-994d2b172dc2ca8d.rmeta: crates/bench/benches/predictor.rs Cargo.toml
+
+crates/bench/benches/predictor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

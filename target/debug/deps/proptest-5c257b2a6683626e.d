@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-5c257b2a6683626e.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5c257b2a6683626e.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5c257b2a6683626e.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

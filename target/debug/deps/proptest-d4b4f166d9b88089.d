@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d4b4f166d9b88089.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-d4b4f166d9b88089: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

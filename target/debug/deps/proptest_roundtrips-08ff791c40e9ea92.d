@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrips-08ff791c40e9ea92.d: tests/proptest_roundtrips.rs
+
+/root/repo/target/debug/deps/proptest_roundtrips-08ff791c40e9ea92: tests/proptest_roundtrips.rs
+
+tests/proptest_roundtrips.rs:

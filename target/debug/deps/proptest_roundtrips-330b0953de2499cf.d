@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_roundtrips-330b0953de2499cf.d: tests/proptest_roundtrips.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrips-330b0953de2499cf.rmeta: tests/proptest_roundtrips.rs Cargo.toml
+
+tests/proptest_roundtrips.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

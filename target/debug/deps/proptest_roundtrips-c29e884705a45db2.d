@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrips-c29e884705a45db2.d: tests/proptest_roundtrips.rs
+
+/root/repo/target/debug/deps/proptest_roundtrips-c29e884705a45db2: tests/proptest_roundtrips.rs
+
+tests/proptest_roundtrips.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-7de4fa81407b9fe3.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7de4fa81407b9fe3.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7de4fa81407b9fe3.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-b1263e5e0ec552e5.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-b1263e5e0ec552e5: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6903090fa132a58d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6903090fa132a58d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

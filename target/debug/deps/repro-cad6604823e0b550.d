@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-cad6604823e0b550.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-cad6604823e0b550: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/restore_fidelity-11aefd402ba2821f.d: tests/restore_fidelity.rs Cargo.toml
+
+/root/repo/target/debug/deps/librestore_fidelity-11aefd402ba2821f.rmeta: tests/restore_fidelity.rs Cargo.toml
+
+tests/restore_fidelity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

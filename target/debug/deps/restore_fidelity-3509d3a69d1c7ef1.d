@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/restore_fidelity-3509d3a69d1c7ef1.d: tests/restore_fidelity.rs
+
+/root/repo/target/debug/deps/restore_fidelity-3509d3a69d1c7ef1: tests/restore_fidelity.rs
+
+tests/restore_fidelity.rs:

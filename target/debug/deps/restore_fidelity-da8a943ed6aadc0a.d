@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/restore_fidelity-da8a943ed6aadc0a.d: tests/restore_fidelity.rs
+
+/root/repo/target/debug/deps/restore_fidelity-da8a943ed6aadc0a: tests/restore_fidelity.rs
+
+tests/restore_fidelity.rs:

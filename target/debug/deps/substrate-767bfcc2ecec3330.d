@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate-767bfcc2ecec3330.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/debug/deps/substrate-767bfcc2ecec3330: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_vs_static-4ce2bc632c8137be.d: examples/adaptive_vs_static.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_vs_static-4ce2bc632c8137be.rmeta: examples/adaptive_vs_static.rs Cargo.toml
+
+examples/adaptive_vs_static.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

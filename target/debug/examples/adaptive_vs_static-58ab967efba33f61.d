@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_vs_static-58ab967efba33f61.d: examples/adaptive_vs_static.rs
+
+/root/repo/target/debug/examples/adaptive_vs_static-58ab967efba33f61: examples/adaptive_vs_static.rs
+
+examples/adaptive_vs_static.rs:

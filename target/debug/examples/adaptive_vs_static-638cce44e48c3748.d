@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_vs_static-638cce44e48c3748.d: examples/adaptive_vs_static.rs
+
+/root/repo/target/debug/examples/adaptive_vs_static-638cce44e48c3748: examples/adaptive_vs_static.rs
+
+examples/adaptive_vs_static.rs:

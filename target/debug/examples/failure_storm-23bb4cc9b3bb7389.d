@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_storm-23bb4cc9b3bb7389.d: examples/failure_storm.rs
+
+/root/repo/target/debug/examples/failure_storm-23bb4cc9b3bb7389: examples/failure_storm.rs
+
+examples/failure_storm.rs:

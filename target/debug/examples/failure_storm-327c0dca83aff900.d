@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_storm-327c0dca83aff900.d: examples/failure_storm.rs
+
+/root/repo/target/debug/examples/failure_storm-327c0dca83aff900: examples/failure_storm.rs
+
+examples/failure_storm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failure_storm-d481ee73dc39cd7e.d: examples/failure_storm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_storm-d481ee73dc39cd7e.rmeta: examples/failure_storm.rs Cargo.toml
+
+examples/failure_storm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

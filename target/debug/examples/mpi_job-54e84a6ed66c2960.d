@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mpi_job-54e84a6ed66c2960.d: examples/mpi_job.rs
+
+/root/repo/target/debug/examples/mpi_job-54e84a6ed66c2960: examples/mpi_job.rs
+
+examples/mpi_job.rs:

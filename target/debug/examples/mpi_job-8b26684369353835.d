@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mpi_job-8b26684369353835.d: examples/mpi_job.rs
+
+/root/repo/target/debug/examples/mpi_job-8b26684369353835: examples/mpi_job.rs
+
+examples/mpi_job.rs:

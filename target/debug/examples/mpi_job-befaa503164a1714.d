@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mpi_job-befaa503164a1714.d: examples/mpi_job.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmpi_job-befaa503164a1714.rmeta: examples/mpi_job.rs Cargo.toml
+
+examples/mpi_job.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d788c85be4797636.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d788c85be4797636: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e7f3b746bc50e1e1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e7f3b746bc50e1e1: examples/quickstart.rs
+
+examples/quickstart.rs:

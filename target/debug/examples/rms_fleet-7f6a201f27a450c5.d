@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rms_fleet-7f6a201f27a450c5.d: examples/rms_fleet.rs Cargo.toml
+
+/root/repo/target/debug/examples/librms_fleet-7f6a201f27a450c5.rmeta: examples/rms_fleet.rs Cargo.toml
+
+examples/rms_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

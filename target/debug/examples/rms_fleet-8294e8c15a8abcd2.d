@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rms_fleet-8294e8c15a8abcd2.d: examples/rms_fleet.rs
+
+/root/repo/target/debug/examples/rms_fleet-8294e8c15a8abcd2: examples/rms_fleet.rs
+
+examples/rms_fleet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rms_fleet-9c0b9fda92a0b9a9.d: examples/rms_fleet.rs
+
+/root/repo/target/debug/examples/rms_fleet-9c0b9fda92a0b9a9: examples/rms_fleet.rs
+
+examples/rms_fleet.rs:

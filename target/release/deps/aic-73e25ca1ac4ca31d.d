@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/aic-73e25ca1ac4ca31d.d: src/lib.rs
+
+/root/repo/target/release/deps/libaic-73e25ca1ac4ca31d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libaic-73e25ca1ac4ca31d.rmeta: src/lib.rs
+
+src/lib.rs:

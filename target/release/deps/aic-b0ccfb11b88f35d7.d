@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/aic-b0ccfb11b88f35d7.d: src/lib.rs
+
+/root/repo/target/release/deps/libaic-b0ccfb11b88f35d7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libaic-b0ccfb11b88f35d7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/aic_bench-9220b7dbdccceb76.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fleet_sharing.rs crates/bench/src/experiments/mpi_scaling.rs crates/bench/src/experiments/pool_scaling.rs crates/bench/src/experiments/regret.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/validate.rs crates/bench/src/output.rs
+
+/root/repo/target/release/deps/libaic_bench-9220b7dbdccceb76.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fleet_sharing.rs crates/bench/src/experiments/mpi_scaling.rs crates/bench/src/experiments/pool_scaling.rs crates/bench/src/experiments/regret.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/validate.rs crates/bench/src/output.rs
+
+/root/repo/target/release/deps/libaic_bench-9220b7dbdccceb76.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fleet_sharing.rs crates/bench/src/experiments/mpi_scaling.rs crates/bench/src/experiments/pool_scaling.rs crates/bench/src/experiments/regret.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/validate.rs crates/bench/src/output.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/fig12.rs:
+crates/bench/src/experiments/fig2.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/fleet_sharing.rs:
+crates/bench/src/experiments/mpi_scaling.rs:
+crates/bench/src/experiments/pool_scaling.rs:
+crates/bench/src/experiments/regret.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table3.rs:
+crates/bench/src/experiments/validate.rs:
+crates/bench/src/output.rs:

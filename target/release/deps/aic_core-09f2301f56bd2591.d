@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/aic_core-09f2301f56bd2591.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/online.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/regress.rs crates/core/src/sample.rs crates/core/src/stepwise.rs
+
+/root/repo/target/release/deps/libaic_core-09f2301f56bd2591.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/online.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/regress.rs crates/core/src/sample.rs crates/core/src/stepwise.rs
+
+/root/repo/target/release/deps/libaic_core-09f2301f56bd2591.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/features.rs crates/core/src/metrics.rs crates/core/src/online.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/regress.rs crates/core/src/sample.rs crates/core/src/stepwise.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/features.rs:
+crates/core/src/metrics.rs:
+crates/core/src/online.rs:
+crates/core/src/policy.rs:
+crates/core/src/predictor.rs:
+crates/core/src/regress.rs:
+crates/core/src/sample.rs:
+crates/core/src/stepwise.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/aic_delta-37377614c8652fc7.d: crates/delta/src/lib.rs crates/delta/src/decode.rs crates/delta/src/encode.rs crates/delta/src/inst.rs crates/delta/src/pa.rs crates/delta/src/rolling.rs crates/delta/src/stats.rs crates/delta/src/strong.rs crates/delta/src/xor.rs
+
+/root/repo/target/release/deps/libaic_delta-37377614c8652fc7.rlib: crates/delta/src/lib.rs crates/delta/src/decode.rs crates/delta/src/encode.rs crates/delta/src/inst.rs crates/delta/src/pa.rs crates/delta/src/rolling.rs crates/delta/src/stats.rs crates/delta/src/strong.rs crates/delta/src/xor.rs
+
+/root/repo/target/release/deps/libaic_delta-37377614c8652fc7.rmeta: crates/delta/src/lib.rs crates/delta/src/decode.rs crates/delta/src/encode.rs crates/delta/src/inst.rs crates/delta/src/pa.rs crates/delta/src/rolling.rs crates/delta/src/stats.rs crates/delta/src/strong.rs crates/delta/src/xor.rs
+
+crates/delta/src/lib.rs:
+crates/delta/src/decode.rs:
+crates/delta/src/encode.rs:
+crates/delta/src/inst.rs:
+crates/delta/src/pa.rs:
+crates/delta/src/rolling.rs:
+crates/delta/src/stats.rs:
+crates/delta/src/strong.rs:
+crates/delta/src/xor.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/aic_memsim-9b194194620782ef.d: crates/memsim/src/lib.rs crates/memsim/src/clock.rs crates/memsim/src/page.rs crates/memsim/src/process.rs crates/memsim/src/snapshot.rs crates/memsim/src/space.rs crates/memsim/src/trace.rs crates/memsim/src/workloads/mod.rs crates/memsim/src/workloads/generic.rs crates/memsim/src/workloads/spec.rs
+
+/root/repo/target/release/deps/libaic_memsim-9b194194620782ef.rlib: crates/memsim/src/lib.rs crates/memsim/src/clock.rs crates/memsim/src/page.rs crates/memsim/src/process.rs crates/memsim/src/snapshot.rs crates/memsim/src/space.rs crates/memsim/src/trace.rs crates/memsim/src/workloads/mod.rs crates/memsim/src/workloads/generic.rs crates/memsim/src/workloads/spec.rs
+
+/root/repo/target/release/deps/libaic_memsim-9b194194620782ef.rmeta: crates/memsim/src/lib.rs crates/memsim/src/clock.rs crates/memsim/src/page.rs crates/memsim/src/process.rs crates/memsim/src/snapshot.rs crates/memsim/src/space.rs crates/memsim/src/trace.rs crates/memsim/src/workloads/mod.rs crates/memsim/src/workloads/generic.rs crates/memsim/src/workloads/spec.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/clock.rs:
+crates/memsim/src/page.rs:
+crates/memsim/src/process.rs:
+crates/memsim/src/snapshot.rs:
+crates/memsim/src/space.rs:
+crates/memsim/src/trace.rs:
+crates/memsim/src/workloads/mod.rs:
+crates/memsim/src/workloads/generic.rs:
+crates/memsim/src/workloads/spec.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/aic_model-1afe53fd0f8daddb.d: crates/model/src/lib.rs crates/model/src/concurrent.rs crates/model/src/failure.rs crates/model/src/linalg.rs crates/model/src/markov.rs crates/model/src/moody.rs crates/model/src/nonstatic.rs crates/model/src/optimize.rs crates/model/src/params.rs crates/model/src/planner.rs crates/model/src/young_daly.rs
+
+/root/repo/target/release/deps/libaic_model-1afe53fd0f8daddb.rlib: crates/model/src/lib.rs crates/model/src/concurrent.rs crates/model/src/failure.rs crates/model/src/linalg.rs crates/model/src/markov.rs crates/model/src/moody.rs crates/model/src/nonstatic.rs crates/model/src/optimize.rs crates/model/src/params.rs crates/model/src/planner.rs crates/model/src/young_daly.rs
+
+/root/repo/target/release/deps/libaic_model-1afe53fd0f8daddb.rmeta: crates/model/src/lib.rs crates/model/src/concurrent.rs crates/model/src/failure.rs crates/model/src/linalg.rs crates/model/src/markov.rs crates/model/src/moody.rs crates/model/src/nonstatic.rs crates/model/src/optimize.rs crates/model/src/params.rs crates/model/src/planner.rs crates/model/src/young_daly.rs
+
+crates/model/src/lib.rs:
+crates/model/src/concurrent.rs:
+crates/model/src/failure.rs:
+crates/model/src/linalg.rs:
+crates/model/src/markov.rs:
+crates/model/src/moody.rs:
+crates/model/src/nonstatic.rs:
+crates/model/src/optimize.rs:
+crates/model/src/params.rs:
+crates/model/src/planner.rs:
+crates/model/src/young_daly.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aic_mpi-1a83e7a2cf47dcd0.d: crates/mpi/src/lib.rs crates/mpi/src/coordinated.rs crates/mpi/src/engine.rs crates/mpi/src/job.rs crates/mpi/src/message.rs
+
+/root/repo/target/release/deps/libaic_mpi-1a83e7a2cf47dcd0.rlib: crates/mpi/src/lib.rs crates/mpi/src/coordinated.rs crates/mpi/src/engine.rs crates/mpi/src/job.rs crates/mpi/src/message.rs
+
+/root/repo/target/release/deps/libaic_mpi-1a83e7a2cf47dcd0.rmeta: crates/mpi/src/lib.rs crates/mpi/src/coordinated.rs crates/mpi/src/engine.rs crates/mpi/src/job.rs crates/mpi/src/message.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/coordinated.rs:
+crates/mpi/src/engine.rs:
+crates/mpi/src/job.rs:
+crates/mpi/src/message.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/aic_trace-87acc23b39dab3b2.d: crates/trace/src/lib.rs crates/trace/src/analyze.rs crates/trace/src/gen.rs crates/trace/src/log.rs crates/trace/src/swf.rs crates/trace/src/table1.rs
+
+/root/repo/target/release/deps/libaic_trace-87acc23b39dab3b2.rlib: crates/trace/src/lib.rs crates/trace/src/analyze.rs crates/trace/src/gen.rs crates/trace/src/log.rs crates/trace/src/swf.rs crates/trace/src/table1.rs
+
+/root/repo/target/release/deps/libaic_trace-87acc23b39dab3b2.rmeta: crates/trace/src/lib.rs crates/trace/src/analyze.rs crates/trace/src/gen.rs crates/trace/src/log.rs crates/trace/src/swf.rs crates/trace/src/table1.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analyze.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/log.rs:
+crates/trace/src/swf.rs:
+crates/trace/src/table1.rs:

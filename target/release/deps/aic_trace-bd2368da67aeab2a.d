@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/aic_trace-bd2368da67aeab2a.d: crates/trace/src/lib.rs crates/trace/src/analyze.rs crates/trace/src/gen.rs crates/trace/src/log.rs crates/trace/src/swf.rs crates/trace/src/table1.rs
+
+/root/repo/target/release/deps/libaic_trace-bd2368da67aeab2a.rlib: crates/trace/src/lib.rs crates/trace/src/analyze.rs crates/trace/src/gen.rs crates/trace/src/log.rs crates/trace/src/swf.rs crates/trace/src/table1.rs
+
+/root/repo/target/release/deps/libaic_trace-bd2368da67aeab2a.rmeta: crates/trace/src/lib.rs crates/trace/src/analyze.rs crates/trace/src/gen.rs crates/trace/src/log.rs crates/trace/src/swf.rs crates/trace/src/table1.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analyze.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/log.rs:
+crates/trace/src/swf.rs:
+crates/trace/src/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/aicctl-10cda7e0378e5154.d: crates/ckpt/src/bin/aicctl.rs
+
+/root/repo/target/release/deps/aicctl-10cda7e0378e5154: crates/ckpt/src/bin/aicctl.rs
+
+crates/ckpt/src/bin/aicctl.rs:

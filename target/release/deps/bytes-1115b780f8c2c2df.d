@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-1115b780f8c2c2df.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-1115b780f8c2c2df.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-1115b780f8c2c2df.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

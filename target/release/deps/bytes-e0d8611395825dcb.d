@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-e0d8611395825dcb.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-e0d8611395825dcb.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-e0d8611395825dcb.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

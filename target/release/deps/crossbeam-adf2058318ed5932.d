@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-adf2058318ed5932.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-adf2058318ed5932.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-adf2058318ed5932.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

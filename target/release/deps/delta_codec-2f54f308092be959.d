@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/delta_codec-2f54f308092be959.d: crates/bench/benches/delta_codec.rs
+
+/root/repo/target/release/deps/delta_codec-2f54f308092be959: crates/bench/benches/delta_codec.rs
+
+crates/bench/benches/delta_codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/delta_codec-a345fb91932f1c23.d: crates/bench/benches/delta_codec.rs
+
+/root/repo/target/release/deps/delta_codec-a345fb91932f1c23: crates/bench/benches/delta_codec.rs
+
+crates/bench/benches/delta_codec.rs:

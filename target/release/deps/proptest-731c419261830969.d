@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-731c419261830969.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-731c419261830969.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-731c419261830969.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

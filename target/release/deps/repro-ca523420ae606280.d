@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-ca523420ae606280.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-ca523420ae606280: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-ef3ffddf771a5a0f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-ef3ffddf771a5a0f: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-f2c746f34921ef6d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-f2c746f34921ef6d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-fcfb696db1c52e8f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-fcfb696db1c52e8f: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate-c70db659da4217c9.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/release/deps/substrate-c70db659da4217c9: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-bb741ac66d4fb0f5.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-bb741ac66d4fb0f5: examples/quickstart.rs
+
+examples/quickstart.rs:

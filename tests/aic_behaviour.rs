@@ -49,7 +49,10 @@ fn aic_exploits_milc_parity_phases() {
     let mut policy = AicPolicy::new(cfg, &config);
     let aic_report = run_engine(scaled_persona("milc", &long), &mut policy, &config);
     let adaptive = policy.adaptive_cuts();
-    assert!(adaptive >= 2, "AIC barely adapted ({adaptive} adaptive cuts)");
+    assert!(
+        adaptive >= 2,
+        "AIC barely adapted ({adaptive} adaptive cuts)"
+    );
 
     let mut fixed = FixedIntervalPolicy::new(40.0);
     let fixed_report = run_engine(scaled_persona("milc", &long), &mut fixed, &config);

@@ -70,7 +70,10 @@ fn moody_model_matches_simulation() {
     let rates = FailureRates::three(2e-7, 1.8e-6, 4e-7).with_total(5e-4);
     let mut rng = StdRng::seed_from_u64(3);
 
-    for sched in [MoodySchedule { n1: 0, n2: 3 }, MoodySchedule { n1: 2, n2: 1 }] {
+    for sched in [
+        MoodySchedule { n1: 0, n2: 3 },
+        MoodySchedule { n1: 2, n2: 1 },
+    ] {
         let w = 800.0;
         let analytic = moody_net2(w, &sched, &costs, &rates);
         let mc = mc_net2_moody(80_000.0, w, &sched, &costs, &rates, 400, &mut rng);
@@ -96,7 +99,10 @@ fn both_agree_concurrent_beats_moody() {
     let conc_mc = mc_net2_concurrent(40_000.0, w, &costs, &rates, 250, &mut rng);
     let moody_mc = mc_net2_moody(40_000.0, w, &sched, &costs, &rates, 250, &mut rng);
 
-    assert!(conc_model < moody_model, "model: {conc_model} vs {moody_model}");
+    assert!(
+        conc_model < moody_model,
+        "model: {conc_model} vs {moody_model}"
+    );
     assert!(conc_mc < moody_mc, "mc: {conc_mc} vs {moody_mc}");
 }
 

@@ -53,7 +53,10 @@ fn global_checkpoints_commit_to_storage_and_recover() {
     for (rank, file) in ckpt1.per_rank.iter().enumerate() {
         stores[rank].commit(file);
     }
-    assert!(stats.drained > 0, "all-to-all at 0.7 s latency must have in-flight traffic");
+    assert!(
+        stats.drained > 0,
+        "all-to-all at 0.7 s latency must have in-flight traffic"
+    );
 
     // The reference consistent state.
     let global = ck.restore_global(1).unwrap();

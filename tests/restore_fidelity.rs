@@ -42,9 +42,17 @@ fn delta_chain_restores_every_checkpoint_exactly() {
         )))
     };
     let mut policy = FixedIntervalPolicy::new(4.0);
-    let report = run_engine(make(), &mut policy, &config(Compressor::PaDelta(Default::default())));
+    let report = run_engine(
+        make(),
+        &mut policy,
+        &config(Compressor::PaDelta(Default::default())),
+    );
     let chain = report.chain.unwrap();
-    assert!(chain.len() >= 3, "need several checkpoints, got {}", chain.len());
+    assert!(
+        chain.len() >= 3,
+        "need several checkpoints, got {}",
+        chain.len()
+    );
 
     // Every checkpoint in the chain must equal the true state at its cut
     // time. Cut times come from the engine's own interval records (exact
@@ -79,7 +87,11 @@ fn restore_handles_allocation_and_frees() {
         )))
     };
     let mut policy = FixedIntervalPolicy::new(3.0);
-    let report = run_engine(make(), &mut policy, &config(Compressor::PaDelta(Default::default())));
+    let report = run_engine(
+        make(),
+        &mut policy,
+        &config(Compressor::PaDelta(Default::default())),
+    );
     let chain = report.chain.unwrap();
     let restored = chain.restore_latest().unwrap();
     let last_cut: f64 = report
@@ -109,11 +121,20 @@ fn incremental_raw_and_delta_chains_restore_identically() {
     let mut p1 = FixedIntervalPolicy::new(5.0);
     let raw = run_engine(make(), &mut p1, &config(Compressor::IncrementalRaw));
     let mut p2 = FixedIntervalPolicy::new(5.0);
-    let pa = run_engine(make(), &mut p2, &config(Compressor::PaDelta(Default::default())));
+    let pa = run_engine(
+        make(),
+        &mut p2,
+        &config(Compressor::PaDelta(Default::default())),
+    );
 
     // Stop the comparison at the shorter chain (decision quantization can
     // differ by one tick at the tail).
-    let n = raw.chain.as_ref().unwrap().len().min(pa.chain.as_ref().unwrap().len());
+    let n = raw
+        .chain
+        .as_ref()
+        .unwrap()
+        .len()
+        .min(pa.chain.as_ref().unwrap().len());
     // Only compare a couple of mid-chain points (restores replay the whole
     // prefix, and sjeng runs 661 virtual seconds — keep the test snappy).
     for seq in [1, n as u64 / 2] {
@@ -136,7 +157,11 @@ fn chain_survives_serialization_through_all_stores() {
         )))
     };
     let mut policy = FixedIntervalPolicy::new(5.0);
-    let report = run_engine(make(), &mut policy, &config(Compressor::PaDelta(Default::default())));
+    let report = run_engine(
+        make(),
+        &mut policy,
+        &config(Compressor::PaDelta(Default::default())),
+    );
     let chain = report.chain.unwrap();
     let truth = chain.restore_latest().unwrap();
 

@@ -1,0 +1,574 @@
+//! Offline vendored subset of the `bytes` API.
+//!
+//! The build environment has no access to crates.io; this crate implements
+//! the slice of `bytes` 1.x the workspace uses: [`Bytes`] (cheaply
+//! cloneable immutable buffer), [`BytesMut`] (growable builder), and the
+//! [`Buf`]/[`BufMut`] cursor traits with the little-endian accessors the
+//! checkpoint formats rely on.
+
+use std::ops::{Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Inner {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+/// A cheaply cloneable, immutable, contiguous byte buffer.
+///
+/// Clones and [`Bytes::slice`] share the same backing allocation.
+#[derive(Clone)]
+pub struct Bytes {
+    inner: Inner,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Self {
+        Bytes {
+            inner: Inner::Static(&[]),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Wrap a `'static` slice without copying.
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            inner: Inner::Static(bytes),
+            off: 0,
+            len: bytes.len(),
+        }
+    }
+
+    /// Copy `data` into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            Inner::Static(s) => &s[self.off..self.off + self.len],
+            Inner::Shared(v) => &v[self.off..self.off + self.len],
+        }
+    }
+
+    /// A sub-buffer sharing this buffer's allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice out of bounds: {start}..{end} of {}",
+            self.len
+        );
+        Bytes {
+            inner: self.inner.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Split off and return the first `at` bytes, advancing `self` past
+    /// them. Both halves share the allocation.
+    pub fn split_to(&mut self, at: usize) -> Self {
+        assert!(
+            at <= self.len,
+            "split_to out of bounds: {at} of {}",
+            self.len
+        );
+        let head = Bytes {
+            inner: self.inner.clone(),
+            off: self.off,
+            len: at,
+        };
+        self.off += at;
+        self.len -= at;
+        head
+    }
+
+    /// Split off and return the bytes after `at`, truncating `self`.
+    pub fn split_off(&mut self, at: usize) -> Self {
+        assert!(
+            at <= self.len,
+            "split_off out of bounds: {at} of {}",
+            self.len
+        );
+        let tail = Bytes {
+            inner: self.inner.clone(),
+            off: self.off + at,
+            len: self.len - at,
+        };
+        self.len = at;
+        tail
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            inner: Inner::Shared(Arc::new(v)),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == &other[..]
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(64) {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        if self.len > 64 {
+            write!(f, "…({} bytes)", self.len)?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// A growable byte buffer used to build payloads, then frozen into
+/// [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    /// Read cursor for the `Buf` impl (BytesMut is also a consumable view).
+    read: usize,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty builder with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            read: 0,
+        }
+    }
+
+    /// Unread length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.read
+    }
+
+    /// True if no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Freeze into an immutable [`Bytes`] (drops any consumed prefix).
+    pub fn freeze(self) -> Bytes {
+        if self.read == 0 {
+            Bytes::from(self.buf)
+        } else {
+            Bytes::from(self.buf[self.read..].to_vec())
+        }
+    }
+
+    /// Resize to `new_len` unread bytes, filling with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.buf.resize(self.read + new_len, value);
+    }
+
+    /// The unread contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.read..]
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let read = self.read;
+        &mut self.buf[read..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut {
+            buf: s.to_vec(),
+            read: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+/// Read cursor over a byte container.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes (contiguous in this implementation).
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// True if any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 past end of buffer");
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        self.copy_to_slice(&mut raw);
+        u16::from_le_bytes(raw)
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Copy `dst.len()` bytes out, advancing past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "copy_to_slice past end of buffer"
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Copy the next `len` bytes into a fresh [`Bytes`], advancing past
+    /// them.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "copy_to_bytes past end of buffer");
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len, "advance past end of buffer");
+        self.off += cnt;
+        self.len -= cnt;
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        // Zero-copy: share the allocation instead of copying.
+        assert!(len <= self.len, "copy_to_bytes past end of buffer");
+        self.split_to(len)
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        self.read += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor over a growable byte container.
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append the remaining contents of another buffer.
+    fn put<B: Buf>(&mut self, mut src: B)
+    where
+        Self: Sized,
+    {
+        while src.has_remaining() {
+            let n = src.chunk().len();
+            self.put_slice(src.chunk());
+            src.advance(n);
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip_and_share() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        assert_eq!(b.len(), 5);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let c = b.clone();
+        assert_eq!(c, b);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn split_to_shares_allocation() {
+        let mut b = Bytes::from(vec![9, 8, 7, 6]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[9, 8]);
+        assert_eq!(&b[..], &[7, 6]);
+    }
+
+    #[test]
+    fn builder_writes_then_freezes() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(7);
+        m.put_u64_le(0xDEAD_BEEF);
+        m.put_slice(b"xyz");
+        m.extend_from_slice(b"!");
+        let b = m.freeze();
+        assert_eq!(b.len(), 1 + 8 + 3 + 1);
+
+        let mut cur = b.clone();
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u64_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.copy_to_bytes(3), Bytes::from_static(b"xyz"));
+        assert_eq!(cur.get_u8(), b'!');
+        assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    fn static_bytes_compare() {
+        let b = Bytes::from_static(b"cpu0");
+        assert_eq!(&b[..], b"cpu0");
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn buf_for_slices() {
+        let mut s: &[u8] = &[1, 0, 0, 0, 0, 0, 0, 0, 9];
+        assert_eq!(s.get_u64_le(), 1);
+        assert_eq!(s.get_u8(), 9);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn bytesmut_buf_cursor() {
+        let mut m = BytesMut::from(&b"hello world"[..]);
+        m.advance(6);
+        assert_eq!(m.as_slice(), b"world");
+        assert_eq!(m.len(), 5);
+        assert_eq!(&m.freeze()[..], b"world");
+    }
+}

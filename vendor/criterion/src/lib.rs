@@ -1,0 +1,264 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io; this crate provides a
+//! small wall-clock bench harness with the `criterion` surface the
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! [`Criterion::bench_function`], benchmark groups with throughput
+//! annotations, [`BenchmarkId`], and `Bencher::iter`. No statistics beyond
+//! median-of-samples; results print one line per benchmark:
+//!
+//! ```text
+//! delta_codec/xdelta3-pa/small-edit   time:  812.44 µs   thrpt: 1.23 GiB/s
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement settings (fixed: short warm-up, time-boxed sampling).
+const WARMUP: Duration = Duration::from_millis(120);
+const MEASURE: Duration = Duration::from_millis(700);
+const MAX_SAMPLES: usize = 61;
+
+/// Prevent the optimizer from discarding a value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name with a parameter label.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record its median per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost so the sample
+        // batch size can amortize timer overhead for fast routines.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP.as_secs_f64() / warm_iters.max(1) as f64;
+        // Aim for ~2 ms per sample, at least one iteration.
+        let batch = ((2e-3 / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(MAX_SAMPLES);
+        let run_start = Instant::now();
+        while samples.len() < MAX_SAMPLES && run_start.elapsed() < MEASURE {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        self.last = Some(Duration::from_secs_f64(median));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2} µs", s * 1e6)
+    } else {
+        format!("{:.2} ns", s * 1e9)
+    }
+}
+
+fn fmt_throughput(tp: Throughput, iter_time: Duration) -> String {
+    let per_sec = |count: u64| count as f64 / iter_time.as_secs_f64().max(1e-12);
+    match tp {
+        Throughput::Bytes(n) => {
+            let bps = per_sec(n);
+            if bps >= (1 << 30) as f64 {
+                format!("{:.2} GiB/s", bps / (1u64 << 30) as f64)
+            } else if bps >= (1 << 20) as f64 {
+                format!("{:.2} MiB/s", bps / (1u64 << 20) as f64)
+            } else {
+                format!("{:.2} KiB/s", bps / (1u64 << 10) as f64)
+            }
+        }
+        Throughput::Elements(n) => format!("{:.0} elem/s", per_sec(n)),
+    }
+}
+
+fn run_one(full_name: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { last: None };
+    f(&mut b);
+    match b.last {
+        Some(t) => {
+            let tp = throughput
+                .map(|tp| format!("   thrpt: {}", fmt_throughput(tp, t)))
+                .unwrap_or_default();
+            println!("{full_name:<52} time: {:>10}{tp}", fmt_duration(t));
+        }
+        None => println!("{full_name:<52} (no measurement)"),
+    }
+}
+
+/// The bench harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), None, |b| f(b, input));
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Define a bench group function running each target in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running each bench group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formats_as_function_slash_parameter() {
+        let id = BenchmarkId::new("encode", "small");
+        assert_eq!(id.to_string(), "encode/small");
+    }
+
+    #[test]
+    fn throughput_formatting() {
+        let s = fmt_throughput(Throughput::Bytes(1 << 30), Duration::from_secs(1));
+        assert!(s.contains("GiB/s"), "{s}");
+        let s = fmt_throughput(Throughput::Elements(500), Duration::from_millis(500));
+        assert!(s.contains("elem/s"), "{s}");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(12)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}

@@ -1,0 +1,329 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io; this crate implements
+//! the surface the workspace's property tests use: the [`proptest!`] macro,
+//! `any::<T>()`, integer/float range strategies, tuple strategies,
+//! `collection::vec`, `ProptestConfig::with_cases`, and the `prop_assert*`
+//! macros. Unlike upstream there is no shrinking — failures report the
+//! generated inputs via the panic message instead. Case generation is
+//! deterministic per test name, so failures reproduce.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::TestRng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+use strategy::Strategy;
+
+/// The generator driving the tests (re-exported for completeness).
+pub type TestRng = StdRng;
+
+/// Types with a canonical "arbitrary value" strategy, via [`any`].
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_uniform!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, spanning many magnitudes.
+        let mag: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let exp: i32 = rng.gen_range(-64i32..64);
+        mag * (2.0f64).powi(exp)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy yielding arbitrary values of `T`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (uniform for primitives).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($name:ident),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_strategy_for_tuples!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
+
+/// Strategy wrapping a constant (used by `Just`-style needs).
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Strategy yielding `Vec`s of values from `element`, with a length
+    /// drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — a vector strategy.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "vec strategy: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-execution configuration.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Run `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the offline suite fast
+            // while still exercising the properties broadly.
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports for property tests.
+
+    pub use crate::collection::vec as prop_vec;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, Arbitrary, Just, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Derive the per-test deterministic seed from its name.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Build the RNG for one case of a named test.
+pub fn rng_for(name: &str, case: u32) -> TestRng {
+    StdRng::seed_from_u64(seed_for(name) ^ ((case as u64) << 32 | 0x5ca1_ab1e))
+}
+
+/// Property-test assertion (no shrinking: delegates to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` block: wraps `#[test]` functions whose arguments are
+/// drawn from strategies. Runs `cases` deterministic random cases each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::rng_for(stringify!($name), case);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut __proptest_rng,
+                    );
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5usize..10, y in 0u8..=3, f in -1.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y <= 3);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vectors_respect_size(v in prop_vec(any::<u8>(), 1..16)) {
+            prop_assert!(!v.is_empty() && v.len() < 16);
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0u64..64, prop_vec(any::<u8>(), 0..8))) {
+            let (idx, data) = pair;
+            prop_assert!(idx < 64);
+            prop_assert!(data.len() < 8);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let a: Vec<u64> = (0..4)
+            .map(|c| {
+                let mut rng = crate::rng_for("some_test", c);
+                rand::Rng::gen(&mut rng)
+            })
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|c| {
+                let mut rng = crate::rng_for("some_test", c);
+                rand::Rng::gen(&mut rng)
+            })
+            .collect();
+        assert_eq!(a, b);
+    }
+}
