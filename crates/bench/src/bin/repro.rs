@@ -12,8 +12,8 @@ use std::env;
 use std::process::ExitCode;
 
 use aic_bench::experiments::{
-    ablation, fig11, fig12, fig2, fig5, fig6, fig7, fleet_sharing, mpi_scaling, pool_scaling,
-    regret, table1, table3, validate, RunScale,
+    ablation, faults, fig11, fig12, fig2, fig5, fig6, fig7, fleet_sharing, mpi_scaling,
+    pool_scaling, regret, table1, table3, validate, RunScale,
 };
 use aic_bench::output::csv;
 
@@ -181,6 +181,22 @@ fn run_one(args: &Args) -> Result<(), String> {
             let rows = pool_scaling::run(&pool_scaling::DEFAULT_CORES, scale);
             print!("{}", pool_scaling::render(&rows));
         }
+        "faults" => {
+            println!("## Fault injection — recovery cost and bit-identity by level x time\n");
+            let rows = faults::run("libquantum", &faults::DEFAULT_FRACTIONS, scale);
+            if args.csv {
+                print!("{}", csv(&faults::CSV_HEADERS, &faults::csv_rows(&rows)));
+            } else {
+                print!("{}", faults::render(&rows));
+            }
+            if let Some(bad) = rows.iter().find(|r| !r.identical) {
+                return Err(format!(
+                    "f{} at {:.0}% of base time resumed to a diverged image",
+                    bad.level,
+                    bad.at_frac * 100.0
+                ));
+            }
+        }
         "validate" => {
             println!("## Model vs Monte-Carlo validation\n");
             let rows = validate::run(400, scale.seed);
@@ -194,7 +210,7 @@ fn run_one(args: &Args) -> Result<(), String> {
         "all" => {
             for exp in [
                 "table1", "fig5", "fig6", "fig7", "fig2", "table3", "fig11", "fig12", "validate",
-                "ablation", "mpi", "pool", "fleet", "regret",
+                "ablation", "mpi", "pool", "fleet", "regret", "faults",
             ] {
                 let sub = Args {
                     experiment: exp.to_string(),
@@ -221,7 +237,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|pool|fleet|regret|all> \
+                "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|pool|fleet|regret|faults|all> \
                  [--quick] [--csv] [--footprint F] [--duration D] [--seed N] [--jobs N]"
             );
             ExitCode::FAILURE

@@ -1,6 +1,7 @@
 //! Experiment modules, one per table/figure, plus shared harness plumbing.
 
 pub mod ablation;
+pub mod faults;
 pub mod fig11;
 pub mod fig12;
 pub mod fig2;
@@ -127,6 +128,12 @@ impl aic_memsim::workloads::Workload for DurationScaled {
     }
     fn base_time(&self) -> aic_memsim::SimTime {
         self.inner.base_time() * self.factor
+    }
+    fn save_state(&self) -> Vec<u8> {
+        self.inner.save_state()
+    }
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        self.inner.load_state(bytes)
     }
 }
 

@@ -29,6 +29,6 @@ pub mod experiments;
 pub mod output;
 
 pub use experiments::{
-    ablation, fig11, fig12, fig2, fig5, fig6, fig7, fleet_sharing, mpi_scaling, regret, table1,
-    table3, validate,
+    ablation, faults, fig11, fig12, fig2, fig5, fig6, fig7, fleet_sharing, mpi_scaling, regret,
+    table1, table3, validate,
 };

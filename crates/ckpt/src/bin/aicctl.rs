@@ -5,6 +5,10 @@
 //! aicctl inspect <file.ckpt>     # dump one checkpoint's header + stats
 //! aicctl verify <dir>            # parse + replay a chain, report health
 //! aicctl restore <dir> <out.img> # restore the newest image to a flat file
+//! aicctl faults [--secs S] [--level 1|2|3] [--at T] [--seed N]
+//!                                # inject a failure mid-run, recover from
+//!                                # the cheapest surviving storage level,
+//!                                # and check the final image bit-for-bit
 //! ```
 //!
 //! Checkpoint files are the same serialized format the engine ships to the
@@ -18,9 +22,15 @@ use std::process::ExitCode;
 use bytes::Bytes;
 
 use aic_ckpt::chain::CheckpointChain;
+use aic_ckpt::engine::EngineConfig;
 use aic_ckpt::format::{CheckpointFile, CheckpointKind, Payload};
+use aic_ckpt::harness::{run_with_faults, FailureSchedule};
+use aic_ckpt::policies::FixedIntervalPolicy;
+use aic_ckpt::recovery::RecoveryLevel;
 use aic_delta::pa::{pa_encode, PaParams};
-use aic_memsim::{Page, Snapshot, PAGE_SIZE};
+use aic_memsim::workloads::generic::StreamingWorkload;
+use aic_memsim::workloads::WriteStyle;
+use aic_memsim::{Page, SimProcess, SimTime, Snapshot, PAGE_SIZE};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,9 +39,10 @@ fn main() -> ExitCode {
         Some("inspect") if args.len() == 2 => inspect(Path::new(&args[1])),
         Some("verify") if args.len() == 2 => verify(Path::new(&args[1])).map(|_| ()),
         Some("restore") if args.len() == 3 => restore(Path::new(&args[1]), Path::new(&args[2])),
+        Some("faults") => faults(&args[1..]),
         _ => {
             eprintln!(
-                "usage: aicctl <demo <dir> | inspect <file.ckpt> | verify <dir> | restore <dir> <out.img>>"
+                "usage: aicctl <demo <dir> | inspect <file.ckpt> | verify <dir> | restore <dir> <out.img> | faults [--secs S] [--level L] [--at T] [--seed N]>"
             );
             return ExitCode::FAILURE;
         }
@@ -174,6 +185,115 @@ fn restore(dir: &Path, out: &Path) -> CliResult {
     Ok(())
 }
 
+fn stream_process(secs: f64, seed: u64) -> SimProcess {
+    SimProcess::new(Box::new(StreamingWorkload::new(
+        "aicctl",
+        seed,
+        96,
+        2,
+        WriteStyle::PartialEntropy(300),
+        SimTime::from_secs(secs),
+    )))
+}
+
+/// Inject one failure mid-run, recover through the storage hierarchy, and
+/// verify the resumed run against a failure-free reference, bit for bit.
+fn faults(opts: &[String]) -> CliResult {
+    let mut secs = 24.0f64;
+    let mut level = 2usize;
+    let mut at: Option<f64> = None;
+    let mut seed = 11u64;
+    let mut it = opts.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+                .cloned()
+        };
+        match flag.as_str() {
+            "--secs" => {
+                secs = val("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?;
+            }
+            "--level" => {
+                level = val("--level")?
+                    .parse()
+                    .map_err(|e| format!("--level: {e}"))?;
+            }
+            "--at" => {
+                at = Some(val("--at")?.parse().map_err(|e| format!("--at: {e}"))?);
+            }
+            "--seed" => {
+                seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !(1..=3).contains(&level) {
+        return Err(format!("--level must be 1, 2 or 3, got {level}"));
+    }
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!("--secs must be positive, got {secs}"));
+    }
+    let at = at.unwrap_or(secs * 0.55);
+    if !at.is_finite() || at <= 0.0 {
+        return Err(format!("--at must be positive, got {at}"));
+    }
+
+    // Failure-free reference: the workload is deterministic under the seed.
+    let mut reference = stream_process(secs, seed);
+    reference.run_until(SimTime::from_secs(secs * 10.0));
+    let truth = reference.snapshot();
+
+    let mut cfg = EngineConfig::testbed(aic_model::FailureRates::three(2e-7, 1.8e-6, 4e-7));
+    cfg.keep_files = true;
+    cfg.full_every = Some(4);
+    let mut policy = FixedIntervalPolicy::new((secs / 8.0).max(0.5));
+    let out = run_with_faults(
+        stream_process(secs, seed),
+        &mut policy,
+        cfg,
+        &FailureSchedule::single(at, level, 1),
+    )
+    .map_err(|e| format!("recovery failed: {e}"))?;
+
+    for ev in &out.faults {
+        let served = match ev.served {
+            RecoveryLevel::Local => "L1 local",
+            RecoveryLevel::Raid => "L2 raid",
+            RecoveryLevel::Remote => "L3 remote",
+        };
+        println!(
+            "f{} at {:.2}s: served by {}{}, restored seq {}, read {:.3}s, repair {:.3}s, rework {:.3}s",
+            ev.level,
+            ev.at,
+            served,
+            if ev.degraded { " (degraded)" } else { "" },
+            ev.restored_seq,
+            ev.read_seconds,
+            ev.repair_seconds,
+            ev.rework_seconds,
+        );
+    }
+    println!(
+        "wall time {:.2}s; stored bytes L1 {} / L2 {} / L3 {}",
+        out.report.wall_time, out.stored_bytes[0], out.stored_bytes[1], out.stored_bytes[2],
+    );
+
+    let final_state = out
+        .report
+        .final_state
+        .as_ref()
+        .ok_or("engine returned no final image")?;
+    if final_state != &truth {
+        return Err("final image diverged from the failure-free reference".into());
+    }
+    println!(
+        "final image bit-identical to the failure-free reference ({} pages)",
+        truth.len()
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,5 +340,30 @@ mod tests {
     #[test]
     fn missing_dir_is_an_error() {
         assert!(verify(Path::new("/nonexistent/aicctl")).is_err());
+    }
+
+    #[test]
+    fn faults_subcommand_verifies_each_level() {
+        let args = |level: &str| {
+            vec![
+                "--secs".to_string(),
+                "12".to_string(),
+                "--level".to_string(),
+                level.to_string(),
+                "--at".to_string(),
+                "7".to_string(),
+            ]
+        };
+        for level in ["1", "2", "3"] {
+            faults(&args(level)).unwrap_or_else(|e| panic!("level {level}: {e}"));
+        }
+    }
+
+    #[test]
+    fn faults_subcommand_rejects_bad_flags() {
+        assert!(faults(&["--level".into(), "4".into()]).is_err());
+        assert!(faults(&["--secs".into(), "-1".into()]).is_err());
+        assert!(faults(&["--bogus".into()]).is_err());
+        assert!(faults(&["--seed".into()]).is_err());
     }
 }

@@ -16,6 +16,7 @@
 //!   exposure (scored through the non-static model) and the core-drain rule.
 
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 
@@ -28,7 +29,9 @@ use aic_model::nonstatic::{interval_time_l2l3, IntervalParams};
 use aic_model::FailureRates;
 
 use crate::chain::{CheckpointChain, RestoreError};
-use crate::format::CheckpointFile;
+use crate::format::{CheckpointFile, CheckpointKind};
+use crate::harness::{FailureSchedule, FaultEvent};
+use crate::recovery::{RecoveryError, StorageHierarchy};
 
 /// Errors from the engine's restore path (`EngineReport::restore_latest`).
 #[derive(Debug, Clone, PartialEq)]
@@ -106,10 +109,12 @@ pub struct IntervalRecord {
 }
 
 impl IntervalRecord {
-    /// Compression ratio `ds / raw` (lower is better).
+    /// Compression ratio `ds / raw` (lower is better). An interval that
+    /// checkpointed nothing compressed nothing: its ratio is the neutral
+    /// `1.0`, not a fictitious perfect `0.0` that would skew aggregates.
     pub fn ratio(&self) -> f64 {
         if self.raw_bytes == 0 {
-            0.0
+            1.0
         } else {
             self.ds_bytes as f64 / self.raw_bytes as f64
         }
@@ -149,6 +154,11 @@ pub struct EngineConfig {
     /// full checkpoint periodically to limit this cumulative overhead").
     /// `None` = never (the paper's short-benchmark setting).
     pub full_every: Option<u64>,
+    /// Multi-level storage hierarchy. When set, every checkpoint file is
+    /// committed through it (L1 disk, L2 RAID-5, L3 remote), which enables
+    /// mid-run fault injection and end-to-end recovery
+    /// ([`crate::engine::run_engine_with_faults`]).
+    pub storage: Option<Arc<Mutex<StorageHierarchy>>>,
 }
 
 impl EngineConfig {
@@ -167,6 +177,7 @@ impl EngineConfig {
             cores: 1,
             keep_files: false,
             full_every: None,
+            storage: None,
         }
     }
 }
@@ -283,30 +294,64 @@ impl EngineReport {
     }
 }
 
-/// Run `process` to completion under `policy`.
+/// Run `process` to completion under `policy` (no fault injection).
 pub fn run_engine(
-    mut process: SimProcess,
+    process: SimProcess,
     policy: &mut dyn CheckpointPolicy,
     config: &EngineConfig,
 ) -> EngineReport {
+    let (report, _) = run_engine_with_faults(process, policy, config, &FailureSchedule::none())
+        .expect("a run without injected faults never takes the recovery path");
+    report
+}
+
+/// Run `process` to completion under `policy`, injecting the failures in
+/// `schedule` mid-run. Each fault destroys storage copies per its level
+/// (f1/f2/f3), recovery reads the chain back from the cheapest surviving
+/// level, a degraded RAID group is repaired, and the process resumes from
+/// the restored image (memory + clock + workload control state) — so the
+/// finished run's final memory image is bit-identical to a failure-free
+/// run. After every recovery the next checkpoint is forced to be a *full*
+/// one: the fresh anchor re-baselines all three levels (repopulating a
+/// wiped L1) and garbage-collects the superseded chain prefix.
+///
+/// Requires `config.storage` when `schedule` is non-empty. Returns the
+/// usual report plus one [`FaultEvent`] per injected failure.
+pub fn run_engine_with_faults(
+    mut process: SimProcess,
+    policy: &mut dyn CheckpointPolicy,
+    config: &EngineConfig,
+    schedule: &FailureSchedule,
+) -> Result<(EngineReport, Vec<FaultEvent>), RecoveryError> {
     assert!(config.decision_period > 0.0);
     assert!(config.sharing_factor >= 1.0);
     assert!(config.cores >= 1, "the pool needs at least one core");
+    assert!(
+        schedule.is_empty() || config.storage.is_some(),
+        "fault injection requires an EngineConfig storage hierarchy"
+    );
     let sf = config.sharing_factor;
     let base_time = process.base_time().as_secs();
+    let want_files = config.keep_files || config.storage.is_some();
 
     // Initialize and take the mandatory first full checkpoint at t ≈ 0.
     process.run_until(SimTime::from_secs(0.0));
     let full0 = process.snapshot();
     let full_bytes = full0.bytes();
     let mut chain = config.keep_files.then(CheckpointChain::new);
-    if let Some(chain) = chain.as_mut() {
-        chain.push(CheckpointFile::full(
+    if want_files {
+        let file0 = CheckpointFile::full(
             config.job,
             0,
             full0.clone(),
-            Bytes::from_static(b"cpu0"),
-        ));
+            Bytes::from(process.save_cpu_state()),
+        );
+        if let Some(chain) = chain.as_mut() {
+            chain.push(file0.clone());
+        }
+        if let Some(storage) = &config.storage {
+            storage.lock().unwrap().commit(&file0);
+        }
     }
     let mut prev_state = full0;
     let c1_full = config.cost_model.raw_io_latency(full_bytes);
@@ -329,11 +374,66 @@ pub fn run_engine(
     // app computes while the core transfers, so workload time is the right
     // axis for the drain rule).
     let mut core_free_at = 0.0_f64;
+    // Fault-injection state: pending specs in time order, events produced.
+    let mut next_fault = 0usize;
+    let mut fault_events: Vec<FaultEvent> = Vec::new();
+    // After a recovery the next checkpoint is forced full: a fresh anchor
+    // re-baselines every level and truncates the superseded chain.
+    let mut force_full = false;
 
     loop {
         let tick = process.now() + SimTime::from_secs(config.decision_period);
         process.run_until(tick);
         let now = process.now().as_secs();
+
+        // Inject the next scheduled failure once its time has passed.
+        if schedule
+            .specs()
+            .get(next_fault)
+            .is_some_and(|spec| spec.at <= now)
+        {
+            let spec = schedule.specs()[next_fault];
+            next_fault += 1;
+            let storage = config.storage.as_ref().expect("asserted non-empty");
+            let (img, repair) = {
+                let mut hier = storage.lock().unwrap();
+                hier.inject_failure(spec.level, spec.raid_victim);
+                let img = hier.recover()?;
+                // Rebuild RAID redundancy right away so a later failure
+                // does not find the group already degraded.
+                let repair = hier.repair_raid();
+                (img, repair)
+            };
+            if !process.restore_from_checkpoint(&img.snapshot, &img.cpu_state) {
+                return Err(RecoveryError::Restore(
+                    "cpu-state blob did not parse".to_string(),
+                ));
+            }
+            // Restart-time mprotect sweep: re-arm dirty tracking so every
+            // write after the restore lands in the next checkpoint.
+            process.cut_interval();
+            let restored_at = process.now().as_secs();
+            let rework = now - restored_at;
+            // Restart blocks the compute core for the read, the RAID
+            // rebuild, and the re-execution of the lost work.
+            blocking_overhead += img.read_seconds + repair.seconds + rework;
+            prev_state = img.snapshot.clone();
+            last_cut = restored_at;
+            core_free_at = restored_at;
+            force_full = true;
+            fault_events.push(FaultEvent {
+                at: spec.at,
+                level: spec.level,
+                served: img.level,
+                restored_seq: img.seq,
+                read_seconds: img.read_seconds,
+                repair_seconds: repair.seconds,
+                rework_seconds: rework,
+                degraded: img.degraded,
+            });
+            continue;
+        }
+
         let done = process.is_done();
 
         let mut want_ckpt = false;
@@ -354,6 +454,11 @@ pub fn run_engine(
             if want_ckpt && now < core_free_at {
                 want_ckpt = false;
             }
+            // Pending post-recovery re-baseline overrides the policy: cut
+            // the anchoring full checkpoint at the first legal tick.
+            if force_full && now >= core_free_at {
+                want_ckpt = true;
+            }
         }
 
         if want_ckpt {
@@ -362,44 +467,51 @@ pub fn run_engine(
             let raw_bytes = dirty.bytes();
             let live: Vec<u64> = process.space().page_indices().collect();
 
-            // Chain compaction: every Nth checkpoint is a fresh full one.
-            let compact = config
-                .full_every
-                .is_some_and(|n| n > 0 && (seq + 1).is_multiple_of(n));
+            // Chain compaction: every Nth checkpoint is a fresh full one,
+            // as is the first checkpoint after a recovery (re-baseline).
+            let compact = force_full
+                || config
+                    .full_every
+                    .is_some_and(|n| n > 0 && (seq + 1).is_multiple_of(n));
             let effective_compressor = if compact {
                 Compressor::FullOnly
             } else {
                 config.compressor
             };
 
+            // CPU-side state frozen at the cut: clock + workload control
+            // state, so a restore resumes bit-exactly.
+            let cpu_state = if want_files {
+                Bytes::from(process.save_cpu_state())
+            } else {
+                Bytes::new()
+            };
+
             // c1: write the incremental (or full) image to local disk.
-            let (c1, dl, ds_bytes) = match &effective_compressor {
+            let (c1, dl, ds_bytes, file) = match &effective_compressor {
                 Compressor::FullOnly => {
                     let full = process.snapshot();
                     let bytes = full.bytes();
-                    if let Some(chain) = chain.as_mut() {
-                        // Full checkpoints restart the chain.
-                        *chain = CheckpointChain::new();
-                        chain.push(CheckpointFile::full(
-                            config.job,
-                            seq + 1,
-                            full,
-                            Bytes::new(),
-                        ));
-                    }
-                    (config.cost_model.raw_io_latency(bytes), 0.0, bytes)
+                    let file = want_files
+                        .then(|| CheckpointFile::full(config.job, seq + 1, full, cpu_state));
+                    (config.cost_model.raw_io_latency(bytes), 0.0, bytes, file)
                 }
                 Compressor::IncrementalRaw => {
-                    if let Some(chain) = chain.as_mut() {
-                        chain.push(CheckpointFile::incremental(
+                    let file = want_files.then(|| {
+                        CheckpointFile::incremental(
                             config.job,
                             seq + 1,
                             dirty.clone(),
                             live.clone(),
-                            Bytes::new(),
-                        ));
-                    }
-                    (config.cost_model.raw_io_latency(raw_bytes), 0.0, raw_bytes)
+                            cpu_state,
+                        )
+                    });
+                    (
+                        config.cost_model.raw_io_latency(raw_bytes),
+                        0.0,
+                        raw_bytes,
+                        file,
+                    )
                 }
                 Compressor::PaDelta(params) => {
                     // Page-wise sharding across the pool: bit-identical to
@@ -413,50 +525,60 @@ pub fn run_engine(
                         .cost_model
                         .pooled_delta_latency(&report, config.cores)
                         * sf;
-                    if let Some(chain) = chain.as_mut() {
-                        chain.push(CheckpointFile::delta(
-                            config.job,
-                            seq + 1,
-                            file,
-                            live.clone(),
-                            Bytes::new(),
-                        ));
-                    }
-                    (config.cost_model.raw_io_latency(raw_bytes), dl, ds)
+                    let file = want_files.then(|| {
+                        CheckpointFile::delta(config.job, seq + 1, file, live.clone(), cpu_state)
+                    });
+                    (config.cost_model.raw_io_latency(raw_bytes), dl, ds, file)
                 }
                 Compressor::WholeFile(params) => {
                     let (delta, report) = aic_delta::pa::full_encode(&prev_state, &dirty, params);
                     let ds = delta.wire_len();
                     let dl = config.cost_model.delta_latency(&report) * sf;
-                    if let Some(chain) = chain.as_mut() {
-                        // Whole-file deltas are not page-addressable; keep
-                        // the raw incremental in the chain for restore.
-                        chain.push(CheckpointFile::incremental(
+                    // Whole-file deltas are not page-addressable; keep the
+                    // raw incremental in the chain for restore.
+                    let file = want_files.then(|| {
+                        CheckpointFile::incremental(
                             config.job,
                             seq + 1,
                             dirty.clone(),
                             live.clone(),
-                            Bytes::new(),
-                        ));
-                    }
-                    (config.cost_model.raw_io_latency(raw_bytes), dl, ds)
+                            cpu_state,
+                        )
+                    });
+                    (config.cost_model.raw_io_latency(raw_bytes), dl, ds, file)
                 }
                 Compressor::Xor => {
                     let (file, report) = xor_encode(&prev_state, &dirty);
                     let ds = file.wire_len();
                     let dl = config.cost_model.delta_latency(&report) * sf;
-                    if let Some(chain) = chain.as_mut() {
-                        chain.push(CheckpointFile::incremental(
+                    let file = want_files.then(|| {
+                        CheckpointFile::incremental(
                             config.job,
                             seq + 1,
                             dirty.clone(),
                             live.clone(),
-                            Bytes::new(),
-                        ));
-                    }
-                    (config.cost_model.raw_io_latency(raw_bytes), dl, ds)
+                            cpu_state,
+                        )
+                    });
+                    (config.cost_model.raw_io_latency(raw_bytes), dl, ds, file)
                 }
             };
+
+            if let Some(file) = file {
+                if let Some(chain) = chain.as_mut() {
+                    if file.kind == CheckpointKind::Full {
+                        // Full checkpoints restart the in-memory chain.
+                        *chain = CheckpointChain::new();
+                    }
+                    chain.push(file.clone());
+                }
+                if let Some(storage) = &config.storage {
+                    // Commit through the hierarchy; a full anchor triggers
+                    // chain truncation / GC on all three levels.
+                    storage.lock().unwrap().commit(&file);
+                }
+            }
+            force_full = false;
 
             let c2 = c1 + dl + ds_bytes as f64 * sf / config.b2;
             let c3 = c1 + dl + ds_bytes as f64 * sf / config.b3;
@@ -507,7 +629,7 @@ pub fn run_engine(
     }
 
     let net2 = score_net2(&records, &initial_params, &config.rates, base_time);
-    EngineReport {
+    let report = EngineReport {
         workload: process.name().to_string(),
         policy: policy.name().to_string(),
         base_time,
@@ -517,7 +639,8 @@ pub fn run_engine(
         initial_params,
         final_state: config.keep_files.then(|| process.snapshot()),
         chain,
-    }
+    };
+    Ok((report, fault_events))
 }
 
 /// Eq. (1): `NET² = Σ_i T_int(i) / t`, with `T_int(i)` from the non-static
@@ -715,6 +838,45 @@ mod tests {
             // The charged compression latency drops with pool width.
             assert!(b.dl < a.dl, "seq={}: {} !< {}", a.seq, b.dl, a.dl);
         }
+    }
+
+    #[test]
+    fn empty_interval_ratio_is_neutral() {
+        // Regression: an interval that checkpointed nothing used to report
+        // ratio 0.0 — "perfect compression" — and dragged aggregates down.
+        let rec = IntervalRecord {
+            seq: 3,
+            w: 1.0,
+            c1: 0.0,
+            dl: 0.0,
+            ds_bytes: 0,
+            raw_bytes: 0,
+            dirty_pages: 0,
+            params: IntervalParams::symmetric(0.0, 0.0, 0.0),
+        };
+        assert_eq!(rec.ratio(), 1.0);
+
+        // A real interval still reports ds/raw.
+        let rec = IntervalRecord {
+            raw_bytes: 1000,
+            ds_bytes: 250,
+            ..rec
+        };
+        assert!((rec.ratio() - 0.25).abs() < 1e-12);
+
+        // The trailing tail (raw_bytes == 0) must not skew the run mean.
+        let mut policy = FixedIntervalPolicy::new(5.0);
+        let report = run_engine(small_process(17.0), &mut policy, &testbed());
+        assert!(report.intervals.iter().any(|r| r.raw_bytes == 0));
+        let mean = report.mean_ratio();
+        let manual: Vec<f64> = report
+            .intervals
+            .iter()
+            .filter(|r| r.raw_bytes > 0)
+            .map(IntervalRecord::ratio)
+            .collect();
+        let expect = manual.iter().sum::<f64>() / manual.len() as f64;
+        assert!((mean - expect).abs() < 1e-12);
     }
 
     #[test]

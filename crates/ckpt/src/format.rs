@@ -425,6 +425,85 @@ mod tests {
         );
     }
 
+    /// Build one file of each payload kind for corruption sweeps.
+    fn sample_files() -> Vec<CheckpointFile> {
+        let full = CheckpointFile::full(1, 0, random_snapshot(2, 30), Bytes::from_static(b"cpu"));
+        let inc = CheckpointFile::incremental(
+            1,
+            1,
+            random_snapshot(1, 31),
+            vec![0, 3, 6],
+            Bytes::from_static(b"cpu"),
+        );
+        let prev = random_snapshot(3, 32);
+        let mut dirty = Snapshot::new();
+        let mut edited = prev.get(0).unwrap().as_slice().to_vec();
+        edited[0] ^= 1;
+        dirty.insert(0, Page::from_bytes(&edited));
+        let (df, _) = pa_encode(&prev, &dirty, &PaParams::default());
+        let delta = CheckpointFile::delta(1, 2, df, vec![0, 3, 6], Bytes::from_static(b"cpu"));
+        vec![full, inc, delta]
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        for f in sample_files() {
+            let bytes = f.to_bytes();
+            for len in 0..bytes.len() {
+                let err = CheckpointFile::from_bytes(bytes.slice(0..len));
+                assert!(err.is_err(), "kind {:?}: prefix of {len} parsed", f.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn every_flipped_byte_is_a_typed_error() {
+        for f in sample_files() {
+            let bytes = f.to_bytes();
+            for pos in 0..bytes.len() {
+                let mut corrupt = BytesMut::from(&bytes[..]);
+                corrupt[pos] ^= 0xFF;
+                // Must never panic; a flip in the body is a checksum
+                // mismatch, a flip in the header fails header or checksum
+                // validation. (A flip inside the stored checksum itself
+                // also mismatches the recomputed one.)
+                let err = CheckpointFile::from_bytes(corrupt.freeze());
+                assert!(err.is_err(), "kind {:?}: flip at {pos} parsed", f.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_kind_tag_is_malformed_even_with_valid_checksum() {
+        let f = CheckpointFile::full(1, 0, random_snapshot(1, 33), Bytes::new());
+        let bytes = f.to_bytes();
+        // Body starts after magic (4) + checksum (8); job=1 and seq=0 are
+        // 1-byte varints, so the kind tag sits at offset 14.
+        let mut raw = bytes.to_vec();
+        assert_eq!(raw[14], 0, "expected the Full tag");
+        raw[14] = 9;
+        // Recompute the checksum so only the tag is wrong.
+        let sum = fnv1a(&raw[12..]);
+        raw[4..12].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            CheckpointFile::from_bytes(Bytes::from(raw)),
+            Err(ParseError::Malformed)
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_malformed_even_with_valid_checksum() {
+        let f = CheckpointFile::full(1, 0, random_snapshot(1, 34), Bytes::new());
+        let mut raw = f.to_bytes().to_vec();
+        raw.push(0xAB);
+        let sum = fnv1a(&raw[12..]);
+        raw[4..12].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            CheckpointFile::from_bytes(Bytes::from(raw)),
+            Err(ParseError::Malformed)
+        );
+    }
+
     #[test]
     fn wire_len_tracks_payload() {
         let small = CheckpointFile::full(1, 0, random_snapshot(1, 8), Bytes::new());

@@ -17,7 +17,12 @@
 //!   cheapest surviving copy;
 //! * [`engine`] — runs a workload under a pluggable checkpoint *policy*,
 //!   producing per-interval records (`w`, `c1`, `dl`, `ds`, `c2`, `c3`) and
-//!   the run's NET² via the non-static model (Eq. (1));
+//!   the run's NET² via the non-static model (Eq. (1)); with a storage
+//!   hierarchy attached it commits every checkpoint through L1/L2/L3 and
+//!   can inject failures mid-run;
+//! * [`harness`] — the end-to-end fault-injection harness: seeded failure
+//!   schedules, recovery from the cheapest surviving level, bit-identical
+//!   resumption;
 //! * [`fleet`] — several processes sharing one checkpointing core (the
 //!   sharing factor of Fig. 7, measured through real FIFO contention
 //!   instead of an assumed even split);
@@ -39,11 +44,13 @@ pub mod engine;
 pub mod failure;
 pub mod fleet;
 pub mod format;
+pub mod harness;
 pub mod policies;
 pub mod recovery;
 pub mod sim;
 pub mod storage;
 
 pub use chain::CheckpointChain;
-pub use engine::{run_engine, EngineConfig, EngineReport, IntervalRecord};
+pub use engine::{run_engine, run_engine_with_faults, EngineConfig, EngineReport, IntervalRecord};
 pub use format::{CheckpointFile, CheckpointKind};
+pub use harness::{run_with_faults, FailureSchedule, FaultEvent, FaultReport, FaultSpec};

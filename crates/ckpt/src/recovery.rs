@@ -14,9 +14,16 @@
 //!   degraded) RAID group;
 //! * **f3** (total node failure): local disk and the node's RAID share are
 //!   gone — recover from remote storage.
+//!
+//! Every **full** checkpoint is a *chain anchor*: restart only ever replays
+//! the anchor plus its incremental/delta suffix, so committing a full
+//! checkpoint garbage-collects the superseded prefix from all three levels
+//! and keeps `stored_bytes` bounded by one chain.
+
+use bytes::Bytes;
 
 use crate::chain::CheckpointChain;
-use crate::format::CheckpointFile;
+use crate::format::{CheckpointFile, CheckpointKind};
 use crate::storage::{BandwidthModel, FlatStore, Raid5Group, Receipt, Store};
 use aic_memsim::Snapshot;
 
@@ -36,12 +43,18 @@ pub enum RecoveryLevel {
 pub struct RecoveredImage {
     /// The reconstructed memory image.
     pub snapshot: Snapshot,
+    /// CPU/process state blob of the newest checkpoint replayed (clock +
+    /// workload control state — what a resume needs beyond memory).
+    pub cpu_state: Bytes,
     /// Which level served the recovery.
     pub level: RecoveryLevel,
     /// Sequence number of the newest checkpoint recovered.
     pub seq: u64,
-    /// Simulated read time (bandwidth model of the serving level).
+    /// Simulated read time, charged through the serving store's own
+    /// channel model (degraded RAID reads cost extra parity traffic).
     pub read_seconds: f64,
+    /// True if the serving RAID group was running degraded.
+    pub degraded: bool,
 }
 
 /// Recovery failure modes.
@@ -76,14 +89,25 @@ pub struct CommitReceipt {
     pub raid: Receipt,
     /// L3 write.
     pub remote: Receipt,
+    /// Superseded prefix objects garbage-collected by this commit (non-zero
+    /// only when the commit was a full checkpoint that anchored a new
+    /// chain).
+    pub truncated: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CommittedEntry {
+    seq: u64,
+    kind: CheckpointKind,
 }
 
 /// The three-level checkpoint store of one job.
+#[derive(Debug)]
 pub struct StorageHierarchy {
     local: FlatStore,
     raid: Raid5Group,
     remote: FlatStore,
-    committed: Vec<u64>,
+    committed: Vec<CommittedEntry>,
 }
 
 impl StorageHierarchy {
@@ -113,32 +137,75 @@ impl StorageHierarchy {
         format!("ckpt-{seq:08}")
     }
 
-    /// Commit a checkpoint to all three levels.
+    /// Commit a checkpoint to all three levels. A **full** checkpoint
+    /// anchors a new chain: every older object is superseded and deleted
+    /// from all levels (chain truncation / GC).
     ///
     /// # Panics
     /// Panics if sequence numbers do not strictly increase.
     pub fn commit(&mut self, file: &CheckpointFile) -> CommitReceipt {
-        if let Some(&last) = self.committed.last() {
+        if let Some(last) = self.committed.last() {
             assert!(
-                file.seq > last,
-                "commit out of order: {} after {last}",
-                file.seq
+                file.seq > last.seq,
+                "commit out of order: {} after {}",
+                file.seq,
+                last.seq
             );
         }
         let bytes = file.to_bytes();
         let name = Self::name(file.seq);
-        let receipt = CommitReceipt {
+        let mut receipt = CommitReceipt {
             local: self.local.put(&name, bytes.clone()),
             raid: self.raid.put(&name, bytes.clone()),
             remote: self.remote.put(&name, bytes),
+            truncated: 0,
         };
-        self.committed.push(file.seq);
+        if file.kind == CheckpointKind::Full {
+            receipt.truncated = self.truncate_before(file.seq);
+        }
+        self.committed.push(CommittedEntry {
+            seq: file.seq,
+            kind: file.kind,
+        });
         receipt
     }
 
-    /// Sequence numbers committed so far.
-    pub fn committed(&self) -> &[u64] {
-        &self.committed
+    /// Delete every committed object with `seq < anchor` from all three
+    /// levels; returns how many objects were collected.
+    fn truncate_before(&mut self, anchor: u64) -> usize {
+        let stale: Vec<String> = self
+            .committed
+            .iter()
+            .filter(|e| e.seq < anchor)
+            .map(|e| Self::name(e.seq))
+            .collect();
+        self.committed.retain(|e| e.seq >= anchor);
+        for name in &stale {
+            self.local.delete(name);
+            self.raid.delete(name);
+            self.remote.delete(name);
+        }
+        stale.len()
+    }
+
+    /// Sequence numbers still retained (the current chain).
+    pub fn committed(&self) -> Vec<u64> {
+        self.committed.iter().map(|e| e.seq).collect()
+    }
+
+    /// Bytes held on each level, `[L1, L2, L3]`. Bounded by one chain once
+    /// full checkpoints recur (L2 additionally holds parity + padding).
+    pub fn stored_bytes(&self) -> [u64; 3] {
+        [
+            self.local.stored_bytes(),
+            self.raid.stored_bytes(),
+            self.remote.stored_bytes(),
+        ]
+    }
+
+    /// The RAID group (L2), e.g. to check degraded state.
+    pub fn raid(&self) -> &Raid5Group {
+        &self.raid
     }
 
     /// Inject a failure: destroy the copies that level-k failures destroy.
@@ -163,25 +230,62 @@ impl StorageHierarchy {
     }
 
     fn wipe_local(&mut self) {
-        for &seq in &self.committed {
-            self.local.delete(&Self::name(seq));
+        for e in &self.committed {
+            self.local.delete(&Self::name(e.seq));
         }
     }
 
     fn wipe_raid(&mut self) {
-        for &seq in &self.committed {
-            self.raid.delete(&Self::name(seq));
+        for e in &self.committed {
+            self.raid.delete(&Self::name(e.seq));
         }
     }
 
-    /// Repair the RAID group (rebuild a failed node from parity).
-    pub fn repair_raid(&mut self) {
-        self.raid.repair_node();
+    /// Repair the RAID group (rebuild a failed node from parity); no-op
+    /// receipt when the group is healthy.
+    pub fn repair_raid(&mut self) -> Receipt {
+        self.raid.repair_node()
     }
 
-    /// Recover the newest image after a level-`level` failure, reading from
-    /// the cheapest surviving level.
-    pub fn recover(&self, level: usize) -> Result<RecoveredImage, RecoveryError> {
+    /// Re-commit the current chain to L1 from another surviving level —
+    /// how a replacement node repopulates its local disk after recovery.
+    /// Returns the bytes written back.
+    pub fn repopulate_local(&mut self) -> u64 {
+        let mut bytes = 0;
+        for e in &self.committed {
+            let name = Self::name(e.seq);
+            if self.local.get(&name).is_some() {
+                continue;
+            }
+            let Some(data) = self.raid.get(&name).or_else(|| self.remote.get(&name)) else {
+                continue;
+            };
+            bytes += data.len() as u64;
+            self.local.put(&name, data);
+        }
+        bytes
+    }
+
+    /// Recover the newest image reading from the cheapest level that still
+    /// serves the whole chain: L1, then (possibly degraded) L2, then L3.
+    pub fn recover(&self) -> Result<RecoveredImage, RecoveryError> {
+        if self.committed.is_empty() {
+            return Err(RecoveryError::NothingCommitted);
+        }
+        let mut last_err = RecoveryError::NothingCommitted;
+        for level in 1..=3 {
+            match self.recover_from(level) {
+                Ok(img) => return Ok(img),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Recover the newest image from the store backing failure level
+    /// `level` (1 = local, 2 = RAID, 3 = remote), replaying from the latest
+    /// full-checkpoint anchor only.
+    pub fn recover_from(&self, level: usize) -> Result<RecoveredImage, RecoveryError> {
         if self.committed.is_empty() {
             return Err(RecoveryError::NothingCommitted);
         }
@@ -192,31 +296,43 @@ impl StorageHierarchy {
             other => panic!("unknown failure level {other}"),
         };
 
+        // Replay from the newest full anchor; older retained objects (there
+        // are none once GC has run, but be robust to mixed histories) are
+        // skipped.
+        let anchor = self
+            .committed
+            .iter()
+            .rposition(|e| e.kind == CheckpointKind::Full)
+            .unwrap_or(0);
+
         let mut chain = CheckpointChain::new();
-        let mut read_bytes = 0u64;
-        for &seq in &self.committed {
-            let name = Self::name(seq);
+        let mut read_seconds = 0.0;
+        let mut cpu_state = Bytes::new();
+        for e in &self.committed[anchor..] {
+            let name = Self::name(e.seq);
             let bytes = store
                 .get(&name)
                 .ok_or_else(|| RecoveryError::BadObject(name.clone()))?;
-            read_bytes += bytes.len() as u64;
+            // Charge the read through the serving store's own channel
+            // model — not a hard-coded bandwidth table.
+            read_seconds += store
+                .read_receipt(&name)
+                .map_or(0.0, |r: Receipt| r.seconds);
             let file = CheckpointFile::from_bytes(bytes)
                 .map_err(|e| RecoveryError::BadObject(format!("{name}: {e}")))?;
+            cpu_state = file.cpu_state.clone();
             chain.push(file);
         }
         let snapshot = chain
             .restore_latest()
             .map_err(|e| RecoveryError::Restore(e.to_string()))?;
-        let read_seconds = match recovery_level {
-            RecoveryLevel::Local => read_bytes as f64 / 100e6,
-            RecoveryLevel::Raid => read_bytes as f64 / 471.7e6,
-            RecoveryLevel::Remote => read_bytes as f64 / 2e6,
-        };
         Ok(RecoveredImage {
             snapshot,
+            cpu_state,
             level: recovery_level,
-            seq: *self.committed.last().unwrap(),
+            seq: self.committed.last().unwrap().seq,
             read_seconds,
+            degraded: recovery_level == RecoveryLevel::Raid && self.raid.is_degraded(),
         })
     }
 }
@@ -275,10 +391,11 @@ mod tests {
     fn f1_recovers_from_local() {
         let (mut h, truth) = committed_hierarchy();
         h.inject_failure(1, 0);
-        let img = h.recover(1).unwrap();
+        let img = h.recover_from(1).unwrap();
         assert_eq!(img.level, RecoveryLevel::Local);
         assert_eq!(img.snapshot, truth);
         assert_eq!(img.seq, 2);
+        assert!(!img.degraded);
     }
 
     #[test]
@@ -286,20 +403,24 @@ mod tests {
         let (mut h, truth) = committed_hierarchy();
         h.inject_failure(2, 1);
         // Local is gone.
-        assert!(matches!(h.recover(1), Err(RecoveryError::BadObject(_))));
+        assert!(matches!(
+            h.recover_from(1),
+            Err(RecoveryError::BadObject(_))
+        ));
         // Degraded RAID still serves.
-        let img = h.recover(2).unwrap();
+        let img = h.recover_from(2).unwrap();
         assert_eq!(img.level, RecoveryLevel::Raid);
         assert_eq!(img.snapshot, truth);
+        assert!(img.degraded);
     }
 
     #[test]
     fn f3_recovers_from_remote_only() {
         let (mut h, truth) = committed_hierarchy();
         h.inject_failure(3, 0);
-        assert!(h.recover(1).is_err());
-        assert!(h.recover(2).is_err());
-        let img = h.recover(3).unwrap();
+        assert!(h.recover_from(1).is_err());
+        assert!(h.recover_from(2).is_err());
+        let img = h.recover_from(3).unwrap();
         assert_eq!(img.level, RecoveryLevel::Remote);
         assert_eq!(img.snapshot, truth);
         // Remote reads are slow: 2 MB/s.
@@ -307,20 +428,173 @@ mod tests {
     }
 
     #[test]
+    fn recover_probes_cheapest_surviving_level() {
+        let (h, truth) = committed_hierarchy();
+        let img = h.recover().unwrap();
+        assert_eq!(img.level, RecoveryLevel::Local);
+        assert_eq!(img.snapshot, truth);
+
+        let (mut h, truth) = committed_hierarchy();
+        h.inject_failure(2, 0);
+        let img = h.recover().unwrap();
+        assert_eq!(img.level, RecoveryLevel::Raid);
+        assert_eq!(img.snapshot, truth);
+
+        let (mut h, truth) = committed_hierarchy();
+        h.inject_failure(3, 0);
+        let img = h.recover().unwrap();
+        assert_eq!(img.level, RecoveryLevel::Remote);
+        assert_eq!(img.snapshot, truth);
+    }
+
+    #[test]
+    fn read_cost_comes_from_store_models() {
+        let (h, _) = committed_hierarchy();
+        let local = h.recover_from(1).unwrap().read_seconds;
+        let raid = h.recover_from(2).unwrap().read_seconds;
+        let remote = h.recover_from(3).unwrap().read_seconds;
+        // Coastal models: RAID share is the fastest channel, remote by far
+        // the slowest.
+        assert!(remote > local, "remote {remote} vs local {local}");
+        assert!(local > 0.0 && raid > 0.0);
+
+        // The cost must track the store's own model, not a constant table:
+        // rebuild the same chain on a deliberately slow local disk and the
+        // local read must get slower by the bandwidth ratio.
+        let slow = StorageHierarchy::new(
+            FlatStore::new(BandwidthModel::new(1e6, 0.0)),
+            Raid5Group::new(4, 256 << 10, BandwidthModel::new(471.7e6, 1e-3)),
+            FlatStore::new(BandwidthModel::new(2e6, 10e-3)),
+        );
+        let mut slow = slow;
+        let full = Snapshot::from_pages([(0, page(1)), (1, page(2)), (2, page(3))]);
+        slow.commit(&CheckpointFile::full(1, 0, full, Bytes::new()));
+        let fast_local = {
+            let mut h = StorageHierarchy::coastal(4);
+            let full = Snapshot::from_pages([(0, page(1)), (1, page(2)), (2, page(3))]);
+            h.commit(&CheckpointFile::full(1, 0, full, Bytes::new()));
+            h.recover_from(1).unwrap().read_seconds
+        };
+        let slow_local = slow.recover_from(1).unwrap().read_seconds;
+        assert!(
+            slow_local > 10.0 * fast_local,
+            "slow {slow_local} fast {fast_local}"
+        );
+    }
+
+    #[test]
+    fn degraded_raid_read_costs_more_than_healthy() {
+        let (h, _) = committed_hierarchy();
+        let healthy = h.recover_from(2).unwrap().read_seconds;
+        let (mut h, _) = committed_hierarchy();
+        h.inject_failure(2, 0);
+        let degraded = h.recover_from(2).unwrap().read_seconds;
+        assert!(degraded > healthy, "degraded {degraded} healthy {healthy}");
+    }
+
+    #[test]
+    fn full_commit_truncates_chain_on_all_levels() {
+        let (mut h, _) = committed_hierarchy();
+        assert_eq!(h.committed(), vec![0, 1, 2]);
+        let before = h.stored_bytes();
+
+        let anchor = Snapshot::from_pages([(0, page(40)), (1, page(41))]);
+        let r = h.commit(&CheckpointFile::full(1, 3, anchor.clone(), Bytes::new()));
+        assert_eq!(r.truncated, 3);
+        assert_eq!(h.committed(), vec![3]);
+
+        // The prefix is gone from every level; stored bytes dropped below
+        // the 3-checkpoint total even though we just added a full image.
+        let after = h.stored_bytes();
+        for (lvl, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+            assert!(a < b, "level {lvl} grew: {b} -> {a}");
+        }
+
+        // Recovery replays only the anchor.
+        let img = h.recover().unwrap();
+        assert_eq!(img.seq, 3);
+        assert_eq!(img.snapshot, anchor);
+    }
+
+    #[test]
+    fn stored_bytes_stay_bounded_across_many_chains() {
+        let mut h = StorageHierarchy::coastal(4);
+        let mut peak_after_gc = [0u64; 3];
+        for round in 0..6u64 {
+            let seq0 = round * 3;
+            let full = Snapshot::from_pages([(0, page(round)), (1, page(round + 100))]);
+            h.commit(&CheckpointFile::full(1, seq0, full, Bytes::new()));
+            for k in 1..3 {
+                let dirty = Snapshot::from_pages([(0, page(seq0 + k))]);
+                h.commit(&CheckpointFile::incremental(
+                    1,
+                    seq0 + k,
+                    dirty,
+                    vec![0, 1],
+                    Bytes::new(),
+                ));
+            }
+            peak_after_gc = h.stored_bytes();
+        }
+        // Six chains of identical shape: storage equals one chain, not six.
+        assert_eq!(h.committed().len(), 3);
+        let final_bytes = h.stored_bytes();
+        assert_eq!(final_bytes, peak_after_gc);
+    }
+
+    #[test]
     fn raid_repair_restores_redundancy() {
         let (mut h, truth) = committed_hierarchy();
         h.inject_failure(2, 0);
-        h.repair_raid();
+        let r = h.repair_raid();
+        assert!(r.bytes > 0);
         // A second, different node can now fail and RAID still serves.
         h.inject_failure(2, 2);
-        let img = h.recover(2).unwrap();
+        let img = h.recover_from(2).unwrap();
         assert_eq!(img.snapshot, truth);
+    }
+
+    #[test]
+    fn repopulate_local_restores_l1_after_wipe() {
+        let (mut h, truth) = committed_hierarchy();
+        h.inject_failure(3, 0);
+        assert!(h.recover_from(1).is_err());
+        let written = h.repopulate_local();
+        assert!(written > 0);
+        let img = h.recover_from(1).unwrap();
+        assert_eq!(img.snapshot, truth);
+    }
+
+    #[test]
+    fn cpu_state_of_newest_checkpoint_travels_with_recovery() {
+        let mut h = StorageHierarchy::coastal(4);
+        let full = Snapshot::from_pages([(0, page(1))]);
+        h.commit(&CheckpointFile::full(
+            1,
+            0,
+            full.clone(),
+            Bytes::from_static(b"old"),
+        ));
+        let dirty = Snapshot::from_pages([(0, page(2))]);
+        h.commit(&CheckpointFile::incremental(
+            1,
+            1,
+            dirty,
+            vec![0],
+            Bytes::from_static(b"new"),
+        ));
+        let img = h.recover().unwrap();
+        assert_eq!(&img.cpu_state[..], b"new");
     }
 
     #[test]
     fn empty_hierarchy_reports_nothing_committed() {
         let h = StorageHierarchy::coastal(3);
-        assert_eq!(h.recover(1).unwrap_err(), RecoveryError::NothingCommitted);
+        assert_eq!(
+            h.recover_from(1).unwrap_err(),
+            RecoveryError::NothingCommitted
+        );
+        assert_eq!(h.recover().unwrap_err(), RecoveryError::NothingCommitted);
     }
 
     #[test]
@@ -335,11 +609,35 @@ mod tests {
     #[test]
     fn receipts_reflect_bandwidths() {
         let mut h = StorageHierarchy::coastal(4);
-        let snap = Snapshot::from_pages((0..32u64).map(|i| (i, page(i))));
+        // Large enough (4 MiB) that stripe padding amortizes and the
+        // channel speeds dominate the ordering.
+        let snap = Snapshot::from_pages((0..1024u64).map(|i| (i, page(i))));
         let r = h.commit(&CheckpointFile::full(1, 0, snap, Bytes::new()));
         // Remote is the slowest channel by far.
         assert!(r.remote.seconds > r.local.seconds);
         assert!(r.local.seconds > r.raid.seconds);
+        // L2 ships parity + stripe padding on top of the payload.
+        assert!(r.raid.bytes > r.local.bytes);
         assert_eq!(r.local.bytes, r.remote.bytes);
+    }
+
+    #[test]
+    fn corrupt_object_surfaces_as_bad_object() {
+        let mut h = StorageHierarchy::coastal(4);
+        let snap = Snapshot::from_pages([(0, page(1))]);
+        h.commit(&CheckpointFile::full(1, 0, snap, Bytes::new()));
+        // Overwrite the stored object with garbage at L1 only.
+        use crate::storage::Store;
+        let name = "ckpt-00000000";
+        let mut data = h.local.get(name).unwrap().to_vec();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        h.local.put(name, Bytes::from(data));
+        assert!(matches!(
+            h.recover_from(1),
+            Err(RecoveryError::BadObject(_))
+        ));
+        // The probing recover() falls through to a healthy level.
+        assert!(h.recover().is_ok());
     }
 }

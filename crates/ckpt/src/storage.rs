@@ -52,6 +52,10 @@ pub trait Store {
     fn put(&mut self, name: &str, data: Bytes) -> Receipt;
     /// Read an object back (None if absent or unrecoverable).
     fn get(&self, name: &str) -> Option<Bytes>;
+    /// Simulated cost of reading the object through this store's own
+    /// channel model (None if absent). A degraded store may charge more
+    /// than a healthy one for the same object.
+    fn read_receipt(&self, name: &str) -> Option<Receipt>;
     /// Delete an object; returns true if it existed.
     fn delete(&mut self, name: &str) -> bool;
     /// Total bytes held.
@@ -88,6 +92,14 @@ impl Store for FlatStore {
 
     fn get(&self, name: &str) -> Option<Bytes> {
         self.objects.get(name).cloned()
+    }
+
+    fn read_receipt(&self, name: &str) -> Option<Receipt> {
+        let len = self.objects.get(name)?.len() as u64;
+        Some(Receipt {
+            bytes: len,
+            seconds: self.bw.transfer_time(len),
+        })
     }
 
     fn delete(&mut self, name: &str) -> bool {
@@ -141,10 +153,23 @@ impl Raid5Group {
         self.failed = Some(node);
     }
 
+    /// True while a node is failed and reads run in degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.failed.is_some()
+    }
+
     /// Repair the failed node: reconstruct all of its chunks from the
-    /// surviving nodes and mark it healthy again.
-    pub fn repair_node(&mut self) {
-        let Some(dead) = self.failed else { return };
+    /// surviving nodes and mark it healthy again. The receipt bills the
+    /// rebuild traffic — every surviving chunk of every object is read and
+    /// each reconstructed chunk is written back.
+    pub fn repair_node(&mut self) -> Receipt {
+        let Some(dead) = self.failed else {
+            return Receipt {
+                bytes: 0,
+                seconds: 0.0,
+            };
+        };
+        let mut rebuilt_chunks = 0u64;
         let names: Vec<String> = self.sizes.keys().cloned().collect();
         for name in names {
             let rows = self.nodes[(dead + 1) % self.nodes.len()]
@@ -154,9 +179,17 @@ impl Raid5Group {
             for row in 0..rows {
                 rebuilt.push(self.reconstruct_chunk(&name, row, dead));
             }
+            rebuilt_chunks += rows as u64;
             self.nodes[dead].insert(name, rebuilt);
         }
         self.failed = None;
+        // Each rebuilt chunk is one read of n-1 surviving chunks plus one
+        // write of the reconstruction.
+        let bytes = rebuilt_chunks * self.nodes.len() as u64 * self.chunk_size as u64;
+        Receipt {
+            bytes,
+            seconds: self.bw.transfer_time(bytes),
+        }
     }
 
     fn reconstruct_chunk(&self, name: &str, row: usize, dead: usize) -> Bytes {
@@ -223,9 +256,13 @@ impl Store for Raid5Group {
             }
         }
 
+        // Bill what actually hits the wire: every stripe row writes n
+        // chunks (n-1 data, possibly zero-padded, plus one parity), not
+        // just the caller's payload bytes.
+        let wire_bytes = (total_rows * n * self.chunk_size) as u64;
         Receipt {
-            bytes: data.len() as u64,
-            seconds: self.bw.transfer_time(data.len() as u64),
+            bytes: wire_bytes,
+            seconds: self.bw.transfer_time(wire_bytes),
         }
     }
 
@@ -254,6 +291,27 @@ impl Store for Raid5Group {
             return None;
         }
         Some(bytes.split_to(size))
+    }
+
+    fn read_receipt(&self, name: &str) -> Option<Receipt> {
+        self.sizes.get(name)?;
+        let n = self.nodes.len();
+        let rows = self.nodes[(self.failed.map_or(0, |d| d + 1)) % n]
+            .get(name)?
+            .len();
+        // A healthy read pulls the n-1 data chunks of each row. When the
+        // failed node held a data chunk for a row (i.e. it was not that
+        // row's parity position), reconstruction additionally reads the
+        // row's parity chunk.
+        let mut chunks = rows as u64 * (n as u64 - 1);
+        if let Some(dead) = self.failed {
+            chunks += (0..rows).filter(|row| (n - 1) - (row % n) != dead).count() as u64;
+        }
+        let bytes = chunks * self.chunk_size as u64;
+        Some(Receipt {
+            bytes,
+            seconds: self.bw.transfer_time(bytes),
+        })
     }
 
     fn delete(&mut self, name: &str) -> bool {
@@ -363,6 +421,57 @@ mod tests {
         g.put("x", data);
         // 40k data + 10 rows × 1k parity = 50k total.
         assert_eq!(g.stored_bytes(), 50_000);
+    }
+
+    #[test]
+    fn flat_read_receipt_uses_channel_model() {
+        let mut s = FlatStore::new(BandwidthModel::new(100.0, 0.5));
+        s.put("x", random_bytes(1000, 20));
+        let r = s.read_receipt("x").unwrap();
+        assert_eq!(r.bytes, 1000);
+        assert!((r.seconds - 10.5).abs() < 1e-12);
+        assert!(s.read_receipt("missing").is_none());
+    }
+
+    #[test]
+    fn raid5_put_bills_parity_and_padding() {
+        let mut g = Raid5Group::new(5, 1000, BandwidthModel::new(1e6, 0.0));
+        // Exactly 10 rows of 4 data chunks: 40k payload → 50k on the wire.
+        let r = g.put("x", random_bytes(40_000, 21));
+        assert_eq!(r.bytes, 50_000);
+        assert!((r.seconds - 0.05).abs() < 1e-12);
+        // A 1-byte object still writes one full stripe row.
+        let r = g.put("tiny", random_bytes(1, 22));
+        assert_eq!(r.bytes, 5_000);
+    }
+
+    #[test]
+    fn raid5_read_receipt_healthy_vs_degraded() {
+        let mut g = Raid5Group::new(4, 1000, BandwidthModel::new(1e6, 0.0));
+        g.put("x", random_bytes(12_000, 23)); // 4 rows of 3 data chunks
+        let healthy = g.read_receipt("x").unwrap();
+        assert_eq!(healthy.bytes, 12_000);
+
+        // Node 3 is parity for row 0 only; rows 1-3 need the extra parity
+        // chunk to reconstruct its data chunks.
+        g.fail_node(3);
+        let degraded = g.read_receipt("x").unwrap();
+        assert_eq!(degraded.bytes, 12_000 + 3 * 1000);
+        assert!(degraded.seconds > healthy.seconds);
+
+        let repair = g.repair_node();
+        assert!(repair.bytes > 0 && repair.seconds > 0.0);
+        assert!(!g.is_degraded());
+        assert_eq!(g.read_receipt("x").unwrap(), healthy);
+    }
+
+    #[test]
+    fn raid5_repair_on_healthy_group_is_free() {
+        let mut g = Raid5Group::new(3, 128, BandwidthModel::new(1e9, 0.0));
+        g.put("x", random_bytes(1000, 24));
+        let r = g.repair_node();
+        assert_eq!(r.bytes, 0);
+        assert_eq!(r.seconds, 0.0);
     }
 
     #[test]

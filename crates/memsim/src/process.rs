@@ -115,13 +115,46 @@ impl SimProcess {
 
     /// Roll the process memory back to `snap` (checkpoint restart) and
     /// rewind the clock to `at`. The workload's internal control state is
-    /// *not* rewound — like the paper, we model recovery cost through the
-    /// analytic model and use restore for memory-fidelity checks.
+    /// *not* rewound — use [`SimProcess::restore_from_checkpoint`] when a
+    /// bit-exact resumption (memory *and* control flow) is required.
     pub fn restore(&mut self, snap: &Snapshot, at: SimTime) {
         self.space.restore(snap);
         let mut clock = VirtualClock::new();
         clock.advance(at);
         self.clock = clock;
+    }
+
+    /// Serialize the process's CPU-side state — the virtual clock plus the
+    /// workload's control state — as the `cpu_state` blob of a checkpoint
+    /// file. Format: `[f64 LE clock seconds][workload control blob]`.
+    pub fn save_cpu_state(&self) -> Vec<u8> {
+        let mut out = self.clock.now().as_secs().to_le_bytes().to_vec();
+        out.extend_from_slice(&self.workload.save_state());
+        out
+    }
+
+    /// Full checkpoint restart: restore memory from `snap` and CPU-side
+    /// state (clock + workload control state) from a blob written by
+    /// [`SimProcess::save_cpu_state`]. After this, running the process
+    /// forward reproduces the original execution bit-exactly.
+    ///
+    /// Returns `false` (leaving the process untouched) if the blob does not
+    /// parse.
+    pub fn restore_from_checkpoint(&mut self, snap: &Snapshot, cpu_state: &[u8]) -> bool {
+        if cpu_state.len() < 8 {
+            return false;
+        }
+        let (secs, control) = cpu_state.split_at(8);
+        let secs = f64::from_le_bytes(secs.try_into().expect("8-byte split"));
+        if !secs.is_finite() || secs < 0.0 {
+            return false;
+        }
+        if !self.workload.load_state(control) {
+            return false;
+        }
+        self.restore(snap, SimTime::from_secs(secs));
+        self.initialized = true;
+        true
     }
 }
 
@@ -178,6 +211,39 @@ mod tests {
         let log = p.cut_interval();
         assert!(!log.is_empty());
         assert!(p.dirty_log().is_empty());
+    }
+
+    #[test]
+    fn restore_from_checkpoint_resumes_bit_exactly() {
+        let mut p = proc();
+        p.run_until(SimTime::from_secs(0.7));
+        let snap = p.snapshot();
+        let cpu = p.save_cpu_state();
+        let at = p.now();
+
+        // Reference: keep running to completion.
+        p.run_until(SimTime::from_secs(100.0));
+        let reference = p.snapshot();
+
+        // Restart a *fresh* process from the checkpoint and run it out.
+        let mut q = proc();
+        assert!(q.restore_from_checkpoint(&snap, &cpu));
+        assert_eq!(q.now(), at);
+        q.run_until(SimTime::from_secs(100.0));
+        assert_eq!(q.snapshot(), reference);
+    }
+
+    #[test]
+    fn restore_from_checkpoint_rejects_garbage() {
+        let mut p = proc();
+        p.run_until(SimTime::from_secs(0.3));
+        let snap = p.snapshot();
+        let before = p.snapshot();
+        assert!(!p.restore_from_checkpoint(&snap, &[1, 2, 3]));
+        let mut bad = p.save_cpu_state();
+        bad.truncate(bad.len() - 1);
+        assert!(!p.restore_from_checkpoint(&snap, &bad));
+        assert_eq!(p.snapshot(), before);
     }
 
     #[test]

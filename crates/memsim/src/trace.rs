@@ -13,7 +13,7 @@
 
 use crate::clock::{SimTime, VirtualClock};
 use crate::space::AddressSpace;
-use crate::workloads::Workload;
+use crate::workloads::{control, Workload};
 
 /// One recorded address-space event.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,6 +132,22 @@ impl Workload for TraceWorkload {
 
     fn base_time(&self) -> SimTime {
         self.trace.duration
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        control::encode(None, &[self.cursor as u64])
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let Some((None, words)) = control::decode(bytes) else {
+            return false;
+        };
+        let [cursor] = words[..] else { return false };
+        if cursor as usize > self.trace.events.len() {
+            return false;
+        }
+        self.cursor = cursor as usize;
+        true
     }
 }
 

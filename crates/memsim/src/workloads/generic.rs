@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::clock::{SimTime, VirtualClock};
 use crate::space::AddressSpace;
-use crate::workloads::{apply_write, Workload, WriteStyle};
+use crate::workloads::{apply_write, control, Workload, WriteStyle};
 
 /// Virtual duration of one workload step (10 ms). Small enough that dirty
 /// pages get meaningfully distinct arrival times at the paper's 1-second
@@ -77,6 +77,20 @@ impl Workload for StreamingWorkload {
     fn base_time(&self) -> SimTime {
         self.base_time
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        control::encode(Some(&self.rng), &[self.cursor])
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let Some((Some(rng), words)) = control::decode(bytes) else {
+            return false;
+        };
+        let [cursor] = words[..] else { return false };
+        self.rng = rng;
+        self.cursor = cursor;
+        true
+    }
 }
 
 /// A workload with a hot set written every step and a cold set written
@@ -144,6 +158,21 @@ impl Workload for HotColdWorkload {
 
     fn base_time(&self) -> SimTime {
         self.base_time
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        control::encode(Some(&self.rng), &[])
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let Some((Some(rng), words)) = control::decode(bytes) else {
+            return false;
+        };
+        if !words.is_empty() {
+            return false;
+        }
+        self.rng = rng;
+        true
     }
 }
 
@@ -248,6 +277,20 @@ impl Workload for PhasedWorkload {
     fn base_time(&self) -> SimTime {
         self.base_time
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        control::encode(Some(&self.rng), &[self.cursor])
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let Some((Some(rng), words)) = control::decode(bytes) else {
+            return false;
+        };
+        let [cursor] = words[..] else { return false };
+        self.rng = rng;
+        self.cursor = cursor;
+        true
+    }
 }
 
 /// A workload that grows (allocates) and shrinks (frees) its footprint over
@@ -336,6 +379,26 @@ impl Workload for GrowShrinkWorkload {
 
     fn base_time(&self) -> SimTime {
         self.base_time
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        control::encode(Some(&self.rng), &[self.extra, u64::from(self.growing)])
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let Some((Some(rng), words)) = control::decode(bytes) else {
+            return false;
+        };
+        let [extra, growing] = words[..] else {
+            return false;
+        };
+        if growing > 1 {
+            return false;
+        }
+        self.rng = rng;
+        self.extra = extra;
+        self.growing = growing == 1;
+        true
     }
 }
 

@@ -40,6 +40,73 @@ pub trait Workload {
     fn is_done(&self, clock: &VirtualClock) -> bool {
         clock.now() >= self.base_time()
     }
+
+    /// Serialize the workload's internal control state (RNG position,
+    /// cursors, phase flags) — the simulator's equivalent of the CPU-state
+    /// blob a real checkpointer saves alongside memory. Restoring a memory
+    /// snapshot *and* this blob lets a process resume bit-exactly.
+    fn save_state(&self) -> Vec<u8>;
+
+    /// Restore control state produced by [`Workload::save_state`]. Returns
+    /// `false` (leaving the workload untouched where practical) if the blob
+    /// does not parse for this workload.
+    fn load_state(&mut self, bytes: &[u8]) -> bool;
+}
+
+/// Control-state codec shared by the workload implementations: an optional
+/// 32-byte RNG seed (captured mid-stream via `StdRng::to_seed`) plus a flat
+/// list of `u64` words (cursors, counters, flags).
+pub mod control {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Serialize `rng` (if the workload has one) and `words`.
+    pub fn encode(rng: Option<&StdRng>, words: &[u64]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 32 + 4 + 8 * words.len());
+        match rng {
+            Some(r) => {
+                out.push(1);
+                out.extend_from_slice(&r.to_seed());
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&(words.len() as u32).to_le_bytes());
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse a blob produced by [`encode`]. `None` on any malformation
+    /// (truncation, trailing garbage, bad flag).
+    pub fn decode(bytes: &[u8]) -> Option<(Option<StdRng>, Vec<u64>)> {
+        let (&flag, mut rest) = bytes.split_first()?;
+        let rng = match flag {
+            0 => None,
+            1 => {
+                if rest.len() < 32 {
+                    return None;
+                }
+                let (seed, tail) = rest.split_at(32);
+                rest = tail;
+                Some(StdRng::from_seed(seed.try_into().ok()?))
+            }
+            _ => return None,
+        };
+        if rest.len() < 4 {
+            return None;
+        }
+        let (count, tail) = rest.split_at(4);
+        let count = u32::from_le_bytes(count.try_into().ok()?) as usize;
+        if tail.len() != count * 8 {
+            return None;
+        }
+        let words = tail
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Some((rng, words))
+    }
 }
 
 /// How a write mutates page contents — this is what determines how well the

@@ -23,7 +23,7 @@ use rand::{Rng, SeedableRng};
 use crate::clock::{SimTime, VirtualClock};
 use crate::page::{PageIdx, PAGE_SIZE};
 use crate::space::AddressSpace;
-use crate::workloads::{apply_write, structured_block, Workload, WriteStyle};
+use crate::workloads::{apply_write, control, structured_block, Workload, WriteStyle};
 
 /// Virtual duration of one persona step: 10 ms.
 const STEP: f64 = 0.01;
@@ -137,6 +137,20 @@ impl Workload for Bzip2 {
 
     fn base_time(&self) -> SimTime {
         self.base_time
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        control::encode(Some(&self.rng), &[self.cursor])
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let Some((Some(rng), words)) = control::decode(bytes) else {
+            return false;
+        };
+        let [cursor] = words[..] else { return false };
+        self.rng = rng;
+        self.cursor = cursor;
+        true
     }
 }
 
@@ -272,6 +286,21 @@ impl Workload for Sjeng {
     fn base_time(&self) -> SimTime {
         self.base_time
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        // The pending-consolidation list is part of the control state: a
+        // restored sjeng must still consolidate the pages its burst touched.
+        control::encode(Some(&self.rng), &self.burst_touched)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let Some((Some(rng), words)) = control::decode(bytes) else {
+            return false;
+        };
+        self.rng = rng;
+        self.burst_touched = words;
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -337,6 +366,20 @@ impl Workload for Libquantum {
 
     fn base_time(&self) -> SimTime {
         self.base_time
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        control::encode(Some(&self.rng), &[self.cursor])
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let Some((Some(rng), words)) = control::decode(bytes) else {
+            return false;
+        };
+        let [cursor] = words[..] else { return false };
+        self.rng = rng;
+        self.cursor = cursor;
+        true
     }
 }
 
@@ -449,6 +492,20 @@ impl Workload for Milc {
     fn base_time(&self) -> SimTime {
         self.base_time
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        control::encode(Some(&self.rng), &[self.cursor])
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let Some((Some(rng), words)) = control::decode(bytes) else {
+            return false;
+        };
+        let [cursor] = words[..] else { return false };
+        self.rng = rng;
+        self.cursor = cursor;
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -518,6 +575,26 @@ impl Workload for Lbm {
 
     fn base_time(&self) -> SimTime {
         self.base_time
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        control::encode(Some(&self.rng), &[self.cursor, u64::from(self.dst)])
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let Some((Some(rng), words)) = control::decode(bytes) else {
+            return false;
+        };
+        let [cursor, dst] = words[..] else {
+            return false;
+        };
+        if dst > 1 {
+            return false;
+        }
+        self.rng = rng;
+        self.cursor = cursor;
+        self.dst = dst as u8;
+        true
     }
 }
 
@@ -594,6 +671,21 @@ impl Workload for Sphinx3 {
 
     fn base_time(&self) -> SimTime {
         self.base_time
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        control::encode(Some(&self.rng), &[])
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let Some((Some(rng), words)) = control::decode(bytes) else {
+            return false;
+        };
+        if !words.is_empty() {
+            return false;
+        }
+        self.rng = rng;
+        true
     }
 }
 

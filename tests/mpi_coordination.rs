@@ -66,9 +66,9 @@ fn global_checkpoints_commit_to_storage_and_recover() {
         s.inject_failure(3, 0);
     }
     for (rank, store) in stores.iter().enumerate() {
-        assert!(store.recover(1).is_err(), "local must be gone");
-        assert!(store.recover(2).is_err(), "raid must be gone");
-        let img = store.recover(3).expect("remote survives f3");
+        assert!(store.recover_from(1).is_err(), "local must be gone");
+        assert!(store.recover_from(2).is_err(), "raid must be gone");
+        let img = store.recover_from(3).expect("remote survives f3");
         assert_eq!(
             img.snapshot, global.ranks[rank],
             "rank {rank} remote restore diverged from the coordinated state"

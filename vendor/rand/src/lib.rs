@@ -275,6 +275,19 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// Export the internal state as a seed that reproduces this
+        /// generator exactly via [`SeedableRng::from_seed`] — the hook
+        /// checkpoint/restore code uses to capture RNG positions.
+        pub fn to_seed(&self) -> [u8; 32] {
+            let mut seed = [0u8; 32];
+            for (chunk, word) in seed.chunks_exact_mut(8).zip(self.s.iter()) {
+                chunk.copy_from_slice(&word.to_le_bytes());
+            }
+            seed
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
@@ -330,6 +343,19 @@ mod tests {
         let vc: Vec<u64> = (0..8).map(|_| c.gen()).collect();
         assert_eq!(va, vb);
         assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn to_seed_roundtrips_mid_stream() {
+        use super::SeedableRng;
+        let mut a = StdRng::seed_from_u64(7);
+        for _ in 0..13 {
+            let _: u64 = a.gen();
+        }
+        let mut b = StdRng::from_seed(a.to_seed());
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
     }
 
     #[test]
