@@ -5,10 +5,12 @@
 //! similarity regimes (small contiguous edits, half-page rewrites, fresh
 //! entropy), which bound the workloads' behaviour.
 
+use bytes::BytesMut;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use aic_delta::encode::EncodeParams;
-use aic_delta::pa::{full_encode, pa_encode, PaParams};
+use aic_delta::encode::{encode_into, encode_with_report, EncodeParams};
+use aic_delta::pa::{full_encode, pa_encode, PaParams, SourceIndexCache};
+use aic_delta::reference::encode_with_report_reference;
 use aic_delta::xor::xor_encode;
 use aic_memsim::{Page, Snapshot, PAGE_SIZE};
 use rand::rngs::StdRng;
@@ -77,6 +79,52 @@ fn bench_codecs(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_page_encode(c: &mut Criterion) {
+    // Single-page encode, three ways (the tentpole comparison): the retained
+    // naive encoder, the optimized encoder building its flat index per call
+    // (cache miss), and the optimized encoder served from a warmed
+    // SourceIndexCache with direct arena emission (cache hit — the engine's
+    // steady state when sources repeat across intervals).
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut src = vec![0u8; PAGE_SIZE];
+    rng.fill(&mut src[..]);
+    let src_page = Page::from_bytes(&src);
+    let mut tgt = src.clone();
+    let start = 1000;
+    for b in &mut tgt[start..start + 128] {
+        *b = rng.gen();
+    }
+    let params = EncodeParams {
+        block_size: PaParams::default().block_size,
+        max_probe: PaParams::default().max_probe,
+    };
+
+    let mut group = c.benchmark_group("page_encode");
+    group.throughput(Throughput::Bytes(PAGE_SIZE as u64));
+    group.bench_function("reference", |b| {
+        b.iter(|| encode_with_report_reference(src_page.as_slice(), &tgt, &params));
+    });
+    group.bench_function("optimized-cold", |b| {
+        b.iter(|| encode_with_report(src_page.as_slice(), &tgt, &params));
+    });
+    let cache = SourceIndexCache::new();
+    let mut arena = BytesMut::new();
+    group.bench_function("cache-hot", |b| {
+        b.iter(|| {
+            let cached = cache.get_or_build(0, &src_page, params.block_size);
+            arena.truncate(0);
+            encode_into(
+                src_page.as_slice(),
+                &tgt,
+                cached.index(),
+                &params,
+                &mut arena,
+            )
+        });
+    });
+    group.finish();
+}
+
 fn bench_parallel_speedup(c: &mut Criterion) {
     // Serial (the paper's single dedicated core) vs the sharded pool encode
     // at each width — identical outputs by test (`pa_encode_shard` tests).
@@ -121,5 +169,11 @@ fn bench_decode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codecs, bench_parallel_speedup, bench_decode);
+criterion_group!(
+    benches,
+    bench_codecs,
+    bench_page_encode,
+    bench_parallel_speedup,
+    bench_decode
+);
 criterion_main!(benches);

@@ -12,8 +12,8 @@ use std::env;
 use std::process::ExitCode;
 
 use aic_bench::experiments::{
-    ablation, faults, fig11, fig12, fig2, fig5, fig6, fig7, fleet_sharing, mpi_scaling,
-    pool_scaling, regret, table1, table3, validate, RunScale,
+    ablation, bench_delta, faults, fig11, fig12, fig2, fig5, fig6, fig7, fleet_sharing,
+    mpi_scaling, pool_scaling, regret, table1, table3, validate, RunScale,
 };
 use aic_bench::output::csv;
 
@@ -197,6 +197,14 @@ fn run_one(args: &Args) -> Result<(), String> {
                 ));
             }
         }
+        "bench" => {
+            println!("## Delta-codec microbenchmarks — cache-hit vs cache-miss, pool widths\n");
+            let report = bench_delta::run(scale);
+            print!("{}", bench_delta::render(&report));
+            std::fs::write("BENCH_delta.json", report.to_json())
+                .map_err(|e| format!("writing BENCH_delta.json: {e}"))?;
+            println!("\nwrote BENCH_delta.json");
+        }
         "validate" => {
             println!("## Model vs Monte-Carlo validation\n");
             let rows = validate::run(400, scale.seed);
@@ -210,7 +218,7 @@ fn run_one(args: &Args) -> Result<(), String> {
         "all" => {
             for exp in [
                 "table1", "fig5", "fig6", "fig7", "fig2", "table3", "fig11", "fig12", "validate",
-                "ablation", "mpi", "pool", "fleet", "regret", "faults",
+                "ablation", "mpi", "pool", "bench", "fleet", "regret", "faults",
             ] {
                 let sub = Args {
                     experiment: exp.to_string(),
@@ -237,7 +245,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|pool|fleet|regret|faults|all> \
+                "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|pool|bench|fleet|regret|faults|all> \
                  [--quick] [--csv] [--footprint F] [--duration D] [--seed N] [--jobs N]"
             );
             ExitCode::FAILURE

@@ -1,0 +1,331 @@
+//! `repro bench` (extension — engineering benchmark, no paper counterpart):
+//! wall-clock microbenchmarks of the Xdelta3-PA encode hot path.
+//!
+//! Three per-page encode regimes over the same snapshot pairs as the
+//! criterion `delta_codec` benches:
+//!
+//! * **reference** — the retained naive encoder (`HashMap` table rebuilt
+//!   per call, byte-at-a-time extension, double-copied literals);
+//! * **cold** — the optimized encoder with a fresh [`SourceIndex`] built
+//!   per page (every page is a cache miss);
+//! * **hot** — the optimized encoder served from a warmed
+//!   [`SourceIndexCache`] (every page is a pointer-equal cache hit).
+//!
+//! plus a pooled sweep (`pa_encode_parallel_cached`) over N ∈ {1,2,4,8}
+//! workers with a warm cache. Results are medians of wall-clock samples in
+//! ns/page; `repro bench` writes them to `BENCH_delta.json`.
+//!
+//! [`SourceIndex`]: aic_delta::SourceIndex
+//! [`SourceIndexCache`]: aic_delta::SourceIndexCache
+
+use std::time::Instant;
+
+use aic_delta::encode::EncodeParams;
+use aic_delta::pa::{
+    pa_encode, pa_encode_cached, pa_encode_parallel_cached, PaParams, SourceIndexCache,
+};
+use aic_delta::reference::encode_with_report_reference;
+use aic_memsim::{Page, Snapshot, PAGE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::experiments::RunScale;
+use crate::output::{f, markdown_table};
+
+/// Pool widths swept by the pooled section.
+pub const DEFAULT_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Per-regime medians, ns per page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegimeRow {
+    /// Similarity regime name (`small-edit`, `half-rewrite`, `fresh`).
+    pub regime: &'static str,
+    /// Retained naive encoder (pre-optimization baseline).
+    pub reference_ns_per_page: f64,
+    /// Optimized encoder, index rebuilt per page (cache miss).
+    pub cold_ns_per_page: f64,
+    /// Optimized encoder, warmed index cache (cache hit).
+    pub hot_ns_per_page: f64,
+}
+
+impl RegimeRow {
+    /// Speedup of the cache-hot path over the naive baseline.
+    pub fn speedup_hot_vs_reference(&self) -> f64 {
+        self.reference_ns_per_page / self.hot_ns_per_page.max(1e-9)
+    }
+
+    /// Speedup of a cache hit over a cache miss (the index-build cost).
+    pub fn speedup_hot_vs_cold(&self) -> f64 {
+        self.cold_ns_per_page / self.hot_ns_per_page.max(1e-9)
+    }
+}
+
+/// One pooled-encode measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolPoint {
+    /// Pool width.
+    pub workers: usize,
+    /// Median wall-clock ns per page at this width (warm cache).
+    pub ns_per_page: f64,
+}
+
+/// The full sweep, serialized to `BENCH_delta.json` by `repro bench`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Pages per snapshot.
+    pub pages: usize,
+    /// Wall-clock samples per median.
+    pub samples: usize,
+    /// Per-regime encode medians.
+    pub regimes: Vec<RegimeRow>,
+    /// Pooled sweep (half-rewrite regime, warm cache).
+    pub pool: Vec<PoolPoint>,
+}
+
+impl BenchReport {
+    /// Hand-rolled JSON (the harness carries no serializer dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"bench\": \"delta_codec\",\n  \"pages\": {},\n  \"page_size\": {},\n  \"samples\": {},\n",
+            self.pages, PAGE_SIZE, self.samples
+        ));
+        s.push_str("  \"regimes\": [\n");
+        for (i, r) in self.regimes.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"regime\": \"{}\", \"reference_ns_per_page\": {:.1}, \
+                 \"cold_ns_per_page\": {:.1}, \"hot_ns_per_page\": {:.1}, \
+                 \"speedup_hot_vs_reference\": {:.2}, \"speedup_hot_vs_cold\": {:.2}}}{}\n",
+                r.regime,
+                r.reference_ns_per_page,
+                r.cold_ns_per_page,
+                r.hot_ns_per_page,
+                r.speedup_hot_vs_reference(),
+                r.speedup_hot_vs_cold(),
+                if i + 1 < self.regimes.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"pool\": [\n");
+        for (i, p) in self.pool.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"workers\": {}, \"ns_per_page\": {:.1}}}{}\n",
+                p.workers,
+                p.ns_per_page,
+                if i + 1 < self.pool.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Random snapshot of `pages` full-entropy pages.
+fn snapshot(pages: usize, seed: u64) -> Snapshot {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Snapshot::from_pages((0..pages).map(|i| {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        rng.fill(&mut buf[..]);
+        (i as u64, Page::from_bytes(&buf))
+    }))
+}
+
+/// Dirty copy of `prev` in one of the three similarity regimes.
+fn dirty(prev: &Snapshot, regime: &str, seed: u64) -> Snapshot {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Snapshot::from_pages(prev.iter().map(|(idx, page)| {
+        let mut bytes = page.as_slice().to_vec();
+        match regime {
+            "small-edit" => {
+                let start = rng.gen_range(0..PAGE_SIZE - 128);
+                for b in &mut bytes[start..start + 128] {
+                    *b = rng.gen();
+                }
+            }
+            "half-rewrite" => {
+                for b in &mut bytes[..PAGE_SIZE / 2] {
+                    *b = rng.gen();
+                }
+            }
+            "fresh" => rng.fill(&mut bytes[..]),
+            _ => unreachable!(),
+        }
+        (idx, Page::from_bytes(&bytes))
+    }))
+}
+
+/// Median of `samples` wall-clock timings of `op`, in nanoseconds.
+fn median_ns(samples: usize, mut op: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            op();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Run the full sweep.
+pub fn run(scale: &RunScale) -> BenchReport {
+    let pages = ((256.0 * scale.footprint) as usize).clamp(32, 1024);
+    let samples = if scale.duration >= 1.0 { 9 } else { 3 };
+    let params = PaParams::default();
+    let eparams = EncodeParams {
+        block_size: params.block_size,
+        max_probe: params.max_probe,
+    };
+    let prev = snapshot(pages, scale.seed);
+
+    let regimes = ["small-edit", "half-rewrite", "fresh"]
+        .into_iter()
+        .map(|regime| {
+            let target = dirty(&prev, regime, scale.seed + 1);
+            let reference_ns = median_ns(samples, || {
+                for (idx, page) in target.iter() {
+                    let src = prev.get(idx).unwrap();
+                    std::hint::black_box(encode_with_report_reference(
+                        src.as_slice(),
+                        page.as_slice(),
+                        &eparams,
+                    ));
+                }
+            }) / pages as f64;
+            let cold_ns = median_ns(samples, || {
+                std::hint::black_box(pa_encode(&prev, &target, &params));
+            }) / pages as f64;
+            let cache = SourceIndexCache::new();
+            pa_encode_cached(&prev, &target, &params, &cache); // warm-up: populate
+            let hot_ns = median_ns(samples, || {
+                std::hint::black_box(pa_encode_cached(&prev, &target, &params, &cache));
+            }) / pages as f64;
+            RegimeRow {
+                regime,
+                reference_ns_per_page: reference_ns,
+                cold_ns_per_page: cold_ns,
+                hot_ns_per_page: hot_ns,
+            }
+        })
+        .collect();
+
+    let target = dirty(&prev, "half-rewrite", scale.seed + 1);
+    let cache = SourceIndexCache::new();
+    pa_encode_cached(&prev, &target, &params, &cache);
+    let pool = DEFAULT_WORKERS
+        .iter()
+        .map(|&workers| {
+            let ns = median_ns(samples, || {
+                std::hint::black_box(pa_encode_parallel_cached(
+                    &prev,
+                    &target,
+                    &params,
+                    workers,
+                    Some(&cache),
+                ));
+            }) / pages as f64;
+            PoolPoint {
+                workers,
+                ns_per_page: ns,
+            }
+        })
+        .collect();
+
+    BenchReport {
+        pages,
+        samples,
+        regimes,
+        pool,
+    }
+}
+
+/// Render both sweeps as markdown tables.
+pub fn render(report: &BenchReport) -> String {
+    let mut out = format!(
+        "{} pages x {} samples, median ns/page (this machine)\n\n",
+        report.pages, report.samples
+    );
+    out.push_str(&markdown_table(
+        &[
+            "regime",
+            "reference (ns)",
+            "cold (ns)",
+            "hot (ns)",
+            "hot vs reference",
+            "hot vs cold",
+        ],
+        &report
+            .regimes
+            .iter()
+            .map(|r| {
+                vec![
+                    r.regime.to_string(),
+                    f(r.reference_ns_per_page),
+                    f(r.cold_ns_per_page),
+                    f(r.hot_ns_per_page),
+                    format!("{:.2}x", r.speedup_hot_vs_reference()),
+                    format!("{:.2}x", r.speedup_hot_vs_cold()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out.push_str("\npooled encode, half-rewrite, warm cache:\n\n");
+    out.push_str(&markdown_table(
+        &["workers", "ns/page"],
+        &report
+            .pool
+            .iter()
+            .map(|p| vec![p.workers.to_string(), f(p.ns_per_page)])
+            .collect::<Vec<_>>(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_all_rows_and_valid_json() {
+        let scale = RunScale {
+            footprint: 0.12,
+            duration: 0.12,
+            seed: 3,
+        };
+        let report = run(&scale);
+        assert_eq!(report.pages, 32);
+        assert_eq!(report.regimes.len(), 3);
+        assert_eq!(report.pool.len(), DEFAULT_WORKERS.len());
+        for r in &report.regimes {
+            assert!(r.reference_ns_per_page > 0.0, "{r:?}");
+            assert!(r.cold_ns_per_page > 0.0, "{r:?}");
+            assert!(r.hot_ns_per_page > 0.0, "{r:?}");
+        }
+        for p in &report.pool {
+            assert!(p.ns_per_page > 0.0, "{p:?}");
+        }
+        let json = report.to_json();
+        for key in [
+            "\"bench\": \"delta_codec\"",
+            "\"regimes\"",
+            "\"pool\"",
+            "\"speedup_hot_vs_reference\"",
+            "\"workers\": 8",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Balanced braces/brackets — the file must parse as JSON.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+        let rendered = render(&report);
+        assert!(rendered.contains("half-rewrite"));
+        assert!(rendered.contains("workers"));
+    }
+}

@@ -1,6 +1,7 @@
 //! Experiment modules, one per table/figure, plus shared harness plumbing.
 
 pub mod ablation;
+pub mod bench_delta;
 pub mod faults;
 pub mod fig11;
 pub mod fig12;

@@ -30,8 +30,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Receiver, Sender};
 
 use aic_delta::pa::{
-    pa_assemble, pa_encode_shard, plan_shards, PaDeltaFile, PaParams, PageRecord, Shard,
-    SHARDS_PER_WORKER,
+    pa_assemble, pa_encode_shard_cached, plan_shards, PaDeltaFile, PaParams, PageRecord, Shard,
+    SourceIndexCache, SHARDS_PER_WORKER,
 };
 use aic_delta::stats::EncodeReport;
 use aic_memsim::Snapshot;
@@ -108,6 +108,11 @@ pub struct CompressorPool {
     workers: usize,
     submitted: AtomicU64,
     received: AtomicU64,
+    /// Cross-interval per-page source-index cache, shared by every worker.
+    /// A cache hit skips the per-page indexing pass; a hit is only taken on
+    /// exact source equality, so pooled output stays bit-identical to the
+    /// serial encoder. The engine invalidates it on restore/recovery.
+    cache: Arc<SourceIndexCache>,
 }
 
 impl CompressorPool {
@@ -128,6 +133,7 @@ impl CompressorPool {
         let (res_tx, res_rx) = bounded::<CompressResult>(depth * 2);
 
         let mut handles = Vec::with_capacity(workers + 2);
+        let cache = Arc::new(SourceIndexCache::new());
 
         // Dispatcher: shards each job and fans the shards out to workers.
         let dispatcher_done = done_tx.clone();
@@ -191,16 +197,18 @@ impl CompressorPool {
         for i in 0..workers {
             let shard_rx = shard_rx.clone();
             let done_tx = done_tx.clone();
+            let cache = Arc::clone(&cache);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("aic-ckpt-core-{i}"))
                     .spawn(move || {
                         while let Ok(task) = shard_rx.recv() {
-                            let part = pa_encode_shard(
+                            let part = pa_encode_shard_cached(
                                 &task.job.prev,
                                 &task.job.dirty,
                                 task.shard,
                                 &task.job.params,
+                                Some(&cache),
                             );
                             task.state.parts.lock().unwrap()[task.slot] = Some(part);
                             if task.state.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
@@ -258,12 +266,33 @@ impl CompressorPool {
             workers,
             submitted: AtomicU64::new(0),
             received: AtomicU64::new(0),
+            cache,
         }
     }
 
     /// Number of compression workers in the pool.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The pool's shared cross-interval source-index cache (hit/miss
+    /// counters, footprint inspection).
+    pub fn index_cache(&self) -> &Arc<SourceIndexCache> {
+        &self.cache
+    }
+
+    /// Drop every cached source index. **Must** be called whenever the
+    /// caller's notion of "previous state" jumps to a different version —
+    /// restore from checkpoint, recovery rollback — *before* the next job
+    /// is submitted. The per-entry equality check would reject stale
+    /// entries anyway (hits require exact source equality), so this is
+    /// defense in depth plus a memory release, not a correctness patch.
+    ///
+    /// Callers must not invalidate while jobs that should use the old
+    /// entries are in flight; the engine only calls this at a recovery
+    /// barrier where the pipeline has been cut.
+    pub fn invalidate_cache(&self) {
+        self.cache.invalidate_all();
     }
 
     /// Submit a job; blocks if the queue is full.
@@ -371,6 +400,17 @@ impl CheckpointingCore {
     /// Shut down: wait for all pending jobs and collect their results.
     pub fn drain(self) -> Vec<CompressResult> {
         self.pool.drain()
+    }
+
+    /// The worker's cross-interval source-index cache.
+    pub fn index_cache(&self) -> &Arc<SourceIndexCache> {
+        self.pool.index_cache()
+    }
+
+    /// Drop every cached source index (see
+    /// [`CompressorPool::invalidate_cache`]).
+    pub fn invalidate_cache(&self) {
+        self.pool.invalidate_cache();
     }
 }
 
@@ -518,6 +558,47 @@ mod tests {
                 assert_eq!(r.report, report, "workers={workers} seq={}", r.seq);
             }
         }
+    }
+
+    #[test]
+    fn pool_cache_warms_across_jobs_and_output_stays_identical() {
+        // Submit the same (prev, dirty) job twice: the second run should be
+        // served from the shared index cache (hits == hot pages) and still
+        // produce bit-identical output. Then invalidate and confirm the
+        // next job rebuilds from scratch.
+        let prev = snapshot(24, 50);
+        let dirty = mutate(&prev, 51);
+        let pool = CompressorPool::spawn(4, 4);
+        for seq in 0..2u64 {
+            pool.submit(CompressJob {
+                seq,
+                prev: prev.clone(),
+                dirty: dirty.clone(),
+                params: PaParams::default(),
+            });
+        }
+        let r0 = pool.recv();
+        let r1 = pool.recv();
+        assert_eq!(r0.file, r1.file);
+        assert_eq!(r0.report, r1.report);
+        let (serial, serial_report) = pa_encode(&prev, &dirty, &PaParams::default());
+        assert_eq!(r0.file, serial);
+        assert_eq!(r0.report, serial_report);
+        let cache = pool.index_cache();
+        assert_eq!(cache.misses(), 24, "first job built every hot-page index");
+        assert_eq!(cache.hits(), 24, "second job hit every one");
+
+        pool.invalidate_cache();
+        assert!(cache.is_empty());
+        pool.submit(CompressJob {
+            seq: 2,
+            prev: prev.clone(),
+            dirty: dirty.clone(),
+            params: PaParams::default(),
+        });
+        let r2 = pool.recv();
+        assert_eq!(r2.file, serial);
+        assert_eq!(cache.misses(), 48, "post-invalidation job rebuilt all 24");
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::sync::{Arc, Mutex};
 use bytes::Bytes;
 
 use aic_delta::encode::EncodeParams;
-use aic_delta::pa::{pa_encode_parallel_with, PaParams};
+use aic_delta::pa::{pa_encode_parallel_cached, PaParams, SourceIndexCache};
 use aic_delta::stats::CostModel;
 use aic_delta::xor::xor_encode;
 use aic_memsim::{AddressSpace, SimProcess, SimTime, Snapshot};
@@ -340,17 +340,19 @@ pub fn run_engine_with_faults(
     let full_bytes = full0.bytes();
     let mut chain = config.keep_files.then(CheckpointChain::new);
     if want_files {
+        // `full0.clone()` is a shallow CoW handoff: pages share buffers
+        // with the live address space until either side writes.
         let file0 = CheckpointFile::full(
             config.job,
             0,
             full0.clone(),
             Bytes::from(process.save_cpu_state()),
         );
-        if let Some(chain) = chain.as_mut() {
-            chain.push(file0.clone());
-        }
         if let Some(storage) = &config.storage {
             storage.lock().unwrap().commit(&file0);
+        }
+        if let Some(chain) = chain.as_mut() {
+            chain.push(file0);
         }
     }
     let mut prev_state = full0;
@@ -380,6 +382,10 @@ pub fn run_engine_with_faults(
     // After a recovery the next checkpoint is forced full: a fresh anchor
     // re-baselines every level and truncates the superseded chain.
     let mut force_full = false;
+    // Per-run cross-interval source-index cache for the PA compressor.
+    // Entries only serve on exact source equality; invalidated wholesale at
+    // every recovery barrier because the timeline they indexed is gone.
+    let index_cache = SourceIndexCache::new();
 
     loop {
         let tick = process.now() + SimTime::from_secs(config.decision_period);
@@ -417,10 +423,6 @@ pub fn run_engine_with_faults(
             // Restart blocks the compute core for the read, the RAID
             // rebuild, and the re-execution of the lost work.
             blocking_overhead += img.read_seconds + repair.seconds + rework;
-            prev_state = img.snapshot.clone();
-            last_cut = restored_at;
-            core_free_at = restored_at;
-            force_full = true;
             fault_events.push(FaultEvent {
                 at: spec.at,
                 level: spec.level,
@@ -431,6 +433,18 @@ pub fn run_engine_with_faults(
                 rework_seconds: rework,
                 degraded: img.degraded,
             });
+            // The recovered image becomes the previous-checkpoint mirror —
+            // moved, not cloned; nothing else needs it.
+            prev_state = img.snapshot;
+            // Rollback barrier: every cached source index described a page
+            // version of the abandoned timeline. Drop them all before the
+            // next encode can run (the per-entry equality check would
+            // reject them anyway — this is defense in depth and frees the
+            // memory).
+            index_cache.invalidate_all();
+            last_cut = restored_at;
+            core_free_at = restored_at;
+            force_full = true;
             continue;
         }
 
@@ -497,6 +511,10 @@ pub fn run_engine_with_faults(
                     (config.cost_model.raw_io_latency(bytes), 0.0, bytes, file)
                 }
                 Compressor::IncrementalRaw => {
+                    // `dirty.clone()` here (and in the WholeFile/Xor arms)
+                    // is a shallow CoW handoff — pages share buffers with
+                    // the engine's copy, which still needs `dirty` for the
+                    // mirror roll-forward below. No page bytes are copied.
                     let file = want_files.then(|| {
                         CheckpointFile::incremental(
                             config.job,
@@ -517,9 +535,16 @@ pub fn run_engine_with_faults(
                     // Page-wise sharding across the pool: bit-identical to
                     // the serial encode, and the charged `dl` is the
                     // pool-width latency — the predictor trains on what the
-                    // deployment actually costs, not a serial fiction.
-                    let (file, report) =
-                        pa_encode_parallel_with(&prev_state, &dirty, params, config.cores);
+                    // deployment actually costs, not a serial fiction. The
+                    // shared index cache persists across intervals and is
+                    // flushed at every recovery barrier above.
+                    let (file, report) = pa_encode_parallel_cached(
+                        &prev_state,
+                        &dirty,
+                        params,
+                        config.cores,
+                        Some(&index_cache),
+                    );
                     let ds = file.wire_len();
                     let dl = config
                         .cost_model
@@ -565,17 +590,19 @@ pub fn run_engine_with_faults(
             };
 
             if let Some(file) = file {
+                if let Some(storage) = &config.storage {
+                    // Commit through the hierarchy; a full anchor triggers
+                    // chain truncation / GC on all three levels.
+                    storage.lock().unwrap().commit(&file);
+                }
                 if let Some(chain) = chain.as_mut() {
                     if file.kind == CheckpointKind::Full {
                         // Full checkpoints restart the in-memory chain.
                         *chain = CheckpointChain::new();
                     }
-                    chain.push(file.clone());
-                }
-                if let Some(storage) = &config.storage {
-                    // Commit through the hierarchy; a full anchor triggers
-                    // chain truncation / GC on all three levels.
-                    storage.lock().unwrap().commit(&file);
+                    // The file is moved into the chain, not cloned —
+                    // storage took it by reference above.
+                    chain.push(file);
                 }
             }
             force_full = false;

@@ -1,24 +1,38 @@
-//! The rsync-style block-matching delta encoder.
+//! The rsync-style block-matching delta encoder (optimized hot path).
 //!
 //! Algorithm (MacDonald's Xdelta / Tridgell's rsync):
 //!
-//! 1. Hash every `block_size`-aligned block of the **source** into a table
-//!    keyed by the weak rolling checksum, with the strong FNV digest kept
-//!    for confirmation.
+//! 1. Hash every `block_size`-aligned block of the **source** into a
+//!    [`SourceIndex`] keyed by the weak rolling checksum, with the strong
+//!    FNV digest precomputed per block for confirmation.
 //! 2. Slide a `block_size` window over the **target** with the rolling
 //!    hash. On a weak hit confirmed strong (and byte-equal), extend the
-//!    match forwards (and backwards into pending literals), emit an
-//!    [`Inst::Copy`], and jump past it.
-//! 3. Bytes not covered by any match become [`Inst::Add`] literals.
+//!    match forwards (and backwards into pending literals) a word at a
+//!    time, emit a COPY, and jump past it.
+//! 3. Bytes not covered by any match become ADD literals.
 //!
 //! The encoder is exact: decode(source, encode(source, target)) == target,
 //! always — compression quality only varies with input similarity.
-
-use std::collections::HashMap;
+//!
+//! ## Hot-path structure
+//!
+//! [`encode_into`] is the allocation-free core: it takes a prebuilt
+//! [`SourceIndex`] (buildable once per source version and reusable across
+//! encodes — see [`crate::pa`]'s cross-interval cache) and appends the
+//! instruction payload directly to a caller-owned [`BytesMut`] arena, so a
+//! steady-state caller that recycles both performs **zero heap allocations
+//! per page**. Match extension compares eight bytes per step (`u64` loads,
+//! XOR, count trailing/leading zero bytes) instead of one.
+//!
+//! [`encode_with_report`] wraps it for one-shot callers. Its output is
+//! bit-identical to the retained naive implementation in
+//! [`crate::reference`] — property-tested, and relied on by the
+//! cross-interval cache (a cache hit must not change the wire bytes).
 
 use bytes::{Bytes, BytesMut};
 
-use crate::inst::{put_varint, write_insts, Inst};
+use crate::index::SourceIndex;
+use crate::inst::{put_add, put_copy, put_end, put_varint, varint_len};
 use crate::stats::EncodeReport;
 use crate::strong::fnv1a;
 
@@ -61,14 +75,15 @@ pub const DELTA_MAGIC: [u8; 4] = *b"ADLT";
 
 impl Delta {
     /// Total on-the-wire size of this delta (header + payload), the number
-    /// that enters the paper's delta size `ds`.
+    /// that enters the paper's delta size `ds`. Computed arithmetically —
+    /// no scratch buffer.
     pub fn wire_len(&self) -> u64 {
-        // magic + 3 varints (conservatively sized) + payload
-        let mut buf = BytesMut::with_capacity(32);
-        put_varint(&mut buf, self.source_len);
-        put_varint(&mut buf, self.target_len);
-        put_varint(&mut buf, self.target_checksum);
-        4 + buf.len() as u64 + self.payload.len() as u64
+        wire_len_parts(
+            self.source_len,
+            self.target_len,
+            self.target_checksum,
+            self.payload.len(),
+        )
     }
 
     /// Serialize to the standalone container format (magic `ADLT`, varint
@@ -108,15 +123,86 @@ impl Delta {
     }
 }
 
-/// Encode `target` against `source`. Also returns the work accounting used
-/// by the latency cost model.
-pub fn encode_with_report(
+/// `Delta::wire_len` from its parts, usable before the `Delta` exists (the
+/// raw-vs-delta decision in [`crate::pa`] runs on the arena range alone).
+#[inline]
+pub fn wire_len_parts(source_len: u64, target_len: u64, checksum: u64, payload_len: usize) -> u64 {
+    4 + varint_len(source_len) as u64
+        + varint_len(target_len) as u64
+        + varint_len(checksum) as u64
+        + payload_len as u64
+}
+
+/// Length of the common prefix of `a` and `b`, compared a word at a time.
+#[inline]
+pub fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i + 8 <= n {
+        let x = u64::from_le_bytes(a[i..i + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        let diff = x ^ y;
+        if diff != 0 {
+            // First differing byte: lowest set bit's byte index (LE load).
+            return i + (diff.trailing_zeros() >> 3) as usize;
+        }
+        i += 8;
+    }
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// Length of the common suffix of `a` and `b`, compared a word at a time.
+#[inline]
+pub fn common_suffix(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i + 8 <= n {
+        let x = u64::from_le_bytes(a[a.len() - i - 8..a.len() - i].try_into().unwrap());
+        let y = u64::from_le_bytes(b[b.len() - i - 8..b.len() - i].try_into().unwrap());
+        let diff = x ^ y;
+        if diff != 0 {
+            // Last differing byte: highest set bit's byte index (the final
+            // slice byte is the most-significant byte of an LE load).
+            return i + (diff.leading_zeros() >> 3) as usize;
+        }
+        i += 8;
+    }
+    while i < n && a[a.len() - 1 - i] == b[b.len() - 1 - i] {
+        i += 1;
+    }
+    i
+}
+
+/// Allocation-free encode core: append the instruction payload for
+/// (`source` → `target`) to `arena` and return `(payload range within the
+/// arena, target checksum, report)`.
+///
+/// `index` must have been built over `source` with this `params.block_size`
+/// (checked in debug builds). The caller owns both the index and the arena,
+/// which is what makes steady-state encoding allocation-free: the pool
+/// workers in `aic-ckpt` reuse one arena per shard and pull indexes from
+/// the cross-interval cache.
+///
+/// The emitted bytes — and the returned report — are bit-identical to
+/// [`crate::reference::encode_with_report_reference`] on the same inputs.
+pub fn encode_into(
     source: &[u8],
     target: &[u8],
+    index: &SourceIndex,
     params: &EncodeParams,
-) -> (Delta, EncodeReport) {
+    arena: &mut BytesMut,
+) -> (std::ops::Range<usize>, u64, EncodeReport) {
     let bs = params.block_size.max(4);
-    let mut insts: Vec<Inst> = Vec::new();
+    debug_assert!(
+        index.is_empty() || index.block_size() == bs,
+        "index built with block_size {} but params want {}",
+        index.block_size(),
+        bs
+    );
+    let start = arena.len();
     let mut report = EncodeReport {
         source_bytes: source.len() as u64,
         target_bytes: target.len() as u64,
@@ -124,58 +210,44 @@ pub fn encode_with_report(
         ..Default::default()
     };
 
-    // --- 1. Index source blocks by weak hash.
-    let mut table: HashMap<u32, Vec<usize>> = HashMap::new();
-    if source.len() >= bs {
-        let mut off = 0;
-        while off + bs <= source.len() {
-            let weak = crate::rolling::RollingHash::new(&source[off..off + bs]).digest();
-            table.entry(weak).or_default().push(off);
-            off += bs;
-        }
-    }
-
-    // --- 2. Scan target.
     let mut literal_start = 0usize; // start of pending literal run
     let mut pos = 0usize;
-    if target.len() >= bs && !table.is_empty() {
+    if target.len() >= bs && !index.is_empty() {
         let mut roll = crate::rolling::RollingHash::new(&target[0..bs]);
         loop {
             let mut matched = false;
-            if let Some(cands) = table.get(&roll.digest()) {
+            let cands = index.candidates(roll.digest());
+            if !cands.is_empty() {
                 let window = &target[pos..pos + bs];
                 let wstrong = fnv1a(window);
-                for &src_off in cands.iter().take(params.max_probe) {
+                for &blk in cands.iter().take(params.max_probe) {
+                    let src_off = blk as usize * bs;
                     let sblock = &source[src_off..src_off + bs];
-                    if fnv1a(sblock) == wstrong && sblock == window {
-                        // Extend forwards.
-                        let mut len = bs;
-                        while pos + len < target.len()
-                            && src_off + len < source.len()
-                            && target[pos + len] == source[src_off + len]
-                        {
-                            len += 1;
-                        }
-                        // Extend backwards into the pending literal.
-                        let mut back = 0usize;
-                        while pos - back > literal_start
-                            && src_off > back
-                            && target[pos - back - 1] == source[src_off - back - 1]
-                        {
-                            back += 1;
-                        }
+                    if index.strong(blk) == wstrong && sblock == window {
+                        // Extend forwards, word at a time. The scalar loop
+                        // stopped at min(target.len()-pos, source.len()-src_off).
+                        let fwd_cap = (target.len() - pos).min(source.len() - src_off);
+                        let len = bs
+                            + common_prefix(
+                                &target[pos + bs..pos + fwd_cap],
+                                &source[src_off + bs..src_off + fwd_cap],
+                            );
+                        // Extend backwards into the pending literal; capped
+                        // by the literal run and the source start.
+                        let back_cap = (pos - literal_start).min(src_off);
+                        let back = common_suffix(
+                            &target[pos - back_cap..pos],
+                            &source[src_off - back_cap..src_off],
+                        );
                         let m_src = src_off - back;
                         let m_pos = pos - back;
                         let m_len = len + back;
                         if m_pos > literal_start {
                             let lit = &target[literal_start..m_pos];
                             report.literal_bytes += lit.len() as u64;
-                            insts.push(Inst::Add(Bytes::copy_from_slice(lit)));
+                            put_add(arena, lit);
                         }
-                        insts.push(Inst::Copy {
-                            src_off: m_src as u64,
-                            len: m_len as u64,
-                        });
+                        put_copy(arena, m_src as u64, m_len as u64);
                         report.matched_bytes += m_len as u64;
                         pos = m_pos + m_len;
                         literal_start = pos;
@@ -198,23 +270,46 @@ pub fn encode_with_report(
             }
         }
     }
-    // --- 3. Trailing literal.
+    // Trailing literal.
     if literal_start < target.len() {
         let lit = &target[literal_start..];
         report.literal_bytes += lit.len() as u64;
-        insts.push(Inst::Add(Bytes::copy_from_slice(lit)));
+        put_add(arena, lit);
     }
+    put_end(arena);
 
-    let mut payload = BytesMut::with_capacity(target.len() / 4 + 16);
-    write_insts(&insts, &mut payload);
+    let checksum = fnv1a(target);
+    let end = arena.len();
+    report.delta_bytes = wire_len_parts(
+        source.len() as u64,
+        target.len() as u64,
+        checksum,
+        end - start,
+    );
+    (start..end, checksum, report)
+}
 
+/// Encode `target` against `source`. Also returns the work accounting used
+/// by the latency cost model.
+///
+/// One-shot wrapper over [`encode_into`]: builds the [`SourceIndex`] and
+/// arena locally. Hot paths (the page codec, the pool) reuse both instead.
+pub fn encode_with_report(
+    source: &[u8],
+    target: &[u8],
+    params: &EncodeParams,
+) -> (Delta, EncodeReport) {
+    let index = SourceIndex::build(source, params.block_size);
+    let mut arena = BytesMut::with_capacity(target.len() / 4 + 16);
+    let (range, checksum, report) = encode_into(source, target, &index, params, &mut arena);
+    let payload = arena.freeze().slice(range);
     let delta = Delta {
         source_len: source.len() as u64,
         target_len: target.len() as u64,
-        target_checksum: fnv1a(target),
-        payload: payload.freeze(),
+        target_checksum: checksum,
+        payload,
     };
-    report.delta_bytes = delta.wire_len();
+    debug_assert_eq!(report.delta_bytes, delta.wire_len());
     (delta, report)
 }
 
@@ -227,12 +322,16 @@ pub fn encode(source: &[u8], target: &[u8], params: &EncodeParams) -> Delta {
 mod tests {
     use super::*;
     use crate::decode::decode;
+    use crate::reference::encode_with_report_reference;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
     fn roundtrip(source: &[u8], target: &[u8], params: &EncodeParams) -> Delta {
         let delta = encode(source, target, params);
         assert_eq!(decode(source, &delta).unwrap(), target, "round-trip failed");
+        // Every round-trip doubles as a bit-identity check vs. the oracle.
+        let (reference, _) = encode_with_report_reference(source, target, params);
+        assert_eq!(delta, reference, "optimized != reference");
         delta
     }
 
@@ -360,5 +459,63 @@ mod tests {
         };
         let delta = roundtrip(&source, &target, &params);
         assert!(delta.wire_len() < 1024);
+    }
+
+    #[test]
+    fn common_prefix_suffix_agree_with_scalar() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let n = rng.gen_range(0..100);
+            let mut a: Vec<u8> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+            if rng.gen_bool(0.3) {
+                a = b.clone(); // force full-length agreement sometimes
+            }
+            let scalar_pre = a.iter().zip(&b).take_while(|(x, y)| x == y).count();
+            let scalar_suf = a
+                .iter()
+                .rev()
+                .zip(b.iter().rev())
+                .take_while(|(x, y)| x == y)
+                .count();
+            assert_eq!(common_prefix(&a, &b), scalar_pre);
+            assert_eq!(common_suffix(&a, &b), scalar_suf);
+        }
+        // Mixed lengths.
+        assert_eq!(common_prefix(b"abcdefgh_xyz", b"abcdefgh_abc"), 9);
+        assert_eq!(common_suffix(b"xyz_abcdefgh", b"abc_abcdefgh"), 9);
+        assert_eq!(common_prefix(b"", b"anything"), 0);
+        assert_eq!(common_suffix(b"short", b"loooooong_short"), 5);
+    }
+
+    #[test]
+    fn encode_into_reuses_arena_without_allocating_between_calls() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut source = vec![0u8; 4096];
+        rng.fill(&mut source[..]);
+        let mut target = source.clone();
+        target[512..640].fill(0x17);
+
+        let params = EncodeParams {
+            block_size: 16,
+            max_probe: 8,
+        };
+        let index = SourceIndex::build(&source, params.block_size);
+        let mut arena = BytesMut::with_capacity(8192);
+
+        // Two encodes into the same arena: ranges are disjoint, both decode.
+        let (r1, c1, _) = encode_into(&source, &target, &index, &params, &mut arena);
+        let (r2, c2, _) = encode_into(&source, &source, &index, &params, &mut arena);
+        assert_eq!(r1.end, r2.start, "second payload appended after first");
+        let frozen = arena.freeze();
+        for (range, checksum, expect) in [(r1, c1, &target), (r2, c2, &source)] {
+            let delta = Delta {
+                source_len: source.len() as u64,
+                target_len: expect.len() as u64,
+                target_checksum: checksum,
+                payload: frozen.slice(range),
+            };
+            assert_eq!(&decode(&source, &delta).unwrap(), expect);
+        }
     }
 }

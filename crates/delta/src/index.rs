@@ -1,0 +1,298 @@
+//! Flat, open-addressed index over the source's fixed-size blocks.
+//!
+//! The encoder's first step is a lookup table from the weak rolling hash of
+//! every `block_size`-aligned source block to the offsets where that hash
+//! occurs. The original implementation used `HashMap<u32, Vec<usize>>` —
+//! one heap `Vec` per distinct hash, rebuilt from scratch on every page of
+//! every interval. [`SourceIndex`] replaces it with three flat arrays:
+//!
+//! * `strongs` — the FNV-1a digest of each block, by block number, so match
+//!   confirmation is a single `u64` compare instead of re-hashing the
+//!   source block on every probe;
+//! * `entries` — block numbers grouped by weak hash (a CSR payload array),
+//!   ascending within each group, which preserves the original candidate
+//!   probe order exactly (insertion order was ascending offset);
+//! * `slots` — an open-addressed, linearly-probed table (≤ 50% load,
+//!   power-of-two capacity) mapping a weak hash to its group's range in
+//!   `entries`.
+//!
+//! An index depends only on the source bytes and the block size, so it can
+//! be built once per source version and reused across every encode against
+//! that source — the cross-interval cache in [`crate::pa`] does exactly
+//! that. [`SourceIndex::rebuild`] reuses the internal buffers, so uncached
+//! callers that recycle one `SourceIndex` across pages allocate nothing in
+//! steady state.
+
+use crate::rolling::RollingHash;
+use crate::strong::fnv1a;
+
+/// One open-addressed slot: a weak hash and its group's range in `entries`.
+/// `len == 0` marks an empty slot (every real group has at least one entry).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    weak: u32,
+    start: u32,
+    len: u32,
+}
+
+const EMPTY: Slot = Slot {
+    weak: 0,
+    start: 0,
+    len: 0,
+};
+
+/// Fibonacci multiplier for slot placement (Knuth's 2^32 / φ).
+const HASH_MUL: u32 = 0x9E37_79B9;
+
+/// Precomputed block index of one source buffer. See the module docs for
+/// the layout; build once per source version, probe many times.
+#[derive(Debug, Default, Clone)]
+pub struct SourceIndex {
+    block_size: usize,
+    n_blocks: usize,
+    /// FNV-1a digest per block, by block number.
+    strongs: Vec<u64>,
+    /// Block numbers grouped by weak hash, ascending within each group.
+    entries: Vec<u32>,
+    /// Open-addressed table from weak hash to `entries` range.
+    slots: Vec<Slot>,
+    /// Sort scratch: `(weak, block)` pairs, retained for reuse.
+    pairs: Vec<(u32, u32)>,
+}
+
+impl SourceIndex {
+    /// An empty index (matches nothing). Useful as a reusable scratch:
+    /// call [`SourceIndex::rebuild`] to point it at a source.
+    pub fn new() -> Self {
+        SourceIndex::default()
+    }
+
+    /// Build a fresh index over `source` with the given block size.
+    pub fn build(source: &[u8], block_size: usize) -> Self {
+        let mut idx = SourceIndex::new();
+        idx.rebuild(source, block_size);
+        idx
+    }
+
+    /// Re-point this index at `source`, reusing the existing allocations.
+    pub fn rebuild(&mut self, source: &[u8], block_size: usize) {
+        let bs = block_size.max(4);
+        self.block_size = bs;
+        self.n_blocks = if source.len() >= bs {
+            source.len() / bs
+        } else {
+            0
+        };
+        self.strongs.clear();
+        self.entries.clear();
+        self.pairs.clear();
+        self.slots.clear();
+        if self.n_blocks == 0 {
+            return;
+        }
+
+        // Pass 1: weak + strong hash of every block.
+        self.strongs.reserve(self.n_blocks);
+        self.pairs.reserve(self.n_blocks);
+        for b in 0..self.n_blocks {
+            let block = &source[b * bs..b * bs + bs];
+            self.pairs
+                .push((RollingHash::new(block).digest(), b as u32));
+            self.strongs.push(fnv1a(block));
+        }
+
+        // Pass 2: group by weak hash. Sorting by (weak, block) keeps blocks
+        // ascending within a group — the probe order the original
+        // `HashMap<weak, Vec<offset>>` produced by insertion.
+        self.pairs.sort_unstable();
+
+        // Pass 3: fill the open-addressed table, one slot per group.
+        // Capacity 2·n_blocks (≥ 2·groups) keeps load ≤ 50%.
+        let cap = (self.n_blocks * 2).next_power_of_two();
+        self.slots.resize(cap, EMPTY);
+        let mask = cap - 1;
+        let mut i = 0;
+        while i < self.pairs.len() {
+            let weak = self.pairs[i].0;
+            let start = i;
+            while i < self.pairs.len() && self.pairs[i].0 == weak {
+                self.entries.push(self.pairs[i].1);
+                i += 1;
+            }
+            let mut h = (weak.wrapping_mul(HASH_MUL) as usize) & mask;
+            while self.slots[h].len != 0 {
+                h = (h + 1) & mask;
+            }
+            self.slots[h] = Slot {
+                weak,
+                start: start as u32,
+                len: (i - start) as u32,
+            };
+        }
+    }
+
+    /// Block size this index was built with.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of indexed source blocks.
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// True if the index holds no blocks (source shorter than one block).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_blocks == 0
+    }
+
+    /// Block numbers whose weak hash equals `weak`, ascending. Empty slice
+    /// when the hash is absent.
+    #[inline]
+    pub fn candidates(&self, weak: u32) -> &[u32] {
+        if self.slots.is_empty() {
+            return &[];
+        }
+        let mask = self.slots.len() - 1;
+        let mut h = (weak.wrapping_mul(HASH_MUL) as usize) & mask;
+        loop {
+            let slot = self.slots[h];
+            if slot.len == 0 {
+                return &[];
+            }
+            if slot.weak == weak {
+                return &self.entries[slot.start as usize..(slot.start + slot.len) as usize];
+            }
+            h = (h + 1) & mask;
+        }
+    }
+
+    /// Precomputed strong (FNV-1a) hash of block `block`.
+    #[inline]
+    pub fn strong(&self, block: u32) -> u64 {
+        self.strongs[block as usize]
+    }
+
+    /// Approximate heap footprint in bytes (cache accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.strongs.capacity() * 8
+            + self.entries.capacity() * 4
+            + self.slots.capacity() * std::mem::size_of::<Slot>()
+            + self.pairs.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    /// The original table, for cross-checking.
+    fn reference_table(source: &[u8], bs: usize) -> HashMap<u32, Vec<usize>> {
+        let mut table: HashMap<u32, Vec<usize>> = HashMap::new();
+        if source.len() >= bs {
+            let mut off = 0;
+            while off + bs <= source.len() {
+                let weak = RollingHash::new(&source[off..off + bs]).digest();
+                table.entry(weak).or_default().push(off);
+                off += bs;
+            }
+        }
+        table
+    }
+
+    #[test]
+    fn matches_reference_table_on_random_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(len, bs) in &[
+            (0usize, 16usize),
+            (10, 16),
+            (4096, 16),
+            (4096, 64),
+            (4099, 32),
+        ] {
+            let source: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let idx = SourceIndex::build(&source, bs);
+            let reference = reference_table(&source, bs);
+            assert_eq!(
+                idx.n_blocks(),
+                reference.values().map(Vec::len).sum::<usize>(),
+                "len={len} bs={bs}"
+            );
+            for (&weak, offsets) in &reference {
+                let got: Vec<usize> = idx
+                    .candidates(weak)
+                    .iter()
+                    .map(|&b| b as usize * bs)
+                    .collect();
+                assert_eq!(&got, offsets, "weak={weak:#x} len={len} bs={bs}");
+            }
+            // Absent hashes return no candidates.
+            for _ in 0..100 {
+                let w: u32 = rng.gen();
+                if !reference.contains_key(&w) {
+                    assert!(idx.candidates(w).is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_blocks_group_in_ascending_order() {
+        // All-identical blocks: one group containing every block, ascending.
+        let source = vec![0xAA_u8; 64 * 16];
+        let idx = SourceIndex::build(&source, 16);
+        let weak = RollingHash::new(&source[0..16]).digest();
+        let cands = idx.candidates(weak);
+        assert_eq!(cands.len(), 64);
+        for (i, &b) in cands.iter().enumerate() {
+            assert_eq!(b as usize, i);
+        }
+    }
+
+    #[test]
+    fn strong_hashes_match_fnv_of_each_block() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let source: Vec<u8> = (0..1024).map(|_| rng.gen()).collect();
+        let idx = SourceIndex::build(&source, 32);
+        for b in 0..idx.n_blocks() {
+            assert_eq!(
+                idx.strong(b as u32),
+                fnv1a(&source[b * 32..b * 32 + 32]),
+                "block {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_reuses_and_replaces() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Vec<u8> = (0..2048).map(|_| rng.gen()).collect();
+        let b: Vec<u8> = (0..512).map(|_| rng.gen()).collect();
+        let mut idx = SourceIndex::build(&a, 16);
+        assert_eq!(idx.n_blocks(), 128);
+        idx.rebuild(&b, 16);
+        assert_eq!(idx.n_blocks(), 32);
+        // Old content is gone: a's blocks are no longer indexed (unless a
+        // weak collision happens to land in b's table, in which case the
+        // strong hash check downstream rejects it — spot-check counts only).
+        let fresh = SourceIndex::build(&b, 16);
+        for blk in 0..32u32 {
+            assert_eq!(idx.strong(blk), fresh.strong(blk));
+        }
+    }
+
+    #[test]
+    fn tiny_and_empty_sources() {
+        let idx = SourceIndex::build(&[], 16);
+        assert!(idx.is_empty());
+        assert!(idx.candidates(0).is_empty());
+        let idx = SourceIndex::build(&[1, 2, 3], 16);
+        assert!(idx.is_empty(), "source shorter than one block");
+    }
+}

@@ -39,6 +39,18 @@ pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
+/// Number of bytes [`put_varint`] emits for `v`, without writing anything.
+/// Lets size decisions (delta-vs-raw, `wire_len`) run allocation-free.
+#[inline]
+pub fn varint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
 /// Read a LEB128 varint; returns `None` on truncation or overflow.
 pub fn get_varint(buf: &mut impl Buf) -> Option<u64> {
     let mut v: u64 = 0;
@@ -56,23 +68,39 @@ pub fn get_varint(buf: &mut impl Buf) -> Option<u64> {
     }
 }
 
+/// Append a COPY instruction directly to a wire stream. Emitting straight
+/// into the output buffer lets the encoder skip the intermediate
+/// `Vec<Inst>` (and the literal copy an [`Inst::Add`] would take).
+#[inline]
+pub fn put_copy(buf: &mut BytesMut, src_off: u64, len: u64) {
+    buf.put_u8(OP_COPY);
+    put_varint(buf, src_off);
+    put_varint(buf, len);
+}
+
+/// Append an ADD instruction (literal bytes) directly to a wire stream.
+#[inline]
+pub fn put_add(buf: &mut BytesMut, data: &[u8]) {
+    buf.put_u8(OP_ADD);
+    put_varint(buf, data.len() as u64);
+    buf.put_slice(data);
+}
+
+/// Terminate a wire instruction stream.
+#[inline]
+pub fn put_end(buf: &mut BytesMut) {
+    buf.put_u8(OP_END);
+}
+
 /// Serialize an instruction stream (terminated by an END opcode).
 pub fn write_insts(insts: &[Inst], buf: &mut BytesMut) {
     for inst in insts {
         match inst {
-            Inst::Copy { src_off, len } => {
-                buf.put_u8(OP_COPY);
-                put_varint(buf, *src_off);
-                put_varint(buf, *len);
-            }
-            Inst::Add(data) => {
-                buf.put_u8(OP_ADD);
-                put_varint(buf, data.len() as u64);
-                buf.put_slice(data);
-            }
+            Inst::Copy { src_off, len } => put_copy(buf, *src_off, *len),
+            Inst::Add(data) => put_add(buf, data),
         }
     }
-    buf.put_u8(OP_END);
+    put_end(buf);
 }
 
 /// Deserialize an instruction stream. Returns `None` on malformed input.
@@ -113,6 +141,48 @@ mod tests {
             let mut rd = buf.freeze();
             assert_eq!(get_varint(&mut rd), Some(v));
         }
+    }
+
+    #[test]
+    fn varint_len_matches_put_varint() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            (1 << 21) - 1,
+            1 << 21,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            assert_eq!(varint_len(v), buf.len(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn direct_emission_matches_write_insts() {
+        let insts = vec![
+            Inst::Add(Bytes::from_static(b"prefix")),
+            Inst::Copy {
+                src_off: 300,
+                len: 4096,
+            },
+            Inst::Add(Bytes::from_static(b"suffix literal run")),
+        ];
+        let mut via_vec = BytesMut::new();
+        write_insts(&insts, &mut via_vec);
+
+        let mut direct = BytesMut::new();
+        put_add(&mut direct, b"prefix");
+        put_copy(&mut direct, 300, 4096);
+        put_add(&mut direct, b"suffix literal run");
+        put_end(&mut direct);
+
+        assert_eq!(via_vec.freeze(), direct.freeze());
     }
 
     #[test]

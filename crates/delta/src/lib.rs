@@ -46,14 +46,17 @@
 
 pub mod decode;
 pub mod encode;
+pub mod index;
 pub mod inst;
 pub mod pa;
+pub mod reference;
 pub mod rolling;
 pub mod stats;
 pub mod strong;
 pub mod xor;
 
 pub use decode::{decode, DecodeError};
-pub use encode::{encode, Delta, EncodeParams};
-pub use pa::{pa_decode, pa_encode, PaDeltaFile, PaParams};
+pub use encode::{encode, encode_into, Delta, EncodeParams};
+pub use index::SourceIndex;
+pub use pa::{pa_decode, pa_encode, PaDeltaFile, PaParams, SourceIndexCache};
 pub use stats::{CostModel, EncodeReport};

@@ -8,15 +8,18 @@
 //! per-page is what lets AIC's predictor estimate the compression cost at
 //! page granularity and lets decompression touch only the pages it needs.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 
 use aic_memsim::{Page, PageIdx, Snapshot, PAGE_SIZE};
 
 use crate::decode::{decode, DecodeError};
-use crate::encode::{encode_with_report, Delta, EncodeParams};
+use crate::encode::{encode_into, encode_with_report, Delta, EncodeParams};
+use crate::index::SourceIndex;
 use crate::stats::EncodeReport;
 
 /// Parameters for page-aligned encoding.
@@ -44,6 +47,132 @@ impl PaParams {
             block_size: self.block_size,
             max_probe: self.max_probe,
         }
+    }
+}
+
+/// One cached per-page index: the exact source page version it was built
+/// from, plus the prebuilt [`SourceIndex`] over that version's blocks.
+///
+/// Holding a [`Page`] clone pins the CoW buffer the index describes, so the
+/// address can never be recycled while the entry lives — pointer equality
+/// against it is an ABA-safe version check.
+#[derive(Debug)]
+pub struct CachedIndex {
+    source: Page,
+    index: SourceIndex,
+}
+
+impl CachedIndex {
+    /// The prebuilt block index.
+    pub fn index(&self) -> &SourceIndex {
+        &self.index
+    }
+}
+
+/// Cross-interval cache of per-page source indexes, shared by every worker
+/// of a compressor pool.
+///
+/// The source of a page's delta is that page's previous checkpointed
+/// version; whenever that version is unchanged since the last encode
+/// (checkpoint of a page whose content was rewritten identically, repeated
+/// encodes during recovery replay, benchmark steady state), the index
+/// built for it is still valid and the per-page indexing pass can be
+/// skipped entirely.
+///
+/// **Hit rule (exact, never probabilistic):** an entry is used only if the
+/// cached source page equals the requested source — pointer equality on the
+/// CoW buffer (O(1), the common hit) or a full byte compare (catches
+/// rewritten-identical buffers). A hash shortcut would risk a collision
+/// silently changing encoder output; equality cannot. Consequently a cache
+/// hit is *guaranteed* to leave the wire bytes bit-identical.
+///
+/// **Invalidation:** entries self-invalidate on source change (the equality
+/// check fails and the entry is rebuilt in place). [`SourceIndexCache::invalidate_all`]
+/// exists for state discontinuities — restore/recovery rolls `prev` back to
+/// an older version wholesale, so the engine drops the cache rather than
+/// trusting per-entry checks it no longer needs (defense in depth, and it
+/// returns the memory).
+#[derive(Debug, Default)]
+pub struct SourceIndexCache {
+    entries: Mutex<HashMap<PageIdx, Arc<CachedIndex>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SourceIndexCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SourceIndexCache::default()
+    }
+
+    /// Fetch the index for page `idx` with source version `source`,
+    /// building (and caching) it on miss. See the type docs for the exact
+    /// hit rule; the returned entry is shared, lock-free to use, and valid
+    /// for as long as the caller holds it even if the cache moves on.
+    pub fn get_or_build(&self, idx: PageIdx, source: &Page, block_size: usize) -> Arc<CachedIndex> {
+        let bs = block_size.max(4);
+        {
+            let entries = self.entries.lock().unwrap();
+            if let Some(entry) = entries.get(&idx) {
+                if entry.index.block_size() == bs
+                    && (entry.source.ptr_eq(source) || entry.source == *source)
+                {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(entry);
+                }
+            }
+        }
+        // Miss: build outside the lock — indexing is the expensive part,
+        // and a racing duplicate build is harmless (last insert wins).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(CachedIndex {
+            source: source.clone(),
+            index: SourceIndex::build(source.as_slice(), bs),
+        });
+        self.entries.lock().unwrap().insert(idx, Arc::clone(&entry));
+        entry
+    }
+
+    /// Drop every cached index. Called on restore/recovery: the engine's
+    /// `prev` state jumps to an older version, so nothing cached about the
+    /// abandoned timeline may survive.
+    pub fn invalidate_all(&self) {
+        self.entries.lock().unwrap().clear();
+    }
+
+    /// Drop the entry for a single page (e.g. when the page is freed).
+    pub fn invalidate(&self, idx: PageIdx) {
+        self.entries.lock().unwrap().remove(&idx);
+    }
+
+    /// Number of cached page indexes.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count (index reused).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count (index built).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Approximate heap footprint of the cached indexes in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap()
+            .values()
+            .map(|e| e.index.heap_bytes() + PAGE_SIZE)
+            .sum()
     }
 }
 
@@ -270,24 +399,162 @@ pub fn plan_shards(n_pages: usize, workers: usize) -> Vec<Shard> {
 /// Encode one shard: the dirty pages at positions `[shard.start, shard.end)`
 /// of `dirty`'s iteration order, each against its previous version in `prev`.
 ///
-/// Exactly the per-page loop of [`pa_encode`] restricted to the shard, so
+/// Same per-page decisions as [`pa_encode`] restricted to the shard, so
 /// concatenating shard outputs in shard order reproduces the serial encode
-/// byte for byte (see [`pa_assemble`]).
+/// byte for byte (see [`pa_assemble`]). Alias for
+/// [`pa_encode_shard_cached`] without a cache.
 pub fn pa_encode_shard(
     prev: &Snapshot,
     dirty: &Snapshot,
     shard: Shard,
     params: &PaParams,
 ) -> (Vec<PageRecord>, EncodeReport) {
+    pa_encode_shard_cached(prev, dirty, shard, params, None)
+}
+
+/// A record whose payload range in the shard arena is known but whose
+/// `Bytes` cannot exist until the arena is frozen.
+struct PendingRec {
+    idx: PageIdx,
+    range: Range<usize>,
+    /// `Some(target_checksum)` for a delta record, `None` for raw bytes.
+    delta_checksum: Option<u64>,
+}
+
+/// The allocation-free shard encoder behind every pooled/parallel path.
+///
+/// All page payloads — delta instruction streams and raw fallbacks — are
+/// emitted into **one** `BytesMut` arena, frozen once per shard; each
+/// record's `Bytes` is a zero-copy slice of that arena. Source indexes come
+/// from `cache` when provided (hitting across intervals whenever the source
+/// version is unchanged) or from a single scratch index reused across the
+/// shard's pages. Steady state allocates nothing per page: no per-call hash
+/// map, no `Vec<Inst>`, no literal double-copy.
+///
+/// A delta that fails to beat the raw page is *rewound* — the arena is
+/// truncated back to the record start and the raw bytes are appended
+/// instead — so the failed attempt costs no memory either.
+pub fn pa_encode_shard_cached(
+    prev: &Snapshot,
+    dirty: &Snapshot,
+    shard: Shard,
+    params: &PaParams,
+    cache: Option<&SourceIndexCache>,
+) -> (Vec<PageRecord>, EncodeReport) {
     let ep = params.encode_params();
-    let mut records = Vec::with_capacity(shard.len());
+    let bs = ep.block_size.max(4);
     let mut total = EncodeReport::default();
+    let mut pending: Vec<PendingRec> = Vec::with_capacity(shard.len());
+    let mut arena = BytesMut::with_capacity(shard.len() * (PAGE_SIZE / 4) + 64);
+    let mut scratch = SourceIndex::new(); // only used when no cache is given
+
     for (idx, page) in dirty.iter().skip(shard.start).take(shard.len()) {
-        let (rec, report) = encode_one_page(prev, idx, page, &ep);
-        total.merge(&report);
-        records.push(rec);
+        match prev.get(idx) {
+            Some(old) => {
+                // Hold the cache entry (if any) only as long as the encode.
+                let (range, checksum, mut report) = match cache {
+                    Some(c) => {
+                        let entry = c.get_or_build(idx, old, bs);
+                        encode_into(
+                            old.as_slice(),
+                            page.as_slice(),
+                            entry.index(),
+                            &ep,
+                            &mut arena,
+                        )
+                    }
+                    None => {
+                        scratch.rebuild(old.as_slice(), bs);
+                        encode_into(old.as_slice(), page.as_slice(), &scratch, &ep, &mut arena)
+                    }
+                };
+                if report.delta_bytes < PAGE_SIZE as u64 {
+                    pending.push(PendingRec {
+                        idx,
+                        range,
+                        delta_checksum: Some(checksum),
+                    });
+                } else {
+                    // Delta did not pay off: rewind the arena over the
+                    // failed attempt and store the raw page (paper keeps
+                    // the incremental page as-is in this case).
+                    report.delta_bytes = PAGE_SIZE as u64;
+                    report.literal_bytes = PAGE_SIZE as u64;
+                    report.matched_bytes = 0;
+                    arena.truncate(range.start);
+                    let start = arena.len();
+                    arena.put_slice(page.as_slice());
+                    pending.push(PendingRec {
+                        idx,
+                        range: start..arena.len(),
+                        delta_checksum: None,
+                    });
+                }
+                total.merge(&report);
+            }
+            None => {
+                // New page: no previous version to difference against.
+                let start = arena.len();
+                arena.put_slice(page.as_slice());
+                pending.push(PendingRec {
+                    idx,
+                    range: start..arena.len(),
+                    delta_checksum: None,
+                });
+                total.merge(&EncodeReport {
+                    target_bytes: PAGE_SIZE as u64,
+                    literal_bytes: PAGE_SIZE as u64,
+                    delta_bytes: PAGE_SIZE as u64,
+                    pages: 1,
+                    ..Default::default()
+                });
+            }
+        }
     }
+
+    // One freeze per shard; every record shares the arena allocation.
+    let frozen = arena.freeze();
+    let records = pending
+        .into_iter()
+        .map(|rec| match rec.delta_checksum {
+            Some(target_checksum) => PageRecord::Delta {
+                idx: rec.idx,
+                delta: Delta {
+                    source_len: PAGE_SIZE as u64,
+                    target_len: PAGE_SIZE as u64,
+                    target_checksum,
+                    payload: frozen.slice(rec.range),
+                },
+            },
+            None => PageRecord::Raw {
+                idx: rec.idx,
+                data: frozen.slice(rec.range),
+            },
+        })
+        .collect();
     (records, total)
+}
+
+/// Serial page-aligned encode through the cache: identical output to
+/// [`pa_encode`], but source indexes are fetched from (and stored into)
+/// `cache` and payloads share one arena.
+pub fn pa_encode_cached(
+    prev: &Snapshot,
+    dirty: &Snapshot,
+    params: &PaParams,
+    cache: &SourceIndexCache,
+) -> (PaDeltaFile, EncodeReport) {
+    let shard = Shard {
+        start: 0,
+        end: dirty.len(),
+    };
+    pa_assemble(std::iter::once(pa_encode_shard_cached(
+        prev,
+        dirty,
+        shard,
+        params,
+        Some(cache),
+    )))
 }
 
 /// Reassemble shard outputs — supplied in shard order — into the final
@@ -322,9 +589,27 @@ pub fn pa_encode_parallel_with(
     params: &PaParams,
     workers: usize,
 ) -> (PaDeltaFile, EncodeReport) {
+    pa_encode_parallel_cached(prev, dirty, params, workers, None)
+}
+
+/// [`pa_encode_parallel_with`] with an optional shared [`SourceIndexCache`]
+/// consulted (and warmed) by every worker thread.
+pub fn pa_encode_parallel_cached(
+    prev: &Snapshot,
+    dirty: &Snapshot,
+    params: &PaParams,
+    workers: usize,
+    cache: Option<&SourceIndexCache>,
+) -> (PaDeltaFile, EncodeReport) {
     let shards = plan_shards(dirty.len(), workers);
     if shards.len() <= 1 {
-        return pa_encode(prev, dirty, params);
+        let shard = Shard {
+            start: 0,
+            end: dirty.len(),
+        };
+        return pa_assemble(std::iter::once(pa_encode_shard_cached(
+            prev, dirty, shard, params, cache,
+        )));
     }
 
     let cursor = AtomicUsize::new(0);
@@ -338,7 +623,7 @@ pub fn pa_encode_parallel_with(
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&shard) = shards.get(i) else { break };
-                let part = pa_encode_shard(prev, dirty, shard, params);
+                let part = pa_encode_shard_cached(prev, dirty, shard, params, cache);
                 slots.lock().unwrap()[i] = Some(part);
             });
         }
@@ -639,6 +924,205 @@ mod tests {
         let (assembled, assembled_report) = pa_assemble(parts);
         assert_eq!(serial, assembled);
         assert_eq!(serial_report, assembled_report);
+    }
+
+    #[test]
+    fn cached_encode_is_bit_identical_and_hits_on_unchanged_source() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let pages: Vec<Page> = (0..12).map(|_| random_page(&mut rng)).collect();
+        let prev = Snapshot::from_pages(
+            pages
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, p)| (i as u64, p)),
+        );
+        let mut dirty = Snapshot::new();
+        for (i, page) in pages.iter().enumerate() {
+            dirty.insert(i as u64, mutated(page, 0, 64 + i * 13, &mut rng));
+        }
+        dirty.insert(50, random_page(&mut rng)); // new page: no index needed
+
+        let cache = SourceIndexCache::new();
+        let (serial, serial_report) = pa_encode(&prev, &dirty, &PaParams::default());
+        let (cached, cached_report) = pa_encode_cached(&prev, &dirty, &PaParams::default(), &cache);
+        assert_eq!(serial, cached);
+        assert_eq!(serial_report, cached_report);
+        assert_eq!(cache.misses(), 12, "one build per hot page");
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 12);
+
+        // Same prev, same dirty: every hot page hits, output unchanged.
+        let (again, again_report) = pa_encode_cached(&prev, &dirty, &PaParams::default(), &cache);
+        assert_eq!(serial, again);
+        assert_eq!(serial_report, again_report);
+        assert_eq!(cache.hits(), 12);
+        assert_eq!(cache.misses(), 12);
+    }
+
+    #[test]
+    fn cache_rebuilds_when_source_version_changes() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let p_v1 = random_page(&mut rng);
+        let p_v2 = mutated(&p_v1, 100, 200, &mut rng);
+        let target = mutated(&p_v2, 3000, 3100, &mut rng);
+
+        let cache = SourceIndexCache::new();
+        let prev1 = Snapshot::from_pages([(0, p_v1.clone())]);
+        let dirty = Snapshot::from_pages([(0, target.clone())]);
+        let (f1, _) = pa_encode_cached(&prev1, &dirty, &PaParams::default(), &cache);
+        assert_eq!(cache.misses(), 1);
+
+        // Source rolled forward: stale entry must not be consulted.
+        let prev2 = Snapshot::from_pages([(0, p_v2.clone())]);
+        let (f2, _) = pa_encode_cached(&prev2, &dirty, &PaParams::default(), &cache);
+        assert_eq!(cache.misses(), 2, "version change forces a rebuild");
+        let (expect2, _) = pa_encode(&prev2, &dirty, &PaParams::default());
+        assert_eq!(f2, expect2);
+        assert_eq!(pa_decode(&prev2, &f2).unwrap(), dirty);
+        // And the two encodes genuinely differ (different sources).
+        assert_ne!(f1, f2);
+
+        // A rewritten-identical source (new buffer, same bytes) still hits.
+        let prev2_copy = Snapshot::from_pages([(0, Page::from_bytes(p_v2.as_slice()))]);
+        let hits_before = cache.hits();
+        let (f3, _) = pa_encode_cached(&prev2_copy, &dirty, &PaParams::default(), &cache);
+        assert_eq!(cache.hits(), hits_before + 1, "content-equal source hits");
+        assert_eq!(f3, expect2);
+    }
+
+    #[test]
+    fn stale_index_never_consulted_after_rollback() {
+        // Simulates the engine's recovery barrier: the previous-state
+        // mirror rolls FORWARD to v2 (cache warms against v2), then a
+        // recovery rolls it BACK to v1. A stale v2 index must never serve
+        // the post-rollback encode — with invalidation (the engine's
+        // behaviour) and even without it (the equality check is the
+        // backstop).
+        let mut rng = StdRng::seed_from_u64(65);
+        let v1 = random_page(&mut rng);
+        let v2 = mutated(&v1, 0, 2048, &mut rng);
+        let dirty = Snapshot::from_pages([(0, mutated(&v1, 3000, 3200, &mut rng))]);
+        let prev_v2 = Snapshot::from_pages([(0, v2)]);
+        let prev_v1 = Snapshot::from_pages([(0, v1)]); // rollback target
+        let (oracle, oracle_report) = pa_encode(&prev_v1, &dirty, &PaParams::default());
+
+        // Path 1: engine behaviour — invalidate at the rollback barrier.
+        let cache = SourceIndexCache::new();
+        let _ = pa_encode_cached(&prev_v2, &dirty, &PaParams::default(), &cache);
+        assert_eq!(cache.len(), 1, "warm v2 entry");
+        cache.invalidate_all();
+        let (file, report) = pa_encode_cached(&prev_v1, &dirty, &PaParams::default(), &cache);
+        assert_eq!(file, oracle);
+        assert_eq!(report, oracle_report);
+        assert_eq!(cache.hits(), 0, "nothing stale was ever served");
+
+        // Path 2: defense in depth — even WITHOUT invalidation, the v2
+        // entry fails the exact source-equality check and is rebuilt.
+        let cache = SourceIndexCache::new();
+        let _ = pa_encode_cached(&prev_v2, &dirty, &PaParams::default(), &cache);
+        let (file, report) = pa_encode_cached(&prev_v1, &dirty, &PaParams::default(), &cache);
+        assert_eq!(file, oracle);
+        assert_eq!(report, oracle_report);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2, "stale entry rejected, index rebuilt");
+    }
+
+    #[test]
+    fn invalidate_all_clears_and_forces_rebuild() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let p = random_page(&mut rng);
+        let prev = Snapshot::from_pages([(0, p.clone())]);
+        let dirty = Snapshot::from_pages([(0, mutated(&p, 0, 50, &mut rng))]);
+
+        let cache = SourceIndexCache::new();
+        let _ = pa_encode_cached(&prev, &dirty, &PaParams::default(), &cache);
+        assert_eq!(cache.len(), 1);
+        cache.invalidate_all();
+        assert!(cache.is_empty());
+        let (file, _) = pa_encode_cached(&prev, &dirty, &PaParams::default(), &cache);
+        assert_eq!(cache.misses(), 2, "post-invalidation encode rebuilds");
+        let (expect, _) = pa_encode(&prev, &dirty, &PaParams::default());
+        assert_eq!(file, expect);
+    }
+
+    #[test]
+    fn parallel_cached_encode_matches_serial_across_widths() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let pages: Vec<Page> = (0..40).map(|_| random_page(&mut rng)).collect();
+        let prev = Snapshot::from_pages(
+            pages
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, p)| (i as u64, p)),
+        );
+        let mut dirty = Snapshot::new();
+        for (i, page) in pages.iter().enumerate() {
+            // Mix of small edits, rewrites (raw fallback), and untouched-copy.
+            let p = match i % 3 {
+                0 => mutated(page, 0, 100, &mut rng),
+                1 => random_page(&mut rng),
+                _ => page.clone(),
+            };
+            dirty.insert(i as u64, p);
+        }
+
+        let (serial, serial_report) = pa_encode(&prev, &dirty, &PaParams::default());
+        for workers in [1, 2, 4, 8] {
+            let cache = SourceIndexCache::new();
+            for round in 0..2 {
+                let (parallel, parallel_report) = pa_encode_parallel_cached(
+                    &prev,
+                    &dirty,
+                    &PaParams::default(),
+                    workers,
+                    Some(&cache),
+                );
+                assert_eq!(serial, parallel, "workers={workers} round={round}");
+                assert_eq!(serial_report, parallel_report);
+            }
+            // Round two ran entirely from cache (identical dirty set).
+            assert_eq!(cache.hits(), cache.misses(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn raw_fallback_rewind_keeps_neighbouring_records_intact() {
+        // A shard mixing [compressible, incompressible, compressible] pages
+        // exercises the arena truncate-and-append rewind between records.
+        let mut rng = StdRng::seed_from_u64(64);
+        let pages: Vec<Page> = (0..3).map(|_| random_page(&mut rng)).collect();
+        let prev = Snapshot::from_pages(
+            pages
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, p)| (i as u64, p)),
+        );
+        let mut dirty = Snapshot::new();
+        dirty.insert(0, mutated(&pages[0], 0, 64, &mut rng));
+        dirty.insert(1, random_page(&mut rng)); // unrelated: raw fallback
+        dirty.insert(2, mutated(&pages[2], 2000, 2100, &mut rng));
+
+        let shard = Shard { start: 0, end: 3 };
+        let (records, report) =
+            pa_encode_shard_cached(&prev, &dirty, shard, &PaParams::default(), None);
+        assert!(matches!(records[0], PageRecord::Delta { .. }));
+        assert!(matches!(records[1], PageRecord::Raw { .. }));
+        assert!(matches!(records[2], PageRecord::Delta { .. }));
+        let (expect_records, expect_report) = pa_encode(&prev, &dirty, &PaParams::default());
+        let (file, _) = pa_assemble(std::iter::once((records, report)));
+        assert_eq!(file, expect_records);
+        assert_eq!(
+            {
+                let mut r = report;
+                r.delta_bytes = file.wire_len();
+                r
+            },
+            expect_report
+        );
+        assert_eq!(pa_decode(&prev, &file).unwrap(), dirty);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Fixed-size memory pages.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Page size in bytes, matching the paper's testbed (4096-byte pages on
 /// x86-64 Linux).
@@ -11,18 +12,25 @@ pub type PageIdx = u64;
 
 /// A single 4 KiB page of simulated memory.
 ///
-/// Pages are heap-allocated and cloneable; cloning is how snapshots and
-/// checkpoints capture page contents.
+/// Pages are copy-on-write: cloning shares the backing buffer (an `Arc`),
+/// and the first mutation through a shared handle copies it. This makes
+/// snapshots and checkpoint captures O(1) per page — the kernel's own
+/// fork/CoW trick — while keeping value semantics: a clone never observes
+/// later writes to the original.
+///
+/// A shared buffer is immutable for as long as more than one handle points
+/// at it, so [`Page::ptr_eq`] witnesses content equality without comparing
+/// bytes; the delta layer's source-index cache leans on that.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Page {
-    bytes: Box<[u8; PAGE_SIZE]>,
+    bytes: Arc<[u8; PAGE_SIZE]>,
 }
 
 impl Page {
     /// A page of all zeroes (fresh anonymous mapping semantics).
     pub fn zeroed() -> Self {
         Page {
-            bytes: Box::new([0u8; PAGE_SIZE]),
+            bytes: Arc::new([0u8; PAGE_SIZE]),
         }
     }
 
@@ -37,7 +45,9 @@ impl Page {
             "page must be exactly {PAGE_SIZE} bytes"
         );
         let mut p = Page::zeroed();
-        p.bytes.copy_from_slice(data);
+        Arc::get_mut(&mut p.bytes)
+            .expect("freshly allocated")
+            .copy_from_slice(data);
         p
     }
 
@@ -47,10 +57,22 @@ impl Page {
         &self.bytes[..]
     }
 
-    /// Mutable view of the page contents.
+    /// Mutable view of the page contents. If the buffer is shared with any
+    /// clone (a snapshot, a cache entry), it is copied first — writes are
+    /// never visible through other handles.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
-        &mut self.bytes[..]
+        &mut Arc::make_mut(&mut self.bytes)[..]
+    }
+
+    /// True if `self` and `other` share the same backing buffer.
+    ///
+    /// Because a shared buffer is never mutated in place (every write path
+    /// goes through [`Page::as_mut_slice`], which copies when shared),
+    /// pointer equality implies byte equality — an O(1) version check.
+    #[inline]
+    pub fn ptr_eq(&self, other: &Page) -> bool {
+        Arc::ptr_eq(&self.bytes, &other.bytes)
     }
 
     /// Overwrite `data.len()` bytes starting at `offset`.
@@ -63,7 +85,7 @@ impl Page {
             "write of {} bytes at offset {offset} exceeds page",
             data.len()
         );
-        self.bytes[offset..offset + data.len()].copy_from_slice(data);
+        self.as_mut_slice()[offset..offset + data.len()].copy_from_slice(data);
     }
 
     /// True if every byte is zero.
@@ -153,5 +175,34 @@ mod tests {
         a.write_at(0, &[1]);
         assert!(b.is_zero());
         assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn clone_shares_until_written() {
+        let a = Page::from_bytes(&[7u8; PAGE_SIZE]);
+        let mut b = a.clone();
+        assert!(a.ptr_eq(&b), "clone shares the buffer");
+        b.write_at(0, &[1]);
+        assert!(!a.ptr_eq(&b), "write un-shares");
+        assert_eq!(a.as_slice()[0], 7);
+        assert_eq!(b.as_slice()[0], 1);
+    }
+
+    #[test]
+    fn ptr_eq_implies_content_eq() {
+        let a = Page::from_bytes(&[3u8; PAGE_SIZE]);
+        let b = a.clone();
+        assert!(a.ptr_eq(&b) && a == b);
+        // Equal content in distinct buffers is not ptr-equal.
+        let c = Page::from_bytes(&[3u8; PAGE_SIZE]);
+        assert!(!a.ptr_eq(&c) && a == c);
+    }
+
+    #[test]
+    fn unshared_write_keeps_buffer_in_place() {
+        let mut a = Page::zeroed();
+        let before = a.as_slice().as_ptr();
+        a.write_at(0, &[9]);
+        assert_eq!(a.as_slice().as_ptr(), before, "sole owner writes in place");
     }
 }

@@ -8,8 +8,9 @@ use proptest::prelude::*;
 
 use aic::ckpt::format::{CheckpointFile, CheckpointKind};
 use aic::ckpt::storage::{BandwidthModel, FlatStore, Raid5Group, Store};
-use aic::delta::encode::EncodeParams;
-use aic::delta::pa::{pa_decode, pa_encode, PaParams};
+use aic::delta::encode::{encode_with_report, EncodeParams};
+use aic::delta::pa::{pa_decode, pa_encode, pa_encode_cached, PaParams, SourceIndexCache};
+use aic::delta::reference::encode_with_report_reference;
 use aic::delta::xor::{xor_decode, xor_encode};
 use aic::delta::{decode, encode};
 use aic::memsim::{Page, Snapshot, PAGE_SIZE};
@@ -52,6 +53,98 @@ proptest! {
         let target = splice(&source, &edits);
         let delta = encode(&source, &target, &EncodeParams::default());
         prop_assert_eq!(decode(&source, &delta).unwrap(), target);
+    }
+
+    #[test]
+    fn optimized_encoder_is_bit_identical_to_reference(
+        source in vec(any::<u8>(), 0..8192),
+        target in vec(any::<u8>(), 0..8192),
+        block_size in 4usize..128,
+        max_probe in 1usize..12,
+    ) {
+        // The optimized hot path (flat index, word-wise extension, direct
+        // arena emission) must reproduce the naive retained encoder's wire
+        // bytes — payload AND header fields AND work report — exactly.
+        let params = EncodeParams { block_size, max_probe };
+        let (optimized, opt_report) = encode_with_report(&source, &target, &params);
+        let (reference, ref_report) = encode_with_report_reference(&source, &target, &params);
+        prop_assert_eq!(optimized, reference);
+        prop_assert_eq!(opt_report, ref_report);
+    }
+
+    #[test]
+    fn optimized_matches_reference_on_similar_pairs_and_tail_windows(
+        source in vec(any::<u8>(), 256..8192),
+        edits in vec((any::<usize>(), vec(any::<u8>(), 1..256)), 0..6),
+        tail in 0usize..64,
+        block_size in 4usize..128,
+    ) {
+        // Spliced targets exercise the COPY/extension paths; truncating by
+        // `tail` bytes forces final windows with target.len() - pos <
+        // block_size (the scan-loop exit conditions).
+        let mut target = splice(&source, &edits);
+        let keep = target.len().saturating_sub(tail);
+        target.truncate(keep);
+        let params = EncodeParams { block_size, max_probe: 8 };
+        let (optimized, opt_report) = encode_with_report(&source, &target, &params);
+        let (reference, ref_report) = encode_with_report_reference(&source, &target, &params);
+        prop_assert_eq!(decode(&source, &optimized).unwrap(), target);
+        prop_assert_eq!(optimized, reference);
+        prop_assert_eq!(opt_report, ref_report);
+    }
+
+    #[test]
+    fn optimized_matches_reference_under_pathological_repetition(
+        unit in vec(any::<u8>(), 1..8),
+        reps in 64usize..512,
+        max_probe in 1usize..6,
+        noise_at in any::<usize>(),
+        noise in any::<u8>(),
+    ) {
+        // Highly repetitive buffers give every weak hash hundreds of
+        // candidates; the max_probe bound and candidate ORDER must agree
+        // between the two encoders for the outputs to stay identical.
+        let source: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let mut target = source.clone();
+        let at = noise_at % target.len();
+        target[at] = noise; // one disruption breaks the uniform match chain
+        let params = EncodeParams { block_size: 16, max_probe };
+        let (optimized, opt_report) = encode_with_report(&source, &target, &params);
+        let (reference, ref_report) = encode_with_report_reference(&source, &target, &params);
+        prop_assert_eq!(decode(&source, &optimized).unwrap(), target);
+        prop_assert_eq!(optimized, reference);
+        prop_assert_eq!(opt_report, ref_report);
+    }
+
+    #[test]
+    fn cached_pa_encode_matches_uncached_across_rounds(
+        seed_pages in vec((0u64..64, any::<u8>()), 1..10),
+        edit_frac in 0u8..=100,
+    ) {
+        let mut prev = Snapshot::new();
+        for (idx, fill) in &seed_pages {
+            let mut p = Page::zeroed();
+            p.write_at(0, &vec![*fill; PAGE_SIZE]);
+            prev.insert(*idx, p);
+        }
+        let mut dirty = Snapshot::new();
+        for (idx, fill) in &seed_pages {
+            let mut p = prev.get(*idx).unwrap().clone();
+            let len = PAGE_SIZE * (edit_frac as usize) / 100;
+            p.write_at(0, &vec![fill.wrapping_add(1); len.max(1)]);
+            dirty.insert(*idx, p);
+        }
+        let (plain, plain_report) = pa_encode(&prev, &dirty, &PaParams::default());
+        let cache = SourceIndexCache::new();
+        // Round 1 populates the cache; round 2 is served from it. Both
+        // must equal the uncached encode bit for bit.
+        for round in 0..2 {
+            let (cached, cached_report) =
+                pa_encode_cached(&prev, &dirty, &PaParams::default(), &cache);
+            prop_assert_eq!(&cached, &plain, "round {}", round);
+            prop_assert_eq!(&cached_report, &plain_report, "round {}", round);
+        }
+        prop_assert_eq!(cache.hits(), cache.misses());
     }
 
     #[test]

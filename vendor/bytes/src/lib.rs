@@ -295,6 +295,20 @@ impl BytesMut {
         self.buf.resize(self.read + new_len, value);
     }
 
+    /// Shorten to `len` unread bytes; no-op if already shorter. Capacity is
+    /// retained, so a builder can rewind speculative output and reuse the
+    /// space.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.buf.truncate(self.read + len);
+        }
+    }
+
+    /// Reserve space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
     /// The unread contents as a slice.
     pub fn as_slice(&self) -> &[u8] {
         &self.buf[self.read..]
