@@ -6,14 +6,19 @@
 //! repro fig11 --quick       # reduced footprint/duration (CI-sized)
 //! repro table3 --footprint 0.5 --duration 0.5 --seed 7
 //! repro fig12 --csv         # machine-readable series
+//! repro replay --quick --metrics-out run.jsonl
+//!                           # deterministic instrumented run; write the
+//!                           # metric + span snapshot (same seed => same
+//!                           # bytes)
 //! ```
 
 use std::env;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use aic_bench::experiments::{
     ablation, bench_delta, faults, fig11, fig12, fig2, fig5, fig6, fig7, fleet_sharing,
-    mpi_scaling, pool_scaling, regret, table1, table3, validate, RunScale,
+    mpi_scaling, pool_scaling, regret, replay, table1, table3, validate, RunScale,
 };
 use aic_bench::output::csv;
 
@@ -23,6 +28,7 @@ struct Args {
     scale: RunScale,
     csv: bool,
     jobs: usize,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         scale: RunScale::default(),
         csv: false,
         jobs: 2_000,
+        metrics_out: None,
     };
     let mut it = env::args().skip(1);
     let Some(exp) = it.next() else {
@@ -68,6 +75,11 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--jobs needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --jobs: {e}"))?;
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(
+                    it.next().ok_or("--metrics-out needs a value")?,
+                ));
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -205,6 +217,16 @@ fn run_one(args: &Args) -> Result<(), String> {
                 .map_err(|e| format!("writing BENCH_delta.json: {e}"))?;
             println!("\nwrote BENCH_delta.json");
         }
+        "replay" => {
+            println!("## Golden replay — deterministic instrumented run\n");
+            let outcome = replay::run(scale);
+            print!("{}", outcome.render());
+            if let Some(path) = &args.metrics_out {
+                std::fs::write(path, outcome.snapshot_text())
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                println!("wrote {}", path.display());
+            }
+        }
         "validate" => {
             println!("## Model vs Monte-Carlo validation\n");
             let rows = validate::run(400, scale.seed);
@@ -218,7 +240,7 @@ fn run_one(args: &Args) -> Result<(), String> {
         "all" => {
             for exp in [
                 "table1", "fig5", "fig6", "fig7", "fig2", "table3", "fig11", "fig12", "validate",
-                "ablation", "mpi", "pool", "bench", "fleet", "regret", "faults",
+                "ablation", "mpi", "pool", "bench", "fleet", "regret", "faults", "replay",
             ] {
                 let sub = Args {
                     experiment: exp.to_string(),
@@ -245,8 +267,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|pool|bench|fleet|regret|faults|all> \
-                 [--quick] [--csv] [--footprint F] [--duration D] [--seed N] [--jobs N]"
+                "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|pool|bench|fleet|regret|faults|replay|all> \
+                 [--quick] [--csv] [--footprint F] [--duration D] [--seed N] [--jobs N] [--metrics-out FILE]"
             );
             ExitCode::FAILURE
         }

@@ -13,6 +13,7 @@ pub mod fleet_sharing;
 pub mod mpi_scaling;
 pub mod pool_scaling;
 pub mod regret;
+pub mod replay;
 pub mod table1;
 pub mod table3;
 pub mod validate;

@@ -9,6 +9,11 @@
 //!                                # inject a failure mid-run, recover from
 //!                                # the cheapest surviving storage level,
 //!                                # and check the final image bit-for-bit
+//! aicctl stats [--secs S] [--seed N] [--jsonl FILE]
+//!                                # run an instrumented engine pass (with a
+//!                                # mid-run L2 fault) and dump the metrics
+//!                                # registry; --jsonl also writes the
+//!                                # metric + span streams as JSONL
 //! ```
 //!
 //! Checkpoint files are the same serialized format the engine ships to the
@@ -18,8 +23,11 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use bytes::Bytes;
+
+use aic_obs::Obs;
 
 use aic_ckpt::chain::CheckpointChain;
 use aic_ckpt::engine::EngineConfig;
@@ -40,9 +48,10 @@ fn main() -> ExitCode {
         Some("verify") if args.len() == 2 => verify(Path::new(&args[1])).map(|_| ()),
         Some("restore") if args.len() == 3 => restore(Path::new(&args[1]), Path::new(&args[2])),
         Some("faults") => faults(&args[1..]),
+        Some("stats") => stats(&args[1..]),
         _ => {
             eprintln!(
-                "usage: aicctl <demo <dir> | inspect <file.ckpt> | verify <dir> | restore <dir> <out.img> | faults [--secs S] [--level L] [--at T] [--seed N]>"
+                "usage: aicctl <demo <dir> | inspect <file.ckpt> | verify <dir> | restore <dir> <out.img> | faults [--secs S] [--level L] [--at T] [--seed N] | stats [--secs S] [--seed N] [--jsonl FILE]>"
             );
             return ExitCode::FAILURE;
         }
@@ -158,11 +167,14 @@ fn verify(dir: &Path) -> CliResult<Snapshot> {
     let snapshot = chain
         .restore_latest()
         .map_err(|e| format!("chain replay failed: {e}"))?;
+    let newest = chain
+        .latest_seq()
+        .ok_or("chain replayed to nothing: no checkpoints loaded")?;
     println!(
         "chain OK: {} checkpoints, {} KiB on the wire, newest seq {}, image {} pages",
         chain.len(),
         chain.total_wire_bytes() / 1024,
-        chain.latest_seq().unwrap(),
+        newest,
         snapshot.len()
     );
     Ok(snapshot)
@@ -294,6 +306,71 @@ fn faults(opts: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Run one instrumented engine pass (fixed-interval policy, mid-run L2
+/// fault) and dump the metrics registry. With `--jsonl FILE`, also write the
+/// full metric snapshot plus the span/event stream as JSONL.
+fn stats(opts: &[String]) -> CliResult {
+    let mut secs = 24.0f64;
+    let mut seed = 11u64;
+    let mut jsonl: Option<PathBuf> = None;
+    let mut it = opts.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+                .cloned()
+        };
+        match flag.as_str() {
+            "--secs" => {
+                secs = val("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?;
+            }
+            "--seed" => {
+                seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--jsonl" => jsonl = Some(PathBuf::from(val("--jsonl")?)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!("--secs must be positive, got {secs}"));
+    }
+
+    let obs = Arc::new(Obs::new());
+    let mut cfg = EngineConfig::testbed(aic_model::FailureRates::three(2e-7, 1.8e-6, 4e-7));
+    cfg.keep_files = true;
+    cfg.full_every = Some(4);
+    cfg.obs = Some(Arc::clone(&obs));
+    let mut policy = FixedIntervalPolicy::new((secs / 8.0).max(0.5));
+    let out = run_with_faults(
+        stream_process(secs, seed),
+        &mut policy,
+        cfg,
+        &FailureSchedule::single(secs * 0.55, 2, 1),
+    )
+    .map_err(|e| format!("instrumented run failed: {e}"))?;
+
+    println!(
+        "run: {} checkpoints over {:.2}s wall, NET2 {:.4}",
+        out.report.intervals.len(),
+        out.report.wall_time,
+        out.report.net2
+    );
+    print!("{}", obs.metrics.snapshot().render());
+    println!(
+        "spans: {} events held, {} dropped",
+        obs.spans.len(),
+        obs.spans.dropped()
+    );
+
+    if let Some(path) = jsonl {
+        let mut text = obs.metrics.snapshot().to_jsonl();
+        text.push_str(&obs.spans.to_jsonl());
+        fs::write(&path, &text).map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,5 +442,25 @@ mod tests {
         assert!(faults(&["--secs".into(), "-1".into()]).is_err());
         assert!(faults(&["--bogus".into()]).is_err());
         assert!(faults(&["--seed".into()]).is_err());
+    }
+
+    #[test]
+    fn stats_subcommand_writes_metrics_jsonl() {
+        let path = std::env::temp_dir().join(format!("aicctl-stats-{}.jsonl", std::process::id()));
+        let _ = fs::remove_file(&path);
+        stats(&[
+            "--secs".into(),
+            "12".into(),
+            "--jsonl".into(),
+            path.display().to_string(),
+        ])
+        .unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"metric\":\"engine.checkpoints\""));
+        assert!(text.contains("\"metric\":\"storage.commits\""));
+        assert!(text.contains("\"name\":\"engine.recover\""));
+        let _ = fs::remove_file(&path);
+        assert!(stats(&["--secs".into(), "0".into()]).is_err());
+        assert!(stats(&["--frobnicate".into()]).is_err());
     }
 }

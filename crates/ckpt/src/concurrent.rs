@@ -35,6 +35,43 @@ use aic_delta::pa::{
 };
 use aic_delta::stats::EncodeReport;
 use aic_memsim::Snapshot;
+use aic_obs::{Counter, CounterShard, Gauge, Histogram, Obs, Volatility};
+
+/// Shard encode latency buckets, nanoseconds (1 µs .. 100 ms).
+static SHARD_NS_BUCKETS: [u64; 6] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+
+/// The pool's registered metric handles.
+///
+/// `pool.shard_encode_ns` is wall-clock derived and therefore registered
+/// [`Volatility::Volatile`] — it never appears in deterministic snapshots.
+/// The job/shard counters are exact and caller-ordered, so they stay stable.
+#[derive(Debug, Clone)]
+struct PoolObs {
+    jobs: Counter,
+    queue_depth: Gauge,
+    shards: Counter,
+    shard_ns: Histogram,
+    cache_hits: Gauge,
+    cache_misses: Gauge,
+}
+
+impl PoolObs {
+    fn new(obs: &Arc<Obs>) -> Self {
+        let m = &obs.metrics;
+        PoolObs {
+            jobs: m.counter("pool.jobs"),
+            queue_depth: m.gauge("pool.queue_depth"),
+            shards: m.counter("pool.shards"),
+            shard_ns: m.histogram_with(
+                "pool.shard_encode_ns",
+                &SHARD_NS_BUCKETS,
+                Volatility::Volatile,
+            ),
+            cache_hits: m.gauge("pool.cache.hits"),
+            cache_misses: m.gauge("pool.cache.misses"),
+        }
+    }
+}
 
 /// A compression job for the checkpointing core(s).
 #[derive(Debug)]
@@ -113,6 +150,7 @@ pub struct CompressorPool {
     /// exact source equality, so pooled output stays bit-identical to the
     /// serial encoder. The engine invalidates it on restore/recovery.
     cache: Arc<SourceIndexCache>,
+    obs: Option<PoolObs>,
 }
 
 impl CompressorPool {
@@ -125,6 +163,17 @@ impl CompressorPool {
     /// `workers == 1` each job is planned as a single shard and the pool
     /// degenerates to the paper's single dedicated core.
     pub fn spawn(workers: usize, queue_depth: usize) -> Self {
+        Self::spawn_with_obs(workers, queue_depth, None)
+    }
+
+    /// [`CompressorPool::spawn`] with an observability bundle attached: the
+    /// pool reports job/shard counts, caller-visible queue depth, wall-clock
+    /// shard encode latency (volatile), and the shared source-index cache's
+    /// hit/miss totals. Workers batch their shard counts in a local
+    /// [`CounterShard`], merged into the shared counter when the worker
+    /// exits — no extra atomic traffic on the encode path.
+    pub fn spawn_with_obs(workers: usize, queue_depth: usize, obs: Option<&Arc<Obs>>) -> Self {
+        let pool_obs = obs.map(PoolObs::new);
         let workers = workers.max(1);
         let depth = queue_depth.max(1);
         let (job_tx, job_rx) = bounded::<(CompressJob, Instant)>(depth);
@@ -198,11 +247,18 @@ impl CompressorPool {
             let shard_rx = shard_rx.clone();
             let done_tx = done_tx.clone();
             let cache = Arc::clone(&cache);
+            let worker_obs = pool_obs.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("aic-ckpt-core-{i}"))
                     .spawn(move || {
+                        // Worker-local shard tally: one shared-counter merge
+                        // per worker lifetime (CounterShard flushes on drop),
+                        // zero atomics per shard.
+                        let mut local = CounterShard::new();
+                        let shard_slot = worker_obs.as_ref().map(|o| local.slot(o.shards.clone()));
                         while let Ok(task) = shard_rx.recv() {
+                            let t0 = Instant::now();
                             let part = pa_encode_shard_cached(
                                 &task.job.prev,
                                 &task.job.dirty,
@@ -210,6 +266,10 @@ impl CompressorPool {
                                 &task.job.params,
                                 Some(&cache),
                             );
+                            if let (Some(o), Some(slot)) = (&worker_obs, shard_slot) {
+                                local.inc(slot);
+                                o.shard_ns.observe(t0.elapsed().as_nanos() as u64);
+                            }
                             task.state.parts.lock().unwrap()[task.slot] = Some(part);
                             if task.state.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
                                 continue; // other shards still in flight
@@ -267,6 +327,18 @@ impl CompressorPool {
             submitted: AtomicU64::new(0),
             received: AtomicU64::new(0),
             cache,
+            obs: pool_obs,
+        }
+    }
+
+    /// Refresh the caller-facing gauges: current queue depth and the shared
+    /// cache's cumulative hit/miss totals. Called on every submit/receive,
+    /// i.e. from the single caller thread, so the gauge writes are ordered.
+    fn refresh_gauges(&self) {
+        if let Some(o) = &self.obs {
+            o.queue_depth.set(self.in_flight() as f64);
+            o.cache_hits.set(self.cache.hits() as f64);
+            o.cache_misses.set(self.cache.misses() as f64);
         }
     }
 
@@ -298,6 +370,10 @@ impl CompressorPool {
     /// Submit a job; blocks if the queue is full.
     pub fn submit(&self, job: CompressJob) {
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.jobs.inc();
+        }
+        self.refresh_gauges();
         self.tx
             .as_ref()
             .expect("pool is live")
@@ -320,6 +396,7 @@ impl CompressorPool {
     pub fn recv(&self) -> CompressResult {
         let r = self.rx.recv().expect("compressor pool died");
         self.received.fetch_add(1, Ordering::Relaxed);
+        self.refresh_gauges();
         r
     }
 
@@ -327,6 +404,7 @@ impl CompressorPool {
     pub fn try_recv(&self) -> Option<CompressResult> {
         let r = self.rx.try_recv().ok()?;
         self.received.fetch_add(1, Ordering::Relaxed);
+        self.refresh_gauges();
         Some(r)
     }
 
@@ -339,6 +417,7 @@ impl CompressorPool {
             self.received.fetch_add(1, Ordering::Relaxed);
             out.push(r);
         }
+        self.refresh_gauges();
         // Drop joins the (now finished) threads.
         out
     }
@@ -374,6 +453,14 @@ impl CheckpointingCore {
     pub fn spawn(queue_depth: usize) -> Self {
         CheckpointingCore {
             pool: CompressorPool::spawn(1, queue_depth),
+        }
+    }
+
+    /// [`CheckpointingCore::spawn`] with an observability bundle attached
+    /// (see [`CompressorPool::spawn_with_obs`]).
+    pub fn spawn_with_obs(queue_depth: usize, obs: Option<&Arc<Obs>>) -> Self {
+        CheckpointingCore {
+            pool: CompressorPool::spawn_with_obs(1, queue_depth, obs),
         }
     }
 
@@ -599,6 +686,48 @@ mod tests {
         let r2 = pool.recv();
         assert_eq!(r2.file, serial);
         assert_eq!(cache.misses(), 48, "post-invalidation job rebuilt all 24");
+    }
+
+    #[test]
+    fn attached_obs_counts_jobs_shards_and_cache_traffic() {
+        let obs = Arc::new(Obs::new());
+        let prev = snapshot(24, 60);
+        let dirty = mutate(&prev, 61);
+        let pool = CompressorPool::spawn_with_obs(4, 4, Some(&obs));
+        for seq in 0..3u64 {
+            pool.submit(CompressJob {
+                seq,
+                prev: prev.clone(),
+                dirty: dirty.clone(),
+                params: PaParams::default(),
+            });
+        }
+        // drain() consumes the pool, joining the workers, which flushes
+        // their local shard tallies into the shared counter.
+        let results = pool.drain();
+        assert_eq!(results.len(), 3);
+
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("pool.jobs"), Some(3));
+        let shards = snap.counter("pool.shards").unwrap();
+        assert!(shards >= 3, "each job is at least one shard, got {shards}");
+        assert_eq!(snap.gauge("pool.queue_depth"), Some(0.0));
+        assert_eq!(snap.gauge("pool.cache.misses"), Some(24.0));
+        assert_eq!(snap.gauge("pool.cache.hits"), Some(48.0));
+        match &snap.get("pool.shard_encode_ns").unwrap().value {
+            aic_obs::SampleValue::Histogram { counts, .. } => {
+                let total: u64 = counts.iter().sum();
+                assert_eq!(total, shards, "one latency observation per shard");
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+
+        // Wall-clock latency is volatile: it must not leak into the
+        // deterministic snapshot, while the exact counters stay.
+        let det = obs.metrics.deterministic_snapshot();
+        assert!(det.get("pool.shard_encode_ns").is_none());
+        assert_eq!(det.counter("pool.jobs"), Some(3));
+        assert_eq!(det.counter("pool.shards"), Some(shards));
     }
 
     #[test]

@@ -27,6 +27,7 @@ use aic_delta::xor::xor_encode;
 use aic_memsim::{AddressSpace, SimProcess, SimTime, Snapshot};
 use aic_model::nonstatic::{interval_time_l2l3, IntervalParams};
 use aic_model::FailureRates;
+use aic_obs::{Counter, Gauge, Histogram, Obs, Span};
 
 use crate::chain::{CheckpointChain, RestoreError};
 use crate::format::{CheckpointFile, CheckpointKind};
@@ -159,6 +160,12 @@ pub struct EngineConfig {
     /// mid-run fault injection and end-to-end recovery
     /// ([`crate::engine::run_engine_with_faults`]).
     pub storage: Option<Arc<Mutex<StorageHierarchy>>>,
+    /// Observability bundle. When set, the engine emits interval-lifecycle
+    /// spans (protect → encode → commit → recover) and counters to it, and
+    /// shares it with the policy and the storage hierarchy. All engine
+    /// emissions are virtual-clock-stamped and deterministic under a fixed
+    /// seed.
+    pub obs: Option<Arc<Obs>>,
 }
 
 impl EngineConfig {
@@ -178,6 +185,7 @@ impl EngineConfig {
             keep_files: false,
             full_every: None,
             storage: None,
+            obs: None,
         }
     }
 }
@@ -222,6 +230,69 @@ pub trait CheckpointPolicy {
     /// Compute-core seconds charged per decision tick (predictor cost).
     fn decision_cost(&self) -> f64 {
         0.0
+    }
+    /// Share the run's observability bundle with the policy (called once at
+    /// engine start when `EngineConfig::obs` is set). Policies that emit
+    /// predicted-vs-realized metrics keep the handle; the default ignores it.
+    fn attach_obs(&mut self, _obs: &Arc<Obs>) {}
+}
+
+/// Dirty-page-count histogram buckets (pages per checkpoint).
+static DIRTY_PAGE_BUCKETS: [u64; 7] = [1, 4, 16, 64, 256, 1024, 4096];
+/// Compressed-payload histogram buckets (bytes per checkpoint).
+static DS_BYTE_BUCKETS: [u64; 8] = [
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+    4 << 20,
+    16 << 20,
+];
+
+/// The engine's registered metric handles (one registration per run, cheap
+/// clone-and-record afterwards).
+struct EngineObs {
+    obs: Arc<Obs>,
+    ticks: Counter,
+    checkpoints: Counter,
+    full_checkpoints: Counter,
+    dirty_pages: Counter,
+    raw_bytes: Counter,
+    delta_bytes: Counter,
+    recoveries: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    dirty_hist: Histogram,
+    ds_hist: Histogram,
+    net2: Gauge,
+    wall_time: Gauge,
+    base_time: Gauge,
+    blocking: Gauge,
+}
+
+impl EngineObs {
+    fn new(obs: &Arc<Obs>) -> Self {
+        let m = &obs.metrics;
+        EngineObs {
+            ticks: m.counter("engine.ticks"),
+            checkpoints: m.counter("engine.checkpoints"),
+            full_checkpoints: m.counter("engine.full_checkpoints"),
+            dirty_pages: m.counter("engine.dirty_pages"),
+            raw_bytes: m.counter("engine.raw_bytes"),
+            delta_bytes: m.counter("engine.delta_bytes"),
+            recoveries: m.counter("engine.recoveries"),
+            cache_hits: m.counter("engine.cache.hits"),
+            cache_misses: m.counter("engine.cache.misses"),
+            dirty_hist: m.histogram("engine.dirty_pages_per_ckpt", &DIRTY_PAGE_BUCKETS),
+            ds_hist: m.histogram("engine.ds_bytes_per_ckpt", &DS_BYTE_BUCKETS),
+            net2: m.gauge("engine.net2"),
+            wall_time: m.gauge("engine.wall_time_s"),
+            base_time: m.gauge("engine.base_time_s"),
+            blocking: m.gauge("engine.blocking_overhead_s"),
+            obs: Arc::clone(obs),
+        }
     }
 }
 
@@ -334,6 +405,16 @@ pub fn run_engine_with_faults(
     let base_time = process.base_time().as_secs();
     let want_files = config.keep_files || config.storage.is_some();
 
+    // Register metrics once and share the bundle with the policy and the
+    // storage hierarchy before anything is committed.
+    let eng_obs = config.obs.as_ref().map(EngineObs::new);
+    if let Some(obs) = &config.obs {
+        policy.attach_obs(obs);
+        if let Some(storage) = &config.storage {
+            lock_storage(storage)?.attach_obs(obs);
+        }
+    }
+
     // Initialize and take the mandatory first full checkpoint at t ≈ 0.
     process.run_until(SimTime::from_secs(0.0));
     let full0 = process.snapshot();
@@ -349,7 +430,7 @@ pub fn run_engine_with_faults(
             Bytes::from(process.save_cpu_state()),
         );
         if let Some(storage) = &config.storage {
-            storage.lock().unwrap().commit(&file0);
+            lock_storage(storage)?.commit(&file0)?;
         }
         if let Some(chain) = chain.as_mut() {
             chain.push(file0);
@@ -391,6 +472,9 @@ pub fn run_engine_with_faults(
         let tick = process.now() + SimTime::from_secs(config.decision_period);
         process.run_until(tick);
         let now = process.now().as_secs();
+        if let Some(o) = &eng_obs {
+            o.ticks.inc();
+        }
 
         // Inject the next scheduled failure once its time has passed.
         if schedule
@@ -402,8 +486,8 @@ pub fn run_engine_with_faults(
             next_fault += 1;
             let storage = config.storage.as_ref().expect("asserted non-empty");
             let (img, repair) = {
-                let mut hier = storage.lock().unwrap();
-                hier.inject_failure(spec.level, spec.raid_victim);
+                let mut hier = lock_storage(storage)?;
+                hier.inject_failure(spec.level, spec.raid_victim)?;
                 let img = hier.recover()?;
                 // Rebuild RAID redundancy right away so a later failure
                 // does not find the group already degraded.
@@ -433,6 +517,28 @@ pub fn run_engine_with_faults(
                 rework_seconds: rework,
                 degraded: img.degraded,
             });
+            if let Some(o) = &eng_obs {
+                o.recoveries.inc();
+                let span = Span::enter(
+                    &o.obs.spans,
+                    "engine.recover",
+                    spec.at,
+                    vec![
+                        ("fault_level", spec.level.into()),
+                        ("served", img.level.label().into()),
+                        ("restored_seq", img.seq.into()),
+                    ],
+                );
+                span.exit_with(
+                    now,
+                    vec![
+                        ("read_s", img.read_seconds.into()),
+                        ("repair_s", repair.seconds.into()),
+                        ("rework_s", rework.into()),
+                        ("degraded", img.degraded.into()),
+                    ],
+                );
+            }
             // The recovered image becomes the previous-checkpoint mirror —
             // moved, not cloned; nothing else needs it.
             prev_state = img.snapshot;
@@ -480,6 +586,16 @@ pub fn run_engine_with_faults(
             let dirty: Snapshot = process.snapshot_pages(dirty_log.iter().map(|d| d.page));
             let raw_bytes = dirty.bytes();
             let live: Vec<u64> = process.space().page_indices().collect();
+            if let Some(o) = &eng_obs {
+                // The protect sweep *is* the fault count: every page that
+                // trapped a write since the last cut is in `dirty`.
+                o.obs.spans.point(
+                    "engine.protect",
+                    now,
+                    vec![("seq", seq.into()), ("dirty_pages", dirty.len().into())],
+                );
+            }
+            let (cache_h0, cache_m0) = (index_cache.hits(), index_cache.misses());
 
             // Chain compaction: every Nth checkpoint is a fresh full one,
             // as is the first checkpoint after a recovery (re-baseline).
@@ -589,11 +705,12 @@ pub fn run_engine_with_faults(
                 }
             };
 
+            let mut commit_receipt = None;
             if let Some(file) = file {
                 if let Some(storage) = &config.storage {
                     // Commit through the hierarchy; a full anchor triggers
                     // chain truncation / GC on all three levels.
-                    storage.lock().unwrap().commit(&file);
+                    commit_receipt = Some(lock_storage(storage)?.commit(&file)?);
                 }
                 if let Some(chain) = chain.as_mut() {
                     if file.kind == CheckpointKind::Full {
@@ -609,6 +726,54 @@ pub fn run_engine_with_faults(
 
             let c2 = c1 + dl + ds_bytes as f64 * sf / config.b2;
             let c3 = c1 + dl + ds_bytes as f64 * sf / config.b3;
+            if let Some(o) = &eng_obs {
+                let dh = index_cache.hits() - cache_h0;
+                let dm = index_cache.misses() - cache_m0;
+                o.checkpoints.inc();
+                if compact {
+                    o.full_checkpoints.inc();
+                }
+                o.dirty_pages.add(dirty.len() as u64);
+                o.raw_bytes.add(raw_bytes);
+                o.delta_bytes.add(ds_bytes);
+                o.cache_hits.add(dh);
+                o.cache_misses.add(dm);
+                o.dirty_hist.observe(dirty.len() as u64);
+                o.ds_hist.observe(ds_bytes);
+                let span = Span::enter(
+                    &o.obs.spans,
+                    "engine.encode",
+                    now,
+                    vec![("seq", seq.into()), ("raw_bytes", raw_bytes.into())],
+                );
+                span.exit_with(
+                    now + dl,
+                    vec![
+                        ("ds_bytes", ds_bytes.into()),
+                        ("cache_hits", dh.into()),
+                        ("cache_misses", dm.into()),
+                    ],
+                );
+                if let Some(r) = &commit_receipt {
+                    // The commit span covers the L2/L3 drain on the
+                    // checkpointing core: from the cut to `c3 - c1` later.
+                    let span = Span::enter(
+                        &o.obs.spans,
+                        "engine.commit",
+                        now,
+                        vec![("seq", (seq + 1).into())],
+                    );
+                    span.exit_with(
+                        now + (c3 - c1),
+                        vec![
+                            ("l1_bytes", r.local.bytes.into()),
+                            ("l2_bytes", r.raid.bytes.into()),
+                            ("l3_bytes", r.remote.bytes.into()),
+                            ("gc_objects", r.truncated.into()),
+                        ],
+                    );
+                }
+            }
             let rec = IntervalRecord {
                 seq,
                 w: now - last_cut,
@@ -656,6 +821,12 @@ pub fn run_engine_with_faults(
     }
 
     let net2 = score_net2(&records, &initial_params, &config.rates, base_time);
+    if let Some(o) = &eng_obs {
+        o.net2.set(net2);
+        o.wall_time.set(base_time + blocking_overhead);
+        o.base_time.set(base_time);
+        o.blocking.set(blocking_overhead);
+    }
     let report = EngineReport {
         workload: process.name().to_string(),
         policy: policy.name().to_string(),
@@ -668,6 +839,17 @@ pub fn run_engine_with_faults(
         chain,
     };
     Ok((report, fault_events))
+}
+
+/// Lock the shared storage hierarchy, converting a poisoned mutex (a
+/// previous holder panicked mid-commit, so the hierarchy's levels may be
+/// inconsistent) into a typed error instead of a cascading panic.
+fn lock_storage(
+    storage: &Arc<Mutex<StorageHierarchy>>,
+) -> Result<std::sync::MutexGuard<'_, StorageHierarchy>, RecoveryError> {
+    storage.lock().map_err(|_| {
+        RecoveryError::StorageUnavailable("storage mutex poisoned by a panicked holder".to_string())
+    })
 }
 
 /// Eq. (1): `NET² = Σ_i T_int(i) / t`, with `T_int(i)` from the non-static
@@ -913,6 +1095,69 @@ mod tests {
             score_net2(&[], &ip, &FailureRates::three(1e-3, 0.0, 0.0), 100.0),
             1.0
         );
+    }
+
+    #[test]
+    fn obs_bundle_traces_the_interval_lifecycle() {
+        use aic_obs::EventKind;
+        let obs = Arc::new(Obs::new());
+        let mut cfg = testbed();
+        cfg.obs = Some(obs.clone());
+        cfg.storage = Some(Arc::new(Mutex::new(StorageHierarchy::coastal(4))));
+        let mut policy = FixedIntervalPolicy::new(5.0);
+        let report = run_engine(small_process(30.0), &mut policy, &cfg);
+
+        let snap = obs.metrics.deterministic_snapshot();
+        let ckpts = report.intervals.iter().filter(|r| r.raw_bytes > 0).count() as u64;
+        assert_eq!(snap.counter("engine.checkpoints"), Some(ckpts));
+        assert!(snap.counter("engine.ticks").unwrap() >= 29);
+        assert_eq!(snap.counter("engine.recoveries"), Some(0));
+        // Storage saw every cut plus the initial full anchor.
+        assert_eq!(snap.counter("storage.commits"), Some(ckpts + 1));
+        assert!(
+            snap.counter("engine.raw_bytes").unwrap() > snap.counter("engine.delta_bytes").unwrap(),
+            "PA deltas must compress the raw incrementals"
+        );
+        assert!(snap.gauge("engine.net2").unwrap() >= 1.0);
+        assert!(
+            snap.gauge("engine.wall_time_s").unwrap() > snap.gauge("engine.base_time_s").unwrap()
+        );
+
+        // One protect point, one encode span and one commit span per cut.
+        let events = obs.spans.events();
+        let count = |name: &str, kind: EventKind| {
+            events
+                .iter()
+                .filter(|e| e.name == name && e.kind == kind)
+                .count() as u64
+        };
+        assert_eq!(count("engine.protect", EventKind::Point), ckpts);
+        assert_eq!(count("engine.encode", EventKind::Enter), ckpts);
+        assert_eq!(count("engine.encode", EventKind::Exit), ckpts);
+        assert_eq!(count("engine.commit", EventKind::Enter), ckpts);
+        assert_eq!(count("engine.recover", EventKind::Enter), 0);
+    }
+
+    #[test]
+    fn same_seed_runs_emit_identical_deterministic_snapshots() {
+        let run = || {
+            let obs = Arc::new(Obs::new());
+            let mut cfg = testbed();
+            cfg.cores = 2; // exercise the sharded encode path too
+            cfg.obs = Some(obs.clone());
+            cfg.storage = Some(Arc::new(Mutex::new(StorageHierarchy::coastal(4))));
+            let mut policy = FixedIntervalPolicy::new(5.0);
+            run_engine(small_process(20.0), &mut policy, &cfg);
+            (
+                obs.metrics.deterministic_snapshot().to_jsonl(),
+                obs.spans.to_jsonl(),
+            )
+        };
+        let (m1, s1) = run();
+        let (m2, s2) = run();
+        assert_eq!(m1, m2, "metrics snapshots diverged across same-seed runs");
+        assert_eq!(s1, s2, "span logs diverged across same-seed runs");
+        assert!(!m1.is_empty() && !s1.is_empty());
     }
 
     #[test]

@@ -138,7 +138,14 @@ pub fn run_with_faults(
         .get_or_insert_with(|| Arc::new(Mutex::new(StorageHierarchy::coastal(4))))
         .clone();
     let (report, faults) = run_engine_with_faults(process, policy, &config, schedule)?;
-    let stored_bytes = storage.lock().unwrap().stored_bytes();
+    let stored_bytes = storage
+        .lock()
+        .map_err(|_| {
+            RecoveryError::StorageUnavailable(
+                "storage mutex poisoned by a panicked holder".to_string(),
+            )
+        })?
+        .stored_bytes();
     Ok(FaultReport {
         report,
         faults,
@@ -334,5 +341,45 @@ mod tests {
         let out = run_with_faults(stream_process(30.0), &mut policy, faulted_config(), &a).unwrap();
         assert_eq!(out.faults.len(), a.len());
         assert_eq!(out.report.final_state.as_ref().unwrap(), &truth);
+    }
+
+    #[test]
+    fn bad_schedule_level_is_a_typed_error_not_a_panic() {
+        let mut policy = FixedIntervalPolicy::new(3.0);
+        let err = run_with_faults(
+            stream_process(10.0),
+            &mut policy,
+            faulted_config(),
+            &FailureSchedule::single(2.0, 9, 0),
+        )
+        .unwrap_err();
+        assert_eq!(err, RecoveryError::BadLevel(9));
+    }
+
+    #[test]
+    fn poisoned_storage_mutex_is_a_typed_error_not_a_panic() {
+        let storage = Arc::new(Mutex::new(StorageHierarchy::coastal(4)));
+        // Poison the mutex: a thread panics while holding the lock, the way
+        // a crashed commit would leave it in a real run.
+        let poisoner = storage.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("simulated crash while holding the storage lock");
+        })
+        .join();
+        assert!(storage.is_poisoned());
+
+        let mut cfg = faulted_config();
+        cfg.storage = Some(storage);
+        let mut policy = FixedIntervalPolicy::new(3.0);
+        let err = run_with_faults(
+            stream_process(10.0),
+            &mut policy,
+            cfg,
+            &FailureSchedule::single(2.0, 1, 0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RecoveryError::StorageUnavailable(_)));
+        assert!(err.to_string().contains("poisoned"));
     }
 }

@@ -20,12 +20,15 @@
 //! checkpoint garbage-collects the superseded prefix from all three levels
 //! and keeps `stored_bytes` bounded by one chain.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 
 use crate::chain::CheckpointChain;
 use crate::format::{CheckpointFile, CheckpointKind};
 use crate::storage::{BandwidthModel, FlatStore, Raid5Group, Receipt, Store};
 use aic_memsim::Snapshot;
+use aic_obs::{Counter, Obs};
 
 /// Which level a recovery was served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +39,17 @@ pub enum RecoveryLevel {
     Raid,
     /// L3, remote storage.
     Remote,
+}
+
+impl RecoveryLevel {
+    /// Static label for metrics and span fields.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryLevel::Local => "local",
+            RecoveryLevel::Raid => "raid",
+            RecoveryLevel::Remote => "remote",
+        }
+    }
 }
 
 /// A recovered process image plus provenance.
@@ -66,6 +80,18 @@ pub enum RecoveryError {
     BadObject(String),
     /// Chain replay failed.
     Restore(String),
+    /// A failure level outside 1..=3 was requested (injection or recovery).
+    BadLevel(usize),
+    /// A commit arrived with a sequence number not past the newest one.
+    OutOfOrderCommit {
+        /// Newest committed sequence number.
+        prev: u64,
+        /// The offending commit's sequence number.
+        next: u64,
+    },
+    /// The shared storage handle could not be used (e.g. its mutex was
+    /// poisoned by a panicking holder).
+    StorageUnavailable(String),
 }
 
 impl std::fmt::Display for RecoveryError {
@@ -74,6 +100,15 @@ impl std::fmt::Display for RecoveryError {
             RecoveryError::NothingCommitted => write!(f, "no checkpoints committed"),
             RecoveryError::BadObject(n) => write!(f, "missing/corrupt checkpoint object {n}"),
             RecoveryError::Restore(e) => write!(f, "chain restore failed: {e}"),
+            RecoveryError::BadLevel(l) => {
+                write!(f, "unknown failure level {l} (valid levels are 1..=3)")
+            }
+            RecoveryError::OutOfOrderCommit { prev, next } => {
+                write!(f, "commit out of order: {next} after {prev}")
+            }
+            RecoveryError::StorageUnavailable(why) => {
+                write!(f, "storage hierarchy unavailable: {why}")
+            }
         }
     }
 }
@@ -101,6 +136,43 @@ struct CommittedEntry {
     kind: CheckpointKind,
 }
 
+/// Registered per-level traffic metrics (see [`StorageHierarchy::attach_obs`]).
+#[derive(Debug, Clone)]
+struct StorageObs {
+    commits: Counter,
+    /// Bytes written per level, `[L1, L2, L3]`.
+    written: [Counter; 3],
+    /// Bytes read back per level during recovery probes, `[L1, L2, L3]`.
+    read: [Counter; 3],
+    gc_objects: Counter,
+    gc_bytes: Counter,
+    recoveries: Counter,
+    degraded_reads: Counter,
+}
+
+impl StorageObs {
+    fn new(obs: &Arc<Obs>) -> Self {
+        let m = &obs.metrics;
+        StorageObs {
+            commits: m.counter("storage.commits"),
+            written: [
+                m.counter("storage.l1.bytes_written"),
+                m.counter("storage.l2.bytes_written"),
+                m.counter("storage.l3.bytes_written"),
+            ],
+            read: [
+                m.counter("storage.l1.bytes_read"),
+                m.counter("storage.l2.bytes_read"),
+                m.counter("storage.l3.bytes_read"),
+            ],
+            gc_objects: m.counter("storage.gc_objects"),
+            gc_bytes: m.counter("storage.gc_bytes"),
+            recoveries: m.counter("storage.recoveries"),
+            degraded_reads: m.counter("storage.degraded_reads"),
+        }
+    }
+}
+
 /// The three-level checkpoint store of one job.
 #[derive(Debug)]
 pub struct StorageHierarchy {
@@ -108,6 +180,7 @@ pub struct StorageHierarchy {
     raid: Raid5Group,
     remote: FlatStore,
     committed: Vec<CommittedEntry>,
+    obs: Option<StorageObs>,
 }
 
 impl StorageHierarchy {
@@ -120,6 +193,7 @@ impl StorageHierarchy {
             raid: Raid5Group::new(raid_nodes, 256 << 10, BandwidthModel::new(471.7e6, 1e-3)),
             remote: FlatStore::new(BandwidthModel::new(2e6, 10e-3)),
             committed: Vec::new(),
+            obs: None,
         }
     }
 
@@ -130,7 +204,16 @@ impl StorageHierarchy {
             raid,
             remote,
             committed: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Register this hierarchy's traffic metrics (bytes written/read per
+    /// level, GC'd bytes, degraded-read reconstructions) in `obs`. The
+    /// engine calls this once per run when configured with an observability
+    /// bundle.
+    pub fn attach_obs(&mut self, obs: &Arc<Obs>) {
+        self.obs = Some(StorageObs::new(obs));
     }
 
     fn name(seq: u64) -> String {
@@ -141,16 +224,17 @@ impl StorageHierarchy {
     /// anchors a new chain: every older object is superseded and deleted
     /// from all levels (chain truncation / GC).
     ///
-    /// # Panics
-    /// Panics if sequence numbers do not strictly increase.
-    pub fn commit(&mut self, file: &CheckpointFile) -> CommitReceipt {
+    /// Sequence numbers must strictly increase; a stale or duplicate
+    /// sequence is rejected as [`RecoveryError::OutOfOrderCommit`] without
+    /// touching any level.
+    pub fn commit(&mut self, file: &CheckpointFile) -> Result<CommitReceipt, RecoveryError> {
         if let Some(last) = self.committed.last() {
-            assert!(
-                file.seq > last.seq,
-                "commit out of order: {} after {}",
-                file.seq,
-                last.seq
-            );
+            if file.seq <= last.seq {
+                return Err(RecoveryError::OutOfOrderCommit {
+                    prev: last.seq,
+                    next: file.seq,
+                });
+            }
         }
         let bytes = file.to_bytes();
         let name = Self::name(file.seq);
@@ -160,6 +244,12 @@ impl StorageHierarchy {
             remote: self.remote.put(&name, bytes),
             truncated: 0,
         };
+        if let Some(obs) = &self.obs {
+            obs.commits.inc();
+            obs.written[0].add(receipt.local.bytes);
+            obs.written[1].add(receipt.raid.bytes);
+            obs.written[2].add(receipt.remote.bytes);
+        }
         if file.kind == CheckpointKind::Full {
             receipt.truncated = self.truncate_before(file.seq);
         }
@@ -167,7 +257,7 @@ impl StorageHierarchy {
             seq: file.seq,
             kind: file.kind,
         });
-        receipt
+        Ok(receipt)
     }
 
     /// Delete every committed object with `seq < anchor` from all three
@@ -179,11 +269,17 @@ impl StorageHierarchy {
             .filter(|e| e.seq < anchor)
             .map(|e| Self::name(e.seq))
             .collect();
+        let held_before: u64 = self.stored_bytes().iter().sum();
         self.committed.retain(|e| e.seq >= anchor);
         for name in &stale {
             self.local.delete(name);
             self.raid.delete(name);
             self.remote.delete(name);
+        }
+        if let Some(obs) = &self.obs {
+            let held_after: u64 = self.stored_bytes().iter().sum();
+            obs.gc_objects.add(stale.len() as u64);
+            obs.gc_bytes.add(held_before.saturating_sub(held_after));
         }
         stale.len()
     }
@@ -210,7 +306,13 @@ impl StorageHierarchy {
 
     /// Inject a failure: destroy the copies that level-k failures destroy.
     /// `raid_victim` selects which RAID node a partial failure takes down.
-    pub fn inject_failure(&mut self, level: usize, raid_victim: usize) {
+    /// A level outside 1..=3 is rejected as [`RecoveryError::BadLevel`]
+    /// without destroying anything.
+    pub fn inject_failure(
+        &mut self,
+        level: usize,
+        raid_victim: usize,
+    ) -> Result<(), RecoveryError> {
         match level {
             1 => {} // transient: nothing durable is lost
             2 => {
@@ -225,8 +327,9 @@ impl StorageHierarchy {
                 self.wipe_local();
                 self.wipe_raid();
             }
-            other => panic!("unknown failure level {other}"),
+            other => return Err(RecoveryError::BadLevel(other)),
         }
+        Ok(())
     }
 
     fn wipe_local(&mut self) {
@@ -286,14 +389,14 @@ impl StorageHierarchy {
     /// `level` (1 = local, 2 = RAID, 3 = remote), replaying from the latest
     /// full-checkpoint anchor only.
     pub fn recover_from(&self, level: usize) -> Result<RecoveredImage, RecoveryError> {
-        if self.committed.is_empty() {
+        let Some(newest) = self.committed.last() else {
             return Err(RecoveryError::NothingCommitted);
-        }
+        };
         let (store, recovery_level): (&dyn Store, RecoveryLevel) = match level {
             1 => (&self.local, RecoveryLevel::Local),
             2 => (&self.raid, RecoveryLevel::Raid),
             3 => (&self.remote, RecoveryLevel::Remote),
-            other => panic!("unknown failure level {other}"),
+            other => return Err(RecoveryError::BadLevel(other)),
         };
 
         // Replay from the newest full anchor; older retained objects (there
@@ -318,6 +421,11 @@ impl StorageHierarchy {
             read_seconds += store
                 .read_receipt(&name)
                 .map_or(0.0, |r: Receipt| r.seconds);
+            // Partial probes count too: a failed attempt at a cheap level
+            // still read these bytes before it gave up.
+            if let Some(obs) = &self.obs {
+                obs.read[level - 1].add(bytes.len() as u64);
+            }
             let file = CheckpointFile::from_bytes(bytes)
                 .map_err(|e| RecoveryError::BadObject(format!("{name}: {e}")))?;
             cpu_state = file.cpu_state.clone();
@@ -326,13 +434,20 @@ impl StorageHierarchy {
         let snapshot = chain
             .restore_latest()
             .map_err(|e| RecoveryError::Restore(e.to_string()))?;
+        let degraded = recovery_level == RecoveryLevel::Raid && self.raid.is_degraded();
+        if let Some(obs) = &self.obs {
+            obs.recoveries.inc();
+            if degraded {
+                obs.degraded_reads.inc();
+            }
+        }
         Ok(RecoveredImage {
             snapshot,
             cpu_state,
             level: recovery_level,
-            seq: self.committed.last().unwrap().seq,
+            seq: newest.seq,
             read_seconds,
-            degraded: recovery_level == RecoveryLevel::Raid && self.raid.is_degraded(),
+            degraded,
         })
     }
 }
@@ -359,7 +474,8 @@ mod tests {
         let mut h = StorageHierarchy::coastal(4);
 
         let full = Snapshot::from_pages([(0, page(1)), (1, page(2)), (2, page(3))]);
-        h.commit(&CheckpointFile::full(1, 0, full.clone(), Bytes::new()));
+        h.commit(&CheckpointFile::full(1, 0, full.clone(), Bytes::new()))
+            .unwrap();
 
         let mut state1 = full.clone();
         state1.insert(1, page(20));
@@ -370,7 +486,8 @@ mod tests {
             dirty1,
             vec![0, 1, 2],
             Bytes::new(),
-        ));
+        ))
+        .unwrap();
 
         let mut state2 = state1.clone();
         state2.insert(0, page(30));
@@ -382,7 +499,8 @@ mod tests {
             df,
             vec![0, 1, 2],
             Bytes::new(),
-        ));
+        ))
+        .unwrap();
 
         (h, state2)
     }
@@ -390,7 +508,7 @@ mod tests {
     #[test]
     fn f1_recovers_from_local() {
         let (mut h, truth) = committed_hierarchy();
-        h.inject_failure(1, 0);
+        h.inject_failure(1, 0).unwrap();
         let img = h.recover_from(1).unwrap();
         assert_eq!(img.level, RecoveryLevel::Local);
         assert_eq!(img.snapshot, truth);
@@ -401,7 +519,7 @@ mod tests {
     #[test]
     fn f2_recovers_from_degraded_raid() {
         let (mut h, truth) = committed_hierarchy();
-        h.inject_failure(2, 1);
+        h.inject_failure(2, 1).unwrap();
         // Local is gone.
         assert!(matches!(
             h.recover_from(1),
@@ -417,7 +535,7 @@ mod tests {
     #[test]
     fn f3_recovers_from_remote_only() {
         let (mut h, truth) = committed_hierarchy();
-        h.inject_failure(3, 0);
+        h.inject_failure(3, 0).unwrap();
         assert!(h.recover_from(1).is_err());
         assert!(h.recover_from(2).is_err());
         let img = h.recover_from(3).unwrap();
@@ -435,13 +553,13 @@ mod tests {
         assert_eq!(img.snapshot, truth);
 
         let (mut h, truth) = committed_hierarchy();
-        h.inject_failure(2, 0);
+        h.inject_failure(2, 0).unwrap();
         let img = h.recover().unwrap();
         assert_eq!(img.level, RecoveryLevel::Raid);
         assert_eq!(img.snapshot, truth);
 
         let (mut h, truth) = committed_hierarchy();
-        h.inject_failure(3, 0);
+        h.inject_failure(3, 0).unwrap();
         let img = h.recover().unwrap();
         assert_eq!(img.level, RecoveryLevel::Remote);
         assert_eq!(img.snapshot, truth);
@@ -468,11 +586,13 @@ mod tests {
         );
         let mut slow = slow;
         let full = Snapshot::from_pages([(0, page(1)), (1, page(2)), (2, page(3))]);
-        slow.commit(&CheckpointFile::full(1, 0, full, Bytes::new()));
+        slow.commit(&CheckpointFile::full(1, 0, full, Bytes::new()))
+            .unwrap();
         let fast_local = {
             let mut h = StorageHierarchy::coastal(4);
             let full = Snapshot::from_pages([(0, page(1)), (1, page(2)), (2, page(3))]);
-            h.commit(&CheckpointFile::full(1, 0, full, Bytes::new()));
+            h.commit(&CheckpointFile::full(1, 0, full, Bytes::new()))
+                .unwrap();
             h.recover_from(1).unwrap().read_seconds
         };
         let slow_local = slow.recover_from(1).unwrap().read_seconds;
@@ -487,7 +607,7 @@ mod tests {
         let (h, _) = committed_hierarchy();
         let healthy = h.recover_from(2).unwrap().read_seconds;
         let (mut h, _) = committed_hierarchy();
-        h.inject_failure(2, 0);
+        h.inject_failure(2, 0).unwrap();
         let degraded = h.recover_from(2).unwrap().read_seconds;
         assert!(degraded > healthy, "degraded {degraded} healthy {healthy}");
     }
@@ -499,7 +619,9 @@ mod tests {
         let before = h.stored_bytes();
 
         let anchor = Snapshot::from_pages([(0, page(40)), (1, page(41))]);
-        let r = h.commit(&CheckpointFile::full(1, 3, anchor.clone(), Bytes::new()));
+        let r = h
+            .commit(&CheckpointFile::full(1, 3, anchor.clone(), Bytes::new()))
+            .unwrap();
         assert_eq!(r.truncated, 3);
         assert_eq!(h.committed(), vec![3]);
 
@@ -523,7 +645,8 @@ mod tests {
         for round in 0..6u64 {
             let seq0 = round * 3;
             let full = Snapshot::from_pages([(0, page(round)), (1, page(round + 100))]);
-            h.commit(&CheckpointFile::full(1, seq0, full, Bytes::new()));
+            h.commit(&CheckpointFile::full(1, seq0, full, Bytes::new()))
+                .unwrap();
             for k in 1..3 {
                 let dirty = Snapshot::from_pages([(0, page(seq0 + k))]);
                 h.commit(&CheckpointFile::incremental(
@@ -532,7 +655,8 @@ mod tests {
                     dirty,
                     vec![0, 1],
                     Bytes::new(),
-                ));
+                ))
+                .unwrap();
             }
             peak_after_gc = h.stored_bytes();
         }
@@ -545,11 +669,11 @@ mod tests {
     #[test]
     fn raid_repair_restores_redundancy() {
         let (mut h, truth) = committed_hierarchy();
-        h.inject_failure(2, 0);
+        h.inject_failure(2, 0).unwrap();
         let r = h.repair_raid();
         assert!(r.bytes > 0);
         // A second, different node can now fail and RAID still serves.
-        h.inject_failure(2, 2);
+        h.inject_failure(2, 2).unwrap();
         let img = h.recover_from(2).unwrap();
         assert_eq!(img.snapshot, truth);
     }
@@ -557,7 +681,7 @@ mod tests {
     #[test]
     fn repopulate_local_restores_l1_after_wipe() {
         let (mut h, truth) = committed_hierarchy();
-        h.inject_failure(3, 0);
+        h.inject_failure(3, 0).unwrap();
         assert!(h.recover_from(1).is_err());
         let written = h.repopulate_local();
         assert!(written > 0);
@@ -574,7 +698,8 @@ mod tests {
             0,
             full.clone(),
             Bytes::from_static(b"old"),
-        ));
+        ))
+        .unwrap();
         let dirty = Snapshot::from_pages([(0, page(2))]);
         h.commit(&CheckpointFile::incremental(
             1,
@@ -582,7 +707,8 @@ mod tests {
             dirty,
             vec![0],
             Bytes::from_static(b"new"),
-        ));
+        ))
+        .unwrap();
         let img = h.recover().unwrap();
         assert_eq!(&img.cpu_state[..], b"new");
     }
@@ -598,12 +724,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of order")]
-    fn out_of_order_commit_rejected() {
+    fn out_of_order_commit_is_a_typed_error() {
         let mut h = StorageHierarchy::coastal(3);
         let snap = Snapshot::from_pages([(0, page(1))]);
-        h.commit(&CheckpointFile::full(1, 5, snap.clone(), Bytes::new()));
-        h.commit(&CheckpointFile::full(1, 4, snap, Bytes::new()));
+        h.commit(&CheckpointFile::full(1, 5, snap.clone(), Bytes::new()))
+            .unwrap();
+        let err = h
+            .commit(&CheckpointFile::full(1, 4, snap.clone(), Bytes::new()))
+            .unwrap_err();
+        assert_eq!(err, RecoveryError::OutOfOrderCommit { prev: 5, next: 4 });
+        assert!(err.to_string().contains("out of order"));
+        // A duplicate sequence number is rejected the same way.
+        let dup = h
+            .commit(&CheckpointFile::full(1, 5, snap, Bytes::new()))
+            .unwrap_err();
+        assert_eq!(dup, RecoveryError::OutOfOrderCommit { prev: 5, next: 5 });
+        // Nothing was committed by the rejected calls.
+        assert_eq!(h.committed(), vec![5]);
+    }
+
+    #[test]
+    fn unknown_injection_level_is_a_typed_error_and_destroys_nothing() {
+        let (mut h, truth) = committed_hierarchy();
+        let before = h.stored_bytes();
+        assert_eq!(
+            h.inject_failure(0, 0).unwrap_err(),
+            RecoveryError::BadLevel(0)
+        );
+        assert_eq!(
+            h.inject_failure(4, 1).unwrap_err(),
+            RecoveryError::BadLevel(4)
+        );
+        assert_eq!(h.stored_bytes(), before, "rejected injection wiped data");
+        assert_eq!(h.recover().unwrap().snapshot, truth);
+    }
+
+    #[test]
+    fn unknown_recovery_level_is_a_typed_error() {
+        let (h, _) = committed_hierarchy();
+        let err = h.recover_from(7).unwrap_err();
+        assert_eq!(err, RecoveryError::BadLevel(7));
+        assert!(err.to_string().contains("unknown failure level 7"));
     }
 
     #[test]
@@ -612,7 +773,9 @@ mod tests {
         // Large enough (4 MiB) that stripe padding amortizes and the
         // channel speeds dominate the ordering.
         let snap = Snapshot::from_pages((0..1024u64).map(|i| (i, page(i))));
-        let r = h.commit(&CheckpointFile::full(1, 0, snap, Bytes::new()));
+        let r = h
+            .commit(&CheckpointFile::full(1, 0, snap, Bytes::new()))
+            .unwrap();
         // Remote is the slowest channel by far.
         assert!(r.remote.seconds > r.local.seconds);
         assert!(r.local.seconds > r.raid.seconds);
@@ -625,7 +788,8 @@ mod tests {
     fn corrupt_object_surfaces_as_bad_object() {
         let mut h = StorageHierarchy::coastal(4);
         let snap = Snapshot::from_pages([(0, page(1))]);
-        h.commit(&CheckpointFile::full(1, 0, snap, Bytes::new()));
+        h.commit(&CheckpointFile::full(1, 0, snap, Bytes::new()))
+            .unwrap();
         // Overwrite the stored object with garbage at L1 only.
         use crate::storage::Store;
         let name = "ckpt-00000000";
@@ -639,5 +803,50 @@ mod tests {
         ));
         // The probing recover() falls through to a healthy level.
         assert!(h.recover().is_ok());
+    }
+
+    #[test]
+    fn attached_obs_counts_traffic_gc_and_recoveries() {
+        let obs = Arc::new(Obs::new());
+        let mut h = StorageHierarchy::coastal(4);
+        h.attach_obs(&obs);
+        let full = Snapshot::from_pages([(0, page(1)), (1, page(2))]);
+        h.commit(&CheckpointFile::full(1, 0, full, Bytes::new()))
+            .unwrap();
+        let dirty = Snapshot::from_pages([(0, page(9))]);
+        h.commit(&CheckpointFile::incremental(
+            1,
+            1,
+            dirty,
+            vec![0, 1],
+            Bytes::new(),
+        ))
+        .unwrap();
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("storage.commits"), Some(2));
+        let l1_written = snap.counter("storage.l1.bytes_written").unwrap();
+        assert!(l1_written > 0);
+        // L2 ships parity + stripe padding on top of the payload.
+        assert!(snap.counter("storage.l2.bytes_written").unwrap() > l1_written);
+        assert_eq!(snap.counter("storage.gc_objects"), Some(0));
+
+        // A fresh full anchor GCs the prefix and counts the freed bytes.
+        let anchor = Snapshot::from_pages([(0, page(40))]);
+        h.commit(&CheckpointFile::full(1, 2, anchor, Bytes::new()))
+            .unwrap();
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("storage.gc_objects"), Some(2));
+        assert!(snap.counter("storage.gc_bytes").unwrap() > 0);
+
+        // A degraded RAID recovery bumps both recovery counters; the wiped
+        // L1 is probed but serves no bytes.
+        h.inject_failure(2, 0).unwrap();
+        let img = h.recover().unwrap();
+        assert_eq!(img.level.label(), "raid");
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("storage.recoveries"), Some(1));
+        assert_eq!(snap.counter("storage.degraded_reads"), Some(1));
+        assert_eq!(snap.counter("storage.l1.bytes_read"), Some(0));
+        assert!(snap.counter("storage.l2.bytes_read").unwrap() > 0);
     }
 }

@@ -16,13 +16,40 @@
 //! Until the predictor has its four bootstrap samples, checkpoints are cut
 //! at a fixed bootstrap cadence.
 
+use std::sync::Arc;
+
 use aic_ckpt::engine::{CheckpointPolicy, Decision, DecisionCtx, EngineConfig, IntervalRecord};
 use aic_model::nonstatic::{optimal_w_budgeted, IntervalParams};
 use aic_model::FailureRates;
+use aic_obs::{Counter, Gauge, Obs};
 
 use crate::features::BaseMetrics;
 use crate::predictor::AicPredictor;
 use crate::sample::SampleBuffer;
+
+/// The policy's registered metric handles plus the shared bundle (kept for
+/// the `aic.predict` span stream).
+#[derive(Debug, Clone)]
+struct PolicyObs {
+    obs: Arc<Obs>,
+    predictions: Counter,
+    bootstrap_cuts: Counter,
+    adaptive_cuts: Counter,
+    wstar: Gauge,
+}
+
+impl PolicyObs {
+    fn new(obs: &Arc<Obs>) -> Self {
+        let m = &obs.metrics;
+        PolicyObs {
+            predictions: m.counter("aic.predictions"),
+            bootstrap_cuts: m.counter("aic.bootstrap_cuts"),
+            adaptive_cuts: m.counter("aic.adaptive_cuts"),
+            wstar: m.gauge("aic.wstar_s"),
+            obs: Arc::clone(obs),
+        }
+    }
+}
 
 /// AIC tuning knobs.
 #[derive(Debug, Clone)]
@@ -100,6 +127,14 @@ pub struct AicPolicy {
     last_wstar: Option<f64>,
     decisions: u64,
     adaptive_cuts: u64,
+    obs: Option<PolicyObs>,
+    /// Prediction in force when the current interval is cut: `(c1, dl, ds)`
+    /// from the decide tick, compared against the realized interval in
+    /// [`CheckpointPolicy::observe`].
+    last_prediction: Option<(f64, f64, f64)>,
+    /// Virtual time of the most recent decide tick (timestamp for the
+    /// `aic.predict` span events).
+    last_now: f64,
 }
 
 impl AicPolicy {
@@ -120,6 +155,9 @@ impl AicPolicy {
             last_wstar: None,
             decisions: 0,
             adaptive_cuts: 0,
+            obs: None,
+            last_prediction: None,
+            last_now: 0.0,
             cfg,
         }
     }
@@ -158,8 +196,13 @@ impl CheckpointPolicy for AicPolicy {
         "AIC"
     }
 
+    fn attach_obs(&mut self, obs: &Arc<Obs>) {
+        self.obs = Some(PolicyObs::new(obs));
+    }
+
     fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
         self.decisions += 1;
+        self.last_now = ctx.now;
         let inserted = self.ingest_dirty(ctx);
         // Keep sampled metrics current: pages mutate after their first
         // fault, and the similarity AIC hunts for can *improve* over time
@@ -183,6 +226,9 @@ impl CheckpointPolicy for AicPolicy {
 
         if !self.predictor.ready() {
             return if ctx.elapsed + 1e-9 >= self.cfg.bootstrap_interval {
+                if let Some(o) = &self.obs {
+                    o.bootstrap_cuts.inc();
+                }
                 Decision::Checkpoint
             } else {
                 Decision::Continue
@@ -222,9 +268,17 @@ impl CheckpointPolicy for AicPolicy {
             1e-4,
         );
         self.last_wstar = Some(best.x);
+        self.last_prediction = Some((pred.c1, pred.dl, pred.ds));
+        if let Some(o) = &self.obs {
+            o.predictions.inc();
+            o.wstar.set(best.x);
+        }
 
         if best.x <= ctx.elapsed {
             self.adaptive_cuts += 1;
+            if let Some(o) = &self.obs {
+                o.adaptive_cuts.inc();
+            }
             Decision::Checkpoint
         } else {
             Decision::Continue
@@ -240,6 +294,26 @@ impl CheckpointPolicy for AicPolicy {
         });
         self.predictor
             .observe(&metrics, rec.c1, rec.dl, rec.ds_bytes as f64);
+        // Predicted-vs-realized trace: the prediction in force when this
+        // interval was cut, against the interval the engine measured.
+        if let Some(o) = &self.obs {
+            if let Some((pc1, pdl, pds)) = self.last_prediction.take() {
+                o.obs.spans.point(
+                    "aic.predict",
+                    self.last_now,
+                    vec![
+                        ("seq", rec.seq.into()),
+                        ("pred_c1", pc1.into()),
+                        ("pred_dl", pdl.into()),
+                        ("pred_ds", pds.into()),
+                        ("c1", rec.c1.into()),
+                        ("dl", rec.dl.into()),
+                        ("ds_bytes", rec.ds_bytes.into()),
+                        ("wstar", self.last_wstar.unwrap_or(0.0).into()),
+                    ],
+                );
+            }
+        }
         self.sb.end_interval();
         self.dirty_seen = 0;
         self.last_params = Some(rec.params);
@@ -326,6 +400,47 @@ mod tests {
             aic_report.net2,
             sic_report.net2
         );
+    }
+
+    #[test]
+    fn attached_obs_traces_predicted_vs_realized_intervals() {
+        let mut config = EngineConfig::testbed(rates());
+        config.obs = Some(Arc::new(Obs::new()));
+        let mut policy = AicPolicy::new(AicConfig::testbed(rates()), &config);
+        let _ = run_engine(phased_process(5, 180.0), &mut policy, &config);
+        assert!(policy.predictor().ready());
+
+        let obs = config.obs.as_ref().unwrap();
+        let snap = obs.metrics.snapshot();
+        let predictions = snap.counter("aic.predictions").unwrap();
+        assert!(predictions >= 1, "ready predictor never predicted");
+        assert!(snap.counter("aic.bootstrap_cuts").unwrap() >= 1);
+        assert_eq!(
+            snap.counter("aic.adaptive_cuts"),
+            Some(policy.adaptive_cuts())
+        );
+        let wstar = snap.gauge("aic.wstar_s").unwrap();
+        assert!(wstar.is_finite() && wstar > 0.0, "w* gauge: {wstar}");
+
+        // Each adaptive cut that materializes (the engine's core-drain rule
+        // can veto one) leaves a predicted-vs-realized point carrying both
+        // halves of the comparison.
+        let points: Vec<_> = obs
+            .spans
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "aic.predict")
+            .collect();
+        assert!(!points.is_empty(), "no aic.predict points were emitted");
+        assert!(points.len() as u64 <= policy.adaptive_cuts());
+        for p in &points {
+            let keys: Vec<&str> = p.fields.iter().map(|(k, _)| *k).collect();
+            for want in [
+                "seq", "pred_c1", "pred_dl", "pred_ds", "c1", "dl", "ds_bytes", "wstar",
+            ] {
+                assert!(keys.contains(&want), "missing field {want}");
+            }
+        }
     }
 
     #[test]

@@ -74,7 +74,14 @@ pub fn stepwise_fit(
                 } else {
                     0.0
                 };
-                if improvement < min_improvement && !selected.is_empty() {
+                // A feature that fails to reduce the RSS must never be
+                // selected — not even as the first pick (the old behavior
+                // unconditionally seeded the model with the round's least-bad
+                // candidate, which could *raise* the residual under the
+                // ridge penalty). Below-threshold-but-positive improvements
+                // are still accepted for the first feature only, so a weak
+                // signal can seed the model.
+                if improvement <= 0.0 || (improvement < min_improvement && !selected.is_empty()) {
                     break;
                 }
                 selected.push(cand);
@@ -173,9 +180,46 @@ mod tests {
         let cands: Vec<Vec<f64>> = samples.iter().map(BaseMetrics::expand).collect();
         let ys = vec![42.0; 8];
         let model = stepwise_fit(&cands, &ys, 3, 1e-4).unwrap();
+        // The intercept already fits perfectly: no candidate can reduce the
+        // RSS, so none may be selected (regression: the first round used to
+        // seed the model with its least-bad candidate unconditionally).
+        assert!(model.selected.is_empty(), "selected={:?}", model.selected);
         assert!((model.fit.beta[0] - 42.0).abs() < 1e-6);
         let probe = metrics_samples(1, 5)[0];
         assert!((model.predict(&probe.expand()) - 42.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn selection_never_raises_the_residual() {
+        // For every selected prefix, refitting on that prefix must show a
+        // strictly decreasing RSS — i.e. each accepted feature genuinely
+        // improved the model it joined.
+        let samples = metrics_samples(16, 6);
+        let cands: Vec<Vec<f64>> = samples.iter().map(BaseMetrics::expand).collect();
+        let ys: Vec<f64> = samples
+            .iter()
+            .map(|m| 3.0 * m.dp + 50.0 * m.jd * m.di + 20.0)
+            .collect();
+        let model = stepwise_fit(&cands, &ys, 3, 1e-9).unwrap();
+        let mut prev_rss = crate::regress::fit(&vec![vec![]; ys.len()], &ys, 1e-8)
+            .unwrap()
+            .rss;
+        for k in 1..=model.selected.len() {
+            let prefix = &model.selected[..k];
+            let xs: Vec<Vec<f64>> = cands
+                .iter()
+                .map(|c| prefix.iter().map(|&i| c[i]).collect())
+                .collect();
+            let f = crate::regress::fit(&xs, &ys, 1e-8).unwrap();
+            assert!(
+                f.rss < prev_rss,
+                "feature {} raised RSS: {} -> {}",
+                prefix[k - 1],
+                prev_rss,
+                f.rss
+            );
+            prev_rss = f.rss;
+        }
     }
 
     #[test]

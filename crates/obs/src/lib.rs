@@ -1,0 +1,101 @@
+//! # aic-obs — observability for the checkpointing stack
+//!
+//! A zero-dependency, allocation-light metrics + tracing substrate. The
+//! paper's whole argument rests on quantities the runtime computes but
+//! would otherwise never expose coherently — dirty pages, delta latency
+//! `dl`, delta size `ds`, predicted vs. realized costs, the chosen work
+//! span `w*`, per-level storage traffic. This crate makes them first-class:
+//!
+//! * [`MetricsRegistry`] — monotonic [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket [`Histogram`]s keyed by `&'static str`, shardable across
+//!   pool workers via [`CounterShard`] and merged on drain;
+//! * [`SpanLog`] — a ring-buffered structured span/event log. Timestamps
+//!   are **virtual-clock** seconds supplied by the caller (the engine's
+//!   simulated time), never wall clock, so the log replays identically
+//!   under a fixed seed;
+//! * [`Obs`] — the bundle of both, shared as `Arc<Obs>` across the engine,
+//!   the compressor pool, the storage hierarchy and the AIC policy.
+//!
+//! ## Determinism contract
+//!
+//! Every metric carries a [`Volatility`] class. `Stable` metrics are
+//! integer counters/histograms (exact, order-independent under commutative
+//! `u64` addition) or gauges written from deterministic single-threaded
+//! code — their values are bit-reproducible across same-seed runs.
+//! `Volatile` metrics (anything derived from the host's wall clock, e.g.
+//! shard encode nanoseconds) are excluded from
+//! [`MetricsRegistry::deterministic_snapshot`], which iterates in sorted
+//! name order so its serialized form is byte-identical run to run. The
+//! golden-replay suite pins exactly that serialization.
+//!
+//! ```
+//! use aic_obs::{Obs, Span};
+//!
+//! let obs = Obs::new();
+//! let cuts = obs.metrics.counter("engine.checkpoints");
+//! cuts.inc();
+//! let span = Span::enter(&obs.spans, "encode", 1.0, vec![("seq", 4u64.into())]);
+//! span.exit_with(1.5, vec![("ds_bytes", 4096u64.into())]);
+//! assert_eq!(obs.metrics.deterministic_snapshot().counter("engine.checkpoints"), Some(1));
+//! assert_eq!(obs.spans.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod span;
+
+pub use registry::{
+    Counter, CounterShard, Gauge, Histogram, MetricSample, MetricsRegistry, MetricsSnapshot,
+    SampleValue, Volatility,
+};
+pub use span::{Event, EventKind, Field, FieldValue, Span, SpanLog};
+
+/// The observability bundle one run shares across every layer.
+#[derive(Debug, Default)]
+pub struct Obs {
+    /// Counters, gauges and histograms.
+    pub metrics: MetricsRegistry,
+    /// The structured span/event log.
+    pub spans: SpanLog,
+}
+
+impl Obs {
+    /// A fresh bundle (empty registry, default-capacity span log).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Serialize a finite `f64` the way every exporter in this crate does:
+/// Rust's shortest round-trip `Display`, with non-finite values mapped to
+/// `null` (JSON has no NaN/inf literals). Deterministic for equal bits.
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_bundle_wires_both_halves() {
+        let obs = Obs::new();
+        obs.metrics.counter("a").add(2);
+        obs.spans.point("p", 0.5, vec![]);
+        assert_eq!(obs.metrics.snapshot().counter("a"), Some(2));
+        assert_eq!(obs.spans.len(), 1);
+    }
+
+    #[test]
+    fn f64_formatting_is_json_safe() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(2.0), "2");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,654 @@
+//! The metrics registry: monotonic counters, gauges and fixed-bucket
+//! histograms keyed by static names.
+//!
+//! Handles are cheap `Arc`-backed clones; recording is a single relaxed
+//! atomic op with no allocation, so instrumented hot paths stay hot. The
+//! registry itself is only locked on registration and snapshot — never on
+//! the record path.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::fmt_f64;
+
+/// Determinism class of a metric (see the crate-level contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Volatility {
+    /// Bit-reproducible across same-seed runs; pinned by golden tests.
+    Stable,
+    /// Derived from the host (wall clock, scheduling); excluded from
+    /// deterministic snapshots.
+    Volatile,
+}
+
+impl Volatility {
+    fn label(self) -> &'static str {
+        match self {
+            Volatility::Stable => "stable",
+            Volatility::Volatile => "volatile",
+        }
+    }
+}
+
+/// A monotonic `u64` counter. Addition is commutative and exact, so a
+/// counter fed from racing threads still totals deterministically.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins `f64` gauge (stored as raw bits in an atomic).
+///
+/// Only deterministic when written from deterministic code — concurrent
+/// writers race on "last", so shared gauges written by pool workers should
+/// be registered [`Volatility::Volatile`].
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramState {
+    /// Inclusive upper bounds, ascending; one overflow bucket past the end.
+    bounds: &'static [u64],
+    counts: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket `u64` histogram. Bucket `i` counts observations
+/// `v <= bounds[i]` (first matching bound); a final overflow bucket catches
+/// the rest. Counts and the exact `u64` sum are commutative, so worker
+/// threads can observe concurrently without losing determinism.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramState>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let slot = self.0.bounds.partition_point(|&b| b < v);
+        self.0.counts[slot].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Exact sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum MetricState {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl MetricState {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricState::Counter(_) => "counter",
+            MetricState::Gauge(_) => "gauge",
+            MetricState::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    state: MetricState,
+    volatility: Volatility,
+}
+
+/// The registry: a sorted map from static metric names to live handles.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<&'static str, Entry>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<&'static str, Entry>> {
+        // A panic while holding this lock cannot leave the map invalid
+        // (every mutation is a single insert), so poisoning is recoverable.
+        self.metrics
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Get or register a stable counter.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.counter_with(name, Volatility::Stable)
+    }
+
+    /// Get or register a counter with an explicit determinism class.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind —
+    /// metric names are static program constants, so a clash is a bug.
+    pub fn counter_with(&self, name: &'static str, volatility: Volatility) -> Counter {
+        let mut map = self.lock();
+        let entry = map.entry(name).or_insert_with(|| Entry {
+            state: MetricState::Counter(Counter(Arc::new(AtomicU64::new(0)))),
+            volatility,
+        });
+        match &entry.state {
+            MetricState::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register a stable gauge.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.gauge_with(name, Volatility::Stable)
+    }
+
+    /// Get or register a gauge with an explicit determinism class.
+    ///
+    /// # Panics
+    /// Panics on a kind clash (see [`MetricsRegistry::counter_with`]).
+    pub fn gauge_with(&self, name: &'static str, volatility: Volatility) -> Gauge {
+        let mut map = self.lock();
+        let entry = map.entry(name).or_insert_with(|| Entry {
+            state: MetricState::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))),
+            volatility,
+        });
+        match &entry.state {
+            MetricState::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register a stable histogram over `bounds` (ascending
+    /// inclusive upper bounds; an overflow bucket is added automatically).
+    pub fn histogram(&self, name: &'static str, bounds: &'static [u64]) -> Histogram {
+        self.histogram_with(name, bounds, Volatility::Stable)
+    }
+
+    /// Get or register a histogram with an explicit determinism class.
+    ///
+    /// # Panics
+    /// Panics on a kind clash, on unsorted `bounds`, or if `name` was
+    /// previously registered with different bounds.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        bounds: &'static [u64],
+        volatility: Volatility,
+    ) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram {name:?} bounds must be strictly ascending"
+        );
+        let mut map = self.lock();
+        let entry = map.entry(name).or_insert_with(|| {
+            let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+            Entry {
+                state: MetricState::Histogram(Histogram(Arc::new(HistogramState {
+                    bounds,
+                    counts,
+                    sum: AtomicU64::new(0),
+                }))),
+                volatility,
+            }
+        });
+        match &entry.state {
+            MetricState::Histogram(h) => {
+                assert!(
+                    std::ptr::eq(h.0.bounds, bounds) || h.0.bounds == bounds,
+                    "metric {name:?} already registered with different bounds"
+                );
+                h.clone()
+            }
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Snapshot every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.snapshot_filtered(|_| true)
+    }
+
+    /// Snapshot only [`Volatility::Stable`] metrics, sorted by name — the
+    /// byte-reproducible view the golden-replay tests pin.
+    pub fn deterministic_snapshot(&self) -> MetricsSnapshot {
+        self.snapshot_filtered(|v| v == Volatility::Stable)
+    }
+
+    fn snapshot_filtered(&self, keep: impl Fn(Volatility) -> bool) -> MetricsSnapshot {
+        let map = self.lock();
+        let samples = map
+            .iter()
+            .filter(|(_, e)| keep(e.volatility))
+            .map(|(&name, e)| MetricSample {
+                name,
+                volatility: e.volatility,
+                value: match &e.state {
+                    MetricState::Counter(c) => SampleValue::Counter(c.get()),
+                    MetricState::Gauge(g) => SampleValue::Gauge(g.get()),
+                    MetricState::Histogram(h) => SampleValue::Histogram {
+                        bounds: h.0.bounds,
+                        counts: h
+                            .0
+                            .counts
+                            .iter()
+                            .map(|c| c.load(Ordering::Relaxed))
+                            .collect(),
+                        sum: h.sum(),
+                    },
+                },
+            })
+            .collect();
+        MetricsSnapshot { samples }
+    }
+}
+
+/// One metric's frozen value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram buckets (`counts[i]` pairs with `bounds[i]`, plus one
+    /// trailing overflow count) and the exact sum.
+    Histogram {
+        /// Inclusive upper bounds.
+        bounds: &'static [u64],
+        /// Per-bucket counts, `bounds.len() + 1` long.
+        counts: Vec<u64>,
+        /// Exact sum of observations.
+        sum: u64,
+    },
+}
+
+/// One named sample in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric name.
+    pub name: &'static str,
+    /// Determinism class.
+    pub volatility: Volatility,
+    /// Frozen value.
+    pub value: SampleValue,
+}
+
+/// A point-in-time copy of (a filtered view of) the registry, sorted by
+/// metric name so serializations are stable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Samples in ascending name order.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a sample by name.
+    pub fn get(&self, name: &str) -> Option<&MetricSample> {
+        self.samples.iter().find(|s| s.name == name)
+    }
+
+    /// Counter total by name, if `name` is a counter in this snapshot.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)?.value {
+            SampleValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name, if `name` is a gauge in this snapshot.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)?.value {
+            SampleValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// One JSON object per line, in name order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            let _ = write!(
+                out,
+                "{{\"metric\":\"{}\",\"class\":\"{}\"",
+                s.name,
+                s.volatility.label()
+            );
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    let _ = write!(out, ",\"type\":\"counter\",\"value\":{v}");
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = write!(out, ",\"type\":\"gauge\",\"value\":{}", fmt_f64(*v));
+                }
+                SampleValue::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                } => {
+                    let _ = write!(out, ",\"type\":\"histogram\",\"sum\":{sum},\"buckets\":[");
+                    for (i, c) in counts.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        match bounds.get(i) {
+                            Some(b) => {
+                                let _ = write!(out, "[{b},{c}]");
+                            }
+                            None => {
+                                let _ = write!(out, "[\"inf\",{c}]");
+                            }
+                        }
+                    }
+                    out.push(']');
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// CSV with header `metric,type,field,value`; histograms emit one row
+    /// per bucket plus `sum` and `count` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,type,field,value\n");
+        for s in &self.samples {
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    let _ = writeln!(out, "{},counter,value,{v}", s.name);
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = writeln!(out, "{},gauge,value,{}", s.name, fmt_f64(*v));
+                }
+                SampleValue::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                } => {
+                    for (i, c) in counts.iter().enumerate() {
+                        match bounds.get(i) {
+                            Some(b) => {
+                                let _ = writeln!(out, "{},histogram,le={b},{c}", s.name);
+                            }
+                            None => {
+                                let _ = writeln!(out, "{},histogram,le=inf,{c}", s.name);
+                            }
+                        }
+                    }
+                    let count: u64 = counts.iter().sum();
+                    let _ = writeln!(out, "{},histogram,count,{count}", s.name);
+                    let _ = writeln!(out, "{},histogram,sum,{sum}", s.name);
+                }
+            }
+        }
+        out
+    }
+
+    /// Aligned human-readable table.
+    pub fn render(&self) -> String {
+        let width = self
+            .samples
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let mut out = format!("{:width$}  value\n", "metric");
+        for s in &self.samples {
+            let value = match &s.value {
+                SampleValue::Counter(v) => format!("{v}"),
+                SampleValue::Gauge(v) => fmt_f64(*v),
+                SampleValue::Histogram { counts, sum, .. } => {
+                    let count: u64 = counts.iter().sum();
+                    let mean = if count == 0 {
+                        0.0
+                    } else {
+                        *sum as f64 / count as f64
+                    };
+                    format!("n={count} sum={sum} mean={mean:.1}")
+                }
+            };
+            let _ = writeln!(out, "{:width$}  {value}", s.name);
+        }
+        out
+    }
+}
+
+/// A worker-local shard of counters: increments land in plain integers
+/// (no atomics, no sharing) and reach the shared [`Counter`]s only on
+/// [`CounterShard::flush`] — or automatically on drop, which is how pool
+/// workers merge their shards when the pool drains.
+#[derive(Debug, Default)]
+pub struct CounterShard {
+    slots: Vec<(Counter, u64)>,
+}
+
+impl CounterShard {
+    /// An empty shard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a counter; returns the slot index used by [`Self::add`].
+    pub fn slot(&mut self, counter: Counter) -> usize {
+        self.slots.push((counter, 0));
+        self.slots.len() - 1
+    }
+
+    /// Accumulate locally (no atomic traffic).
+    pub fn add(&mut self, slot: usize, n: u64) {
+        self.slots[slot].1 += n;
+    }
+
+    /// Accumulate 1 locally.
+    pub fn inc(&mut self, slot: usize) {
+        self.add(slot, 1);
+    }
+
+    /// Merge every pending local total into its shared counter and reset
+    /// the locals.
+    pub fn flush(&mut self) {
+        for (counter, pending) in &mut self.slots {
+            if *pending > 0 {
+                counter.add(*pending);
+                *pending = 0;
+            }
+        }
+    }
+}
+
+impl Drop for CounterShard {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x.count");
+        let b = reg.counter("x.count"); // same underlying metric
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(reg.snapshot().counter("x.count"), Some(5));
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("x.gauge");
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        g.set(-1.25);
+        assert_eq!(g.get(), -1.25);
+        assert_eq!(reg.snapshot().gauge("x.gauge"), Some(-1.25));
+    }
+
+    #[test]
+    fn histogram_buckets_by_inclusive_upper_bound() {
+        static BOUNDS: [u64; 3] = [10, 100, 1000];
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("x.hist", &BOUNDS);
+        for v in [0, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5121);
+        match &reg.snapshot().get("x.hist").unwrap().value {
+            SampleValue::Histogram { counts, sum, .. } => {
+                assert_eq!(counts, &vec![2, 2, 0, 1]); // ≤10, ≤100, ≤1000, overflow
+                assert_eq!(*sum, 5121);
+            }
+            other => panic!("wrong sample kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshots_are_name_sorted_and_filter_volatile() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").inc();
+        reg.counter_with("m.volatile", Volatility::Volatile).inc();
+        reg.counter("a.first").inc();
+        let all: Vec<&str> = reg.snapshot().samples.iter().map(|s| s.name).collect();
+        assert_eq!(all, vec!["a.first", "m.volatile", "z.last"]);
+        let det: Vec<&str> = reg
+            .deterministic_snapshot()
+            .samples
+            .iter()
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(det, vec!["a.first", "z.last"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_clash_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn histogram_bounds_clash_panics() {
+        static A: [u64; 2] = [1, 2];
+        static B: [u64; 2] = [3, 4];
+        let reg = MetricsRegistry::new();
+        reg.histogram("h", &A);
+        reg.histogram("h", &B);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_unsorted_bounds_panic() {
+        static BAD: [u64; 2] = [5, 5];
+        MetricsRegistry::new().histogram("h", &BAD);
+    }
+
+    #[test]
+    fn jsonl_export_is_stable_and_parsable_shape() {
+        static BOUNDS: [u64; 2] = [8, 64];
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(3);
+        reg.gauge("g").set(1.5);
+        let h = reg.histogram("h", &BOUNDS);
+        h.observe(8);
+        h.observe(9);
+        let jsonl = reg.snapshot().to_jsonl();
+        assert_eq!(
+            jsonl,
+            "{\"metric\":\"c\",\"class\":\"stable\",\"type\":\"counter\",\"value\":3}\n\
+             {\"metric\":\"g\",\"class\":\"stable\",\"type\":\"gauge\",\"value\":1.5}\n\
+             {\"metric\":\"h\",\"class\":\"stable\",\"type\":\"histogram\",\"sum\":17,\
+             \"buckets\":[[8,1],[64,1],[\"inf\",0]]}\n"
+        );
+    }
+
+    #[test]
+    fn csv_and_render_cover_all_kinds() {
+        static BOUNDS: [u64; 1] = [4];
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(0.5);
+        reg.histogram("h", &BOUNDS).observe(3);
+        let csv = reg.snapshot().to_csv();
+        assert!(csv.starts_with("metric,type,field,value\n"));
+        assert!(csv.contains("c,counter,value,7\n"));
+        assert!(csv.contains("g,gauge,value,0.5\n"));
+        assert!(csv.contains("h,histogram,le=4,1\n"));
+        assert!(csv.contains("h,histogram,le=inf,0\n"));
+        assert!(csv.contains("h,histogram,count,1\n"));
+        assert!(csv.contains("h,histogram,sum,3\n"));
+        let rendered = reg.snapshot().render();
+        assert!(rendered.contains("c") && rendered.contains("7"));
+        assert!(rendered.contains("n=1 sum=3 mean=3.0"));
+    }
+
+    #[test]
+    fn counter_shard_merges_on_flush_and_drop() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("sharded");
+        let mut shard = CounterShard::new();
+        let slot = shard.slot(c.clone());
+        shard.inc(slot);
+        shard.add(slot, 9);
+        assert_eq!(c.get(), 0, "locals must not reach the registry early");
+        shard.flush();
+        assert_eq!(c.get(), 10);
+        shard.inc(slot);
+        drop(shard); // drop flushes the remainder
+        assert_eq!(c.get(), 11);
+    }
+
+    #[test]
+    fn sample_lookups_reject_kind_mismatch() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("c"), None);
+        assert_eq!(snap.counter("missing"), None);
+    }
+}

@@ -1,0 +1,424 @@
+//! Structured span/event log with virtual-clock timestamps.
+//!
+//! Spans bracket a stretch of *simulated* time (the engine's clock, not the
+//! host's): [`Span::enter`] records an `Enter` event, dropping or calling
+//! [`Span::exit`] records the matching `Exit`. Instantaneous facts go in as
+//! `Point` events via [`SpanLog::point`]. The log is a bounded ring — old
+//! events fall off the front and are tallied in [`SpanLog::dropped`] so an
+//! export never silently claims completeness.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::fmt_f64;
+
+/// Default ring capacity (events), plenty for a full testbed run.
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point (serialized via the crate's deterministic formatter).
+    F64(f64),
+    /// Static string.
+    Str(&'static str),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&'static str> for FieldValue {
+    fn from(v: &'static str) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl FieldValue {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            FieldValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::F64(v) => out.push_str(&fmt_f64(*v)),
+            FieldValue::Str(s) => {
+                let _ = write!(out, "\"{s}\"");
+            }
+            FieldValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+
+    fn write_csv(&self, out: &mut String) {
+        match self {
+            FieldValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::F64(v) => out.push_str(&fmt_f64(*v)),
+            FieldValue::Str(s) => out.push_str(s),
+            FieldValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+}
+
+/// A named field: `(name, value)`.
+pub type Field = (&'static str, FieldValue);
+
+/// What an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span opened.
+    Enter,
+    /// Span closed.
+    Exit,
+    /// Instantaneous event (no duration).
+    Point,
+}
+
+impl EventKind {
+    fn label(self) -> &'static str {
+        match self {
+            EventKind::Enter => "enter",
+            EventKind::Exit => "exit",
+            EventKind::Point => "point",
+        }
+    }
+}
+
+/// One recorded event. `id` ties an `Exit` to its `Enter`; ids are assigned
+/// in emission order, so under a fixed seed the whole log replays
+/// identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Span id (shared by Enter/Exit pairs; fresh per Point).
+    pub id: u64,
+    /// Virtual-clock timestamp, seconds.
+    pub t: f64,
+    /// Span or event name, e.g. `"engine.encode"`.
+    pub name: &'static str,
+    /// Enter / Exit / Point.
+    pub kind: EventKind,
+    /// Attached fields.
+    pub fields: Vec<Field>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    buf: VecDeque<Event>,
+    cap: usize,
+    dropped: u64,
+    next_id: u64,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            buf: VecDeque::new(),
+            cap: DEFAULT_SPAN_CAPACITY,
+            dropped: 0,
+            next_id: 0,
+        }
+    }
+}
+
+/// The ring-buffered event log.
+#[derive(Debug, Default)]
+pub struct SpanLog {
+    inner: Mutex<Inner>,
+}
+
+impl SpanLog {
+    /// A log with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A log that keeps at most `cap` events (older ones are dropped and
+    /// counted).
+    pub fn with_capacity(cap: usize) -> Self {
+        SpanLog {
+            inner: Mutex::new(Inner {
+                cap: cap.max(1),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn push(
+        &self,
+        id: Option<u64>,
+        t: f64,
+        name: &'static str,
+        kind: EventKind,
+        fields: Vec<Field>,
+    ) -> u64 {
+        let mut inner = self.lock();
+        let id = id.unwrap_or_else(|| {
+            let id = inner.next_id;
+            inner.next_id += 1;
+            id
+        });
+        if inner.buf.len() == inner.cap {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(Event {
+            id,
+            t,
+            name,
+            kind,
+            fields,
+        });
+        id
+    }
+
+    /// Record an instantaneous event.
+    pub fn point(&self, name: &'static str, t: f64, fields: Vec<Field>) {
+        self.push(None, t, name, EventKind::Point, fields);
+    }
+
+    /// Events currently held (excludes dropped).
+    pub fn len(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events fell off the ring.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().buf.iter().cloned().collect()
+    }
+
+    /// One JSON object per event, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            let _ = write!(
+                out,
+                "{{\"span\":{},\"t\":{},\"name\":\"{}\",\"kind\":\"{}\"",
+                e.id,
+                fmt_f64(e.t),
+                e.name,
+                e.kind.label()
+            );
+            for (k, v) in &e.fields {
+                let _ = write!(out, ",\"{k}\":");
+                v.write_json(&mut out);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// CSV with header `span,t,name,kind,fields`; fields are packed as
+    /// `k=v` pairs separated by `;` in the last column.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("span,t,name,kind,fields\n");
+        for e in self.events() {
+            let _ = write!(
+                out,
+                "{},{},{},{},",
+                e.id,
+                fmt_f64(e.t),
+                e.name,
+                e.kind.label()
+            );
+            for (i, (k, v)) in e.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(';');
+                }
+                let _ = write!(out, "{k}=");
+                v.write_csv(&mut out);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An open span. Dropping it records an `Exit` at the enter timestamp (a
+/// zero-length span); prefer [`Span::exit`] / [`Span::exit_with`] to stamp
+/// the real end time.
+#[derive(Debug)]
+pub struct Span<'a> {
+    log: &'a SpanLog,
+    id: u64,
+    name: &'static str,
+    enter_t: f64,
+    closed: bool,
+}
+
+impl<'a> Span<'a> {
+    /// Open a span: records an `Enter` event at virtual time `t`.
+    pub fn enter(log: &'a SpanLog, name: &'static str, t: f64, fields: Vec<Field>) -> Self {
+        let id = log.push(None, t, name, EventKind::Enter, fields);
+        Span {
+            log,
+            id,
+            name,
+            enter_t: t,
+            closed: false,
+        }
+    }
+
+    /// The span id (shared by the Enter and Exit events).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Close at virtual time `t`.
+    pub fn exit(self, t: f64) {
+        self.exit_with(t, vec![]);
+    }
+
+    /// Close at virtual time `t`, attaching result fields to the `Exit`.
+    pub fn exit_with(mut self, t: f64, fields: Vec<Field>) {
+        self.closed = true;
+        self.log
+            .push(Some(self.id), t, self.name, EventKind::Exit, fields);
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.log.push(
+                Some(self.id),
+                self.enter_t,
+                self.name,
+                EventKind::Exit,
+                vec![],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_exit_share_an_id_and_order_is_emission_order() {
+        let log = SpanLog::new();
+        let outer = Span::enter(&log, "outer", 0.0, vec![("seq", 1u64.into())]);
+        log.point("mark", 0.5, vec![]);
+        outer.exit_with(2.0, vec![("ok", true.into())]);
+        let events = log.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::Enter);
+        assert_eq!(events[2].kind, EventKind::Exit);
+        assert_eq!(events[0].id, events[2].id);
+        assert_ne!(events[0].id, events[1].id);
+        assert_eq!(events[2].fields, vec![("ok", FieldValue::Bool(true))]);
+    }
+
+    #[test]
+    fn dropping_an_open_span_still_closes_it() {
+        let log = SpanLog::new();
+        {
+            let _span = Span::enter(&log, "s", 3.0, vec![]);
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].kind, EventKind::Exit);
+        assert_eq!(events[1].t, 3.0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts_them() {
+        let log = SpanLog::with_capacity(2);
+        log.point("a", 0.0, vec![]);
+        log.point("b", 1.0, vec![]);
+        log.point("c", 2.0, vec![]);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        let names: Vec<&str> = log.events().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn jsonl_export_is_exact() {
+        let log = SpanLog::new();
+        log.point(
+            "p",
+            1.25,
+            vec![
+                ("n", 7u64.into()),
+                ("x", 0.5f64.into()),
+                ("who", "aic".into()),
+                ("deg", false.into()),
+            ],
+        );
+        assert_eq!(
+            log.to_jsonl(),
+            "{\"span\":0,\"t\":1.25,\"name\":\"p\",\"kind\":\"point\",\
+             \"n\":7,\"x\":0.5,\"who\":\"aic\",\"deg\":false}\n"
+        );
+    }
+
+    #[test]
+    fn csv_export_packs_fields() {
+        let log = SpanLog::new();
+        let s = Span::enter(&log, "e", 0.0, vec![("seq", 2u64.into())]);
+        s.exit(1.0);
+        let csv = log.to_csv();
+        assert!(csv.starts_with("span,t,name,kind,fields\n"));
+        assert!(csv.contains("0,0,e,enter,seq=2\n"));
+        assert!(csv.contains("0,1,e,exit,\n"));
+    }
+
+    #[test]
+    fn usize_and_str_fields_convert() {
+        let log = SpanLog::new();
+        log.point("p", 0.0, vec![("pages", 12usize.into())]);
+        assert_eq!(log.events()[0].fields[0].1, FieldValue::U64(12));
+    }
+
+    #[test]
+    fn empty_log_reports_empty() {
+        let log = SpanLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+        assert_eq!(log.to_jsonl(), "");
+    }
+}

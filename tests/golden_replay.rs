@@ -1,0 +1,98 @@
+//! Golden-replay pin: the observability layer's determinism contract.
+//!
+//! One fixed-seed end-to-end run (AIC policy, pool width 2, L1/L2/L3
+//! storage, a mid-run f2 fault) is reduced to a canonical text snapshot —
+//! deterministic metrics JSONL + span JSONL + final-image digest — and
+//! compared line-by-line against `tests/golden/replay_quick.txt`.
+//!
+//! On drift the failure message shows the first diverging lines, which is
+//! the debugging entry point: a metric line changing means an engine-layer
+//! behavior change; a span-count change means the interval structure moved;
+//! a digest change means the workload or codec changed.
+//!
+//! To re-bless after an *intentional* change:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_replay
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use aic_bench::experiments::{replay, RunScale};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/replay_quick.txt")
+}
+
+/// First-divergence diff: readable without a diff tool in CI logs.
+fn diff_report(expected: &str, actual: &str) -> String {
+    let mut out = String::new();
+    let (exp, act): (Vec<&str>, Vec<&str>) = (expected.lines().collect(), actual.lines().collect());
+    let mut shown = 0;
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i).copied();
+        let a = act.get(i).copied();
+        if e != a {
+            out.push_str(&format!(
+                "line {}:\n  golden: {}\n  actual: {}\n",
+                i + 1,
+                e.unwrap_or("<missing>"),
+                a.unwrap_or("<missing>")
+            ));
+            shown += 1;
+            if shown == 8 {
+                out.push_str("  ... (further differences elided)\n");
+                break;
+            }
+        }
+    }
+    if exp.len() != act.len() {
+        out.push_str(&format!(
+            "line counts differ: golden {}, actual {}\n",
+            exp.len(),
+            act.len()
+        ));
+    }
+    out
+}
+
+#[test]
+fn replay_matches_the_checked_in_golden_snapshot() {
+    let actual = replay::run(&RunScale::quick()).snapshot_text();
+    let path = golden_path();
+
+    if std::env::var_os("BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &actual).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run `BLESS=1 cargo test --test golden_replay` to create it",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "replay snapshot drifted from {}:\n{}\nIf the change is intentional, re-bless with \
+         `BLESS=1 cargo test --test golden_replay`.",
+        path.display(),
+        diff_report(&expected, &actual)
+    );
+}
+
+#[test]
+fn same_seed_replays_are_byte_identical() {
+    let scale = RunScale::quick();
+    let a = replay::run(&scale).snapshot_text();
+    let b = replay::run(&scale).snapshot_text();
+    assert!(
+        a == b,
+        "same-seed replays diverged:\n{}",
+        diff_report(&a, &b)
+    );
+    assert!(!a.is_empty());
+}

@@ -46,12 +46,12 @@ fn global_checkpoints_commit_to_storage_and_recover() {
     job.run_until(1.0);
     let (ckpt0, _) = ck.initial_cut(&mut job);
     for (rank, file) in ckpt0.per_rank.iter().enumerate() {
-        stores[rank].commit(file);
+        stores[rank].commit(file).unwrap();
     }
     job.run_until(5.0);
     let (ckpt1, stats) = ck.cut(&mut job);
     for (rank, file) in ckpt1.per_rank.iter().enumerate() {
-        stores[rank].commit(file);
+        stores[rank].commit(file).unwrap();
     }
     assert!(
         stats.drained > 0,
@@ -63,7 +63,7 @@ fn global_checkpoints_commit_to_storage_and_recover() {
 
     // Catastrophe: every node suffers a total failure.
     for s in &mut stores {
-        s.inject_failure(3, 0);
+        s.inject_failure(3, 0).unwrap();
     }
     for (rank, store) in stores.iter().enumerate() {
         assert!(store.recover_from(1).is_err(), "local must be gone");

@@ -1,0 +1,140 @@
+//! Property-based tests over the decision plane: the Newton–Raphson `w*`
+//! search, the stepwise feature selector, and the pool-width scaling of the
+//! interval-cost model must hold their invariants for *arbitrary* valid
+//! inputs, not just the paper's testbed numbers.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use aic::core::regress;
+use aic::core::stepwise::stepwise_fit;
+use aic::model::nonstatic::{optimal_w_budgeted, IntervalParams};
+use aic::model::FailureRates;
+
+/// Valid measured interval costs: non-negative latencies, positive
+/// bandwidths spanning disk-to-WAN orders of magnitude.
+fn interval_inputs() -> impl Strategy<Value = (f64, f64, f64, f64, f64)> {
+    (
+        0.0..10.0f64,     // c1: local blocking write
+        0.0..100.0f64,    // dl: compression latency
+        0.0..1.0e9f64,    // ds: compressed payload bytes
+        1.0e3..1.0e12f64, // b2: RAID link
+        1.0e2..1.0e10f64, // b3: remote link
+    )
+}
+
+/// Raw failure-rate draws: per-level proportions plus a total spanning
+/// quiet clusters to failure storms (combined with
+/// [`FailureRates::with_total`] inside the test body — the vendored
+/// proptest has no `prop_map`).
+fn rate_inputs() -> impl Strategy<Value = (f64, f64, f64, f64)> {
+    (
+        1.0e-7..1.0f64,
+        1.0e-7..1.0f64,
+        1.0e-7..1.0f64,
+        1.0e-6..1.0e-2f64,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The online decider calls the budgeted Newton–Raphson search every
+    /// decision second; whatever the measured costs, it must return a
+    /// finite, positive work span within the search window. A NaN or zero
+    /// here would wedge the engine's checkpoint cadence.
+    #[test]
+    fn newton_raphson_w_star_is_always_finite_and_positive(
+        inputs in interval_inputs(),
+        raw_rates in rate_inputs(),
+        seed in 0.1..1.0e5f64,
+    ) {
+        let (c1, dl, ds, b2, b3) = inputs;
+        let (l1, l2, l3, total) = raw_rates;
+        let rates = FailureRates::three(l1, l2, l3).with_total(total);
+        let cur = IntervalParams::from_measurement(c1, dl, ds, b2, b3);
+        let best = optimal_w_budgeted(&cur, &cur, &rates, 1.0, 1.0e5, seed, 200, 1e-4);
+        prop_assert!(best.x.is_finite(), "w* = {} not finite", best.x);
+        prop_assert!(best.x > 0.0, "w* = {} not positive", best.x);
+        prop_assert!(best.x <= 1.0e5 + 1e-6, "w* = {} escaped the window", best.x);
+        prop_assert!(
+            best.x + 1e-9 >= cur.w_lower_bound().min(1.0e5),
+            "w* = {} violates the drain bound {}",
+            best.x,
+            cur.w_lower_bound()
+        );
+        prop_assert!(!best.value.is_nan(), "objective at w* is NaN");
+    }
+
+    /// Stepwise selection must never accept a feature that fails to reduce
+    /// the residual: refitting every selected prefix shows a strictly
+    /// decreasing RSS, whatever the data looks like.
+    #[test]
+    fn stepwise_never_selects_a_feature_that_raises_the_residual(
+        rows in vec(vec(-100.0..100.0f64, 6..7), 4..24),
+        ys_seed in vec(-1000.0..1000.0f64, 24..25),
+        max_features in 1usize..5,
+    ) {
+        let ys: Vec<f64> = ys_seed.iter().take(rows.len()).copied().collect();
+        let model =
+            stepwise_fit(&rows, &ys, max_features, 1e-9).expect("non-empty input always fits");
+        prop_assert!(model.selected.len() <= max_features);
+        let mut prev_rss = regress::fit(&vec![vec![]; ys.len()], &ys, 1e-8)
+            .expect("intercept-only fit always exists")
+            .rss;
+        for k in 1..=model.selected.len() {
+            let prefix = &model.selected[..k];
+            let xs: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|r| prefix.iter().map(|&i| r[i]).collect())
+                .collect();
+            let f = regress::fit(&xs, &ys, 1e-8).expect("selected fit must refit");
+            prop_assert!(
+                f.rss < prev_rss,
+                "feature {} raised RSS {} -> {}",
+                prefix[k - 1],
+                prev_rss,
+                f.rss
+            );
+            prev_rss = f.rss;
+        }
+    }
+
+    /// Pool-width scaling: pages are independent delta units, so more
+    /// compression cores can only shrink the compression term. `c1` is a
+    /// local memory write and must be invariant; `c2`, `c3` and the drain
+    /// lower bound must be non-increasing in `cores`; one core must match
+    /// the plain single-core constructor exactly.
+    #[test]
+    fn interval_costs_are_monotone_in_pool_width(
+        inputs in interval_inputs(),
+        k1 in 1usize..16,
+        extra in 1usize..16,
+    ) {
+        let (c1, dl, ds, b2, b3) = inputs;
+        let k2 = k1 + extra;
+        let one = IntervalParams::from_measurement(c1, dl, ds, b2, b3);
+        let narrow = IntervalParams::from_measurement_with_cores(c1, dl, ds, b2, b3, k1);
+        let wide = IntervalParams::from_measurement_with_cores(c1, dl, ds, b2, b3, k2);
+
+        prop_assert_eq!(
+            IntervalParams::from_measurement_with_cores(c1, dl, ds, b2, b3, 1),
+            one.clone()
+        );
+        prop_assert_eq!(narrow.c[0], one.c[0]);
+        prop_assert_eq!(wide.c[0], one.c[0]);
+        for lvl in 1..3 {
+            prop_assert!(
+                wide.c[lvl] <= narrow.c[lvl] + 1e-12,
+                "c{} grew with pool width: {} cores {} vs {} cores {}",
+                lvl + 1,
+                k1,
+                narrow.c[lvl],
+                k2,
+                wide.c[lvl]
+            );
+            prop_assert!(narrow.c[lvl] <= one.c[lvl] + 1e-12);
+        }
+        prop_assert!(wide.w_lower_bound() <= narrow.w_lower_bound() + 1e-12);
+    }
+}
