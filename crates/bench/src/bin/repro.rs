@@ -17,7 +17,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use aic_bench::experiments::{
-    ablation, bench_delta, faults, fig11, fig12, fig2, fig5, fig6, fig7, fleet_sharing,
+    ablation, bench_delta, drain, faults, fig11, fig12, fig2, fig5, fig6, fig7, fleet_sharing,
     mpi_scaling, pool_scaling, regret, replay, table1, table3, validate, RunScale,
 };
 use aic_bench::output::csv;
@@ -209,6 +209,30 @@ fn run_one(args: &Args) -> Result<(), String> {
                 ));
             }
         }
+        "drain" => {
+            println!("## Write-behind drain — NET² (cuts) by sharing factor x queue depth\n");
+            let rows = drain::run(
+                "libquantum",
+                &drain::DEFAULT_SFS,
+                &drain::DEFAULT_DEPTHS,
+                scale,
+            );
+            print!("{}", drain::render(&rows));
+            if let Some(bad) = rows
+                .iter()
+                .flat_map(|r| r.cells.iter().map(move |c| (r.sf, c)))
+                .find(|(_, c)| !c.identical)
+            {
+                return Err(format!(
+                    "sf {} depth {:?}: fault-injected run resumed to a diverged image",
+                    bad.0, bad.1.depth
+                ));
+            }
+            if !drain::write_behind_wins(&rows) {
+                return Err("write-behind did not beat synchronous commits at SF >= 3".into());
+            }
+            println!("\nwrite-behind beats synchronous commits at every SF >= 3");
+        }
         "bench" => {
             println!("## Delta-codec microbenchmarks — cache-hit vs cache-miss, pool widths\n");
             let report = bench_delta::run(scale);
@@ -240,7 +264,7 @@ fn run_one(args: &Args) -> Result<(), String> {
         "all" => {
             for exp in [
                 "table1", "fig5", "fig6", "fig7", "fig2", "table3", "fig11", "fig12", "validate",
-                "ablation", "mpi", "pool", "bench", "fleet", "regret", "faults", "replay",
+                "ablation", "mpi", "pool", "bench", "fleet", "regret", "faults", "drain", "replay",
             ] {
                 let sub = Args {
                     experiment: exp.to_string(),
@@ -267,7 +291,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|pool|bench|fleet|regret|faults|replay|all> \
+                "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|pool|bench|fleet|regret|faults|drain|replay|all> \
                  [--quick] [--csv] [--footprint F] [--duration D] [--seed N] [--jobs N] [--metrics-out FILE]"
             );
             ExitCode::FAILURE

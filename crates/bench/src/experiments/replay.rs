@@ -1,7 +1,8 @@
 //! Deterministic golden replay (observability acceptance harness).
 //!
 //! One fixed-seed end-to-end run — AIC policy, compression pool width 2,
-//! L1/L2/L3 storage, a mid-run f2 fault — with the observability bundle
+//! L1/L2/L3 storage, write-behind L3 commits through the fault-injected
+//! network transport, a mid-run f2 fault — with the observability bundle
 //! attached, reduced to a canonical text snapshot: the deterministic metric
 //! registry as JSONL, the span/event stream as JSONL, and an FNV-1a digest
 //! of the final memory image. The snapshot is a pure function of the
@@ -16,6 +17,7 @@ use std::sync::Arc;
 
 use aic_ckpt::engine::EngineConfig;
 use aic_ckpt::harness::{run_with_faults, FailureSchedule};
+use aic_ckpt::transport::{TransportFaults, WriteBehindConfig};
 use aic_core::policy::{AicConfig, AicPolicy};
 use aic_delta::strong::Fnv1a;
 use aic_memsim::Snapshot;
@@ -83,6 +85,14 @@ fn replay_engine(scale: &RunScale) -> EngineConfig {
     cfg.keep_files = true;
     cfg.full_every = Some(4);
     cfg.cores = 2;
+    // Write-behind remote commits with seeded transport faults: the golden
+    // snapshot pins the drain queue/retry metrics and the f2 recovery that
+    // keeps the pending drain alive.
+    cfg.transport = Some(WriteBehindConfig {
+        queue_depth: 2,
+        faults: Some(TransportFaults::mixed(scale.seed)),
+        ..WriteBehindConfig::default()
+    });
     cfg
 }
 

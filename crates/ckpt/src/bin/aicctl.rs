@@ -6,10 +6,14 @@
 //! aicctl verify <dir>            # parse + replay a chain, report health
 //! aicctl restore <dir> <out.img> # restore the newest image to a flat file
 //! aicctl faults [--secs S] [--level 1|2|3] [--at T] [--seed N]
+//!               [--write-behind DEPTH]
 //!                                # inject a failure mid-run, recover from
 //!                                # the cheapest surviving storage level,
-//!                                # and check the final image bit-for-bit
-//! aicctl stats [--secs S] [--seed N] [--jsonl FILE]
+//!                                # and check the final image bit-for-bit;
+//!                                # --write-behind commits L3 through the
+//!                                # async transport (bounded queue DEPTH,
+//!                                # seeded transient network faults)
+//! aicctl stats [--secs S] [--seed N] [--jsonl FILE] [--write-behind DEPTH]
 //!                                # run an instrumented engine pass (with a
 //!                                # mid-run L2 fault) and dump the metrics
 //!                                # registry; --jsonl also writes the
@@ -35,6 +39,7 @@ use aic_ckpt::format::{CheckpointFile, CheckpointKind, Payload};
 use aic_ckpt::harness::{run_with_faults, FailureSchedule};
 use aic_ckpt::policies::FixedIntervalPolicy;
 use aic_ckpt::recovery::RecoveryLevel;
+use aic_ckpt::transport::{TransportFaults, WriteBehindConfig};
 use aic_delta::pa::{pa_encode, PaParams};
 use aic_memsim::workloads::generic::StreamingWorkload;
 use aic_memsim::workloads::WriteStyle;
@@ -51,7 +56,7 @@ fn main() -> ExitCode {
         Some("stats") => stats(&args[1..]),
         _ => {
             eprintln!(
-                "usage: aicctl <demo <dir> | inspect <file.ckpt> | verify <dir> | restore <dir> <out.img> | faults [--secs S] [--level L] [--at T] [--seed N] | stats [--secs S] [--seed N] [--jsonl FILE]>"
+                "usage: aicctl <demo <dir> | inspect <file.ckpt> | verify <dir> | restore <dir> <out.img> | faults [--secs S] [--level L] [--at T] [--seed N] [--write-behind DEPTH] | stats [--secs S] [--seed N] [--jsonl FILE] [--write-behind DEPTH]>"
             );
             return ExitCode::FAILURE;
         }
@@ -197,6 +202,25 @@ fn restore(dir: &Path, out: &Path) -> CliResult {
     Ok(())
 }
 
+/// Translate the `--write-behind DEPTH` flag into an engine transport
+/// config: a bounded commit queue of DEPTH with the standard mixed
+/// transient-fault plan (drops, timeouts, slow links) seeded from `seed` so
+/// retry schedules replay identically.
+fn write_behind_config(
+    depth: Option<usize>,
+    seed: u64,
+) -> Result<Option<WriteBehindConfig>, String> {
+    match depth {
+        None => Ok(None),
+        Some(0) => Err("--write-behind depth must be at least 1".into()),
+        Some(d) => Ok(Some(WriteBehindConfig {
+            queue_depth: d,
+            faults: Some(TransportFaults::mixed(seed)),
+            ..WriteBehindConfig::default()
+        })),
+    }
+}
+
 fn stream_process(secs: f64, seed: u64) -> SimProcess {
     SimProcess::new(Box::new(StreamingWorkload::new(
         "aicctl",
@@ -215,6 +239,7 @@ fn faults(opts: &[String]) -> CliResult {
     let mut level = 2usize;
     let mut at: Option<f64> = None;
     let mut seed = 11u64;
+    let mut write_behind: Option<usize> = None;
     let mut it = opts.iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -236,6 +261,13 @@ fn faults(opts: &[String]) -> CliResult {
             }
             "--seed" => {
                 seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--write-behind" => {
+                write_behind = Some(
+                    val("--write-behind")?
+                        .parse()
+                        .map_err(|e| format!("--write-behind: {e}"))?,
+                );
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -259,6 +291,7 @@ fn faults(opts: &[String]) -> CliResult {
     let mut cfg = EngineConfig::testbed(aic_model::FailureRates::three(2e-7, 1.8e-6, 4e-7));
     cfg.keep_files = true;
     cfg.full_every = Some(4);
+    cfg.transport = write_behind_config(write_behind, seed)?;
     let mut policy = FixedIntervalPolicy::new((secs / 8.0).max(0.5));
     let out = run_with_faults(
         stream_process(secs, seed),
@@ -313,6 +346,7 @@ fn stats(opts: &[String]) -> CliResult {
     let mut secs = 24.0f64;
     let mut seed = 11u64;
     let mut jsonl: Option<PathBuf> = None;
+    let mut write_behind: Option<usize> = None;
     let mut it = opts.iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -328,6 +362,13 @@ fn stats(opts: &[String]) -> CliResult {
                 seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
             "--jsonl" => jsonl = Some(PathBuf::from(val("--jsonl")?)),
+            "--write-behind" => {
+                write_behind = Some(
+                    val("--write-behind")?
+                        .parse()
+                        .map_err(|e| format!("--write-behind: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -339,6 +380,7 @@ fn stats(opts: &[String]) -> CliResult {
     let mut cfg = EngineConfig::testbed(aic_model::FailureRates::three(2e-7, 1.8e-6, 4e-7));
     cfg.keep_files = true;
     cfg.full_every = Some(4);
+    cfg.transport = write_behind_config(write_behind, seed)?;
     cfg.obs = Some(Arc::clone(&obs));
     let mut policy = FixedIntervalPolicy::new((secs / 8.0).max(0.5));
     let out = run_with_faults(
@@ -442,6 +484,23 @@ mod tests {
         assert!(faults(&["--secs".into(), "-1".into()]).is_err());
         assert!(faults(&["--bogus".into()]).is_err());
         assert!(faults(&["--seed".into()]).is_err());
+        assert!(faults(&["--write-behind".into(), "0".into()]).is_err());
+        assert!(faults(&["--write-behind".into(), "x".into()]).is_err());
+    }
+
+    #[test]
+    fn faults_subcommand_recovers_with_write_behind() {
+        // An f3 mid-drain with a bounded queue and transient network faults
+        // must still restore a bit-identical image.
+        faults(&[
+            "--secs".into(),
+            "16".into(),
+            "--level".into(),
+            "3".into(),
+            "--write-behind".into(),
+            "2".into(),
+        ])
+        .unwrap();
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::chain::{CheckpointChain, RestoreError};
 use crate::format::{CheckpointFile, CheckpointKind};
 use crate::harness::{FailureSchedule, FaultEvent};
 use crate::recovery::{RecoveryError, StorageHierarchy};
+use crate::transport::{LinkConfig, NetworkTransport, TransportEvent, WriteBehindConfig};
 
 /// Errors from the engine's restore path (`EngineReport::restore_latest`).
 #[derive(Debug, Clone, PartialEq)]
@@ -160,6 +161,16 @@ pub struct EngineConfig {
     /// mid-run fault injection and end-to-end recovery
     /// ([`crate::engine::run_engine_with_faults`]).
     pub storage: Option<Arc<Mutex<StorageHierarchy>>>,
+    /// Write-behind L3 commits. When set (requires `storage`), checkpoint
+    /// commits are **locally durable** at L1/L2 and the L3 object drains
+    /// through a simulated shared-network transport: bounded queue depth,
+    /// SF-way fair-share bandwidth contention, optional transient faults
+    /// with seeded retry. The checkpointing core is freed after the L2 leg
+    /// (`c2`), the next cut no longer waits for the slow remote drain, and
+    /// back-pressure (a full queue) stalls the compute core instead of
+    /// dropping data. `None` = the synchronous commit path: every level is
+    /// durable before the interval record is cut.
+    pub transport: Option<WriteBehindConfig>,
     /// Observability bundle. When set, the engine emits interval-lifecycle
     /// spans (protect → encode → commit → recover) and counters to it, and
     /// shares it with the policy and the storage hierarchy. All engine
@@ -185,6 +196,7 @@ impl EngineConfig {
             keep_files: false,
             full_every: None,
             storage: None,
+            transport: None,
             obs: None,
         }
     }
@@ -401,6 +413,10 @@ pub fn run_engine_with_faults(
         schedule.is_empty() || config.storage.is_some(),
         "fault injection requires an EngineConfig storage hierarchy"
     );
+    assert!(
+        config.transport.is_none() || config.storage.is_some(),
+        "write-behind transport requires an EngineConfig storage hierarchy"
+    );
     let sf = config.sharing_factor;
     let base_time = process.base_time().as_secs();
     let want_files = config.keep_files || config.storage.is_some();
@@ -467,6 +483,19 @@ pub fn run_engine_with_faults(
     // Entries only serve on exact source equality; invalidated wholesale at
     // every recovery barrier because the timeline they indexed is gone.
     let index_cache = SourceIndexCache::new();
+    // Write-behind network transport for the L3 drain. Its clock runs on
+    // the workload axis *plus* the accumulated back-pressure stalls: a
+    // stall advances wall time (and the drain keeps shipping bytes) while
+    // the workload clock stands still, so `now + stall_offset` is the
+    // transport-time of workload instant `now`.
+    let mut transport: Option<NetworkTransport> = config.transport.as_ref().map(|wb| {
+        let mut t = NetworkTransport::new(LinkConfig::new(config.b3, 0.0, sf), *wb);
+        if let Some(obs) = &config.obs {
+            t.attach_obs(obs);
+        }
+        t
+    });
+    let mut stall_offset = 0.0_f64;
 
     loop {
         let tick = process.now() + SimTime::from_secs(config.decision_period);
@@ -474,6 +503,14 @@ pub fn run_engine_with_faults(
         let now = process.now().as_secs();
         if let Some(o) = &eng_obs {
             o.ticks.inc();
+        }
+
+        // Pump the write-behind drain up to this tick: completed transfers
+        // become remotely durable (and may run a deferred anchor GC).
+        if let Some(t) = transport.as_mut() {
+            let events = t.advance_to(now + stall_offset);
+            let storage = config.storage.as_ref().expect("asserted with transport");
+            apply_transport_events(storage, &events)?;
         }
 
         // Inject the next scheduled failure once its time has passed.
@@ -485,6 +522,15 @@ pub fn run_engine_with_faults(
             let spec = schedule.specs()[next_fault];
             next_fault += 1;
             let storage = config.storage.as_ref().expect("asserted non-empty");
+            // An f3 takes the write-behind queue down with the node: the
+            // in-flight transfers were fed from the L1/L2 copies that no
+            // longer exist. f1/f2 leave the queue draining (the surviving
+            // replicas still back it).
+            if spec.level == 3 {
+                if let Some(t) = transport.as_mut() {
+                    t.drop_all();
+                }
+            }
             let (img, repair) = {
                 let mut hier = lock_storage(storage)?;
                 hier.inject_failure(spec.level, spec.raid_victim)?;
@@ -706,11 +752,38 @@ pub fn run_engine_with_faults(
             };
 
             let mut commit_receipt = None;
+            // Wall-clock seconds from the cut to remote durability, when
+            // the write-behind transport is live (measured off its
+            // fair-share drain estimate, back-pressure stall included).
+            let mut drain_secs: Option<f64> = None;
             if let Some(file) = file {
                 if let Some(storage) = &config.storage {
-                    // Commit through the hierarchy; a full anchor triggers
-                    // chain truncation / GC on all three levels.
-                    commit_receipt = Some(lock_storage(storage)?.commit(&file)?);
+                    if let Some(t) = transport.as_mut() {
+                        // Locally durable now; the L3 object drains through
+                        // the shared network. A full anchor supersedes every
+                        // queued older drain — cancel them so their slots
+                        // back the anchor instead (their parked bytes are
+                        // GC'd when the anchor's own drain acks).
+                        let (receipt, wire) = lock_storage(storage)?.commit_write_behind(&file)?;
+                        if file.kind == CheckpointKind::Full {
+                            t.cancel_below(file.seq);
+                        }
+                        let t_cut = now + stall_offset;
+                        let out = t.enqueue(file.seq, wire, t_cut);
+                        stall_offset += out.stalled_for;
+                        blocking_overhead += out.stalled_for;
+                        apply_transport_events(storage, &out.events)?;
+                        // `eta_of` counts from the transport clock, which
+                        // sits `stalled_for` past the cut after a
+                        // back-pressure wait.
+                        drain_secs = t.eta_of(file.seq).map(|eta| (t.now() - t_cut) + eta);
+                        commit_receipt = Some(receipt);
+                    } else {
+                        // Commit through the hierarchy; a full anchor
+                        // triggers chain truncation / GC on all three
+                        // levels.
+                        commit_receipt = Some(lock_storage(storage)?.commit(&file)?);
+                    }
                 }
                 if let Some(chain) = chain.as_mut() {
                     if file.kind == CheckpointKind::Full {
@@ -725,7 +798,14 @@ pub fn run_engine_with_faults(
             force_full = false;
 
             let c2 = c1 + dl + ds_bytes as f64 * sf / config.b2;
-            let c3 = c1 + dl + ds_bytes as f64 * sf / config.b3;
+            let c3 = match drain_secs {
+                // Write-behind: `c3` is the *measured* time-to-remote-
+                // durability through the shared network (contention with
+                // still-draining older intervals included) — what failure
+                // exposure actually depends on.
+                Some(d) => c1 + dl + d,
+                None => c1 + dl + ds_bytes as f64 * sf / config.b3,
+            };
             if let Some(o) = &eng_obs {
                 let dh = index_cache.hits() - cache_h0;
                 let dm = index_cache.misses() - cache_m0;
@@ -788,7 +868,16 @@ pub fn run_engine_with_faults(
             records.push(rec);
 
             blocking_overhead += c1;
-            core_free_at = now + (c3 - c1);
+            // Core-drain rule: synchronously the checkpointing core is
+            // busy until the L3 transfer lands; with write-behind it is
+            // free once the L2 leg is done — the transport owns the slow
+            // remote drain, and the *queue bound* (not the core) is what
+            // throttles runaway cut rates.
+            core_free_at = if transport.is_some() {
+                now + (c2 - c1)
+            } else {
+                now + (c3 - c1)
+            };
             // Roll the previous-checkpoint mirror forward.
             prev_state.overlay(&dirty);
             let keep: std::collections::BTreeSet<u64> = live.iter().copied().collect();
@@ -820,6 +909,16 @@ pub fn run_engine_with_faults(
         }
     }
 
+    // Run epilogue: let the write-behind queue finish draining so the
+    // final storage state is remotely durable. The app has already exited —
+    // the tail drain overlaps the job teardown and is not charged to wall
+    // time (exactly the asynchrony the queue buys).
+    if let Some(t) = transport.as_mut() {
+        let (events, _) = t.quiesce();
+        let storage = config.storage.as_ref().expect("asserted with transport");
+        apply_transport_events(storage, &events)?;
+    }
+
     let net2 = score_net2(&records, &initial_params, &config.rates, base_time);
     if let Some(o) = &eng_obs {
         o.net2.set(net2);
@@ -839,6 +938,29 @@ pub fn run_engine_with_faults(
         chain,
     };
     Ok((report, fault_events))
+}
+
+/// Apply transport completions to the storage hierarchy: every `Acked`
+/// drain materializes its pending L3 object (and an acked full anchor runs
+/// its deferred L3 truncation). Acks for sequences the hierarchy no longer
+/// tracks — superseded by an anchored ack, or dropped by an f3 — are
+/// ignored: the transfer finished, but nothing needs its bytes anymore.
+/// `GaveUp` transfers (retry budget exhausted) stay pending: the interval
+/// remains locally durable, and the remote frontier simply stops advancing
+/// past it.
+fn apply_transport_events(
+    storage: &Arc<Mutex<StorageHierarchy>>,
+    events: &[TransportEvent],
+) -> Result<(), RecoveryError> {
+    for ev in events {
+        if let TransportEvent::Acked { seq, .. } = ev {
+            let mut hier = lock_storage(storage)?;
+            if hier.pending_remote_seqs().binary_search(seq).is_ok() {
+                hier.ack_remote(*seq)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Lock the shared storage hierarchy, converting a poisoned mutex (a
@@ -1158,6 +1280,123 @@ mod tests {
         assert_eq!(m1, m2, "metrics snapshots diverged across same-seed runs");
         assert_eq!(s1, s2, "span logs diverged across same-seed runs");
         assert!(!m1.is_empty() && !s1.is_empty());
+    }
+
+    #[test]
+    fn write_behind_outpaces_the_synchronous_core_drain() {
+        // L3 so slow each drain takes tens of seconds: the synchronous
+        // core-drain rule starves the 5 s policy down to a couple of cuts,
+        // while write-behind keeps cutting and parks the drains on the
+        // queue.
+        let slow_b3 = 2e3;
+        let mut sync_cfg = testbed();
+        sync_cfg.b3 = slow_b3;
+        sync_cfg.storage = Some(Arc::new(Mutex::new(StorageHierarchy::coastal(4))));
+        let mut p1 = FixedIntervalPolicy::new(5.0);
+        let sync = run_engine(small_process(40.0), &mut p1, &sync_cfg);
+
+        let storage = Arc::new(Mutex::new(StorageHierarchy::coastal(4)));
+        let mut wb_cfg = testbed();
+        wb_cfg.b3 = slow_b3;
+        wb_cfg.storage = Some(storage.clone());
+        wb_cfg.transport = Some(crate::transport::WriteBehindConfig::with_depth(8));
+        let mut p2 = FixedIntervalPolicy::new(5.0);
+        let wb = run_engine(small_process(40.0), &mut p2, &wb_cfg);
+
+        let cuts = |r: &EngineReport| r.intervals.iter().filter(|x| x.raw_bytes > 0).count();
+        assert!(
+            cuts(&wb) > cuts(&sync),
+            "write-behind {} cuts !> synchronous {}",
+            cuts(&wb),
+            cuts(&sync)
+        );
+
+        // The epilogue quiesce finished every drain: nothing is pending and
+        // the remote frontier reaches the newest committed checkpoint.
+        let hier = storage.lock().unwrap();
+        assert!(hier.pending_remote_seqs().is_empty());
+        assert_eq!(hier.remote_frontier(), hier.committed().last().copied());
+    }
+
+    #[test]
+    fn bounded_queue_backpressure_stalls_the_compute_core() {
+        let run = |depth: usize| {
+            let obs = Arc::new(Obs::new());
+            let mut cfg = testbed();
+            cfg.b3 = 2e3;
+            cfg.obs = Some(obs.clone());
+            cfg.storage = Some(Arc::new(Mutex::new(StorageHierarchy::coastal(4))));
+            cfg.transport = Some(crate::transport::WriteBehindConfig::with_depth(depth));
+            let mut policy = FixedIntervalPolicy::new(5.0);
+            let report = run_engine(small_process(40.0), &mut policy, &cfg);
+            let snap = obs.metrics.deterministic_snapshot();
+            (
+                report.wall_time,
+                snap.counter("transport.backpressure_stalls").unwrap_or(0),
+            )
+        };
+        let (wall_deep, stalls_deep) = run(8);
+        let (wall_shallow, stalls_shallow) = run(1);
+        // A depth-1 queue serializes the slow drains: the caller stalls and
+        // the stall is charged to wall time. A deep queue absorbs them.
+        assert_eq!(stalls_deep, 0, "depth 8 must absorb every drain");
+        assert!(stalls_shallow > 0, "depth 1 must back-pressure");
+        assert!(
+            wall_shallow > wall_deep,
+            "stalls must surface in wall time: {wall_shallow} !> {wall_deep}"
+        );
+    }
+
+    #[test]
+    fn write_behind_c3_measures_queue_contention() {
+        // With several drains in flight the fair-share link stretches each
+        // one: recorded c3 exceeds the dedicated-link closed form for the
+        // intervals that queued behind earlier drains.
+        let mut cfg = testbed();
+        cfg.b3 = 2e3;
+        cfg.storage = Some(Arc::new(Mutex::new(StorageHierarchy::coastal(4))));
+        cfg.transport = Some(crate::transport::WriteBehindConfig::with_depth(8));
+        let mut policy = FixedIntervalPolicy::new(5.0);
+        let report = run_engine(small_process(40.0), &mut policy, &cfg);
+
+        let contended = report
+            .intervals
+            .iter()
+            .filter(|r| r.raw_bytes > 0)
+            .filter(|r| {
+                let dedicated = r.c1 + r.dl + r.ds_bytes as f64 / 2e3;
+                r.params.c[2] > dedicated + 1.0
+            })
+            .count();
+        assert!(
+            contended > 0,
+            "no interval's c3 showed fair-share stretching"
+        );
+    }
+
+    #[test]
+    fn write_behind_runs_are_deterministic_under_seeded_transport_faults() {
+        let run = || {
+            let obs = Arc::new(Obs::new());
+            let mut cfg = testbed();
+            cfg.b3 = 5e3;
+            cfg.obs = Some(obs.clone());
+            cfg.storage = Some(Arc::new(Mutex::new(StorageHierarchy::coastal(4))));
+            let mut wb = crate::transport::WriteBehindConfig::with_depth(2);
+            wb.faults = Some(crate::transport::TransportFaults::mixed(11));
+            cfg.transport = Some(wb);
+            let mut policy = FixedIntervalPolicy::new(5.0);
+            run_engine(small_process(25.0), &mut policy, &cfg);
+            (
+                obs.metrics.deterministic_snapshot().to_jsonl(),
+                obs.spans.to_jsonl(),
+            )
+        };
+        let (m1, s1) = run();
+        let (m2, s2) = run();
+        assert_eq!(m1, m2, "metrics diverged across same-seed faulted runs");
+        assert_eq!(s1, s2, "spans diverged across same-seed faulted runs");
+        assert!(s1.contains("transport.drain"), "drain spans missing");
     }
 
     #[test]

@@ -344,6 +344,71 @@ mod tests {
     }
 
     #[test]
+    fn write_behind_mid_drain_f3_resumes_bit_identically() {
+        // Slow L3 + write-behind: at the f3 the queue still holds undrained
+        // intervals. Recovery falls back to the acknowledged remote prefix,
+        // re-executes the lost tail, and the final image must still match
+        // the failure-free reference at every queue depth.
+        let truth = reference_image(24.0);
+        for depth in [1usize, 2, 4] {
+            let storage = Arc::new(Mutex::new(StorageHierarchy::coastal(4)));
+            let mut cfg = faulted_config();
+            cfg.b3 = 20e3;
+            cfg.storage = Some(storage.clone());
+            cfg.transport = Some(crate::transport::WriteBehindConfig::with_depth(depth));
+            let mut policy = FixedIntervalPolicy::new(3.0);
+            let out = run_with_faults(
+                stream_process(24.0),
+                &mut policy,
+                cfg,
+                &FailureSchedule::single(13.0, 3, 1),
+            )
+            .unwrap_or_else(|e| panic!("depth {depth}: {e}"));
+
+            let f = &out.faults[0];
+            assert_eq!(f.served, RecoveryLevel::Remote, "depth {depth}");
+            assert!(f.rework_seconds > 0.0, "depth {depth}: lost tail rework");
+            let final_state = out.report.final_state.as_ref().expect("keep_files");
+            assert_eq!(final_state, &truth, "depth {depth} diverged");
+
+            // The run's epilogue drained the post-recovery chain fully.
+            let hier = storage.lock().unwrap();
+            assert!(hier.pending_remote_seqs().is_empty(), "depth {depth}");
+            assert_eq!(
+                hier.remote_frontier(),
+                hier.committed().last().copied(),
+                "depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_behind_f2_keeps_the_drain_alive_through_recovery() {
+        // An f2 loses L1 and degrades the RAID group but the write-behind
+        // queue survives: the run finishes, every drain lands, and the
+        // final image is bit-identical.
+        let truth = reference_image(24.0);
+        let storage = Arc::new(Mutex::new(StorageHierarchy::coastal(4)));
+        let mut cfg = faulted_config();
+        cfg.b3 = 20e3;
+        cfg.storage = Some(storage.clone());
+        cfg.transport = Some(crate::transport::WriteBehindConfig::with_depth(2));
+        let mut policy = FixedIntervalPolicy::new(3.0);
+        let out = run_with_faults(
+            stream_process(24.0),
+            &mut policy,
+            cfg,
+            &FailureSchedule::single(13.0, 2, 1),
+        )
+        .unwrap();
+        assert_eq!(out.faults[0].served, RecoveryLevel::Raid);
+        assert!(out.faults[0].degraded);
+        assert_eq!(out.report.final_state.as_ref().unwrap(), &truth);
+        let hier = storage.lock().unwrap();
+        assert!(hier.pending_remote_seqs().is_empty());
+    }
+
+    #[test]
     fn bad_schedule_level_is_a_typed_error_not_a_panic() {
         let mut policy = FixedIntervalPolicy::new(3.0);
         let err = run_with_faults(

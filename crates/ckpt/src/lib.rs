@@ -4,7 +4,7 @@
 //! analytic models ([`aic_model`]): the moving parts of the paper's testbed
 //! (Fig. 9 / Fig. 10).
 //!
-//! * [`format`] — checkpoint files: full, incremental, and delta-compressed
+//! * [`format`](mod@format) — checkpoint files: full, incremental, and delta-compressed
 //!   payloads with live-page sets, serialization and integrity checksums;
 //! * [`chain`] — checkpoint chains and **restore**: last full checkpoint +
 //!   every later incremental/delta replayed in order;
@@ -34,7 +34,11 @@
 //!   to cross-validate the Markov models;
 //! * [`concurrent`] — a real dedicated checkpointing-core thread
 //!   (compression + remote transfer off the critical path), demonstrating
-//!   the wall-clock concurrency the paper exploits.
+//!   the wall-clock concurrency the paper exploits;
+//! * [`transport`] — the simulated shared network the L3 drain rides:
+//!   SF-way fair-share contention, a bounded **write-behind** commit queue
+//!   with back-pressure, and seeded transient faults (drop / timeout /
+//!   slow link) retried with capped exponential backoff.
 
 #![warn(missing_docs)]
 
@@ -49,8 +53,12 @@ pub mod policies;
 pub mod recovery;
 pub mod sim;
 pub mod storage;
+pub mod transport;
 
 pub use chain::CheckpointChain;
 pub use engine::{run_engine, run_engine_with_faults, EngineConfig, EngineReport, IntervalRecord};
 pub use format::{CheckpointFile, CheckpointKind};
 pub use harness::{run_with_faults, FailureSchedule, FaultEvent, FaultReport, FaultSpec};
+pub use transport::{
+    LinkConfig, NetworkTransport, RetryPolicy, TransportEvent, TransportFaults, WriteBehindConfig,
+};

@@ -19,6 +19,24 @@
 //! the anchor plus its incremental/delta suffix, so committing a full
 //! checkpoint garbage-collects the superseded prefix from all three levels
 //! and keeps `stored_bytes` bounded by one chain.
+//!
+//! # Write-behind commits
+//!
+//! [`StorageHierarchy::commit_write_behind`] makes an interval *locally
+//! durable* (L1 + L2 written synchronously) while the L3 copy is only
+//! *pending*: the serialized object is parked until the network transport
+//! acknowledges the drain and the engine calls
+//! [`StorageHierarchy::ack_remote`]. Invariants:
+//!
+//! * a full anchor truncates the **L1/L2** prefix at commit time, but may
+//!   only truncate the **L3** prefix once its *own* drain is acknowledged —
+//!   until then L3 keeps serving the superseded chain (the degraded-commit
+//!   path);
+//! * an **f3** failure loses the pending queue with the node (there is no
+//!   surviving replica to drain from), so L3 recovery replays the longest
+//!   *contiguous acknowledged prefix* of the chain; f1/f2 keep the queue
+//!   (the drain resumes from the surviving L1/L2 copies);
+//! * sequence numbers still strictly increase across both commit paths.
 
 use std::sync::Arc;
 
@@ -130,10 +148,28 @@ pub struct CommitReceipt {
     pub truncated: usize,
 }
 
+/// Acknowledgement receipt for one write-behind L3 drain
+/// ([`StorageHierarchy::ack_remote`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteAck {
+    /// The L3 write the ack materialized.
+    pub remote: Receipt,
+    /// L3 prefix objects garbage-collected because this ack completed a
+    /// full anchor's deferred truncation (zero for non-anchor acks).
+    pub truncated: usize,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct CommittedEntry {
     seq: u64,
     kind: CheckpointKind,
+    /// The L3 copy exists (synchronous commit, or write-behind drain
+    /// acknowledged). Pending entries recover from L1/L2 only.
+    l3_durable: bool,
+    /// The L1/L2 copies have not been truncated by a newer anchor. A
+    /// superseded entry can outlive its L1/L2 copies on L3 while the
+    /// anchor's own drain is still in flight.
+    l12_live: bool,
 }
 
 /// Registered per-level traffic metrics (see [`StorageHierarchy::attach_obs`]).
@@ -148,6 +184,9 @@ struct StorageObs {
     gc_bytes: Counter,
     recoveries: Counter,
     degraded_reads: Counter,
+    wb_commits: Counter,
+    wb_acks: Counter,
+    wb_dropped: Counter,
 }
 
 impl StorageObs {
@@ -169,6 +208,9 @@ impl StorageObs {
             gc_bytes: m.counter("storage.gc_bytes"),
             recoveries: m.counter("storage.recoveries"),
             degraded_reads: m.counter("storage.degraded_reads"),
+            wb_commits: m.counter("storage.wb_commits"),
+            wb_acks: m.counter("storage.wb_acks"),
+            wb_dropped: m.counter("storage.wb_dropped"),
         }
     }
 }
@@ -180,6 +222,9 @@ pub struct StorageHierarchy {
     raid: Raid5Group,
     remote: FlatStore,
     committed: Vec<CommittedEntry>,
+    /// Serialized write-behind objects parked until their L3 drain is
+    /// acknowledged, keyed by sequence number.
+    pending_remote: std::collections::BTreeMap<u64, Bytes>,
     obs: Option<StorageObs>,
 }
 
@@ -193,6 +238,7 @@ impl StorageHierarchy {
             raid: Raid5Group::new(raid_nodes, 256 << 10, BandwidthModel::new(471.7e6, 1e-3)),
             remote: FlatStore::new(BandwidthModel::new(2e6, 10e-3)),
             committed: Vec::new(),
+            pending_remote: std::collections::BTreeMap::new(),
             obs: None,
         }
     }
@@ -204,6 +250,7 @@ impl StorageHierarchy {
             raid,
             remote,
             committed: Vec::new(),
+            pending_remote: std::collections::BTreeMap::new(),
             obs: None,
         }
     }
@@ -228,14 +275,7 @@ impl StorageHierarchy {
     /// sequence is rejected as [`RecoveryError::OutOfOrderCommit`] without
     /// touching any level.
     pub fn commit(&mut self, file: &CheckpointFile) -> Result<CommitReceipt, RecoveryError> {
-        if let Some(last) = self.committed.last() {
-            if file.seq <= last.seq {
-                return Err(RecoveryError::OutOfOrderCommit {
-                    prev: last.seq,
-                    next: file.seq,
-                });
-            }
-        }
+        self.check_order(file.seq)?;
         let bytes = file.to_bytes();
         let name = Self::name(file.seq);
         let mut receipt = CommitReceipt {
@@ -256,12 +296,134 @@ impl StorageHierarchy {
         self.committed.push(CommittedEntry {
             seq: file.seq,
             kind: file.kind,
+            l3_durable: true,
+            l12_live: true,
         });
         Ok(receipt)
     }
 
+    /// Commit a checkpoint **write-behind**: L1 and L2 are written now (the
+    /// interval is locally durable), the serialized L3 object is parked
+    /// until [`Self::ack_remote`] confirms the network drain. Returns the
+    /// receipt (with a zero L3 leg) and the wire size of the pending object
+    /// — the byte count the caller must enqueue on the transport.
+    ///
+    /// A full anchor truncates the L1/L2 prefix immediately, but defers the
+    /// L3 truncation to its own ack: until the anchor is remotely durable,
+    /// L3 keeps the superseded chain it would otherwise recover from.
+    pub fn commit_write_behind(
+        &mut self,
+        file: &CheckpointFile,
+    ) -> Result<(CommitReceipt, u64), RecoveryError> {
+        self.check_order(file.seq)?;
+        let bytes = file.to_bytes();
+        let wire = bytes.len() as u64;
+        let name = Self::name(file.seq);
+        let mut receipt = CommitReceipt {
+            local: self.local.put(&name, bytes.clone()),
+            raid: self.raid.put(&name, bytes.clone()),
+            remote: Receipt {
+                bytes: 0,
+                seconds: 0.0,
+            },
+            truncated: 0,
+        };
+        self.pending_remote.insert(file.seq, bytes);
+        if let Some(obs) = &self.obs {
+            obs.commits.inc();
+            obs.wb_commits.inc();
+            obs.written[0].add(receipt.local.bytes);
+            obs.written[1].add(receipt.raid.bytes);
+        }
+        if file.kind == CheckpointKind::Full {
+            receipt.truncated = self.truncate_l12_before(file.seq);
+        }
+        self.committed.push(CommittedEntry {
+            seq: file.seq,
+            kind: file.kind,
+            l3_durable: false,
+            l12_live: true,
+        });
+        Ok((receipt, wire))
+    }
+
+    /// Acknowledge the L3 drain of a pending write-behind commit: the
+    /// parked object is materialized on remote storage and the entry
+    /// becomes remotely durable. If the acknowledged checkpoint is a full
+    /// anchor, its deferred L3 truncation runs now — the superseded prefix
+    /// (and any still-pending superseded drains) is dropped.
+    ///
+    /// Acknowledging a sequence with no pending object (never committed
+    /// write-behind, already acknowledged, or superseded by an anchored
+    /// ack) is a [`RecoveryError::BadObject`].
+    pub fn ack_remote(&mut self, seq: u64) -> Result<RemoteAck, RecoveryError> {
+        let Some(bytes) = self.pending_remote.remove(&seq) else {
+            return Err(RecoveryError::BadObject(format!(
+                "no pending write-behind object for seq {seq}"
+            )));
+        };
+        let name = Self::name(seq);
+        let remote = self.remote.put(&name, bytes);
+        let mut kind = CheckpointKind::Full;
+        for e in &mut self.committed {
+            if e.seq == seq {
+                e.l3_durable = true;
+                kind = e.kind;
+            }
+        }
+        if let Some(obs) = &self.obs {
+            obs.wb_acks.inc();
+            obs.written[2].add(remote.bytes);
+        }
+        let mut truncated = 0;
+        if kind == CheckpointKind::Full {
+            // Deferred anchor GC: L3 objects below the anchor are now
+            // superseded by a remotely durable full image, and superseded
+            // drains still in the queue will never be needed.
+            let stale: Vec<u64> = self
+                .committed
+                .iter()
+                .filter(|e| e.seq < seq)
+                .map(|e| e.seq)
+                .collect();
+            let held_before = self.remote.stored_bytes();
+            for s in &stale {
+                self.remote.delete(&Self::name(*s));
+            }
+            self.committed.retain(|e| e.seq >= seq);
+            let dropped = {
+                let keep = self.pending_remote.split_off(&seq);
+                let dropped = self.pending_remote.len();
+                self.pending_remote = keep;
+                dropped
+            };
+            truncated = stale.len();
+            if let Some(obs) = &self.obs {
+                obs.gc_objects.add(stale.len() as u64);
+                obs.gc_bytes
+                    .add(held_before.saturating_sub(self.remote.stored_bytes()));
+                obs.wb_dropped.add(dropped as u64);
+            }
+        }
+        Ok(RemoteAck { remote, truncated })
+    }
+
+    fn check_order(&self, next: u64) -> Result<(), RecoveryError> {
+        if let Some(last) = self.committed.last() {
+            if next <= last.seq {
+                return Err(RecoveryError::OutOfOrderCommit {
+                    prev: last.seq,
+                    next,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Delete every committed object with `seq < anchor` from all three
-    /// levels; returns how many objects were collected.
+    /// levels; returns how many objects were collected. (The synchronous
+    /// anchor is durable everywhere at once, so superseded pending drains
+    /// are dropped too — nothing will ever need them.)
     fn truncate_before(&mut self, anchor: u64) -> usize {
         let stale: Vec<String> = self
             .committed
@@ -271,6 +433,9 @@ impl StorageHierarchy {
             .collect();
         let held_before: u64 = self.stored_bytes().iter().sum();
         self.committed.retain(|e| e.seq >= anchor);
+        let keep = self.pending_remote.split_off(&anchor);
+        let dropped = self.pending_remote.len();
+        self.pending_remote = keep;
         for name in &stale {
             self.local.delete(name);
             self.raid.delete(name);
@@ -280,13 +445,62 @@ impl StorageHierarchy {
             let held_after: u64 = self.stored_bytes().iter().sum();
             obs.gc_objects.add(stale.len() as u64);
             obs.gc_bytes.add(held_before.saturating_sub(held_after));
+            obs.wb_dropped.add(dropped as u64);
         }
         stale.len()
+    }
+
+    /// Write-behind anchor GC, part one: truncate the **L1/L2** prefix now
+    /// (the anchor is locally durable, so local restarts never need it) but
+    /// leave the L3 objects in place — they are the only remotely durable
+    /// chain until the anchor's own drain is acknowledged. Superseded
+    /// entries stay in the log, marked dead on L1/L2.
+    fn truncate_l12_before(&mut self, anchor: u64) -> usize {
+        let mut collected = 0;
+        let held_before = self.local.stored_bytes() + self.raid.stored_bytes();
+        for e in &mut self.committed {
+            if e.seq < anchor && e.l12_live {
+                e.l12_live = false;
+                collected += 1;
+                let name = Self::name(e.seq);
+                self.local.delete(&name);
+                self.raid.delete(&name);
+            }
+        }
+        if let Some(obs) = &self.obs {
+            let held_after = self.local.stored_bytes() + self.raid.stored_bytes();
+            obs.gc_objects.add(collected as u64);
+            obs.gc_bytes.add(held_before.saturating_sub(held_after));
+        }
+        collected
     }
 
     /// Sequence numbers still retained (the current chain).
     pub fn committed(&self) -> Vec<u64> {
         self.committed.iter().map(|e| e.seq).collect()
+    }
+
+    /// Sequence numbers committed write-behind whose L3 drain has not been
+    /// acknowledged yet, in order.
+    pub fn pending_remote_seqs(&self) -> Vec<u64> {
+        self.pending_remote.keys().copied().collect()
+    }
+
+    /// Bytes parked in the write-behind queue (not yet on any remote
+    /// level).
+    pub fn pending_remote_bytes(&self) -> u64 {
+        self.pending_remote.values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Newest sequence number of the contiguous remotely durable prefix —
+    /// what an f3 failure right now would recover to. `None` while nothing
+    /// (or only a gapped suffix) is acknowledged.
+    pub fn remote_frontier(&self) -> Option<u64> {
+        self.committed
+            .iter()
+            .take_while(|e| e.l3_durable)
+            .last()
+            .map(|e| e.seq)
     }
 
     /// Bytes held on each level, `[L1, L2, L3]`. Bounded by one chain once
@@ -323,9 +537,24 @@ impl StorageHierarchy {
             }
             3 => {
                 // Total node failure: local disk gone and the RAID group's
-                // data for this job is lost with the node's share.
+                // data for this job is lost with the node's share — and so
+                // is the write-behind queue, whose drains were fed from
+                // those copies. Entries that never reached L3 are lost for
+                // good; the chain is cut back to what was acknowledged.
                 self.wipe_local();
                 self.wipe_raid();
+                let dropped = self.pending_remote.len();
+                self.pending_remote.clear();
+                // Only the *contiguous* acknowledged prefix is usable: an
+                // acknowledged delta whose base never drained can only be
+                // orphaned, so it is collected along with the pending tail.
+                let frontier = self.committed.iter().take_while(|e| e.l3_durable).count();
+                for e in self.committed.drain(frontier..) {
+                    self.remote.delete(&Self::name(e.seq));
+                }
+                if let Some(obs) = &self.obs {
+                    obs.wb_dropped.add(dropped as u64);
+                }
             }
             other => return Err(RecoveryError::BadLevel(other)),
         }
@@ -356,6 +585,12 @@ impl StorageHierarchy {
     pub fn repopulate_local(&mut self) -> u64 {
         let mut bytes = 0;
         for e in &self.committed {
+            if !e.l12_live {
+                // Superseded by an anchor: only L3 still needs it (until
+                // the anchor's drain acks); resurrecting it on L1 would
+                // corrupt the local replay order.
+                continue;
+            }
             let name = Self::name(e.seq);
             if self.local.get(&name).is_some() {
                 continue;
@@ -388,22 +623,41 @@ impl StorageHierarchy {
     /// Recover the newest image from the store backing failure level
     /// `level` (1 = local, 2 = RAID, 3 = remote), replaying from the latest
     /// full-checkpoint anchor only.
+    ///
+    /// L1/L2 serve every live entry (write-behind makes an interval locally
+    /// durable the moment it commits). L3 serves only the longest
+    /// **contiguous acknowledged prefix** of the chain: a pending drain has
+    /// no remote copy, and anything after the first gap has no base to
+    /// replay onto — the degraded-commit path loses exactly the un-drained
+    /// tail.
     pub fn recover_from(&self, level: usize) -> Result<RecoveredImage, RecoveryError> {
-        let Some(newest) = self.committed.last() else {
+        if self.committed.is_empty() {
             return Err(RecoveryError::NothingCommitted);
-        };
+        }
         let (store, recovery_level): (&dyn Store, RecoveryLevel) = match level {
             1 => (&self.local, RecoveryLevel::Local),
             2 => (&self.raid, RecoveryLevel::Raid),
             3 => (&self.remote, RecoveryLevel::Remote),
             other => return Err(RecoveryError::BadLevel(other)),
         };
+        let visible: Vec<&CommittedEntry> = match recovery_level {
+            RecoveryLevel::Local | RecoveryLevel::Raid => {
+                self.committed.iter().filter(|e| e.l12_live).collect()
+            }
+            RecoveryLevel::Remote => self.committed.iter().take_while(|e| e.l3_durable).collect(),
+        };
+        let Some(newest) = visible.last() else {
+            return Err(RecoveryError::BadObject(format!(
+                "no {} checkpoint is durable yet",
+                recovery_level.label()
+            )));
+        };
+        let newest_seq = newest.seq;
 
         // Replay from the newest full anchor; older retained objects (there
         // are none once GC has run, but be robust to mixed histories) are
         // skipped.
-        let anchor = self
-            .committed
+        let anchor = visible
             .iter()
             .rposition(|e| e.kind == CheckpointKind::Full)
             .unwrap_or(0);
@@ -411,7 +665,7 @@ impl StorageHierarchy {
         let mut chain = CheckpointChain::new();
         let mut read_seconds = 0.0;
         let mut cpu_state = Bytes::new();
-        for e in &self.committed[anchor..] {
+        for e in &visible[anchor..] {
             let name = Self::name(e.seq);
             let bytes = store
                 .get(&name)
@@ -445,7 +699,7 @@ impl StorageHierarchy {
             snapshot,
             cpu_state,
             level: recovery_level,
-            seq: newest.seq,
+            seq: newest_seq,
             read_seconds,
             degraded,
         })
@@ -803,6 +1057,193 @@ mod tests {
         ));
         // The probing recover() falls through to a healthy level.
         assert!(h.recover().is_ok());
+    }
+
+    /// Full(0) committed synchronously, incremental(1) committed
+    /// write-behind. Returns the hierarchy and the post-increment state.
+    fn write_behind_hierarchy() -> (StorageHierarchy, Snapshot) {
+        let mut h = StorageHierarchy::coastal(4);
+        let full = Snapshot::from_pages([(0, page(1)), (1, page(2))]);
+        h.commit(&CheckpointFile::full(1, 0, full.clone(), Bytes::new()))
+            .unwrap();
+        let mut state = full;
+        state.insert(1, page(20));
+        let dirty = Snapshot::from_pages([(1, page(20))]);
+        let (r, wire) = h
+            .commit_write_behind(&CheckpointFile::incremental(
+                1,
+                1,
+                dirty,
+                vec![0, 1],
+                Bytes::new(),
+            ))
+            .unwrap();
+        assert!(wire > 0);
+        assert_eq!(r.remote.bytes, 0, "L3 leg must be deferred");
+        assert!(r.local.bytes > 0 && r.raid.bytes > 0);
+        (h, state)
+    }
+
+    #[test]
+    fn write_behind_is_locally_durable_before_the_ack() {
+        let (h, truth) = write_behind_hierarchy();
+        // L1 and L2 already serve the newest interval...
+        assert_eq!(h.recover_from(1).unwrap().snapshot, truth);
+        assert_eq!(h.recover_from(2).unwrap().snapshot, truth);
+        // ...but L3 only serves the acknowledged prefix (the initial full).
+        let img = h.recover_from(3).unwrap();
+        assert_eq!(img.seq, 0);
+        assert_eq!(h.pending_remote_seqs(), vec![1]);
+        assert_eq!(h.remote_frontier(), Some(0));
+        assert!(h.pending_remote_bytes() > 0);
+    }
+
+    #[test]
+    fn ack_materializes_the_remote_copy() {
+        let (mut h, truth) = write_behind_hierarchy();
+        let ack = h.ack_remote(1).unwrap();
+        assert!(ack.remote.bytes > 0);
+        assert_eq!(ack.truncated, 0, "non-anchor acks must not GC");
+        let img = h.recover_from(3).unwrap();
+        assert_eq!(img.seq, 1);
+        assert_eq!(img.snapshot, truth);
+        assert!(h.pending_remote_seqs().is_empty());
+        assert_eq!(h.remote_frontier(), Some(1));
+        // Double-ack (or an unknown seq) is a typed error.
+        assert!(matches!(h.ack_remote(1), Err(RecoveryError::BadObject(_))));
+        assert!(matches!(h.ack_remote(99), Err(RecoveryError::BadObject(_))));
+    }
+
+    #[test]
+    fn anchor_truncates_l12_now_but_l3_only_after_its_own_ack() {
+        let (mut h, old_truth) = write_behind_hierarchy();
+        h.ack_remote(1).unwrap();
+
+        let anchor = Snapshot::from_pages([(0, page(40)), (1, page(41))]);
+        let (r, _) = h
+            .commit_write_behind(&CheckpointFile::full(1, 2, anchor.clone(), Bytes::new()))
+            .unwrap();
+        // L1/L2 prefix collected immediately: local restarts replay only
+        // the anchor.
+        assert_eq!(r.truncated, 2);
+        assert_eq!(h.recover_from(1).unwrap().snapshot, anchor);
+        assert_eq!(h.recover_from(2).unwrap().snapshot, anchor);
+        // L3 untouched: the superseded chain is the only remotely durable
+        // image until the anchor's drain is acknowledged.
+        let img = h.recover_from(3).unwrap();
+        assert_eq!(img.seq, 1);
+        assert_eq!(img.snapshot, old_truth);
+        assert_eq!(h.committed(), vec![0, 1, 2]);
+
+        // The ack runs the deferred L3 GC.
+        let ack = h.ack_remote(2).unwrap();
+        assert_eq!(ack.truncated, 2);
+        assert_eq!(h.committed(), vec![2]);
+        let img = h.recover_from(3).unwrap();
+        assert_eq!(img.seq, 2);
+        assert_eq!(img.snapshot, anchor);
+    }
+
+    #[test]
+    fn f3_mid_drain_recovers_the_acknowledged_prefix() {
+        let (mut h, _) = write_behind_hierarchy();
+        h.inject_failure(3, 0).unwrap();
+        // The pending interval died with the node; the chain is cut back.
+        assert!(h.pending_remote_seqs().is_empty());
+        assert_eq!(h.committed(), vec![0]);
+        let img = h.recover().unwrap();
+        assert_eq!(img.level, RecoveryLevel::Remote);
+        assert_eq!(img.seq, 0);
+    }
+
+    #[test]
+    fn f3_discards_acknowledged_entries_after_a_gap() {
+        let mut h = StorageHierarchy::coastal(4);
+        let full = Snapshot::from_pages([(0, page(1))]);
+        h.commit(&CheckpointFile::full(1, 0, full, Bytes::new()))
+            .unwrap();
+        for seq in 1..=2u64 {
+            let dirty = Snapshot::from_pages([(0, page(seq + 10))]);
+            h.commit_write_behind(&CheckpointFile::incremental(
+                1,
+                seq,
+                dirty,
+                vec![0],
+                Bytes::new(),
+            ))
+            .unwrap();
+        }
+        // The smaller/later transfer acked first: 2 is remotely durable
+        // but its base 1 is not — the frontier stays at the full.
+        h.ack_remote(2).unwrap();
+        assert_eq!(h.remote_frontier(), Some(0));
+        let l3_before = h.stored_bytes()[2];
+        h.inject_failure(3, 0).unwrap();
+        // The orphaned object after the gap is collected with the tail.
+        assert_eq!(h.committed(), vec![0]);
+        assert!(h.stored_bytes()[2] < l3_before);
+        assert_eq!(h.recover().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn f2_keeps_the_pending_queue_alive() {
+        let (mut h, truth) = write_behind_hierarchy();
+        h.inject_failure(2, 0).unwrap();
+        // RAID (degraded) still serves the locally durable interval and
+        // the drain can still complete from the surviving copies.
+        let img = h.recover().unwrap();
+        assert_eq!(img.level, RecoveryLevel::Raid);
+        assert_eq!(img.snapshot, truth);
+        assert_eq!(h.pending_remote_seqs(), vec![1]);
+        h.ack_remote(1).unwrap();
+        assert_eq!(h.recover_from(3).unwrap().seq, 1);
+    }
+
+    #[test]
+    fn sync_anchor_drops_superseded_pending_drains() {
+        let (mut h, _) = write_behind_hierarchy();
+        let anchor = Snapshot::from_pages([(0, page(50))]);
+        h.commit(&CheckpointFile::full(1, 2, anchor.clone(), Bytes::new()))
+            .unwrap();
+        // The synchronous anchor is durable everywhere at once: the
+        // pending drain of seq 1 will never be needed.
+        assert!(h.pending_remote_seqs().is_empty());
+        assert_eq!(h.committed(), vec![2]);
+        assert_eq!(h.recover_from(3).unwrap().snapshot, anchor);
+    }
+
+    #[test]
+    fn write_behind_obs_counts_commits_acks_and_drops() {
+        let obs = Arc::new(Obs::new());
+        let mut h = StorageHierarchy::coastal(4);
+        h.attach_obs(&obs);
+        let full = Snapshot::from_pages([(0, page(1))]);
+        h.commit(&CheckpointFile::full(1, 0, full, Bytes::new()))
+            .unwrap();
+        for seq in 1..=3u64 {
+            let dirty = Snapshot::from_pages([(0, page(seq + 10))]);
+            h.commit_write_behind(&CheckpointFile::incremental(
+                1,
+                seq,
+                dirty,
+                vec![0],
+                Bytes::new(),
+            ))
+            .unwrap();
+        }
+        h.ack_remote(1).unwrap();
+        h.inject_failure(3, 0).unwrap();
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("storage.wb_commits"), Some(3));
+        assert_eq!(snap.counter("storage.wb_acks"), Some(1));
+        // Two drains (2 and 3) died with the node.
+        assert_eq!(snap.counter("storage.wb_dropped"), Some(2));
+        // Deferred L3 legs: only the sync full and the acked object ever
+        // reached remote storage — exactly what it still holds after f3
+        // cut the chain back to the acknowledged prefix [0, 1].
+        let l3 = snap.counter("storage.l3.bytes_written").unwrap();
+        assert_eq!(l3, h.stored_bytes()[2]);
+        assert_eq!(h.committed(), vec![0, 1]);
     }
 
     #[test]

@@ -19,11 +19,11 @@ pub struct BaseMetrics {
     pub di: f64,
 }
 
-/// Number of candidate features ([`expand`]'s output length): 4 singles +
+/// Number of candidate features ([`expand`](BaseMetrics::expand)'s output length): 4 singles +
 /// 4 squares + 6 pairwise products.
 pub const CANDIDATE_COUNT: usize = 14;
 
-/// Human-readable candidate names, aligned with [`expand`].
+/// Human-readable candidate names, aligned with [`expand`](BaseMetrics::expand).
 pub const CANDIDATE_NAMES: [&str; CANDIDATE_COUNT] = [
     "DP", "t", "JD", "DI", // singles
     "DP²", "t²", "JD²", "DI²", // squares

@@ -3,7 +3,7 @@
 //! After the bootstrap fit, AIC keeps adjusting the prediction weights with
 //! each newly measured checkpoint, using the worst-case-bounded normalized
 //! gradient descent of Cesa-Bianchi, Long & Warmuth (1996) — the paper's
-//! reference [1]:
+//! reference \[1\]:
 //!
 //! `w ← w − η · (ŷ − y) · x / ‖x‖²`
 //!

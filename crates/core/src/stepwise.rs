@@ -14,7 +14,7 @@ use crate::regress::{fit, LinearFit};
 pub struct StepwiseModel {
     /// Indices into the candidate feature vector, in selection order.
     pub selected: Vec<usize>,
-    /// Fit over the selected features (beta[0] = intercept).
+    /// Fit over the selected features (`beta[0]` = intercept).
     pub fit: LinearFit,
 }
 

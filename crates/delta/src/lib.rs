@@ -11,7 +11,7 @@
 //! rolling hash to find the longest matches, emitting a COPY/ADD instruction
 //! stream. This crate reimplements that family from scratch:
 //!
-//! * [`encode`]/[`decode`] — the general rsync-style codec over arbitrary
+//! * [`encode`](fn@encode)/[`decode`](fn@decode) — the general rsync-style codec over arbitrary
 //!   byte buffers, the stand-in for stock **Xdelta3** (used by the SIC
 //!   comparison in Table 3);
 //! * [`pa`] — the **page-aligned** variant the paper contributes: per-page
@@ -42,7 +42,7 @@
 //! assert_eq!(decode(&source, &delta).unwrap(), target);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod decode;
 pub mod encode;

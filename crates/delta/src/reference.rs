@@ -1,10 +1,10 @@
 //! The original, naive encoder — retained verbatim as a correctness oracle.
 //!
-//! This is the pre-optimization implementation of [`crate::encode`]: a
+//! This is the pre-optimization implementation of [`crate::encode`](fn@crate::encode): a
 //! per-call `HashMap<u32, Vec<usize>>` block index, per-probe FNV
 //! recomputation, byte-at-a-time match extension, and an `Inst` vector that
 //! is serialized in a second pass. It is deliberately *not* fast; its job is
-//! to define the wire format. The optimized hot path in [`crate::encode`]
+//! to define the wire format. The optimized hot path in [`crate::encode`](fn@crate::encode)
 //! must produce byte-identical [`Delta`] output (same payload, same header
 //! fields) for every input — property tests in `tests/` and the unit tests
 //! here hold the two implementations against each other.

@@ -46,9 +46,11 @@ pub mod nonstatic;
 pub mod optimize;
 pub mod params;
 pub mod planner;
+pub mod sharing;
 pub mod young_daly;
 
 pub use concurrent::ConcurrentModel;
 pub use failure::FailureRates;
 pub use markov::{Chain, ChainBuilder};
 pub use params::{AppType, CoastalProfile, LevelCosts, SystemScale};
+pub use sharing::SharingModel;

@@ -45,14 +45,12 @@ impl LevelCosts {
     /// checkpointing core, so (worst case, resources split evenly — Section
     /// III.D) every transfer segment stretches by `SF` while the blocking
     /// local part `c1` is unchanged.
+    ///
+    /// Delegates to [`crate::sharing::SharingModel::stretch_costs`] — the
+    /// same fair-share arithmetic the network transport divides bandwidth
+    /// with, so the closed form and the discrete-event drain agree.
     pub fn with_sharing_factor(&self, sf: f64) -> Self {
-        assert!(sf >= 1.0, "sharing factor must be ≥ 1");
-        let c1 = self.c[0];
-        let r1 = self.r[0];
-        LevelCosts {
-            c: [c1, c1 + (self.c[1] - c1) * sf, c1 + (self.c[2] - c1) * sf],
-            r: [r1, self.r[1], self.r[2]],
-        }
+        crate::sharing::SharingModel::new(sf).stretch_costs(self)
     }
 }
 

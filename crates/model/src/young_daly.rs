@@ -1,6 +1,6 @@
 //! Classic single-level checkpoint-interval theory: Young's first-order
-//! rule and Daly's higher-order refinement (the paper's references [24]
-//! and [4]).
+//! rule and Daly's higher-order refinement (the paper's references \[24\]
+//! and \[4\]).
 //!
 //! These closed forms are the sanity anchor for everything else in this
 //! crate: in the single-level limit (one checkpoint level, recovery =
@@ -32,7 +32,7 @@ pub fn daly_interval(c: f64, lambda: f64) -> f64 {
 
 /// The single-level checkpointing Markov chain: work `w`, blocking
 /// checkpoint `c`, recovery `r` on failure, full-span re-execution after
-/// recovery. NET² = E[interval]/w.
+/// recovery. NET² = `E[interval]/w`.
 pub fn single_level_chain(w: f64, c: f64, r: f64, lambda: f64) -> Chain {
     let rates = FailureRates::new(vec![lambda]);
     let mut b = ChainBuilder::new();

@@ -40,7 +40,7 @@
 //! assert_eq!(obs.spans.len(), 2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod registry;
 pub mod span;

@@ -6,7 +6,8 @@
 //! fields, `;` comments — the format the Parallel Workloads Archive and
 //! LANL's own releases use), replays the jobs through the system's
 //! scheduler to obtain placements, and hands the result to
-//! [`crate::analyze`]. A CSV exporter rounds the pipeline out so synthetic
+//! [`crate::analyze`](fn@crate::analyze). A CSV exporter rounds the
+//! pipeline out so synthetic
 //! logs can be inspected outside Rust.
 //!
 //! SWF fields used: 1 = job id, 2 = submit time, 3 = wait time,

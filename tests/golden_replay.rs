@@ -1,7 +1,8 @@
 //! Golden-replay pin: the observability layer's determinism contract.
 //!
 //! One fixed-seed end-to-end run (AIC policy, pool width 2, L1/L2/L3
-//! storage, a mid-run f2 fault) is reduced to a canonical text snapshot —
+//! storage, write-behind L3 commits through the fault-injected network
+//! transport, a mid-run f2 fault) is reduced to a canonical text snapshot —
 //! deterministic metrics JSONL + span JSONL + final-image digest — and
 //! compared line-by-line against `tests/golden/replay_quick.txt`.
 //!

@@ -1,0 +1,226 @@
+//! Property-based tests over the network-transport invariants: seeded
+//! retry schedules are deterministic, bounded-queue back-pressure always
+//! terminates (no deadlocked drain), the outcome is invariant under clock
+//! stepping granularity, and a mid-drain f3 failure recovers bit-identical
+//! at every write-behind queue depth.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use aic::ckpt::engine::EngineConfig;
+use aic::ckpt::harness::{run_with_faults, FailureSchedule};
+use aic::ckpt::policies::FixedIntervalPolicy;
+use aic::ckpt::recovery::StorageHierarchy;
+use aic::ckpt::transport::{
+    LinkConfig, NetworkTransport, RetryPolicy, TransportEvent, TransportFaults, WriteBehindConfig,
+};
+use aic::memsim::workloads::generic::PhasedWorkload;
+use aic::memsim::{SimProcess, SimTime};
+use aic::model::params::CoastalProfile;
+
+/// A lively fault profile: every fault class enabled, drops frequent
+/// enough that multi-attempt schedules are the norm, not the tail.
+fn faults(seed: u64) -> TransportFaults {
+    TransportFaults {
+        seed,
+        drop_prob: 0.25,
+        timeout_prob: 0.1,
+        slow_prob: 0.2,
+        slow_factor: 0.3,
+        timeout_after: 0.8,
+    }
+}
+
+fn transport(depth: usize, seed: u64, max_attempts: u32) -> NetworkTransport {
+    NetworkTransport::new(
+        LinkConfig::new(5e3, 0.01, 2.0),
+        WriteBehindConfig {
+            queue_depth: depth,
+            retry: RetryPolicy {
+                max_attempts,
+                base_backoff: 0.1,
+                max_backoff: 1.0,
+            },
+            faults: Some(faults(seed)),
+        },
+    )
+}
+
+/// Run `shares` through a fresh transport: enqueue at the given times,
+/// then quiesce. Returns every terminal event plus the total stall time.
+fn drain_all(mut t: NetworkTransport, shares: &[(u64, f64)]) -> (Vec<TransportEvent>, f64, f64) {
+    let mut events = Vec::new();
+    let mut stalled = 0.0;
+    let mut clock: f64 = 0.0;
+    for (seq, (bytes, gap)) in shares.iter().enumerate() {
+        clock += gap;
+        let out = t.enqueue(seq as u64, 1 + bytes % 20_000, clock.max(t.now()));
+        stalled += out.stalled_for;
+        events.extend(out.events);
+    }
+    let (tail, finished) = t.quiesce();
+    events.extend(tail);
+    assert_eq!(t.in_flight(), 0, "quiesce left transfers in flight");
+    (events, stalled, finished)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same seed, same workload → byte-identical event schedule: every
+    /// ack/give-up fires at the same virtual time with the same attempt
+    /// count, and back-pressure stalls for exactly as long.
+    #[test]
+    fn seeded_retry_schedules_are_deterministic(
+        seed in any::<u64>(),
+        depth in 1usize..5,
+        shares in vec((1u64..200_000, 0.0f64..3.0), 1..12),
+    ) {
+        let a = drain_all(transport(depth, seed, 6), &shares);
+        let b = drain_all(transport(depth, seed, 6), &shares);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+        prop_assert_eq!(a.2.to_bits(), b.2.to_bits());
+    }
+
+    /// Bounded queues back-pressure but never deadlock: every enqueue
+    /// returns with a finite stall, the drain terminates, and each
+    /// admitted transfer reaches exactly one terminal state.
+    #[test]
+    fn backpressure_never_deadlocks_the_drain(
+        seed in any::<u64>(),
+        depth in 1usize..4,
+        max_attempts in 1u32..5,
+        shares in vec((1u64..150_000, 0.0f64..1.5), 1..16),
+    ) {
+        let (events, stalled, finished) =
+            drain_all(transport(depth, seed, max_attempts), &shares);
+        prop_assert!(stalled.is_finite() && stalled >= 0.0);
+        prop_assert!(finished.is_finite());
+        let mut seqs: Vec<u64> = events.iter().map(TransportEvent::seq).collect();
+        seqs.sort_unstable();
+        let expected: Vec<u64> = (0..shares.len() as u64).collect();
+        prop_assert_eq!(seqs, expected, "terminal events must cover each seq once");
+        // Terminal times never run backwards.
+        let times: Vec<f64> = events
+            .iter()
+            .map(|e| match *e {
+                TransportEvent::Acked { at, .. } | TransportEvent::GaveUp { at, .. } => at,
+            })
+            .collect();
+        prop_assert!(times.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+    }
+
+    /// The discrete-event simulation is invariant under clock stepping:
+    /// advancing in many small increments before the final quiesce yields
+    /// the same terminal schedule — same seqs, kinds, and attempt counts
+    /// in the same order, times equal up to float-summation noise — as
+    /// quiescing in one shot.
+    #[test]
+    fn stepping_granularity_does_not_change_outcomes(
+        seed in any::<u64>(),
+        shares in vec((1u64..100_000, 0.0f64..2.0), 1..8),
+        step in 0.05f64..0.5,
+    ) {
+        let coarse = drain_all(transport(2, seed, 6), &shares);
+
+        let mut t = transport(2, seed, 6);
+        let mut events = Vec::new();
+        let mut stalled = 0.0;
+        let mut clock: f64 = 0.0;
+        for (seq, (bytes, gap)) in shares.iter().enumerate() {
+            let target = clock + gap;
+            // Crawl to the enqueue time in small steps.
+            while t.now() + step < target {
+                let now = t.now();
+                events.extend(t.advance_to(now + step));
+            }
+            clock = target;
+            let out = t.enqueue(seq as u64, 1 + bytes % 20_000, clock.max(t.now()));
+            stalled += out.stalled_for;
+            events.extend(out.events);
+        }
+        let (tail, finished) = t.quiesce();
+        events.extend(tail);
+
+        prop_assert_eq!(coarse.0.len(), events.len());
+        for (c, f) in coarse.0.iter().zip(events.iter()) {
+            match (*c, *f) {
+                (
+                    TransportEvent::Acked { seq: s1, at: t1, bytes: b1, attempts: a1 },
+                    TransportEvent::Acked { seq: s2, at: t2, bytes: b2, attempts: a2 },
+                ) => {
+                    prop_assert_eq!((s1, b1, a1), (s2, b2, a2));
+                    prop_assert!((t1 - t2).abs() < 1e-6, "ack times {t1} vs {t2}");
+                }
+                (
+                    TransportEvent::GaveUp { seq: s1, at: t1, attempts: a1 },
+                    TransportEvent::GaveUp { seq: s2, at: t2, attempts: a2 },
+                ) => {
+                    prop_assert_eq!((s1, a1), (s2, a2));
+                    prop_assert!((t1 - t2).abs() < 1e-6, "give-up times {t1} vs {t2}");
+                }
+                (c, f) => prop_assert!(false, "event kind mismatch: {c:?} vs {f:?}"),
+            }
+        }
+        prop_assert!((coarse.1 - stalled).abs() < 1e-6);
+        prop_assert!((coarse.2 - finished).abs() < 1e-6);
+    }
+}
+
+fn process(secs: f64) -> SimProcess {
+    SimProcess::new(Box::new(PhasedWorkload::new(
+        "transport-prop".to_string(),
+        9,
+        512,
+        8.0,
+        2.0,
+        1,
+        15,
+        SimTime::from_secs(secs),
+    )))
+}
+
+/// Mid-drain f3 — node, RAID peer, and the pending write-behind queue all
+/// lost — must recover bit-identical to the failure-free image at every
+/// queue depth, with or without transport faults.
+#[test]
+fn mid_drain_f3_recovers_bit_identical_at_every_queue_depth() {
+    let secs = 24.0;
+    let mut reference = process(secs);
+    reference.run_until(SimTime::from_secs(secs * 10.0));
+    assert!(reference.is_done());
+    let truth = reference.snapshot();
+
+    let rates = CoastalProfile::default().rates().with_total(1e-3);
+    for depth in 1..=6usize {
+        for transport_faults in [None, Some(TransportFaults::mixed(7))] {
+            let mut cfg = EngineConfig::testbed(rates.clone());
+            cfg.b3 = 20e3; // slow enough that drains are pending at the fault
+            cfg.keep_files = true;
+            cfg.full_every = Some(3);
+            cfg.storage = Some(Arc::new(Mutex::new(StorageHierarchy::coastal(4))));
+            cfg.transport = Some(WriteBehindConfig {
+                queue_depth: depth,
+                faults: transport_faults,
+                ..WriteBehindConfig::default()
+            });
+            let mut policy = FixedIntervalPolicy::new(3.0);
+            let out = run_with_faults(
+                process(secs),
+                &mut policy,
+                cfg,
+                &FailureSchedule::single(13.0, 3, 1),
+            )
+            .unwrap_or_else(|e| panic!("depth {depth} faults {transport_faults:?}: {e}"));
+            assert_eq!(out.faults.len(), 1);
+            assert_eq!(
+                out.report.final_state.as_ref(),
+                Some(&truth),
+                "depth {depth} faults {transport_faults:?}: diverged image"
+            );
+        }
+    }
+}
