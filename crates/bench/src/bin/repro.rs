@@ -29,6 +29,7 @@ struct Args {
     csv: bool,
     jobs: usize,
     metrics_out: Option<PathBuf>,
+    check: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         csv: false,
         jobs: 2_000,
         metrics_out: None,
+        check: false,
     };
     let mut it = env::args().skip(1);
     let Some(exp) = it.next() else {
@@ -81,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
                     it.next().ok_or("--metrics-out needs a value")?,
                 ));
             }
+            "--check" => args.check = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -240,6 +243,16 @@ fn run_one(args: &Args) -> Result<(), String> {
             std::fs::write("BENCH_delta.json", report.to_json())
                 .map_err(|e| format!("writing BENCH_delta.json: {e}"))?;
             println!("\nwrote BENCH_delta.json");
+            if args.check {
+                let violations = report.check();
+                if !violations.is_empty() {
+                    return Err(format!(
+                        "bench regression gate failed:\n  {}",
+                        violations.join("\n  ")
+                    ));
+                }
+                println!("check passed: cold beats reference in every regime, pool sweep monotone");
+            }
         }
         "replay" => {
             println!("## Golden replay — deterministic instrumented run\n");
@@ -292,7 +305,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|pool|bench|fleet|regret|faults|drain|replay|all> \
-                 [--quick] [--csv] [--footprint F] [--duration D] [--seed N] [--jobs N] [--metrics-out FILE]"
+                 [--quick] [--csv] [--check] [--footprint F] [--duration D] [--seed N] [--jobs N] [--metrics-out FILE]"
             );
             ExitCode::FAILURE
         }

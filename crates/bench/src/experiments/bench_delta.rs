@@ -22,7 +22,8 @@ use std::time::Instant;
 
 use aic_delta::encode::EncodeParams;
 use aic_delta::pa::{
-    pa_encode, pa_encode_cached, pa_encode_parallel_cached, PaParams, SourceIndexCache,
+    effective_parallel_plan, pa_encode, pa_encode_cached, pa_encode_parallel_cached, PaParams,
+    SourceIndexCache,
 };
 use aic_delta::reference::encode_with_report_reference;
 use aic_memsim::{Page, Snapshot, PAGE_SIZE};
@@ -61,11 +62,22 @@ impl RegimeRow {
 }
 
 /// One pooled-encode measurement.
+///
+/// Widths that resolve to the same *effective* plan (same thread count and
+/// shard count after clamping to the machine's parallelism — see
+/// [`effective_parallel_plan`]) are measured **once** and share the number:
+/// they run byte-for-byte the same code, so measuring them separately
+/// would only record scheduler noise as fake (anti-)scaling. On a machine
+/// with fewer cores than the widest width, that is exactly what the old
+/// sweep did.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PoolPoint {
-    /// Pool width.
+    /// Pool width as requested (the shard plan's key).
     pub workers: usize,
-    /// Median wall-clock ns per page at this width (warm cache).
+    /// OS threads the encode actually used (clamped to the machine).
+    pub threads: usize,
+    /// Median wall-clock ns per page for this width's effective plan
+    /// (warm cache).
     pub ns_per_page: f64,
 }
 
@@ -108,14 +120,54 @@ impl BenchReport {
         s.push_str("  ],\n  \"pool\": [\n");
         for (i, p) in self.pool.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"workers\": {}, \"ns_per_page\": {:.1}}}{}\n",
+                "    {{\"workers\": {}, \"threads\": {}, \"ns_per_page\": {:.1}}}{}\n",
                 p.workers,
+                p.threads,
                 p.ns_per_page,
                 if i + 1 < self.pool.len() { "," } else { "" }
             ));
         }
         s.push_str("  ]\n}\n");
         s
+    }
+
+    /// Regression gate over the sweep (the bench-smoke CI check):
+    ///
+    /// * in every regime the cold path must beat the reference encoder —
+    ///   the cold-encode regression this report exists to keep fixed;
+    /// * the pool sweep must be monotone non-increasing from the narrowest
+    ///   to the widest width, within a 5% noise allowance between adjacent
+    ///   points — and with **zero** allowance for the endpoints: the widest
+    ///   width must never be slower than one worker (anti-scaling).
+    ///
+    /// Returns every violation found (empty = pass).
+    pub fn check(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for r in &self.regimes {
+            if r.cold_ns_per_page >= r.reference_ns_per_page {
+                violations.push(format!(
+                    "regime {}: cold {:.1} ns/page loses to reference {:.1} ns/page",
+                    r.regime, r.cold_ns_per_page, r.reference_ns_per_page
+                ));
+            }
+        }
+        for pair in self.pool.windows(2) {
+            if pair[1].ns_per_page > pair[0].ns_per_page * 1.05 {
+                violations.push(format!(
+                    "pool: {} workers {:.1} ns/page > {} workers {:.1} ns/page (+5%)",
+                    pair[1].workers, pair[1].ns_per_page, pair[0].workers, pair[0].ns_per_page
+                ));
+            }
+        }
+        if let (Some(first), Some(last)) = (self.pool.first(), self.pool.last()) {
+            if last.ns_per_page > first.ns_per_page {
+                violations.push(format!(
+                    "pool anti-scales: {} workers {:.1} ns/page > {} workers {:.1} ns/page",
+                    last.workers, last.ns_per_page, first.workers, first.ns_per_page
+                ));
+            }
+        }
+        violations
     }
 }
 
@@ -153,17 +205,22 @@ fn dirty(prev: &Snapshot, regime: &str, seed: u64) -> Snapshot {
     }))
 }
 
-/// Median of `samples` wall-clock timings of `op`, in nanoseconds.
-fn median_ns(samples: usize, mut op: impl FnMut()) -> f64 {
-    let mut times: Vec<f64> = (0..samples)
-        .map(|_| {
-            let t0 = Instant::now();
-            op();
-            t0.elapsed().as_nanos() as f64
-        })
-        .collect();
+/// One wall-clock timing of `op`, in nanoseconds.
+fn time_ns(op: &mut impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    op();
+    t0.elapsed().as_nanos() as f64
+}
+
+/// Median of pre-collected timings.
+fn median(mut times: Vec<f64>) -> f64 {
     times.sort_by(f64::total_cmp);
     times[times.len() / 2]
+}
+
+/// Median of `samples` wall-clock timings of `op`, in nanoseconds.
+fn median_ns(samples: usize, mut op: impl FnMut()) -> f64 {
+    median((0..samples).map(|_| time_ns(&mut op)).collect())
 }
 
 /// Run the full sweep.
@@ -181,29 +238,38 @@ pub fn run(scale: &RunScale) -> BenchReport {
         .into_iter()
         .map(|regime| {
             let target = dirty(&prev, regime, scale.seed + 1);
-            let reference_ns = median_ns(samples, || {
-                for (idx, page) in target.iter() {
-                    let src = prev.get(idx).unwrap();
-                    std::hint::black_box(encode_with_report_reference(
-                        src.as_slice(),
-                        page.as_slice(),
-                        &eparams,
-                    ));
-                }
-            }) / pages as f64;
-            let cold_ns = median_ns(samples, || {
-                std::hint::black_box(pa_encode(&prev, &target, &params));
-            }) / pages as f64;
             let cache = SourceIndexCache::new();
             pa_encode_cached(&prev, &target, &params, &cache); // warm-up: populate
-            let hot_ns = median_ns(samples, || {
-                std::hint::black_box(pa_encode_cached(&prev, &target, &params, &cache));
-            }) / pages as f64;
+                                                               // Interleave the three variants within each sample round so a
+                                                               // load spike on a shared machine inflates all three columns of
+                                                               // that round instead of just one — check()'s cold-vs-reference
+                                                               // comparison then sees paired medians, not decorrelated noise.
+            let mut reference_t = Vec::with_capacity(samples);
+            let mut cold_t = Vec::with_capacity(samples);
+            let mut hot_t = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                reference_t.push(time_ns(&mut || {
+                    for (idx, page) in target.iter() {
+                        let src = prev.get(idx).unwrap();
+                        std::hint::black_box(encode_with_report_reference(
+                            src.as_slice(),
+                            page.as_slice(),
+                            &eparams,
+                        ));
+                    }
+                }));
+                cold_t.push(time_ns(&mut || {
+                    std::hint::black_box(pa_encode(&prev, &target, &params));
+                }));
+                hot_t.push(time_ns(&mut || {
+                    std::hint::black_box(pa_encode_cached(&prev, &target, &params, &cache));
+                }));
+            }
             RegimeRow {
                 regime,
-                reference_ns_per_page: reference_ns,
-                cold_ns_per_page: cold_ns,
-                hot_ns_per_page: hot_ns,
+                reference_ns_per_page: median(reference_t) / pages as f64,
+                cold_ns_per_page: median(cold_t) / pages as f64,
+                hot_ns_per_page: median(hot_t) / pages as f64,
             }
         })
         .collect();
@@ -211,20 +277,32 @@ pub fn run(scale: &RunScale) -> BenchReport {
     let target = dirty(&prev, "half-rewrite", scale.seed + 1);
     let cache = SourceIndexCache::new();
     pa_encode_cached(&prev, &target, &params, &cache);
+    // Measure each *effective* plan once; widths that clamp to the same
+    // (threads, shards) share the measurement (see [`PoolPoint`]).
+    let mut measured: Vec<((usize, usize), f64)> = Vec::new();
     let pool = DEFAULT_WORKERS
         .iter()
         .map(|&workers| {
-            let ns = median_ns(samples, || {
-                std::hint::black_box(pa_encode_parallel_cached(
-                    &prev,
-                    &target,
-                    &params,
-                    workers,
-                    Some(&cache),
-                ));
-            }) / pages as f64;
+            let plan = effective_parallel_plan(pages, workers);
+            let ns = match measured.iter().find(|(p, _)| *p == plan) {
+                Some(&(_, ns)) => ns,
+                None => {
+                    let ns = median_ns(samples, || {
+                        std::hint::black_box(pa_encode_parallel_cached(
+                            &prev,
+                            &target,
+                            &params,
+                            workers,
+                            Some(&cache),
+                        ));
+                    }) / pages as f64;
+                    measured.push((plan, ns));
+                    ns
+                }
+            };
             PoolPoint {
                 workers,
+                threads: plan.0,
                 ns_per_page: ns,
             }
         })
@@ -270,11 +348,17 @@ pub fn render(report: &BenchReport) -> String {
     ));
     out.push_str("\npooled encode, half-rewrite, warm cache:\n\n");
     out.push_str(&markdown_table(
-        &["workers", "ns/page"],
+        &["workers", "threads", "ns/page"],
         &report
             .pool
             .iter()
-            .map(|p| vec![p.workers.to_string(), f(p.ns_per_page)])
+            .map(|p| {
+                vec![
+                    p.workers.to_string(),
+                    p.threads.to_string(),
+                    f(p.ns_per_page),
+                ]
+            })
             .collect::<Vec<_>>(),
     ));
     out
@@ -302,6 +386,16 @@ mod tests {
         }
         for p in &report.pool {
             assert!(p.ns_per_page > 0.0, "{p:?}");
+            assert!(p.threads >= 1 && p.threads <= p.workers, "{p:?}");
+        }
+        // Widths collapsing to the same effective plan must share their
+        // measurement — identical code paths must report identical numbers.
+        for (a, b) in report.pool.iter().zip(report.pool.iter().skip(1)) {
+            let pa = effective_parallel_plan(report.pages, a.workers);
+            let pb = effective_parallel_plan(report.pages, b.workers);
+            if pa == pb {
+                assert_eq!(a.ns_per_page, b.ns_per_page, "{a:?} vs {b:?}");
+            }
         }
         let json = report.to_json();
         for key in [
@@ -327,5 +421,50 @@ mod tests {
         let rendered = render(&report);
         assert!(rendered.contains("half-rewrite"));
         assert!(rendered.contains("workers"));
+    }
+
+    #[test]
+    fn check_flags_cold_regressions_and_pool_anti_scaling() {
+        let row = |regime, reference, cold| RegimeRow {
+            regime,
+            reference_ns_per_page: reference,
+            cold_ns_per_page: cold,
+            hot_ns_per_page: 1.0,
+        };
+        let point = |workers, ns| PoolPoint {
+            workers,
+            threads: 1,
+            ns_per_page: ns,
+        };
+        let good = BenchReport {
+            pages: 32,
+            samples: 3,
+            regimes: vec![row("small-edit", 10.0, 5.0), row("fresh", 10.0, 9.9)],
+            pool: vec![point(1, 10.0), point(2, 10.0), point(8, 9.0)],
+        };
+        assert!(good.check().is_empty(), "{:?}", good.check());
+
+        let cold_loses = BenchReport {
+            regimes: vec![row("fresh", 10.0, 10.5)],
+            ..good.clone()
+        };
+        assert_eq!(cold_loses.check().len(), 1);
+
+        // Adjacent +5% tolerance, but endpoints compared exactly.
+        let anti_scaling = BenchReport {
+            pool: vec![point(1, 10.0), point(8, 10.4)],
+            ..good.clone()
+        };
+        let violations = anti_scaling.check();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("anti-scales"), "{violations:?}");
+
+        let jump = BenchReport {
+            pool: vec![point(1, 10.0), point(2, 12.0), point(8, 9.0)],
+            ..good
+        };
+        let violations = jump.check();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("+5%"), "{violations:?}");
     }
 }

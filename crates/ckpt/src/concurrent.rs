@@ -21,21 +21,21 @@
 //! wrapper around a one-worker pool (which plans exactly one shard per job
 //! and therefore reproduces the old behavior exactly).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 
 use aic_delta::pa::{
-    pa_assemble, pa_encode_shard_cached, plan_shards, PaDeltaFile, PaParams, PageRecord, Shard,
-    SourceIndexCache, SHARDS_PER_WORKER,
+    pa_assemble, pa_encode_shard_scratch, plan_shards, PaDeltaFile, PaParams, PageRecord, Shard,
+    ShardScratch, SourceIndexCache, SHARDS_PER_WORKER,
 };
 use aic_delta::stats::EncodeReport;
 use aic_memsim::Snapshot;
-use aic_obs::{Counter, CounterShard, Gauge, Histogram, Obs, Volatility};
+use aic_obs::{Counter, CounterShard, Gauge, Histogram, HistogramShard, Obs, Volatility};
 
 /// Shard encode latency buckets, nanoseconds (1 µs .. 100 ms).
 static SHARD_NS_BUCKETS: [u64; 6] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
@@ -119,12 +119,129 @@ struct JobState {
     order: u64,
     dispatched_at: Instant,
     queued: Duration,
-    parts: Mutex<Vec<Option<ShardOutput>>>,
+    /// One independently locked slot per shard: a worker finishing shard
+    /// `i` touches only slot `i`, so result write-back never contends
+    /// across workers (a single `Mutex<Vec<_>>` here serialized every
+    /// write-back of every worker behind one lock).
+    parts: Box<[Mutex<Option<ShardOutput>>]>,
     remaining: AtomicUsize,
 }
 
 /// One shard's encoded records plus its partial report.
 type ShardOutput = (Vec<PageRecord>, EncodeReport);
+
+/// Tracks how many shards sit in the [`ShardQueues`] and whether the pool
+/// is shutting down.
+struct Gate {
+    queued: usize,
+    closed: bool,
+}
+
+/// Work-stealing shard scheduler: one double-ended queue per worker thread
+/// plus a shared gate carrying the total queued count, the capacity bound
+/// and the shutdown flag.
+///
+/// The dispatcher deals shards round-robin onto the per-worker queues; a
+/// worker pops from the *front* of its own queue and, when that is empty,
+/// steals from the *back* of a sibling's. A single shared channel — the
+/// old design — made every push and every pop contend on one lock and let
+/// an idle worker sit empty-handed while a straggler's queue backed up;
+/// here the common case (worker pops its own queue) touches a lock nobody
+/// else wants, and stragglers are automatically relieved by theft.
+///
+/// The gate bounds the total queued shards, so a dispatcher outrunning the
+/// workers blocks in [`ShardQueues::push`] — the pool's internal stage of
+/// the submit back-pressure chain.
+struct ShardQueues {
+    queues: Vec<Mutex<VecDeque<ShardTask>>>,
+    gate: Mutex<Gate>,
+    available: Condvar,
+    room: Condvar,
+    capacity: usize,
+}
+
+impl ShardQueues {
+    fn new(threads: usize, capacity: usize) -> Self {
+        ShardQueues {
+            queues: (0..threads.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            gate: Mutex::new(Gate {
+                queued: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            room: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue onto worker `home`'s queue; blocks while at capacity.
+    /// Returns `Err` if the pool shut down underneath the dispatcher.
+    fn push(&self, home: usize, task: ShardTask) -> Result<(), ()> {
+        let mut gate = self.gate.lock().unwrap();
+        while gate.queued >= self.capacity && !gate.closed {
+            gate = self.room.wait(gate).unwrap();
+        }
+        if gate.closed {
+            return Err(());
+        }
+        // Insert *before* the count increment (still under the gate), so a
+        // positive count always means the task is already findable.
+        self.queues[home % self.queues.len()]
+            .lock()
+            .unwrap()
+            .push_back(task);
+        gate.queued += 1;
+        drop(gate);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue for worker `who`: own queue front first, then steal from
+    /// siblings' backs. Blocks until a task is available; returns `None`
+    /// once the pool is closed *and* every queued shard has been taken.
+    fn pop(&self, who: usize) -> Option<ShardTask> {
+        {
+            let mut gate = self.gate.lock().unwrap();
+            loop {
+                if gate.queued > 0 {
+                    gate.queued -= 1;
+                    break;
+                }
+                if gate.closed {
+                    return None;
+                }
+                gate = self.available.wait(gate).unwrap();
+            }
+        }
+        self.room.notify_one();
+        // The decrement above entitles this worker to exactly one task,
+        // and pushes land before the count goes up — so a full scan can
+        // only come up empty if a racing sibling momentarily over-took;
+        // retry until our task materializes.
+        let n = self.queues.len();
+        loop {
+            if let Some(t) = self.queues[who % n].lock().unwrap().pop_front() {
+                return Some(t);
+            }
+            for k in 1..n {
+                if let Some(t) = self.queues[(who + k) % n].lock().unwrap().pop_back() {
+                    return Some(t);
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Begin shutdown: queued shards still drain, new pushes fail, and
+    /// workers whose queues empty out exit instead of sleeping.
+    fn close(&self) {
+        self.gate.lock().unwrap().closed = true;
+        self.available.notify_all();
+        self.room.notify_all();
+    }
+}
 
 /// An assembled job on its way to the in-order collector.
 struct Done {
@@ -170,28 +287,41 @@ impl CompressorPool {
     /// pool reports job/shard counts, caller-visible queue depth, wall-clock
     /// shard encode latency (volatile), and the shared source-index cache's
     /// hit/miss totals. Workers batch their shard counts in a local
-    /// [`CounterShard`], merged into the shared counter when the worker
-    /// exits — no extra atomic traffic on the encode path.
+    /// [`CounterShard`] and their latency samples in a [`HistogramShard`],
+    /// merged into the shared metrics when the worker exits — no extra
+    /// atomic traffic on the encode path.
+    ///
+    /// The shard *plan* is always keyed by the requested `workers`, so the
+    /// delivered bytes and the deterministic obs counters (`pool.shards`)
+    /// are machine-independent; the number of OS threads actually spawned
+    /// is clamped to the machine's available parallelism — on a small host
+    /// the extra threads would only add context-switch and lock-handoff
+    /// overhead (the measured cause of the pool's former anti-scaling).
     pub fn spawn_with_obs(workers: usize, queue_depth: usize, obs: Option<&Arc<Obs>>) -> Self {
         let pool_obs = obs.map(PoolObs::new);
         let workers = workers.max(1);
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = workers.min(hw);
         let depth = queue_depth.max(1);
         let (job_tx, job_rx) = bounded::<(CompressJob, Instant)>(depth);
-        let (shard_tx, shard_rx) = bounded::<ShardTask>(workers * SHARDS_PER_WORKER);
+        let shard_queues = Arc::new(ShardQueues::new(threads, workers * SHARDS_PER_WORKER));
         let (done_tx, done_rx) = bounded::<Done>(depth + workers);
         let (res_tx, res_rx) = bounded::<CompressResult>(depth * 2);
 
-        let mut handles = Vec::with_capacity(workers + 2);
+        let mut handles = Vec::with_capacity(threads + 2);
         let cache = Arc::new(SourceIndexCache::new());
 
-        // Dispatcher: shards each job and fans the shards out to workers.
+        // Dispatcher: shards each job and deals the shards round-robin
+        // onto the workers' queues.
         let dispatcher_done = done_tx.clone();
+        let dispatcher_queues = Arc::clone(&shard_queues);
         handles.push(
             std::thread::Builder::new()
                 .name("aic-ckpt-dispatch".into())
                 .spawn(move || {
                     let mut order: u64 = 0;
-                    while let Ok((job, enqueued_at)) = job_rx.recv() {
+                    let mut home: usize = 0;
+                    'jobs: while let Ok((job, enqueued_at)) = job_rx.recv() {
                         let dispatched_at = Instant::now();
                         let queued = dispatched_at.duration_since(enqueued_at);
                         let shards = plan_shards(job.dirty.len(), workers);
@@ -210,41 +340,44 @@ impl CompressorPool {
                                 },
                             });
                             if sent.is_err() {
-                                return;
+                                break 'jobs;
                             }
                         } else {
-                            let mut parts = Vec::new();
-                            parts.resize_with(shards.len(), || None);
+                            let parts = (0..shards.len()).map(|_| Mutex::new(None)).collect();
                             let state = Arc::new(JobState {
                                 order,
                                 dispatched_at,
                                 queued,
-                                parts: Mutex::new(parts),
+                                parts,
                                 remaining: AtomicUsize::new(shards.len()),
                             });
                             let job = Arc::new(job);
                             for (slot, shard) in shards.into_iter().enumerate() {
-                                let sent = shard_tx.send(ShardTask {
+                                let task = ShardTask {
                                     job: Arc::clone(&job),
                                     state: Arc::clone(&state),
                                     slot,
                                     shard,
-                                });
-                                if sent.is_err() {
-                                    return;
+                                };
+                                if dispatcher_queues.push(home, task).is_err() {
+                                    break 'jobs;
                                 }
+                                home = home.wrapping_add(1);
                             }
                         }
                         order += 1;
                     }
+                    // Job feed is gone (handle dropped) or the pool is
+                    // already closing: let the workers drain and exit.
+                    dispatcher_queues.close();
                 })
                 .expect("spawn pool dispatcher"),
         );
 
         // Workers: compress shards; whoever finishes a job's last shard
         // assembles the file and hands it to the collector.
-        for i in 0..workers {
-            let shard_rx = shard_rx.clone();
+        for i in 0..threads {
+            let queues = Arc::clone(&shard_queues);
             let done_tx = done_tx.clone();
             let cache = Arc::clone(&cache);
             let worker_obs = pool_obs.clone();
@@ -252,31 +385,41 @@ impl CompressorPool {
                 std::thread::Builder::new()
                     .name(format!("aic-ckpt-core-{i}"))
                     .spawn(move || {
-                        // Worker-local shard tally: one shared-counter merge
-                        // per worker lifetime (CounterShard flushes on drop),
-                        // zero atomics per shard.
+                        // Worker-local obs batches: one shared merge per
+                        // worker lifetime (both shards flush on drop),
+                        // zero shared-atomic traffic per shard. Scratch
+                        // buffers likewise live for the worker's lifetime.
                         let mut local = CounterShard::new();
                         let shard_slot = worker_obs.as_ref().map(|o| local.slot(o.shards.clone()));
-                        while let Ok(task) = shard_rx.recv() {
+                        let mut ns_local = worker_obs
+                            .as_ref()
+                            .map(|o| HistogramShard::new(o.shard_ns.clone()));
+                        let mut scratch = ShardScratch::new();
+                        while let Some(task) = queues.pop(i) {
                             let t0 = Instant::now();
-                            let part = pa_encode_shard_cached(
+                            let part = pa_encode_shard_scratch(
                                 &task.job.prev,
                                 &task.job.dirty,
                                 task.shard,
                                 &task.job.params,
                                 Some(&cache),
+                                &mut scratch,
                             );
-                            if let (Some(o), Some(slot)) = (&worker_obs, shard_slot) {
+                            if let Some(slot) = shard_slot {
                                 local.inc(slot);
-                                o.shard_ns.observe(t0.elapsed().as_nanos() as u64);
                             }
-                            task.state.parts.lock().unwrap()[task.slot] = Some(part);
+                            if let Some(h) = &mut ns_local {
+                                h.observe(t0.elapsed().as_nanos() as u64);
+                            }
+                            *task.state.parts[task.slot].lock().unwrap() = Some(part);
                             if task.state.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
                                 continue; // other shards still in flight
                             }
-                            let parts = std::mem::take(&mut *task.state.parts.lock().unwrap());
-                            let (file, report) =
-                                pa_assemble(parts.into_iter().map(|p| p.expect("shard encoded")));
+                            let parts =
+                                task.state.parts.iter().map(|slot| {
+                                    slot.lock().unwrap().take().expect("shard encoded")
+                                });
+                            let (file, report) = pa_assemble(parts);
                             let sent = done_tx.send(Done {
                                 order: task.state.order,
                                 result: CompressResult {
@@ -295,7 +438,6 @@ impl CompressorPool {
                     .expect("spawn pool worker"),
             );
         }
-        drop(shard_rx);
         drop(done_tx);
 
         // Collector: re-sequences out-of-order job completions so results
@@ -740,6 +882,83 @@ mod tests {
         assert!(det.get("pool.shard_encode_ns").is_none());
         assert_eq!(det.counter("pool.jobs"), Some(3));
         assert_eq!(det.counter("pool.shards"), Some(shards));
+    }
+
+    #[test]
+    fn shard_queues_steal_and_drain_on_close() {
+        // Direct scheduler test: tasks dealt to worker 0's queue must be
+        // stealable by worker 1, queued tasks drain after close, and a
+        // post-drain pop reports shutdown.
+        let job = Arc::new(CompressJob {
+            seq: 0,
+            prev: Snapshot::new(),
+            dirty: Snapshot::new(),
+            params: PaParams::default(),
+        });
+        let mk = |slot: usize| ShardTask {
+            job: Arc::clone(&job),
+            state: Arc::new(JobState {
+                order: 0,
+                dispatched_at: Instant::now(),
+                queued: Duration::ZERO,
+                parts: Box::new([]),
+                remaining: AtomicUsize::new(1),
+            }),
+            slot,
+            shard: Shard { start: 0, end: 0 },
+        };
+        let q = ShardQueues::new(2, 8);
+        for slot in 0..3 {
+            q.push(0, mk(slot)).unwrap(); // all on worker 0's queue
+        }
+        // Worker 1 owns an empty queue: it must steal from the BACK of
+        // worker 0's queue (LIFO for thieves, FIFO for the owner).
+        assert_eq!(q.pop(1).unwrap().slot, 2, "thief takes the back");
+        assert_eq!(q.pop(0).unwrap().slot, 0, "owner takes the front");
+        q.close();
+        assert_eq!(q.pop(1).unwrap().slot, 1, "queued work drains post-close");
+        assert!(q.pop(0).is_none(), "empty + closed = shutdown");
+        assert!(q.push(0, mk(9)).is_err(), "pushes fail after close");
+    }
+
+    /// The anti-scaling regression bar: on the small-edit regime, a pool
+    /// asked for 8 workers must not be slower than a single worker beyond
+    /// 10% noise. (On a small host both clamp to the same thread count and
+    /// this checks pure scheduling overhead; on a multicore host it checks
+    /// genuine scaling.) Excluded under `--cfg ci_slow`: wall-clock
+    /// assertions are meaningless on starved shared runners.
+    #[cfg(not(ci_slow))]
+    #[test]
+    fn pool_does_not_anti_scale_on_small_edits() {
+        const PAGES: usize = 256;
+        let prev = snapshot(PAGES, 80);
+        let dirty = mutate(&prev, 81); // 128-byte edit per page
+        let ns_per_page = |workers: usize| -> f64 {
+            let pool = CompressorPool::spawn(workers, 4);
+            let submit = |seq: u64| {
+                pool.submit(CompressJob {
+                    seq,
+                    prev: prev.clone(),
+                    dirty: dirty.clone(),
+                    params: PaParams::default(),
+                });
+            };
+            submit(0); // warm the cache and the threads
+            let _ = pool.recv();
+            let mut best = f64::INFINITY;
+            for seq in 1..8 {
+                submit(seq);
+                let r = pool.recv();
+                best = best.min(r.wall.as_nanos() as f64 / PAGES as f64);
+            }
+            best
+        };
+        let one = ns_per_page(1);
+        let eight = ns_per_page(8);
+        assert!(
+            eight <= one * 1.1,
+            "pool anti-scales: 1 worker {one:.0} ns/page, 8 workers {eight:.0} ns/page"
+        );
     }
 
     #[test]

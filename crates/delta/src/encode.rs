@@ -21,8 +21,10 @@
 //! encodes — see [`crate::pa`]'s cross-interval cache) and appends the
 //! instruction payload directly to a caller-owned [`BytesMut`] arena, so a
 //! steady-state caller that recycles both performs **zero heap allocations
-//! per page**. Match extension compares eight bytes per step (`u64` loads,
-//! XOR, count trailing/leading zero bytes) instead of one.
+//! per page**. Match extension compares 32 bytes per step (paired `u128`
+//! loads, XOR, count trailing/leading zero bytes — see [`common_prefix`])
+//! with 16/8-byte and scalar tails, and candidate confirmation compares
+//! whole blocks in 16-byte lanes ([`blocks_equal`]).
 //!
 //! [`encode_with_report`] wraps it for one-shot callers. Its output is
 //! bit-identical to the retained naive implementation in
@@ -133,17 +135,50 @@ pub fn wire_len_parts(source_len: u64, target_len: u64, checksum: u64, payload_l
         + payload_len as u64
 }
 
-/// Length of the common prefix of `a` and `b`, compared a word at a time.
+/// Little-endian `u128` load of `s[off..off + 16]`.
+#[inline(always)]
+fn load16_le(s: &[u8], off: usize) -> u128 {
+    u128::from_le_bytes(s[off..off + 16].try_into().unwrap())
+}
+
+/// Little-endian `u64` load of `s[off..off + 8]`.
+#[inline(always)]
+fn load8_le(s: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(s[off..off + 8].try_into().unwrap())
+}
+
+/// Length of the common prefix of `a` and `b`.
+///
+/// Wide compare ladder: 32-byte lanes (two `u128` loads per step, which the
+/// compiler lowers to SIMD registers where available), then one 16-byte
+/// lane, one 8-byte word, and a scalar tail. A mismatching lane locates the
+/// first differing byte via `trailing_zeros` of the XOR (LE load: the
+/// lowest set bit belongs to the earliest byte).
 #[inline]
 pub fn common_prefix(a: &[u8], b: &[u8]) -> usize {
     let n = a.len().min(b.len());
     let mut i = 0;
-    while i + 8 <= n {
-        let x = u64::from_le_bytes(a[i..i + 8].try_into().unwrap());
-        let y = u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
-        let diff = x ^ y;
+    while i + 32 <= n {
+        let d0 = load16_le(a, i) ^ load16_le(b, i);
+        if d0 != 0 {
+            return i + (d0.trailing_zeros() >> 3) as usize;
+        }
+        let d1 = load16_le(a, i + 16) ^ load16_le(b, i + 16);
+        if d1 != 0 {
+            return i + 16 + (d1.trailing_zeros() >> 3) as usize;
+        }
+        i += 32;
+    }
+    if i + 16 <= n {
+        let diff = load16_le(a, i) ^ load16_le(b, i);
         if diff != 0 {
-            // First differing byte: lowest set bit's byte index (LE load).
+            return i + (diff.trailing_zeros() >> 3) as usize;
+        }
+        i += 16;
+    }
+    if i + 8 <= n {
+        let diff = load8_le(a, i) ^ load8_le(b, i);
+        if diff != 0 {
             return i + (diff.trailing_zeros() >> 3) as usize;
         }
         i += 8;
@@ -154,26 +189,71 @@ pub fn common_prefix(a: &[u8], b: &[u8]) -> usize {
     i
 }
 
-/// Length of the common suffix of `a` and `b`, compared a word at a time.
+/// Length of the common suffix of `a` and `b`.
+///
+/// Same wide-compare ladder as [`common_prefix`], walking backwards from
+/// the slice ends; a mismatching lane locates the last differing byte via
+/// `leading_zeros` (the final slice byte is the most-significant byte of an
+/// LE load).
 #[inline]
 pub fn common_suffix(a: &[u8], b: &[u8]) -> usize {
     let n = a.len().min(b.len());
+    let (la, lb) = (a.len(), b.len());
     let mut i = 0;
-    while i + 8 <= n {
-        let x = u64::from_le_bytes(a[a.len() - i - 8..a.len() - i].try_into().unwrap());
-        let y = u64::from_le_bytes(b[b.len() - i - 8..b.len() - i].try_into().unwrap());
-        let diff = x ^ y;
+    while i + 32 <= n {
+        let d0 = load16_le(a, la - i - 16) ^ load16_le(b, lb - i - 16);
+        if d0 != 0 {
+            return i + (d0.leading_zeros() >> 3) as usize;
+        }
+        let d1 = load16_le(a, la - i - 32) ^ load16_le(b, lb - i - 32);
+        if d1 != 0 {
+            return i + 16 + (d1.leading_zeros() >> 3) as usize;
+        }
+        i += 32;
+    }
+    if i + 16 <= n {
+        let diff = load16_le(a, la - i - 16) ^ load16_le(b, lb - i - 16);
         if diff != 0 {
-            // Last differing byte: highest set bit's byte index (the final
-            // slice byte is the most-significant byte of an LE load).
+            return i + (diff.leading_zeros() >> 3) as usize;
+        }
+        i += 16;
+    }
+    if i + 8 <= n {
+        let diff = load8_le(a, la - i - 8) ^ load8_le(b, lb - i - 8);
+        if diff != 0 {
             return i + (diff.leading_zeros() >> 3) as usize;
         }
         i += 8;
     }
-    while i < n && a[a.len() - 1 - i] == b[b.len() - 1 - i] {
+    while i < n && a[la - 1 - i] == b[lb - 1 - i] {
         i += 1;
     }
     i
+}
+
+/// Exact equality of two equal-length slices, compared in 16-byte lanes
+/// with a scalar tail — the block-confirmation compare of the rolling-hash
+/// scan (candidate blocks are `block_size` long, typically 16 or 64, so the
+/// byte-wise `==` this replaces was the last narrow compare on the scan
+/// path). Equality is equality: behavior-identical to `a == b`.
+#[inline]
+pub fn blocks_equal(a: &[u8], b: &[u8]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut i = 0;
+    while i + 16 <= n {
+        if load16_le(a, i) != load16_le(b, i) {
+            return false;
+        }
+        i += 16;
+    }
+    if i + 8 <= n {
+        if load8_le(a, i) != load8_le(b, i) {
+            return false;
+        }
+        i += 8;
+    }
+    a[i..] == b[i..]
 }
 
 /// Allocation-free encode core: append the instruction payload for
@@ -223,7 +303,7 @@ pub fn encode_into(
                 for &blk in cands.iter().take(params.max_probe) {
                     let src_off = blk as usize * bs;
                     let sblock = &source[src_off..src_off + bs];
-                    if index.strong(blk) == wstrong && sblock == window {
+                    if index.strong(blk) == wstrong && blocks_equal(sblock, window) {
                         // Extend forwards, word at a time. The scalar loop
                         // stopped at min(target.len()-pos, source.len()-src_off).
                         let fwd_cap = (target.len() - pos).min(source.len() - src_off);
@@ -486,6 +566,55 @@ mod tests {
         assert_eq!(common_suffix(b"xyz_abcdefgh", b"abc_abcdefgh"), 9);
         assert_eq!(common_prefix(b"", b"anything"), 0);
         assert_eq!(common_suffix(b"short", b"loooooong_short"), 5);
+    }
+
+    #[test]
+    fn wide_prefix_suffix_exact_at_every_alignment_offset() {
+        // Pin the wide-lane paths at every alignment offset 0..32: the
+        // mismatch byte must land in each position of the 32-byte lane, the
+        // 16-byte lane, the 8-byte word, and the scalar tail, for lengths
+        // that exercise every tail combination.
+        let mut rng = StdRng::seed_from_u64(21);
+        for len in [
+            0usize, 1, 7, 8, 9, 15, 16, 17, 24, 31, 32, 33, 47, 48, 63, 64, 65, 96, 100,
+        ] {
+            let a: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            // Identical buffers: full-length agreement.
+            assert_eq!(common_prefix(&a, &a), len);
+            assert_eq!(common_suffix(&a, &a), len);
+            for offset in 0..32usize.min(len) {
+                // Flip exactly one byte at `offset` from the front / back.
+                let mut b = a.clone();
+                b[offset] ^= 0x5A;
+                assert_eq!(common_prefix(&a, &b), offset, "len={len} off={offset}");
+                let mut c = a.clone();
+                c[len - 1 - offset] ^= 0x5A;
+                assert_eq!(common_suffix(&a, &c), offset, "len={len} off={offset}");
+            }
+        }
+        // Misaligned slice starts: the loads must be position-independent.
+        let base: Vec<u8> = (0..160).map(|_| rng.gen::<u8>()).collect();
+        for skew in 0..32usize {
+            let a = &base[skew..skew + 64];
+            let mut bv = a.to_vec();
+            bv[40] ^= 1;
+            assert_eq!(common_prefix(a, &bv), 40, "skew={skew}");
+            assert_eq!(common_suffix(a, &bv), 64 - 41, "skew={skew}");
+        }
+    }
+
+    #[test]
+    fn blocks_equal_agrees_with_slice_eq() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for len in [0usize, 1, 4, 8, 15, 16, 17, 31, 32, 33, 64, 100] {
+            let a: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            assert!(blocks_equal(&a, &a));
+            for off in 0..len {
+                let mut b = a.clone();
+                b[off] ^= 0xFF;
+                assert!(!blocks_equal(&a, &b), "len={len} off={off}");
+            }
+        }
     }
 
     #[test]

@@ -76,6 +76,20 @@ impl SourceIndex {
 
     /// Re-point this index at `source`, reusing the existing allocations.
     pub fn rebuild(&mut self, source: &[u8], block_size: usize) {
+        self.rebuild_inner(source, block_size, None);
+    }
+
+    /// [`SourceIndex::rebuild`] reusing per-block weak hashes the caller
+    /// already computed — `weaks[b]` must be the rolling digest of block
+    /// `b`, exactly as [`WeakSet::rebuild`] produces them. The match-rate
+    /// probe in [`crate::pa`] hashes every source block to decide whether
+    /// an index is worth building at all; when the answer is yes, this
+    /// entry point stops the index build from paying that pass twice.
+    pub fn rebuild_with_weaks(&mut self, source: &[u8], block_size: usize, weaks: &[u32]) {
+        self.rebuild_inner(source, block_size, Some(weaks));
+    }
+
+    fn rebuild_inner(&mut self, source: &[u8], block_size: usize, weaks: Option<&[u32]>) {
         let bs = block_size.max(4);
         self.block_size = bs;
         self.n_blocks = if source.len() >= bs {
@@ -91,13 +105,20 @@ impl SourceIndex {
             return;
         }
 
-        // Pass 1: weak + strong hash of every block.
+        // Pass 1: weak + strong hash of every block (weak hashes reused
+        // from the caller when supplied).
+        if let Some(weaks) = weaks {
+            debug_assert_eq!(weaks.len(), self.n_blocks, "stale weak hashes");
+        }
         self.strongs.reserve(self.n_blocks);
         self.pairs.reserve(self.n_blocks);
         for b in 0..self.n_blocks {
             let block = &source[b * bs..b * bs + bs];
-            self.pairs
-                .push((RollingHash::new(block).digest(), b as u32));
+            let weak = match weaks {
+                Some(w) => w[b],
+                None => RollingHash::new(block).digest(),
+            };
+            self.pairs.push((weak, b as u32));
             self.strongs.push(fnv1a(block));
         }
 
@@ -182,6 +203,73 @@ impl SourceIndex {
             + self.entries.capacity() * 4
             + self.slots.capacity() * std::mem::size_of::<Slot>()
             + self.pairs.capacity() * 8
+    }
+}
+
+/// The set of weak rolling hashes of a source's blocks — nothing more.
+///
+/// [`WeakSet::contains`]`(w)` answers exactly the same question as
+/// `!SourceIndex::candidates(w).is_empty()` over the same `(source,
+/// block_size)` — both sets are `{weak(block_i)}` — but building it skips
+/// the strong-hash pass and the open-addressed table, so it is the cheap
+/// front end for the match-rate probe in [`crate::pa`]: decide whether a
+/// full index is worth building *before* paying for one. Exact by
+/// construction (a sorted, deduplicated `Vec<u32>`), never probabilistic —
+/// a filter with false answers could make the cached and uncached encode
+/// paths disagree on the bail decision and break their bit-identity.
+#[derive(Debug, Default, Clone)]
+pub struct WeakSet {
+    /// Sorted, deduplicated hashes — the membership set.
+    sorted: Vec<u32>,
+    /// The same hashes in block order (`in_order[b]` = weak hash of block
+    /// `b`), retained so a subsequent [`SourceIndex::rebuild_with_weaks`]
+    /// over the same `(source, block_size)` can skip its weak-hash pass.
+    in_order: Vec<u32>,
+}
+
+impl WeakSet {
+    /// An empty set (contains nothing). Call [`WeakSet::rebuild`] to point
+    /// it at a source; the allocations are reused across rebuilds.
+    pub fn new() -> Self {
+        WeakSet::default()
+    }
+
+    /// Recompute the set over `source`'s `block_size`-aligned blocks,
+    /// reusing the existing allocations.
+    pub fn rebuild(&mut self, source: &[u8], block_size: usize) {
+        let bs = block_size.max(4);
+        self.sorted.clear();
+        self.in_order.clear();
+        if source.len() < bs {
+            return;
+        }
+        let n_blocks = source.len() / bs;
+        self.in_order.reserve(n_blocks);
+        for b in 0..n_blocks {
+            self.in_order
+                .push(RollingHash::new(&source[b * bs..b * bs + bs]).digest());
+        }
+        self.sorted.extend_from_slice(&self.in_order);
+        self.sorted.sort_unstable();
+        self.sorted.dedup();
+    }
+
+    /// True if `weak` is the rolling hash of at least one source block.
+    #[inline]
+    pub fn contains(&self, weak: u32) -> bool {
+        self.sorted.binary_search(&weak).is_ok()
+    }
+
+    /// Per-block weak hashes in block order, exactly as
+    /// [`SourceIndex::rebuild_with_weaks`] expects them.
+    #[inline]
+    pub fn block_weaks(&self) -> &[u32] {
+        &self.in_order
+    }
+
+    /// True if the set holds no hashes (source shorter than one block).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
     }
 }
 
@@ -285,6 +373,49 @@ mod tests {
         for blk in 0..32u32 {
             assert_eq!(idx.strong(blk), fresh.strong(blk));
         }
+    }
+
+    #[test]
+    fn weak_set_membership_matches_index_candidates() {
+        // The bail probe's correctness hinges on this equivalence: for any
+        // weak hash, WeakSet::contains == !SourceIndex::candidates.is_empty.
+        let mut rng = StdRng::seed_from_u64(4);
+        for &(len, bs) in &[(0usize, 16usize), (10, 16), (4096, 16), (4099, 32)] {
+            let source: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let idx = SourceIndex::build(&source, bs);
+            let mut set = WeakSet::new();
+            set.rebuild(&source, bs);
+            assert_eq!(set.is_empty(), idx.is_empty());
+            // Every indexed block's weak hash is present.
+            if source.len() >= bs {
+                for b in 0..source.len() / bs {
+                    let w = RollingHash::new(&source[b * bs..b * bs + bs]).digest();
+                    assert!(set.contains(w));
+                    assert!(!idx.candidates(w).is_empty());
+                }
+            }
+            // Random hashes agree in both directions.
+            for _ in 0..200 {
+                let w: u32 = rng.gen();
+                assert_eq!(
+                    set.contains(w),
+                    !idx.candidates(w).is_empty(),
+                    "len={len} bs={bs} weak={w:#x}"
+                );
+            }
+        }
+        // Rebuild replaces the old contents.
+        let a = vec![0xAA_u8; 256];
+        let b: Vec<u8> = (0..256).map(|i| i as u8).collect();
+        let mut set = WeakSet::new();
+        set.rebuild(&a, 16);
+        let wa = RollingHash::new(&a[0..16]).digest();
+        assert!(set.contains(wa));
+        set.rebuild(&b, 16);
+        assert_eq!(
+            set.contains(wa),
+            !SourceIndex::build(&b, 16).candidates(wa).is_empty()
+        );
     }
 
     #[test]

@@ -19,7 +19,8 @@ use aic_memsim::{Page, PageIdx, Snapshot, PAGE_SIZE};
 
 use crate::decode::{decode, DecodeError};
 use crate::encode::{encode_into, encode_with_report, Delta, EncodeParams};
-use crate::index::SourceIndex;
+use crate::index::{SourceIndex, WeakSet};
+use crate::rolling::RollingHash;
 use crate::stats::EncodeReport;
 
 /// Parameters for page-aligned encoding.
@@ -86,17 +87,49 @@ impl CachedIndex {
 /// silently changing encoder output; equality cannot. Consequently a cache
 /// hit is *guaranteed* to leave the wire bytes bit-identical.
 ///
-/// **Invalidation:** entries self-invalidate on source change (the equality
-/// check fails and the entry is rebuilt in place). [`SourceIndexCache::invalidate_all`]
-/// exists for state discontinuities — restore/recovery rolls `prev` back to
-/// an older version wholesale, so the engine drops the cache rather than
-/// trusting per-entry checks it no longer needs (defense in depth, and it
-/// returns the memory).
-#[derive(Debug, Default)]
+/// **Invalidation (sharded-cache rule):** entries self-invalidate on source
+/// change (the equality check fails and the entry is rebuilt in place).
+/// [`SourceIndexCache::invalidate_all`] exists for state discontinuities —
+/// restore/recovery rolls `prev` back to an older version wholesale, so the
+/// engine drops the cache rather than trusting per-entry checks it no
+/// longer needs (defense in depth, and it returns the memory). Because the
+/// map is sharded, `invalidate_all` takes the shard locks one at a time and
+/// is therefore **not atomic across shards**: it must only run at a
+/// pipeline barrier with no encode jobs in flight (which is the only place
+/// the engine calls it). A racing encode would not be *wrong* — the
+/// per-entry exact-equality hit rule rejects stale entries on its own — it
+/// would merely re-cache entries the barrier meant to drop.
+///
+/// **Contention:** the map is split into [`CACHE_SHARDS`] independently
+/// locked shards keyed by a mix of the page index, so concurrent workers
+/// encoding different pages land on different locks. Size and hit/miss
+/// accounting live in atomics *outside* the shard locks, so
+/// [`SourceIndexCache::len`], [`SourceIndexCache::heap_bytes`] and the
+/// stats accessors never touch a lock — obs polling cannot stall encoders.
+#[derive(Debug)]
 pub struct SourceIndexCache {
-    entries: Mutex<HashMap<PageIdx, Arc<CachedIndex>>>,
+    shards: [Mutex<HashMap<PageIdx, Arc<CachedIndex>>>; CACHE_SHARDS],
+    len: AtomicUsize,
+    heap: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// Number of independently locked map shards in a [`SourceIndexCache`].
+/// A small power of two: enough to spread an 8-worker pool across distinct
+/// locks, small enough that `invalidate_all` stays cheap.
+pub const CACHE_SHARDS: usize = 16;
+
+impl Default for SourceIndexCache {
+    fn default() -> Self {
+        SourceIndexCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            len: AtomicUsize::new(0),
+            heap: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl SourceIndexCache {
@@ -105,74 +138,142 @@ impl SourceIndexCache {
         SourceIndexCache::default()
     }
 
+    /// The shard holding page `idx` (Fibonacci-mixed so that the contiguous
+    /// page runs a shard plan produces spread across locks).
+    fn shard(&self, idx: PageIdx) -> &Mutex<HashMap<PageIdx, Arc<CachedIndex>>> {
+        let mixed = idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mixed >> (64 - CACHE_SHARDS.trailing_zeros() as u64)) as usize]
+    }
+
+    /// Heap accounting charge for one entry.
+    fn entry_heap(entry: &CachedIndex) -> usize {
+        entry.index.heap_bytes() + PAGE_SIZE
+    }
+
+    /// Probe for a valid entry *without building on miss* — the hit half of
+    /// [`SourceIndexCache::get_or_build`]. Returns `None` (counting
+    /// nothing) when no valid entry exists, so callers that may bail out of
+    /// encoding entirely (the match-rate probe) can defer the expensive
+    /// index build until they know they need it.
+    pub fn lookup(
+        &self,
+        idx: PageIdx,
+        source: &Page,
+        block_size: usize,
+    ) -> Option<Arc<CachedIndex>> {
+        let bs = block_size.max(4);
+        let entries = self.shard(idx).lock().unwrap();
+        if let Some(entry) = entries.get(&idx) {
+            if entry.index.block_size() == bs
+                && (entry.source.ptr_eq(source) || entry.source == *source)
+            {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(entry));
+            }
+        }
+        None
+    }
+
+    /// Build the index for `(idx, source)` and insert it, counting a miss.
+    /// The build runs outside any lock — indexing is the expensive part,
+    /// and a racing duplicate build is harmless (last insert wins). Callers
+    /// that already weak-hashed every source block (the match-rate probe)
+    /// pass those hashes as `weaks` so the build skips that pass.
+    pub fn insert_built(
+        &self,
+        idx: PageIdx,
+        source: &Page,
+        block_size: usize,
+        weaks: Option<&[u32]>,
+    ) -> Arc<CachedIndex> {
+        let bs = block_size.max(4);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut index = SourceIndex::new();
+        match weaks {
+            Some(w) => index.rebuild_with_weaks(source.as_slice(), bs, w),
+            None => index.rebuild(source.as_slice(), bs),
+        }
+        let entry = Arc::new(CachedIndex {
+            source: source.clone(),
+            index,
+        });
+        let heap = Self::entry_heap(&entry);
+        let old = self
+            .shard(idx)
+            .lock()
+            .unwrap()
+            .insert(idx, Arc::clone(&entry));
+        self.heap.fetch_add(heap, Ordering::Relaxed);
+        match old {
+            Some(old) => {
+                self.heap
+                    .fetch_sub(Self::entry_heap(&old), Ordering::Relaxed);
+            }
+            None => {
+                self.len.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        entry
+    }
+
     /// Fetch the index for page `idx` with source version `source`,
     /// building (and caching) it on miss. See the type docs for the exact
     /// hit rule; the returned entry is shared, lock-free to use, and valid
     /// for as long as the caller holds it even if the cache moves on.
     pub fn get_or_build(&self, idx: PageIdx, source: &Page, block_size: usize) -> Arc<CachedIndex> {
-        let bs = block_size.max(4);
-        {
-            let entries = self.entries.lock().unwrap();
-            if let Some(entry) = entries.get(&idx) {
-                if entry.index.block_size() == bs
-                    && (entry.source.ptr_eq(source) || entry.source == *source)
-                {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Arc::clone(entry);
-                }
-            }
-        }
-        // Miss: build outside the lock — indexing is the expensive part,
-        // and a racing duplicate build is harmless (last insert wins).
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let entry = Arc::new(CachedIndex {
-            source: source.clone(),
-            index: SourceIndex::build(source.as_slice(), bs),
-        });
-        self.entries.lock().unwrap().insert(idx, Arc::clone(&entry));
-        entry
+        self.lookup(idx, source, block_size)
+            .unwrap_or_else(|| self.insert_built(idx, source, block_size, None))
     }
 
     /// Drop every cached index. Called on restore/recovery: the engine's
     /// `prev` state jumps to an older version, so nothing cached about the
-    /// abandoned timeline may survive.
+    /// abandoned timeline may survive. Not atomic across shards — see the
+    /// invalidation rule in the type docs (barrier-only).
     pub fn invalidate_all(&self) {
-        self.entries.lock().unwrap().clear();
+        for shard in &self.shards {
+            let mut entries = shard.lock().unwrap();
+            for (_, entry) in entries.drain() {
+                self.heap
+                    .fetch_sub(Self::entry_heap(&entry), Ordering::Relaxed);
+                self.len.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Drop the entry for a single page (e.g. when the page is freed).
     pub fn invalidate(&self, idx: PageIdx) {
-        self.entries.lock().unwrap().remove(&idx);
+        if let Some(entry) = self.shard(idx).lock().unwrap().remove(&idx) {
+            self.heap
+                .fetch_sub(Self::entry_heap(&entry), Ordering::Relaxed);
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
     }
 
-    /// Number of cached page indexes.
+    /// Number of cached page indexes. Lock-free (maintained atomically at
+    /// insert/remove), so pollers never contend with encoders.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.len.load(Ordering::Relaxed)
     }
 
-    /// True if nothing is cached.
+    /// True if nothing is cached. Lock-free.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Lifetime hit count (index reused).
+    /// Lifetime hit count (index reused). Lock-free.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Lifetime miss count (index built).
+    /// Lifetime miss count (index built). Lock-free.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
 
     /// Approximate heap footprint of the cached indexes in bytes.
+    /// Lock-free (maintained atomically at insert/remove).
     pub fn heap_bytes(&self) -> usize {
-        self.entries
-            .lock()
-            .unwrap()
-            .values()
-            .map(|e| e.index.heap_bytes() + PAGE_SIZE)
-            .sum()
+        self.heap.load(Ordering::Relaxed)
     }
 }
 
@@ -241,67 +342,97 @@ impl PaDeltaFile {
 /// *Hot* pages (present in `prev`) are delta-encoded; a delta that fails to
 /// beat the raw page is discarded in favour of the raw bytes, so
 /// `ds ≤ incremental checkpoint size + per-page overhead` always holds.
+///
+/// Every PA path — this serial encode, [`pa_encode_cached`], the sharded
+/// and pooled variants — runs the same per-page decisions through the one
+/// shard encoder ([`pa_encode_shard_cached`]), which is what makes their
+/// outputs bit-identical by construction.
 pub fn pa_encode(
     prev: &Snapshot,
     dirty: &Snapshot,
     params: &PaParams,
 ) -> (PaDeltaFile, EncodeReport) {
-    let ep = params.encode_params();
-    let mut file = PaDeltaFile::default();
-    let mut total = EncodeReport::default();
-
-    for (idx, page) in dirty.iter() {
-        let (rec, report) = encode_one_page(prev, idx, page, &ep);
-        total.merge(&report);
-        file.records.push(rec);
-    }
-    total.delta_bytes = file.wire_len();
-    (file, total)
+    let shard = Shard {
+        start: 0,
+        end: dirty.len(),
+    };
+    pa_assemble(std::iter::once(pa_encode_shard_cached(
+        prev, dirty, shard, params, None,
+    )))
 }
 
-/// Encode a single dirty page against its previous version — the one unit
-/// of work every PA encode path (serial, sharded, pooled) is built from,
-/// which is what makes their outputs bit-identical by construction.
-fn encode_one_page(
-    prev: &Snapshot,
-    idx: PageIdx,
-    page: &Page,
-    ep: &EncodeParams,
-) -> (PageRecord, EncodeReport) {
-    match prev.get(idx) {
-        Some(old) => {
-            let (delta, mut report) = encode_with_report(old.as_slice(), page.as_slice(), ep);
-            if delta.wire_len() < PAGE_SIZE as u64 {
-                (PageRecord::Delta { idx, delta }, report)
-            } else {
-                // Delta did not pay off: store raw (paper keeps the
-                // incremental page as-is in this case).
-                report.delta_bytes = PAGE_SIZE as u64;
-                report.literal_bytes = PAGE_SIZE as u64;
-                report.matched_bytes = 0;
-                (
-                    PageRecord::Raw {
-                        idx,
-                        data: Bytes::copy_from_slice(page.as_slice()),
-                    },
-                    report,
-                )
+/// Spread segments sampled by the match-rate probe.
+pub const PROBE_SEGMENTS: usize = 3;
+
+/// Rolled windows per probe segment. Must be at least the block size so a
+/// segment covers a full block-alignment cycle: if the segment's span of
+/// the target is unmodified, one of its windows necessarily lines up with
+/// a source block and the probe cannot miss it.
+pub const PROBE_WINDOWS: usize = 128;
+
+/// The first-N-windows match-rate probe: roll [`PROBE_WINDOWS`] windows at
+/// [`PROBE_SEGMENTS`] evenly spread starting points (first segment at the
+/// start of the target, last ending at its final window) and report whether
+/// *any* sampled window's weak hash occurs in the source's block set,
+/// short-circuiting on the first hit.
+///
+/// `contains` must answer exact weak-set membership over the source —
+/// either `WeakSet::contains` or `!SourceIndex::candidates(w).is_empty()`,
+/// which are equivalent by construction — so the verdict is a deterministic
+/// function of `(source, target, block_size)` alone, independent of cache
+/// state or shard boundaries. That is what keeps every PA path's bail
+/// decision, and therefore their output bytes, identical.
+///
+/// A `false` verdict means a full scan would almost certainly end in the
+/// raw fallback anyway (hot pages with *any* surviving aligned content hit
+/// within one alignment cycle); bailing out skips the index build and the
+/// full rolling scan, which is what makes the cold path cheaper than the
+/// reference encoder even on fresh (incompressible) pages.
+///
+/// Segments advance **breadth-first** — one window per segment per round —
+/// rather than each segment rolling to exhaustion before the next starts.
+/// The verdict ("does *any* probed window hit") depends only on the set of
+/// probed windows, which is identical either way; the order just moves the
+/// short-circuit earlier when only one segment lands in surviving content
+/// (a partially rewritten page hits within one alignment cycle ≈ `bs`
+/// rounds instead of after a full segment's [`PROBE_WINDOWS`] misses).
+fn probe_finds_match(target: &[u8], bs: usize, contains: impl Fn(u32) -> bool) -> bool {
+    if target.len() < bs {
+        return false;
+    }
+    let last = target.len() - bs; // last valid window start
+    let spread = last.saturating_sub(PROBE_WINDOWS - 1);
+    let mut pos = [0usize; PROBE_SEGMENTS];
+    let mut end = [0usize; PROBE_SEGMENTS];
+    let mut rolls: [RollingHash; PROBE_SEGMENTS] = std::array::from_fn(|s| {
+        let start = spread * s / (PROBE_SEGMENTS - 1);
+        pos[s] = start;
+        end[s] = (start + PROBE_WINDOWS - 1).min(last);
+        RollingHash::new(&target[start..start + bs])
+    });
+    // Round 0: every segment's initial window.
+    for roll in &rolls {
+        if contains(roll.digest()) {
+            return true;
+        }
+    }
+    // Later rounds: each unexhausted segment rolls forward one window.
+    loop {
+        let mut advanced = false;
+        for s in 0..PROBE_SEGMENTS {
+            if pos[s] < end[s] {
+                let p = pos[s];
+                rolls[s].roll(target[p], target[p + bs]);
+                pos[s] = p + 1;
+                advanced = true;
+                if contains(rolls[s].digest()) {
+                    return true;
+                }
             }
         }
-        None => (
-            // New page: no previous version to difference against.
-            PageRecord::Raw {
-                idx,
-                data: Bytes::copy_from_slice(page.as_slice()),
-            },
-            EncodeReport {
-                target_bytes: PAGE_SIZE as u64,
-                literal_bytes: PAGE_SIZE as u64,
-                delta_bytes: PAGE_SIZE as u64,
-                pages: 1,
-                ..Default::default()
-            },
-        ),
+        if !advanced {
+            return false;
+        }
     }
 }
 
@@ -421,19 +552,27 @@ struct PendingRec {
     delta_checksum: Option<u64>,
 }
 
-/// The allocation-free shard encoder behind every pooled/parallel path.
-///
-/// All page payloads — delta instruction streams and raw fallbacks — are
-/// emitted into **one** `BytesMut` arena, frozen once per shard; each
-/// record's `Bytes` is a zero-copy slice of that arena. Source indexes come
-/// from `cache` when provided (hitting across intervals whenever the source
-/// version is unchanged) or from a single scratch index reused across the
-/// shard's pages. Steady state allocates nothing per page: no per-call hash
-/// map, no `Vec<Inst>`, no literal double-copy.
-///
-/// A delta that fails to beat the raw page is *rewound* — the arena is
-/// truncated back to the record start and the raw bytes are appended
-/// instead — so the failed attempt costs no memory either.
+/// Reusable per-worker scratch for the shard encoder: the uncached source
+/// index and the weak-hash set consulted by the match-rate probe. Pool
+/// workers hold one per thread and reuse it across every shard of every
+/// job, so steady-state encoding allocates nothing per page and the
+/// buffers' high-water capacity is paid once per worker, not per shard.
+#[derive(Debug, Default)]
+pub struct ShardScratch {
+    index: SourceIndex,
+    weaks: WeakSet,
+}
+
+impl ShardScratch {
+    /// Fresh (empty) scratch buffers.
+    pub fn new() -> Self {
+        ShardScratch::default()
+    }
+}
+
+/// [`pa_encode_shard_scratch`] with throwaway scratch buffers — the
+/// convenience form for one-shot callers. Hot paths (pool workers, the
+/// parallel encode) hold a [`ShardScratch`] per thread instead.
 pub fn pa_encode_shard_cached(
     prev: &Snapshot,
     dirty: &Snapshot,
@@ -441,75 +580,156 @@ pub fn pa_encode_shard_cached(
     params: &PaParams,
     cache: Option<&SourceIndexCache>,
 ) -> (Vec<PageRecord>, EncodeReport) {
+    pa_encode_shard_scratch(prev, dirty, shard, params, cache, &mut ShardScratch::new())
+}
+
+/// The allocation-free shard encoder behind every PA path.
+///
+/// All page payloads — delta instruction streams and raw fallbacks — are
+/// emitted into **one** `BytesMut` arena, frozen once per shard; each
+/// record's `Bytes` is a zero-copy slice of that arena. (The arena itself
+/// cannot be recycled across shards: the delivered records keep zero-copy
+/// slices of it alive, so its memory *is* the output.) Source indexes come
+/// from `cache` when provided (hitting across intervals whenever the source
+/// version is unchanged) or from the scratch index reused across pages,
+/// shards and jobs. Steady state allocates nothing per page: no per-call
+/// hash map, no `Vec<Inst>`, no literal double-copy.
+///
+/// Before paying for an index build or a full rolling scan, every hot page
+/// runs the match-rate probe (see [`PROBE_WINDOWS`]): if none of the
+/// sampled windows' weak hashes occur in the source's block set, the page
+/// is stored raw immediately — same record and report as the raw fallback
+/// below, but without the index-build + scan cost that made cold encodes of
+/// incompressible pages slower than the reference encoder. The verdict
+/// depends only on `(source, target, block_size)`, so cached and uncached
+/// paths always agree.
+///
+/// A delta that fails to beat the raw page is *rewound* — the arena is
+/// truncated back to the record start and the raw bytes are appended
+/// instead — so the failed attempt costs no memory either.
+pub fn pa_encode_shard_scratch(
+    prev: &Snapshot,
+    dirty: &Snapshot,
+    shard: Shard,
+    params: &PaParams,
+    cache: Option<&SourceIndexCache>,
+    scratch: &mut ShardScratch,
+) -> (Vec<PageRecord>, EncodeReport) {
     let ep = params.encode_params();
     let bs = ep.block_size.max(4);
     let mut total = EncodeReport::default();
     let mut pending: Vec<PendingRec> = Vec::with_capacity(shard.len());
     let mut arena = BytesMut::with_capacity(shard.len() * (PAGE_SIZE / 4) + 64);
-    let mut scratch = SourceIndex::new(); // only used when no cache is given
 
     for (idx, page) in dirty.iter().skip(shard.start).take(shard.len()) {
-        match prev.get(idx) {
-            Some(old) => {
-                // Hold the cache entry (if any) only as long as the encode.
-                let (range, checksum, mut report) = match cache {
-                    Some(c) => {
-                        let entry = c.get_or_build(idx, old, bs);
-                        encode_into(
-                            old.as_slice(),
-                            page.as_slice(),
-                            entry.index(),
-                            &ep,
-                            &mut arena,
-                        )
-                    }
-                    None => {
-                        scratch.rebuild(old.as_slice(), bs);
-                        encode_into(old.as_slice(), page.as_slice(), &scratch, &ep, &mut arena)
-                    }
-                };
-                if report.delta_bytes < PAGE_SIZE as u64 {
-                    pending.push(PendingRec {
-                        idx,
-                        range,
-                        delta_checksum: Some(checksum),
-                    });
-                } else {
-                    // Delta did not pay off: rewind the arena over the
-                    // failed attempt and store the raw page (paper keeps
-                    // the incremental page as-is in this case).
-                    report.delta_bytes = PAGE_SIZE as u64;
-                    report.literal_bytes = PAGE_SIZE as u64;
-                    report.matched_bytes = 0;
-                    arena.truncate(range.start);
-                    let start = arena.len();
-                    arena.put_slice(page.as_slice());
-                    pending.push(PendingRec {
-                        idx,
-                        range: start..arena.len(),
-                        delta_checksum: None,
-                    });
-                }
-                total.merge(&report);
+        let Some(old) = prev.get(idx) else {
+            // New page: no previous version to difference against.
+            let start = arena.len();
+            arena.put_slice(page.as_slice());
+            pending.push(PendingRec {
+                idx,
+                range: start..arena.len(),
+                delta_checksum: None,
+            });
+            total.merge(&EncodeReport {
+                target_bytes: PAGE_SIZE as u64,
+                literal_bytes: PAGE_SIZE as u64,
+                delta_bytes: PAGE_SIZE as u64,
+                pages: 1,
+                ..Default::default()
+            });
+            continue;
+        };
+
+        // Hold the cache entry (if any) only as long as the encode.
+        let entry = cache.and_then(|c| c.lookup(idx, old, bs));
+        let feasible = match &entry {
+            // A prebuilt index answers the probe directly.
+            Some(e) => {
+                probe_finds_match(page.as_slice(), bs, |w| !e.index().candidates(w).is_empty())
+            }
+            // No index yet: the weak set costs a fraction of a full build
+            // (no strong hashes, no table) and answers identically.
+            None => {
+                scratch.weaks.rebuild(old.as_slice(), bs);
+                let weaks = &scratch.weaks;
+                probe_finds_match(page.as_slice(), bs, |w| weaks.contains(w))
+            }
+        };
+        if !feasible {
+            // Bail: store raw without building an index or scanning. Same
+            // record and report as the raw fallback below, so the only
+            // observable difference is the time saved.
+            let start = arena.len();
+            arena.put_slice(page.as_slice());
+            pending.push(PendingRec {
+                idx,
+                range: start..arena.len(),
+                delta_checksum: None,
+            });
+            total.merge(&EncodeReport {
+                source_bytes: PAGE_SIZE as u64,
+                target_bytes: PAGE_SIZE as u64,
+                literal_bytes: PAGE_SIZE as u64,
+                delta_bytes: PAGE_SIZE as u64,
+                pages: 1,
+                ..Default::default()
+            });
+            continue;
+        }
+
+        // On a cache miss or the uncached path, the probe above just
+        // weak-hashed every source block — hand those hashes to the index
+        // build so it only pays the strong-hash and table passes.
+        let (range, checksum, mut report) = match cache {
+            Some(c) => {
+                let entry = entry.unwrap_or_else(|| {
+                    c.insert_built(idx, old, bs, Some(scratch.weaks.block_weaks()))
+                });
+                encode_into(
+                    old.as_slice(),
+                    page.as_slice(),
+                    entry.index(),
+                    &ep,
+                    &mut arena,
+                )
             }
             None => {
-                // New page: no previous version to difference against.
-                let start = arena.len();
-                arena.put_slice(page.as_slice());
-                pending.push(PendingRec {
-                    idx,
-                    range: start..arena.len(),
-                    delta_checksum: None,
-                });
-                total.merge(&EncodeReport {
-                    target_bytes: PAGE_SIZE as u64,
-                    literal_bytes: PAGE_SIZE as u64,
-                    delta_bytes: PAGE_SIZE as u64,
-                    pages: 1,
-                    ..Default::default()
-                });
+                scratch
+                    .index
+                    .rebuild_with_weaks(old.as_slice(), bs, scratch.weaks.block_weaks());
+                encode_into(
+                    old.as_slice(),
+                    page.as_slice(),
+                    &scratch.index,
+                    &ep,
+                    &mut arena,
+                )
             }
+        };
+        if report.delta_bytes < PAGE_SIZE as u64 {
+            pending.push(PendingRec {
+                idx,
+                range,
+                delta_checksum: Some(checksum),
+            });
+        } else {
+            // Delta did not pay off: rewind the arena over the
+            // failed attempt and store the raw page (paper keeps
+            // the incremental page as-is in this case).
+            report.delta_bytes = PAGE_SIZE as u64;
+            report.literal_bytes = PAGE_SIZE as u64;
+            report.matched_bytes = 0;
+            arena.truncate(range.start);
+            let start = arena.len();
+            arena.put_slice(page.as_slice());
+            pending.push(PendingRec {
+                idx,
+                range: start..arena.len(),
+                delta_checksum: None,
+            });
         }
+        total.merge(&report);
     }
 
     // One freeze per shard; every record shares the arena allocation.
@@ -592,6 +812,30 @@ pub fn pa_encode_parallel_with(
     pa_encode_parallel_cached(prev, dirty, params, workers, None)
 }
 
+/// How many encode threads and shards a parallel encode of `n_pages` under
+/// a requested worker count will *actually* use.
+///
+/// The thread count is the requested `workers` clamped to the shard count
+/// (no idle threads) and to the machine's available parallelism — spawning
+/// eight encode threads on one core buys nothing but context-switch and
+/// contention overhead, which is exactly the anti-scaling the pool sweep
+/// used to show. The shard plan itself stays keyed by the *requested*
+/// worker count so outputs and deterministic obs counters (`pool.shards`)
+/// are machine-independent; only the thread fan-out adapts to the host.
+///
+/// Returns `(threads, shards)`. `threads == 1` means the caller should
+/// encode inline (single full-range shard) rather than spawn at all.
+pub fn effective_parallel_plan(n_pages: usize, workers: usize) -> (usize, usize) {
+    let shards = plan_shards(n_pages, workers).len();
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = workers.max(1).min(shards.max(1)).min(hw);
+    if threads <= 1 {
+        (1, 1)
+    } else {
+        (threads, shards)
+    }
+}
+
 /// [`pa_encode_parallel_with`] with an optional shared [`SourceIndexCache`]
 /// consulted (and warmed) by every worker thread.
 pub fn pa_encode_parallel_cached(
@@ -601,8 +845,11 @@ pub fn pa_encode_parallel_cached(
     workers: usize,
     cache: Option<&SourceIndexCache>,
 ) -> (PaDeltaFile, EncodeReport) {
-    let shards = plan_shards(dirty.len(), workers);
-    if shards.len() <= 1 {
+    let (threads, _) = effective_parallel_plan(dirty.len(), workers);
+    if threads <= 1 {
+        // One effective thread: skip thread spawn, shared slots, and shard
+        // bookkeeping entirely. Shard concatenation is associative, so one
+        // full-range shard produces bit-identical output to any shard plan.
         let shard = Shard {
             start: 0,
             end: dirty.len(),
@@ -612,28 +859,32 @@ pub fn pa_encode_parallel_cached(
         )));
     }
 
+    type ShardSlot = Mutex<Option<(Vec<PageRecord>, EncodeReport)>>;
+    let shards = plan_shards(dirty.len(), workers);
     let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<(Vec<PageRecord>, EncodeReport)>> = Vec::new();
-    slots.resize_with(shards.len(), || None);
-    let slots = Mutex::new(slots);
+    // Per-slot mutexes: a worker finishing shard i touches only slot i, so
+    // result write-back never contends with other workers (the old single
+    // Mutex<Vec<..>> serialized every write-back behind one lock).
+    let slots: Vec<ShardSlot> = (0..shards.len()).map(|_| Mutex::new(None)).collect();
 
-    let threads = workers.max(1).min(shards.len());
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&shard) = shards.get(i) else { break };
-                let part = pa_encode_shard_cached(prev, dirty, shard, params, cache);
-                slots.lock().unwrap()[i] = Some(part);
+            scope.spawn(|| {
+                let mut scratch = ShardScratch::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&shard) = shards.get(i) else { break };
+                    let part =
+                        pa_encode_shard_scratch(prev, dirty, shard, params, cache, &mut scratch);
+                    *slots[i].lock().unwrap() = Some(part);
+                }
             });
         }
     });
 
     let parts = slots
-        .into_inner()
-        .unwrap()
         .into_iter()
-        .map(|slot| slot.expect("every shard encoded"));
+        .map(|slot| slot.into_inner().unwrap().expect("every shard encoded"));
     pa_assemble(parts)
 }
 
@@ -1123,6 +1374,120 @@ mod tests {
             expect_report
         );
         assert_eq!(pa_decode(&prev, &file).unwrap(), dirty);
+    }
+
+    #[test]
+    fn probe_bail_stores_raw_without_building_index() {
+        // An incompressible hot page must be stored raw WITHOUT the cache
+        // ever building (or even counting) an index: the match-rate probe
+        // bails before the build, which is the whole cold-path fix.
+        let mut rng = StdRng::seed_from_u64(70);
+        let old = random_page(&mut rng);
+        let new = random_page(&mut rng); // unrelated content: zero matches
+        let prev = Snapshot::from_pages([(0, old)]);
+        let dirty = Snapshot::from_pages([(0, new.clone())]);
+
+        let cache = SourceIndexCache::new();
+        let (file, report) = pa_encode_cached(&prev, &dirty, &PaParams::default(), &cache);
+        assert_eq!(cache.misses(), 0, "bail must skip the index build");
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(file.delta_page_count(), 0);
+        assert_eq!(report.matched_bytes, 0);
+        assert_eq!(report.source_bytes, PAGE_SIZE as u64, "hot page, not new");
+        assert_eq!(pa_decode(&prev, &file).unwrap().get(0).unwrap(), &new);
+    }
+
+    #[test]
+    fn probe_bail_is_identical_across_every_encode_path() {
+        // The bail verdict is a pure function of (source, target,
+        // block_size), so serial/cached/parallel at any width must produce
+        // the same bytes AND the same report for a bailing mix.
+        let mut rng = StdRng::seed_from_u64(71);
+        let pages: Vec<Page> = (0..20).map(|_| random_page(&mut rng)).collect();
+        let prev = Snapshot::from_pages(
+            pages
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, p)| (i as u64, p)),
+        );
+        let mut dirty = Snapshot::new();
+        for (i, page) in pages.iter().enumerate() {
+            let p = match i % 3 {
+                0 => random_page(&mut rng),           // bails (no matches)
+                1 => mutated(page, 0, 256, &mut rng), // compresses
+                _ => page.clone(),                    // compresses to nothing
+            };
+            dirty.insert(i as u64, p);
+        }
+
+        let (serial, serial_report) = pa_encode(&prev, &dirty, &PaParams::default());
+        let cache = SourceIndexCache::new();
+        let (cached, cached_report) = pa_encode_cached(&prev, &dirty, &PaParams::default(), &cache);
+        assert_eq!(serial, cached);
+        assert_eq!(serial_report, cached_report);
+        for workers in [1, 2, 4, 8] {
+            let (par, par_report) = pa_encode_parallel_cached(
+                &prev,
+                &dirty,
+                &PaParams::default(),
+                workers,
+                Some(&cache),
+            );
+            assert_eq!(serial, par, "workers={workers}");
+            assert_eq!(serial_report, par_report, "workers={workers}");
+        }
+        assert_eq!(pa_decode(&prev, &serial).unwrap(), dirty);
+    }
+
+    #[test]
+    fn cache_len_and_heap_accounting_survive_insert_and_invalidate() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let cache = SourceIndexCache::new();
+        let pages: Vec<Page> = (0..9).map(|_| random_page(&mut rng)).collect();
+        for (i, p) in pages.iter().enumerate() {
+            cache.insert_built(i as u64, p, 16, None);
+        }
+        assert_eq!(cache.len(), 9);
+        assert_eq!(cache.misses(), 9);
+        let heap_full = cache.heap_bytes();
+        assert!(heap_full > 9 * PAGE_SIZE, "heap accounts index + page pin");
+
+        // Replacing an entry must not double-count it.
+        cache.insert_built(0, &random_page(&mut rng), 16, None);
+        assert_eq!(cache.len(), 9, "replacement keeps len");
+
+        cache.invalidate(3);
+        assert_eq!(cache.len(), 8);
+        assert!(cache.heap_bytes() < heap_full);
+        cache.invalidate(3); // double-invalidate is a no-op
+        assert_eq!(cache.len(), 8);
+
+        cache.invalidate_all();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.heap_bytes(), 0, "all heap accounting returned");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn effective_plan_clamps_threads_and_preserves_shard_plan() {
+        for n_pages in [0usize, 1, 8, 64, 1024] {
+            for workers in [1usize, 2, 4, 8] {
+                let (threads, shards) = effective_parallel_plan(n_pages, workers);
+                assert!(threads >= 1);
+                assert!(threads <= workers.max(1));
+                let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+                assert!(threads <= hw.max(1));
+                if threads == 1 {
+                    assert_eq!(shards, 1, "inline path is a single shard");
+                } else {
+                    // Shard plan stays keyed by the REQUESTED worker count
+                    // so outputs and obs counters are machine-independent.
+                    assert_eq!(shards, plan_shards(n_pages, workers).len());
+                }
+            }
+        }
     }
 
     #[test]

@@ -53,13 +53,28 @@ impl EncodeReport {
 /// `latency = pages·page_overhead + (source+target)/scan_bw +
 /// literal/literal_bw + delta/io_bw`
 ///
-/// Defaults are calibrated to a mid-2010s Xeon core and a 7200-RPM SATA disk
-/// (the paper's testbed): hashing/scanning streams at a few GB/s, literal
-/// handling is slower, and the dominant term for big deltas is disk I/O.
+/// The compute constants are **re-derived from the optimized encoder's
+/// measured throughput** (`repro bench` medians, `BENCH_delta.json`; hot
+/// path, 4 KiB pages, so 8192 scanned bytes per page). Two calibration
+/// points pin the three compute terms:
+///
+/// * small-edit hot ≈ 10 µs/page with ~150 literal bytes
+///   → `2 µs + 8192/1.6e9 (≈5.1 µs) + 150/50e6 (≈3 µs)`;
+/// * half-rewrite hot ≈ 48 µs/page with ~2048 literal bytes
+///   → `2 µs + 5.1 µs + 2048/50e6 (≈41 µs)`.
+///
+/// `literal_bw` is deliberately low: an unmatched byte is not just copied,
+/// it is *rolled over* byte-by-byte by the scan (hash roll + table probe
+/// per byte), and that scan dominates literal-heavy encodes. Pages stored
+/// raw (probe bail / failed delta) report `literal_bytes = PAGE_SIZE` and
+/// are therefore overcharged — the raw store skips the scan — which keeps
+/// the model a conservative upper bound on those pages. `io_bw` models the
+/// testbed's local disk (paper's 7200-RPM SATA class), not the encoder,
+/// and is unchanged by encoder optimizations; it dominates big deltas.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
-    /// Fixed per-page overhead in seconds (fault bookkeeping, hash-table
-    /// reset). Paper footnote 1: per-hot-page metric cost is below 100 µs.
+    /// Fixed per-page overhead in seconds (fault bookkeeping, cache/probe
+    /// setup). Paper footnote 1: per-hot-page metric cost is below 100 µs.
     pub page_overhead_s: f64,
     /// Source-hashing + target-scanning bandwidth, bytes/second.
     pub scan_bw: f64,
@@ -73,9 +88,9 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         CostModel {
-            page_overhead_s: 20e-6,
-            scan_bw: 2.0e9,
-            literal_bw: 400.0e6,
+            page_overhead_s: 2e-6,
+            scan_bw: 1.6e9,
+            literal_bw: 50.0e6,
             io_bw: 100.0e6,
         }
     }

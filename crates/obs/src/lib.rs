@@ -8,7 +8,8 @@
 //!
 //! * [`MetricsRegistry`] — monotonic [`Counter`]s, [`Gauge`]s and
 //!   fixed-bucket [`Histogram`]s keyed by `&'static str`, shardable across
-//!   pool workers via [`CounterShard`] and merged on drain;
+//!   pool workers via [`CounterShard`] / [`HistogramShard`] and merged on
+//!   drain;
 //! * [`SpanLog`] — a ring-buffered structured span/event log. Timestamps
 //!   are **virtual-clock** seconds supplied by the caller (the engine's
 //!   simulated time), never wall clock, so the log replays identically
@@ -46,8 +47,8 @@ pub mod registry;
 pub mod span;
 
 pub use registry::{
-    Counter, CounterShard, Gauge, Histogram, MetricSample, MetricsRegistry, MetricsSnapshot,
-    SampleValue, Volatility,
+    Counter, CounterShard, Gauge, Histogram, HistogramShard, MetricSample, MetricsRegistry,
+    MetricsSnapshot, SampleValue, Volatility,
 };
 pub use span::{Event, EventKind, Field, FieldValue, Span, SpanLog};
 

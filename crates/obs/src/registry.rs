@@ -501,6 +501,61 @@ impl Drop for CounterShard {
     }
 }
 
+/// A worker-local shard of one histogram: observations accumulate into
+/// plain per-bucket integers (no atomics, no sharing) and reach the shared
+/// [`Histogram`] only on [`HistogramShard::flush`] — or automatically on
+/// drop, mirroring [`CounterShard`]. Bucketing happens locally against the
+/// histogram's own bounds, so a flush costs one atomic add per *non-empty
+/// bucket* plus one for the sum, no matter how many observations were
+/// batched — pool workers observing a latency per shard pay zero shared
+/// traffic on the encode path.
+#[derive(Debug)]
+pub struct HistogramShard {
+    target: Histogram,
+    counts: Box<[u64]>,
+    sum: u64,
+}
+
+impl HistogramShard {
+    /// An empty shard feeding `target`.
+    pub fn new(target: Histogram) -> Self {
+        let counts = vec![0u64; target.0.bounds.len() + 1].into_boxed_slice();
+        HistogramShard {
+            target,
+            counts,
+            sum: 0,
+        }
+    }
+
+    /// Record one observation locally (no atomic traffic).
+    pub fn observe(&mut self, v: u64) {
+        let slot = self.target.0.bounds.partition_point(|&b| b < v);
+        self.counts[slot] += 1;
+        self.sum += v;
+    }
+
+    /// Merge every pending local bucket into the shared histogram and reset
+    /// the locals.
+    pub fn flush(&mut self) {
+        for (slot, pending) in self.counts.iter_mut().enumerate() {
+            if *pending > 0 {
+                self.target.0.counts[slot].fetch_add(*pending, Ordering::Relaxed);
+                *pending = 0;
+            }
+        }
+        if self.sum > 0 {
+            self.target.0.sum.fetch_add(self.sum, Ordering::Relaxed);
+            self.sum = 0;
+        }
+    }
+}
+
+impl Drop for HistogramShard {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -641,6 +696,54 @@ mod tests {
         shard.inc(slot);
         drop(shard); // drop flushes the remainder
         assert_eq!(c.get(), 11);
+    }
+
+    #[test]
+    fn histogram_shard_buckets_locally_and_merges_on_flush_and_drop() {
+        static BOUNDS: [u64; 2] = [10, 100];
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h.sharded", &BOUNDS);
+        let mut shard = HistogramShard::new(h.clone());
+        shard.observe(3);
+        shard.observe(50);
+        shard.observe(1_000); // overflow bucket
+        assert_eq!(h.count(), 0, "locals must not reach the registry early");
+        shard.flush();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1_053);
+        shard.observe(4);
+        drop(shard); // drop flushes the remainder
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1_057);
+        // Bucketing must agree with direct observation.
+        let direct = reg.histogram("h.direct", &BOUNDS);
+        direct.observe(3);
+        direct.observe(50);
+        direct.observe(1_000);
+        direct.observe(4);
+        let snap = reg.snapshot();
+        let (a, b) = (
+            snap.get("h.sharded").unwrap().value.clone(),
+            snap.get("h.direct").unwrap().value.clone(),
+        );
+        match (a, b) {
+            (
+                SampleValue::Histogram {
+                    counts: ca,
+                    sum: sa,
+                    ..
+                },
+                SampleValue::Histogram {
+                    counts: cb,
+                    sum: sb,
+                    ..
+                },
+            ) => {
+                assert_eq!(ca, cb);
+                assert_eq!(sa, sb);
+            }
+            other => panic!("expected histograms, got {other:?}"),
+        }
     }
 
     #[test]

@@ -85,6 +85,56 @@ fn replay_matches_the_checked_in_golden_snapshot() {
     );
 }
 
+/// Pin of the w* trajectory inside the golden file itself.
+///
+/// The cost-model constants (re-derived from the optimized encoder's
+/// measured throughput — see `CostModel` in `aic-delta`) feed `c1`/`dl`
+/// and therefore every `w*` the predictor emits. `BLESS=1` rewrites the
+/// golden file wholesale, which would let a constants change slip through
+/// as "just a re-bless"; this test pins the trajectory *in source*, so
+/// moving w* requires editing these constants deliberately — re-blessed,
+/// not silently drifted.
+#[test]
+fn wstar_trajectory_is_pinned_not_just_blessed() {
+    let golden = fs::read_to_string(golden_path()).expect("golden file present");
+    let trajectory: Vec<f64> = golden
+        .lines()
+        .filter(|l| l.contains("\"name\":\"aic.predict\""))
+        .map(|l| {
+            let v = l
+                .split("\"wstar\":")
+                .nth(1)
+                .expect("predict span carries wstar")
+                .trim_end_matches('}');
+            v.parse().expect("wstar parses")
+        })
+        .collect();
+
+    assert_eq!(
+        trajectory.len(),
+        16,
+        "prediction count moved: {trajectory:?}"
+    );
+    assert_eq!(trajectory[0], 2.7202884337442725, "first w* moved");
+    assert_eq!(trajectory[15], 3.7814408154691916, "last w* moved");
+
+    // Whole-trajectory digest: any reordering or mid-run drift trips it.
+    let joined = trajectory
+        .iter()
+        .map(|w| format!("{w:?}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in joined.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    assert_eq!(
+        h, 0xB2D0_D45B_0EDD_5C09,
+        "w* trajectory digest moved; if the cost model changed on purpose, \
+         re-bless the golden file AND update the pins here: {trajectory:?}"
+    );
+}
+
 #[test]
 fn same_seed_replays_are_byte_identical() {
     let scale = RunScale::quick();
