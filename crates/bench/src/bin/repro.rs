@@ -6,6 +6,10 @@
 //! repro fig11 --quick       # reduced footprint/duration (CI-sized)
 //! repro table3 --footprint 0.5 --duration 0.5 --seed 7
 //! repro fig12 --csv         # machine-readable series
+//! repro compact --quick --crash 2
+//!                           # checkpoint-log compaction: storage shrinks,
+//!                           # recovery stays bit-identical even when a
+//!                           # pass crashes after 2 record copies
 //! repro replay --quick --metrics-out run.jsonl
 //!                           # deterministic instrumented run; write the
 //!                           # metric + span snapshot (same seed => same
@@ -17,8 +21,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use aic_bench::experiments::{
-    ablation, bench_delta, drain, faults, fig11, fig12, fig2, fig5, fig6, fig7, fleet_sharing,
-    mpi_scaling, pool_scaling, regret, replay, table1, table3, validate, RunScale,
+    ablation, bench_delta, compact, drain, faults, fig11, fig12, fig2, fig5, fig6, fig7,
+    fleet_sharing, mpi_scaling, pool_scaling, regret, replay, table1, table3, validate, RunScale,
 };
 use aic_bench::output::csv;
 
@@ -30,6 +34,7 @@ struct Args {
     jobs: usize,
     metrics_out: Option<PathBuf>,
     check: bool,
+    crash: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         jobs: 2_000,
         metrics_out: None,
         check: false,
+        crash: None,
     };
     let mut it = env::args().skip(1);
     let Some(exp) = it.next() else {
@@ -84,6 +90,14 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--check" => args.check = true,
+            "--crash" => {
+                args.crash = Some(
+                    it.next()
+                        .ok_or("--crash needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --crash: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -253,6 +267,22 @@ fn run_one(args: &Args) -> Result<(), String> {
                 }
                 println!("check passed: cold beats reference in every regime, pool sweep monotone");
             }
+            for w in report.warnings() {
+                println!("warning: {w}");
+            }
+        }
+        "compact" => {
+            println!("## Checkpoint-log compaction — reclaim and recovery identity by level\n");
+            let report = compact::run("libquantum", scale, args.crash);
+            print!("{}", compact::render(&report));
+            let violations = report.check();
+            if !violations.is_empty() {
+                return Err(format!(
+                    "compaction gate failed:\n  {}",
+                    violations.join("\n  ")
+                ));
+            }
+            println!("\nevery level shrank and recovered bit-identically before, during and after compaction");
         }
         "replay" => {
             println!("## Golden replay — deterministic instrumented run\n");
@@ -277,7 +307,8 @@ fn run_one(args: &Args) -> Result<(), String> {
         "all" => {
             for exp in [
                 "table1", "fig5", "fig6", "fig7", "fig2", "table3", "fig11", "fig12", "validate",
-                "ablation", "mpi", "pool", "bench", "fleet", "regret", "faults", "drain", "replay",
+                "ablation", "mpi", "pool", "bench", "fleet", "regret", "faults", "drain",
+                "compact", "replay",
             ] {
                 let sub = Args {
                     experiment: exp.to_string(),
@@ -304,8 +335,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|pool|bench|fleet|regret|faults|drain|replay|all> \
-                 [--quick] [--csv] [--check] [--footprint F] [--duration D] [--seed N] [--jobs N] [--metrics-out FILE]"
+                "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|pool|bench|fleet|regret|faults|drain|compact|replay|all> \
+                 [--quick] [--csv] [--check] [--crash N] [--footprint F] [--duration D] [--seed N] [--jobs N] [--metrics-out FILE]"
             );
             ExitCode::FAILURE
         }

@@ -92,6 +92,11 @@ pub struct BenchReport {
     pub regimes: Vec<RegimeRow>,
     /// Pooled sweep (half-rewrite regime, warm cache).
     pub pool: Vec<PoolPoint>,
+    /// True when every swept width clamps to the same effective plan (a
+    /// single-core host, or a snapshot too small to shard): the pool
+    /// points all share one measurement, so the monotonicity gate passes
+    /// **vacuously** — it verified nothing about scaling.
+    pub degenerate: bool,
 }
 
 impl BenchReport {
@@ -117,7 +122,10 @@ impl BenchReport {
                 if i + 1 < self.regimes.len() { "," } else { "" }
             ));
         }
-        s.push_str("  ],\n  \"pool\": [\n");
+        s.push_str(&format!(
+            "  ],\n  \"degenerate\": {},\n  \"pool\": [\n",
+            self.degenerate
+        ));
         for (i, p) in self.pool.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"workers\": {}, \"threads\": {}, \"ns_per_page\": {:.1}}}{}\n",
@@ -168,6 +176,20 @@ impl BenchReport {
             }
         }
         violations
+    }
+
+    /// Non-fatal caveats about what [`BenchReport::check`] could actually
+    /// verify on this machine (the CI bench-smoke job prints these).
+    pub fn warnings(&self) -> Vec<String> {
+        let mut warnings = Vec::new();
+        if self.degenerate {
+            warnings.push(
+                "pool sweep is degenerate: every width clamps to the same effective \
+                 plan on this host, so the monotonicity gate passed vacuously"
+                    .to_string(),
+            );
+        }
+        warnings
     }
 }
 
@@ -308,11 +330,16 @@ pub fn run(scale: &RunScale) -> BenchReport {
         })
         .collect();
 
+    // All widths collapsing to one effective plan means the monotonicity
+    // gate will compare a number against itself (see `BenchReport::check`).
+    let degenerate = measured.len() <= 1;
+
     BenchReport {
         pages,
         samples,
         regimes,
         pool,
+        degenerate,
     }
 }
 
@@ -397,11 +424,19 @@ mod tests {
                 assert_eq!(a.ns_per_page, b.ns_per_page, "{a:?} vs {b:?}");
             }
         }
+        // The flag must agree with the plan collapse it reports.
+        let plans: std::collections::HashSet<_> = report
+            .pool
+            .iter()
+            .map(|p| effective_parallel_plan(report.pages, p.workers))
+            .collect();
+        assert_eq!(report.degenerate, plans.len() <= 1, "{report:?}");
         let json = report.to_json();
         for key in [
             "\"bench\": \"delta_codec\"",
             "\"regimes\"",
             "\"pool\"",
+            "\"degenerate\"",
             "\"speedup_hot_vs_reference\"",
             "\"workers\": 8",
         ] {
@@ -441,8 +476,23 @@ mod tests {
             samples: 3,
             regimes: vec![row("small-edit", 10.0, 5.0), row("fresh", 10.0, 9.9)],
             pool: vec![point(1, 10.0), point(2, 10.0), point(8, 9.0)],
+            degenerate: false,
         };
         assert!(good.check().is_empty(), "{:?}", good.check());
+        assert!(good.warnings().is_empty(), "{:?}", good.warnings());
+
+        // A degenerate sweep passes the gate but carries a warning: the
+        // monotonicity check compared one measurement against itself.
+        let degenerate = BenchReport {
+            pool: vec![point(1, 10.0), point(2, 10.0), point(8, 10.0)],
+            degenerate: true,
+            ..good.clone()
+        };
+        assert!(degenerate.check().is_empty());
+        let warnings = degenerate.warnings();
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("vacuously"), "{warnings:?}");
+        assert!(degenerate.to_json().contains("\"degenerate\": true"));
 
         let cold_loses = BenchReport {
             regimes: vec![row("fresh", 10.0, 10.5)],

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod bench_delta;
+pub mod compact;
 pub mod drain;
 pub mod faults;
 pub mod fig11;

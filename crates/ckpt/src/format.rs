@@ -31,7 +31,9 @@ pub enum CheckpointKind {
 }
 
 impl CheckpointKind {
-    fn tag(self) -> u8 {
+    /// Single-byte wire tag, also reused by the checkpoint log's record
+    /// headers so a log scan can classify records without decoding bodies.
+    pub fn tag(self) -> u8 {
         match self {
             CheckpointKind::Full => 0,
             CheckpointKind::Incremental => 1,
@@ -39,7 +41,8 @@ impl CheckpointKind {
         }
     }
 
-    fn from_tag(tag: u8) -> Option<Self> {
+    /// Inverse of [`CheckpointKind::tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<Self> {
         match tag {
             0 => Some(CheckpointKind::Full),
             1 => Some(CheckpointKind::Incremental),

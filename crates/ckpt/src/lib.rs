@@ -11,6 +11,11 @@
 //! * [`storage`] — the three checkpoint levels: L1 local disk, L2 RAID-5
 //!   node group (real striping + parity + degraded-mode reconstruction),
 //!   L3 remote storage, each behind a bandwidth model;
+//! * [`log`](mod@log) — the append-only checkpoint log the hierarchy persists
+//!   through: fixed-capacity segment rotation over any [`storage::Store`],
+//!   per-record CRC framing with torn-tail detection, compaction that
+//!   rewrites live records into fresh segments, and epoch-based
+//!   reclamation so pinned recovery readers never lose a segment mid-walk;
 //! * [`failure`] — exponential per-level failure injection;
 //! * [`recovery`] — the multi-level storage hierarchy and restart path:
 //!   commit to L1/L2/L3, inject level-k failures, recover from the
@@ -49,6 +54,7 @@ pub mod failure;
 pub mod fleet;
 pub mod format;
 pub mod harness;
+pub mod log;
 pub mod policies;
 pub mod recovery;
 pub mod sim;

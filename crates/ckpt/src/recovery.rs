@@ -6,6 +6,15 @@
 //! those copies; recovery reads the cheapest level that survived,
 //! reconstructs the chain, and replays it into a process image.
 //!
+//! Each level persists through an **append-only checkpoint log**
+//! ([`crate::log`]): checkpoints are records appended to fixed-capacity
+//! segments, truncation marks superseded records *dead* instead of
+//! deleting named objects, and a compaction pass rewrites the survivors
+//! into fresh segments so the dead bytes can be reclaimed. Reclamation is
+//! epoch-based — a recovery reader that pinned the logs
+//! ([`StorageHierarchy::pin_readers`]) never observes a segment freed
+//! under it, even when a compaction pass runs (or crashes) mid-recovery.
+//!
 //! Failure semantics (paper Section III.A):
 //!
 //! * **f1** (transient): nothing is lost — recover from the local disk;
@@ -18,15 +27,17 @@
 //! Every **full** checkpoint is a *chain anchor*: restart only ever replays
 //! the anchor plus its incremental/delta suffix, so committing a full
 //! checkpoint garbage-collects the superseded prefix from all three levels
-//! and keeps `stored_bytes` bounded by one chain.
+//! (dead marks now, compaction when the [`CompactionPolicy`] fires) and
+//! keeps `stored_bytes` bounded by one chain.
 //!
 //! # Write-behind commits
 //!
 //! [`StorageHierarchy::commit_write_behind`] makes an interval *locally
-//! durable* (L1 + L2 written synchronously) while the L3 copy is only
-//! *pending*: the serialized object is parked until the network transport
+//! durable* (L1 + L2 appended synchronously) while the L3 copy is only
+//! *pending*: the serialized payload is parked until the network transport
 //! acknowledges the drain and the engine calls
-//! [`StorageHierarchy::ack_remote`]. Invariants:
+//! [`StorageHierarchy::ack_remote`], which appends it to the remote log.
+//! Invariants:
 //!
 //! * a full anchor truncates the **L1/L2** prefix at commit time, but may
 //!   only truncate the **L3** prefix once its *own* drain is acknowledged —
@@ -36,14 +47,18 @@
 //!   surviving replica to drain from), so L3 recovery replays the longest
 //!   *contiguous acknowledged prefix* of the chain; f1/f2 keep the queue
 //!   (the drain resumes from the surviving L1/L2 copies);
-//! * sequence numbers still strictly increase across both commit paths.
+//! * sequence numbers still strictly increase across both commit paths
+//!   (acks may land out of order — the log's index is seq-keyed, so a
+//!   late-draining base slots in before an already-acked successor).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
 
 use crate::chain::CheckpointChain;
 use crate::format::{CheckpointFile, CheckpointKind};
+use crate::log::{CheckpointLog, LogError, LogStats, DEFAULT_SEGMENT_CAPACITY};
 use crate::storage::{BandwidthModel, FlatStore, Raid5Group, Receipt, Store};
 use aic_memsim::Snapshot;
 use aic_obs::{Counter, Obs};
@@ -94,7 +109,7 @@ pub struct RecoveredImage {
 pub enum RecoveryError {
     /// No checkpoint has ever been committed.
     NothingCommitted,
-    /// A checkpoint object was missing or corrupt at the serving level.
+    /// A checkpoint record was missing or corrupt at the serving level.
     BadObject(String),
     /// Chain replay failed.
     Restore(String),
@@ -107,6 +122,10 @@ pub enum RecoveryError {
         /// The offending commit's sequence number.
         next: u64,
     },
+    /// An injected crash point fired mid-compaction
+    /// ([`StorageHierarchy::compact_level`]): the pass left orphan output
+    /// segments behind but the addressable log is untouched.
+    CompactionCrashed,
     /// The shared storage handle could not be used (e.g. its mutex was
     /// poisoned by a panicking holder).
     StorageUnavailable(String),
@@ -123,6 +142,9 @@ impl std::fmt::Display for RecoveryError {
             }
             RecoveryError::OutOfOrderCommit { prev, next } => {
                 write!(f, "commit out of order: {next} after {prev}")
+            }
+            RecoveryError::CompactionCrashed => {
+                write!(f, "compaction pass crashed at the injected crash point")
             }
             RecoveryError::StorageUnavailable(why) => {
                 write!(f, "storage hierarchy unavailable: {why}")
@@ -142,9 +164,9 @@ pub struct CommitReceipt {
     pub raid: Receipt,
     /// L3 write.
     pub remote: Receipt,
-    /// Superseded prefix objects garbage-collected by this commit (non-zero
-    /// only when the commit was a full checkpoint that anchored a new
-    /// chain).
+    /// Superseded prefix records garbage-collected (marked dead) by this
+    /// commit (non-zero only when the commit was a full checkpoint that
+    /// anchored a new chain).
     pub truncated: usize,
 }
 
@@ -154,9 +176,35 @@ pub struct CommitReceipt {
 pub struct RemoteAck {
     /// The L3 write the ack materialized.
     pub remote: Receipt,
-    /// L3 prefix objects garbage-collected because this ack completed a
+    /// L3 prefix records garbage-collected because this ack completed a
     /// full anchor's deferred truncation (zero for non-anchor acks).
     pub truncated: usize,
+}
+
+/// When the hierarchy folds its logs.
+///
+/// Truncation only *marks* records dead; the bytes are reclaimed when a
+/// compaction pass rewrites the survivors. With `auto` on, every
+/// truncation point (anchor commit, anchor ack, f3 gap-cut) checks each
+/// affected level's garbage ratio and compacts it past the threshold —
+/// which is what keeps `stored_bytes` bounded by one chain, exactly as
+/// the old delete-per-object stores behaved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Compact automatically when a truncation pushes a level's garbage
+    /// ratio past `garbage_threshold`.
+    pub auto: bool,
+    /// Dead-byte fraction that triggers an automatic pass.
+    pub garbage_threshold: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            auto: true,
+            garbage_threshold: 0.5,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -215,16 +263,31 @@ impl StorageObs {
     }
 }
 
-/// The three-level checkpoint store of one job.
+/// Compact one level's log when the auto policy says so. A macro because
+/// the three logs have different backing-store types.
+macro_rules! maybe_compact {
+    ($log:expr, $policy:expr) => {
+        if $policy.auto && $log.garbage_ratio() >= $policy.garbage_threshold {
+            if $log.compact(None).is_ok() {
+                $log.try_reclaim();
+            }
+        }
+    };
+}
+
+/// The three-level checkpoint store of one job, each level an append-only
+/// [`CheckpointLog`] over that level's bandwidth-modeled store.
 #[derive(Debug)]
 pub struct StorageHierarchy {
-    local: FlatStore,
-    raid: Raid5Group,
-    remote: FlatStore,
+    local: CheckpointLog<FlatStore>,
+    raid: CheckpointLog<Raid5Group>,
+    remote: CheckpointLog<FlatStore>,
     committed: Vec<CommittedEntry>,
-    /// Serialized write-behind objects parked until their L3 drain is
-    /// acknowledged, keyed by sequence number.
-    pending_remote: std::collections::BTreeMap<u64, Bytes>,
+    /// Write-behind payloads parked until their L3 drain is acknowledged,
+    /// keyed by sequence number. The wire cost of a drain is the payload —
+    /// the record frame is added when the ack appends to the remote log.
+    pending_remote: BTreeMap<u64, (CheckpointKind, Bytes)>,
+    compaction: CompactionPolicy,
     obs: Option<StorageObs>,
 }
 
@@ -233,55 +296,80 @@ impl StorageHierarchy {
     /// SATA disk ≈ 100 MB/s, RAID partner group at the per-node share of
     /// 483 GB/s aggregate, Lustre share 2 MB/s.
     pub fn coastal(raid_nodes: usize) -> Self {
-        StorageHierarchy {
-            local: FlatStore::new(BandwidthModel::new(100e6, 1e-3)),
-            raid: Raid5Group::new(raid_nodes, 256 << 10, BandwidthModel::new(471.7e6, 1e-3)),
-            remote: FlatStore::new(BandwidthModel::new(2e6, 10e-3)),
-            committed: Vec::new(),
-            pending_remote: std::collections::BTreeMap::new(),
-            obs: None,
-        }
+        Self::new(
+            FlatStore::new(BandwidthModel::new(100e6, 1e-3)),
+            Raid5Group::new(raid_nodes, 256 << 10, BandwidthModel::new(471.7e6, 1e-3)),
+            FlatStore::new(BandwidthModel::new(2e6, 10e-3)),
+        )
     }
 
-    /// Custom channel models.
+    /// Custom channel models, default segment capacity.
     pub fn new(local: FlatStore, raid: Raid5Group, remote: FlatStore) -> Self {
+        Self::with_segments(local, raid, remote, DEFAULT_SEGMENT_CAPACITY)
+    }
+
+    /// Custom channel models and log segment capacity.
+    pub fn with_segments(
+        local: FlatStore,
+        raid: Raid5Group,
+        remote: FlatStore,
+        seg_capacity: usize,
+    ) -> Self {
         StorageHierarchy {
-            local,
-            raid,
-            remote,
+            local: CheckpointLog::new(local, seg_capacity),
+            raid: CheckpointLog::new(raid, seg_capacity),
+            remote: CheckpointLog::new(remote, seg_capacity),
             committed: Vec::new(),
-            pending_remote: std::collections::BTreeMap::new(),
+            pending_remote: BTreeMap::new(),
+            compaction: CompactionPolicy::default(),
             obs: None,
         }
     }
 
     /// Register this hierarchy's traffic metrics (bytes written/read per
-    /// level, GC'd bytes, degraded-read reconstructions) in `obs`. The
-    /// engine calls this once per run when configured with an observability
-    /// bundle.
+    /// level, GC'd bytes, degraded-read reconstructions) and the shared
+    /// `log.*` counters in `obs`. The engine calls this once per run when
+    /// configured with an observability bundle.
     pub fn attach_obs(&mut self, obs: &Arc<Obs>) {
         self.obs = Some(StorageObs::new(obs));
+        self.local.attach_obs(&obs.metrics);
+        self.raid.attach_obs(&obs.metrics);
+        self.remote.attach_obs(&obs.metrics);
     }
 
+    /// Replace the compaction policy (`auto` off leaves every truncation
+    /// as dead marks until [`StorageHierarchy::compact`] runs manually).
+    pub fn set_compaction(&mut self, policy: CompactionPolicy) {
+        self.compaction = policy;
+    }
+
+    /// The active compaction policy.
+    pub fn compaction(&self) -> CompactionPolicy {
+        self.compaction
+    }
+
+    /// Display name for a checkpoint record in errors and metrics.
     fn name(seq: u64) -> String {
         format!("ckpt-{seq:08}")
     }
 
     /// Commit a checkpoint to all three levels. A **full** checkpoint
-    /// anchors a new chain: every older object is superseded and deleted
-    /// from all levels (chain truncation / GC).
+    /// anchors a new chain: every older record is superseded — marked dead
+    /// on all levels and compacted away per the [`CompactionPolicy`].
     ///
     /// Sequence numbers must strictly increase; a stale or duplicate
     /// sequence is rejected as [`RecoveryError::OutOfOrderCommit`] without
     /// touching any level.
     pub fn commit(&mut self, file: &CheckpointFile) -> Result<CommitReceipt, RecoveryError> {
         self.check_order(file.seq)?;
-        let bytes = file.to_bytes();
-        let name = Self::name(file.seq);
+        let payload = file.to_bytes();
+        let (_, local) = self.local.append(file.seq, file.kind, &payload);
+        let (_, raid) = self.raid.append(file.seq, file.kind, &payload);
+        let (_, remote) = self.remote.append(file.seq, file.kind, &payload);
         let mut receipt = CommitReceipt {
-            local: self.local.put(&name, bytes.clone()),
-            raid: self.raid.put(&name, bytes.clone()),
-            remote: self.remote.put(&name, bytes),
+            local,
+            raid,
+            remote,
             truncated: 0,
         };
         if let Some(obs) = &self.obs {
@@ -302,11 +390,12 @@ impl StorageHierarchy {
         Ok(receipt)
     }
 
-    /// Commit a checkpoint **write-behind**: L1 and L2 are written now (the
-    /// interval is locally durable), the serialized L3 object is parked
-    /// until [`Self::ack_remote`] confirms the network drain. Returns the
-    /// receipt (with a zero L3 leg) and the wire size of the pending object
-    /// — the byte count the caller must enqueue on the transport.
+    /// Commit a checkpoint **write-behind**: L1 and L2 are appended now
+    /// (the interval is locally durable), the serialized L3 payload is
+    /// parked until [`Self::ack_remote`] confirms the network drain.
+    /// Returns the receipt (with a zero L3 leg) and the wire size of the
+    /// pending payload — the byte count the caller must enqueue on the
+    /// transport.
     ///
     /// A full anchor truncates the L1/L2 prefix immediately, but defers the
     /// L3 truncation to its own ack: until the anchor is remotely durable,
@@ -316,19 +405,20 @@ impl StorageHierarchy {
         file: &CheckpointFile,
     ) -> Result<(CommitReceipt, u64), RecoveryError> {
         self.check_order(file.seq)?;
-        let bytes = file.to_bytes();
-        let wire = bytes.len() as u64;
-        let name = Self::name(file.seq);
+        let payload = file.to_bytes();
+        let wire = payload.len() as u64;
+        let (_, local) = self.local.append(file.seq, file.kind, &payload);
+        let (_, raid) = self.raid.append(file.seq, file.kind, &payload);
         let mut receipt = CommitReceipt {
-            local: self.local.put(&name, bytes.clone()),
-            raid: self.raid.put(&name, bytes.clone()),
+            local,
+            raid,
             remote: Receipt {
                 bytes: 0,
                 seconds: 0.0,
             },
             truncated: 0,
         };
-        self.pending_remote.insert(file.seq, bytes);
+        self.pending_remote.insert(file.seq, (file.kind, payload));
         if let Some(obs) = &self.obs {
             obs.commits.inc();
             obs.wb_commits.inc();
@@ -348,27 +438,24 @@ impl StorageHierarchy {
     }
 
     /// Acknowledge the L3 drain of a pending write-behind commit: the
-    /// parked object is materialized on remote storage and the entry
-    /// becomes remotely durable. If the acknowledged checkpoint is a full
-    /// anchor, its deferred L3 truncation runs now — the superseded prefix
-    /// (and any still-pending superseded drains) is dropped.
+    /// parked payload is appended to the remote log and the entry becomes
+    /// remotely durable. If the acknowledged checkpoint is a full anchor,
+    /// its deferred L3 truncation runs now — the superseded prefix (and
+    /// any still-pending superseded drains) is dropped.
     ///
-    /// Acknowledging a sequence with no pending object (never committed
+    /// Acknowledging a sequence with no pending payload (never committed
     /// write-behind, already acknowledged, or superseded by an anchored
     /// ack) is a [`RecoveryError::BadObject`].
     pub fn ack_remote(&mut self, seq: u64) -> Result<RemoteAck, RecoveryError> {
-        let Some(bytes) = self.pending_remote.remove(&seq) else {
+        let Some((kind, payload)) = self.pending_remote.remove(&seq) else {
             return Err(RecoveryError::BadObject(format!(
                 "no pending write-behind object for seq {seq}"
             )));
         };
-        let name = Self::name(seq);
-        let remote = self.remote.put(&name, bytes);
-        let mut kind = CheckpointKind::Full;
+        let (_, remote) = self.remote.append(seq, kind, &payload);
         for e in &mut self.committed {
             if e.seq == seq {
                 e.l3_durable = true;
-                kind = e.kind;
             }
         }
         if let Some(obs) = &self.obs {
@@ -377,7 +464,7 @@ impl StorageHierarchy {
         }
         let mut truncated = 0;
         if kind == CheckpointKind::Full {
-            // Deferred anchor GC: L3 objects below the anchor are now
+            // Deferred anchor GC: L3 records below the anchor are now
             // superseded by a remotely durable full image, and superseded
             // drains still in the queue will never be needed.
             let stale: Vec<u64> = self
@@ -386,10 +473,11 @@ impl StorageHierarchy {
                 .filter(|e| e.seq < seq)
                 .map(|e| e.seq)
                 .collect();
-            let held_before = self.remote.stored_bytes();
+            let held_before = self.remote.store().stored_bytes();
             for s in &stale {
-                self.remote.delete(&Self::name(*s));
+                self.remote.mark_dead(*s);
             }
+            maybe_compact!(self.remote, self.compaction);
             self.committed.retain(|e| e.seq >= seq);
             let dropped = {
                 let keep = self.pending_remote.split_off(&seq);
@@ -401,7 +489,7 @@ impl StorageHierarchy {
             if let Some(obs) = &self.obs {
                 obs.gc_objects.add(stale.len() as u64);
                 obs.gc_bytes
-                    .add(held_before.saturating_sub(self.remote.stored_bytes()));
+                    .add(held_before.saturating_sub(self.remote.store().stored_bytes()));
                 obs.wb_dropped.add(dropped as u64);
             }
         }
@@ -420,27 +508,31 @@ impl StorageHierarchy {
         Ok(())
     }
 
-    /// Delete every committed object with `seq < anchor` from all three
-    /// levels; returns how many objects were collected. (The synchronous
-    /// anchor is durable everywhere at once, so superseded pending drains
-    /// are dropped too — nothing will ever need them.)
+    /// Mark every committed record with `seq < anchor` dead on all three
+    /// levels and compact per policy; returns how many records were
+    /// collected. (The synchronous anchor is durable everywhere at once,
+    /// so superseded pending drains are dropped too — nothing will ever
+    /// need them.)
     fn truncate_before(&mut self, anchor: u64) -> usize {
-        let stale: Vec<String> = self
+        let stale: Vec<u64> = self
             .committed
             .iter()
             .filter(|e| e.seq < anchor)
-            .map(|e| Self::name(e.seq))
+            .map(|e| e.seq)
             .collect();
         let held_before: u64 = self.stored_bytes().iter().sum();
         self.committed.retain(|e| e.seq >= anchor);
         let keep = self.pending_remote.split_off(&anchor);
         let dropped = self.pending_remote.len();
         self.pending_remote = keep;
-        for name in &stale {
-            self.local.delete(name);
-            self.raid.delete(name);
-            self.remote.delete(name);
+        for s in &stale {
+            self.local.mark_dead(*s);
+            self.raid.mark_dead(*s);
+            self.remote.mark_dead(*s);
         }
+        maybe_compact!(self.local, self.compaction);
+        maybe_compact!(self.raid, self.compaction);
+        maybe_compact!(self.remote, self.compaction);
         if let Some(obs) = &self.obs {
             let held_after: u64 = self.stored_bytes().iter().sum();
             obs.gc_objects.add(stale.len() as u64);
@@ -452,23 +544,24 @@ impl StorageHierarchy {
 
     /// Write-behind anchor GC, part one: truncate the **L1/L2** prefix now
     /// (the anchor is locally durable, so local restarts never need it) but
-    /// leave the L3 objects in place — they are the only remotely durable
+    /// leave the L3 records in place — they are the only remotely durable
     /// chain until the anchor's own drain is acknowledged. Superseded
-    /// entries stay in the log, marked dead on L1/L2.
+    /// entries stay in the commit log, marked dead on L1/L2.
     fn truncate_l12_before(&mut self, anchor: u64) -> usize {
         let mut collected = 0;
-        let held_before = self.local.stored_bytes() + self.raid.stored_bytes();
+        let held_before = self.local.store().stored_bytes() + self.raid.store().stored_bytes();
         for e in &mut self.committed {
             if e.seq < anchor && e.l12_live {
                 e.l12_live = false;
                 collected += 1;
-                let name = Self::name(e.seq);
-                self.local.delete(&name);
-                self.raid.delete(&name);
+                self.local.mark_dead(e.seq);
+                self.raid.mark_dead(e.seq);
             }
         }
+        maybe_compact!(self.local, self.compaction);
+        maybe_compact!(self.raid, self.compaction);
         if let Some(obs) = &self.obs {
-            let held_after = self.local.stored_bytes() + self.raid.stored_bytes();
+            let held_after = self.local.store().stored_bytes() + self.raid.store().stored_bytes();
             obs.gc_objects.add(collected as u64);
             obs.gc_bytes.add(held_before.saturating_sub(held_after));
         }
@@ -489,7 +582,10 @@ impl StorageHierarchy {
     /// Bytes parked in the write-behind queue (not yet on any remote
     /// level).
     pub fn pending_remote_bytes(&self) -> u64 {
-        self.pending_remote.values().map(|b| b.len() as u64).sum()
+        self.pending_remote
+            .values()
+            .map(|(_, b)| b.len() as u64)
+            .sum()
     }
 
     /// Newest sequence number of the contiguous remotely durable prefix —
@@ -504,18 +600,93 @@ impl StorageHierarchy {
     }
 
     /// Bytes held on each level, `[L1, L2, L3]`. Bounded by one chain once
-    /// full checkpoints recur (L2 additionally holds parity + padding).
+    /// full checkpoints recur and compaction keeps up (L2 additionally
+    /// holds parity + padding; dead records linger until their segment is
+    /// compacted).
     pub fn stored_bytes(&self) -> [u64; 3] {
         [
-            self.local.stored_bytes(),
-            self.raid.stored_bytes(),
-            self.remote.stored_bytes(),
+            self.local.store().stored_bytes(),
+            self.raid.store().stored_bytes(),
+            self.remote.store().stored_bytes(),
         ]
+    }
+
+    /// Per-level log statistics, `[L1, L2, L3]` (the `aicctl log` surface).
+    pub fn log_stats(&self) -> [LogStats; 3] {
+        [self.local.stats(), self.raid.stats(), self.remote.stats()]
     }
 
     /// The RAID group (L2), e.g. to check degraded state.
     pub fn raid(&self) -> &Raid5Group {
-        &self.raid
+        self.raid.store()
+    }
+
+    /// Force-compact all three levels and reclaim what no pin protects.
+    /// Returns the combined copy-traffic receipt.
+    pub fn compact(&mut self) -> Result<Receipt, RecoveryError> {
+        let mut total = Receipt {
+            bytes: 0,
+            seconds: 0.0,
+        };
+        for level in 1..=3 {
+            let r = self.compact_level(level, None)?;
+            total.bytes += r.bytes;
+            total.seconds += r.seconds;
+        }
+        Ok(total)
+    }
+
+    /// Compact one level (1 = local, 2 = RAID, 3 = remote), optionally
+    /// crashing after `crash_after` record copies
+    /// ([`RecoveryError::CompactionCrashed`] — the fault-injection hook
+    /// for crash-mid-compaction recovery tests). On success the level's
+    /// retired segments are reclaimed where no pin protects them.
+    pub fn compact_level(
+        &mut self,
+        level: usize,
+        crash_after: Option<usize>,
+    ) -> Result<Receipt, RecoveryError> {
+        let res = match level {
+            1 => self.local.compact(crash_after),
+            2 => self.raid.compact(crash_after),
+            3 => self.remote.compact(crash_after),
+            other => return Err(RecoveryError::BadLevel(other)),
+        };
+        match res {
+            Ok(r) => {
+                match level {
+                    1 => self.local.try_reclaim(),
+                    2 => self.raid.try_reclaim(),
+                    _ => self.remote.try_reclaim(),
+                };
+                Ok(r)
+            }
+            Err(LogError::CompactionCrashed) => Err(RecoveryError::CompactionCrashed),
+            Err(e) => Err(RecoveryError::BadObject(e.to_string())),
+        }
+    }
+
+    /// Pin all three logs' reclamation epochs (a recovery reader is about
+    /// to walk record locations). Pass the ids to
+    /// [`StorageHierarchy::unpin_readers`] when the walk is done.
+    pub fn pin_readers(&mut self) -> [u64; 3] {
+        [self.local.pin(), self.raid.pin(), self.remote.pin()]
+    }
+
+    /// Release pins taken by [`StorageHierarchy::pin_readers`].
+    pub fn unpin_readers(&mut self, pins: [u64; 3]) {
+        self.local.unpin(pins[0]);
+        self.raid.unpin(pins[1]);
+        self.remote.unpin(pins[2]);
+    }
+
+    /// Reclaim every retired segment no pin protects, on all levels.
+    /// Returns `(segments, physical bytes)` freed.
+    pub fn try_reclaim_all(&mut self) -> (u64, u64) {
+        let a = self.local.try_reclaim();
+        let b = self.raid.try_reclaim();
+        let c = self.remote.try_reclaim();
+        (a.0 + b.0 + c.0, a.1 + b.1 + c.1)
     }
 
     /// Inject a failure: destroy the copies that level-k failures destroy.
@@ -532,8 +703,11 @@ impl StorageHierarchy {
             2 => {
                 // Partial node failure: local disk contents of the failed
                 // node are unavailable; one RAID peer goes down with it.
-                self.wipe_local();
-                self.raid.fail_node(raid_victim % self.raid.node_count());
+                // The peer's disk dies with it: its chunks are genuinely
+                // lost, so the eventual repair rebuilds (and bills) them.
+                self.local.wipe();
+                let victim = raid_victim % self.raid.store().node_count();
+                self.raid.store_mut().fail_node_losing_data(victim);
             }
             3 => {
                 // Total node failure: local disk gone and the RAID group's
@@ -541,16 +715,25 @@ impl StorageHierarchy {
                 // is the write-behind queue, whose drains were fed from
                 // those copies. Entries that never reached L3 are lost for
                 // good; the chain is cut back to what was acknowledged.
-                self.wipe_local();
-                self.wipe_raid();
+                self.local.wipe();
+                self.raid.wipe();
                 let dropped = self.pending_remote.len();
                 self.pending_remote.clear();
                 // Only the *contiguous* acknowledged prefix is usable: an
                 // acknowledged delta whose base never drained can only be
                 // orphaned, so it is collected along with the pending tail.
                 let frontier = self.committed.iter().take_while(|e| e.l3_durable).count();
+                let mut any_dead = false;
                 for e in self.committed.drain(frontier..) {
-                    self.remote.delete(&Self::name(e.seq));
+                    any_dead |= self.remote.mark_dead(e.seq);
+                }
+                if any_dead {
+                    // The gap-cut must free the orphans now — an f3 restart
+                    // reads only the acknowledged prefix, and nothing pins
+                    // the dead suffix (the node that might have is gone).
+                    if self.remote.compact(None).is_ok() {
+                        self.remote.try_reclaim();
+                    }
                 }
                 if let Some(obs) = &self.obs {
                     obs.wb_dropped.add(dropped as u64);
@@ -561,22 +744,10 @@ impl StorageHierarchy {
         Ok(())
     }
 
-    fn wipe_local(&mut self) {
-        for e in &self.committed {
-            self.local.delete(&Self::name(e.seq));
-        }
-    }
-
-    fn wipe_raid(&mut self) {
-        for e in &self.committed {
-            self.raid.delete(&Self::name(e.seq));
-        }
-    }
-
     /// Repair the RAID group (rebuild a failed node from parity); no-op
     /// receipt when the group is healthy.
     pub fn repair_raid(&mut self) -> Receipt {
-        self.raid.repair_node()
+        self.raid.store_mut().repair_node()
     }
 
     /// Re-commit the current chain to L1 from another surviving level —
@@ -584,22 +755,22 @@ impl StorageHierarchy {
     /// Returns the bytes written back.
     pub fn repopulate_local(&mut self) -> u64 {
         let mut bytes = 0;
-        for e in &self.committed {
+        let entries: Vec<CommittedEntry> = self.committed.clone();
+        for e in entries {
             if !e.l12_live {
                 // Superseded by an anchor: only L3 still needs it (until
                 // the anchor's drain acks); resurrecting it on L1 would
                 // corrupt the local replay order.
                 continue;
             }
-            let name = Self::name(e.seq);
-            if self.local.get(&name).is_some() {
+            if self.local.read(e.seq).is_some() {
                 continue;
             }
-            let Some(data) = self.raid.get(&name).or_else(|| self.remote.get(&name)) else {
+            let Some(data) = self.raid.read(e.seq).or_else(|| self.remote.read(e.seq)) else {
                 continue;
             };
             bytes += data.len() as u64;
-            self.local.put(&name, data);
+            self.local.append(e.seq, e.kind, &data);
         }
         bytes
     }
@@ -620,24 +791,24 @@ impl StorageHierarchy {
         Err(last_err)
     }
 
-    /// Recover the newest image from the store backing failure level
+    /// Recover the newest image from the log backing failure level
     /// `level` (1 = local, 2 = RAID, 3 = remote), replaying from the latest
     /// full-checkpoint anchor only.
     ///
     /// L1/L2 serve every live entry (write-behind makes an interval locally
     /// durable the moment it commits). L3 serves only the longest
     /// **contiguous acknowledged prefix** of the chain: a pending drain has
-    /// no remote copy, and anything after the first gap has no base to
+    /// no remote record, and anything after the first gap has no base to
     /// replay onto — the degraded-commit path loses exactly the un-drained
     /// tail.
     pub fn recover_from(&self, level: usize) -> Result<RecoveredImage, RecoveryError> {
         if self.committed.is_empty() {
             return Err(RecoveryError::NothingCommitted);
         }
-        let (store, recovery_level): (&dyn Store, RecoveryLevel) = match level {
-            1 => (&self.local, RecoveryLevel::Local),
-            2 => (&self.raid, RecoveryLevel::Raid),
-            3 => (&self.remote, RecoveryLevel::Remote),
+        let recovery_level = match level {
+            1 => RecoveryLevel::Local,
+            2 => RecoveryLevel::Raid,
+            3 => RecoveryLevel::Remote,
             other => return Err(RecoveryError::BadLevel(other)),
         };
         let visible: Vec<&CommittedEntry> = match recovery_level {
@@ -654,7 +825,7 @@ impl StorageHierarchy {
         };
         let newest_seq = newest.seq;
 
-        // Replay from the newest full anchor; older retained objects (there
+        // Replay from the newest full anchor; older retained records (there
         // are none once GC has run, but be robust to mixed histories) are
         // skipped.
         let anchor = visible
@@ -667,14 +838,18 @@ impl StorageHierarchy {
         let mut cpu_state = Bytes::new();
         for e in &visible[anchor..] {
             let name = Self::name(e.seq);
-            let bytes = store
-                .get(&name)
-                .ok_or_else(|| RecoveryError::BadObject(name.clone()))?;
+            let (bytes, receipt) = match recovery_level {
+                RecoveryLevel::Local => (self.local.read(e.seq), self.local.read_receipt(e.seq)),
+                RecoveryLevel::Raid => (self.raid.read(e.seq), self.raid.read_receipt(e.seq)),
+                RecoveryLevel::Remote => (self.remote.read(e.seq), self.remote.read_receipt(e.seq)),
+            };
+            // A missing record *or* a record whose frame checksum trips is
+            // the same outcome: this level cannot serve the chain.
+            let bytes = bytes.ok_or_else(|| RecoveryError::BadObject(name.clone()))?;
             // Charge the read through the serving store's own channel
-            // model — not a hard-coded bandwidth table.
-            read_seconds += store
-                .read_receipt(&name)
-                .map_or(0.0, |r: Receipt| r.seconds);
+            // model — the record's share of its segment, so degraded RAID
+            // reconstruction premiums carry through.
+            read_seconds += receipt.map_or(0.0, |r: Receipt| r.seconds);
             // Partial probes count too: a failed attempt at a cheap level
             // still read these bytes before it gave up.
             if let Some(obs) = &self.obs {
@@ -688,7 +863,7 @@ impl StorageHierarchy {
         let snapshot = chain
             .restore_latest()
             .map_err(|e| RecoveryError::Restore(e.to_string()))?;
-        let degraded = recovery_level == RecoveryLevel::Raid && self.raid.is_degraded();
+        let degraded = recovery_level == RecoveryLevel::Raid && self.raid.store().is_degraded();
         if let Some(obs) = &self.obs {
             obs.recoveries.inc();
             if degraded {
@@ -722,10 +897,21 @@ mod tests {
         Page::from_bytes(&b)
     }
 
+    /// A hierarchy with the coastal channel models but a fine-grained
+    /// (1 KiB chunk) RAID stripe, so stored-byte assertions are not
+    /// swamped by the 256 KiB row quantization of the testbed group.
+    fn fine_hierarchy() -> StorageHierarchy {
+        StorageHierarchy::new(
+            FlatStore::new(BandwidthModel::new(100e6, 1e-3)),
+            Raid5Group::new(4, 1024, BandwidthModel::new(471.7e6, 1e-3)),
+            FlatStore::new(BandwidthModel::new(2e6, 10e-3)),
+        )
+    }
+
     /// Build a hierarchy with a 3-checkpoint chain (full, incremental,
     /// delta) and return it with the expected final state.
     fn committed_hierarchy() -> (StorageHierarchy, Snapshot) {
-        let mut h = StorageHierarchy::coastal(4);
+        let mut h = fine_hierarchy();
 
         let full = Snapshot::from_pages([(0, page(1)), (1, page(2)), (2, page(3))]);
         h.commit(&CheckpointFile::full(1, 0, full.clone(), Bytes::new()))
@@ -825,8 +1011,7 @@ mod tests {
         let local = h.recover_from(1).unwrap().read_seconds;
         let raid = h.recover_from(2).unwrap().read_seconds;
         let remote = h.recover_from(3).unwrap().read_seconds;
-        // Coastal models: RAID share is the fastest channel, remote by far
-        // the slowest.
+        // Coastal models: remote is by far the slowest channel.
         assert!(remote > local, "remote {remote} vs local {local}");
         assert!(local > 0.0 && raid > 0.0);
 
@@ -879,8 +1064,9 @@ mod tests {
         assert_eq!(r.truncated, 3);
         assert_eq!(h.committed(), vec![3]);
 
-        // The prefix is gone from every level; stored bytes dropped below
-        // the 3-checkpoint total even though we just added a full image.
+        // The prefix is dead on every level and the auto-compaction pass
+        // reclaimed it: stored bytes dropped below the 3-checkpoint total
+        // even though we just added a full image.
         let after = h.stored_bytes();
         for (lvl, (b, a)) in before.iter().zip(after.iter()).enumerate() {
             assert!(a < b, "level {lvl} grew: {b} -> {a}");
@@ -890,6 +1076,59 @@ mod tests {
         let img = h.recover().unwrap();
         assert_eq!(img.seq, 3);
         assert_eq!(img.snapshot, anchor);
+    }
+
+    #[test]
+    fn manual_compaction_reclaims_what_auto_would_have() {
+        let (mut h, _) = committed_hierarchy();
+        h.set_compaction(CompactionPolicy {
+            auto: false,
+            garbage_threshold: 0.5,
+        });
+        let anchor = Snapshot::from_pages([(0, page(40))]);
+        h.commit(&CheckpointFile::full(1, 3, anchor.clone(), Bytes::new()))
+            .unwrap();
+        // With auto off, the dead prefix lingers physically...
+        let stats = h.log_stats();
+        assert!(stats[0].garbage_ratio > 0.0, "nothing marked dead");
+        let before = h.stored_bytes();
+        // ...until a manual pass folds it away on every level.
+        let r = h.compact().unwrap();
+        assert!(r.bytes > 0);
+        let after = h.stored_bytes();
+        for (lvl, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+            assert!(a < b, "level {lvl} did not shrink: {b} -> {a}");
+        }
+        assert_eq!(h.recover().unwrap().snapshot, anchor);
+    }
+
+    #[test]
+    fn recovery_is_identical_before_during_and_after_compaction() {
+        let (mut h, truth) = committed_hierarchy();
+        h.set_compaction(CompactionPolicy {
+            auto: false,
+            garbage_threshold: 0.5,
+        });
+        let before = h.recover().unwrap().snapshot;
+        assert_eq!(before, truth);
+
+        // Mid-flight: a compaction pass crashes after one record copy
+        // while a reader holds the epoch pins.
+        let pins = h.pin_readers();
+        assert_eq!(
+            h.compact_level(1, Some(1)).unwrap_err(),
+            RecoveryError::CompactionCrashed
+        );
+        let during = h.recover().unwrap();
+        assert_eq!(during.snapshot, truth, "mid-compaction recovery drifted");
+        assert_eq!(during.level, RecoveryLevel::Local);
+        h.unpin_readers(pins);
+
+        // After a clean pass (and reclaim), still identical.
+        h.compact().unwrap();
+        h.try_reclaim_all();
+        let after = h.recover().unwrap();
+        assert_eq!(after.snapshot, truth, "post-compaction recovery drifted");
     }
 
     #[test]
@@ -1035,22 +1274,24 @@ mod tests {
         assert!(r.local.seconds > r.raid.seconds);
         // L2 ships parity + stripe padding on top of the payload.
         assert!(r.raid.bytes > r.local.bytes);
+        // L1 and L3 append the identical record frame.
         assert_eq!(r.local.bytes, r.remote.bytes);
     }
 
     #[test]
-    fn corrupt_object_surfaces_as_bad_object() {
+    fn corrupt_record_surfaces_as_bad_object() {
         let mut h = StorageHierarchy::coastal(4);
         let snap = Snapshot::from_pages([(0, page(1))]);
         h.commit(&CheckpointFile::full(1, 0, snap, Bytes::new()))
             .unwrap();
-        // Overwrite the stored object with garbage at L1 only.
+        // Flip a byte inside the first log segment at L1 only: the
+        // record's frame CRC trips and the level refuses to serve it.
         use crate::storage::Store;
-        let name = "ckpt-00000000";
-        let mut data = h.local.get(name).unwrap().to_vec();
+        let seg = "seg-00000000";
+        let mut data = h.local.store().get(seg).unwrap().to_vec();
         let mid = data.len() / 2;
         data[mid] ^= 0xFF;
-        h.local.put(name, Bytes::from(data));
+        h.local.store_mut().put(seg, Bytes::from(data));
         assert!(matches!(
             h.recover_from(1),
             Err(RecoveryError::BadObject(_))
@@ -1179,7 +1420,8 @@ mod tests {
         assert_eq!(h.remote_frontier(), Some(0));
         let l3_before = h.stored_bytes()[2];
         h.inject_failure(3, 0).unwrap();
-        // The orphaned object after the gap is collected with the tail.
+        // The orphaned record after the gap is collected with the tail:
+        // the gap-cut marks it dead and compacts the remote log.
         assert_eq!(h.committed(), vec![0]);
         assert!(h.stored_bytes()[2] < l3_before);
         assert_eq!(h.recover().unwrap().seq, 0);
@@ -1238,8 +1480,8 @@ mod tests {
         assert_eq!(snap.counter("storage.wb_acks"), Some(1));
         // Two drains (2 and 3) died with the node.
         assert_eq!(snap.counter("storage.wb_dropped"), Some(2));
-        // Deferred L3 legs: only the sync full and the acked object ever
-        // reached remote storage — exactly what it still holds after f3
+        // Deferred L3 legs: only the sync full and the acked record ever
+        // reached the remote log — exactly what it still holds after f3
         // cut the chain back to the acknowledged prefix [0, 1].
         let l3 = snap.counter("storage.l3.bytes_written").unwrap();
         assert_eq!(l3, h.stored_bytes()[2]);
@@ -1270,14 +1512,19 @@ mod tests {
         // L2 ships parity + stripe padding on top of the payload.
         assert!(snap.counter("storage.l2.bytes_written").unwrap() > l1_written);
         assert_eq!(snap.counter("storage.gc_objects"), Some(0));
+        // The log layer counted the same appends.
+        assert_eq!(snap.counter("log.appends"), Some(6));
 
-        // A fresh full anchor GCs the prefix and counts the freed bytes.
+        // A fresh full anchor GCs the prefix and counts the freed bytes
+        // (the auto-compaction pass physically reclaims them).
         let anchor = Snapshot::from_pages([(0, page(40))]);
         h.commit(&CheckpointFile::full(1, 2, anchor, Bytes::new()))
             .unwrap();
         let snap = obs.metrics.snapshot();
         assert_eq!(snap.counter("storage.gc_objects"), Some(2));
         assert!(snap.counter("storage.gc_bytes").unwrap() > 0);
+        assert!(snap.counter("log.compactions").unwrap() > 0);
+        assert!(snap.counter("log.segments_reclaimed").unwrap() > 0);
 
         // A degraded RAID recovery bumps both recovery counters; the wiped
         // L1 is probed but serves no bytes.

@@ -50,6 +50,11 @@ impl BandwidthModel {
 pub trait Store {
     /// Write an object, returning the simulated transfer receipt.
     fn put(&mut self, name: &str, data: Bytes) -> Receipt;
+    /// Append bytes to an object (creating it if absent), billing only the
+    /// appended traffic — the substrate operation of the append-only
+    /// checkpoint log, where per-object `put` would re-bill the whole
+    /// segment on every record.
+    fn append(&mut self, name: &str, data: Bytes) -> Receipt;
     /// Read an object back (None if absent or unrecoverable).
     fn get(&self, name: &str) -> Option<Bytes>;
     /// Simulated cost of reading the object through this store's own
@@ -87,6 +92,25 @@ impl Store for FlatStore {
             seconds: self.bw.transfer_time(data.len() as u64),
         };
         self.objects.insert(name.to_string(), data);
+        r
+    }
+
+    fn append(&mut self, name: &str, data: Bytes) -> Receipt {
+        let r = Receipt {
+            bytes: data.len() as u64,
+            seconds: self.bw.transfer_time(data.len() as u64),
+        };
+        match self.objects.get_mut(name) {
+            Some(existing) => {
+                let mut b = BytesMut::with_capacity(existing.len() + data.len());
+                b.extend_from_slice(existing);
+                b.extend_from_slice(&data);
+                *existing = b.freeze();
+            }
+            None => {
+                self.objects.insert(name.to_string(), data);
+            }
+        }
         r
     }
 
@@ -153,15 +177,29 @@ impl Raid5Group {
         self.failed = Some(node);
     }
 
+    /// Fail a node **and** lose its contents — the disk died with it, so
+    /// every chunk it held becomes genuinely missing and the eventual
+    /// [`Raid5Group::repair_node`] rebuilds (and bills) the full set onto
+    /// the replacement. [`Raid5Group::fail_node`] alone models a transient
+    /// outage where the data survives the downtime. This is the f2
+    /// semantics of the storage hierarchy.
+    pub fn fail_node_losing_data(&mut self, node: usize) {
+        self.fail_node(node);
+        self.nodes[node].clear();
+    }
+
     /// True while a node is failed and reads run in degraded mode.
     pub fn is_degraded(&self) -> bool {
         self.failed.is_some()
     }
 
-    /// Repair the failed node: reconstruct all of its chunks from the
-    /// surviving nodes and mark it healthy again. The receipt bills the
-    /// rebuild traffic — every surviving chunk of every object is read and
-    /// each reconstructed chunk is written back.
+    /// Repair the failed node: reconstruct exactly the chunks it is
+    /// *missing* from the surviving nodes and mark it healthy again. An
+    /// object written (or overwritten) while the node was down left no copy
+    /// on it — those are the chunks the rebuild recreates and bills; chunks
+    /// the node still holds from before the failure were never lost and
+    /// cost nothing. The receipt bills one read of the n−1 surviving chunks
+    /// plus one write of the reconstruction per missing chunk.
     pub fn repair_node(&mut self) -> Receipt {
         let Some(dead) = self.failed else {
             return Receipt {
@@ -172,19 +210,39 @@ impl Raid5Group {
         let mut rebuilt_chunks = 0u64;
         let names: Vec<String> = self.sizes.keys().cloned().collect();
         for name in names {
-            let rows = self.nodes[(dead + 1) % self.nodes.len()]
-                .get(&name)
-                .map_or(0, Vec::len);
+            // Row count comes from whichever surviving node holds the
+            // object — per-node absence must not panic (a peer that missed
+            // a degraded write simply contributes no rows).
+            let rows = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != dead)
+                .filter_map(|(_, node)| node.get(&name))
+                .map(Vec::len)
+                .max()
+                .unwrap_or(0);
+            if self.nodes[dead].get(&name).map_or(0, Vec::len) == rows {
+                // The node kept its pre-failure copy intact: nothing to
+                // rebuild, nothing to bill.
+                continue;
+            }
             let mut rebuilt = Vec::with_capacity(rows);
             for row in 0..rows {
-                rebuilt.push(self.reconstruct_chunk(&name, row, dead));
+                match self.reconstruct_chunk(&name, row, dead) {
+                    Some(c) => rebuilt.push(c),
+                    None => break,
+                }
             }
-            rebuilt_chunks += rows as u64;
-            self.nodes[dead].insert(name, rebuilt);
+            if rebuilt.len() == rows {
+                rebuilt_chunks += rows as u64;
+                self.nodes[dead].insert(name, rebuilt);
+            }
+            // else: some surviving chunk was itself absent — leave the
+            // entry missing rather than store a partial reconstruction;
+            // reads will fall through to the next storage level.
         }
         self.failed = None;
-        // Each rebuilt chunk is one read of n-1 surviving chunks plus one
-        // write of the reconstruction.
         let bytes = rebuilt_chunks * self.nodes.len() as u64 * self.chunk_size as u64;
         Receipt {
             bytes,
@@ -192,30 +250,39 @@ impl Raid5Group {
         }
     }
 
-    fn reconstruct_chunk(&self, name: &str, row: usize, dead: usize) -> Bytes {
+    fn reconstruct_chunk(&self, name: &str, row: usize, dead: usize) -> Option<Bytes> {
         let mut acc = vec![0u8; self.chunk_size];
         for (i, node) in self.nodes.iter().enumerate() {
             if i == dead {
                 continue;
             }
-            let chunk = &node.get(name).expect("surviving node holds object")[row];
+            let chunk = node.get(name)?.get(row)?;
             for (a, b) in acc.iter_mut().zip(chunk.iter()) {
                 *a ^= b;
             }
         }
-        Bytes::from(acc)
+        Some(Bytes::from(acc))
     }
-}
 
-impl Store for Raid5Group {
-    fn put(&mut self, name: &str, data: Bytes) -> Receipt {
+    /// Stripe `data` across the group, replacing any previous version.
+    /// Returns the total stripe-row count. While a node is failed its
+    /// chunks are **not** written (and any stale previous copy is
+    /// dropped) — [`Raid5Group::repair_node`] rebuilds exactly that
+    /// missing set later.
+    fn stripe(&mut self, name: &str, data: &Bytes) -> usize {
         let n = self.nodes.len();
         let data_chunks_per_row = n - 1;
         self.sizes.insert(name.to_string(), data.len());
 
-        // Clear any previous version.
-        for node in &mut self.nodes {
-            node.insert(name.to_string(), Vec::new());
+        // Clear any previous version. A failed node cannot accept writes:
+        // its stale copy (if any) is removed so it can never resurface
+        // after an overwrite-while-degraded.
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if Some(i) == self.failed {
+                node.remove(name);
+            } else {
+                node.insert(name.to_string(), Vec::new());
+            }
         }
 
         let row_bytes = self.chunk_size * data_chunks_per_row;
@@ -249,17 +316,62 @@ impl Store for Raid5Group {
                 } else {
                     Bytes::from(data_iter.next().expect("one data chunk per node"))
                 };
+                if Some(node_idx) == self.failed {
+                    continue; // computed but never shipped to the dead node
+                }
                 self.nodes[node_idx]
                     .get_mut(name)
                     .expect("initialized above")
                     .push(chunk);
             }
         }
+        total_rows
+    }
 
-        // Bill what actually hits the wire: every stripe row writes n
-        // chunks (n-1 data, possibly zero-padded, plus one parity), not
+    /// Chunk writes per stripe row that actually hit the wire: the failed
+    /// node receives nothing while the group is degraded.
+    fn writes_per_row(&self) -> usize {
+        self.nodes.len() - usize::from(self.failed.is_some())
+    }
+}
+
+impl Store for Raid5Group {
+    fn put(&mut self, name: &str, data: Bytes) -> Receipt {
+        let total_rows = self.stripe(name, &data);
+        // Bill what actually hits the wire: every stripe row writes one
+        // chunk per *reachable* node (n-1 data, possibly zero-padded, plus
+        // one parity — minus the failed node's share while degraded), not
         // just the caller's payload bytes.
-        let wire_bytes = (total_rows * n * self.chunk_size) as u64;
+        let wire_bytes = (total_rows * self.writes_per_row() * self.chunk_size) as u64;
+        Receipt {
+            bytes: wire_bytes,
+            seconds: self.bw.transfer_time(wire_bytes),
+        }
+    }
+
+    fn append(&mut self, name: &str, data: Bytes) -> Receipt {
+        let Some(&old_len) = self.sizes.get(name) else {
+            return self.put(name, data);
+        };
+        let row_bytes = self.chunk_size * (self.nodes.len() - 1);
+        // Reconstruct the current contents (degraded reads go through
+        // parity), extend, and re-stripe. Only the rows from the append
+        // point onward change on disk, so only they are billed.
+        let combined = match self.get(name) {
+            Some(existing) => {
+                let mut b = BytesMut::with_capacity(existing.len() + data.len());
+                b.extend_from_slice(&existing);
+                b.extend_from_slice(&data);
+                b.freeze()
+            }
+            // The object is unrecoverable at this level (e.g. it straddles
+            // a wipe); overwrite with the new bytes rather than corrupt.
+            None => data,
+        };
+        let first_dirty_row = old_len / row_bytes;
+        let total_rows = self.stripe(name, &combined);
+        let touched = total_rows.saturating_sub(first_dirty_row).max(1);
+        let wire_bytes = (touched * self.writes_per_row() * self.chunk_size) as u64;
         Receipt {
             bytes: wire_bytes,
             seconds: self.bw.transfer_time(wire_bytes),
@@ -269,7 +381,16 @@ impl Store for Raid5Group {
     fn get(&self, name: &str) -> Option<Bytes> {
         let size = *self.sizes.get(name)?;
         let n = self.nodes.len();
-        let rows = self.nodes[0].get(name)?.len();
+        // Row count comes from a *reachable* node that holds the object —
+        // the failed node's map is unreadable, and an object written while
+        // degraded has no entry there at all.
+        let rows = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != self.failed)
+            .find_map(|(_, node)| node.get(name))
+            .map(Vec::len)?;
         let mut out = BytesMut::with_capacity(size);
         for row in 0..rows {
             let parity_node = (n - 1) - (row % n);
@@ -279,9 +400,9 @@ impl Store for Raid5Group {
                 }
                 let chunk: Bytes = if Some(node_idx) == self.failed {
                     // Degraded read: rebuild from the surviving chunks.
-                    self.reconstruct_chunk(name, row, node_idx)
+                    self.reconstruct_chunk(name, row, node_idx)?
                 } else {
-                    self.nodes[node_idx].get(name)?[row].clone()
+                    self.nodes[node_idx].get(name)?.get(row)?.clone()
                 };
                 out.extend_from_slice(&chunk);
             }
@@ -296,9 +417,13 @@ impl Store for Raid5Group {
     fn read_receipt(&self, name: &str) -> Option<Receipt> {
         self.sizes.get(name)?;
         let n = self.nodes.len();
-        let rows = self.nodes[(self.failed.map_or(0, |d| d + 1)) % n]
-            .get(name)?
-            .len();
+        let rows = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != self.failed)
+            .find_map(|(_, node)| node.get(name))
+            .map(Vec::len)?;
         // A healthy read pulls the n-1 data chunks of each row. When the
         // failed node held a data chunk for a row (i.e. it was not that
         // row's parity position), reconstruction additionally reads the
@@ -459,8 +584,10 @@ mod tests {
         assert_eq!(degraded.bytes, 12_000 + 3 * 1000);
         assert!(degraded.seconds > healthy.seconds);
 
+        // The node still holds its pre-failure chunks — nothing was lost,
+        // so the repair reconstructs (and bills) nothing.
         let repair = g.repair_node();
-        assert!(repair.bytes > 0 && repair.seconds > 0.0);
+        assert_eq!(repair.bytes, 0);
         assert!(!g.is_degraded());
         assert_eq!(g.read_receipt("x").unwrap(), healthy);
     }
@@ -472,6 +599,140 @@ mod tests {
         let r = g.repair_node();
         assert_eq!(r.bytes, 0);
         assert_eq!(r.seconds, 0.0);
+    }
+
+    #[test]
+    fn degraded_put_leaves_failed_node_empty_and_bills_survivors() {
+        let mut g = Raid5Group::new(4, 1000, BandwidthModel::new(1e6, 0.0));
+        g.fail_node(2);
+        // 4 rows of 3 data chunks.
+        let data = random_bytes(12_000, 30);
+        let r = g.put("x", data.clone());
+        // Only the 3 reachable nodes receive chunks: 4 rows × 3 × 1000.
+        assert_eq!(r.bytes, 12_000);
+        assert!(!g.nodes[2].contains_key("x"), "dead node took a write");
+        // Degraded reads reconstruct the absent chunks from parity.
+        assert_eq!(g.get("x").unwrap(), data);
+    }
+
+    #[test]
+    fn overwrite_while_degraded_discards_the_stale_copy() {
+        let mut g = Raid5Group::new(4, 256, BandwidthModel::new(1e9, 0.0));
+        g.put("x", random_bytes(5_000, 31));
+        g.fail_node(1);
+        let newer = random_bytes(5_000, 32);
+        g.put("x", newer.clone());
+        // The dead node's pre-failure chunks are dropped, not refreshed:
+        // nothing written during degradation may "survive" on it.
+        assert!(!g.nodes[1].contains_key("x"), "stale copy resurrected");
+        assert_eq!(g.get("x").unwrap(), newer);
+        // Repair rebuilds the overwritten object from parity; a different
+        // node can then fail and the *new* data still reads back.
+        g.repair_node();
+        g.fail_node(3);
+        assert_eq!(g.get("x").unwrap(), newer);
+    }
+
+    #[test]
+    fn repair_bills_only_genuinely_missing_chunks() {
+        let mut g = Raid5Group::new(4, 1000, BandwidthModel::new(1e6, 0.0));
+        // "kept" is written while healthy: the failed node retains its
+        // copy, so repair must not re-reconstruct (or re-bill) it.
+        g.put("kept", random_bytes(12_000, 33)); // 4 rows
+        g.fail_node(2);
+        // "lost" is written while degraded: every one of its rows is
+        // missing on the dead node.
+        g.put("lost", random_bytes(6_000, 34)); // 2 rows
+        let r = g.repair_node();
+        // Each missing chunk reads n-1 survivors + writes 1 rebuild:
+        // 2 rows × 4 nodes × 1000 B — the 4 "kept" rows cost nothing.
+        assert_eq!(r.bytes, 2 * 4 * 1000);
+        assert!(!g.is_degraded());
+        // Both objects survive a different node's failure afterwards.
+        g.fail_node(0);
+        assert_eq!(g.get("kept").unwrap().len(), 12_000);
+        assert_eq!(g.get("lost").unwrap().len(), 6_000);
+    }
+
+    #[test]
+    fn repair_tolerates_per_node_absence_without_panicking() {
+        let mut g = Raid5Group::new(4, 256, BandwidthModel::new(1e9, 0.0));
+        g.fail_node(0);
+        let data = random_bytes(2_000, 35);
+        g.put("x", data.clone());
+        // Simulate a survivor that also lost the object (e.g. a partial
+        // wipe): reconstruction is impossible, but repair must degrade
+        // gracefully — no panic, entry left absent, nothing billed for it.
+        g.nodes[1].remove("x");
+        let r = g.repair_node();
+        assert_eq!(r.bytes, 0);
+        assert!(!g.nodes[0].contains_key("x"));
+        // The object is unrecoverable at this level; get reports that
+        // instead of panicking, so callers fall through to the next level.
+        assert!(g.get("x").is_none());
+    }
+
+    #[test]
+    fn flat_append_bills_only_the_new_bytes() {
+        let mut s = FlatStore::new(BandwidthModel::new(100.0, 0.5));
+        let a = random_bytes(600, 36);
+        let b = random_bytes(400, 37);
+        let r1 = s.append("seg", a.clone());
+        assert_eq!(r1.bytes, 600);
+        let r2 = s.append("seg", b.clone());
+        assert_eq!(r2.bytes, 400);
+        assert!((r2.seconds - (0.5 + 4.0)).abs() < 1e-12);
+        let mut want = a.to_vec();
+        want.extend_from_slice(&b);
+        assert_eq!(s.get("seg").unwrap().to_vec(), want);
+        assert_eq!(s.stored_bytes(), 1000);
+    }
+
+    #[test]
+    fn raid_append_bills_only_touched_rows_and_roundtrips() {
+        let mut g = Raid5Group::new(4, 1000, BandwidthModel::new(1e6, 0.0));
+        // 2 full rows (6000 B of data capacity per 2 rows × 3 chunks).
+        let a = random_bytes(6_000, 38);
+        let r = g.append("seg", a.clone());
+        assert_eq!(r.bytes, 2 * 4 * 1000, "first append bills like put");
+        // Appending 1 KiB lands entirely in row 2: one new row touched.
+        let b = random_bytes(1_000, 39);
+        let r = g.append("seg", b.clone());
+        assert_eq!(r.bytes, 4 * 1000);
+        // Appending 2.5 KiB rewrites the partial row 2 and adds row 3.
+        let c = random_bytes(2_500, 40);
+        let r = g.append("seg", c.clone());
+        assert_eq!(r.bytes, 2 * 4 * 1000);
+        let mut want = a.to_vec();
+        want.extend_from_slice(&b);
+        want.extend_from_slice(&c);
+        assert_eq!(g.get("seg").unwrap().to_vec(), want);
+        // The appended object survives any single-node failure.
+        for dead in 0..4 {
+            let mut g2 = g.clone();
+            g2.fail_node(dead);
+            assert_eq!(g2.get("seg").unwrap().to_vec(), want, "node {dead}");
+        }
+    }
+
+    #[test]
+    fn raid_append_while_degraded_skips_the_dead_node() {
+        let mut g = Raid5Group::new(4, 1000, BandwidthModel::new(1e6, 0.0));
+        let a = random_bytes(3_000, 41); // 1 row
+        g.append("seg", a.clone());
+        g.fail_node(1);
+        let b = random_bytes(3_000, 42); // adds row 1
+        let r = g.append("seg", b.clone());
+        assert_eq!(r.bytes, 3 * 1000, "degraded append writes n-1 chunks");
+        assert!(!g.nodes[1].contains_key("seg"));
+        let mut want = a.to_vec();
+        want.extend_from_slice(&b);
+        assert_eq!(g.get("seg").unwrap().to_vec(), want);
+        // Repair rebuilds the whole (re-striped) object on the dead node.
+        let rep = g.repair_node();
+        assert_eq!(rep.bytes, 2 * 4 * 1000);
+        g.fail_node(3);
+        assert_eq!(g.get("seg").unwrap().to_vec(), want);
     }
 
     #[test]
