@@ -6,6 +6,10 @@
 //! repro fig11 --quick       # reduced footprint/duration (CI-sized)
 //! repro table3 --footprint 0.5 --duration 0.5 --seed 7
 //! repro fig12 --csv         # machine-readable series
+//! repro dedup --quick --check
+//!                           # content-addressed dedup: stored/wire/encode
+//!                           # savings vs overlap, recovery identity per
+//!                           # rank before/during/after compaction
 //! repro compact --quick --crash 2
 //!                           # checkpoint-log compaction: storage shrinks,
 //!                           # recovery stays bit-identical even when a
@@ -21,7 +25,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use aic_bench::experiments::{
-    ablation, bench_delta, compact, drain, faults, fig11, fig12, fig2, fig5, fig6, fig7,
+    ablation, bench_delta, compact, dedup, drain, faults, fig11, fig12, fig2, fig5, fig6, fig7,
     fleet_sharing, mpi_scaling, pool_scaling, regret, replay, table1, table3, validate, RunScale,
 };
 use aic_bench::output::csv;
@@ -284,6 +288,18 @@ fn run_one(args: &Args) -> Result<(), String> {
             }
             println!("\nevery level shrank and recovered bit-identically before, during and after compaction");
         }
+        "dedup" => {
+            println!("## Content-addressed dedup — stored/wire/encode savings vs overlap\n");
+            let report = dedup::run(scale);
+            print!("{}", dedup::render(&report));
+            if args.check {
+                let violations = report.check();
+                if !violations.is_empty() {
+                    return Err(format!("dedup gate failed:\n  {}", violations.join("\n  ")));
+                }
+                println!("\ncheck passed: savings monotone in overlap, >=60% stored+wire saving at 100%, recovery bit-identical per rank before/during/after compaction");
+            }
+        }
         "replay" => {
             println!("## Golden replay — deterministic instrumented run\n");
             let outcome = replay::run(scale);
@@ -308,7 +324,7 @@ fn run_one(args: &Args) -> Result<(), String> {
             for exp in [
                 "table1", "fig5", "fig6", "fig7", "fig2", "table3", "fig11", "fig12", "validate",
                 "ablation", "mpi", "pool", "bench", "fleet", "regret", "faults", "drain",
-                "compact", "replay",
+                "compact", "dedup", "replay",
             ] {
                 let sub = Args {
                     experiment: exp.to_string(),

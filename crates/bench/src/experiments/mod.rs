@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod bench_delta;
 pub mod compact;
+pub mod dedup;
 pub mod drain;
 pub mod faults;
 pub mod fig11;

@@ -10,8 +10,10 @@
 //! single-core rule, now contended).
 
 use aic_delta::pa::{pa_encode, PaParams};
-use aic_memsim::{SimProcess, SimTime, Snapshot};
+use aic_memsim::{Page, SimProcess, SimTime, Snapshot, PAGE_SIZE};
 use aic_model::nonstatic::IntervalParams;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
 
 use crate::engine::{
     score_net2, CheckpointPolicy, Compressor, Decision, DecisionCtx, EngineConfig, EngineReport,
@@ -21,6 +23,108 @@ use crate::engine::{
 /// Per-process outcome of a fleet run (an [`EngineReport`] with the shared
 /// core's queueing baked into the interval parameters).
 pub type FleetReport = EngineReport;
+
+/// Shared-dataset fleet persona: `ranks` processes checkpointing one
+/// logical dataset (the dedup study's workload shape).
+///
+/// Each rank's address space holds `pages_per_rank` pages. A configurable
+/// fraction (`overlap_pct`) is **shared**: those pages hold bytes identical
+/// across every rank (same binaries, same dataset shards) and each round
+/// rewrites them *identically* on every rank — full-page rewrites with
+/// fresh round-keyed content, the regime where the delta encoder stores
+/// raw pages and the dedup store can collapse the fleet's copies to one.
+/// The remaining pages are **private**: per-rank base content that each
+/// round perturbs with a small (≈256-byte) rank-and-round-keyed edit — the
+/// per-rank private deltas that must keep flowing through the encoder
+/// untouched by dedup.
+///
+/// Everything is a pure function of `(seed, rank, page, round)`, so any
+/// state at any round can be reconstructed independently — the experiment
+/// harness uses this for bit-identity checks after recovery.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedDatasetFleet {
+    ranks: usize,
+    pages_per_rank: usize,
+    shared_pages: usize,
+    seed: u64,
+}
+
+impl SharedDatasetFleet {
+    /// A fleet of `ranks` processes with `pages_per_rank` pages each, of
+    /// which `overlap_pct`% (0–100) are shared across all ranks.
+    pub fn new(ranks: usize, pages_per_rank: usize, overlap_pct: u32, seed: u64) -> Self {
+        assert!(ranks >= 1 && pages_per_rank >= 1);
+        assert!(overlap_pct <= 100, "overlap is a percentage");
+        SharedDatasetFleet {
+            ranks,
+            pages_per_rank,
+            shared_pages: pages_per_rank * overlap_pct as usize / 100,
+            seed,
+        }
+    }
+
+    /// Number of ranks in the fleet.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Pages per rank.
+    pub fn pages_per_rank(&self) -> usize {
+        self.pages_per_rank
+    }
+
+    /// How many of each rank's pages are shared across the fleet.
+    pub fn shared_pages(&self) -> usize {
+        self.shared_pages
+    }
+
+    fn rng(&self, tag: u64, a: u64, b: u64, c: u64) -> StdRng {
+        // Distinct odd multipliers keep (tag, rank, page, round) streams
+        // independent; StdRng's seeding mixes the result further.
+        StdRng::seed_from_u64(
+            self.seed
+                ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ a.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                ^ b.wrapping_mul(0x2545_F491_4F6C_DD1D)
+                ^ c.wrapping_mul(0xFF51_AFD7_ED55_8CCD),
+        )
+    }
+
+    fn page(&self, rank: usize, idx: u64, round: u64) -> Page {
+        let mut page = Page::zeroed();
+        if (idx as usize) < self.shared_pages {
+            // Shared: identical on every rank, fully rewritten each round.
+            self.rng(1, 0, idx, round).fill_bytes(page.as_mut_slice());
+        } else {
+            // Private: stable per-rank base + one small round-keyed edit.
+            self.rng(2, rank as u64, idx, 0)
+                .fill_bytes(page.as_mut_slice());
+            if round > 0 {
+                let mut edit = self.rng(3, rank as u64, idx, round);
+                let offset = edit.gen_range(0..PAGE_SIZE - 256);
+                let mut patch = [0u8; 256];
+                edit.fill_bytes(&mut patch);
+                page.write_at(offset, &patch);
+            }
+        }
+        page
+    }
+
+    /// The full state of `rank` at `round` (round 0 is the initial state).
+    pub fn snapshot(&self, rank: usize, round: u64) -> Snapshot {
+        assert!(rank < self.ranks);
+        Snapshot::from_pages(
+            (0..self.pages_per_rank as u64).map(|idx| (idx, self.page(rank, idx, round))),
+        )
+    }
+
+    /// The pages of `rank` dirtied by `round` (≥ 1): every shared page
+    /// (fully rewritten) and every private page (small edit moved).
+    pub fn dirty(&self, rank: usize, round: u64) -> Snapshot {
+        assert!(round >= 1, "round 0 is the initial full state");
+        self.snapshot(rank, round)
+    }
+}
 
 /// Run `processes` under their `policies` with one shared checkpointing
 /// core. All processes advance on the same virtual clock in
@@ -226,6 +330,68 @@ mod tests {
             .map(|_| Box::new(FixedIntervalPolicy::new(8.0)) as Box<dyn CheckpointPolicy>)
             .collect();
         (processes, policies)
+    }
+
+    #[test]
+    fn shared_dataset_pages_are_identical_across_ranks_and_private_pages_are_not() {
+        let fleet = SharedDatasetFleet::new(4, 10, 50, 42);
+        assert_eq!(fleet.shared_pages(), 5);
+        for round in 0..3u64 {
+            let snaps: Vec<Snapshot> = (0..4).map(|r| fleet.snapshot(r, round)).collect();
+            for idx in 0..10u64 {
+                let p0 = snaps[0].get(idx).unwrap();
+                for s in &snaps[1..] {
+                    let p = s.get(idx).unwrap();
+                    if idx < 5 {
+                        assert_eq!(p0.as_slice(), p.as_slice(), "shared page {idx} diverged");
+                    } else {
+                        assert_ne!(p0.as_slice(), p.as_slice(), "private page {idx} collided");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_dataset_rounds_rewrite_shared_fully_and_private_slightly() {
+        let fleet = SharedDatasetFleet::new(2, 8, 50, 7);
+        let before = fleet.snapshot(0, 1);
+        let after = fleet.dirty(0, 2);
+        for idx in 0..8u64 {
+            let d = before.get(idx).unwrap().diff_bytes(after.get(idx).unwrap());
+            if idx < 4 {
+                assert!(d > PAGE_SIZE / 2, "shared page {idx}: only {d} bytes moved");
+            } else {
+                assert!(
+                    d > 0 && d <= 512,
+                    "private page {idx}: {d} bytes moved, want a small edit"
+                );
+            }
+        }
+        // Determinism: any (rank, round) state reconstructs bit-identically.
+        let again = fleet.snapshot(0, 2);
+        for idx in 0..8u64 {
+            assert_eq!(
+                after.get(idx).unwrap().as_slice(),
+                again.get(idx).unwrap().as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_dataset_overlap_extremes() {
+        let none = SharedDatasetFleet::new(3, 6, 0, 1);
+        assert_eq!(none.shared_pages(), 0);
+        let all = SharedDatasetFleet::new(3, 6, 100, 1);
+        assert_eq!(all.shared_pages(), 6);
+        let a = all.snapshot(0, 1);
+        let b = all.snapshot(2, 1);
+        for idx in 0..6u64 {
+            assert_eq!(
+                a.get(idx).unwrap().as_slice(),
+                b.get(idx).unwrap().as_slice()
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub enum CheckpointKind {
     Incremental,
     /// Dirty pages delta-compressed against the previous checkpoint.
     DeltaCompressed,
+    /// A content-addressed dedup chunk: one page's raw bytes, referenced by
+    /// checkpoint records in the same log (see `aic_ckpt::dedup`). Chunk
+    /// records hold bare page bytes, **not** a serialized
+    /// [`CheckpointFile`] — [`CheckpointFile::from_bytes`] rejects the tag.
+    Chunk,
 }
 
 impl CheckpointKind {
@@ -38,6 +43,7 @@ impl CheckpointKind {
             CheckpointKind::Full => 0,
             CheckpointKind::Incremental => 1,
             CheckpointKind::DeltaCompressed => 2,
+            CheckpointKind::Chunk => 3,
         }
     }
 
@@ -47,6 +53,7 @@ impl CheckpointKind {
             0 => Some(CheckpointKind::Full),
             1 => Some(CheckpointKind::Incremental),
             2 => Some(CheckpointKind::DeltaCompressed),
+            3 => Some(CheckpointKind::Chunk),
             _ => None,
         }
     }
@@ -80,6 +87,9 @@ pub struct CheckpointFile {
 
 /// File magic: "AICK".
 const MAGIC: [u8; 4] = *b"AICK";
+
+/// Bytes before the body: magic (4) + body checksum (8).
+const HEADER_LEN: usize = 12;
 
 /// Errors from [`CheckpointFile::from_bytes`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -157,6 +167,19 @@ impl CheckpointFile {
 
     /// Serialize to bytes (what gets written to L1 and shipped to L2/L3).
     pub fn to_bytes(&self) -> Bytes {
+        self.to_bytes_with_page_spans().0
+    }
+
+    /// [`CheckpointFile::to_bytes`] plus the absolute byte offsets of every
+    /// `PAGE_SIZE`-long run of verbatim page bytes in the output — the
+    /// snapshot pages of a `Payload::Pages` file and the
+    /// [`PageRecord::Raw`] payloads of a `Payload::Delta` file (delta
+    /// instruction streams are never page-verbatim and are not reported).
+    /// These spans are exactly the dedupable units the chunk store
+    /// (`aic_ckpt::dedup`) extracts; the serialized bytes are identical to
+    /// [`CheckpointFile::to_bytes`] by construction (same code path).
+    pub fn to_bytes_with_page_spans(&self) -> (Bytes, Vec<usize>) {
+        let mut spans = Vec::new();
         let mut body = BytesMut::with_capacity(1024);
         put_varint(&mut body, self.job);
         put_varint(&mut body, self.seq);
@@ -180,6 +203,7 @@ impl CheckpointFile {
                 put_varint(&mut body, snap.len() as u64);
                 for (idx, page) in snap.iter() {
                     put_varint(&mut body, idx);
+                    spans.push(HEADER_LEN + body.len());
                     body.put_slice(page.as_slice());
                 }
             }
@@ -191,6 +215,7 @@ impl CheckpointFile {
                         PageRecord::Raw { idx, data } => {
                             body.put_u8(0);
                             put_varint(&mut body, *idx);
+                            spans.push(HEADER_LEN + body.len());
                             body.put_slice(data);
                         }
                         PageRecord::Delta { idx, delta } => {
@@ -212,7 +237,7 @@ impl CheckpointFile {
         out.put_slice(&MAGIC);
         out.put_u64_le(fnv1a(&body));
         out.put_slice(&body);
-        out.freeze()
+        (out.freeze(), spans)
     }
 
     /// Parse a serialized checkpoint, validating magic and checksum.
@@ -233,6 +258,11 @@ impl CheckpointFile {
             return Err(ParseError::Malformed);
         }
         let kind = CheckpointKind::from_tag(buf.get_u8()).ok_or(ParseError::Malformed)?;
+        if kind == CheckpointKind::Chunk {
+            // Chunk records are bare page bytes in the log, never a
+            // serialized checkpoint file.
+            return Err(ParseError::Malformed);
+        }
 
         let live_count = get_varint(&mut buf).ok_or(ParseError::Malformed)? as usize;
         let mut live_pages = Vec::with_capacity(live_count);
@@ -505,6 +535,49 @@ mod tests {
             CheckpointFile::from_bytes(Bytes::from(raw)),
             Err(ParseError::Malformed)
         );
+    }
+
+    #[test]
+    fn chunk_kind_tag_is_rejected_even_with_valid_checksum() {
+        let f = CheckpointFile::full(1, 0, random_snapshot(1, 35), Bytes::new());
+        let mut raw = f.to_bytes().to_vec();
+        assert_eq!(raw[14], 0, "expected the Full tag");
+        raw[14] = CheckpointKind::Chunk.tag();
+        let sum = fnv1a(&raw[12..]);
+        raw[4..12].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            CheckpointFile::from_bytes(Bytes::from(raw)),
+            Err(ParseError::Malformed)
+        );
+    }
+
+    #[test]
+    fn page_spans_cover_exactly_the_verbatim_page_runs() {
+        for f in sample_files() {
+            let plain = f.to_bytes();
+            let (bytes, spans) = f.to_bytes_with_page_spans();
+            assert_eq!(bytes, plain, "kind {:?}: spans variant diverged", f.kind);
+            let expected = match &f.payload {
+                Payload::Pages(snap) => snap.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
+                Payload::Delta(df) => df
+                    .records
+                    .iter()
+                    .filter_map(|r| match r {
+                        PageRecord::Raw { data, .. } => Some(Page::from_bytes(data)),
+                        PageRecord::Delta { .. } => None,
+                    })
+                    .collect(),
+            };
+            assert_eq!(spans.len(), expected.len(), "kind {:?}", f.kind);
+            for (off, page) in spans.iter().zip(&expected) {
+                assert_eq!(
+                    &bytes[*off..*off + PAGE_SIZE],
+                    page.as_slice(),
+                    "kind {:?}: span at {off}",
+                    f.kind
+                );
+            }
+        }
     }
 
     #[test]

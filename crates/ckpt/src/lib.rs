@@ -16,6 +16,10 @@
 //!   per-record CRC framing with torn-tail detection, compaction that
 //!   rewrites live records into fresh segments, and epoch-based
 //!   reclamation so pinned recovery readers never lose a segment mid-walk;
+//! * [`dedup`](mod@dedup) — the content-addressed chunk store: identical
+//!   page versions stored once per level as refcounted chunk records,
+//!   checkpoint records become reference frames, reclaimed through the
+//!   log's liveness + epoch machinery;
 //! * [`failure`] — exponential per-level failure injection;
 //! * [`recovery`] — the multi-level storage hierarchy and restart path:
 //!   commit to L1/L2/L3, inject level-k failures, recover from the
@@ -49,6 +53,7 @@
 
 pub mod chain;
 pub mod concurrent;
+pub mod dedup;
 pub mod engine;
 pub mod failure;
 pub mod fleet;

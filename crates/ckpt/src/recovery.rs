@@ -57,9 +57,11 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 use crate::chain::CheckpointChain;
+use crate::dedup::{is_frame, DedupStats, Frame, LevelDedup};
 use crate::format::{CheckpointFile, CheckpointKind};
 use crate::log::{CheckpointLog, LogError, LogStats, DEFAULT_SEGMENT_CAPACITY};
 use crate::storage::{BandwidthModel, FlatStore, Raid5Group, Receipt, Store};
+use aic_delta::strong::wide_filter;
 use aic_memsim::Snapshot;
 use aic_obs::{Counter, Obs};
 
@@ -210,6 +212,10 @@ impl Default for CompactionPolicy {
 #[derive(Debug, Clone, Copy)]
 struct CommittedEntry {
     seq: u64,
+    /// Owning job/tenant — anchor truncation and per-job recovery are
+    /// scoped by it, so one rank's full checkpoint never collects another
+    /// rank's chain when several jobs share a hierarchy.
+    job: u64,
     kind: CheckpointKind,
     /// The L3 copy exists (synchronous commit, or write-behind drain
     /// acknowledged). Pending entries recover from L1/L2 only.
@@ -218,6 +224,26 @@ struct CommittedEntry {
     /// superseded entry can outlive its L1/L2 copies on L3 while the
     /// anchor's own drain is still in flight.
     l12_live: bool,
+}
+
+/// A write-behind payload parked until its L3 drain acknowledges, plus the
+/// page spans the remote dedup store will split it at when the ack
+/// installs it (empty when dedup is off).
+#[derive(Debug, Clone)]
+struct PendingDrain {
+    job: u64,
+    kind: CheckpointKind,
+    payload: Bytes,
+    spans: Vec<usize>,
+}
+
+/// The two dedup-backed levels. L1 stays raw: the local disk is the fast
+/// recovery path and the savings live where bytes are expensive — RAID
+/// capacity and the remote wire.
+#[derive(Debug, Default)]
+struct DedupPair {
+    raid: LevelDedup,
+    remote: LevelDedup,
 }
 
 /// Registered per-level traffic metrics (see [`StorageHierarchy::attach_obs`]).
@@ -235,6 +261,13 @@ struct StorageObs {
     wb_commits: Counter,
     wb_acks: Counter,
     wb_dropped: Counter,
+    /// Dedup chunk-store counters — registered even while dedup is off, so
+    /// replay artifacts always carry the `dedup.*` series (at zero).
+    dedup_hits: Counter,
+    dedup_misses: Counter,
+    dedup_verify_failures: Counter,
+    dedup_reclaims: Counter,
+    dedup_stored_saved: Counter,
 }
 
 impl StorageObs {
@@ -259,8 +292,71 @@ impl StorageObs {
             wb_commits: m.counter("storage.wb_commits"),
             wb_acks: m.counter("storage.wb_acks"),
             wb_dropped: m.counter("storage.wb_dropped"),
+            dedup_hits: m.counter("dedup.hits"),
+            dedup_misses: m.counter("dedup.misses"),
+            dedup_verify_failures: m.counter("dedup.verify_failures"),
+            dedup_reclaims: m.counter("dedup.reclaims"),
+            dedup_stored_saved: m.counter("dedup.stored_bytes_saved"),
         }
     }
+}
+
+/// Install a record into one level's dedup store and append the result:
+/// new chunk records first (so a log scan never sees a dangling
+/// reference), then the reference frame at the record's own seq. Returns
+/// the combined append receipt.
+fn append_installed<S: Store>(
+    log: &mut CheckpointLog<S>,
+    dedup: &mut LevelDedup,
+    obs: Option<&StorageObs>,
+    seq: u64,
+    kind: CheckpointKind,
+    payload: &Bytes,
+    spans: &[usize],
+) -> Receipt {
+    let out = dedup.install(seq, payload, spans);
+    let mut total = Receipt {
+        bytes: 0,
+        seconds: 0.0,
+    };
+    for (cseq, bytes) in &out.new_chunks {
+        let (_, r) = log.append(*cseq, CheckpointKind::Chunk, bytes);
+        total.bytes += r.bytes;
+        total.seconds += r.seconds;
+    }
+    let (_, r) = log.append(seq, kind, &out.payload);
+    total.bytes += r.bytes;
+    total.seconds += r.seconds;
+    if let Some(o) = obs {
+        o.dedup_hits.add(out.hits);
+        o.dedup_misses.add(out.misses);
+        o.dedup_verify_failures.add(out.verify_failures);
+        o.dedup_stored_saved.add(out.stored_saved);
+    }
+    total
+}
+
+/// Read one record from a level's log, resolving a dedup reference frame
+/// back into the original payload by reading its chunk records. Returns
+/// `(payload, read seconds, bytes read)`; `None` when the record or any
+/// referenced chunk is missing/corrupt at this level.
+fn read_resolved<S: Store>(log: &CheckpointLog<S>, seq: u64) -> Option<(Bytes, f64, u64)> {
+    let bytes = log.read(seq)?;
+    let mut seconds = log.read_receipt(seq).map_or(0.0, |r| r.seconds);
+    let mut read_bytes = bytes.len() as u64;
+    if !is_frame(&bytes) {
+        return Some((bytes, seconds, read_bytes));
+    }
+    let frame = Frame::decode(&bytes).ok()?;
+    let mut chunks = Vec::with_capacity(frame.spans.len());
+    for &(_, cseq) in &frame.spans {
+        let cb = log.read(cseq)?;
+        seconds += log.read_receipt(cseq).map_or(0.0, |r| r.seconds);
+        read_bytes += cb.len() as u64;
+        chunks.push(cb);
+    }
+    let payload = frame.reassemble(&chunks).ok()?;
+    Some((payload, seconds, read_bytes))
 }
 
 /// Compact one level's log when the auto policy says so. A macro because
@@ -284,10 +380,14 @@ pub struct StorageHierarchy {
     remote: CheckpointLog<FlatStore>,
     committed: Vec<CommittedEntry>,
     /// Write-behind payloads parked until their L3 drain is acknowledged,
-    /// keyed by sequence number. The wire cost of a drain is the payload —
-    /// the record frame is added when the ack appends to the remote log.
-    pending_remote: BTreeMap<u64, (CheckpointKind, Bytes)>,
+    /// keyed by sequence number. The wire cost of a drain is the payload
+    /// (or its dedup quote) — the record frame is added when the ack
+    /// appends to the remote log.
+    pending_remote: BTreeMap<u64, PendingDrain>,
     compaction: CompactionPolicy,
+    /// Content-addressed chunk stores for L2/L3 ([`Self::enable_dedup`]);
+    /// `None` keeps the pre-dedup byte-for-byte behavior.
+    dedup: Option<DedupPair>,
     obs: Option<StorageObs>,
 }
 
@@ -322,8 +422,49 @@ impl StorageHierarchy {
             committed: Vec::new(),
             pending_remote: BTreeMap::new(),
             compaction: CompactionPolicy::default(),
+            dedup: None,
             obs: None,
         }
+    }
+
+    /// Turn on content-addressed dedup for L2 and L3: commits split their
+    /// payloads at page spans, identical page versions are stored once per
+    /// level as refcounted [`CheckpointKind::Chunk`] records, and records
+    /// become reference frames. L1 stays raw. Enable before the first
+    /// commit — records written earlier are plain payloads and stay
+    /// readable, but never become chunk donors.
+    pub fn enable_dedup(&mut self) {
+        if self.dedup.is_none() {
+            self.dedup = Some(DedupPair {
+                raid: LevelDedup::new(),
+                remote: LevelDedup::new(),
+            });
+        }
+    }
+
+    /// Is dedup active?
+    pub fn dedup_enabled(&self) -> bool {
+        self.dedup.is_some()
+    }
+
+    /// Cumulative dedup statistics per dedup-backed level, `[L2, L3]`.
+    /// `None` while dedup is off.
+    pub fn dedup_stats(&self) -> Option<[DedupStats; 2]> {
+        self.dedup
+            .as_ref()
+            .map(|d| [d.raid.stats(), d.remote.stats()])
+    }
+
+    /// Byte-verified membership probe for the encoder's short-circuit: is
+    /// this exact page content already a live chunk on L3 (or, for content
+    /// committed this round but not yet drained, on L2)? A `true` answer
+    /// means committing the page raw will dedup into a reference — encoding
+    /// a delta for it is wasted work.
+    pub fn dedup_contains_page(&self, page: &[u8]) -> bool {
+        let Some(d) = &self.dedup else { return false };
+        // Hash once: this probe sits on the encoder's critical path.
+        let digest = wide_filter(page);
+        d.remote.contains_page_hashed(digest, page) || d.raid.contains_page_hashed(digest, page)
     }
 
     /// Register this hierarchy's traffic metrics (bytes written/read per
@@ -362,10 +503,38 @@ impl StorageHierarchy {
     /// touching any level.
     pub fn commit(&mut self, file: &CheckpointFile) -> Result<CommitReceipt, RecoveryError> {
         self.check_order(file.seq)?;
-        let payload = file.to_bytes();
+        let (payload, spans) = if self.dedup.is_some() {
+            file.to_bytes_with_page_spans()
+        } else {
+            (file.to_bytes(), Vec::new())
+        };
         let (_, local) = self.local.append(file.seq, file.kind, &payload);
-        let (_, raid) = self.raid.append(file.seq, file.kind, &payload);
-        let (_, remote) = self.remote.append(file.seq, file.kind, &payload);
+        let (raid, remote) = match &mut self.dedup {
+            Some(dd) => (
+                append_installed(
+                    &mut self.raid,
+                    &mut dd.raid,
+                    self.obs.as_ref(),
+                    file.seq,
+                    file.kind,
+                    &payload,
+                    &spans,
+                ),
+                append_installed(
+                    &mut self.remote,
+                    &mut dd.remote,
+                    self.obs.as_ref(),
+                    file.seq,
+                    file.kind,
+                    &payload,
+                    &spans,
+                ),
+            ),
+            None => (
+                self.raid.append(file.seq, file.kind, &payload).1,
+                self.remote.append(file.seq, file.kind, &payload).1,
+            ),
+        };
         let mut receipt = CommitReceipt {
             local,
             raid,
@@ -379,10 +548,11 @@ impl StorageHierarchy {
             obs.written[2].add(receipt.remote.bytes);
         }
         if file.kind == CheckpointKind::Full {
-            receipt.truncated = self.truncate_before(file.seq);
+            receipt.truncated = self.truncate_before(file.seq, file.job);
         }
         self.committed.push(CommittedEntry {
             seq: file.seq,
+            job: file.job,
             kind: file.kind,
             l3_durable: true,
             l12_live: true,
@@ -405,10 +575,32 @@ impl StorageHierarchy {
         file: &CheckpointFile,
     ) -> Result<(CommitReceipt, u64), RecoveryError> {
         self.check_order(file.seq)?;
-        let payload = file.to_bytes();
-        let wire = payload.len() as u64;
+        let (payload, spans) = if self.dedup.is_some() {
+            file.to_bytes_with_page_spans()
+        } else {
+            (file.to_bytes(), Vec::new())
+        };
+        // Quote the wire before any install mutates state: what must cross
+        // the network is what the *remote* store does not already hold.
+        // Chunks installed by other acks between quote and drain can only
+        // shrink the real append, so the quote is a conservative overcount.
+        let wire = match &self.dedup {
+            Some(dd) => dd.remote.quote(&payload, &spans),
+            None => payload.len() as u64,
+        };
         let (_, local) = self.local.append(file.seq, file.kind, &payload);
-        let (_, raid) = self.raid.append(file.seq, file.kind, &payload);
+        let raid = match &mut self.dedup {
+            Some(dd) => append_installed(
+                &mut self.raid,
+                &mut dd.raid,
+                self.obs.as_ref(),
+                file.seq,
+                file.kind,
+                &payload,
+                &spans,
+            ),
+            None => self.raid.append(file.seq, file.kind, &payload).1,
+        };
         let mut receipt = CommitReceipt {
             local,
             raid,
@@ -418,7 +610,15 @@ impl StorageHierarchy {
             },
             truncated: 0,
         };
-        self.pending_remote.insert(file.seq, (file.kind, payload));
+        self.pending_remote.insert(
+            file.seq,
+            PendingDrain {
+                job: file.job,
+                kind: file.kind,
+                payload,
+                spans,
+            },
+        );
         if let Some(obs) = &self.obs {
             obs.commits.inc();
             obs.wb_commits.inc();
@@ -426,10 +626,11 @@ impl StorageHierarchy {
             obs.written[1].add(receipt.raid.bytes);
         }
         if file.kind == CheckpointKind::Full {
-            receipt.truncated = self.truncate_l12_before(file.seq);
+            receipt.truncated = self.truncate_l12_before(file.seq, file.job);
         }
         self.committed.push(CommittedEntry {
             seq: file.seq,
+            job: file.job,
             kind: file.kind,
             l3_durable: false,
             l12_live: true,
@@ -447,12 +648,31 @@ impl StorageHierarchy {
     /// write-behind, already acknowledged, or superseded by an anchored
     /// ack) is a [`RecoveryError::BadObject`].
     pub fn ack_remote(&mut self, seq: u64) -> Result<RemoteAck, RecoveryError> {
-        let Some((kind, payload)) = self.pending_remote.remove(&seq) else {
+        let Some(drain) = self.pending_remote.remove(&seq) else {
             return Err(RecoveryError::BadObject(format!(
                 "no pending write-behind object for seq {seq}"
             )));
         };
-        let (_, remote) = self.remote.append(seq, kind, &payload);
+        let PendingDrain {
+            job,
+            kind,
+            payload,
+            spans,
+        } = drain;
+        // Install against the remote store *now*, not at enqueue time:
+        // the durable chunk index is what the frame may reference.
+        let remote = match &mut self.dedup {
+            Some(dd) => append_installed(
+                &mut self.remote,
+                &mut dd.remote,
+                self.obs.as_ref(),
+                seq,
+                kind,
+                &payload,
+                &spans,
+            ),
+            None => self.remote.append(seq, kind, &payload).1,
+        };
         for e in &mut self.committed {
             if e.seq == seq {
                 e.l3_durable = true;
@@ -464,33 +684,44 @@ impl StorageHierarchy {
         }
         let mut truncated = 0;
         if kind == CheckpointKind::Full {
-            // Deferred anchor GC: L3 records below the anchor are now
-            // superseded by a remotely durable full image, and superseded
-            // drains still in the queue will never be needed.
+            // Deferred anchor GC: this job's L3 records below the anchor
+            // are now superseded by a remotely durable full image, and its
+            // superseded drains still in the queue will never be needed.
             let stale: Vec<u64> = self
                 .committed
                 .iter()
-                .filter(|e| e.seq < seq)
+                .filter(|e| e.job == job && e.seq < seq)
                 .map(|e| e.seq)
                 .collect();
             let held_before = self.remote.store().stored_bytes();
+            let mut reclaimed = 0u64;
             for s in &stale {
                 self.remote.mark_dead(*s);
+                if let Some(dd) = &mut self.dedup {
+                    for c in dd.remote.forget_record(*s) {
+                        self.remote.mark_dead(c);
+                        reclaimed += 1;
+                    }
+                }
             }
             maybe_compact!(self.remote, self.compaction);
-            self.committed.retain(|e| e.seq >= seq);
-            let dropped = {
-                let keep = self.pending_remote.split_off(&seq);
-                let dropped = self.pending_remote.len();
-                self.pending_remote = keep;
-                dropped
-            };
+            self.committed.retain(|e| e.job != job || e.seq >= seq);
+            let mut dropped = 0u64;
+            self.pending_remote.retain(|&s, p| {
+                if p.job == job && s < seq {
+                    dropped += 1;
+                    false
+                } else {
+                    true
+                }
+            });
             truncated = stale.len();
             if let Some(obs) = &self.obs {
                 obs.gc_objects.add(stale.len() as u64);
                 obs.gc_bytes
                     .add(held_before.saturating_sub(self.remote.store().stored_bytes()));
-                obs.wb_dropped.add(dropped as u64);
+                obs.wb_dropped.add(dropped);
+                obs.dedup_reclaims.add(reclaimed);
             }
         }
         Ok(RemoteAck { remote, truncated })
@@ -508,27 +739,47 @@ impl StorageHierarchy {
         Ok(())
     }
 
-    /// Mark every committed record with `seq < anchor` dead on all three
-    /// levels and compact per policy; returns how many records were
-    /// collected. (The synchronous anchor is durable everywhere at once,
-    /// so superseded pending drains are dropped too — nothing will ever
-    /// need them.)
-    fn truncate_before(&mut self, anchor: u64) -> usize {
+    /// Mark this job's committed records with `seq < anchor` dead on all
+    /// three levels and compact per policy; returns how many records were
+    /// collected. Dedup references are dropped with their records —
+    /// a chunk is marked dead only when its *last* reference goes, so a
+    /// chunk still serving another job (or a newer record) survives the
+    /// truncation untouched. (The synchronous anchor is durable everywhere
+    /// at once, so this job's superseded pending drains are dropped too —
+    /// nothing will ever need them.)
+    fn truncate_before(&mut self, anchor: u64, job: u64) -> usize {
         let stale: Vec<u64> = self
             .committed
             .iter()
-            .filter(|e| e.seq < anchor)
+            .filter(|e| e.job == job && e.seq < anchor)
             .map(|e| e.seq)
             .collect();
         let held_before: u64 = self.stored_bytes().iter().sum();
-        self.committed.retain(|e| e.seq >= anchor);
-        let keep = self.pending_remote.split_off(&anchor);
-        let dropped = self.pending_remote.len();
-        self.pending_remote = keep;
+        self.committed.retain(|e| e.job != job || e.seq >= anchor);
+        let mut dropped = 0u64;
+        self.pending_remote.retain(|&s, p| {
+            if p.job == job && s < anchor {
+                dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        let mut reclaimed = 0u64;
         for s in &stale {
             self.local.mark_dead(*s);
             self.raid.mark_dead(*s);
             self.remote.mark_dead(*s);
+            if let Some(dd) = &mut self.dedup {
+                for c in dd.raid.forget_record(*s) {
+                    self.raid.mark_dead(c);
+                    reclaimed += 1;
+                }
+                for c in dd.remote.forget_record(*s) {
+                    self.remote.mark_dead(c);
+                    reclaimed += 1;
+                }
+            }
         }
         maybe_compact!(self.local, self.compaction);
         maybe_compact!(self.raid, self.compaction);
@@ -537,7 +788,8 @@ impl StorageHierarchy {
             let held_after: u64 = self.stored_bytes().iter().sum();
             obs.gc_objects.add(stale.len() as u64);
             obs.gc_bytes.add(held_before.saturating_sub(held_after));
-            obs.wb_dropped.add(dropped as u64);
+            obs.wb_dropped.add(dropped);
+            obs.dedup_reclaims.add(reclaimed);
         }
         stale.len()
     }
@@ -547,15 +799,22 @@ impl StorageHierarchy {
     /// leave the L3 records in place — they are the only remotely durable
     /// chain until the anchor's own drain is acknowledged. Superseded
     /// entries stay in the commit log, marked dead on L1/L2.
-    fn truncate_l12_before(&mut self, anchor: u64) -> usize {
+    fn truncate_l12_before(&mut self, anchor: u64, job: u64) -> usize {
         let mut collected = 0;
+        let mut reclaimed = 0u64;
         let held_before = self.local.store().stored_bytes() + self.raid.store().stored_bytes();
         for e in &mut self.committed {
-            if e.seq < anchor && e.l12_live {
+            if e.job == job && e.seq < anchor && e.l12_live {
                 e.l12_live = false;
                 collected += 1;
                 self.local.mark_dead(e.seq);
                 self.raid.mark_dead(e.seq);
+                if let Some(dd) = &mut self.dedup {
+                    for c in dd.raid.forget_record(e.seq) {
+                        self.raid.mark_dead(c);
+                        reclaimed += 1;
+                    }
+                }
             }
         }
         maybe_compact!(self.local, self.compaction);
@@ -564,6 +823,7 @@ impl StorageHierarchy {
             let held_after = self.local.store().stored_bytes() + self.raid.store().stored_bytes();
             obs.gc_objects.add(collected as u64);
             obs.gc_bytes.add(held_before.saturating_sub(held_after));
+            obs.dedup_reclaims.add(reclaimed);
         }
         collected
     }
@@ -584,7 +844,7 @@ impl StorageHierarchy {
     pub fn pending_remote_bytes(&self) -> u64 {
         self.pending_remote
             .values()
-            .map(|(_, b)| b.len() as u64)
+            .map(|p| p.payload.len() as u64)
             .sum()
     }
 
@@ -717,15 +977,26 @@ impl StorageHierarchy {
                 // good; the chain is cut back to what was acknowledged.
                 self.local.wipe();
                 self.raid.wipe();
+                // The RAID chunk index died with the group's data; chunk
+                // seqs keep advancing so stale frames can never alias.
+                if let Some(dd) = &mut self.dedup {
+                    dd.raid.reset();
+                }
                 let dropped = self.pending_remote.len();
                 self.pending_remote.clear();
                 // Only the *contiguous* acknowledged prefix is usable: an
                 // acknowledged delta whose base never drained can only be
-                // orphaned, so it is collected along with the pending tail.
+                // orphaned, so it is collected along with the pending tail
+                // — and its dedup references go with it.
                 let frontier = self.committed.iter().take_while(|e| e.l3_durable).count();
                 let mut any_dead = false;
                 for e in self.committed.drain(frontier..) {
                     any_dead |= self.remote.mark_dead(e.seq);
+                    if let Some(dd) = &mut self.dedup {
+                        for c in dd.remote.forget_record(e.seq) {
+                            any_dead |= self.remote.mark_dead(c);
+                        }
+                    }
                 }
                 if any_dead {
                     // The gap-cut must free the orphans now — an f3 restart
@@ -766,7 +1037,12 @@ impl StorageHierarchy {
             if self.local.read(e.seq).is_some() {
                 continue;
             }
-            let Some(data) = self.raid.read(e.seq).or_else(|| self.remote.read(e.seq)) else {
+            // L2/L3 records may be dedup reference frames — resolve them
+            // back to the plain payload; L1 always stores records raw.
+            let Some(data) = read_resolved(&self.raid, e.seq)
+                .or_else(|| read_resolved(&self.remote, e.seq))
+                .map(|(b, _, _)| b)
+            else {
                 continue;
             };
             bytes += data.len() as u64;
@@ -802,6 +1078,22 @@ impl StorageHierarchy {
     /// replay onto — the degraded-commit path loses exactly the un-drained
     /// tail.
     pub fn recover_from(&self, level: usize) -> Result<RecoveredImage, RecoveryError> {
+        self.recover_inner(level, None)
+    }
+
+    /// [`StorageHierarchy::recover_from`] scoped to one job's chain — the
+    /// per-tenant recovery path when several jobs share a hierarchy. Only
+    /// `job`'s records are replayed; other tenants' interleaved records
+    /// (and the chunks their frames reference) are invisible.
+    pub fn recover_job(&self, level: usize, job: u64) -> Result<RecoveredImage, RecoveryError> {
+        self.recover_inner(level, Some(job))
+    }
+
+    fn recover_inner(
+        &self,
+        level: usize,
+        job: Option<u64>,
+    ) -> Result<RecoveredImage, RecoveryError> {
         if self.committed.is_empty() {
             return Err(RecoveryError::NothingCommitted);
         }
@@ -812,10 +1104,17 @@ impl StorageHierarchy {
             other => return Err(RecoveryError::BadLevel(other)),
         };
         let visible: Vec<&CommittedEntry> = match recovery_level {
-            RecoveryLevel::Local | RecoveryLevel::Raid => {
-                self.committed.iter().filter(|e| e.l12_live).collect()
-            }
-            RecoveryLevel::Remote => self.committed.iter().take_while(|e| e.l3_durable).collect(),
+            RecoveryLevel::Local | RecoveryLevel::Raid => self
+                .committed
+                .iter()
+                .filter(|e| e.l12_live && job.is_none_or(|j| e.job == j))
+                .collect(),
+            RecoveryLevel::Remote => self
+                .committed
+                .iter()
+                .take_while(|e| e.l3_durable)
+                .filter(|e| job.is_none_or(|j| e.job == j))
+                .collect(),
         };
         let Some(newest) = visible.last() else {
             return Err(RecoveryError::BadObject(format!(
@@ -838,22 +1137,26 @@ impl StorageHierarchy {
         let mut cpu_state = Bytes::new();
         for e in &visible[anchor..] {
             let name = Self::name(e.seq);
-            let (bytes, receipt) = match recovery_level {
-                RecoveryLevel::Local => (self.local.read(e.seq), self.local.read_receipt(e.seq)),
-                RecoveryLevel::Raid => (self.raid.read(e.seq), self.raid.read_receipt(e.seq)),
-                RecoveryLevel::Remote => (self.remote.read(e.seq), self.remote.read_receipt(e.seq)),
+            // L2/L3 records may be dedup reference frames: resolve them by
+            // reading their chunk records from the same level's log. A
+            // missing record, a tripped frame checksum, or a missing chunk
+            // is the same outcome: this level cannot serve the chain.
+            let resolved = match recovery_level {
+                RecoveryLevel::Local => read_resolved(&self.local, e.seq),
+                RecoveryLevel::Raid => read_resolved(&self.raid, e.seq),
+                RecoveryLevel::Remote => read_resolved(&self.remote, e.seq),
             };
-            // A missing record *or* a record whose frame checksum trips is
-            // the same outcome: this level cannot serve the chain.
-            let bytes = bytes.ok_or_else(|| RecoveryError::BadObject(name.clone()))?;
+            let (bytes, seconds, bytes_read) =
+                resolved.ok_or_else(|| RecoveryError::BadObject(name.clone()))?;
             // Charge the read through the serving store's own channel
-            // model — the record's share of its segment, so degraded RAID
-            // reconstruction premiums carry through.
-            read_seconds += receipt.map_or(0.0, |r: Receipt| r.seconds);
+            // model — the record's (and its chunks') share of their
+            // segments, so degraded RAID reconstruction premiums carry
+            // through.
+            read_seconds += seconds;
             // Partial probes count too: a failed attempt at a cheap level
             // still read these bytes before it gave up.
             if let Some(obs) = &self.obs {
-                obs.read[level - 1].add(bytes.len() as u64);
+                obs.read[level - 1].add(bytes_read);
             }
             let file = CheckpointFile::from_bytes(bytes)
                 .map_err(|e| RecoveryError::BadObject(format!("{name}: {e}")))?;
@@ -887,6 +1190,7 @@ mod tests {
     use aic_delta::pa::{pa_encode, PaParams};
     use aic_memsim::{Page, PAGE_SIZE};
     use bytes::Bytes;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -1536,5 +1840,179 @@ mod tests {
         assert_eq!(snap.counter("storage.degraded_reads"), Some(1));
         assert_eq!(snap.counter("storage.l1.bytes_read"), Some(0));
         assert!(snap.counter("storage.l2.bytes_read").unwrap() > 0);
+    }
+
+    #[test]
+    fn degraded_dedup_reference_commit_bills_no_payload_stripes() {
+        // The degraded-commit matrix covers payload commits while a RAID
+        // node is down. A dedup *reference* commit is the missing row:
+        // every page already lives as a chunk on L2, so the only stripe
+        // traffic a degraded commit may bill is the survivors' share of
+        // the reference frame — zero payload rows.
+        let mut h = fine_hierarchy();
+        h.enable_dedup();
+        let image = Snapshot::from_pages([(0, page(1)), (1, page(2)), (2, page(3))]);
+        let first = h
+            .commit(&CheckpointFile::full(1, 1, image.clone(), Bytes::new()))
+            .unwrap();
+        // Chunk donors stripe the full pages: page-scale L2 traffic.
+        assert!(
+            first.raid.bytes >= 3 * PAGE_SIZE as u64,
+            "donor commit billed {} B",
+            first.raid.bytes
+        );
+
+        // Transient node outage: the group keeps accepting writes, billing
+        // only the surviving nodes' chunks.
+        h.raid.store_mut().fail_node(2);
+        assert!(h.raid.store().is_degraded());
+
+        // A second tenant checkpoints the same shared image. Every page
+        // byte-verifies against a live chunk, so the degraded group stripes
+        // one reference frame and nothing else.
+        let second = h
+            .commit(&CheckpointFile::full(2, 2, image.clone(), Bytes::new()))
+            .unwrap();
+        assert!(
+            second.raid.bytes < PAGE_SIZE as u64,
+            "degraded reference commit billed payload stripes: {} B (donor commit {} B)",
+            second.raid.bytes,
+            first.raid.bytes
+        );
+        let stats = h.dedup_stats().unwrap();
+        assert!(stats[0].hits >= 3, "L2 hits {}", stats[0].hits);
+        assert_eq!(stats[0].verify_failures, 0);
+
+        // Degraded parity reconstruction must still resolve the reference
+        // frame through the donor's chunks, for both tenants.
+        for job in [1, 2] {
+            let img = h.recover_job(2, job).unwrap();
+            assert_eq!(img.snapshot, image, "job {job} image diverged");
+            assert!(img.degraded);
+        }
+
+        // Repair rebuilds the appended-to segment on the replacement node
+        // (an overwrite-while-degraded discards its stale copy, so the
+        // rebuild is segment-scale, not frame-scale) and the group serves
+        // both tenants healthy again.
+        let rebuilt = h.repair_raid();
+        assert!(rebuilt.bytes > 0);
+        for job in [1, 2] {
+            let img = h.recover_job(2, job).unwrap();
+            assert_eq!(img.snapshot, image);
+            assert!(!img.degraded);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        // Two tenants share a 4-content page pool, so their chunks
+        // cross-reference. Any interleaving of put (sync and write-behind
+        // anchors), reference, mark-dead (anchor truncation + deferred ack
+        // truncation), compact, and reclaim must keep every tenant's chain
+        // byte-identical — in particular no chunk may be reclaimed while
+        // another tenant's frame still references it, and pinned readers
+        // must see identical images across a compaction + reclaim.
+        #[test]
+        fn dedup_interleavings_keep_tenant_chains_byte_identical(
+            ops in prop_vec((0u8..8, 0u8..4, 0u8..4), 6..32)
+        ) {
+            let mut h = fine_hierarchy();
+            h.enable_dedup();
+            h.set_compaction(CompactionPolicy {
+                auto: false,
+                garbage_threshold: 0.5,
+            });
+            let mut seq = 0u64;
+            let mut truth: [Option<Snapshot>; 2] = [None, None];
+            for &(op, a, b) in &ops {
+                match op {
+                    // Full anchor for one tenant: chunk puts/references plus
+                    // the job-scoped mark-dead of its own superseded prefix.
+                    0..=3 => {
+                        let t = (op % 2) as usize;
+                        let img = Snapshot::from_pages([
+                            (0, page(a as u64)),
+                            (1, page(b as u64)),
+                            (2, page(((a + b) % 4) as u64)),
+                        ]);
+                        seq += 1;
+                        let file =
+                            CheckpointFile::full(t as u64 + 1, seq, img.clone(), Bytes::new());
+                        if op < 2 {
+                            h.commit(&file).unwrap();
+                        } else {
+                            h.commit_write_behind(&file).unwrap();
+                        }
+                        truth[t] = Some(img);
+                    }
+                    // Ack the oldest parked drain (the deferred-truncation
+                    // mark-dead path); superseded drains may have been
+                    // dropped, so consult the hierarchy's own queue.
+                    4 => {
+                        if let Some(&s) = h.pending_remote_seqs().first() {
+                            h.ack_remote(s).unwrap();
+                        }
+                    }
+                    5 => {
+                        h.compact().unwrap();
+                    }
+                    6 => {
+                        h.try_reclaim_all();
+                    }
+                    // Pinned readers observe byte-identical images across a
+                    // concurrent compaction + reclamation attempt.
+                    7 => {
+                        let pins = h.pin_readers();
+                        let before: Vec<Option<Snapshot>> = (0..2)
+                            .map(|t| {
+                                truth[t].as_ref().map(|_| {
+                                    h.recover_job(2, t as u64 + 1).unwrap().snapshot
+                                })
+                            })
+                            .collect();
+                        h.compact().unwrap();
+                        h.try_reclaim_all();
+                        for (t, want) in before.iter().enumerate() {
+                            if let Some(want) = want {
+                                let got = h.recover_job(2, t as u64 + 1).unwrap().snapshot;
+                                prop_assert_eq!(&got, want, "pinned reader tenant {} diverged", t);
+                            }
+                        }
+                        h.unpin_readers(pins);
+                    }
+                    _ => unreachable!(),
+                }
+                // After every step, L2 serves each tenant's current image
+                // byte-identically (a chunk freed under a live reference
+                // would corrupt exactly this read).
+                for (t, want) in truth.iter().enumerate() {
+                    if let Some(want) = want {
+                        let got = h.recover_job(2, t as u64 + 1).unwrap().snapshot;
+                        prop_assert_eq!(&got, want, "tenant {} L2 image diverged", t);
+                    }
+                }
+            }
+            // Drain the queue in order, then a final compact + reclaim: both
+            // tenants must be byte-identical on L2 and L3, with zero verify
+            // failures anywhere.
+            for s in h.pending_remote_seqs() {
+                h.ack_remote(s).unwrap();
+            }
+            h.compact().unwrap();
+            h.try_reclaim_all();
+            for (t, want) in truth.iter().enumerate() {
+                if let Some(want) = want {
+                    for level in [2, 3] {
+                        let got = h.recover_job(level, t as u64 + 1).unwrap().snapshot;
+                        prop_assert_eq!(&got, want, "tenant {} L{} final image", t, level);
+                    }
+                }
+            }
+            let stats = h.dedup_stats().unwrap();
+            prop_assert_eq!(stats[0].verify_failures, 0);
+            prop_assert_eq!(stats[1].verify_failures, 0);
+        }
     }
 }

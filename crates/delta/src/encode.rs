@@ -36,7 +36,7 @@ use bytes::{Bytes, BytesMut};
 use crate::index::SourceIndex;
 use crate::inst::{put_add, put_copy, put_end, put_varint, varint_len};
 use crate::stats::EncodeReport;
-use crate::strong::fnv1a;
+use crate::strong::{block_filter, fnv1a};
 
 /// Encoder tuning parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -299,7 +299,10 @@ pub fn encode_into(
             let cands = index.candidates(roll.digest());
             if !cands.is_empty() {
                 let window = &target[pos..pos + bs];
-                let wstrong = fnv1a(window);
+                // Filter digest, compared against the index's precomputed
+                // per-block digests; `blocks_equal` below decides the match,
+                // so the filter choice never reaches the output bytes.
+                let wstrong = block_filter(window);
                 for &blk in cands.iter().take(params.max_probe) {
                     let src_off = blk as usize * bs;
                     let sblock = &source[src_off..src_off + bs];

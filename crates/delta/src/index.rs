@@ -6,9 +6,13 @@
 //! one heap `Vec` per distinct hash, rebuilt from scratch on every page of
 //! every interval. [`SourceIndex`] replaces it with three flat arrays:
 //!
-//! * `strongs` — the FNV-1a digest of each block, by block number, so match
-//!   confirmation is a single `u64` compare instead of re-hashing the
-//!   source block on every probe;
+//! * `strongs` — the [`block_filter`] digest of each block, by block
+//!   number, so match confirmation is a single `u64` compare instead of
+//!   re-hashing the source block on every probe. The filter digest is
+//!   internal (never serialized): matches are *decided* by the byte
+//!   compare, the digest only rejects weak collisions early, so it uses
+//!   the word-parallel filter hash rather than byte-serial FNV — the
+//!   strong pass was the dominant cost of a cold index build;
 //! * `entries` — block numbers grouped by weak hash (a CSR payload array),
 //!   ascending within each group, which preserves the original candidate
 //!   probe order exactly (insertion order was ascending offset);
@@ -24,7 +28,7 @@
 //! steady state.
 
 use crate::rolling::RollingHash;
-use crate::strong::fnv1a;
+use crate::strong::block_filter;
 
 /// One open-addressed slot: a weak hash and its group's range in `entries`.
 /// `len == 0` marks an empty slot (every real group has at least one entry).
@@ -119,7 +123,7 @@ impl SourceIndex {
                 None => RollingHash::new(block).digest(),
             };
             self.pairs.push((weak, b as u32));
-            self.strongs.push(fnv1a(block));
+            self.strongs.push(block_filter(block));
         }
 
         // Pass 2: group by weak hash. Sorting by (weak, block) keeps blocks
@@ -191,7 +195,9 @@ impl SourceIndex {
         }
     }
 
-    /// Precomputed strong (FNV-1a) hash of block `block`.
+    /// Precomputed [`block_filter`] digest of block `block`. Compare
+    /// against `block_filter(window)` only — the digest is an internal
+    /// collision filter, not a portable checksum.
     #[inline]
     pub fn strong(&self, block: u32) -> u64 {
         self.strongs[block as usize]
@@ -344,14 +350,14 @@ mod tests {
     }
 
     #[test]
-    fn strong_hashes_match_fnv_of_each_block() {
+    fn strong_hashes_match_block_filter_of_each_block() {
         let mut rng = StdRng::seed_from_u64(2);
         let source: Vec<u8> = (0..1024).map(|_| rng.gen()).collect();
         let idx = SourceIndex::build(&source, 32);
         for b in 0..idx.n_blocks() {
             assert_eq!(
                 idx.strong(b as u32),
-                fnv1a(&source[b * 32..b * 32 + 32]),
+                block_filter(&source[b * 32..b * 32 + 32]),
                 "block {b}"
             );
         }

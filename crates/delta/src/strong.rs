@@ -54,6 +54,122 @@ impl Default for Fnv1a {
     }
 }
 
+/// FNV-1a 128-bit offset basis.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime.
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// FNV-1a 128-bit digest of a byte slice.
+///
+/// The content address of the dedup chunk store (`aic_ckpt::dedup`): wide
+/// enough that accidental collisions across a fleet's worth of page
+/// versions are negligible, while every hit is still byte-verified before
+/// reuse (the hash narrows the search; equality decides). The 64-bit
+/// [`fnv1a`] stays the encoder's checksum — record CRCs and delta
+/// `target_checksum` fields are serialized and must not move.
+#[inline]
+pub fn fnv1a_128(data: &[u8]) -> u128 {
+    let mut h = FNV128_OFFSET;
+    for &b in data {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+/// Word-parallel block filter hash: 64-bit, **internal use only**.
+///
+/// [`crate::index::SourceIndex`] keeps one 64-bit digest per source block
+/// purely to reject weak-hash collisions before the byte compare — the
+/// match decision itself is `blocks_equal`, so this digest never reaches
+/// any serialized format and only its speed and collision rate matter.
+/// Byte-serial FNV-1a costs a multiply per byte on the critical path;
+/// this filter consumes eight bytes per multiply (little-endian `u64`
+/// words through a Fibonacci multiply + rotate mix, short tail padded),
+/// cutting the index's strong-hash pass to a fraction of the cost. The
+/// length is folded in so blocks of different sizes cannot alias by zero
+/// padding.
+#[inline]
+pub fn block_filter(data: &[u8]) -> u64 {
+    const MUL: u64 = 0x9E37_79B9_7F4A_7C15; // 2^64 / φ
+    let mut h = (data.len() as u64).wrapping_mul(MUL) ^ FNV_OFFSET;
+    let mut chunks = data.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let w = u64::from_le_bytes(c.try_into().unwrap());
+        h = (h ^ w).wrapping_mul(MUL).rotate_left(29);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        let w = u64::from_le_bytes(tail);
+        h = (h ^ w).wrapping_mul(MUL).rotate_left(29);
+    }
+    // Final avalanche so low-entropy inputs still spread across all bits.
+    h ^= h >> 32;
+    h = h.wrapping_mul(MUL);
+    h ^ (h >> 29)
+}
+
+/// Widened (128-bit) word-parallel filter: the dedup store's content
+/// address.
+///
+/// Two independent [`block_filter`]-style lanes (distinct odd multipliers
+/// and rotations) run over the same little-endian word stream and
+/// concatenate into a `u128`. Like [`block_filter`] this digest is
+/// **in-memory acceleration only** — `aic_ckpt::dedup` resolves reference
+/// frames by log sequence number and byte-verifies every hash hit before
+/// reuse, so the function can evolve freely. It exists because the probe
+/// that short-circuits identical pages past the encoder must cost *less*
+/// than the encoder's cheapest path; the byte-serial [`fnv1a_128`] (a
+/// 128-bit multiply per byte) would cost several µs per 4 KiB page and
+/// erase the dedup win, while two word-parallel lanes stay well under the
+/// encoder's probe-and-bail floor.
+#[inline]
+pub fn wide_filter(data: &[u8]) -> u128 {
+    const MUL_A: u64 = 0x9E37_79B9_7F4A_7C15; // 2^64 / φ
+    const MUL_B: u64 = 0xC2B2_AE3D_27D4_EB4F; // xxhash64 prime 2
+    let len = data.len() as u64;
+    // Four accumulators (two per lane, fed alternating words) keep four
+    // independent multiply chains in flight — the serial xor→mul→rotate
+    // dependency, not multiplier throughput, bounds a single chain.
+    let mut a0 = len.wrapping_mul(MUL_A) ^ FNV_OFFSET;
+    let mut a1 = len.wrapping_mul(MUL_A) ^ FNV_PRIME;
+    let mut b0 = len.wrapping_mul(MUL_B) ^ FNV_OFFSET;
+    let mut b1 = len.wrapping_mul(MUL_B) ^ FNV_PRIME;
+    let mut pairs = data.chunks_exact(16);
+    for c in pairs.by_ref() {
+        let w0 = u64::from_le_bytes(c[..8].try_into().unwrap());
+        let w1 = u64::from_le_bytes(c[8..].try_into().unwrap());
+        a0 = (a0 ^ w0).wrapping_mul(MUL_A).rotate_left(29);
+        a1 = (a1 ^ w1).wrapping_mul(MUL_A).rotate_left(29);
+        b0 = (b0 ^ w0).wrapping_mul(MUL_B).rotate_left(31);
+        b1 = (b1 ^ w1).wrapping_mul(MUL_B).rotate_left(31);
+    }
+    let rem = pairs.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 16];
+        tail[..rem.len()].copy_from_slice(rem);
+        let w0 = u64::from_le_bytes(tail[..8].try_into().unwrap());
+        let w1 = u64::from_le_bytes(tail[8..].try_into().unwrap());
+        a0 = (a0 ^ w0).wrapping_mul(MUL_A).rotate_left(29);
+        a1 = (a1 ^ w1).wrapping_mul(MUL_A).rotate_left(29);
+        b0 = (b0 ^ w0).wrapping_mul(MUL_B).rotate_left(31);
+        b1 = (b1 ^ w1).wrapping_mul(MUL_B).rotate_left(31);
+    }
+    // Fold the paired accumulators so every input word reaches both lanes,
+    // then avalanche each lane.
+    let mut a = (a0 ^ b1.rotate_left(17)).wrapping_mul(MUL_A) ^ a1;
+    let mut b = (b0 ^ a1.rotate_left(17)).wrapping_mul(MUL_B) ^ b1;
+    a ^= a >> 32;
+    a = a.wrapping_mul(MUL_A);
+    a ^= a >> 29;
+    b ^= b >> 32;
+    b = b.wrapping_mul(MUL_B);
+    b ^= b >> 29;
+    ((a as u128) << 64) | b as u128
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +195,62 @@ mod tests {
     fn distinct_inputs_distinct_digests() {
         assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
         assert_ne!(fnv1a(b"abc"), fnv1a(b"acb"));
+    }
+
+    #[test]
+    fn fnv128_known_vectors() {
+        // Published FNV-1a 128 test vectors.
+        assert_eq!(fnv1a_128(b""), 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d);
+        assert_eq!(fnv1a_128(b"a"), 0xd228_cb69_6f1a_8caf_7891_2b70_4e4a_8964);
+        assert_eq!(
+            fnv1a_128(b"foobar"),
+            0x343e_1662_793c_64bf_6f0d_3597_ba44_6f18
+        );
+    }
+
+    #[test]
+    fn fnv128_distinct_inputs_distinct_digests() {
+        assert_ne!(fnv1a_128(b"abc"), fnv1a_128(b"abd"));
+        assert_ne!(fnv1a_128(b"abc"), fnv1a_128(b"acb"));
+        assert_ne!(fnv1a_128(&[0u8; 4096]), fnv1a_128(&[1u8; 4096]));
+    }
+
+    #[test]
+    fn block_filter_is_deterministic_and_discriminating() {
+        assert_eq!(block_filter(b"abcdefgh"), block_filter(b"abcdefgh"));
+        assert_ne!(block_filter(b"abcdefgh"), block_filter(b"abcdefgi"));
+        // Single-bit flips anywhere in a 64-byte block change the digest.
+        let base = [0x5Au8; 64];
+        let h0 = block_filter(&base);
+        for i in 0..64 {
+            let mut flipped = base;
+            flipped[i] ^= 1;
+            assert_ne!(block_filter(&flipped), h0, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn block_filter_folds_length_so_padding_cannot_alias() {
+        // A short block must not collide with its own zero-padded form.
+        assert_ne!(block_filter(b"abc"), block_filter(b"abc\0\0\0\0\0"));
+        assert_ne!(block_filter(b""), block_filter(&[0u8; 8]));
+    }
+
+    #[test]
+    fn wide_filter_is_deterministic_and_discriminating() {
+        assert_eq!(wide_filter(b"abcdefgh"), wide_filter(b"abcdefgh"));
+        let base = [0xA5u8; 4096];
+        let h0 = wide_filter(&base);
+        // Single-bit flips anywhere in a page-sized block change the digest,
+        // and both 64-bit lanes avalanche independently.
+        for i in (0..4096).step_by(97) {
+            let mut flipped = base;
+            flipped[i] ^= 1;
+            let h = wide_filter(&flipped);
+            assert_ne!(h, h0, "byte {i}");
+            assert_ne!((h >> 64) as u64, (h0 >> 64) as u64, "hi lane, byte {i}");
+            assert_ne!(h as u64, h0 as u64, "lo lane, byte {i}");
+        }
+        assert_ne!(wide_filter(b"abc"), wide_filter(b"abc\0\0\0\0\0"));
     }
 }
