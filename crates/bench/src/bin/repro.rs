@@ -18,6 +18,15 @@
 //!                           # deterministic instrumented run; write the
 //!                           # metric + span snapshot (same seed => same
 //!                           # bytes)
+//! repro fleet --quick --check
+//!                           # multi-tenant aicd service sweep (1 -> 10k
+//!                           # tenants, {1,16,256} under --quick) over one
+//!                           # shared pool/transport/log; gates: zero
+//!                           # isolation violations, bit-identical
+//!                           # departures, w* within 5% of the solo
+//!                           # oracle, throughput monotone to saturation
+//! repro sharing             # operational sharing factor (the old
+//!                           # `fleet` experiment; extension of Fig. 7)
 //! ```
 
 use std::env;
@@ -26,7 +35,8 @@ use std::process::ExitCode;
 
 use aic_bench::experiments::{
     ablation, bench_delta, compact, dedup, drain, faults, fig11, fig12, fig2, fig5, fig6, fig7,
-    fleet_sharing, mpi_scaling, pool_scaling, regret, replay, table1, table3, validate, RunScale,
+    fleet_service, fleet_sharing, mpi_scaling, pool_scaling, regret, replay, table1, table3,
+    validate, RunScale,
 };
 use aic_bench::output::csv;
 
@@ -193,10 +203,32 @@ fn run_one(args: &Args) -> Result<(), String> {
                 ablation::render(&ablation::sample_buffer("sjeng", scale, &[16, 256, 2048]))
             );
         }
-        "fleet" => {
-            println!("## Operational sharing factor (fleet; extension of Fig. 7)\n");
+        "sharing" => {
+            println!("## Operational sharing factor (extension of Fig. 7)\n");
             let rows = fleet_sharing::run("libquantum", &fleet_sharing::DEFAULT_SFS, scale);
             print!("{}", fleet_sharing::render(&rows));
+        }
+        "fleet" => {
+            println!("## Multi-tenant fleet service — shared pool/transport/log sweep\n");
+            let sweep = fleet_service::run(scale);
+            if args.csv {
+                print!(
+                    "{}",
+                    csv(
+                        &fleet_service::CSV_HEADERS,
+                        &fleet_service::csv_rows(&sweep)
+                    )
+                );
+            } else {
+                print!("{}", fleet_service::render(&sweep));
+            }
+            if args.check {
+                let violations = sweep.check();
+                if !violations.is_empty() {
+                    return Err(format!("fleet gate failed:\n  {}", violations.join("\n  ")));
+                }
+                println!("\ncheck passed: zero isolation violations, every departure bit-identical, w* within 5% of the solo oracle, throughput monotone to saturation, same-seed cells byte-identical");
+            }
         }
         "regret" => {
             println!("## Regret vs the offline-optimal plan (extension)\n");
@@ -323,8 +355,8 @@ fn run_one(args: &Args) -> Result<(), String> {
         "all" => {
             for exp in [
                 "table1", "fig5", "fig6", "fig7", "fig2", "table3", "fig11", "fig12", "validate",
-                "ablation", "mpi", "pool", "bench", "fleet", "regret", "faults", "drain",
-                "compact", "dedup", "replay",
+                "ablation", "mpi", "pool", "bench", "sharing", "fleet", "regret", "faults",
+                "drain", "compact", "dedup", "replay",
             ] {
                 let sub = Args {
                     experiment: exp.to_string(),
@@ -351,7 +383,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|pool|bench|fleet|regret|faults|drain|compact|replay|all> \
+                "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|pool|bench|sharing|fleet|regret|faults|drain|compact|replay|all> \
                  [--quick] [--csv] [--check] [--crash N] [--footprint F] [--duration D] [--seed N] [--jobs N] [--metrics-out FILE]"
             );
             ExitCode::FAILURE

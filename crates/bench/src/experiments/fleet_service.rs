@@ -1,0 +1,333 @@
+//! Fleet-scale multi-tenant service sweep (`repro fleet`).
+//!
+//! Runs the `aicd` service ([`aic_ckpt::service`]) at growing tenant
+//! counts over one shared compressor pool, write-behind transport and
+//! per-level checkpoint log, and reports per cell: aggregate checkpoint
+//! throughput, p99 cut-blocking time, wire traffic, worst admission wait,
+//! and the per-tenant w* divergence against a solo-run oracle (the same
+//! tenant run alone on an otherwise idle service).
+//!
+//! `--check` gates the sweep: aggregate throughput must be monotone
+//! non-decreasing up to its saturation point, every sampled tenant's w*
+//! must sit within 5% of its solo oracle, every cell must finish with
+//! zero isolation violations and every departure verified bit-identical,
+//! and re-running the smallest cell must reproduce a byte-identical
+//! report (the determinism pin).
+
+use aic_ckpt::fleet::SharedDatasetFleet;
+use aic_ckpt::service::{run_service, ServiceConfig, ServiceReport, TenantPolicy, TenantSpec};
+
+use crate::experiments::{testbed_rates, RunScale};
+use crate::output::{f, markdown_table, pct};
+
+/// One tenant-count measurement.
+#[derive(Debug, Clone)]
+pub struct FleetCell {
+    /// Tenants served.
+    pub tenants: usize,
+    /// Total checkpoints committed.
+    pub cuts: u64,
+    /// Aggregate throughput, checkpoints per virtual second.
+    pub throughput_cps: f64,
+    /// p99 cut-blocking time across all cuts, seconds.
+    pub p99_block: f64,
+    /// Mean cut-blocking time, seconds.
+    pub mean_block: f64,
+    /// Wire bytes shipped (including retry waste).
+    pub wire_bytes: u64,
+    /// Worst admission wait, seconds.
+    pub max_admission_wait: f64,
+    /// Worst sampled |w_fleet − w_solo| / w_solo.
+    pub max_w_divergence: f64,
+    /// Isolation invariant violations (gate: zero).
+    pub violations: u64,
+    /// Departures that verified bit-identical / departures verified.
+    pub verified_ok: bool,
+    /// Virtual makespan, seconds.
+    pub makespan: f64,
+}
+
+/// The whole sweep plus its determinism pin.
+#[derive(Debug, Clone)]
+pub struct FleetSweep {
+    /// One cell per tenant count, ascending.
+    pub cells: Vec<FleetCell>,
+    /// Rendered report of the smallest cell, run twice: the pair must be
+    /// byte-identical.
+    pub determinism_pin: (String, String),
+}
+
+/// Tenant counts for the sweep: CI-sized under `--quick`, 1 → 10k at
+/// full scale.
+pub fn tenant_counts(scale: &RunScale) -> Vec<usize> {
+    if scale.duration < 1.0 {
+        vec![1, 16, 256]
+    } else {
+        vec![1, 10, 100, 1_000, 10_000]
+    }
+}
+
+/// Working-set sizes cycle through small personas so cells stay tractable
+/// at 10k tenants while remaining heterogeneous.
+fn persona_pages(i: usize, scale: &RunScale) -> usize {
+    let base = [4usize, 6, 9, 12][i % 4];
+    ((base as f64 * scale.footprint.max(0.05)).round() as usize).max(2)
+}
+
+fn service_config(scale: &RunScale, tenants: usize) -> ServiceConfig {
+    let mut cfg = ServiceConfig::fleet_default(testbed_rates());
+    cfg.cores = 4;
+    cfg.slots = 64.max(tenants / 16);
+    // Keep the shared link the bottleneck the paper cares about (2 MB/s
+    // Lustre share), scaled with footprint like the engine experiments.
+    cfg.b3 = 2.0e6 * scale.footprint.max(0.05);
+    cfg
+}
+
+fn specs(fleet: &SharedDatasetFleet, rounds: u64) -> Vec<TenantSpec> {
+    (0..fleet.ranks())
+        .map(|i| TenantSpec {
+            persona: i,
+            policy: TenantPolicy::Adaptive { bootstrap: 3.0 },
+            join_at: 0.0,
+            rounds,
+            crashes: Vec::new(),
+        })
+        .collect()
+}
+
+fn run_cell(scale: &RunScale, tenants: usize) -> (ServiceReport, f64) {
+    let pages: Vec<usize> = (0..tenants).map(|i| persona_pages(i, scale)).collect();
+    let fleet = SharedDatasetFleet::heterogeneous(pages, 30, scale.seed);
+    let cfg = service_config(scale, tenants);
+    let rounds = 3;
+    let report = run_service(&fleet, &specs(&fleet, rounds), &cfg).expect("fleet cell must run");
+
+    // Solo oracle: up to three sampled tenants re-run alone against the
+    // same fleet personas; divergence is on the final adapted w*.
+    let mut sample: Vec<usize> = vec![0, tenants / 2, tenants - 1];
+    sample.dedup();
+    let mut max_div: f64 = 0.0;
+    for id in sample {
+        let solo_spec = vec![TenantSpec {
+            persona: report.per_tenant[id].id,
+            ..specs(&fleet, rounds)[id].clone()
+        }];
+        let solo = run_service(&fleet, &solo_spec, &cfg).expect("solo oracle must run");
+        let w_solo = solo.per_tenant[0].final_w;
+        let w_fleet = report.per_tenant[id].final_w;
+        if w_solo > 0.0 {
+            max_div = max_div.max((w_fleet - w_solo).abs() / w_solo);
+        }
+    }
+    (report, max_div)
+}
+
+fn cell_of(report: &ServiceReport, max_div: f64) -> FleetCell {
+    FleetCell {
+        tenants: report.tenants,
+        cuts: report.cuts,
+        throughput_cps: report.throughput_cps,
+        p99_block: report.p99_block,
+        mean_block: report.mean_block,
+        wire_bytes: report.wire_bytes,
+        max_admission_wait: report.max_admission_wait,
+        max_w_divergence: max_div,
+        violations: report.isolation_violations,
+        verified_ok: report.per_tenant.iter().all(|t| t.verified != Some(false)),
+        makespan: report.makespan,
+    }
+}
+
+fn render_report(r: &ServiceReport) -> String {
+    let mut out = format!(
+        "tenants {} cuts {} makespan {:.6} thr {:.9} wire {} p99 {:.9} viol {}\n",
+        r.tenants,
+        r.cuts,
+        r.makespan,
+        r.throughput_cps,
+        r.wire_bytes,
+        r.p99_block,
+        r.isolation_violations
+    );
+    for t in &r.per_tenant {
+        out.push_str(&format!(
+            "  t{} cuts {} w {:.9} wire {} wait {:.6} rec {} verified {:?}\n",
+            t.id, t.cuts, t.final_w, t.wire_bytes, t.admission_wait, t.recoveries, t.verified
+        ));
+    }
+    out
+}
+
+/// Run the sweep.
+pub fn run(scale: &RunScale) -> FleetSweep {
+    let counts = tenant_counts(scale);
+    let cells = counts
+        .iter()
+        .map(|&n| {
+            let (report, max_div) = run_cell(scale, n);
+            cell_of(&report, max_div)
+        })
+        .collect();
+    let (pin_a, _) = run_cell(scale, counts[0]);
+    let (pin_b, _) = run_cell(scale, counts[0]);
+    FleetSweep {
+        cells,
+        determinism_pin: (render_report(&pin_a), render_report(&pin_b)),
+    }
+}
+
+/// Markdown table of the sweep.
+pub fn render(sweep: &FleetSweep) -> String {
+    let rows: Vec<Vec<String>> = sweep
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.tenants.to_string(),
+                c.cuts.to_string(),
+                f(c.throughput_cps),
+                f(c.p99_block),
+                f(c.mean_block),
+                format!("{:.1}", c.wire_bytes as f64 / 1e6),
+                f(c.max_admission_wait),
+                pct(c.max_w_divergence),
+                c.violations.to_string(),
+                if c.verified_ok { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    markdown_table(
+        &[
+            "tenants",
+            "cuts",
+            "thr (ckpt/s)",
+            "p99 block (s)",
+            "mean block (s)",
+            "wire (MB)",
+            "max wait (s)",
+            "max w* div",
+            "violations",
+            "verified",
+        ],
+        &rows,
+    )
+}
+
+/// CSV headers matching [`csv_rows`].
+pub const CSV_HEADERS: [&str; 10] = [
+    "tenants",
+    "cuts",
+    "throughput_cps",
+    "p99_block_s",
+    "mean_block_s",
+    "wire_bytes",
+    "max_admission_wait_s",
+    "max_w_divergence",
+    "violations",
+    "makespan_s",
+];
+
+/// Machine-readable rows.
+pub fn csv_rows(sweep: &FleetSweep) -> Vec<Vec<String>> {
+    sweep
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.tenants.to_string(),
+                c.cuts.to_string(),
+                c.throughput_cps.to_string(),
+                c.p99_block.to_string(),
+                c.mean_block.to_string(),
+                c.wire_bytes.to_string(),
+                c.max_admission_wait.to_string(),
+                c.max_w_divergence.to_string(),
+                c.violations.to_string(),
+                c.makespan.to_string(),
+            ]
+        })
+        .collect()
+}
+
+impl FleetSweep {
+    /// The `--check` gates. Empty means the sweep passed.
+    pub fn check(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for c in &self.cells {
+            if c.violations != 0 {
+                v.push(format!(
+                    "{} tenants: {} isolation violations",
+                    c.tenants, c.violations
+                ));
+            }
+            if !c.verified_ok {
+                v.push(format!(
+                    "{} tenants: a departure failed bit-identical verification",
+                    c.tenants
+                ));
+            }
+            if c.max_w_divergence > 0.05 {
+                v.push(format!(
+                    "{} tenants: w* diverged {:.2}% from the solo oracle (limit 5%)",
+                    c.tenants,
+                    c.max_w_divergence * 100.0
+                ));
+            }
+        }
+        // Aggregate throughput must grow (tolerance 2% for float noise)
+        // until the link saturates; past the peak it may plateau or decay.
+        let peak = self
+            .cells
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.throughput_cps.total_cmp(&b.1.throughput_cps))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        for w in self.cells[..=peak].windows(2) {
+            if w[1].throughput_cps < w[0].throughput_cps * 0.98 {
+                v.push(format!(
+                    "throughput dropped before saturation: {} ckpt/s at {} tenants, {} ckpt/s at {}",
+                    f(w[0].throughput_cps),
+                    w[0].tenants,
+                    f(w[1].throughput_cps),
+                    w[1].tenants
+                ));
+            }
+        }
+        if self.determinism_pin.0 != self.determinism_pin.1 {
+            v.push("same-seed fleet cell reports are not byte-identical".into());
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_passes_its_own_gates() {
+        let mut scale = RunScale::quick();
+        scale.footprint = 0.25;
+        let counts = tenant_counts(&scale);
+        assert_eq!(counts, vec![1, 16, 256]);
+        // Keep the unit test fast: only the two smallest cells.
+        let cells: Vec<FleetCell> = [1usize, 8]
+            .iter()
+            .map(|&n| {
+                let (r, d) = run_cell(&scale, n);
+                cell_of(&r, d)
+            })
+            .collect();
+        let (a, _) = run_cell(&scale, 1);
+        let (b, _) = run_cell(&scale, 1);
+        let sweep = FleetSweep {
+            cells,
+            determinism_pin: (render_report(&a), render_report(&b)),
+        };
+        let violations = sweep.check();
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(sweep.cells[1].cuts > sweep.cells[0].cuts);
+    }
+}

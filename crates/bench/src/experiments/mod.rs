@@ -12,6 +12,7 @@ pub mod fig2;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod fleet_service;
 pub mod fleet_sharing;
 pub mod mpi_scaling;
 pub mod pool_scaling;

@@ -16,14 +16,16 @@
 use std::sync::Arc;
 
 use aic_ckpt::engine::EngineConfig;
+use aic_ckpt::fleet::SharedDatasetFleet;
 use aic_ckpt::harness::{run_with_faults, FailureSchedule};
+use aic_ckpt::service::{run_service, ServiceConfig, TenantPolicy, TenantSpec};
 use aic_ckpt::transport::{TransportFaults, WriteBehindConfig};
 use aic_core::policy::{AicConfig, AicPolicy};
 use aic_delta::strong::Fnv1a;
 use aic_memsim::Snapshot;
 use aic_obs::Obs;
 
-use crate::experiments::{geometry_scaled_engine, scaled_persona, RunScale};
+use crate::experiments::{geometry_scaled_engine, scaled_persona, testbed_rates, RunScale};
 
 /// Everything the golden test pins, plus the human-facing run summary.
 #[derive(Debug, Clone)]
@@ -34,6 +36,14 @@ pub struct ReplayOutcome {
     pub spans_jsonl: String,
     /// FNV-1a digest of the final memory image (sorted page order).
     pub image_fnv1a: u64,
+    /// Deterministic `fleet.*` registry of the single-tenant service run,
+    /// JSONL (its own registry, so the engine metrics above are untouched).
+    pub fleet_metrics_jsonl: String,
+    /// Span stream of the single-tenant service run, JSONL.
+    pub fleet_spans_jsonl: String,
+    /// The single tenant's w* after every cut — pinned byte-identical by
+    /// the golden file.
+    pub fleet_w_trajectory: Vec<f64>,
     /// Checkpoints cut during the run.
     pub checkpoints: usize,
     /// NET² of the run.
@@ -46,9 +56,19 @@ impl ReplayOutcome {
     /// The canonical snapshot text the golden file pins: metrics JSONL,
     /// then span JSONL, then the image digest line.
     pub fn snapshot_text(&self) -> String {
+        let w = self
+            .fleet_w_trajectory
+            .iter()
+            .map(|v| format!("{v:.9}"))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
-            "{}{}final_image_fnv1a={:016x}\n",
-            self.metrics_jsonl, self.spans_jsonl, self.image_fnv1a
+            "{}{}final_image_fnv1a={:016x}\n{}{}fleet_w_trajectory=[{w}]\n",
+            self.metrics_jsonl,
+            self.spans_jsonl,
+            self.image_fnv1a,
+            self.fleet_metrics_jsonl,
+            self.fleet_spans_jsonl,
         )
     }
 
@@ -121,14 +141,45 @@ pub fn run(scale: &RunScale) -> ReplayOutcome {
         .as_ref()
         .expect("keep_files run returns the final image");
 
+    let (fleet_obs, fleet_w) = fleet_section(scale);
+
     ReplayOutcome {
         metrics_jsonl: obs.metrics.deterministic_snapshot().to_jsonl(),
         spans_jsonl: obs.spans.to_jsonl(),
         image_fnv1a: image_digest(final_state),
+        fleet_metrics_jsonl: fleet_obs.metrics.deterministic_snapshot().to_jsonl(),
+        fleet_spans_jsonl: fleet_obs.spans.to_jsonl(),
+        fleet_w_trajectory: fleet_w,
         checkpoints: out.report.intervals.len(),
         net2: out.report.net2,
         wall_s: out.report.wall_time,
     }
+}
+
+/// The single-tenant `aicd` service scenario the golden file pins: one
+/// adaptive tenant with a mid-run f2 crash and seeded transport faults,
+/// on its own observability registry so every `fleet.*` series lands in
+/// the artifact and the tenant's w* trajectory is byte-reproducible.
+fn fleet_section(scale: &RunScale) -> (Arc<Obs>, Vec<f64>) {
+    let obs = Arc::new(Obs::new());
+    let fleet = SharedDatasetFleet::heterogeneous(vec![6], 30, scale.seed);
+    let mut cfg = ServiceConfig::fleet_default(testbed_rates());
+    cfg.cores = 2;
+    cfg.faults = Some(TransportFaults::mixed(scale.seed));
+    cfg.obs = Some(Arc::clone(&obs));
+    let specs = vec![TenantSpec {
+        persona: 0,
+        policy: TenantPolicy::Adaptive { bootstrap: 3.0 },
+        join_at: 0.0,
+        rounds: 5,
+        crashes: vec![(7.0, 2)],
+    }];
+    let report = run_service(&fleet, &specs, &cfg).expect("replay fleet section must run");
+    assert_eq!(
+        report.isolation_violations, 0,
+        "replay fleet section violated isolation"
+    );
+    (obs, report.per_tenant[0].w_trajectory.clone())
 }
 
 #[cfg(test)]
@@ -156,6 +207,12 @@ mod tests {
             "\"name\":\"engine.recover\"",
             "\"name\":\"aic.predict\"",
             "final_image_fnv1a=",
+            "\"metric\":\"fleet.cuts\"",
+            "\"metric\":\"fleet.tenants_admitted\"",
+            "\"metric\":\"fleet.isolation_violations\"",
+            "\"name\":\"fleet.join\"",
+            "\"name\":\"fleet.leave\"",
+            "fleet_w_trajectory=[",
         ] {
             assert!(text.contains(needle), "snapshot missing {needle}");
         }

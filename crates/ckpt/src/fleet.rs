@@ -41,11 +41,16 @@ pub type FleetReport = EngineReport;
 /// Everything is a pure function of `(seed, rank, page, round)`, so any
 /// state at any round can be reconstructed independently — the experiment
 /// harness uses this for bit-identity checks after recovery.
-#[derive(Debug, Clone, Copy)]
+///
+/// Working-set sizes may differ per rank ([`Self::heterogeneous`]): a
+/// shared page's content depends only on `(seed, page, round)`, never on
+/// the rank, so shared pages dedup across ranks of *different* sizes too
+/// (smaller ranks simply hold a prefix of the shared region).
+#[derive(Debug, Clone)]
 pub struct SharedDatasetFleet {
-    ranks: usize,
-    pages_per_rank: usize,
-    shared_pages: usize,
+    /// Pages held by each rank (`len()` is the rank count).
+    pages: Vec<usize>,
+    overlap_pct: u32,
     seed: u64,
 }
 
@@ -53,29 +58,61 @@ impl SharedDatasetFleet {
     /// A fleet of `ranks` processes with `pages_per_rank` pages each, of
     /// which `overlap_pct`% (0–100) are shared across all ranks.
     pub fn new(ranks: usize, pages_per_rank: usize, overlap_pct: u32, seed: u64) -> Self {
-        assert!(ranks >= 1 && pages_per_rank >= 1);
+        assert!(ranks >= 1);
+        Self::heterogeneous(vec![pages_per_rank; ranks], overlap_pct, seed)
+    }
+
+    /// A fleet with per-rank working-set sizes (`pages_per_rank[r]` pages
+    /// on rank `r`), of which `overlap_pct`% are shared. Shared content is
+    /// rank-independent, so two ranks of different sizes still hold
+    /// identical bytes over their common shared-page prefix.
+    pub fn heterogeneous(pages_per_rank: Vec<usize>, overlap_pct: u32, seed: u64) -> Self {
+        assert!(!pages_per_rank.is_empty(), "a fleet needs at least 1 rank");
+        assert!(
+            pages_per_rank.iter().all(|&p| p >= 1),
+            "every rank needs at least 1 page"
+        );
         assert!(overlap_pct <= 100, "overlap is a percentage");
         SharedDatasetFleet {
-            ranks,
-            pages_per_rank,
-            shared_pages: pages_per_rank * overlap_pct as usize / 100,
+            pages: pages_per_rank,
+            overlap_pct,
             seed,
         }
     }
 
     /// Number of ranks in the fleet.
     pub fn ranks(&self) -> usize {
-        self.ranks
+        self.pages.len()
     }
 
-    /// Pages per rank.
+    /// Pages per rank, for uniform fleets built with
+    /// [`SharedDatasetFleet::new`].
+    ///
+    /// # Panics
+    /// If the fleet is heterogeneous — use [`Self::pages_of`] then.
     pub fn pages_per_rank(&self) -> usize {
-        self.pages_per_rank
+        let first = self.pages[0];
+        assert!(
+            self.pages.iter().all(|&p| p == first),
+            "pages_per_rank() on a heterogeneous fleet; use pages_of(rank)"
+        );
+        first
     }
 
-    /// How many of each rank's pages are shared across the fleet.
+    /// Pages held by `rank`.
+    pub fn pages_of(&self, rank: usize) -> usize {
+        self.pages[rank]
+    }
+
+    /// How many of each rank's pages are shared across the fleet, for
+    /// uniform fleets (see [`Self::pages_per_rank`]).
     pub fn shared_pages(&self) -> usize {
-        self.shared_pages
+        self.pages_per_rank() * self.overlap_pct as usize / 100
+    }
+
+    /// How many of `rank`'s pages are shared across the fleet.
+    pub fn shared_pages_of(&self, rank: usize) -> usize {
+        self.pages_of(rank) * self.overlap_pct as usize / 100
     }
 
     fn rng(&self, tag: u64, a: u64, b: u64, c: u64) -> StdRng {
@@ -92,7 +129,7 @@ impl SharedDatasetFleet {
 
     fn page(&self, rank: usize, idx: u64, round: u64) -> Page {
         let mut page = Page::zeroed();
-        if (idx as usize) < self.shared_pages {
+        if (idx as usize) < self.shared_pages_of(rank) {
             // Shared: identical on every rank, fully rewritten each round.
             self.rng(1, 0, idx, round).fill_bytes(page.as_mut_slice());
         } else {
@@ -112,9 +149,9 @@ impl SharedDatasetFleet {
 
     /// The full state of `rank` at `round` (round 0 is the initial state).
     pub fn snapshot(&self, rank: usize, round: u64) -> Snapshot {
-        assert!(rank < self.ranks);
+        assert!(rank < self.ranks());
         Snapshot::from_pages(
-            (0..self.pages_per_rank as u64).map(|idx| (idx, self.page(rank, idx, round))),
+            (0..self.pages_of(rank) as u64).map(|idx| (idx, self.page(rank, idx, round))),
         )
     }
 
@@ -392,6 +429,36 @@ mod tests {
                 b.get(idx).unwrap().as_slice()
             );
         }
+    }
+
+    #[test]
+    fn heterogeneous_fleet_keeps_purity_and_shares_common_prefix() {
+        let fleet = SharedDatasetFleet::heterogeneous(vec![4, 12, 8], 50, 11);
+        assert_eq!(fleet.ranks(), 3);
+        assert_eq!(fleet.pages_of(1), 12);
+        assert_eq!(fleet.shared_pages_of(1), 6);
+        assert_eq!(fleet.shared_pages_of(0), 2);
+        for round in 0..3u64 {
+            // Shared content is rank-independent: the small rank's shared
+            // pages match the big rank's over the common prefix.
+            let small = fleet.snapshot(0, round);
+            let big = fleet.snapshot(1, round);
+            for idx in 0..2u64 {
+                assert_eq!(
+                    small.get(idx).unwrap().as_slice(),
+                    big.get(idx).unwrap().as_slice(),
+                    "shared page {idx} diverged across rank sizes"
+                );
+            }
+            // Purity: any (rank, round) state reconstructs bit-identically.
+            assert_eq!(big, fleet.snapshot(1, round));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "heterogeneous")]
+    fn pages_per_rank_panics_on_heterogeneous_fleet() {
+        let _ = SharedDatasetFleet::heterogeneous(vec![2, 3], 0, 1).pages_per_rank();
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod harness;
 pub mod log;
 pub mod policies;
 pub mod recovery;
+pub mod service;
 pub mod sim;
 pub mod storage;
 pub mod transport;

@@ -59,7 +59,7 @@ use bytes::Bytes;
 use crate::chain::CheckpointChain;
 use crate::dedup::{is_frame, DedupStats, Frame, LevelDedup};
 use crate::format::{CheckpointFile, CheckpointKind};
-use crate::log::{CheckpointLog, LogError, LogStats, DEFAULT_SEGMENT_CAPACITY};
+use crate::log::{CheckpointLog, LogError, LogStats, RecordLoc, DEFAULT_SEGMENT_CAPACITY};
 use crate::storage::{BandwidthModel, FlatStore, Raid5Group, Receipt, Store};
 use aic_delta::strong::wide_filter;
 use aic_memsim::Snapshot;
@@ -848,12 +848,31 @@ impl StorageHierarchy {
             .sum()
     }
 
-    /// Newest sequence number of the contiguous remotely durable prefix —
-    /// what an f3 failure right now would recover to. `None` while nothing
-    /// (or only a gapped suffix) is acknowledged.
+    /// Newest sequence number any job's contiguous remotely durable prefix
+    /// reaches — what an f3 failure right now would recover to. `None`
+    /// while nothing (or only a gapped suffix) is acknowledged. Contiguity
+    /// is per job, matching the recovery and gap-cut semantics.
     pub fn remote_frontier(&self) -> Option<u64> {
+        let mut stopped = std::collections::HashSet::new();
+        let mut newest = None;
+        for e in &self.committed {
+            if stopped.contains(&e.job) {
+                continue;
+            }
+            if e.l3_durable {
+                newest = Some(e.seq);
+            } else {
+                stopped.insert(e.job);
+            }
+        }
+        newest
+    }
+
+    /// [`StorageHierarchy::remote_frontier`] scoped to one job's chain.
+    pub fn remote_frontier_of(&self, job: u64) -> Option<u64> {
         self.committed
             .iter()
+            .filter(|e| e.job == job)
             .take_while(|e| e.l3_durable)
             .last()
             .map(|e| e.seq)
@@ -984,13 +1003,26 @@ impl StorageHierarchy {
                 }
                 let dropped = self.pending_remote.len();
                 self.pending_remote.clear();
-                // Only the *contiguous* acknowledged prefix is usable: an
-                // acknowledged delta whose base never drained can only be
-                // orphaned, so it is collected along with the pending tail
-                // — and its dedup references go with it.
-                let frontier = self.committed.iter().take_while(|e| e.l3_durable).count();
+                // Only each job's *contiguous* acknowledged prefix is
+                // usable: an acknowledged delta whose base never drained
+                // can only be orphaned, so it is collected along with the
+                // pending tail — and its dedup references go with it.
+                // Contiguity is per job: one job's gap must not cut another
+                // job's acknowledged suffix.
+                let mut stopped = std::collections::HashSet::new();
+                let mut kept = Vec::with_capacity(self.committed.len());
+                let mut orphans = Vec::new();
+                for e in self.committed.drain(..) {
+                    if !stopped.contains(&e.job) && e.l3_durable {
+                        kept.push(e);
+                    } else {
+                        stopped.insert(e.job);
+                        orphans.push(e);
+                    }
+                }
+                self.committed = kept;
                 let mut any_dead = false;
-                for e in self.committed.drain(frontier..) {
+                for e in orphans {
                     any_dead |= self.remote.mark_dead(e.seq);
                     if let Some(dd) = &mut self.dedup {
                         for c in dd.remote.forget_record(e.seq) {
@@ -1013,6 +1045,191 @@ impl StorageHierarchy {
             other => return Err(RecoveryError::BadLevel(other)),
         }
         Ok(())
+    }
+
+    /// Destroy one tenant's copies the way a level-`level` failure on
+    /// *its* node would, leaving every other job untouched — the
+    /// per-tenant analogue of [`StorageHierarchy::inject_failure`] for a
+    /// shared hierarchy:
+    ///
+    /// * **f1**: transient — nothing durable is lost;
+    /// * **f2**: the tenant's local-disk records are gone (its L1 marks go
+    ///   dead); the RAID group itself stays healthy for the other tenants,
+    ///   so the job recovers from L2;
+    /// * **f3**: the tenant's L1 and L2 records are gone, its pending
+    ///   write-behind drains die with the node, and its remote chain is
+    ///   gap-cut back to its *own* contiguous acknowledged prefix — other
+    ///   jobs' acknowledged records are untouched.
+    ///
+    /// Returns the sequence numbers of the job's pending drains that were
+    /// lost (non-empty only for f3); the caller must cancel their
+    /// in-flight transfers on the transport.
+    pub fn fail_job(&mut self, job: u64, level: usize) -> Result<Vec<u64>, RecoveryError> {
+        let owned: Vec<u64> = self
+            .committed
+            .iter()
+            .filter(|e| e.job == job)
+            .map(|e| e.seq)
+            .collect();
+        match level {
+            1 => Ok(Vec::new()),
+            2 => {
+                for s in &owned {
+                    self.local.mark_dead(*s);
+                }
+                maybe_compact!(self.local, self.compaction);
+                Ok(Vec::new())
+            }
+            3 => {
+                let mut reclaimed = 0u64;
+                for s in &owned {
+                    self.local.mark_dead(*s);
+                    self.raid.mark_dead(*s);
+                    if let Some(dd) = &mut self.dedup {
+                        for c in dd.raid.forget_record(*s) {
+                            self.raid.mark_dead(c);
+                            reclaimed += 1;
+                        }
+                    }
+                }
+                // The pending drains were fed from the dead node's copies.
+                let mut lost = Vec::new();
+                self.pending_remote.retain(|&s, p| {
+                    if p.job == job {
+                        lost.push(s);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                // Gap-cut this job's remote chain at its own contiguous
+                // acknowledged prefix; orphans (acked past a gap) go too.
+                // Survivors lose their L1/L2 copies with the node, so L1/L2
+                // recovery must not try to replay them.
+                let mut stopped = false;
+                let mut orphans = Vec::new();
+                self.committed.retain_mut(|e| {
+                    if e.job != job {
+                        return true;
+                    }
+                    if !stopped && e.l3_durable {
+                        e.l12_live = false;
+                        true
+                    } else {
+                        stopped = true;
+                        orphans.push(e.seq);
+                        false
+                    }
+                });
+                for s in &orphans {
+                    self.remote.mark_dead(*s);
+                    if let Some(dd) = &mut self.dedup {
+                        for c in dd.remote.forget_record(*s) {
+                            self.remote.mark_dead(c);
+                            reclaimed += 1;
+                        }
+                    }
+                }
+                maybe_compact!(self.local, self.compaction);
+                maybe_compact!(self.raid, self.compaction);
+                maybe_compact!(self.remote, self.compaction);
+                if let Some(obs) = &self.obs {
+                    obs.wb_dropped.add(lost.len() as u64);
+                    obs.gc_objects.add(orphans.len() as u64);
+                    obs.dedup_reclaims.add(reclaimed);
+                }
+                Ok(lost)
+            }
+            other => Err(RecoveryError::BadLevel(other)),
+        }
+    }
+
+    /// Retire a departed tenant: every record it still holds on any level
+    /// is marked dead (dedup chunks follow their refcounts), its pending
+    /// drains are dropped, and each level compacts per policy — so a
+    /// departed tenant leaks no live bytes into [`Self::log_stats`].
+    /// Returns the retired record count and the dropped pending-drain
+    /// seqs (the caller cancels their in-flight transfers).
+    pub fn remove_job(&mut self, job: u64) -> (usize, Vec<u64>) {
+        let owned: Vec<u64> = self
+            .committed
+            .iter()
+            .filter(|e| e.job == job)
+            .map(|e| e.seq)
+            .collect();
+        let held_before: u64 = self.stored_bytes().iter().sum();
+        let mut reclaimed = 0u64;
+        for s in &owned {
+            self.local.mark_dead(*s);
+            self.raid.mark_dead(*s);
+            self.remote.mark_dead(*s);
+            if let Some(dd) = &mut self.dedup {
+                for c in dd.raid.forget_record(*s) {
+                    self.raid.mark_dead(c);
+                    reclaimed += 1;
+                }
+                for c in dd.remote.forget_record(*s) {
+                    self.remote.mark_dead(c);
+                    reclaimed += 1;
+                }
+            }
+        }
+        self.committed.retain(|e| e.job != job);
+        let mut lost = Vec::new();
+        self.pending_remote.retain(|&s, p| {
+            if p.job == job {
+                lost.push(s);
+                false
+            } else {
+                true
+            }
+        });
+        maybe_compact!(self.local, self.compaction);
+        maybe_compact!(self.raid, self.compaction);
+        maybe_compact!(self.remote, self.compaction);
+        if let Some(obs) = &self.obs {
+            let held_after: u64 = self.stored_bytes().iter().sum();
+            obs.gc_objects.add(owned.len() as u64);
+            obs.gc_bytes.add(held_before.saturating_sub(held_after));
+            obs.wb_dropped.add(lost.len() as u64);
+            obs.dedup_reclaims.add(reclaimed);
+        }
+        (owned.len(), lost)
+    }
+
+    /// Location of `seq`'s live record in `level`'s log — the pinned-reader
+    /// handle ([`crate::log::CheckpointLog::loc_of`]). `None` for dead or
+    /// unknown records, or a level outside 1..=3.
+    pub fn loc_of(&self, level: usize, seq: u64) -> Option<RecordLoc> {
+        match level {
+            1 => self.local.loc_of(seq),
+            2 => self.raid.loc_of(seq),
+            3 => self.remote.loc_of(seq),
+            _ => None,
+        }
+    }
+
+    /// Read a record at an explicit location on `level`. For a pinned
+    /// reader the location stays readable even after the record is marked
+    /// dead and its segment retired by a concurrent compaction — the
+    /// epoch-isolation guarantee the fleet-isolation suite asserts.
+    pub fn read_at(&self, level: usize, loc: RecordLoc) -> Option<Bytes> {
+        match level {
+            1 => self.local.read_at(loc),
+            2 => self.raid.read_at(loc),
+            3 => self.remote.read_at(loc),
+            _ => None,
+        }
+    }
+
+    /// Live record seqs on one level's log, dedup chunk records included.
+    pub fn live_record_seqs(&self, level: usize) -> Vec<u64> {
+        match level {
+            1 => self.local.live_seqs(),
+            2 => self.raid.live_seqs(),
+            3 => self.remote.live_seqs(),
+            _ => Vec::new(),
+        }
     }
 
     /// Repair the RAID group (rebuild a failed node from parity); no-op
@@ -1109,12 +1326,27 @@ impl StorageHierarchy {
                 .iter()
                 .filter(|e| e.l12_live && job.is_none_or(|j| e.job == j))
                 .collect(),
-            RecoveryLevel::Remote => self
-                .committed
-                .iter()
-                .take_while(|e| e.l3_durable)
-                .filter(|e| job.is_none_or(|j| e.job == j))
-                .collect(),
+            // L3 serves each job's own contiguous acknowledged prefix: a
+            // job's chain ends at *its* first un-acked record. Contiguity
+            // is per job, not global — tenant B's pending drain must not
+            // truncate tenant A's acknowledged prefix when several jobs
+            // share the hierarchy.
+            RecoveryLevel::Remote => {
+                let mut stopped = std::collections::HashSet::new();
+                self.committed
+                    .iter()
+                    .filter(|e| {
+                        if stopped.contains(&e.job) {
+                            return false;
+                        }
+                        if !e.l3_durable {
+                            stopped.insert(e.job);
+                            return false;
+                        }
+                        job.is_none_or(|j| e.job == j)
+                    })
+                    .collect()
+            }
         };
         let Some(newest) = visible.last() else {
             return Err(RecoveryError::BadObject(format!(

@@ -1,0 +1,1360 @@
+//! `aicd` — the multi-tenant fleet checkpoint service.
+//!
+//! A deterministic discrete-event daemon that admits N simulated tenants,
+//! each with its own checkpoint policy, crash schedule, and working-set
+//! persona (a rank of a [`crate::fleet::SharedDatasetFleet`]), all sharing:
+//!
+//! * **one [`CompressorPool`]** — real encode work for every tenant runs
+//!   through the same shared pool; *virtual* encode time is scheduled by a
+//!   deficit-round-robin (DRR) dispatcher over `cores` virtual encode
+//!   cores, so one heavy-dirty tenant cannot starve the light ones;
+//! * **one write-behind [`NetworkTransport`]** — every tenant's L3 drain
+//!   contends on the same SF-way fair-shared link behind one bounded
+//!   queue (back-pressure stalls the cutter, it never drops);
+//! * **one [`StorageHierarchy`]** — a single `CheckpointLog` per level with
+//!   per-tenant liveness marks (`job`-scoped anchor GC, gap-cuts, and
+//!   departure reclamation) and epoch pins, so one tenant's recovery never
+//!   races another tenant's compaction or anchor GC.
+//!
+//! Admission control is a bounded tenant-slot table plus encode-demand
+//! back-pressure: when the virtual encode backlog exceeds
+//! [`ServiceConfig::backlog_limit`], waiting tenants **stall** in a FIFO
+//! queue — they are never rejected.
+//!
+//! Everything runs on a virtual clock in [`ServiceConfig::tick`] steps; the
+//! same seed and specs produce a byte-identical [`ServiceReport`]. The
+//! service asserts its own isolation invariants as it runs (bit-identical
+//! recovery against the persona's pure-function state, pinned-reader
+//! safety under concurrent compaction, full reclamation of departed
+//! tenants) and counts violations instead of panicking, so sweeps can gate
+//! on [`ServiceReport::isolation_violations`]` == 0`.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use aic_delta::pa::{plan_shards, PaDeltaFile, PaParams};
+use aic_delta::stats::CostModel;
+use aic_memsim::{PageIdx, Snapshot};
+use aic_model::FailureRates;
+use aic_obs::{Counter, Gauge, Histogram, Obs};
+
+use crate::concurrent::{CompressJob, CompressorPool};
+use crate::engine::{Compressor, EngineConfig};
+use crate::fleet::SharedDatasetFleet;
+use crate::format::{CheckpointFile, CheckpointKind};
+use crate::log::RecordLoc;
+use crate::policies::sic_optimal_w_pooled;
+use crate::recovery::{RecoveryError, RecoveryLevel, StorageHierarchy};
+use crate::transport::{
+    LinkConfig, NetworkTransport, TransportEvent, TransportFaults, WriteBehindConfig,
+};
+
+/// When a tenant cuts: a fixed interval, or the adaptive w* recomputed
+/// from its own running calibration means after every checkpoint.
+#[derive(Debug, Clone, Copy)]
+pub enum TenantPolicy {
+    /// Cut every `w` virtual seconds of work.
+    Fixed(f64),
+    /// AIC: start from `bootstrap`, then re-solve the pooled w* from the
+    /// tenant's running mean `c1`/`dl`/`ds`. The solver only ever sees the
+    /// tenant's *intrinsic* encode latency (queue-free, full pool width),
+    /// so its trajectory matches the solo-run oracle.
+    Adaptive {
+        /// Interval used until the first checkpoint calibrates the solver.
+        bootstrap: f64,
+    },
+}
+
+impl TenantPolicy {
+    fn initial_w(self) -> f64 {
+        match self {
+            TenantPolicy::Fixed(w) => w,
+            TenantPolicy::Adaptive { bootstrap } => bootstrap,
+        }
+    }
+}
+
+/// One tenant's static description: who it is, when it arrives, how it
+/// checkpoints, and when it crashes.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Rank in the shared dataset fleet (the working-set persona).
+    pub persona: usize,
+    /// Checkpoint policy.
+    pub policy: TenantPolicy,
+    /// Virtual arrival time (admission may stall it further).
+    pub join_at: f64,
+    /// Checkpoints to cut before departing (≥ 1).
+    pub rounds: u64,
+    /// Crash schedule: `(virtual time, failure level 1..=3)`.
+    pub crashes: Vec<(f64, usize)>,
+}
+
+/// Fleet service knobs. All timing is virtual; one config + one spec list +
+/// one fleet seed is one deterministic run.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Admission slots: tenants concurrently active (≥ 1).
+    pub slots: usize,
+    /// Virtual encode cores (also the shared pool's plan width).
+    pub cores: usize,
+    /// DRR quantum, bytes of encode work credited per scheduling round.
+    pub quantum_bytes: u64,
+    /// Encode-demand back-pressure: stall admissions while the earliest
+    /// virtual core is busier than this many seconds ahead of now.
+    pub backlog_limit: f64,
+    /// Decision tick, virtual seconds.
+    pub tick: f64,
+    /// Write-behind transport queue depth.
+    pub queue_depth: usize,
+    /// Shared L3 link bandwidth, bytes/s.
+    pub b3: f64,
+    /// SF-way fair-share factor on the link.
+    pub sharing_factor: f64,
+    /// Per-attempt link setup latency, seconds.
+    pub link_latency: f64,
+    /// Optional seeded transport faults.
+    pub faults: Option<TransportFaults>,
+    /// Log segment capacity per level, bytes.
+    pub seg_capacity: usize,
+    /// Content-addressed dedup on L2/L3 (shared pages stored once).
+    pub dedup: bool,
+    /// Cut a full anchor every N checkpoints per tenant.
+    pub full_every: u64,
+    /// Verify bit-identical recovery at every departure.
+    pub verify: bool,
+    /// Encode/disk latency model.
+    pub cost_model: CostModel,
+    /// Delta compressor parameters.
+    pub pa: PaParams,
+    /// Failure rates for the adaptive w* solver.
+    pub rates: FailureRates,
+    /// Observability bundle for `fleet.*` metrics and spans.
+    pub obs: Option<Arc<Obs>>,
+}
+
+impl ServiceConfig {
+    /// Small-fleet defaults: 2 MB/s shared link, 4 virtual cores, dedup
+    /// on, verification on.
+    pub fn fleet_default(rates: FailureRates) -> Self {
+        ServiceConfig {
+            slots: 64,
+            cores: 4,
+            quantum_bytes: 64 << 10,
+            backlog_limit: 30.0,
+            tick: 1.0,
+            queue_depth: 64,
+            b3: 2.0e6,
+            sharing_factor: 1.0,
+            link_latency: 1e-3,
+            faults: None,
+            seg_capacity: 4 << 20,
+            dedup: true,
+            full_every: 4,
+            verify: true,
+            cost_model: CostModel::default(),
+            pa: PaParams::default(),
+            rates,
+            obs: None,
+        }
+    }
+}
+
+/// Registered `fleet.*` metrics. [`register_metrics`] creates (and thereby
+/// registers) every series, so replay artifacts carry the full catalogue
+/// even for counters that stay zero.
+#[derive(Debug, Clone)]
+pub struct FleetObs {
+    obs: Arc<Obs>,
+    admitted: Counter,
+    active: Gauge,
+    waiting: Gauge,
+    admission_stalls: Counter,
+    cuts: Counter,
+    block_us: Histogram,
+    shards: Counter,
+    drr_rounds: Counter,
+    wire_bytes: Counter,
+    wire_wasted: Counter,
+    recoveries: Counter,
+    pin_windows: Counter,
+    violations: Counter,
+    departures: Counter,
+    gave_up: Counter,
+}
+
+/// Cut-blocking histogram buckets, microseconds.
+static BLOCK_US_BUCKETS: [u64; 10] = [
+    100,
+    1_000,
+    10_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    60_000_000,
+    600_000_000,
+];
+
+/// Register the full `fleet.*` metric catalogue on `obs` and return the
+/// handles. Idempotent per registry (names are stable statics).
+pub fn register_metrics(obs: &Arc<Obs>) -> FleetObs {
+    let m = &obs.metrics;
+    FleetObs {
+        obs: Arc::clone(obs),
+        admitted: m.counter("fleet.tenants_admitted"),
+        active: m.gauge("fleet.tenants_active"),
+        waiting: m.gauge("fleet.tenants_waiting"),
+        admission_stalls: m.counter("fleet.admission_stalls"),
+        cuts: m.counter("fleet.cuts"),
+        block_us: m.histogram("fleet.cut_block_us", &BLOCK_US_BUCKETS),
+        shards: m.counter("fleet.encode_shards"),
+        drr_rounds: m.counter("fleet.drr_rounds"),
+        wire_bytes: m.counter("fleet.wire_bytes"),
+        wire_wasted: m.counter("fleet.wire_wasted_bytes"),
+        recoveries: m.counter("fleet.recoveries"),
+        pin_windows: m.counter("fleet.pin_windows"),
+        violations: m.counter("fleet.isolation_violations"),
+        departures: m.counter("fleet.departures"),
+        gave_up: m.counter("fleet.transfers_gave_up"),
+    }
+}
+
+/// Per-tenant outcome of a service run.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant id (index into the spec list).
+    pub id: usize,
+    /// Checkpoints committed (replays after a crash count).
+    pub cuts: u64,
+    /// Final checkpoint interval.
+    pub final_w: f64,
+    /// w after every cut, in cut order — the solo-divergence observable.
+    pub w_trajectory: Vec<f64>,
+    /// Worst cut-blocking time, seconds.
+    pub max_block: f64,
+    /// p99 cut-blocking time, seconds.
+    pub p99_block: f64,
+    /// Wire bytes attributed to this tenant (shipped + wasted retries).
+    pub wire_bytes: u64,
+    /// Seconds between arrival and admission.
+    pub admission_wait: f64,
+    /// Crash recoveries performed.
+    pub recoveries: u64,
+    /// Departure-time recovery verified bit-identical (`None` when
+    /// verification was off or nothing was recoverable).
+    pub verified: Option<bool>,
+}
+
+/// Aggregate outcome of a service run.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Tenants served.
+    pub tenants: usize,
+    /// Total checkpoints committed.
+    pub cuts: u64,
+    /// Virtual makespan: last cut completion / final ack, seconds.
+    pub makespan: f64,
+    /// Aggregate checkpoint throughput, checkpoints per virtual second.
+    pub throughput_cps: f64,
+    /// Total wire bytes (shipped + wasted) across all tenants.
+    pub wire_bytes: u64,
+    /// p99 cut-blocking time across every cut of every tenant, seconds.
+    pub p99_block: f64,
+    /// Mean cut-blocking time, seconds.
+    pub mean_block: f64,
+    /// Worst admission wait, seconds.
+    pub max_admission_wait: f64,
+    /// Isolation invariant violations (must be 0).
+    pub isolation_violations: u64,
+    /// Transfers that exhausted their retry budget.
+    pub gave_up: u64,
+    /// Per-tenant breakdown, by tenant id.
+    pub per_tenant: Vec<TenantReport>,
+}
+
+impl ServiceReport {
+    /// True when every isolation invariant held and every verified tenant
+    /// recovered bit-identically.
+    pub fn clean(&self) -> bool {
+        self.isolation_violations == 0 && self.per_tenant.iter().all(|t| t.verified != Some(false))
+    }
+}
+
+/// `q`-th percentile (0..=1) of an unsorted sample, by sorted index.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(f64::total_cmp);
+    // Nearest-rank: the smallest value ≥ q of the distribution.
+    let rank = (q * s.len() as f64).ceil() as usize;
+    s[rank.saturating_sub(1).min(s.len() - 1)]
+}
+
+#[derive(Debug)]
+enum TenantState {
+    NotJoined,
+    Waiting,
+    Working,
+    Cutting,
+    Recovering {
+        until: f64,
+        pins: [u64; 3],
+        level: usize,
+        locs: Vec<(u64, RecordLoc)>,
+        resume_round: u64,
+    },
+    Departed,
+}
+
+/// One encode job riding the DRR queues: the real delta payload (already
+/// encoded by the shared pool) plus the virtual shard costs still to be
+/// scheduled on the virtual cores.
+#[derive(Debug)]
+struct EncodeJob {
+    started: f64,
+    ready: f64,
+    round: u64,
+    is_full: bool,
+    c1: f64,
+    delta_bytes: u64,
+    dl_intrinsic: f64,
+    /// `(bytes, virtual seconds)` per shard, dispatch order.
+    shards: VecDeque<(u64, f64)>,
+    /// Completion high-water mark over dispatched shards.
+    end: f64,
+    file: Option<PaDeltaFile>,
+    live_pages: Vec<PageIdx>,
+}
+
+#[derive(Debug)]
+struct Tenant {
+    spec: TenantSpec,
+    job: u64,
+    state: TenantState,
+    w: f64,
+    round: u64,
+    cuts: u64,
+    cuts_since_full: u64,
+    has_anchor: bool,
+    work_done: f64,
+    busy_until: f64,
+    crash_idx: usize,
+    seqs: HashSet<u64>,
+    n_records: f64,
+    sum_c1: f64,
+    sum_dl: f64,
+    sum_ds: f64,
+    w_trajectory: Vec<f64>,
+    blockings: Vec<f64>,
+    wire_bytes: u64,
+    admission_wait: f64,
+    recoveries: u64,
+    verified: Option<bool>,
+    deficit: u64,
+    queue: VecDeque<EncodeJob>,
+}
+
+impl Tenant {
+    fn new(spec: TenantSpec, id: usize) -> Self {
+        let w = spec.policy.initial_w();
+        Tenant {
+            spec,
+            job: id as u64 + 1,
+            state: TenantState::NotJoined,
+            w,
+            round: 0,
+            cuts: 0,
+            cuts_since_full: 0,
+            has_anchor: false,
+            work_done: 0.0,
+            busy_until: 0.0,
+            crash_idx: 0,
+            seqs: HashSet::new(),
+            n_records: 0.0,
+            sum_c1: 0.0,
+            sum_dl: 0.0,
+            sum_ds: 0.0,
+            w_trajectory: Vec::new(),
+            blockings: Vec::new(),
+            wire_bytes: 0,
+            admission_wait: 0.0,
+            recoveries: 0,
+            verified: None,
+            deficit: 0,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+fn round_state(round: u64) -> Bytes {
+    Bytes::copy_from_slice(&round.to_le_bytes())
+}
+
+fn round_of_state(cpu_state: &[u8]) -> Option<u64> {
+    cpu_state.try_into().map(u64::from_le_bytes).ok()
+}
+
+/// Bit-identical snapshot comparison (page indices and contents).
+fn snapshots_identical(a: &Snapshot, b: &Snapshot) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|((ia, pa), (ib, pb))| ia == ib && pa.as_slice() == pb.as_slice())
+}
+
+/// A matured encode job waiting for its virtual completion time so it can
+/// commit in global `(time, tenant)` order.
+#[derive(Debug)]
+struct MaturedJob {
+    at: f64,
+    tenant: usize,
+    job: EncodeJob,
+}
+
+/// Run the fleet service to completion: every tenant joins, cuts its
+/// rounds (crashing and recovering per its schedule), and departs. The
+/// fleet's pure-function personas double as the solo-run oracle: a
+/// recovered image is correct iff it equals `fleet.snapshot(persona, r)`
+/// for the recovered round `r`.
+///
+/// Deterministic: same fleet (seed), specs, and config produce an
+/// identical report.
+pub fn run_service(
+    fleet: &SharedDatasetFleet,
+    specs: &[TenantSpec],
+    cfg: &ServiceConfig,
+) -> Result<ServiceReport, RecoveryError> {
+    assert!(cfg.slots >= 1, "need at least one admission slot");
+    assert!(cfg.cores >= 1, "need at least one encode core");
+    assert!(cfg.tick > 0.0, "tick must be positive");
+    assert!(cfg.full_every >= 1, "full_every must be >= 1");
+    for s in specs {
+        assert!(s.rounds >= 1, "tenants must cut at least one checkpoint");
+        assert!(s.persona < fleet.ranks(), "persona outside the fleet");
+    }
+
+    let fobs = cfg.obs.as_ref().map(register_metrics);
+    let mut hier = StorageHierarchy::with_segments(
+        crate::storage::FlatStore::new(crate::storage::BandwidthModel::new(100e6, 1e-3)),
+        crate::storage::Raid5Group::new(
+            4,
+            256 << 10,
+            crate::storage::BandwidthModel::new(471.7e6, 1e-3),
+        ),
+        crate::storage::FlatStore::new(crate::storage::BandwidthModel::new(
+            cfg.b3,
+            cfg.link_latency,
+        )),
+        cfg.seg_capacity,
+    );
+    if cfg.dedup {
+        hier.enable_dedup();
+    }
+    if let Some(o) = &cfg.obs {
+        hier.attach_obs(o);
+    }
+    let mut transport = NetworkTransport::new(
+        LinkConfig::new(cfg.b3, cfg.link_latency, cfg.sharing_factor),
+        WriteBehindConfig {
+            queue_depth: cfg.queue_depth,
+            faults: cfg.faults,
+            ..WriteBehindConfig::default()
+        },
+    );
+    if let Some(o) = &cfg.obs {
+        transport.attach_obs(o);
+    }
+    let pool = CompressorPool::spawn_with_obs(cfg.cores, 64, cfg.obs.as_ref());
+    // The w* solver sees the shared infrastructure through an engine view.
+    let mut solver_cfg = EngineConfig::testbed(cfg.rates.clone());
+    solver_cfg.b3 = cfg.b3;
+    solver_cfg.sharing_factor = cfg.sharing_factor;
+    solver_cfg.cores = cfg.cores;
+    solver_cfg.cost_model = cfg.cost_model;
+    solver_cfg.compressor = Compressor::PaDelta(cfg.pa);
+
+    let mut tenants: Vec<Tenant> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Tenant::new(s.clone(), i))
+        .collect();
+    let mut admission_q: VecDeque<usize> = VecDeque::new();
+    let mut matured: Vec<MaturedJob> = Vec::new();
+    let mut cores: Vec<f64> = vec![0.0; cfg.cores];
+    let mut seq_next: u64 = 1;
+    let mut seq_owner: HashMap<u64, usize> = HashMap::new();
+    let mut violations: u64 = 0;
+    let mut gave_up: u64 = 0;
+    let mut total_cuts: u64 = 0;
+    let mut total_wire: u64 = 0;
+    let mut horizon: f64 = 0.0;
+    let mut now = 0.0;
+    let mut ticks: u64 = 0;
+
+    // Apply terminal transport events: acks land their pending drains and
+    // attribute wire bytes (shipped + wasted retries) to the owning tenant.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_events(
+        events: &[TransportEvent],
+        hier: &mut StorageHierarchy,
+        tenants: &mut [Tenant],
+        seq_owner: &HashMap<u64, usize>,
+        fobs: &Option<FleetObs>,
+        total_wire: &mut u64,
+        gave_up: &mut u64,
+        horizon: &mut f64,
+    ) -> Result<(), RecoveryError> {
+        for ev in events {
+            match ev {
+                TransportEvent::Acked {
+                    seq,
+                    at,
+                    bytes,
+                    wasted,
+                    ..
+                } => {
+                    *horizon = horizon.max(*at);
+                    let shipped = bytes + wasted;
+                    if let Some(&id) = seq_owner.get(seq) {
+                        tenants[id].wire_bytes += shipped;
+                    }
+                    *total_wire += shipped;
+                    if let Some(o) = fobs {
+                        o.wire_bytes.add(*bytes);
+                        o.wire_wasted.add(*wasted);
+                    }
+                    // Acks for drains dropped by a crash or an anchored ack
+                    // are stale: the transfer finished but nothing needs it.
+                    if hier.pending_remote_seqs().binary_search(seq).is_ok() {
+                        hier.ack_remote(*seq)?;
+                    }
+                }
+                TransportEvent::GaveUp { at, .. } => {
+                    *horizon = horizon.max(*at);
+                    *gave_up += 1;
+                    if let Some(o) = fobs {
+                        o.gave_up.inc();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    loop {
+        ticks += 1;
+        assert!(
+            ticks < 50_000_000,
+            "fleet service failed to converge (virtual clock {now:.1}s)"
+        );
+
+        // 1. Network: drains that completed by this tick.
+        let events = transport.advance_to(now);
+        apply_events(
+            &events,
+            &mut hier,
+            &mut tenants,
+            &seq_owner,
+            &fobs,
+            &mut total_wire,
+            &mut gave_up,
+            &mut horizon,
+        )?;
+
+        // 2. Matured encode jobs commit in global (completion, tenant)
+        // order — the log's global seq order is exactly this order.
+        matured.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.tenant.cmp(&b.tenant)));
+        let due: Vec<MaturedJob> = {
+            let mut rest = Vec::new();
+            let mut due = Vec::new();
+            for m in matured.drain(..) {
+                if m.at <= now {
+                    due.push(m);
+                } else {
+                    rest.push(m);
+                }
+            }
+            matured = rest;
+            due
+        };
+        for m in due {
+            let id = m.tenant;
+            if !matches!(tenants[id].state, TenantState::Cutting) {
+                continue; // crashed while the job was in flight
+            }
+            let seq = seq_next;
+            seq_next += 1;
+            let round = m.job.round;
+            let file = if m.job.is_full {
+                CheckpointFile::full(
+                    tenants[id].job,
+                    seq,
+                    fleet.snapshot(tenants[id].spec.persona, round),
+                    round_state(round),
+                )
+            } else {
+                CheckpointFile::delta(
+                    tenants[id].job,
+                    seq,
+                    m.job.file.expect("delta job carries its payload"),
+                    m.job.live_pages,
+                    round_state(round),
+                )
+            };
+            let is_full = file.kind == CheckpointKind::Full;
+            let (receipt, wire) = hier.commit_write_behind(&file)?;
+            seq_owner.insert(seq, id);
+            tenants[id].seqs.insert(seq);
+            if is_full {
+                // A committed anchor supersedes the tenant's own older
+                // drains; selective cancel leaves other tenants' transfers
+                // untouched (the engine's global cancel_below would not).
+                let stale: Vec<u64> = transport
+                    .pending_seqs()
+                    .into_iter()
+                    .filter(|s| *s < seq && tenants[id].seqs.contains(s))
+                    .collect();
+                transport.cancel_seqs(&stale);
+            }
+            let c2 = receipt.raid.seconds;
+            let out = transport.enqueue(seq, wire, m.at + c2);
+            apply_events(
+                &out.events,
+                &mut hier,
+                &mut tenants,
+                &seq_owner,
+                &fobs,
+                &mut total_wire,
+                &mut gave_up,
+                &mut horizon,
+            )?;
+            let cut_end = m.at + c2 + out.stalled_for;
+            let blocking = cut_end - m.job.started;
+            horizon = horizon.max(cut_end);
+            let t = &mut tenants[id];
+            t.blockings.push(blocking);
+            t.round = round;
+            t.cuts += 1;
+            total_cuts += 1;
+            if is_full {
+                t.has_anchor = true;
+                t.cuts_since_full = 0;
+            } else {
+                t.cuts_since_full += 1;
+            }
+            t.n_records += 1.0;
+            t.sum_c1 += m.job.c1;
+            t.sum_dl += m.job.dl_intrinsic;
+            t.sum_ds += m.job.delta_bytes as f64;
+            if let TenantPolicy::Adaptive { bootstrap } = t.spec.policy {
+                let base_time = t.spec.rounds as f64 * bootstrap;
+                t.w = sic_optimal_w_pooled(
+                    t.sum_c1 / t.n_records,
+                    t.sum_dl / t.n_records,
+                    t.sum_ds / t.n_records,
+                    &solver_cfg,
+                    base_time,
+                    cfg.cores,
+                );
+            }
+            t.w_trajectory.push(t.w);
+            t.work_done = 0.0;
+            t.busy_until = cut_end;
+            t.state = TenantState::Working;
+            if let Some(o) = &fobs {
+                o.cuts.inc();
+                o.block_us.observe((blocking * 1e6).round() as u64);
+            }
+            if t.cuts >= t.spec.rounds {
+                depart(
+                    id,
+                    fleet,
+                    cfg,
+                    &mut tenants,
+                    &mut hier,
+                    &mut transport,
+                    &fobs,
+                    &mut violations,
+                );
+            }
+        }
+
+        // 3. Crashes due by now (Working or Cutting tenants only; a tenant
+        // mid-recovery defers its next crash until it is back up).
+        let mut crashes: Vec<(f64, usize, usize)> = Vec::new();
+        for (id, t) in tenants.iter().enumerate() {
+            if !matches!(t.state, TenantState::Working | TenantState::Cutting) {
+                continue;
+            }
+            if let Some(&(at, level)) = t.spec.crashes.get(t.crash_idx) {
+                if at <= now {
+                    crashes.push((at, id, level));
+                }
+            }
+        }
+        crashes.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (_, id, level) in crashes {
+            tenants[id].crash_idx += 1;
+            crash_and_recover(
+                id,
+                level,
+                now,
+                fleet,
+                cfg,
+                &mut tenants,
+                &mut hier,
+                &mut transport,
+                &mut matured,
+                &fobs,
+                &mut violations,
+            )?;
+        }
+
+        // 4. Recovery windows that close by now: the pinned locations must
+        // still be readable — the epoch-isolation invariant — then the
+        // pins release and the tenant resumes.
+        for t in tenants.iter_mut() {
+            let TenantState::Recovering {
+                until,
+                pins,
+                level,
+                ref locs,
+                resume_round,
+            } = t.state
+            else {
+                continue;
+            };
+            if until > now {
+                continue;
+            }
+            for (_, loc) in locs {
+                if hier.read_at(level, *loc).is_none() {
+                    violations += 1;
+                    if let Some(o) = &fobs {
+                        o.violations.inc();
+                    }
+                }
+            }
+            hier.unpin_readers(pins);
+            t.round = resume_round;
+            t.work_done = 0.0;
+            t.busy_until = now;
+            t.state = TenantState::Working;
+        }
+
+        // 5. Admission: arrivals queue FIFO; the gate admits while slots
+        // are free and the encode backlog is under the limit. A blocked
+        // head stalls (counted) — it is never dropped.
+        for (id, t) in tenants.iter_mut().enumerate() {
+            if matches!(t.state, TenantState::NotJoined) && t.spec.join_at <= now {
+                t.state = TenantState::Waiting;
+                admission_q.push_back(id);
+            }
+        }
+        let backlog = cores.iter().copied().fold(f64::INFINITY, f64::min) - now;
+        loop {
+            let active = tenants
+                .iter()
+                .filter(|t| {
+                    matches!(
+                        t.state,
+                        TenantState::Working
+                            | TenantState::Cutting
+                            | TenantState::Recovering { .. }
+                    )
+                })
+                .count();
+            let Some(&head) = admission_q.front() else {
+                break;
+            };
+            if active >= cfg.slots || backlog > cfg.backlog_limit {
+                if let Some(o) = &fobs {
+                    o.admission_stalls.inc();
+                }
+                break;
+            }
+            admission_q.pop_front();
+            let t = &mut tenants[head];
+            t.admission_wait = now - t.spec.join_at;
+            t.busy_until = now;
+            t.state = TenantState::Working;
+            if let Some(o) = &fobs {
+                o.admitted.inc();
+                o.obs.spans.point(
+                    "fleet.join",
+                    now,
+                    vec![
+                        ("tenant", (head as u64).into()),
+                        ("waited_us", ((t.admission_wait * 1e6) as u64).into()),
+                    ],
+                );
+            }
+        }
+        if let Some(o) = &fobs {
+            let active = tenants
+                .iter()
+                .filter(|t| {
+                    matches!(
+                        t.state,
+                        TenantState::Working
+                            | TenantState::Cutting
+                            | TenantState::Recovering { .. }
+                    )
+                })
+                .count();
+            o.active.set(active as f64);
+            o.waiting.set(admission_q.len() as f64);
+        }
+
+        // 6. Work accrual and cut decisions, tenant order. Real encodes
+        // run through the shared pool (drain-before-submit keeps the
+        // bounded pipeline deadlock-free); virtual encode time is
+        // DRR-scheduled below.
+        let mut cutters: Vec<usize> = Vec::new();
+        for (id, t) in tenants.iter_mut().enumerate() {
+            if !matches!(t.state, TenantState::Working) || t.busy_until > now {
+                continue;
+            }
+            t.work_done += cfg.tick;
+            if t.work_done + 1e-9 >= t.w {
+                cutters.push(id);
+            }
+        }
+        let mut pool_jobs: Vec<usize> = Vec::new();
+        let mut pool_results = Vec::new();
+        for &id in &cutters {
+            let t = &mut tenants[id];
+            let round = t.round + 1;
+            let is_full = !t.has_anchor || t.cuts_since_full + 1 >= cfg.full_every;
+            t.state = TenantState::Cutting;
+            if is_full {
+                let snap = fleet.snapshot(t.spec.persona, round);
+                let raw = snap.bytes();
+                let c1 = cfg.cost_model.raw_io_latency(raw);
+                t.queue.push_back(EncodeJob {
+                    started: now,
+                    ready: now + c1,
+                    round,
+                    is_full: true,
+                    c1,
+                    delta_bytes: raw,
+                    dl_intrinsic: 0.0,
+                    shards: VecDeque::new(),
+                    end: now + c1,
+                    file: None,
+                    live_pages: Vec::new(),
+                });
+            } else {
+                let prev = fleet.snapshot(t.spec.persona, round - 1);
+                let dirty = fleet.dirty(t.spec.persona, round);
+                while let Some(r) = pool.try_recv() {
+                    pool_results.push(r);
+                }
+                pool.submit(CompressJob {
+                    seq: round,
+                    prev,
+                    dirty,
+                    params: cfg.pa,
+                });
+                pool_jobs.push(id);
+            }
+        }
+        while pool_results.len() < pool_jobs.len() {
+            pool_results.push(pool.recv());
+        }
+        for (&id, res) in pool_jobs.iter().zip(pool_results) {
+            let t = &mut tenants[id];
+            let round = t.round + 1;
+            let raw = fleet.pages_of(t.spec.persona) as u64 * aic_memsim::PAGE_SIZE as u64;
+            let c1 = cfg.cost_model.raw_io_latency(raw);
+            let dl_single = cfg.cost_model.delta_latency(&res.report);
+            let dl_intrinsic = cfg.cost_model.pooled_delta_latency(&res.report, cfg.cores);
+            let n_pages = fleet.pages_of(t.spec.persona);
+            let plan = plan_shards(n_pages, cfg.cores);
+            let shards: VecDeque<(u64, f64)> = plan
+                .iter()
+                .map(|s| {
+                    let pages = (s.end - s.start) as u64;
+                    let bytes = pages * aic_memsim::PAGE_SIZE as u64;
+                    let secs = dl_single * pages as f64 / n_pages as f64;
+                    (bytes, secs)
+                })
+                .collect();
+            let live_pages: Vec<PageIdx> = (0..n_pages as u64).collect();
+            t.queue.push_back(EncodeJob {
+                started: now,
+                ready: now + c1,
+                round,
+                is_full: false,
+                c1,
+                delta_bytes: res.report.delta_bytes,
+                dl_intrinsic,
+                shards,
+                end: now + c1,
+                file: Some(res.file),
+                live_pages,
+            });
+        }
+
+        // 7. DRR dispatch: cycle tenant queues, crediting quantum_bytes per
+        // visit; a shard dispatches when its bytes fit the deficit, onto
+        // the earliest-free virtual core. A drained queue forfeits its
+        // deficit (classic DRR), so an idle tenant cannot bank credit.
+        let quantum = cfg.quantum_bytes.max(1);
+        let mut active_ids: Vec<usize> = tenants
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.queue.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        while !active_ids.is_empty() {
+            if let Some(o) = &fobs {
+                o.drr_rounds.inc();
+            }
+            let mut next_round = Vec::new();
+            for &id in &active_ids {
+                let t = &mut tenants[id];
+                t.deficit = t.deficit.saturating_add(quantum);
+                loop {
+                    let Some(job) = t.queue.front_mut() else {
+                        t.deficit = 0;
+                        break;
+                    };
+                    let Some(&(bytes, secs)) = job.shards.front() else {
+                        // A full checkpoint carries no encode shards; it
+                        // matures at its ready time.
+                        let mut done = t.queue.pop_front().expect("non-empty queue");
+                        done.end = done.end.max(done.ready);
+                        matured.push(MaturedJob {
+                            at: done.end,
+                            tenant: id,
+                            job: done,
+                        });
+                        continue;
+                    };
+                    if bytes > t.deficit {
+                        break;
+                    }
+                    t.deficit -= bytes;
+                    let core = cores
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(i, _)| i)
+                        .expect("cores is non-empty");
+                    let start = job.ready.max(cores[core]).max(now);
+                    let end = start + secs;
+                    cores[core] = end;
+                    job.end = job.end.max(end);
+                    job.shards.pop_front();
+                    if let Some(o) = &fobs {
+                        o.shards.inc();
+                    }
+                    if job.shards.is_empty() {
+                        let done = t.queue.pop_front().expect("non-empty queue");
+                        matured.push(MaturedJob {
+                            at: done.end,
+                            tenant: id,
+                            job: done,
+                        });
+                    }
+                }
+                if !t.queue.is_empty() {
+                    next_round.push(id);
+                }
+            }
+            active_ids = next_round;
+        }
+
+        if tenants
+            .iter()
+            .all(|t| matches!(t.state, TenantState::Departed))
+        {
+            break;
+        }
+        now += cfg.tick;
+    }
+
+    // Late drains of the final commits (everything else was cancelled at
+    // departure) settle the clock.
+    let (events, idle_at) = transport.quiesce();
+    apply_events(
+        &events,
+        &mut hier,
+        &mut tenants,
+        &seq_owner,
+        &fobs,
+        &mut total_wire,
+        &mut gave_up,
+        &mut horizon,
+    )?;
+    horizon = horizon.max(idle_at.min(now)).max(now);
+    hier.try_reclaim_all();
+    // Every tenant departed and was retired, so a live byte on any level
+    // is a leak — a departed tenant's records were not fully reclaimed.
+    for stats in hier.log_stats() {
+        if stats.live_bytes != 0 || stats.live_records != 0 {
+            violations += 1;
+            if let Some(o) = &fobs {
+                o.violations.inc();
+            }
+        }
+    }
+
+    let all_block: Vec<f64> = tenants.iter().flat_map(|t| t.blockings.clone()).collect();
+    let mean_block = if all_block.is_empty() {
+        0.0
+    } else {
+        all_block.iter().sum::<f64>() / all_block.len() as f64
+    };
+    let per_tenant = tenants
+        .iter()
+        .enumerate()
+        .map(|(id, t)| TenantReport {
+            id,
+            cuts: t.cuts,
+            final_w: t.w,
+            w_trajectory: t.w_trajectory.clone(),
+            max_block: t.blockings.iter().copied().fold(0.0, f64::max),
+            p99_block: percentile(&t.blockings, 0.99),
+            wire_bytes: t.wire_bytes,
+            admission_wait: t.admission_wait,
+            recoveries: t.recoveries,
+            verified: t.verified,
+        })
+        .collect();
+    Ok(ServiceReport {
+        tenants: tenants.len(),
+        cuts: total_cuts,
+        makespan: horizon,
+        throughput_cps: if horizon > 0.0 {
+            total_cuts as f64 / horizon
+        } else {
+            0.0
+        },
+        wire_bytes: total_wire,
+        p99_block: percentile(&all_block, 0.99),
+        mean_block,
+        max_admission_wait: tenants.iter().map(|t| t.admission_wait).fold(0.0, f64::max),
+        isolation_violations: violations,
+        gave_up,
+        per_tenant,
+    })
+}
+
+/// Crash tenant `id` at failure level `level`, recover it from the
+/// cheapest surviving level, open its pinned read window, and verify the
+/// recovered image bit-identical against the persona's pure function.
+#[allow(clippy::too_many_arguments)]
+fn crash_and_recover(
+    id: usize,
+    level: usize,
+    now: f64,
+    fleet: &SharedDatasetFleet,
+    cfg: &ServiceConfig,
+    tenants: &mut [Tenant],
+    hier: &mut StorageHierarchy,
+    transport: &mut NetworkTransport,
+    matured: &mut Vec<MaturedJob>,
+    fobs: &Option<FleetObs>,
+    violations: &mut u64,
+) -> Result<(), RecoveryError> {
+    // The crash kills any in-flight cut: queued shards and matured-but-
+    // uncommitted jobs die with the node.
+    tenants[id].queue.clear();
+    tenants[id].deficit = 0;
+    matured.retain(|m| m.tenant != id);
+    let job = tenants[id].job;
+    let lost = hier.fail_job(job, level)?;
+    transport.cancel_seqs(&lost);
+    if let Some(o) = fobs {
+        o.obs.spans.point(
+            "fleet.crash",
+            now,
+            vec![
+                ("tenant", (id as u64).into()),
+                ("level", (level as u64).into()),
+            ],
+        );
+    }
+
+    // Cheapest surviving level ≥ the failure level.
+    let mut recovered = None;
+    for lvl in level..=3 {
+        match hier.recover_job(lvl, job) {
+            Ok(img) => {
+                recovered = Some((lvl, img));
+                break;
+            }
+            Err(_) => continue,
+        }
+    }
+    let t = &mut tenants[id];
+    t.recoveries += 1;
+    if let Some(o) = fobs {
+        o.recoveries.inc();
+    }
+    match recovered {
+        Some((lvl, img)) => {
+            let round = round_of_state(&img.cpu_state).unwrap_or(u64::MAX);
+            let expect = if round == u64::MAX {
+                None
+            } else {
+                Some(fleet.snapshot(t.spec.persona, round))
+            };
+            let identical = expect
+                .as_ref()
+                .is_some_and(|e| snapshots_identical(e, &img.snapshot));
+            if !identical {
+                *violations += 1;
+                if let Some(o) = fobs {
+                    o.violations.inc();
+                }
+            }
+            // Open the pinned read window: capture the served chain's
+            // record locations; they must stay readable for the whole
+            // window even as other tenants' anchors compact the logs.
+            let pins = hier.pin_readers();
+            let locs: Vec<(u64, RecordLoc)> = hier
+                .live_record_seqs(lvl)
+                .into_iter()
+                .filter(|s| t.seqs.contains(s))
+                .filter_map(|s| hier.loc_of(lvl, s).map(|l| (s, l)))
+                .collect();
+            if let Some(o) = fobs {
+                o.pin_windows.inc();
+                o.obs.spans.point(
+                    "fleet.recover",
+                    now,
+                    vec![
+                        ("tenant", (id as u64).into()),
+                        ("level", (lvl as u64).into()),
+                        ("round", round.into()),
+                        ("identical", identical.into()),
+                    ],
+                );
+            }
+            debug_assert_eq!(img.level, level_of(lvl));
+            t.state = TenantState::Recovering {
+                until: now + img.read_seconds.max(cfg.tick),
+                pins,
+                level: lvl,
+                locs,
+                resume_round: round,
+            };
+        }
+        None => {
+            // Nothing recoverable anywhere (crashed before the first
+            // anchor acked): restart from scratch.
+            t.round = 0;
+            t.has_anchor = false;
+            t.cuts_since_full = 0;
+            t.work_done = 0.0;
+            t.busy_until = now;
+            t.state = TenantState::Working;
+            if let Some(o) = fobs {
+                o.obs.spans.point(
+                    "fleet.recover",
+                    now,
+                    vec![
+                        ("tenant", (id as u64).into()),
+                        ("from_scratch", true.into()),
+                    ],
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn level_of(level: usize) -> RecoveryLevel {
+    match level {
+        1 => RecoveryLevel::Local,
+        2 => RecoveryLevel::Raid,
+        _ => RecoveryLevel::Remote,
+    }
+}
+
+/// Depart tenant `id`: verify its recovery one last time, retire every
+/// record it holds, cancel its in-flight drains, and check that nothing it
+/// owned stays live on any level.
+#[allow(clippy::too_many_arguments)]
+fn depart(
+    id: usize,
+    fleet: &SharedDatasetFleet,
+    cfg: &ServiceConfig,
+    tenants: &mut [Tenant],
+    hier: &mut StorageHierarchy,
+    transport: &mut NetworkTransport,
+    fobs: &Option<FleetObs>,
+    violations: &mut u64,
+) {
+    let job = tenants[id].job;
+    if cfg.verify {
+        let mut verified = None;
+        for lvl in 1..=3 {
+            if let Ok(img) = hier.recover_job(lvl, job) {
+                let round = round_of_state(&img.cpu_state).unwrap_or(u64::MAX);
+                let ok = round != u64::MAX
+                    && snapshots_identical(
+                        &fleet.snapshot(tenants[id].spec.persona, round),
+                        &img.snapshot,
+                    );
+                verified = Some(ok);
+                break;
+            }
+        }
+        tenants[id].verified = verified;
+        if verified == Some(false) {
+            *violations += 1;
+            if let Some(o) = fobs {
+                o.violations.inc();
+            }
+        }
+    }
+    let (_, lost) = hier.remove_job(job);
+    // Cancel everything of this tenant still on the wire: the dropped
+    // pendings plus any transfer whose ack nobody will consume.
+    let mine: Vec<u64> = transport
+        .pending_seqs()
+        .into_iter()
+        .filter(|s| tenants[id].seqs.contains(s) || lost.contains(s))
+        .collect();
+    transport.cancel_seqs(&mine);
+    // Departed tenants must leak nothing: no live record of theirs may
+    // survive on any level.
+    for lvl in 1..=3 {
+        if hier
+            .live_record_seqs(lvl)
+            .iter()
+            .any(|s| tenants[id].seqs.contains(s))
+        {
+            *violations += 1;
+            if let Some(o) = fobs {
+                o.violations.inc();
+            }
+        }
+    }
+    tenants[id].state = TenantState::Departed;
+    if let Some(o) = fobs {
+        o.departures.inc();
+        o.obs.spans.point(
+            "fleet.leave",
+            tenants[id].busy_until,
+            vec![
+                ("tenant", (id as u64).into()),
+                ("cuts", tenants[id].cuts.into()),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aic_model::FailureRates;
+
+    fn rates() -> FailureRates {
+        FailureRates::new(vec![3e-4, 2e-4, 1e-4])
+    }
+
+    fn small_cfg() -> ServiceConfig {
+        let mut cfg = ServiceConfig::fleet_default(rates());
+        cfg.cores = 2;
+        cfg.slots = 8;
+        cfg.b3 = 1.0e6;
+        cfg.full_every = 3;
+        cfg
+    }
+
+    fn spec(persona: usize, rounds: u64) -> TenantSpec {
+        TenantSpec {
+            persona,
+            policy: TenantPolicy::Fixed(3.0),
+            join_at: 0.0,
+            rounds,
+            crashes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn two_tenants_run_clean_and_deterministic() {
+        let fleet = SharedDatasetFleet::heterogeneous(vec![4, 7], 50, 9);
+        let specs = vec![spec(0, 4), spec(1, 4)];
+        let cfg = small_cfg();
+        let a = run_service(&fleet, &specs, &cfg).unwrap();
+        let b = run_service(&fleet, &specs, &cfg).unwrap();
+        assert!(a.clean(), "violations: {}", a.isolation_violations);
+        assert_eq!(a.cuts, 8);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.wire_bytes, b.wire_bytes);
+        assert_eq!(a.p99_block.to_bits(), b.p99_block.to_bits());
+        for (x, y) in a.per_tenant.iter().zip(&b.per_tenant) {
+            assert_eq!(x.cuts, y.cuts);
+            assert_eq!(x.final_w.to_bits(), y.final_w.to_bits());
+            assert_eq!(x.verified, Some(true));
+        }
+    }
+
+    #[test]
+    fn crash_recovers_bit_identical_and_pins_hold() {
+        let fleet = SharedDatasetFleet::heterogeneous(vec![5, 5, 9], 40, 21);
+        let mut specs = vec![spec(0, 5), spec(1, 5), spec(2, 5)];
+        specs[1].crashes = vec![(8.0, 1), (14.0, 3)];
+        specs[2].crashes = vec![(11.0, 2)];
+        let cfg = small_cfg();
+        let rep = run_service(&fleet, &specs, &cfg).unwrap();
+        assert!(rep.clean(), "violations: {}", rep.isolation_violations);
+        assert!(rep.per_tenant[1].recoveries >= 1);
+        assert!(rep.per_tenant[2].recoveries >= 1);
+        assert!(rep.per_tenant.iter().all(|t| t.verified == Some(true)));
+    }
+
+    #[test]
+    fn admission_gate_stalls_but_serves_everyone() {
+        let fleet = SharedDatasetFleet::new(6, 4, 25, 5);
+        let specs: Vec<TenantSpec> = (0..6).map(|i| spec(i, 2)).collect();
+        let mut cfg = small_cfg();
+        cfg.slots = 2;
+        let rep = run_service(&fleet, &specs, &cfg).unwrap();
+        assert!(rep.clean());
+        assert_eq!(rep.cuts, 12, "every stalled tenant still served");
+        assert!(rep.max_admission_wait > 0.0, "slots forced a wait");
+    }
+
+    #[test]
+    fn adaptive_policy_matches_solo_oracle_exactly() {
+        let fleet = SharedDatasetFleet::heterogeneous(vec![4, 12], 50, 33);
+        let adaptive = |p: usize| TenantSpec {
+            persona: p,
+            policy: TenantPolicy::Adaptive { bootstrap: 3.0 },
+            join_at: 0.0,
+            rounds: 5,
+            crashes: Vec::new(),
+        };
+        let cfg = small_cfg();
+        let shared = run_service(&fleet, &[adaptive(0), adaptive(1)], &cfg).unwrap();
+        for (i, t) in shared.per_tenant.iter().enumerate() {
+            let solo = run_service(&fleet, &[adaptive(i)], &cfg).unwrap();
+            assert_eq!(
+                t.w_trajectory, solo.per_tenant[0].w_trajectory,
+                "tenant {i} w* trajectory diverged from its solo oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_is_sorted_index() {
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        assert_eq!(percentile(&[5.0], 0.5), 5.0);
+        let s: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&s, 0.99), 99.0);
+        assert_eq!(percentile(&s, 1.0), 100.0);
+    }
+}

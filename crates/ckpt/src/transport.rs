@@ -268,6 +268,10 @@ pub enum TransportEvent {
         at: f64,
         /// Payload bytes shipped (excluding wasted retransmissions).
         bytes: u64,
+        /// Bytes shipped by failed attempts of this transfer (dropped
+        /// prefixes) — `bytes + wasted` is what actually crossed the
+        /// link, the quantity per-tenant wire accounting must attribute.
+        wasted: u64,
         /// Attempts used (1 = clean first try).
         attempts: u32,
     },
@@ -634,6 +638,35 @@ impl NetworkTransport {
         cancelled
     }
 
+    /// Cancel a specific set of outstanding transfers — one tenant of a
+    /// shared link crashed or departed, so only *its* drains must be
+    /// abandoned while every other tenant's transfers keep progressing.
+    /// Returns how many were cancelled (slots freed immediately).
+    pub fn cancel_seqs(&mut self, seqs: &[u64]) -> usize {
+        let before = self.transfers.len();
+        let now = self.now;
+        let obs = self.obs.clone();
+        self.transfers.retain(|t| {
+            let keep = !seqs.contains(&t.seq);
+            if !keep {
+                if let Some(o) = &obs {
+                    o.cancelled.inc();
+                    o.obs.spans.point(
+                        "transport.cancel",
+                        now,
+                        vec![("seq", t.seq.into()), ("selective", true.into())],
+                    );
+                }
+            }
+            keep
+        });
+        let cancelled = before - self.transfers.len();
+        if let Some(o) = &self.obs {
+            o.in_flight.set(self.transfers.len() as f64);
+        }
+        cancelled
+    }
+
     /// Abandon every outstanding transfer — an f3 destroyed the source
     /// node, so nothing more can be retransmitted. Returns the dropped
     /// sequence numbers.
@@ -805,6 +838,7 @@ impl NetworkTransport {
                                     seq: tr.seq,
                                     at: end,
                                     bytes: tr.bytes.round() as u64,
+                                    wasted: tr.wasted_bytes.round() as u64,
                                     attempts: tr.attempt,
                                 };
                                 if let Some(o) = &self.obs {
@@ -977,6 +1011,7 @@ mod tests {
                 seq: 0,
                 at: 2.0,
                 bytes: 2_000_000,
+                wasted: 0,
                 attempts: 1
             }]
         );
@@ -1219,6 +1254,21 @@ mod tests {
         let (events, _) = t.quiesce();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].seq(), 3);
+    }
+
+    #[test]
+    fn cancel_seqs_is_selective_and_leaves_other_flows_untouched() {
+        let mut t = NetworkTransport::new(link(1e4, 1.0), WriteBehindConfig::with_depth(4));
+        for seq in 0..4u64 {
+            t.enqueue(seq, 100_000, 0.0);
+        }
+        assert_eq!(t.cancel_seqs(&[1, 3]), 2);
+        assert_eq!(t.pending_seqs(), vec![0, 2]);
+        let (events, _) = t.quiesce();
+        let acked: Vec<u64> = events.iter().map(|e| e.seq()).collect();
+        assert_eq!(acked, vec![0, 2]);
+        // Cancelling seqs that are not outstanding is a no-op.
+        assert_eq!(t.cancel_seqs(&[0, 7]), 0);
     }
 
     #[test]

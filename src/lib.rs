@@ -5,4 +5,5 @@ pub use aic_delta as delta;
 pub use aic_memsim as memsim;
 pub use aic_model as model;
 pub use aic_mpi as mpi;
+pub use aic_obs as obs;
 pub use aic_trace as trace;

@@ -149,10 +149,10 @@ proptest! {
         for (c, f) in coarse.0.iter().zip(events.iter()) {
             match (*c, *f) {
                 (
-                    TransportEvent::Acked { seq: s1, at: t1, bytes: b1, attempts: a1 },
-                    TransportEvent::Acked { seq: s2, at: t2, bytes: b2, attempts: a2 },
+                    TransportEvent::Acked { seq: s1, at: t1, bytes: b1, wasted: w1, attempts: a1 },
+                    TransportEvent::Acked { seq: s2, at: t2, bytes: b2, wasted: w2, attempts: a2 },
                 ) => {
-                    prop_assert_eq!((s1, b1, a1), (s2, b2, a2));
+                    prop_assert_eq!((s1, b1, w1, a1), (s2, b2, w2, a2));
                     prop_assert!((t1 - t2).abs() < 1e-6, "ack times {t1} vs {t2}");
                 }
                 (
@@ -223,4 +223,158 @@ fn mid_drain_f3_recovers_bit_identical_at_every_queue_depth() {
             );
         }
     }
+}
+
+/// Per-tenant wire attribution under SF-way fair share: attributing each
+/// terminal ack's `bytes + wasted` to the enqueueing tenant must sum
+/// exactly to the aggregate link-byte counters — no shared-link byte is
+/// double-counted or orphaned, even with drops and retries in play.
+#[test]
+fn per_tenant_wire_attribution_sums_to_aggregate_link_bytes() {
+    use aic::obs::Obs;
+
+    const TENANTS: u64 = 3;
+    let obs = Arc::new(Obs::new());
+    let mut t = transport(4, 1234, 8);
+    t.attach_obs(&obs);
+
+    // Interleaved tenants (seq % TENANTS) pushing uneven payloads.
+    let mut per_tenant = vec![0u64; TENANTS as usize];
+    let mut events = Vec::new();
+    let mut clock: f64 = 0.0;
+    for seq in 0..12u64 {
+        clock += 0.4;
+        let bytes = 1_000 + 3_700 * (seq % 5);
+        let out = t.enqueue(seq, bytes, clock.max(t.now()));
+        events.extend(out.events);
+    }
+    let (tail, _) = t.quiesce();
+    events.extend(tail);
+
+    let mut aggregate = 0u64;
+    for ev in &events {
+        if let TransportEvent::Acked {
+            seq, bytes, wasted, ..
+        } = ev
+        {
+            per_tenant[(seq % TENANTS) as usize] += bytes + wasted;
+            aggregate += bytes + wasted;
+        }
+    }
+    assert!(aggregate > 0, "fault seed must ack at least one transfer");
+    assert_eq!(
+        per_tenant.iter().sum::<u64>(),
+        aggregate,
+        "attribution must partition the aggregate"
+    );
+    let snap = obs.metrics.deterministic_snapshot();
+    let link_bytes = snap.counter("transport.bytes_acked").unwrap_or(0)
+        + snap.counter("transport.bytes_wasted").unwrap_or(0);
+    assert_eq!(
+        aggregate, link_bytes,
+        "per-tenant sums must equal the link's own accounting"
+    );
+}
+
+/// An f3 failure of tenant A mid-drain — pending drains cancelled, its
+/// unacked L3 suffix gap-cut — must leave tenant B's acknowledged L3
+/// prefix untouched: same remote frontier, still recoverable
+/// bit-identical, and B's still-pending drain survives the selective
+/// cancellation and lands afterwards.
+#[test]
+fn f3_mid_drain_for_one_tenant_leaves_the_others_acked_prefix_untouched() {
+    use aic::ckpt::format::CheckpointFile;
+    use aic::memsim::{Page, Snapshot, PAGE_SIZE};
+    use bytes::Bytes;
+
+    let snap_of = |job: u64, round: u64| {
+        let mut s = Snapshot::new();
+        for idx in 0..3u64 {
+            s.insert(
+                idx,
+                Page::from_bytes(&[(job * 40 + round * 7 + idx) as u8; PAGE_SIZE]),
+            );
+        }
+        s
+    };
+    let state_of = |round: u64| Bytes::copy_from_slice(&round.to_le_bytes());
+
+    let mut hier = StorageHierarchy::coastal(4);
+    // Slow link so later drains are still pending when the fault lands.
+    let mut t = NetworkTransport::new(
+        LinkConfig::new(20e3, 1e-3, 1.0),
+        WriteBehindConfig::with_depth(8),
+    );
+
+    const A: u64 = 1;
+    const B: u64 = 2;
+    let commit = |hier: &mut StorageHierarchy,
+                  t: &mut NetworkTransport,
+                  job: u64,
+                  seq: u64,
+                  round: u64,
+                  at: f64| {
+        let file = CheckpointFile::full(job, seq, snap_of(job, round), state_of(round));
+        let (_, wire) = hier.commit_write_behind(&file).expect("commit");
+        let out = t.enqueue(seq, wire, at);
+        assert!(out.events.is_empty() && out.stalled_for == 0.0);
+    };
+
+    // Round 1 for both tenants; let both drains ack.
+    commit(&mut hier, &mut t, A, 1, 1, 0.0);
+    commit(&mut hier, &mut t, B, 2, 1, 0.0);
+    for ev in t.advance_to(10.0) {
+        match ev {
+            TransportEvent::Acked { seq, .. } => {
+                hier.ack_remote(seq).expect("ack");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    assert_eq!(hier.remote_frontier_of(A), Some(1));
+    assert_eq!(hier.remote_frontier_of(B), Some(2));
+
+    // Round 2 for both; keep the drains in flight (mid-drain).
+    commit(&mut hier, &mut t, A, 3, 2, 10.0);
+    commit(&mut hier, &mut t, B, 4, 2, 10.0);
+    assert_eq!(t.pending_seqs(), vec![3, 4]);
+
+    // f3 kills tenant A: its pending drain is lost and cancelled, its
+    // unacked records gap-cut. Selective cancellation must not touch B.
+    let lost = hier.fail_job(A, 3).expect("fail_job");
+    assert_eq!(lost, vec![3]);
+    assert_eq!(t.cancel_seqs(&lost), 1);
+    assert_eq!(t.pending_seqs(), vec![4], "B's drain must survive");
+
+    // B's acknowledged prefix is untouched and bit-identical.
+    assert_eq!(hier.remote_frontier_of(B), Some(2));
+    let img_b = hier.recover_job(3, B).expect("B must recover its prefix");
+    let want = snap_of(B, 1);
+    assert_eq!(img_b.snapshot.len(), want.len());
+    assert!(
+        img_b
+            .snapshot
+            .iter()
+            .zip(want.iter())
+            .all(|((ia, pa), (ib, pb))| ia == ib && pa.as_slice() == pb.as_slice()),
+        "B's recovered image diverged after A's f3"
+    );
+
+    // A keeps exactly its acked prefix too (seq 1).
+    let img_a = hier.recover_job(3, A).expect("A's durable prefix survives");
+    assert_eq!(img_a.seq, 1);
+
+    // B's in-flight drain still lands and extends B's frontier.
+    let (events, _) = t.quiesce();
+    for ev in events {
+        match ev {
+            TransportEvent::Acked { seq, .. } => {
+                assert_eq!(seq, 4);
+                hier.ack_remote(seq).expect("late ack");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    assert_eq!(hier.remote_frontier_of(B), Some(4));
+    assert_eq!(hier.recover_job(3, B).expect("recover").seq, 4);
 }
