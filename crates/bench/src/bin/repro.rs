@@ -25,6 +25,12 @@
 //!                           # isolation violations, bit-identical
 //!                           # departures, w* within 5% of the solo
 //!                           # oracle, throughput monotone to saturation
+//! repro fleet --wallclock --quick --check
+//!                           # oracle contract (DESIGN.md §10): replay one
+//!                           # fixed tenant-script set through the
+//!                           # virtual-clock and real-thread executors and
+//!                           # diff the record streams; on mismatch writes
+//!                           # fleet-wallclock-diff.txt
 //! repro sharing             # operational sharing factor (the old
 //!                           # `fleet` experiment; extension of Fig. 7)
 //! ```
@@ -49,6 +55,7 @@ struct Args {
     metrics_out: Option<PathBuf>,
     check: bool,
     crash: Option<usize>,
+    wallclock: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         metrics_out: None,
         check: false,
         crash: None,
+        wallclock: false,
     };
     let mut it = env::args().skip(1);
     let Some(exp) = it.next() else {
@@ -104,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--check" => args.check = true,
+            "--wallclock" => args.wallclock = true,
             "--crash" => {
                 args.crash = Some(
                     it.next()
@@ -207,6 +216,25 @@ fn run_one(args: &Args) -> Result<(), String> {
             println!("## Operational sharing factor (extension of Fig. 7)\n");
             let rows = fleet_sharing::run("libquantum", &fleet_sharing::DEFAULT_SFS, scale);
             print!("{}", fleet_sharing::render(&rows));
+        }
+        "fleet" if args.wallclock => {
+            println!("## Wall-clock fleet — script replay vs the simulator oracle\n");
+            let cmp = fleet_service::run_wallclock(scale);
+            print!("{}", fleet_service::render_wallclock(&cmp));
+            if args.check {
+                let violations = cmp.check();
+                if !violations.is_empty() {
+                    let path = "fleet-wallclock-diff.txt";
+                    std::fs::write(path, cmp.diff_artifact())
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                    eprintln!("wrote {path}");
+                    return Err(format!(
+                        "wall-clock oracle gate failed:\n  {}",
+                        violations.join("\n  ")
+                    ));
+                }
+                println!("\ncheck passed: wall-clock and simulated replays produced identical record streams, zero isolation violations in both modes");
+            }
         }
         "fleet" => {
             println!("## Multi-tenant fleet service — shared pool/transport/log sweep\n");
@@ -384,7 +412,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: repro <fig2|table1|fig5|fig6|fig7|table3|fig11|fig12|validate|ablation|mpi|pool|bench|sharing|fleet|regret|faults|drain|compact|replay|all> \
-                 [--quick] [--csv] [--check] [--crash N] [--footprint F] [--duration D] [--seed N] [--jobs N] [--metrics-out FILE]"
+                 [--quick] [--csv] [--check] [--wallclock] [--crash N] [--footprint F] [--duration D] [--seed N] [--jobs N] [--metrics-out FILE]"
             );
             ExitCode::FAILURE
         }

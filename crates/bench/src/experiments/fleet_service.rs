@@ -13,9 +13,21 @@
 //! zero isolation violations and every departure verified bit-identical,
 //! and re-running the smallest cell must reproduce a byte-identical
 //! report (the determinism pin).
+//!
+//! `repro fleet --wallclock` instead exercises the oracle contract of
+//! DESIGN.md §10: one fixed tenant-script set (mixed adaptive/fixed
+//! policies, crashes at every storage level) is replayed through the
+//! virtual-clock executor ([`aic_ckpt::script::run_script_sim`]) and the
+//! real-thread one ([`aic_ckpt::wallclock::run_script_wallclock`]), and
+//! the two record streams are diffed line by line. `--check` gates on an
+//! empty diff and zero violations in both modes; on failure the caller
+//! writes [`WallclockCompare::diff_artifact`] for post-mortem (the CI
+//! `fleet-wallclock-smoke` job uploads it).
 
 use aic_ckpt::fleet::SharedDatasetFleet;
+use aic_ckpt::script::{run_script_sim, TenantCmd, TenantScript};
 use aic_ckpt::service::{run_service, ServiceConfig, ServiceReport, TenantPolicy, TenantSpec};
+use aic_ckpt::wallclock::run_script_wallclock;
 
 use crate::experiments::{testbed_rates, RunScale};
 use crate::output::{f, markdown_table, pct};
@@ -302,6 +314,135 @@ impl FleetSweep {
     }
 }
 
+/// Outcome of replaying one fixed script set through both executors
+/// (`repro fleet --wallclock`).
+#[derive(Debug, Clone)]
+pub struct WallclockCompare {
+    /// Tenant scripts replayed (one session each, both modes).
+    pub tenants: usize,
+    /// Checkpoints cut per tenant (crashes ride on top of these).
+    pub cuts_per_tenant: usize,
+    /// Events in the simulator's record stream (commits, recoveries,
+    /// departures across all tenants).
+    pub events: usize,
+    /// Line-level stream diff, simulator (`a`) vs wall-clock (`b`).
+    /// Empty iff the oracle contract held.
+    pub diff: Vec<String>,
+    /// Isolation violations counted by the simulator replay.
+    pub sim_violations: u64,
+    /// Isolation violations counted by the wall-clock replay.
+    pub wall_violations: u64,
+    /// Rendered simulator stream — the oracle side of the artifact.
+    pub sim_stream: String,
+    /// Rendered wall-clock stream.
+    pub wall_stream: String,
+}
+
+/// The fixed script set: every tenant cuts, odd tenants additionally
+/// crash mid-script with the level cycling 1 → 2 → 3, and policies
+/// alternate adaptive/fixed so both solver paths are on the diffed
+/// surface.
+fn wallclock_scripts(tenants: usize, cuts: usize) -> Vec<TenantScript> {
+    (0..tenants)
+        .map(|i| {
+            let policy = if i % 2 == 0 {
+                TenantPolicy::Adaptive { bootstrap: 3.0 }
+            } else {
+                TenantPolicy::Fixed(0.5)
+            };
+            let mut s = TenantScript::cuts(i, policy, cuts);
+            if i % 2 == 1 {
+                let level = (i / 2) % 3 + 1;
+                s.cmds.insert(cuts / 2, TenantCmd::Crash { level });
+            }
+            s
+        })
+        .collect()
+}
+
+/// Replay the fixed script set through both executors and diff.
+pub fn run_wallclock(scale: &RunScale) -> WallclockCompare {
+    let (tenants, cuts) = if scale.duration < 1.0 { (4, 4) } else { (8, 6) };
+    let pages: Vec<usize> = (0..tenants).map(|i| persona_pages(i, scale)).collect();
+    let fleet = SharedDatasetFleet::heterogeneous(pages, 30, scale.seed);
+    let cfg = service_config(scale, tenants);
+    let scripts = wallclock_scripts(tenants, cuts);
+    let sim = run_script_sim(&fleet, &scripts, &cfg).expect("sim replay must run");
+    let wall = run_script_wallclock(&fleet, &scripts, &cfg).expect("wall-clock replay must run");
+    WallclockCompare {
+        tenants,
+        cuts_per_tenant: cuts,
+        events: sim.streams.iter().map(|s| s.events.len()).sum(),
+        diff: sim.diff(&wall),
+        sim_violations: sim.violations,
+        wall_violations: wall.violations,
+        sim_stream: sim.render(),
+        wall_stream: wall.render(),
+    }
+}
+
+/// Human-readable summary of the comparison.
+pub fn render_wallclock(cmp: &WallclockCompare) -> String {
+    let mut out = format!(
+        "{} tenants x {} cuts (crashes at levels 1-3 on odd tenants), {} stream events\n\
+         violations: sim {}, wall-clock {}\n",
+        cmp.tenants, cmp.cuts_per_tenant, cmp.events, cmp.sim_violations, cmp.wall_violations
+    );
+    if cmp.diff.is_empty() {
+        out.push_str("record streams identical: commit ordinals, payload digests, w* bits, anchor GC sets, recovery images all match\n");
+    } else {
+        out.push_str(&format!(
+            "record streams DIVERGED ({} diff lines, first 10 shown):\n",
+            cmp.diff.len()
+        ));
+        for line in cmp.diff.iter().take(10) {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+impl WallclockCompare {
+    /// The `--wallclock --check` gates. Empty means the contract held.
+    pub fn check(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if !self.diff.is_empty() {
+            v.push(format!(
+                "wall-clock stream diverged from the simulator oracle ({} diff lines)",
+                self.diff.len()
+            ));
+        }
+        if self.sim_violations != 0 {
+            v.push(format!(
+                "{} isolation violations (sim)",
+                self.sim_violations
+            ));
+        }
+        if self.wall_violations != 0 {
+            v.push(format!(
+                "{} isolation violations (wall-clock)",
+                self.wall_violations
+            ));
+        }
+        v
+    }
+
+    /// Full artifact text for a failed comparison: the diff, then both
+    /// streams verbatim. Written to `fleet-wallclock-diff.txt` and
+    /// uploaded by CI on failure.
+    pub fn diff_artifact(&self) -> String {
+        format!(
+            "# diff (a = simulator oracle, b = wall-clock)\n{}\n\
+             # simulator stream\n{}\n# wall-clock stream\n{}",
+            self.diff.join("\n"),
+            self.sim_stream,
+            self.wall_stream
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,5 +470,14 @@ mod tests {
         let violations = sweep.check();
         assert!(violations.is_empty(), "{violations:?}");
         assert!(sweep.cells[1].cuts > sweep.cells[0].cuts);
+    }
+
+    #[test]
+    fn quick_wallclock_compare_is_clean() {
+        let mut scale = RunScale::quick();
+        scale.footprint = 0.25;
+        let cmp = run_wallclock(&scale);
+        assert!(cmp.check().is_empty(), "{}", cmp.diff_artifact());
+        assert!(cmp.events > 0);
     }
 }

@@ -145,10 +145,13 @@ pub fn run(scale: &RunScale) -> ReplayOutcome {
 
     ReplayOutcome {
         metrics_jsonl: obs.metrics.deterministic_snapshot().to_jsonl(),
-        spans_jsonl: obs.spans.to_jsonl(),
+        // Stable-class events only: Volatile wall-clock spans (none are
+        // emitted on the simulated path, but the filter makes it a
+        // guarantee) can never perturb the golden bytes.
+        spans_jsonl: obs.spans.deterministic_jsonl(),
         image_fnv1a: image_digest(final_state),
         fleet_metrics_jsonl: fleet_obs.metrics.deterministic_snapshot().to_jsonl(),
-        fleet_spans_jsonl: fleet_obs.spans.to_jsonl(),
+        fleet_spans_jsonl: fleet_obs.spans.deterministic_jsonl(),
         fleet_w_trajectory: fleet_w,
         checkpoints: out.report.intervals.len(),
         net2: out.report.net2,

@@ -29,6 +29,18 @@
 //!                                # (segments, live records, garbage
 //!                                # ratio, epoch); --compact then folds
 //!                                # the logs and prints what was reclaimed
+//! aicctl fleet run --socket PATH [--persona P] [--cuts N] [--fixed W]
+//!               [--crash K:LEVEL[,K:LEVEL...]]
+//!                                # drive one tenant session against a
+//!                                # wall-clock `aicd --wallclock` server:
+//!                                # join, cut N checkpoints (crashing at
+//!                                # level LEVEL after the K-th cut, then
+//!                                # recovering), leave; prints every
+//!                                # commit's ordinal/digest/w and the
+//!                                # departure verdict
+//! aicctl fleet stats --socket PATH
+//!                                # print the server's live fleet.wc.*
+//!                                # counters
 //! ```
 //!
 //! Checkpoint files are the same serialized format the engine ships to the
@@ -67,9 +79,10 @@ fn main() -> ExitCode {
         Some("stats") => stats(&args[1..]),
         Some("log") => log_stats(&args[1..]),
         Some("dedup") if args.len() == 2 => dedup_report(Path::new(&args[1])),
+        Some("fleet") => fleet(&args[1..]),
         _ => {
             eprintln!(
-                "usage: aicctl <demo <dir> | inspect <file.ckpt> | verify <dir> | restore <dir> <out.img> | faults [--secs S] [--level L] [--at T] [--seed N] [--write-behind DEPTH] | stats [--secs S] [--seed N] [--jsonl FILE] [--write-behind DEPTH] | log [--secs S] [--seed N] [--compact] | dedup <dir>>"
+                "usage: aicctl <demo <dir> | inspect <file.ckpt> | verify <dir> | restore <dir> <out.img> | faults [--secs S] [--level L] [--at T] [--seed N] [--write-behind DEPTH] | stats [--secs S] [--seed N] [--jsonl FILE] [--write-behind DEPTH] | log [--secs S] [--seed N] [--compact] | dedup <dir> | fleet <run|stats> --socket PATH [--persona P] [--cuts N] [--fixed W] [--crash K:LEVEL[,...]]>"
             );
             return ExitCode::FAILURE;
         }
@@ -553,6 +566,116 @@ fn log_stats(opts: &[String]) -> CliResult {
         print_stats(&hier);
     }
     Ok(())
+}
+
+/// `aicctl fleet <run|stats>` — drive a wall-clock `aicd --wallclock`
+/// server over its Unix socket.
+fn fleet(opts: &[String]) -> CliResult {
+    let Some(verb) = opts.first() else {
+        return Err("fleet wants a verb: run or stats".into());
+    };
+    let mut socket: Option<String> = None;
+    let mut persona = 0usize;
+    let mut cuts = 4u64;
+    let mut fixed: Option<f64> = None;
+    let mut crashes: Vec<(u64, usize)> = Vec::new();
+    let mut it = opts[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+                .cloned()
+        };
+        match flag.as_str() {
+            "--socket" => socket = Some(val("--socket")?),
+            "--persona" => {
+                persona = val("--persona")?
+                    .parse()
+                    .map_err(|e| format!("--persona: {e}"))?;
+            }
+            "--cuts" => {
+                cuts = val("--cuts")?.parse().map_err(|e| format!("--cuts: {e}"))?;
+            }
+            "--fixed" => {
+                fixed = Some(
+                    val("--fixed")?
+                        .parse()
+                        .map_err(|e| format!("--fixed: {e}"))?,
+                );
+            }
+            "--crash" => {
+                for part in val("--crash")?.split(',') {
+                    let (k, level) = part
+                        .split_once(':')
+                        .ok_or_else(|| format!("--crash wants K:LEVEL, got {part:?}"))?;
+                    let k: u64 = k.parse().map_err(|e| format!("--crash cut index: {e}"))?;
+                    let level: usize = level.parse().map_err(|e| format!("--crash level: {e}"))?;
+                    if !(1..=3).contains(&level) {
+                        return Err(format!("--crash level must be 1..=3, got {level}"));
+                    }
+                    crashes.push((k, level));
+                }
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let socket = socket.ok_or("fleet needs --socket PATH")?;
+    let mut client =
+        aic_ckpt::rpc::FleetClient::connect(&socket).map_err(|e| format!("{socket}: {e}"))?;
+    match verb.as_str() {
+        "stats" => {
+            print!("{}", client.stats().map_err(|e| format!("stats: {e}"))?);
+            Ok(())
+        }
+        "run" => {
+            if cuts == 0 {
+                return Err("--cuts must be >= 1".into());
+            }
+            let policy = match fixed {
+                Some(w) => aic_ckpt::service::TenantPolicy::Fixed(w),
+                None => aic_ckpt::service::TenantPolicy::Adaptive { bootstrap: 3.0 },
+            };
+            let id = client
+                .join(persona, policy, cuts)
+                .map_err(|e| format!("join: {e}"))?;
+            println!("joined as tenant {id} (persona {persona})");
+            for k in 1..=cuts {
+                let c = client.cut().map_err(|e| format!("cut {k}: {e}"))?;
+                println!(
+                    "cut {k}: ordinal {} round {} {} payload {:016x} w {:.4}s",
+                    c.ordinal,
+                    c.round,
+                    if c.full { "full " } else { "delta" },
+                    c.payload_digest,
+                    f64::from_bits(c.w_bits),
+                );
+                for &(at, level) in crashes.iter().filter(|&&(at, _)| at == k) {
+                    let _ = at;
+                    client.crash(level).map_err(|e| format!("crash: {e}"))?;
+                    let r = client.recover().map_err(|e| format!("recover: {e}"))?;
+                    println!(
+                        "crash level {level}: recovered from L{} at round {} image {:016x}",
+                        r.level, r.round, r.image_digest
+                    );
+                }
+            }
+            let l = client.leave().map_err(|e| format!("leave: {e}"))?;
+            println!(
+                "left: verified {} leaked {}",
+                match l.verified {
+                    Some(true) => "yes",
+                    Some(false) => "NO",
+                    None => "-",
+                },
+                l.leaked
+            );
+            if l.verified == Some(false) || l.leaked != 0 {
+                return Err("departure verification failed".into());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown fleet verb {other:?} (run or stats)")),
+    }
 }
 
 #[cfg(test)]

@@ -4,29 +4,45 @@
 //! aicd [--tenants N] [--rounds R] [--seed S] [--slots K] [--cores C]
 //!      [--overlap PCT] [--fixed W] [--crash T:LEVEL[,T:LEVEL...]]
 //!      [--faults] [--jsonl FILE]
+//! aicd --wallclock --socket PATH [--tenants N] [--seed S] [--slots K]
+//!      [--cores C] [--overlap PCT]
 //! ```
 //!
-//! Admits `N` simulated tenants (heterogeneous working sets drawn from one
-//! shared-dataset fleet with `--overlap` percent shared pages) into one
-//! service instance: one compressor pool, one write-behind transport, one
-//! checkpoint log per storage level. Each tenant cuts `R` checkpoints
-//! under the adaptive policy (or a fixed `--fixed W` interval), optionally
-//! crashing per `--crash` (applied to tenant 0), then departs; departure
-//! recovery is verified bit-identical against the tenant's pure-function
-//! working set. Prints the per-tenant and aggregate report; `--jsonl`
-//! additionally dumps the deterministic `fleet.*` metric registry and span
-//! stream. Exits non-zero if any isolation invariant was violated.
+//! **Simulated mode** (default): admits `N` simulated tenants
+//! (heterogeneous working sets drawn from one shared-dataset fleet with
+//! `--overlap` percent shared pages) into one service instance: one
+//! compressor pool, one write-behind transport, one checkpoint log per
+//! storage level. Each tenant cuts `R` checkpoints under the adaptive
+//! policy (or a fixed `--fixed W` interval), optionally crashing per
+//! `--crash` (applied to tenant 0), then departs; departure recovery is
+//! verified bit-identical against the tenant's pure-function working set.
+//! Prints the per-tenant and aggregate report; `--jsonl` additionally
+//! dumps the deterministic `fleet.*` metric registry and span stream.
+//! Exits non-zero if any isolation invariant was violated. The run is a
+//! pure function of its flags: same invocation, same bytes.
 //!
-//! The run is a pure function of its flags: same invocation, same bytes.
+//! **Wall-clock mode** (`--wallclock`): starts the real-thread fleet
+//! server on the same storage/transport machinery and serves AIRF-framed
+//! RPCs (`join`/`cut`/`crash`/`recover`/`leave`/`stats`) on the Unix
+//! socket at `--socket` until killed. Tenants are driven externally —
+//! `aicctl fleet run`/`aicctl fleet stats` — and `--tenants` only sizes
+//! the persona pool. Fault injection stays simulator-only, so `--faults`,
+//! `--rounds`, `--fixed`, `--crash`, and `--jsonl` are rejected in this
+//! mode. See OPERATIONS.md §6 for the operator walkthrough and DESIGN.md
+//! §10 for the oracle contract tying this mode to the simulator.
 
+use std::os::unix::net::UnixListener;
 use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use aic_obs::Obs;
 
 use aic_ckpt::fleet::SharedDatasetFleet;
+use aic_ckpt::rpc;
 use aic_ckpt::service::{run_service, ServiceConfig, TenantPolicy, TenantSpec};
 use aic_ckpt::transport::TransportFaults;
+use aic_ckpt::wallclock::FleetServer;
 use aic_model::params::CoastalProfile;
 
 #[derive(Debug, Clone)]
@@ -41,6 +57,8 @@ struct Args {
     crashes: Vec<(f64, usize)>,
     faults: bool,
     jsonl: Option<String>,
+    wallclock: bool,
+    socket: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +73,8 @@ fn parse_args() -> Result<Args, String> {
         crashes: Vec::new(),
         faults: false,
         jsonl: None,
+        wallclock: false,
+        socket: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -78,6 +98,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--faults" => args.faults = true,
             "--jsonl" => args.jsonl = Some(val("--jsonl")?),
+            "--wallclock" => args.wallclock = true,
+            "--socket" => args.socket = Some(val("--socket")?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -90,6 +112,25 @@ fn parse_args() -> Result<Args, String> {
     if let Some((_, level)) = args.crashes.iter().find(|(_, l)| !(1..=3).contains(l)) {
         return Err(format!("--crash level must be 1..=3, got {level}"));
     }
+    if args.wallclock {
+        if args.socket.is_none() {
+            return Err("--wallclock needs --socket PATH".into());
+        }
+        if args.faults {
+            return Err("--faults is simulator-only (the wall-clock oracle \
+                        contract requires a fault-free transport)"
+                .into());
+        }
+        if args.fixed.is_some() || !args.crashes.is_empty() || args.jsonl.is_some() {
+            return Err(
+                "--fixed/--crash/--jsonl are per-tenant script knobs: in wall-clock \
+                 mode tenants are driven over the socket (see `aicctl fleet`)"
+                    .into(),
+            );
+        }
+    } else if args.socket.is_some() {
+        return Err("--socket requires --wallclock".into());
+    }
     Ok(args)
 }
 
@@ -98,6 +139,29 @@ where
     T::Err: std::fmt::Display,
 {
     s.parse().map_err(|e| format!("bad {name}: {e}"))
+}
+
+/// Wall-clock serve mode: start the real-thread fleet server and answer
+/// AIRF RPCs on the Unix socket until the process is killed.
+fn serve_wallclock(args: &Args) -> Result<(), String> {
+    let path = args.socket.as_deref().expect("checked by parse_args");
+    let pages: Vec<usize> = (0..args.tenants).map(|i| [4, 6, 9, 12][i % 4]).collect();
+    let fleet = SharedDatasetFleet::heterogeneous(pages, args.overlap, args.seed);
+    let obs = Arc::new(Obs::new());
+    let mut cfg = ServiceConfig::fleet_default(CoastalProfile::default().rates().with_total(1e-3));
+    cfg.slots = args.slots;
+    cfg.cores = args.cores;
+    cfg.obs = Some(obs);
+    let server = FleetServer::start(fleet, cfg);
+    // A stale socket from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path).map_err(|e| format!("binding {path}: {e}"))?;
+    println!(
+        "aicd: wall-clock fleet server on {path} ({} personas, {} slots, {} cores)",
+        args.tenants, args.slots, args.cores
+    );
+    let stop = AtomicBool::new(false);
+    rpc::serve(listener, &server, &stop).map_err(|e| format!("serving {path}: {e}"))
 }
 
 fn run(args: &Args) -> Result<bool, String> {
@@ -175,6 +239,13 @@ fn run(args: &Args) -> Result<bool, String> {
 
 fn main() -> ExitCode {
     match parse_args() {
+        Ok(args) if args.wallclock => match serve_wallclock(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Ok(args) => match run(&args) {
             Ok(true) => ExitCode::SUCCESS,
             Ok(false) => {
@@ -190,7 +261,9 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: aicd [--tenants N] [--rounds R] [--seed S] [--slots K] [--cores C] \
-                 [--overlap PCT] [--fixed W] [--crash T:LEVEL[,...]] [--faults] [--jsonl FILE]"
+                 [--overlap PCT] [--fixed W] [--crash T:LEVEL[,...]] [--faults] [--jsonl FILE]\n\
+                 \x20      aicd --wallclock --socket PATH [--tenants N] [--seed S] [--slots K] \
+                 [--cores C] [--overlap PCT]"
             );
             ExitCode::FAILURE
         }

@@ -1,0 +1,122 @@
+//! Time sources for the fleet service: one trait, two clocks.
+//!
+//! The discrete-event simulator ([`crate::service::run_service`] and the
+//! script executor [`crate::script::run_script_sim`]) advances a
+//! [`VirtualClock`] by hand — time moves exactly when the event loop says
+//! so, which is what makes a run a pure function of its inputs. The
+//! wall-clock executor ([`crate::wallclock`]) reads a [`MonotonicClock`]
+//! instead: real elapsed seconds since the server started, driving the very
+//! same write-behind transport and storage hierarchy.
+//!
+//! Everything downstream of a [`ClockSource`] is written against `f64`
+//! seconds, so the two modes share the transport/commit/GC machinery
+//! unchanged; only *who advances time* differs. That split is the heart of
+//! the oracle contract (see `DESIGN.md` §10): the record stream a tenant
+//! script produces must not depend on which clock was ticking.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+/// A monotone supplier of "now", in seconds.
+///
+/// Implementations must be monotone non-decreasing: a later call never
+/// returns a smaller value than an earlier one.
+pub trait ClockSource {
+    /// Current time in seconds. The epoch is implementation-defined
+    /// (simulation start / server start); only differences are meaningful.
+    fn now(&self) -> f64;
+}
+
+/// The simulator's clock: holds still until the event loop advances it.
+///
+/// Interior mutability keeps the reader side (`now`) identical to the
+/// wall-clock case — the event loop advances the clock, everything else
+/// just reads it.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    t: Cell<f64>,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        VirtualClock { t: Cell::new(0.0) }
+    }
+
+    /// Advance by `dt` seconds (must be non-negative).
+    pub fn advance(&self, dt: f64) {
+        debug_assert!(dt >= 0.0, "virtual clock cannot rewind");
+        self.t.set(self.t.get() + dt);
+    }
+
+    /// Jump forward to absolute time `t`; ignored if `t` is in the past
+    /// (the clock never rewinds).
+    pub fn advance_to(&self, t: f64) {
+        if t > self.t.get() {
+            self.t.set(t);
+        }
+    }
+}
+
+impl ClockSource for VirtualClock {
+    fn now(&self) -> f64 {
+        self.t.get()
+    }
+}
+
+/// Real elapsed time since construction, from [`Instant`] — the wall-clock
+/// mode's time source. Monotone by construction (never affected by system
+/// clock adjustments).
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    start: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClockSource for MonotonicClock {
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_and_never_rewinds() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance(1.5);
+        assert_eq!(c.now(), 1.5);
+        c.advance_to(1.0); // in the past: ignored
+        assert_eq!(c.now(), 1.5);
+        c.advance_to(4.0);
+        assert_eq!(c.now(), 4.0);
+        c.advance(0.0);
+        assert_eq!(c.now(), 4.0);
+    }
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let c = MonotonicClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+}

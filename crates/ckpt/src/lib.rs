@@ -47,11 +47,24 @@
 //! * [`transport`] — the simulated shared network the L3 drain rides:
 //!   SF-way fair-share contention, a bounded **write-behind** commit queue
 //!   with back-pressure, and seeded transient faults (drop / timeout /
-//!   slow link) retried with capped exponential backoff.
+//!   slow link) retried with capped exponential backoff;
+//! * [`clock`](mod@clock) — the [`clock::ClockSource`] trait splitting the
+//!   simulated [`clock::VirtualClock`] from the wall-clock
+//!   [`clock::MonotonicClock`];
+//! * [`script`](mod@script) — mode-portable tenant scripts, the
+//!   mode-invariant record stream, and the deterministic script executor
+//!   (the oracle side of the wall-clock contract);
+//! * [`wallclock`] — the real-thread fleet server: tenant sessions on OS
+//!   threads, shard-granular preemptive DRR encoding, blocking admission
+//!   and transport back-pressure, a background drainer;
+//! * [`rpc`](mod@rpc) — the `aicd` fleet socket protocol: AIRF
+//!   length-prefixed frames (AILR conventions), `join`/`cut`/`crash`/
+//!   `recover`/`leave`/`stats` verbs, a blocking client.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chain;
+pub mod clock;
 pub mod concurrent;
 pub mod dedup;
 pub mod engine;
@@ -62,12 +75,16 @@ pub mod harness;
 pub mod log;
 pub mod policies;
 pub mod recovery;
+pub mod rpc;
+pub mod script;
 pub mod service;
 pub mod sim;
 pub mod storage;
 pub mod transport;
+pub mod wallclock;
 
 pub use chain::CheckpointChain;
+pub use clock::{ClockSource, MonotonicClock, VirtualClock};
 pub use engine::{run_engine, run_engine_with_faults, EngineConfig, EngineReport, IntervalRecord};
 pub use format::{CheckpointFile, CheckpointKind};
 pub use harness::{run_with_faults, FailureSchedule, FaultEvent, FaultReport, FaultSpec};

@@ -1358,11 +1358,15 @@ impl StorageHierarchy {
 
         // Replay from the newest full anchor; older retained records (there
         // are none once GC has run, but be robust to mixed histories) are
-        // skipped.
-        let anchor = visible
-            .iter()
-            .rposition(|e| e.kind == CheckpointKind::Full)
-            .unwrap_or(0);
+        // skipped. No anchor at all means this level cannot serve the
+        // chain — e.g. a level-3 failure took the L1/L2 copies with the
+        // node and the only cuts since recovery were deltas.
+        let Some(anchor) = visible.iter().rposition(|e| e.kind == CheckpointKind::Full) else {
+            return Err(RecoveryError::BadObject(format!(
+                "no full anchor is {}",
+                recovery_level.label()
+            )));
+        };
 
         let mut chain = CheckpointChain::new();
         let mut read_seconds = 0.0;

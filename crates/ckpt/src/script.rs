@@ -1,0 +1,828 @@
+//! Tenant scripts and the oracle record stream.
+//!
+//! A [`TenantScript`] is the mode-portable description of one tenant
+//! session: a persona, a checkpoint policy, and a command list (`Cut`,
+//! `Crash{level}`). The same script can be replayed by the deterministic
+//! discrete-event executor ([`run_script_sim`]) and by the real-thread
+//! wall-clock server ([`crate::wallclock::run_script_wallclock`]).
+//!
+//! # The oracle contract
+//!
+//! Replaying one script set in both modes must produce **identical
+//! [`FleetStreams`]** even though wall-clock timings, thread
+//! interleavings, and global log sequence numbers all differ. The stream
+//! therefore records only *mode-invariant* observables:
+//!
+//! * per-tenant **commit ordinals** (1, 2, 3, … per tenant) instead of the
+//!   interleaving-dependent global log seqs;
+//! * the **payload digest**: FNV-1a over the checkpoint file's canonical
+//!   serialization with the global seq replaced by the tenant ordinal —
+//!   bit-identical payloads are guaranteed because both modes encode with
+//!   the same `pa_encode` primitives over the same pure-function persona
+//!   state;
+//! * the **w\* trajectory** (exact f64 bits): the adaptive solver only ever
+//!   sees intrinsic (queue-free) encode latency derived from the
+//!   deterministic [`aic_delta::stats::EncodeReport`], never wall time;
+//! * the **anchor GC set**: which of the tenant's ordinals are still live
+//!   on L1 and L2 after each commit — anchors truncate those levels
+//!   synchronously, so the set is a pure function of the tenant's own
+//!   commit history;
+//! * crash/recovery outcomes: the serving level, the resumed round, and a
+//!   bit-exact **image digest** of the recovered memory + cpu state.
+//!
+//! Deliberately **absent** (mode-dependent): global seqs, wire-byte
+//! counts (dedup reference frames depend on cross-tenant commit order),
+//! L3 liveness (depends on ack timing), and every timing/blocking figure.
+//!
+//! A level-3 crash kills the tenant's pending write-behind drains, so its
+//! surviving remote prefix would depend on ack timing; both executors
+//! therefore run a **drain barrier** first — the tenant waits until its
+//! outstanding L3 drains are acknowledged, making the post-crash remote
+//! chain (and hence the recovery image) mode-invariant. Levels 1 and 2
+//! need no barrier: those commits are synchronous.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+use bytes::Bytes;
+
+use aic_delta::pa::pa_encode;
+use aic_delta::stats::EncodeReport;
+use aic_delta::strong::fnv1a;
+use aic_memsim::PageIdx;
+
+use crate::clock::{ClockSource, VirtualClock};
+use crate::engine::EngineConfig;
+use crate::fleet::SharedDatasetFleet;
+use crate::format::{CheckpointFile, CheckpointKind};
+use crate::policies::sic_optimal_w_pooled;
+use crate::recovery::{RecoveredImage, RecoveryError, StorageHierarchy};
+use crate::service::{
+    build_hierarchy, build_transport, round_of_state, round_state, snapshots_identical,
+    solver_config, ServiceConfig, TenantPolicy,
+};
+use crate::transport::{NetworkTransport, TransportEvent};
+
+/// One command in a tenant session, executed strictly in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantCmd {
+    /// Work for one interval (the tenant's current w), then cut and commit
+    /// a checkpoint.
+    Cut,
+    /// Fail at level 1..=3 and recover from the cheapest surviving level.
+    Crash {
+        /// Failure level, 1..=3 (see `StorageHierarchy::fail_job`).
+        level: usize,
+    },
+}
+
+/// One tenant session: who it is, how it checkpoints, and what it does.
+/// Leaving (verify + retire + slot release) is implicit after the last
+/// command.
+#[derive(Debug, Clone)]
+pub struct TenantScript {
+    /// Rank in the shared dataset fleet (the working-set persona).
+    pub persona: usize,
+    /// Checkpoint policy.
+    pub policy: TenantPolicy,
+    /// The command sequence.
+    pub cmds: Vec<TenantCmd>,
+}
+
+impl TenantScript {
+    /// A plain session: `cuts` checkpoints, no crashes.
+    pub fn cuts(persona: usize, policy: TenantPolicy, cuts: usize) -> Self {
+        TenantScript {
+            persona,
+            policy,
+            cmds: vec![TenantCmd::Cut; cuts],
+        }
+    }
+
+    /// Number of `Cut` commands (the solver's calibration horizon).
+    pub fn rounds(&self) -> u64 {
+        self.cmds
+            .iter()
+            .filter(|c| matches!(c, TenantCmd::Cut))
+            .count() as u64
+    }
+}
+
+/// One mode-invariant observable in a tenant's record stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// A checkpoint committed.
+    Commit {
+        /// Per-tenant commit ordinal (1-based) — the mode-invariant
+        /// stand-in for the global log seq.
+        ordinal: u64,
+        /// Workload round the checkpoint captures.
+        round: u64,
+        /// Full anchor (true) or delta (false).
+        full: bool,
+        /// FNV-1a over the file's canonical bytes with seq := ordinal.
+        payload_digest: u64,
+        /// The tenant's w after this commit, exact bits.
+        w_bits: u64,
+        /// The tenant's ordinals still live on L1 after this commit (the
+        /// anchor GC set: an anchor truncates the superseded prefix).
+        live_l1: Vec<u64>,
+        /// Same for L2.
+        live_l2: Vec<u64>,
+    },
+    /// The tenant failed at `level`.
+    Crash {
+        /// Failure level, 1..=3.
+        level: usize,
+    },
+    /// The tenant recovered. `level == 0` means nothing was recoverable
+    /// anywhere (crash before the first anchor) and the tenant restarted
+    /// from scratch at round 0.
+    Recover {
+        /// Level that served the recovery (0 = from scratch).
+        level: usize,
+        /// Round the tenant resumed at.
+        round: u64,
+        /// FNV-1a over the recovered pages + cpu state (0 when from
+        /// scratch) — "recovery images bit-identical" is this field.
+        image_digest: u64,
+    },
+    /// The tenant departed.
+    Leave {
+        /// Departure-time recovery verified bit-identical against the
+        /// persona (None when nothing was recoverable).
+        verified: Option<bool>,
+        /// The tenant's records still live on any level after retirement
+        /// (must be 0 — a leak is an isolation violation).
+        leaked: u64,
+    },
+}
+
+impl StreamEvent {
+    fn render_into(&self, out: &mut String) {
+        match self {
+            StreamEvent::Commit {
+                ordinal,
+                round,
+                full,
+                payload_digest,
+                w_bits,
+                live_l1,
+                live_l2,
+            } => {
+                let _ = write!(
+                    out,
+                    "commit ord={ordinal} round={round} full={full} payload={payload_digest:016x} w={w_bits:016x} l1={live_l1:?} l2={live_l2:?}"
+                );
+            }
+            StreamEvent::Crash { level } => {
+                let _ = write!(out, "crash level={level}");
+            }
+            StreamEvent::Recover {
+                level,
+                round,
+                image_digest,
+            } => {
+                let _ = write!(
+                    out,
+                    "recover level={level} round={round} image={image_digest:016x}"
+                );
+            }
+            StreamEvent::Leave { verified, leaked } => {
+                let _ = write!(out, "leave verified={verified:?} leaked={leaked}");
+            }
+        }
+    }
+}
+
+/// One tenant's ordered record stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordStream {
+    /// Index of the tenant's script in the script list.
+    pub tenant: usize,
+    /// The events, in session order.
+    pub events: Vec<StreamEvent>,
+}
+
+/// Every tenant's record stream — what the oracle contract compares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetStreams {
+    /// One stream per script, by script index.
+    pub streams: Vec<RecordStream>,
+    /// Isolation violations observed while producing the streams (pinned
+    /// locations unreadable, recovered image mismatching the persona,
+    /// departed records leaking). Mode-invariant: must be 0 in both modes.
+    pub violations: u64,
+}
+
+impl FleetStreams {
+    /// Canonical text rendering, one line per event — the diff unit.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.streams {
+            for (i, e) in s.events.iter().enumerate() {
+                let _ = write!(out, "t{} #{i} ", s.tenant);
+                e.render_into(&mut out);
+                out.push('\n');
+            }
+        }
+        let _ = writeln!(out, "violations {}", self.violations);
+        out
+    }
+
+    /// Line-level diff against another stream set (`self` labelled `a`,
+    /// `other` labelled `b`). Empty iff the streams are identical — the
+    /// oracle contract's pass condition.
+    pub fn diff(&self, other: &FleetStreams) -> Vec<String> {
+        let ra = self.render();
+        let rb = other.render();
+        let la: Vec<&str> = ra.lines().collect();
+        let lb: Vec<&str> = rb.lines().collect();
+        let mut out = Vec::new();
+        for i in 0..la.len().max(lb.len()) {
+            match (la.get(i), lb.get(i)) {
+                (Some(x), Some(y)) if x == y => {}
+                (x, y) => out.push(format!(
+                    "line {i}: a={} b={}",
+                    x.copied().unwrap_or("<missing>"),
+                    y.copied().unwrap_or("<missing>")
+                )),
+            }
+        }
+        out
+    }
+}
+
+/// FNV-1a over the file's canonical serialization with the global seq
+/// replaced by the tenant ordinal — the mode-invariant payload digest.
+/// (Global seqs differ across modes because tenants interleave
+/// differently; everything else about the payload is a pure function of
+/// the persona and the round.)
+pub fn payload_digest(file: &CheckpointFile, ordinal: u64) -> u64 {
+    let mut shadow = file.clone();
+    shadow.seq = ordinal;
+    fnv1a(&shadow.to_bytes())
+}
+
+/// FNV-1a over a recovered image: page indices + page bytes in index
+/// order, then the cpu-state blob. Bit-identical recovery ⇔ equal digests.
+pub fn image_digest(img: &RecoveredImage) -> u64 {
+    let mut buf = Vec::new();
+    for (idx, page) in img.snapshot.iter() {
+        buf.extend_from_slice(&idx.to_le_bytes());
+        buf.extend_from_slice(page.as_slice());
+    }
+    buf.extend_from_slice(&img.cpu_state);
+    fnv1a(&buf)
+}
+
+/// The per-tenant state machine both executors drive: policy state, the
+/// seq↔ordinal mapping, the solver calibration sums, and the stream under
+/// construction. Everything in here is a pure function of the tenant's own
+/// command history, which is what makes the stream mode-invariant.
+#[derive(Debug)]
+pub(crate) struct TenantCore {
+    pub persona: usize,
+    pub job: u64,
+    policy: TenantPolicy,
+    /// Calibration horizon: Cut commands in the script.
+    rounds: u64,
+    pub w: f64,
+    pub round: u64,
+    pub has_anchor: bool,
+    pub cuts_since_full: u64,
+    ordinal_next: u64,
+    n_records: f64,
+    sum_c1: f64,
+    sum_dl: f64,
+    sum_ds: f64,
+    /// Global seqs this tenant committed (all time, incl. GC'd).
+    pub seqs: HashSet<u64>,
+    /// Global seq → tenant ordinal, for live-set translation.
+    seq_ordinal: HashMap<u64, u64>,
+    pub events: Vec<StreamEvent>,
+}
+
+impl TenantCore {
+    pub fn new(script: &TenantScript, id: usize) -> Self {
+        Self::with_params(script.persona, script.policy, script.rounds(), id)
+    }
+
+    /// Construct from raw parts — RPC-driven sessions declare their
+    /// calibration horizon (`rounds`) at join time instead of carrying a
+    /// script.
+    pub fn with_params(persona: usize, policy: TenantPolicy, rounds: u64, id: usize) -> Self {
+        TenantCore {
+            persona,
+            job: id as u64 + 1,
+            policy,
+            rounds,
+            w: policy.initial_w(),
+            round: 0,
+            has_anchor: false,
+            cuts_since_full: 0,
+            ordinal_next: 1,
+            n_records: 0.0,
+            sum_c1: 0.0,
+            sum_dl: 0.0,
+            sum_ds: 0.0,
+            seqs: HashSet::new(),
+            seq_ordinal: HashMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether the next cut must be a full anchor (same cadence rule as
+    /// [`crate::service::run_service`]).
+    pub fn next_is_full(&self, full_every: u64) -> bool {
+        !self.has_anchor || self.cuts_since_full + 1 >= full_every
+    }
+
+    /// The tenant's live ordinals on `level`, sorted — the anchor GC set.
+    fn live_ordinals(&self, hier: &StorageHierarchy, level: usize) -> Vec<u64> {
+        let mut v: Vec<u64> = hier
+            .live_record_seqs(level)
+            .into_iter()
+            .filter_map(|s| self.seq_ordinal.get(&s).copied())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Account a committed checkpoint: ordinal assignment, calibration
+    /// update, adaptive re-solve, GC-set capture, stream event.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_commit(
+        &mut self,
+        seq: u64,
+        round: u64,
+        full: bool,
+        c1: f64,
+        dl_intrinsic: f64,
+        ds: f64,
+        file: &CheckpointFile,
+        hier: &StorageHierarchy,
+        solver_cfg: &EngineConfig,
+        cfg: &ServiceConfig,
+    ) -> StreamEvent {
+        let ordinal = self.ordinal_next;
+        self.ordinal_next += 1;
+        self.seqs.insert(seq);
+        self.seq_ordinal.insert(seq, ordinal);
+        self.round = round;
+        if full {
+            self.has_anchor = true;
+            self.cuts_since_full = 0;
+        } else {
+            self.cuts_since_full += 1;
+        }
+        self.n_records += 1.0;
+        self.sum_c1 += c1;
+        self.sum_dl += dl_intrinsic;
+        self.sum_ds += ds;
+        if let TenantPolicy::Adaptive { bootstrap } = self.policy {
+            let base_time = self.rounds as f64 * bootstrap;
+            self.w = sic_optimal_w_pooled(
+                self.sum_c1 / self.n_records,
+                self.sum_dl / self.n_records,
+                self.sum_ds / self.n_records,
+                solver_cfg,
+                base_time,
+                cfg.cores,
+            );
+        }
+        let ev = StreamEvent::Commit {
+            ordinal,
+            round,
+            full,
+            payload_digest: payload_digest(file, ordinal),
+            w_bits: self.w.to_bits(),
+            live_l1: self.live_ordinals(hier, 1),
+            live_l2: self.live_ordinals(hier, 2),
+        };
+        self.events.push(ev.clone());
+        ev
+    }
+}
+
+/// Serially encode one delta cut for `core`'s next round and return the
+/// commit-ready file plus the solver inputs `(c1, dl_intrinsic, ds)`.
+/// Shared by both executors' *semantics*; the wall-clock mode swaps the
+/// serial `pa_encode` for the DRR shard scheduler, which is bit-identical
+/// by construction (same shard primitives, assembly, and cache-equality
+/// guarantees as `CompressorPool`).
+pub(crate) fn encode_inputs(
+    fleet: &SharedDatasetFleet,
+    cfg: &ServiceConfig,
+    persona: usize,
+    round: u64,
+    report: &EncodeReport,
+) -> (f64, f64, f64) {
+    let _ = round;
+    let raw = fleet.pages_of(persona) as u64 * aic_memsim::PAGE_SIZE as u64;
+    let c1 = cfg.cost_model.raw_io_latency(raw);
+    let dl_intrinsic = cfg.cost_model.pooled_delta_latency(report, cfg.cores);
+    (c1, dl_intrinsic, report.delta_bytes as f64)
+}
+
+/// The canonical live-page set for a persona of `pages` pages.
+pub(crate) fn all_pages(pages: usize) -> Vec<PageIdx> {
+    (0..pages as u64).collect()
+}
+
+/// The canonical cpu-state blob for `round` (see `service::round_state`).
+pub(crate) fn state_of(round: u64) -> Bytes {
+    round_state(round)
+}
+
+/// Apply terminal transport events against the hierarchy: acks land their
+/// pending L3 drains (stale acks for cancelled/GC'd records are skipped).
+pub(crate) fn apply_transport_events(
+    events: &[TransportEvent],
+    hier: &mut StorageHierarchy,
+) -> Result<(), RecoveryError> {
+    for ev in events {
+        if let TransportEvent::Acked { seq, .. } = ev {
+            if hier.pending_remote_seqs().binary_search(seq).is_ok() {
+                hier.ack_remote(*seq)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replay `scripts` on the deterministic discrete-event executor — the
+/// oracle side of the contract. Commands interleave round-robin across
+/// tenants on a [`VirtualClock`]; the resulting [`FleetStreams`] must be
+/// identical to what [`crate::wallclock::run_script_wallclock`] produces
+/// for the same inputs.
+///
+/// Requires `cfg.faults.is_none()`: a transfer that gives up would leave a
+/// level-3 drain barrier waiting forever in wall-clock mode, and the
+/// surviving remote prefix would depend on retry timing.
+pub fn run_script_sim(
+    fleet: &SharedDatasetFleet,
+    scripts: &[TenantScript],
+    cfg: &ServiceConfig,
+) -> Result<FleetStreams, RecoveryError> {
+    assert!(
+        cfg.faults.is_none(),
+        "script replay requires a fault-free transport (oracle contract)"
+    );
+    for s in scripts {
+        assert!(s.persona < fleet.ranks(), "persona outside the fleet");
+    }
+    let solver_cfg = solver_config(cfg);
+    let mut hier = build_hierarchy(cfg);
+    let mut transport = build_transport(cfg);
+    let clock = VirtualClock::new();
+    let mut seq_next: u64 = 1;
+    let mut violations: u64 = 0;
+
+    let mut cores: Vec<TenantCore> = scripts
+        .iter()
+        .enumerate()
+        .map(|(i, s)| TenantCore::new(s, i))
+        .collect();
+    let mut cursors = vec![0usize; scripts.len()];
+    let mut left = vec![false; scripts.len()];
+
+    // Round-robin: one command per tenant per pass, until every session
+    // has run its script and departed.
+    loop {
+        let mut progressed = false;
+        for (id, script) in scripts.iter().enumerate() {
+            if left[id] {
+                continue;
+            }
+            progressed = true;
+            clock.advance(cfg.tick);
+            let now = clock.now();
+            apply_transport_events(&transport.advance_to(now), &mut hier)?;
+
+            match script.cmds.get(cursors[id]).copied() {
+                Some(TenantCmd::Cut) => {
+                    sim_cut(
+                        fleet,
+                        cfg,
+                        &solver_cfg,
+                        &mut hier,
+                        &mut transport,
+                        &clock,
+                        &mut seq_next,
+                        &mut cores[id],
+                    )?;
+                }
+                Some(TenantCmd::Crash { level }) => {
+                    sim_crash_recover(
+                        fleet,
+                        &mut hier,
+                        &mut transport,
+                        &clock,
+                        &mut cores[id],
+                        level,
+                        &mut violations,
+                    )?;
+                }
+                None => {
+                    sim_leave(
+                        fleet,
+                        &mut hier,
+                        &mut transport,
+                        &mut cores[id],
+                        &mut violations,
+                    );
+                    left[id] = true;
+                }
+            }
+            cursors[id] += 1;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let (events, _) = transport.quiesce();
+    apply_transport_events(&events, &mut hier)?;
+    hier.try_reclaim_all();
+
+    Ok(FleetStreams {
+        streams: cores
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| RecordStream {
+                tenant: i,
+                events: c.events,
+            })
+            .collect(),
+        violations,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sim_cut(
+    fleet: &SharedDatasetFleet,
+    cfg: &ServiceConfig,
+    solver_cfg: &EngineConfig,
+    hier: &mut StorageHierarchy,
+    transport: &mut NetworkTransport,
+    clock: &VirtualClock,
+    seq_next: &mut u64,
+    core: &mut TenantCore,
+) -> Result<(), RecoveryError> {
+    let now = clock.now();
+    let round = core.round + 1;
+    let full = core.next_is_full(cfg.full_every);
+    let seq = *seq_next;
+    *seq_next += 1;
+
+    let (file, c1, dl, ds) = if full {
+        let snap = fleet.snapshot(core.persona, round);
+        let raw = snap.bytes();
+        let c1 = cfg.cost_model.raw_io_latency(raw);
+        (
+            CheckpointFile::full(core.job, seq, snap, state_of(round)),
+            c1,
+            0.0,
+            raw as f64,
+        )
+    } else {
+        let prev = fleet.snapshot(core.persona, round - 1);
+        let dirty = fleet.dirty(core.persona, round);
+        let (pa_file, report) = pa_encode(&prev, &dirty, &cfg.pa);
+        let (c1, dl, ds) = encode_inputs(fleet, cfg, core.persona, round, &report);
+        (
+            CheckpointFile::delta(
+                core.job,
+                seq,
+                pa_file,
+                all_pages(fleet.pages_of(core.persona)),
+                state_of(round),
+            ),
+            c1,
+            dl,
+            ds,
+        )
+    };
+    debug_assert_eq!(file.kind == CheckpointKind::Full, full);
+    let (receipt, wire) = hier.commit_write_behind(&file)?;
+    if full {
+        let stale: Vec<u64> = transport
+            .pending_seqs()
+            .into_iter()
+            .filter(|s| *s < seq && core.seqs.contains(s))
+            .collect();
+        transport.cancel_seqs(&stale);
+    }
+    let out = transport.enqueue(seq, wire, now + receipt.raid.seconds);
+    apply_transport_events(&out.events, hier)?;
+    clock.advance_to(transport.now());
+    core.on_commit(seq, round, full, c1, dl, ds, &file, hier, solver_cfg, cfg);
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sim_crash_recover(
+    fleet: &SharedDatasetFleet,
+    hier: &mut StorageHierarchy,
+    transport: &mut NetworkTransport,
+    clock: &VirtualClock,
+    core: &mut TenantCore,
+    level: usize,
+    violations: &mut u64,
+) -> Result<(), RecoveryError> {
+    assert!((1..=3).contains(&level), "crash level must be 1..=3");
+    if level == 3 {
+        // Drain barrier: the tenant's outstanding L3 drains must ack
+        // before the node dies, or the surviving remote prefix would be
+        // timing-dependent. Quiescing the whole transport subsumes the
+        // per-tenant wait and is itself deterministic.
+        let (events, idle_at) = transport.quiesce();
+        apply_transport_events(&events, hier)?;
+        clock.advance_to(idle_at);
+        debug_assert!(
+            !hier
+                .pending_remote_seqs()
+                .iter()
+                .any(|s| core.seqs.contains(s)),
+            "drain barrier left tenant drains pending"
+        );
+    }
+    let lost = hier.fail_job(core.job, level)?;
+    transport.cancel_seqs(&lost);
+    core.events.push(StreamEvent::Crash { level });
+
+    let mut recovered = None;
+    for lvl in level..=3 {
+        if let Ok(img) = hier.recover_job(lvl, core.job) {
+            recovered = Some((lvl, img));
+            break;
+        }
+    }
+    match recovered {
+        Some((lvl, img)) => {
+            let round = round_of_state(&img.cpu_state).unwrap_or(u64::MAX);
+            let identical = round != u64::MAX
+                && snapshots_identical(&fleet.snapshot(core.persona, round), &img.snapshot);
+            if !identical {
+                *violations += 1;
+            }
+            // Pinned read window: the served chain's records must stay
+            // readable for the window (the epoch-isolation invariant).
+            let pins = hier.pin_readers();
+            let locs: Vec<_> = hier
+                .live_record_seqs(lvl)
+                .into_iter()
+                .filter(|s| core.seqs.contains(s))
+                .filter_map(|s| hier.loc_of(lvl, s).map(|l| (s, l)))
+                .collect();
+            for (_, loc) in &locs {
+                if hier.read_at(lvl, *loc).is_none() {
+                    *violations += 1;
+                }
+            }
+            hier.unpin_readers(pins);
+            core.round = round;
+            core.events.push(StreamEvent::Recover {
+                level: lvl,
+                round,
+                image_digest: image_digest(&img),
+            });
+        }
+        None => {
+            core.round = 0;
+            core.has_anchor = false;
+            core.cuts_since_full = 0;
+            core.events.push(StreamEvent::Recover {
+                level: 0,
+                round: 0,
+                image_digest: 0,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn sim_leave(
+    fleet: &SharedDatasetFleet,
+    hier: &mut StorageHierarchy,
+    transport: &mut NetworkTransport,
+    core: &mut TenantCore,
+    violations: &mut u64,
+) {
+    let mut verified = None;
+    for lvl in 1..=3 {
+        if let Ok(img) = hier.recover_job(lvl, core.job) {
+            let round = round_of_state(&img.cpu_state).unwrap_or(u64::MAX);
+            verified = Some(
+                round != u64::MAX
+                    && snapshots_identical(&fleet.snapshot(core.persona, round), &img.snapshot),
+            );
+            break;
+        }
+    }
+    if verified == Some(false) {
+        *violations += 1;
+    }
+    let (_, lost) = hier.remove_job(core.job);
+    let mine: Vec<u64> = transport
+        .pending_seqs()
+        .into_iter()
+        .filter(|s| core.seqs.contains(s) || lost.contains(s))
+        .collect();
+    transport.cancel_seqs(&mine);
+    let leaked: u64 = (1..=3)
+        .map(|lvl| {
+            hier.live_record_seqs(lvl)
+                .iter()
+                .filter(|s| core.seqs.contains(s))
+                .count() as u64
+        })
+        .sum();
+    if leaked != 0 {
+        *violations += 1;
+    }
+    core.events.push(StreamEvent::Leave { verified, leaked });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aic_model::FailureRates;
+
+    fn cfg() -> ServiceConfig {
+        let mut cfg = ServiceConfig::fleet_default(FailureRates::new(vec![3e-4, 2e-4, 1e-4]));
+        cfg.cores = 2;
+        cfg.b3 = 1.0e6;
+        cfg.full_every = 3;
+        cfg
+    }
+
+    fn scripts() -> Vec<TenantScript> {
+        vec![
+            TenantScript::cuts(0, TenantPolicy::Adaptive { bootstrap: 3.0 }, 5),
+            TenantScript {
+                persona: 1,
+                policy: TenantPolicy::Fixed(3.0),
+                cmds: vec![
+                    TenantCmd::Cut,
+                    TenantCmd::Cut,
+                    TenantCmd::Crash { level: 1 },
+                    TenantCmd::Cut,
+                    TenantCmd::Crash { level: 3 },
+                    TenantCmd::Cut,
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn sim_replay_is_deterministic_and_clean() {
+        let fleet = SharedDatasetFleet::heterogeneous(vec![4, 7], 50, 9);
+        let a = run_script_sim(&fleet, &scripts(), &cfg()).unwrap();
+        let b = run_script_sim(&fleet, &scripts(), &cfg()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.violations, 0);
+        assert!(a.diff(&b).is_empty());
+        // Tenant 1: 2 commits, crash+recover, commit, crash+recover,
+        // commit, leave = 9 events.
+        assert_eq!(a.streams[1].events.len(), 9);
+        assert!(matches!(
+            a.streams[1].events.last(),
+            Some(StreamEvent::Leave {
+                verified: Some(true),
+                leaked: 0
+            })
+        ));
+        // Recovery after the level-3 crash resumed at the last committed
+        // round (the drain barrier guarantees the full acked prefix).
+        let rec = a.streams[1]
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::Recover { level, round, .. } => Some((*level, *round)),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(rec, vec![(1, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn anchor_gc_set_shrinks_at_fulls() {
+        let fleet = SharedDatasetFleet::heterogeneous(vec![4], 0, 3);
+        let s = vec![TenantScript::cuts(0, TenantPolicy::Fixed(2.0), 7)];
+        let out = run_script_sim(&fleet, &s, &cfg()).unwrap();
+        let live: Vec<Vec<u64>> = out.streams[0]
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::Commit { live_l1, .. } => Some(live_l1.clone()),
+                _ => None,
+            })
+            .collect();
+        // full_every = 3: ordinals 1 (full), 2, 3, 4 (full), 5, 6, 7 (full).
+        assert_eq!(live[0], vec![1]);
+        assert_eq!(live[2], vec![1, 2, 3]);
+        assert_eq!(live[3], vec![4], "anchor truncated the prefix");
+        assert_eq!(live[6], vec![7]);
+    }
+}

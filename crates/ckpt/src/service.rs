@@ -40,6 +40,7 @@ use aic_memsim::{PageIdx, Snapshot};
 use aic_model::FailureRates;
 use aic_obs::{Counter, Gauge, Histogram, Obs};
 
+use crate::clock::{ClockSource, VirtualClock};
 use crate::concurrent::{CompressJob, CompressorPool};
 use crate::engine::{Compressor, EngineConfig};
 use crate::fleet::SharedDatasetFleet;
@@ -68,7 +69,7 @@ pub enum TenantPolicy {
 }
 
 impl TenantPolicy {
-    fn initial_w(self) -> f64 {
+    pub(crate) fn initial_w(self) -> f64 {
         match self {
             TenantPolicy::Fixed(w) => w,
             TenantPolicy::Adaptive { bootstrap } => bootstrap,
@@ -186,7 +187,7 @@ pub struct FleetObs {
 }
 
 /// Cut-blocking histogram buckets, microseconds.
-static BLOCK_US_BUCKETS: [u64; 10] = [
+pub(crate) static BLOCK_US_BUCKETS: [u64; 10] = [
     100,
     1_000,
     10_000,
@@ -392,20 +393,83 @@ impl Tenant {
     }
 }
 
-fn round_state(round: u64) -> Bytes {
+/// The canonical `cpu_state` blob for a fleet tenant: the round number,
+/// little-endian — all the "process state" a persona needs to resume.
+pub(crate) fn round_state(round: u64) -> Bytes {
     Bytes::copy_from_slice(&round.to_le_bytes())
 }
 
-fn round_of_state(cpu_state: &[u8]) -> Option<u64> {
+/// Inverse of [`round_state`].
+pub(crate) fn round_of_state(cpu_state: &[u8]) -> Option<u64> {
     cpu_state.try_into().map(u64::from_le_bytes).ok()
 }
 
 /// Bit-identical snapshot comparison (page indices and contents).
-fn snapshots_identical(a: &Snapshot, b: &Snapshot) -> bool {
+pub(crate) fn snapshots_identical(a: &Snapshot, b: &Snapshot) -> bool {
     a.len() == b.len()
         && a.iter()
             .zip(b.iter())
             .all(|((ia, pa), (ib, pb))| ia == ib && pa.as_slice() == pb.as_slice())
+}
+
+/// Build the shared three-level storage hierarchy exactly as the fleet
+/// service configures it (testbed store models, segment capacity, dedup,
+/// obs attachment). Shared by [`run_service`], the script-replay executor
+/// ([`crate::script::run_script_sim`]), and the wall-clock server
+/// ([`crate::wallclock::FleetServer`]) so all three commit through
+/// identical storage semantics.
+pub(crate) fn build_hierarchy(cfg: &ServiceConfig) -> StorageHierarchy {
+    let mut hier = StorageHierarchy::with_segments(
+        crate::storage::FlatStore::new(crate::storage::BandwidthModel::new(100e6, 1e-3)),
+        crate::storage::Raid5Group::new(
+            4,
+            256 << 10,
+            crate::storage::BandwidthModel::new(471.7e6, 1e-3),
+        ),
+        crate::storage::FlatStore::new(crate::storage::BandwidthModel::new(
+            cfg.b3,
+            cfg.link_latency,
+        )),
+        cfg.seg_capacity,
+    );
+    if cfg.dedup {
+        hier.enable_dedup();
+    }
+    if let Some(o) = &cfg.obs {
+        hier.attach_obs(o);
+    }
+    hier
+}
+
+/// Build the shared write-behind transport as the fleet service configures
+/// it. See [`build_hierarchy`] for who shares it.
+pub(crate) fn build_transport(cfg: &ServiceConfig) -> NetworkTransport {
+    let mut transport = NetworkTransport::new(
+        LinkConfig::new(cfg.b3, cfg.link_latency, cfg.sharing_factor),
+        WriteBehindConfig {
+            queue_depth: cfg.queue_depth,
+            faults: cfg.faults,
+            ..WriteBehindConfig::default()
+        },
+    );
+    if let Some(o) = &cfg.obs {
+        transport.attach_obs(o);
+    }
+    transport
+}
+
+/// The engine view the adaptive w* solver sees of the shared fleet
+/// infrastructure. Both execution modes (simulated and wall-clock) build
+/// the solver's inputs from the *same* deterministic encode reports, so a
+/// tenant's w* trajectory is mode-invariant (part of the oracle contract).
+pub(crate) fn solver_config(cfg: &ServiceConfig) -> EngineConfig {
+    let mut solver_cfg = EngineConfig::testbed(cfg.rates.clone());
+    solver_cfg.b3 = cfg.b3;
+    solver_cfg.sharing_factor = cfg.sharing_factor;
+    solver_cfg.cores = cfg.cores;
+    solver_cfg.cost_model = cfg.cost_model;
+    solver_cfg.compressor = Compressor::PaDelta(cfg.pa);
+    solver_cfg
 }
 
 /// A matured encode job waiting for its virtual completion time so it can
@@ -440,44 +504,10 @@ pub fn run_service(
     }
 
     let fobs = cfg.obs.as_ref().map(register_metrics);
-    let mut hier = StorageHierarchy::with_segments(
-        crate::storage::FlatStore::new(crate::storage::BandwidthModel::new(100e6, 1e-3)),
-        crate::storage::Raid5Group::new(
-            4,
-            256 << 10,
-            crate::storage::BandwidthModel::new(471.7e6, 1e-3),
-        ),
-        crate::storage::FlatStore::new(crate::storage::BandwidthModel::new(
-            cfg.b3,
-            cfg.link_latency,
-        )),
-        cfg.seg_capacity,
-    );
-    if cfg.dedup {
-        hier.enable_dedup();
-    }
-    if let Some(o) = &cfg.obs {
-        hier.attach_obs(o);
-    }
-    let mut transport = NetworkTransport::new(
-        LinkConfig::new(cfg.b3, cfg.link_latency, cfg.sharing_factor),
-        WriteBehindConfig {
-            queue_depth: cfg.queue_depth,
-            faults: cfg.faults,
-            ..WriteBehindConfig::default()
-        },
-    );
-    if let Some(o) = &cfg.obs {
-        transport.attach_obs(o);
-    }
+    let mut hier = build_hierarchy(cfg);
+    let mut transport = build_transport(cfg);
     let pool = CompressorPool::spawn_with_obs(cfg.cores, 64, cfg.obs.as_ref());
-    // The w* solver sees the shared infrastructure through an engine view.
-    let mut solver_cfg = EngineConfig::testbed(cfg.rates.clone());
-    solver_cfg.b3 = cfg.b3;
-    solver_cfg.sharing_factor = cfg.sharing_factor;
-    solver_cfg.cores = cfg.cores;
-    solver_cfg.cost_model = cfg.cost_model;
-    solver_cfg.compressor = Compressor::PaDelta(cfg.pa);
+    let solver_cfg = solver_config(cfg);
 
     let mut tenants: Vec<Tenant> = specs
         .iter()
@@ -494,7 +524,9 @@ pub fn run_service(
     let mut total_cuts: u64 = 0;
     let mut total_wire: u64 = 0;
     let mut horizon: f64 = 0.0;
-    let mut now = 0.0;
+    // The simulated mode drives a [`VirtualClock`]; the wall-clock mode
+    // (`crate::wallclock`) runs the same machinery off a `MonotonicClock`.
+    let clock = VirtualClock::new();
     let mut ticks: u64 = 0;
 
     // Apply terminal transport events: acks land their pending drains and
@@ -548,6 +580,7 @@ pub fn run_service(
     }
 
     loop {
+        let now = clock.now();
         ticks += 1;
         assert!(
             ticks < 50_000_000,
@@ -978,8 +1011,9 @@ pub fn run_service(
         {
             break;
         }
-        now += cfg.tick;
+        clock.advance(cfg.tick);
     }
+    let now = clock.now();
 
     // Late drains of the final commits (everything else was cancelled at
     // departure) settle the clock.

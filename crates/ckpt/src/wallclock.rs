@@ -1,0 +1,1232 @@
+//! The wall-clock fleet server: real threads, real contention, same records.
+//!
+//! [`FleetServer`] runs the multi-tenant checkpoint service of
+//! [`crate::service`] in *wall-clock* mode: tenant sessions live on OS
+//! threads, encode work is scheduled preemptively across a shared worker
+//! pool at **shard granularity** (the deficit-round-robin encoder below),
+//! admission and transport
+//! back-pressure **block real callers** instead of stalling a virtual
+//! queue, and time comes from a [`MonotonicClock`] instead of the
+//! simulator's [`crate::clock::VirtualClock`].
+//!
+//! The storage hierarchy, write-behind transport, checkpoint logs, dedup
+//! store, and adaptive solver are the *same objects* the simulator drives —
+//! only who advances time and who schedules work differs. That is what
+//! makes the oracle contract (DESIGN.md §10) checkable: replaying one
+//! tenant script through [`run_script_wallclock`] and through
+//! [`crate::script::run_script_sim`] must yield identical
+//! [`FleetStreams`], even though every timing and interleaving differs.
+//!
+//! Wall-clock observability is **Volatile-class** end to end: the
+//! `fleet.wc.*` metrics and span points registered here are excluded from
+//! deterministic snapshots, so the golden-replay artifacts are untouched
+//! by this mode existing.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+
+use aic_delta::pa::{
+    pa_assemble, pa_encode_shard_scratch, plan_shards, PaDeltaFile, PaParams, PageRecord, Shard,
+    ShardScratch, SourceIndexCache,
+};
+use aic_delta::stats::EncodeReport;
+use aic_memsim::{Snapshot, PAGE_SIZE};
+use aic_obs::{Counter, Gauge, Histogram, Obs, Volatility};
+
+use crate::clock::{ClockSource, MonotonicClock};
+use crate::engine::EngineConfig;
+use crate::fleet::SharedDatasetFleet;
+use crate::format::CheckpointFile;
+use crate::log::RecordLoc;
+use crate::recovery::{RecoveryError, StorageHierarchy};
+use crate::script::{
+    apply_transport_events, encode_inputs, image_digest, FleetStreams, RecordStream, StreamEvent,
+    TenantCmd, TenantCore, TenantScript,
+};
+use crate::service::{
+    build_hierarchy, build_transport, round_of_state, snapshots_identical, solver_config,
+    ServiceConfig, TenantPolicy, BLOCK_US_BUCKETS,
+};
+use crate::transport::NetworkTransport;
+
+/// How often blocked callers re-poll shared state (admission is
+/// condvar-driven and does not poll; this is for transport back-pressure
+/// and the level-3 drain barrier).
+const POLL: Duration = Duration::from_micros(200);
+
+/// How often the background drainer applies completed transport drains.
+const DRAIN_TICK: Duration = Duration::from_millis(1);
+
+// ---------------------------------------------------------------------------
+// Admission gate
+// ---------------------------------------------------------------------------
+
+/// FIFO blocking admission: callers take a ticket and sleep on a condvar
+/// until they are both at the head of the line and a slot is free. The
+/// head is never overtaken (bounded wait) and never dropped.
+pub(crate) struct AdmissionGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    next_ticket: u64,
+    serving: u64,
+    active: usize,
+}
+
+impl AdmissionGate {
+    pub(crate) fn new() -> Self {
+        AdmissionGate {
+            state: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until a slot is free and every earlier caller has been
+    /// admitted. Returns the number of times the caller went to sleep
+    /// (the admission-stall count for this join).
+    pub(crate) fn acquire(&self, slots: usize) -> u64 {
+        let mut stalls = 0;
+        let mut s = self.state.lock().unwrap();
+        let ticket = s.next_ticket;
+        s.next_ticket += 1;
+        while !(s.serving == ticket && s.active < slots) {
+            stalls += 1;
+            s = self.cv.wait(s).unwrap();
+        }
+        s.serving += 1;
+        s.active += 1;
+        self.cv.notify_all();
+        stalls
+    }
+
+    /// Release a slot (a tenant left); wakes the head of the line.
+    pub(crate) fn release(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.active = s.active.saturating_sub(1);
+        self.cv.notify_all();
+    }
+
+    /// Callers holding a ticket but not yet admitted.
+    fn waiters(&self) -> u64 {
+        let s = self.state.lock().unwrap();
+        s.next_ticket - s.serving
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DRR shard encoder
+// ---------------------------------------------------------------------------
+
+/// A finished shard: its page records plus the per-shard encode report.
+type ShardPart = (Vec<PageRecord>, EncodeReport);
+
+/// One submitted encode job: the shard parts are reassembled by whichever
+/// worker finishes last, exactly as in [`crate::concurrent::CompressorPool`]
+/// — so the delivered file and report are byte-identical to the serial
+/// encoder's.
+struct EncJob {
+    prev: Snapshot,
+    dirty: Snapshot,
+    params: PaParams,
+    parts: Vec<Mutex<Option<ShardPart>>>,
+    remaining: AtomicUsize,
+    tx: Sender<(PaDeltaFile, EncodeReport)>,
+}
+
+/// A job's undealt shards, each tagged with its plan index.
+type ShardQueue = VecDeque<(usize, Shard)>;
+
+/// One tenant's pending encode work: jobs in submission order, each with
+/// its undealt shards.
+struct TenantQ {
+    deficit: u64,
+    credited: bool,
+    jobs: VecDeque<(Arc<EncJob>, ShardQueue)>,
+}
+
+struct Sched {
+    /// Round-robin order of tenants with pending shards; front is served.
+    rr: VecDeque<u64>,
+    queues: HashMap<u64, TenantQ>,
+    shutdown: bool,
+}
+
+struct EncState {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+    /// Cross-job source-index cache shared by every worker; hits require
+    /// exact source equality, so output stays bit-identical (the pool's
+    /// proven property).
+    cache: SourceIndexCache,
+    quantum: u64,
+    shards_done: AtomicU64,
+    preemptions: AtomicU64,
+    rounds: AtomicU64,
+    obs: Option<WcObs>,
+}
+
+/// The preemptive deficit-round-robin encode scheduler.
+///
+/// Workers pull one *shard* at a time: between any two shards the
+/// scheduler re-examines the round-robin queue, so a tenant with a large
+/// job in flight is preempted the moment its head shard no longer fits its
+/// deficit — the wall-clock realization of the simulator's shard-granular
+/// DRR dispatch (step 7 of [`crate::service::run_service`]).
+pub(crate) struct DrrEncoder {
+    state: Arc<EncState>,
+    plan_width: usize,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl DrrEncoder {
+    /// Spawn `min(cores, available_parallelism)` workers; shards are
+    /// planned at width `cores` regardless, so shard boundaries (and
+    /// therefore assembled outputs) are machine-independent.
+    pub(crate) fn spawn(cores: usize, quantum_bytes: u64, obs: Option<WcObs>) -> Self {
+        let plan_width = cores.max(1);
+        let hw = thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = plan_width.min(hw);
+        let state = Arc::new(EncState {
+            sched: Mutex::new(Sched {
+                rr: VecDeque::new(),
+                queues: HashMap::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            cache: SourceIndexCache::new(),
+            quantum: quantum_bytes.max(1),
+            shards_done: AtomicU64::new(0),
+            preemptions: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+            obs,
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let st = Arc::clone(&state);
+                thread::Builder::new()
+                    .name(format!("aic-drr-{i}"))
+                    .spawn(move || worker_loop(&st))
+                    .expect("spawn DRR worker")
+            })
+            .collect();
+        DrrEncoder {
+            state,
+            plan_width,
+            workers,
+        }
+    }
+
+    /// Encode one delta cut for `tenant`, blocking until the assembled
+    /// file is ready. Fair across tenants at shard granularity.
+    pub(crate) fn encode(
+        &self,
+        tenant: u64,
+        prev: Snapshot,
+        dirty: Snapshot,
+        params: PaParams,
+    ) -> (PaDeltaFile, EncodeReport) {
+        let plan = plan_shards(dirty.len(), self.plan_width);
+        if plan.is_empty() {
+            return pa_assemble(std::iter::empty());
+        }
+        let (tx, rx) = bounded(1);
+        let job = Arc::new(EncJob {
+            prev,
+            dirty,
+            params,
+            parts: plan.iter().map(|_| Mutex::new(None)).collect(),
+            remaining: AtomicUsize::new(plan.len()),
+            tx,
+        });
+        let shards: VecDeque<(usize, Shard)> = plan.into_iter().enumerate().collect();
+        {
+            let mut s = self.state.sched.lock().unwrap();
+            assert!(!s.shutdown, "encoder is shut down");
+            let q = s.queues.entry(tenant).or_insert_with(|| TenantQ {
+                deficit: 0,
+                credited: false,
+                jobs: VecDeque::new(),
+            });
+            let was_idle = q.jobs.is_empty();
+            q.jobs.push_back((job, shards));
+            if was_idle {
+                s.rr.push_back(tenant);
+            }
+            self.state.cv.notify_all();
+        }
+        rx.recv().expect("DRR worker delivered")
+    }
+
+    fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.state.shards_done.load(Ordering::Relaxed),
+            self.state.preemptions.load(Ordering::Relaxed),
+            self.state.rounds.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Drop for DrrEncoder {
+    fn drop(&mut self) {
+        {
+            let mut s = self.state.sched.lock().unwrap();
+            s.shutdown = true;
+            self.state.cv.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(st: &EncState) {
+    let mut scratch = ShardScratch::new();
+    loop {
+        // Pick the next shard under the scheduler lock. This re-runs
+        // between every two shards a worker encodes — the preemption point.
+        let picked = {
+            let mut s = st.sched.lock().unwrap();
+            loop {
+                if s.rr.is_empty() {
+                    if s.shutdown {
+                        return;
+                    }
+                    s = st.cv.wait(s).unwrap();
+                    continue;
+                }
+                let tid = *s.rr.front().expect("non-empty rr");
+                let q = s.queues.get_mut(&tid).expect("queued tenant");
+                if !q.credited {
+                    q.deficit = q.deficit.saturating_add(st.quantum);
+                    q.credited = true;
+                    st.rounds.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = &st.obs {
+                        o.drr_rounds.inc();
+                    }
+                }
+                let Some((job, shards)) = q.jobs.front_mut() else {
+                    // Drained queue forfeits its deficit (classic DRR).
+                    s.queues.remove(&tid);
+                    s.rr.pop_front();
+                    continue;
+                };
+                let &(slot, shard) = shards.front().expect("job with shards");
+                let bytes = (shard.end - shard.start) as u64 * PAGE_SIZE as u64;
+                if bytes > q.deficit {
+                    // Head shard no longer fits: preempt this tenant, move
+                    // it to the back, credit the next one.
+                    st.preemptions.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = &st.obs {
+                        o.preemptions.inc();
+                    }
+                    q.credited = false;
+                    s.rr.rotate_left(1);
+                    continue;
+                }
+                q.deficit -= bytes;
+                shards.pop_front();
+                let job = Arc::clone(job);
+                if shards.is_empty() {
+                    q.jobs.pop_front();
+                    if q.jobs.is_empty() {
+                        s.queues.remove(&tid);
+                        s.rr.pop_front();
+                    }
+                }
+                break (job, slot, shard);
+            }
+        };
+        let (job, slot, shard) = picked;
+        let part = pa_encode_shard_scratch(
+            &job.prev,
+            &job.dirty,
+            shard,
+            &job.params,
+            Some(&st.cache),
+            &mut scratch,
+        );
+        *job.parts[slot].lock().unwrap() = Some(part);
+        st.shards_done.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &st.obs {
+            o.shards.inc();
+        }
+        if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last shard in: this worker assembles and delivers.
+            let parts = job
+                .parts
+                .iter()
+                .map(|p| p.lock().unwrap().take().expect("shard encoded"));
+            let assembled = pa_assemble(parts);
+            let _ = job.tx.send(assembled);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock observability (Volatile-class)
+// ---------------------------------------------------------------------------
+
+/// Volatile `fleet.wc.*` metric handles. Every series registered here is
+/// [`Volatility::Volatile`]: wall-clock runs never contaminate a
+/// deterministic snapshot, keeping the golden-replay artifacts stable.
+#[derive(Clone)]
+pub(crate) struct WcObs {
+    obs: Arc<Obs>,
+    admitted: Counter,
+    active: Gauge,
+    cuts: Counter,
+    block_us: Histogram,
+    shards: Counter,
+    preemptions: Counter,
+    drr_rounds: Counter,
+    wire_bytes: Counter,
+    recoveries: Counter,
+    departures: Counter,
+    violations: Counter,
+}
+
+fn wc_metrics(obs: &Arc<Obs>) -> WcObs {
+    let m = &obs.metrics;
+    let v = Volatility::Volatile;
+    WcObs {
+        obs: Arc::clone(obs),
+        admitted: m.counter_with("fleet.wc.tenants_admitted", v),
+        active: m.gauge_with("fleet.wc.tenants_active", v),
+        cuts: m.counter_with("fleet.wc.cuts", v),
+        block_us: m.histogram_with("fleet.wc.cut_block_us", &BLOCK_US_BUCKETS, v),
+        shards: m.counter_with("fleet.wc.encode_shards", v),
+        preemptions: m.counter_with("fleet.wc.preemptions", v),
+        drr_rounds: m.counter_with("fleet.wc.drr_rounds", v),
+        wire_bytes: m.counter_with("fleet.wc.wire_bytes", v),
+        recoveries: m.counter_with("fleet.wc.recoveries", v),
+        departures: m.counter_with("fleet.wc.departures", v),
+        violations: m.counter_with("fleet.wc.isolation_violations", v),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+/// State every session thread shares under one mutex: the storage
+/// hierarchy, the write-behind transport, and the global commit sequence.
+/// Commit + enqueue + GC happen in one critical section, so the per-tenant
+/// observables the oracle compares are race-free by construction.
+struct Shared {
+    hier: StorageHierarchy,
+    transport: NetworkTransport,
+    seq_next: u64,
+    next_session: usize,
+    admitted: u64,
+    active: u64,
+    cuts: u64,
+    wire_bytes: u64,
+    recoveries: u64,
+    departures: u64,
+    violations: u64,
+}
+
+/// Live snapshot of the server's counters — the `stats` RPC payload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetStats {
+    /// Seconds since the server started.
+    pub uptime: f64,
+    /// Sessions currently admitted.
+    pub active: u64,
+    /// Sessions admitted since start.
+    pub admitted: u64,
+    /// Callers blocked in the admission gate right now.
+    pub waiting: u64,
+    /// Checkpoints committed.
+    pub cuts: u64,
+    /// Crash recoveries served.
+    pub recoveries: u64,
+    /// Sessions departed.
+    pub departures: u64,
+    /// Isolation violations observed (must stay 0).
+    pub violations: u64,
+    /// Bytes handed to the write-behind transport.
+    pub wire_bytes: u64,
+    /// L3 drains currently in flight.
+    pub in_flight: u64,
+    /// Encode shards completed by the DRR pool.
+    pub shards: u64,
+    /// Tenants preempted at a shard boundary.
+    pub preemptions: u64,
+    /// DRR credit rounds.
+    pub drr_rounds: u64,
+}
+
+impl FleetStats {
+    /// One `name value` pair per line, sorted — what `aicctl fleet stats`
+    /// prints and what the RPC ships.
+    pub fn render(&self) -> String {
+        format!(
+            "fleet.wc.uptime_s {:.3}\nfleet.wc.tenants_active {}\nfleet.wc.tenants_admitted {}\nfleet.wc.tenants_waiting {}\nfleet.wc.cuts {}\nfleet.wc.recoveries {}\nfleet.wc.departures {}\nfleet.wc.isolation_violations {}\nfleet.wc.wire_bytes {}\nfleet.wc.drains_in_flight {}\nfleet.wc.encode_shards {}\nfleet.wc.preemptions {}\nfleet.wc.drr_rounds {}\n",
+            self.uptime,
+            self.active,
+            self.admitted,
+            self.waiting,
+            self.cuts,
+            self.recoveries,
+            self.departures,
+            self.violations,
+            self.wire_bytes,
+            self.in_flight,
+            self.shards,
+            self.preemptions,
+            self.drr_rounds,
+        )
+    }
+}
+
+/// The wall-clock fleet service: the simulator's storage + transport +
+/// solver machinery behind a blocking, thread-safe session API.
+///
+/// Sessions ([`TenantSession`]) borrow the server, so the server outlives
+/// every session by construction; dropping the server joins the encode
+/// workers and the background drainer.
+pub struct FleetServer {
+    fleet: SharedDatasetFleet,
+    cfg: ServiceConfig,
+    solver_cfg: EngineConfig,
+    clock: MonotonicClock,
+    gate: AdmissionGate,
+    encoder: DrrEncoder,
+    shared: Arc<Mutex<Shared>>,
+    wc: Option<WcObs>,
+    stop: Arc<AtomicBool>,
+    drainer: Option<thread::JoinHandle<()>>,
+}
+
+impl FleetServer {
+    /// Start the server: build the hierarchy and transport from `cfg`
+    /// (exactly as the simulator does), spawn the DRR encode workers and
+    /// the transport drainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.faults` is set: fault injection remains
+    /// simulator-only — a wall-clock transfer that gave up would park the
+    /// level-3 drain barrier forever and break the oracle contract.
+    pub fn start(fleet: SharedDatasetFleet, cfg: ServiceConfig) -> Self {
+        assert!(
+            cfg.faults.is_none(),
+            "wall-clock mode requires a fault-free transport"
+        );
+        let wc = cfg.obs.as_ref().map(wc_metrics);
+        // The hierarchy/transport get no Stable-class obs in this mode:
+        // wall-clock interleavings would write nondeterministic values
+        // into series the deterministic snapshot considers reproducible.
+        let mut quiet = cfg.clone();
+        quiet.obs = None;
+        let solver_cfg = solver_config(&quiet);
+        let shared = Arc::new(Mutex::new(Shared {
+            hier: build_hierarchy(&quiet),
+            transport: build_transport(&quiet),
+            seq_next: 1,
+            next_session: 0,
+            admitted: 0,
+            active: 0,
+            cuts: 0,
+            wire_bytes: 0,
+            recoveries: 0,
+            departures: 0,
+            violations: 0,
+        }));
+        let clock = MonotonicClock::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let drainer = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            let clock = clock.clone();
+            thread::Builder::new()
+                .name("aic-drainer".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        {
+                            let mut sh = shared.lock().unwrap();
+                            let now = clock.now();
+                            let events = sh.transport.advance_to(now);
+                            let sh = &mut *sh;
+                            apply_transport_events(&events, &mut sh.hier)
+                                .expect("drainer applies acks");
+                        }
+                        thread::sleep(DRAIN_TICK);
+                    }
+                })
+                .expect("spawn drainer")
+        };
+        let encoder = DrrEncoder::spawn(cfg.cores, cfg.quantum_bytes, wc.clone());
+        FleetServer {
+            fleet,
+            cfg,
+            solver_cfg,
+            clock,
+            gate: AdmissionGate::new(),
+            encoder,
+            shared,
+            wc,
+            stop,
+            drainer: Some(drainer),
+        }
+    }
+
+    /// The shared dataset fleet this server checkpoints.
+    pub fn fleet(&self) -> &SharedDatasetFleet {
+        &self.fleet
+    }
+
+    /// The config the server was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Join the fleet: blocks (FIFO, bounded-wait) until an admission slot
+    /// frees up. `rounds` is the tenant's calibration horizon — the cut
+    /// count the adaptive solver amortizes its base time over.
+    pub fn join(&self, persona: usize, policy: TenantPolicy, rounds: u64) -> TenantSession<'_> {
+        assert!(persona < self.fleet.ranks(), "persona outside the fleet");
+        self.gate.acquire(self.cfg.slots);
+        let (id, active) = {
+            let mut sh = self.shared.lock().unwrap();
+            let id = sh.next_session;
+            sh.next_session += 1;
+            sh.admitted += 1;
+            sh.active += 1;
+            (id, sh.active)
+        };
+        if let Some(o) = &self.wc {
+            o.admitted.inc();
+            o.active.set(active as f64);
+            o.obs.spans.point_volatile(
+                "fleet.wc.join",
+                self.clock.now(),
+                vec![("tenant", (id as u64).into())],
+            );
+        }
+        TenantSession {
+            server: self,
+            core: TenantCore::with_params(persona, policy, rounds, id),
+            state: SessState::Up,
+            released: false,
+        }
+    }
+
+    /// Live counter snapshot (the `stats` RPC).
+    pub fn stats(&self) -> FleetStats {
+        let (shards, preemptions, drr_rounds) = self.encoder.stats();
+        let sh = self.shared.lock().unwrap();
+        FleetStats {
+            uptime: self.clock.now(),
+            active: sh.active,
+            admitted: sh.admitted,
+            waiting: self.gate.waiters(),
+            cuts: sh.cuts,
+            recoveries: sh.recoveries,
+            departures: sh.departures,
+            violations: sh.violations,
+            wire_bytes: sh.wire_bytes,
+            in_flight: sh.transport.in_flight() as u64,
+            shards,
+            preemptions,
+            drr_rounds,
+        }
+    }
+
+    /// Isolation violations observed so far (must be 0).
+    pub fn violations(&self) -> u64 {
+        self.shared.lock().unwrap().violations
+    }
+
+    fn note_violation(&self, sh: &mut Shared) {
+        sh.violations += 1;
+        if let Some(o) = &self.wc {
+            o.violations.inc();
+        }
+    }
+}
+
+impl Drop for FleetServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.drainer.take() {
+            let _ = h.join();
+        }
+        // DrrEncoder's own Drop joins the workers.
+    }
+}
+
+/// What a crashed session is holding across the crash→recover RPC gap.
+struct DownInfo {
+    /// Pin epochs per level; `None` when nothing was recoverable and the
+    /// tenant restarts from scratch.
+    pins: Option<[u64; 3]>,
+    /// Level that served the recovery (0 = from scratch).
+    level: usize,
+    /// The served chain's record locations — must stay readable until
+    /// `recover` closes the window.
+    locs: Vec<(u64, RecordLoc)>,
+    /// Round the tenant resumes at.
+    resume_round: u64,
+    /// The `Recover` stream event, pushed when the window closes.
+    event: StreamEvent,
+}
+
+enum SessState {
+    Up,
+    Down(DownInfo),
+    Left,
+}
+
+/// One tenant session on the wall-clock server. Methods block under real
+/// back-pressure; dropping a session mid-flight (e.g. its RPC connection
+/// died) releases its pins, retires its records, and frees its admission
+/// slot.
+pub struct TenantSession<'a> {
+    server: &'a FleetServer,
+    core: TenantCore,
+    state: SessState,
+    released: bool,
+}
+
+impl TenantSession<'_> {
+    /// This session's tenant id (the record-owner job id minus one).
+    pub fn id(&self) -> usize {
+        self.core.job as usize - 1
+    }
+
+    /// The tenant's current checkpoint interval.
+    pub fn w(&self) -> f64 {
+        self.core.w
+    }
+
+    /// The session's record stream so far.
+    pub fn events(&self) -> &[StreamEvent] {
+        &self.core.events
+    }
+
+    /// Cut one checkpoint: encode (preemptible, outside every lock), then
+    /// commit + enqueue the L3 drain in one critical section. Blocks while
+    /// the write-behind queue is full — transport back-pressure reaches
+    /// the real caller.
+    pub fn cut(&mut self) -> Result<&StreamEvent, RecoveryError> {
+        assert!(matches!(self.state, SessState::Up), "cut on a down session");
+        let srv = self.server;
+        let cfg = &srv.cfg;
+        let round = self.core.round + 1;
+        let full = self.core.next_is_full(cfg.full_every);
+
+        // Phase 1 — encode, no locks held. Snapshots are pure functions of
+        // (persona, round); the DRR pool's output is bit-identical to the
+        // serial encoder's, so the payload is mode-invariant.
+        let (mut file, c1, dl, ds) = if full {
+            let snap = srv.fleet.snapshot(self.core.persona, round);
+            let raw = snap.bytes();
+            let c1 = cfg.cost_model.raw_io_latency(raw);
+            (
+                CheckpointFile::full(self.core.job, 0, snap, crate::script::state_of(round)),
+                c1,
+                0.0,
+                raw as f64,
+            )
+        } else {
+            let prev = srv.fleet.snapshot(self.core.persona, round - 1);
+            let dirty = srv.fleet.dirty(self.core.persona, round);
+            let (pa_file, report) = srv.encoder.encode(self.core.job, prev, dirty, cfg.pa);
+            let (c1, dl, ds) = encode_inputs(srv.fleet(), cfg, self.core.persona, round, &report);
+            (
+                CheckpointFile::delta(
+                    self.core.job,
+                    0,
+                    pa_file,
+                    crate::script::all_pages(srv.fleet.pages_of(self.core.persona)),
+                    crate::script::state_of(round),
+                ),
+                c1,
+                dl,
+                ds,
+            )
+        };
+
+        // Phase 2 — commit under back-pressure: wait for queue room, then
+        // seq assignment, commit, anchor GC, enqueue, and stream capture
+        // in one critical section.
+        let t0 = srv.clock.now();
+        loop {
+            let mut guard = srv.shared.lock().unwrap();
+            let now = srv.clock.now();
+            let sh = &mut *guard;
+            let events = sh.transport.advance_to(now);
+            apply_transport_events(&events, &mut sh.hier)?;
+            if sh.transport.in_flight() >= cfg.queue_depth {
+                drop(guard);
+                thread::sleep(POLL);
+                continue;
+            }
+            let seq = sh.seq_next;
+            sh.seq_next += 1;
+            file.seq = seq;
+            let (receipt, wire) = sh.hier.commit_write_behind(&file)?;
+            if full {
+                let stale: Vec<u64> = sh
+                    .transport
+                    .pending_seqs()
+                    .into_iter()
+                    .filter(|s| *s < seq && self.core.seqs.contains(s))
+                    .collect();
+                sh.transport.cancel_seqs(&stale);
+            }
+            let out = sh.transport.enqueue(seq, wire, now + receipt.raid.seconds);
+            apply_transport_events(&out.events, &mut sh.hier)?;
+            self.core.on_commit(
+                seq,
+                round,
+                full,
+                c1,
+                dl,
+                ds,
+                &file,
+                &sh.hier,
+                &srv.solver_cfg,
+                cfg,
+            );
+            sh.cuts += 1;
+            sh.wire_bytes += wire;
+            if let Some(o) = &srv.wc {
+                o.cuts.inc();
+                o.wire_bytes.add(wire);
+                o.block_us
+                    .observe(((srv.clock.now() - t0) * 1e6).round() as u64);
+            }
+            break;
+        }
+        Ok(self.core.events.last().expect("cut pushed a commit"))
+    }
+
+    /// Crash at `level` (1..=3): fail the tenant's storage, recover from
+    /// the cheapest surviving level, and open the pinned read window. The
+    /// session stays **down** — pins are held — until [`recover`] closes
+    /// the window (mirroring the simulator's recovery window).
+    ///
+    /// A level-3 crash first waits for the tenant's own in-flight L3
+    /// drains to ack (the drain barrier), so the surviving remote chain is
+    /// mode-invariant.
+    ///
+    /// [`recover`]: TenantSession::recover
+    pub fn crash(&mut self, level: usize) -> Result<(), RecoveryError> {
+        assert!(
+            matches!(self.state, SessState::Up),
+            "crash on a down session"
+        );
+        assert!((1..=3).contains(&level), "crash level must be 1..=3");
+        let srv = self.server;
+        if level == 3 {
+            // Drain barrier: loop until none of this tenant's seqs are
+            // pending on the wire or awaiting ack in the hierarchy.
+            loop {
+                let mut guard = srv.shared.lock().unwrap();
+                let now = srv.clock.now();
+                let sh = &mut *guard;
+                let events = sh.transport.advance_to(now);
+                apply_transport_events(&events, &mut sh.hier)?;
+                let mine_pending = sh
+                    .transport
+                    .pending_seqs()
+                    .iter()
+                    .chain(sh.hier.pending_remote_seqs().iter())
+                    .any(|s| self.core.seqs.contains(s));
+                if !mine_pending {
+                    break;
+                }
+                drop(guard);
+                thread::sleep(POLL);
+            }
+        }
+        let mut guard = srv.shared.lock().unwrap();
+        let sh = &mut *guard;
+        let lost = sh.hier.fail_job(self.core.job, level)?;
+        sh.transport.cancel_seqs(&lost);
+        self.core.events.push(StreamEvent::Crash { level });
+        sh.recoveries += 1;
+        if let Some(o) = &srv.wc {
+            o.recoveries.inc();
+            o.obs.spans.point_volatile(
+                "fleet.wc.crash",
+                srv.clock.now(),
+                vec![
+                    ("tenant", (self.id() as u64).into()),
+                    ("level", (level as u64).into()),
+                ],
+            );
+        }
+
+        let mut recovered = None;
+        for lvl in level..=3 {
+            if let Ok(img) = sh.hier.recover_job(lvl, self.core.job) {
+                recovered = Some((lvl, img));
+                break;
+            }
+        }
+        self.state = match recovered {
+            Some((lvl, img)) => {
+                let round = round_of_state(&img.cpu_state).unwrap_or(u64::MAX);
+                let identical = round != u64::MAX
+                    && snapshots_identical(
+                        &srv.fleet.snapshot(self.core.persona, round),
+                        &img.snapshot,
+                    );
+                if !identical {
+                    srv.note_violation(sh);
+                }
+                let pins = sh.hier.pin_readers();
+                let locs: Vec<(u64, RecordLoc)> = sh
+                    .hier
+                    .live_record_seqs(lvl)
+                    .into_iter()
+                    .filter(|s| self.core.seqs.contains(s))
+                    .filter_map(|s| sh.hier.loc_of(lvl, s).map(|l| (s, l)))
+                    .collect();
+                SessState::Down(DownInfo {
+                    pins: Some(pins),
+                    level: lvl,
+                    locs,
+                    resume_round: round,
+                    event: StreamEvent::Recover {
+                        level: lvl,
+                        round,
+                        image_digest: image_digest(&img),
+                    },
+                })
+            }
+            None => SessState::Down(DownInfo {
+                pins: None,
+                level: 0,
+                locs: Vec::new(),
+                resume_round: 0,
+                event: StreamEvent::Recover {
+                    level: 0,
+                    round: 0,
+                    image_digest: 0,
+                },
+            }),
+        };
+        Ok(())
+    }
+
+    /// Close the recovery window opened by [`crash`]: verify the pinned
+    /// locations stayed readable (the epoch-isolation invariant), release
+    /// the pins, and resume at the recovered round.
+    ///
+    /// [`crash`]: TenantSession::crash
+    pub fn recover(&mut self) -> Result<&StreamEvent, RecoveryError> {
+        let SessState::Down(info) = std::mem::replace(&mut self.state, SessState::Up) else {
+            panic!("recover on a session that is not down");
+        };
+        let srv = self.server;
+        let mut guard = srv.shared.lock().unwrap();
+        let sh = &mut *guard;
+        for (_, loc) in &info.locs {
+            if sh.hier.read_at(info.level, *loc).is_none() {
+                srv.note_violation(sh);
+            }
+        }
+        if let Some(pins) = info.pins {
+            sh.hier.unpin_readers(pins);
+            self.core.round = info.resume_round;
+        } else {
+            self.core.round = 0;
+            self.core.has_anchor = false;
+            self.core.cuts_since_full = 0;
+        }
+        self.core.events.push(info.event);
+        if let Some(o) = &srv.wc {
+            o.obs.spans.point_volatile(
+                "fleet.wc.recover",
+                srv.clock.now(),
+                vec![
+                    ("tenant", (self.id() as u64).into()),
+                    ("level", (info.level as u64).into()),
+                ],
+            );
+        }
+        Ok(self.core.events.last().expect("recover pushed an event"))
+    }
+
+    /// Depart: verify recovery one last time, retire every record, cancel
+    /// in-flight drains, check nothing leaked, release the admission slot.
+    /// Returns the session's complete record stream.
+    pub fn leave(mut self) -> Vec<StreamEvent> {
+        assert!(
+            matches!(self.state, SessState::Up),
+            "leave on a down session (recover first)"
+        );
+        let srv = self.server;
+        {
+            let mut guard = srv.shared.lock().unwrap();
+            let sh = &mut *guard;
+            let mut verified = None;
+            for lvl in 1..=3 {
+                if let Ok(img) = sh.hier.recover_job(lvl, self.core.job) {
+                    let round = round_of_state(&img.cpu_state).unwrap_or(u64::MAX);
+                    verified = Some(
+                        round != u64::MAX
+                            && snapshots_identical(
+                                &srv.fleet.snapshot(self.core.persona, round),
+                                &img.snapshot,
+                            ),
+                    );
+                    break;
+                }
+            }
+            if verified == Some(false) {
+                srv.note_violation(sh);
+            }
+            let (_, lost) = sh.hier.remove_job(self.core.job);
+            let mine: Vec<u64> = sh
+                .transport
+                .pending_seqs()
+                .into_iter()
+                .filter(|s| self.core.seqs.contains(s) || lost.contains(s))
+                .collect();
+            sh.transport.cancel_seqs(&mine);
+            let leaked: u64 = (1..=3)
+                .map(|lvl| {
+                    sh.hier
+                        .live_record_seqs(lvl)
+                        .iter()
+                        .filter(|s| self.core.seqs.contains(s))
+                        .count() as u64
+                })
+                .sum();
+            if leaked != 0 {
+                srv.note_violation(sh);
+            }
+            self.core
+                .events
+                .push(StreamEvent::Leave { verified, leaked });
+            sh.departures += 1;
+            sh.active = sh.active.saturating_sub(1);
+            if let Some(o) = &srv.wc {
+                o.active.set(sh.active as f64);
+            }
+        }
+        if let Some(o) = &srv.wc {
+            o.departures.inc();
+            o.obs.spans.point_volatile(
+                "fleet.wc.leave",
+                srv.clock.now(),
+                vec![("tenant", (self.id() as u64).into())],
+            );
+        }
+        srv.gate.release();
+        self.released = true;
+        self.state = SessState::Left;
+        std::mem::take(&mut self.core.events)
+    }
+}
+
+impl Drop for TenantSession<'_> {
+    /// A session dropped without [`TenantSession::leave`] — its RPC
+    /// connection died, or its thread panicked — must not strand shared
+    /// state: release held pins, retire the tenant's records, cancel its
+    /// drains, and free the admission slot.
+    fn drop(&mut self) {
+        if self.released {
+            return;
+        }
+        let srv = self.server;
+        {
+            let mut guard = srv.shared.lock().unwrap();
+            let sh = &mut *guard;
+            if let SessState::Down(info) = std::mem::replace(&mut self.state, SessState::Left) {
+                if let Some(pins) = info.pins {
+                    sh.hier.unpin_readers(pins);
+                }
+            }
+            let (_, lost) = sh.hier.remove_job(self.core.job);
+            let mine: Vec<u64> = sh
+                .transport
+                .pending_seqs()
+                .into_iter()
+                .filter(|s| self.core.seqs.contains(s) || lost.contains(s))
+                .collect();
+            sh.transport.cancel_seqs(&mine);
+            sh.active = sh.active.saturating_sub(1);
+            if let Some(o) = &srv.wc {
+                o.active.set(sh.active as f64);
+            }
+        }
+        srv.gate.release();
+        self.released = true;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Script replay (the wall-clock side of the oracle contract)
+// ---------------------------------------------------------------------------
+
+/// Replay `scripts` on a real-thread [`FleetServer`] — one OS thread per
+/// tenant session, commands back-to-back — and collect the resulting
+/// record streams keyed by script index.
+///
+/// The output must equal [`crate::script::run_script_sim`] on the same
+/// inputs: that equality **is** the oracle contract, enforced by
+/// `tests/fleet_wallclock.rs` and the `fleet-wallclock-smoke` CI job.
+///
+/// Sessions are admitted up front in script order (so tenant job ids — a
+/// digest input — match the simulator's); `cfg.slots` must therefore be
+/// ≥ `scripts.len()`. Admission *contention* is exercised by the gate
+/// stress tests instead, where stream equality is not at stake.
+pub fn run_script_wallclock(
+    fleet: &SharedDatasetFleet,
+    scripts: &[TenantScript],
+    cfg: &ServiceConfig,
+) -> Result<FleetStreams, RecoveryError> {
+    assert!(
+        cfg.faults.is_none(),
+        "script replay requires a fault-free transport (oracle contract)"
+    );
+    assert!(
+        cfg.slots >= scripts.len(),
+        "script replay admits every session up front"
+    );
+    let server = FleetServer::start(fleet.clone(), cfg.clone());
+    let sessions: Vec<TenantSession<'_>> = scripts
+        .iter()
+        .map(|s| server.join(s.persona, s.policy, s.rounds()))
+        .collect();
+    let results: Vec<Result<Vec<StreamEvent>, RecoveryError>> = thread::scope(|sc| {
+        let handles: Vec<_> = sessions
+            .into_iter()
+            .zip(scripts)
+            .map(|(mut sess, script)| {
+                sc.spawn(move || -> Result<Vec<StreamEvent>, RecoveryError> {
+                    for cmd in &script.cmds {
+                        match *cmd {
+                            TenantCmd::Cut => {
+                                sess.cut()?;
+                            }
+                            TenantCmd::Crash { level } => {
+                                sess.crash(level)?;
+                                sess.recover()?;
+                            }
+                        }
+                    }
+                    Ok(sess.leave())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread panicked"))
+            .collect()
+    });
+    let mut streams = Vec::with_capacity(results.len());
+    for (i, r) in results.into_iter().enumerate() {
+        streams.push(RecordStream {
+            tenant: i,
+            events: r?,
+        });
+    }
+    let violations = server.violations();
+    Ok(FleetStreams {
+        streams,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::run_script_sim;
+    use aic_model::FailureRates;
+
+    fn cfg() -> ServiceConfig {
+        let mut cfg = ServiceConfig::fleet_default(FailureRates::new(vec![3e-4, 2e-4, 1e-4]));
+        cfg.cores = 2;
+        cfg.b3 = 1.0e6;
+        cfg.full_every = 3;
+        cfg
+    }
+
+    #[test]
+    fn wallclock_matches_sim_on_a_small_fleet() {
+        let fleet = SharedDatasetFleet::heterogeneous(vec![4, 7], 50, 9);
+        let scripts = vec![
+            TenantScript::cuts(0, TenantPolicy::Adaptive { bootstrap: 3.0 }, 4),
+            TenantScript {
+                persona: 1,
+                policy: TenantPolicy::Fixed(3.0),
+                cmds: vec![
+                    TenantCmd::Cut,
+                    TenantCmd::Cut,
+                    TenantCmd::Crash { level: 2 },
+                    TenantCmd::Cut,
+                ],
+            },
+        ];
+        let sim = run_script_sim(&fleet, &scripts, &cfg()).unwrap();
+        let wall = run_script_wallclock(&fleet, &scripts, &cfg()).unwrap();
+        assert!(
+            sim.diff(&wall).is_empty(),
+            "streams diverged:\n{}",
+            sim.diff(&wall).join("\n")
+        );
+        assert_eq!(wall.violations, 0);
+    }
+
+    #[test]
+    fn drr_encoder_is_bit_identical_to_serial() {
+        use aic_delta::pa::pa_encode;
+        let fleet = SharedDatasetFleet::heterogeneous(vec![12, 5], 30, 4);
+        let enc = DrrEncoder::spawn(4, 16 << 10, None);
+        for (persona, round) in [(0usize, 1u64), (1, 1), (0, 2)] {
+            let prev = fleet.snapshot(persona, round - 1);
+            let dirty = fleet.dirty(persona, round);
+            let params = PaParams::default();
+            let (serial_file, serial_report) = pa_encode(&prev, &dirty, &params);
+            let (file, report) =
+                enc.encode(persona as u64 + 1, prev.clone(), dirty.clone(), params);
+            assert_eq!(file, serial_file);
+            assert_eq!(report, serial_report);
+        }
+        let (shards, _, rounds) = enc.stats();
+        assert!(shards > 0);
+        assert!(rounds > 0);
+    }
+
+    #[test]
+    fn dropped_session_releases_slot_and_pins() {
+        let fleet = SharedDatasetFleet::heterogeneous(vec![4, 4], 0, 1);
+        let mut c = cfg();
+        c.slots = 1;
+        let server = FleetServer::start(fleet, c);
+        {
+            let mut sess = server.join(0, TenantPolicy::Fixed(2.0), 4);
+            sess.cut().unwrap();
+            sess.crash(1).unwrap();
+            // Dropped while down: pins held, slot held.
+        }
+        // Slot and pins are free again: the next join must not block and
+        // its whole session must run clean.
+        let mut sess = server.join(1, TenantPolicy::Fixed(2.0), 2);
+        sess.cut().unwrap();
+        sess.cut().unwrap();
+        let events = sess.leave();
+        assert!(matches!(
+            events.last(),
+            Some(StreamEvent::Leave { leaked: 0, .. })
+        ));
+        assert_eq!(server.violations(), 0);
+        assert_eq!(server.stats().active, 0);
+    }
+}

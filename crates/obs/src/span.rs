@@ -12,6 +12,7 @@ use std::fmt::Write as _;
 use std::sync::Mutex;
 
 use crate::fmt_f64;
+use crate::registry::Volatility;
 
 /// Default ring capacity (events), plenty for a full testbed run.
 pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
@@ -126,6 +127,11 @@ pub struct Event {
     pub name: &'static str,
     /// Enter / Exit / Point.
     pub kind: EventKind,
+    /// [`Volatility::Stable`] events replay byte-identically under a fixed
+    /// seed; [`Volatility::Volatile`] events carry wall-clock-derived data
+    /// (real timings, thread interleavings) and are excluded from
+    /// [`SpanLog::deterministic_jsonl`].
+    pub volatility: Volatility,
     /// Attached fields.
     pub fields: Vec<Field>,
 }
@@ -182,6 +188,7 @@ impl SpanLog {
         t: f64,
         name: &'static str,
         kind: EventKind,
+        volatility: Volatility,
         fields: Vec<Field>,
     ) -> u64 {
         let mut inner = self.lock();
@@ -199,6 +206,7 @@ impl SpanLog {
             t,
             name,
             kind,
+            volatility,
             fields,
         });
         id
@@ -206,7 +214,22 @@ impl SpanLog {
 
     /// Record an instantaneous event.
     pub fn point(&self, name: &'static str, t: f64, fields: Vec<Field>) {
-        self.push(None, t, name, EventKind::Point, fields);
+        self.push(None, t, name, EventKind::Point, Volatility::Stable, fields);
+    }
+
+    /// Record an instantaneous **volatile** event: wall-clock timings and
+    /// other machine-dependent facts. Rendered with a `"class":"volatile"`
+    /// marker and excluded from [`SpanLog::deterministic_jsonl`], so golden
+    /// replays never see it.
+    pub fn point_volatile(&self, name: &'static str, t: f64, fields: Vec<Field>) {
+        self.push(
+            None,
+            t,
+            name,
+            EventKind::Point,
+            Volatility::Volatile,
+            fields,
+        );
     }
 
     /// Events currently held (excludes dropped).
@@ -229,10 +252,28 @@ impl SpanLog {
         self.lock().buf.iter().cloned().collect()
     }
 
-    /// One JSON object per event, oldest first.
+    /// One JSON object per event, oldest first. Stable events render
+    /// exactly as they always have; volatile events additionally carry a
+    /// `"class":"volatile"` field so consumers can tell them apart.
     pub fn to_jsonl(&self) -> String {
+        Self::render_jsonl(&self.events())
+    }
+
+    /// [`SpanLog::to_jsonl`] restricted to [`Volatility::Stable`] events —
+    /// the replay-safe view. On a purely simulated run (no volatile
+    /// emissions) this is byte-identical to [`SpanLog::to_jsonl`].
+    pub fn deterministic_jsonl(&self) -> String {
+        let stable: Vec<Event> = self
+            .events()
+            .into_iter()
+            .filter(|e| e.volatility == Volatility::Stable)
+            .collect();
+        Self::render_jsonl(&stable)
+    }
+
+    fn render_jsonl(events: &[Event]) -> String {
         let mut out = String::new();
-        for e in self.events() {
+        for e in events {
             let _ = write!(
                 out,
                 "{{\"span\":{},\"t\":{},\"name\":\"{}\",\"kind\":\"{}\"",
@@ -241,6 +282,9 @@ impl SpanLog {
                 e.name,
                 e.kind.label()
             );
+            if e.volatility == Volatility::Volatile {
+                out.push_str(",\"class\":\"volatile\"");
+            }
             for (k, v) in &e.fields {
                 let _ = write!(out, ",\"{k}\":");
                 v.write_json(&mut out);
@@ -291,7 +335,7 @@ pub struct Span<'a> {
 impl<'a> Span<'a> {
     /// Open a span: records an `Enter` event at virtual time `t`.
     pub fn enter(log: &'a SpanLog, name: &'static str, t: f64, fields: Vec<Field>) -> Self {
-        let id = log.push(None, t, name, EventKind::Enter, fields);
+        let id = log.push(None, t, name, EventKind::Enter, Volatility::Stable, fields);
         Span {
             log,
             id,
@@ -314,8 +358,14 @@ impl<'a> Span<'a> {
     /// Close at virtual time `t`, attaching result fields to the `Exit`.
     pub fn exit_with(mut self, t: f64, fields: Vec<Field>) {
         self.closed = true;
-        self.log
-            .push(Some(self.id), t, self.name, EventKind::Exit, fields);
+        self.log.push(
+            Some(self.id),
+            t,
+            self.name,
+            EventKind::Exit,
+            Volatility::Stable,
+            fields,
+        );
     }
 }
 
@@ -327,6 +377,7 @@ impl Drop for Span<'_> {
                 self.enter_t,
                 self.name,
                 EventKind::Exit,
+                Volatility::Stable,
                 vec![],
             );
         }
@@ -412,6 +463,33 @@ mod tests {
         let log = SpanLog::new();
         log.point("p", 0.0, vec![("pages", 12usize.into())]);
         assert_eq!(log.events()[0].fields[0].1, FieldValue::U64(12));
+    }
+
+    #[test]
+    fn volatile_points_are_marked_and_filtered() {
+        let log = SpanLog::new();
+        log.point("stable", 1.0, vec![("n", 1u64.into())]);
+        log.point_volatile("wc", 2.0, vec![("wall_us", 17u64.into())]);
+        log.point("stable2", 3.0, vec![]);
+        // Full export carries both, the volatile one marked by class.
+        let full = log.to_jsonl();
+        assert!(full
+            .contains("\"name\":\"wc\",\"kind\":\"point\",\"class\":\"volatile\",\"wall_us\":17"));
+        // The deterministic view drops the volatile event and renders the
+        // stable ones byte-identically to a log that never saw it.
+        let det = log.deterministic_jsonl();
+        assert!(!det.contains("wc"));
+        let reference = SpanLog::new();
+        reference.point("stable", 1.0, vec![("n", 1u64.into())]);
+        reference.point("stable2", 3.0, vec![]);
+        // Ids differ (the volatile point consumed id 1), so compare the
+        // stable lines minus the id column.
+        let strip = |s: &str| -> Vec<String> {
+            s.lines()
+                .map(|l| l.split_once(',').unwrap().1.to_string())
+                .collect()
+        };
+        assert_eq!(strip(&det), strip(&reference.to_jsonl()));
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Wall-clock fleet mode: the oracle contract and its concurrency edges.
+//!
+//! The design (DESIGN.md §10) promises that a tenant script replayed
+//! through the virtual-clock executor and through real threads produces
+//! the **same record stream** — per-tenant commit ordinals, payload
+//! digests, w* trajectories to the bit, anchor GC sets, recovery images.
+//! The first test replays a larger script set (crashes at every storage
+//! level, adaptive and fixed policies, dedup on) through both executors
+//! and diffs; it also re-runs the simulator to pin determinism of the
+//! oracle side itself.
+//!
+//! The remaining tests cover what the oracle replay deliberately holds
+//! still: admission contention (threads racing join/leave against a full
+//! slot table must neither deadlock nor lose a session) and mid-RPC
+//! client death over a real Unix socket (the dropped session must release
+//! its slot and its recovery pins so the next caller gets in).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+use aic::ckpt::fleet::SharedDatasetFleet;
+use aic::ckpt::rpc::{self, FleetClient};
+use aic::ckpt::script::{run_script_sim, StreamEvent, TenantCmd, TenantScript};
+use aic::ckpt::service::{ServiceConfig, TenantPolicy};
+use aic::ckpt::wallclock::{run_script_wallclock, FleetServer};
+use aic::model::params::CoastalProfile;
+
+fn config(slots: usize, cores: usize) -> ServiceConfig {
+    let mut cfg = ServiceConfig::fleet_default(CoastalProfile::default().rates().with_total(1e-3));
+    cfg.slots = slots;
+    cfg.cores = cores;
+    cfg.dedup = true;
+    // Small segments + frequent anchors so compaction and anchor GC are
+    // actually on the diffed surface.
+    cfg.seg_capacity = 16 << 10;
+    cfg.full_every = 3;
+    cfg
+}
+
+/// Six tenants, policies alternating adaptive/fixed, crashes hitting
+/// every level 1..=3 at varied points in the session.
+fn scripts() -> Vec<TenantScript> {
+    (0..6)
+        .map(|i| {
+            let policy = if i % 2 == 0 {
+                TenantPolicy::Adaptive { bootstrap: 3.0 }
+            } else {
+                TenantPolicy::Fixed(0.4 + i as f64 * 0.1)
+            };
+            let mut s = TenantScript::cuts(i, policy, 5);
+            if i > 0 {
+                let level = (i - 1) % 3 + 1;
+                s.cmds.insert(1 + i % 4, TenantCmd::Crash { level });
+            }
+            s
+        })
+        .collect()
+}
+
+/// The oracle contract at scale: same scripts, both executors, zero diff
+/// — and the simulator side is itself deterministic across runs.
+#[test]
+fn script_replay_matches_the_simulator_oracle() {
+    let fleet = SharedDatasetFleet::heterogeneous(vec![4, 6, 9, 12, 5, 7], 40, 7);
+    let cfg = config(8, 3);
+    let scripts = scripts();
+
+    let sim_a = run_script_sim(&fleet, &scripts, &cfg).expect("sim replay");
+    let sim_b = run_script_sim(&fleet, &scripts, &cfg).expect("sim replay (rerun)");
+    assert_eq!(
+        sim_a.render(),
+        sim_b.render(),
+        "the simulator oracle is not deterministic"
+    );
+
+    let wall = run_script_wallclock(&fleet, &scripts, &cfg).expect("wall-clock replay");
+    let diff = sim_a.diff(&wall);
+    assert!(
+        diff.is_empty(),
+        "record streams diverged ({} lines):\n{}",
+        diff.len(),
+        diff.join("\n")
+    );
+    assert_eq!(sim_a.violations, 0);
+    assert_eq!(wall.violations, 0);
+
+    // Every tenant's stream ends in a clean, verified departure.
+    for s in &wall.streams {
+        match s.events.last() {
+            Some(StreamEvent::Leave { verified, leaked }) => {
+                assert_ne!(*verified, Some(false), "tenant {} failed verify", s.tenant);
+                assert_eq!(*leaked, 0, "tenant {} leaked records", s.tenant);
+            }
+            other => panic!("tenant {} stream ends in {other:?}, not Leave", s.tenant),
+        }
+    }
+}
+
+/// Threads racing join/cut/leave against a slot table far smaller than
+/// the thread count: nobody deadlocks, nobody is dropped, every session
+/// departs verified, and the gate drains completely.
+#[test]
+fn join_leave_race_against_a_full_slot_table() {
+    const THREADS: usize = 8;
+    const ITERS: usize = 3;
+    let fleet = SharedDatasetFleet::heterogeneous(vec![3; THREADS], 30, 11);
+    let cfg = config(2, 2); // 8 threads contend for 2 slots
+    let server = FleetServer::start(fleet, cfg);
+
+    thread::scope(|sc| {
+        for t in 0..THREADS {
+            let server = &server;
+            sc.spawn(move || {
+                for i in 0..ITERS {
+                    // join blocks FIFO until a slot frees; a deadlock here
+                    // hangs the test rather than passing silently.
+                    let mut sess = server.join(t, TenantPolicy::Fixed(0.5), 2);
+                    for _ in 0..=(i % 2) {
+                        sess.cut().expect("cut under contention");
+                    }
+                    let events = sess.leave();
+                    match events.last() {
+                        Some(StreamEvent::Leave { verified, leaked }) => {
+                            assert_ne!(*verified, Some(false));
+                            assert_eq!(*leaked, 0);
+                        }
+                        other => panic!("thread {t} iter {i}: no Leave event ({other:?})"),
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.admitted, (THREADS * ITERS) as u64, "a join was lost");
+    assert_eq!(stats.departures, (THREADS * ITERS) as u64);
+    assert_eq!(stats.active, 0, "a slot leaked");
+    assert_eq!(stats.waiting, 0, "the admission queue did not drain");
+    assert_eq!(server.violations(), 0);
+}
+
+/// A client that dies mid-session — after a crash RPC, while the server
+/// holds recovery pins on its behalf — must not wedge the service: the
+/// dropped connection releases the slot and the pins, and the next
+/// client is admitted and departs verified.
+#[test]
+fn mid_rpc_disconnect_releases_slot_and_pins() {
+    let path = std::env::temp_dir().join(format!("aicd-wc-test-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let fleet = SharedDatasetFleet::heterogeneous(vec![4, 6], 30, 13);
+    let cfg = config(1, 2); // a single slot: release is observable
+    let server = FleetServer::start(fleet, cfg);
+    let listener = std::os::unix::net::UnixListener::bind(&path).expect("bind test socket");
+    let stop = AtomicBool::new(false);
+
+    thread::scope(|sc| {
+        let serve = sc.spawn(|| rpc::serve(listener, &server, &stop));
+
+        {
+            let mut c1 = FleetClient::connect(&path).expect("client 1 connect");
+            c1.join(0, TenantPolicy::Fixed(0.5), 2).expect("join");
+            c1.cut().expect("cut");
+            c1.cut().expect("cut");
+            // Crash leaves the session Down with reader pins held across
+            // the RPC gap — the worst moment to vanish.
+            c1.crash(2).expect("crash");
+        } // c1 dropped here: mid-session disconnect, no recover, no leave
+
+        // The second join can only succeed once the server has noticed
+        // the disconnect and released the single slot.
+        let mut c2 = FleetClient::connect(&path).expect("client 2 connect");
+        c2.join(1, TenantPolicy::Adaptive { bootstrap: 3.0 }, 3)
+            .expect("join after disconnect (slot not released?)");
+        for _ in 0..3 {
+            c2.cut().expect("cut");
+        }
+        let bye = c2.leave().expect("leave");
+        assert_ne!(bye.verified, Some(false), "departure failed verify");
+        assert_eq!(bye.leaked, 0, "records leaked past departure");
+        drop(c2);
+
+        stop.store(true, Ordering::Relaxed);
+        serve.join().expect("serve thread").expect("serve");
+    });
+
+    assert_eq!(
+        server.stats().active,
+        0,
+        "the dead session still holds a slot"
+    );
+    assert_eq!(server.violations(), 0, "pins leaked or recovery diverged");
+    let _ = std::fs::remove_file(&path);
+}
